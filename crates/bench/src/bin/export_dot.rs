@@ -1,0 +1,39 @@
+//! Exports Graphviz sources for the paper's structural figures: the SpMV
+//! program DAG (Fig. 3c), its decision space, and the six-leaf decision
+//! tree (Fig. 6). Files are written to `target/figures/`.
+
+use dr_dag::{dag_to_dot, space_to_dot};
+use dr_ml::{featurize, label_times, tree_to_dot, DecisionTree, TrainConfig};
+use std::path::Path;
+
+fn main() -> std::io::Result<()> {
+    let sc = dr_bench::scenario();
+    let dir = Path::new("target/figures");
+    std::fs::create_dir_all(dir)?;
+
+    std::fs::write(dir.join("fig3_dag.dot"), dag_to_dot(sc.space.dag()))?;
+    std::fs::write(dir.join("fig3_space.dot"), space_to_dot(&sc.space))?;
+    println!("wrote {}", dir.join("fig3_dag.dot").display());
+    println!("wrote {}", dir.join("fig3_space.dot").display());
+
+    eprintln!("benchmarking the full space for the tree …");
+    let records = dr_bench::exhaustive_records(&sc);
+    let times: Vec<f64> = records.iter().map(|r| r.result.time()).collect();
+    let labeling = label_times(&times, &Default::default());
+    let traversals: Vec<&dr_dag::Traversal> =
+        records.iter().map(|r| &r.traversal).collect();
+    let features = featurize(&sc.space, &traversals);
+    let cfg = TrainConfig { max_leaf_nodes: Some(6), max_depth: Some(5), ..Default::default() };
+    let tree = DecisionTree::fit(&features.matrix, &labeling.labels, labeling.num_classes, &cfg);
+    let feature_names: Vec<String> =
+        features.features.iter().map(|f| f.phrase(&sc.space, true)).collect();
+    let class_names: Vec<String> =
+        (0..labeling.num_classes).map(|c| format!("class {c}")).collect();
+    std::fs::write(
+        dir.join("fig6_tree.dot"),
+        tree_to_dot(&tree, &feature_names, &class_names),
+    )?;
+    println!("wrote {}", dir.join("fig6_tree.dot").display());
+    println!("render with: dot -Tpdf target/figures/fig6_tree.dot -o fig6.pdf");
+    Ok(())
+}

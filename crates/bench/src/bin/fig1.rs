@@ -1,0 +1,30 @@
+//! Figure 1: the sorted performance of every implementation of the
+//! distributed SpMV. All implementations use the same kernels and MPI
+//! functions; only the order of operations and stream assignments change.
+//! The paper reports a 1.47× fastest-to-slowest spread over 2036
+//! implementations.
+
+fn main() {
+    let sc = dr_bench::scenario();
+    let count = sc.space.count_traversals();
+    eprintln!("enumerating + benchmarking {count} implementations …");
+    let records = dr_bench::exhaustive_records(&sc);
+
+    let mut times: Vec<f64> = records.iter().map(|r| r.result.time()).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let fastest = times[0];
+    let slowest = *times.last().expect("non-empty space");
+
+    println!("== Figure 1: sorted implementation performance ==");
+    println!("implementations      : {}", times.len());
+    println!("fastest              : {}", dr_bench::us(fastest));
+    println!("slowest              : {}", dr_bench::us(slowest));
+    println!("slowest/fastest      : {:.2}x  (paper: 1.47x)", slowest / fastest);
+    println!();
+    println!("{}", dr_bench::ascii_plot(&times, 12, 72));
+    println!("deciles (µs):");
+    for d in 0..=10 {
+        let idx = (d * (times.len() - 1)) / 10;
+        println!("  {:>3}%  {}", d * 10, dr_bench::us(times[idx]));
+    }
+}

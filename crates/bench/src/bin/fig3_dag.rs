@@ -1,0 +1,39 @@
+//! Figure 3 / Table II: the SpMV program DAG, its decision space, and the
+//! size of the implementation space (the paper's "2036 implementations").
+
+use dr_dag::DecisionKind;
+
+fn main() {
+    let sc = dr_bench::scenario();
+    let dag = sc.space.dag();
+
+    println!("== Figure 3c: SpMV program DAG ==");
+    for v in dag.user_vertices() {
+        let vert = dag.vertex(v);
+        let succs: Vec<&str> = dag
+            .succs(v)
+            .iter()
+            .map(|&s| dag.vertex(s).name.as_str())
+            .collect();
+        println!("  {:<10} [{:?}] -> {}", vert.name, vert.kind(), succs.join(", "));
+    }
+
+    println!();
+    println!("== Decision operations (Table II + Table III sync ops) ==");
+    for op in sc.space.ops() {
+        let kind = match op.kind {
+            DecisionKind::Cpu(_) => "CPU",
+            DecisionKind::Gpu(_) => "GPU (stream-bound at search time)",
+            DecisionKind::CerAfter(_) => "sync: cudaEventRecord",
+            DecisionKind::CesBefore(_) => "sync: cudaEventSynchronize",
+        };
+        println!("  {:<20} {}", op.name, kind);
+    }
+
+    println!();
+    println!("streams               : {}", sc.space.num_streams());
+    println!(
+        "implementation space  : {} traversals (paper: 2036 for its exact DAG)",
+        sc.space.count_traversals()
+    );
+}

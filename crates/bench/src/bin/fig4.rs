@@ -1,0 +1,31 @@
+//! Figure 4: automatic class labeling — the sorted measurement data, the
+//! step-kernel convolution, and the detected class boundaries.
+
+use dr_ml::{label_times, LabelingConfig};
+
+fn main() {
+    let sc = dr_bench::scenario();
+    eprintln!("benchmarking the full space …");
+    let records = dr_bench::exhaustive_records(&sc);
+    let times: Vec<f64> = records.iter().map(|r| r.result.time()).collect();
+    let labeling = label_times(&times, &LabelingConfig::default());
+
+    println!("== Figure 4a: sorted measurements ==");
+    println!("{}", dr_bench::ascii_plot(&labeling.sorted_times, 10, 72));
+
+    println!("== Figure 4b: step-kernel convolution ==");
+    println!("{}", dr_bench::ascii_plot(&labeling.convolution.values, 10, 72));
+
+    println!("== Figure 4c: detected class boundaries ==");
+    println!("classes: {}", labeling.num_classes);
+    for (c, &(lo, hi)) in labeling.class_ranges.iter().enumerate() {
+        let members = labeling.labels.iter().filter(|&&l| l == c).count();
+        println!(
+            "  class {c}: {} implementations, {} .. {}",
+            members,
+            dr_bench::us(lo),
+            dr_bench::us(hi)
+        );
+    }
+    println!("boundaries at sorted positions: {:?}", labeling.boundaries);
+}

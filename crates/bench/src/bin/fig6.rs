@@ -1,0 +1,86 @@
+//! Figure 6: a six-leaf decision tree for the SpMV space, with the
+//! root-to-leaf paths rendered as design rules per performance class.
+
+use dr_ml::{extract_rulesets, featurize, label_times, DecisionTree, TrainConfig};
+
+fn main() {
+    let sc = dr_bench::scenario();
+    eprintln!("benchmarking the full space …");
+    let records = dr_bench::exhaustive_records(&sc);
+    let times: Vec<f64> = records.iter().map(|r| r.result.time()).collect();
+    let labeling = label_times(&times, &Default::default());
+    let traversals: Vec<&dr_dag::Traversal> =
+        records.iter().map(|r| &r.traversal).collect();
+    let features = featurize(&sc.space, &traversals);
+
+    // The paper's intermediate tree: six leaves, depth limited to five.
+    let cfg = TrainConfig {
+        max_leaf_nodes: Some(6),
+        max_depth: Some(5),
+        ..Default::default()
+    };
+    let tree = DecisionTree::fit(&features.matrix, &labeling.labels, labeling.num_classes, &cfg);
+
+    println!("== Figure 6: six-leaf decision tree ==");
+    println!(
+        "leaves {}, depth {}, training error {:.4}",
+        tree.num_leaves(),
+        tree.depth(),
+        tree.error(&features.matrix, &labeling.labels)
+    );
+    println!();
+    print_node(&tree, &features, &sc.space, 0, 0);
+
+    println!();
+    println!("== Feature importances (Gini mean decrease) ==");
+    let importances = dr_ml::feature_importances(&tree, features.num_features(), &cfg);
+    let mut ranked: Vec<(usize, f64)> =
+        importances.iter().copied().enumerate().filter(|&(_, v)| v > 0.0).collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    for (f, v) in ranked {
+        println!("  {:>6.1}%  {}", v * 100.0, features.features[f].phrase(&sc.space, true));
+    }
+
+    println!();
+    println!("== Rulesets (root-to-leaf paths) ==");
+    let rulesets = extract_rulesets(&tree, &features);
+    for (i, rs) in rulesets.iter().enumerate() {
+        println!(
+            "leaf {} -> class {} ({} samples{}):",
+            i + 1,
+            rs.class,
+            rs.samples,
+            if rs.pure { "" } else { ", impure: insufficient leaf budget" }
+        );
+        for line in dr_ml::render_ruleset(rs, &sc.space) {
+            println!("    {line}");
+        }
+    }
+}
+
+fn print_node(
+    tree: &DecisionTree,
+    features: &dr_ml::FeatureSet,
+    space: &dr_dag::DecisionSpace,
+    node: usize,
+    indent: usize,
+) {
+    let n = &tree.nodes()[node];
+    let pad = "  ".repeat(indent);
+    match n.feature {
+        None => {
+            println!(
+                "{pad}leaf: class {} samples {:?}",
+                n.class(),
+                n.raw_counts
+            );
+        }
+        Some(f) => {
+            println!("{pad}[{}?] samples {:?}", features.features[f].phrase(space, true), n.raw_counts);
+            println!("{pad}├─ no:");
+            print_node(tree, features, space, n.left, indent + 1);
+            println!("{pad}└─ yes:");
+            print_node(tree, features, space, n.right, indent + 1);
+        }
+    }
+}

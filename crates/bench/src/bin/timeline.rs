@@ -1,0 +1,44 @@
+//! Timeline inspection: ASCII Gantt charts of the fastest and slowest
+//! SpMV implementations, showing *why* the design rules hold — how the
+//! fast implementation overlaps the halo exchange with the local
+//! multiply, and where the slow one serializes.
+
+use dr_dag::build_schedule;
+use dr_sim::{execute_traced, CompiledProgram};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let sc = dr_bench::scenario();
+    eprintln!("benchmarking the full space to find the extremes …");
+    let records = dr_bench::exhaustive_records(&sc);
+    let fastest = records
+        .iter()
+        .min_by(|a, b| a.result.time().partial_cmp(&b.result.time()).unwrap())
+        .expect("non-empty space");
+    let slowest = records
+        .iter()
+        .max_by(|a, b| a.result.time().partial_cmp(&b.result.time()).unwrap())
+        .expect("non-empty space");
+
+    let platform = sc.platform.clone().noiseless();
+    for (tag, rec) in [("fastest", fastest), ("slowest", slowest)] {
+        let schedule = build_schedule(&sc.space, &rec.traversal);
+        let prog = CompiledProgram::compile(&schedule, &sc.workload)
+            .expect("SpMV schedules always compile");
+        let (outcome, trace) =
+            execute_traced(&prog, &platform, &mut SmallRng::seed_from_u64(1))
+                .expect("SpMV always executes");
+        println!("== {tag} implementation: {} ==", dr_bench::us(outcome.time()));
+        let order: Vec<&str> = rec
+            .traversal
+            .steps
+            .iter()
+            .map(|p| sc.space.ops()[p.op].name.as_str())
+            .collect();
+        println!("issue order: {}", order.join(" → "));
+        println!("rank 1 timeline (spans marked by first letter of the op):");
+        print!("{}", trace.ascii_gantt(1, 100));
+        println!();
+    }
+}

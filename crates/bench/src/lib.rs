@@ -1,0 +1,105 @@
+//! # dr-bench — figure/table regeneration harness
+//!
+//! One binary per figure/table of the paper's evaluation (see DESIGN.md
+//! for the index), plus Criterion microbenchmarks of the substrates.
+//!
+//! All binaries accept the environment variable `DR_SCALE=small` to run
+//! on the scaled-down SpMV instance (fast, for smoke-testing the
+//! harness); the default is the paper-scale instance (150 000-row banded
+//! matrix, 4 ranks, 2 streams). `DR_SEED` overrides the master seed.
+
+#![warn(missing_docs)]
+
+use dr_core::{explore, PipelineConfig, Strategy};
+use dr_mcts::{ExploredRecord, SimEvaluator};
+use dr_sim::BenchConfig;
+use dr_spmv::SpmvScenario;
+
+/// Master seed used by the harness unless `DR_SEED` overrides it.
+pub const DEFAULT_SEED: u64 = 0xD5;
+
+/// Reads the harness seed from `DR_SEED` (default [`DEFAULT_SEED`]).
+pub fn seed() -> u64 {
+    std::env::var("DR_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED)
+}
+
+/// Builds the demonstration scenario: paper scale by default,
+/// `DR_SCALE=small` for the fast variant.
+pub fn scenario() -> SpmvScenario {
+    match std::env::var("DR_SCALE").as_deref() {
+        Ok("small") => SpmvScenario::small(seed()),
+        _ => SpmvScenario::paper(seed()),
+    }
+}
+
+/// The measurement protocol used by the harness: the paper's 0.01 s
+/// measurements, 50 per implementation.
+pub fn bench_config() -> BenchConfig {
+    BenchConfig::default()
+}
+
+/// The pipeline configuration used by the harness.
+pub fn pipeline_config() -> PipelineConfig {
+    PipelineConfig { bench: bench_config(), ..Default::default() }
+}
+
+/// Collects the exhaustive record set of the scenario — the canonical
+/// dataset every figure derives from.
+pub fn exhaustive_records(sc: &SpmvScenario) -> Vec<ExploredRecord> {
+    let eval = SimEvaluator::new(&sc.space, &sc.workload, &sc.platform, bench_config());
+    explore(&sc.space, eval, Strategy::Exhaustive).expect("SpMV scenario always executes")
+}
+
+/// Renders a crude ASCII plot of a series (for terminal-friendly figure
+/// output), `height` rows tall.
+pub fn ascii_plot(values: &[f64], height: usize, width: usize) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    let cols: Vec<f64> = (0..width)
+        .map(|c| {
+            let i = c * values.len() / width;
+            values[i]
+        })
+        .collect();
+    let mut out = String::new();
+    for row in (0..height).rev() {
+        let lo = min + span * row as f64 / height as f64;
+        for &v in &cols {
+            out.push(if v >= lo { '█' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats seconds as microseconds with 2 decimals.
+pub fn us(t: f64) -> String {
+    format!("{:.2} µs", t * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_plot_has_requested_dimensions() {
+        let p = ascii_plot(&[1.0, 2.0, 3.0, 4.0], 3, 10);
+        let lines: Vec<&str> = p.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.chars().count() == 10));
+    }
+
+    #[test]
+    fn ascii_plot_empty_is_empty() {
+        assert_eq!(ascii_plot(&[], 3, 10), "");
+    }
+
+    #[test]
+    fn us_formats() {
+        assert_eq!(us(1.5e-4), "150.00 µs");
+    }
+}

@@ -1,0 +1,125 @@
+//! Rule-quality evaluation (paper Section V, Fig. 7).
+//!
+//! Rules mined from a partial exploration are judged against the full
+//! space: every implementation is classified with the subset-trained
+//! tree, and the *labeling accuracy* is the proportion whose true
+//! (exhaustively measured) time falls within the performance range of the
+//! predicted class. As the exploration budget grows, accuracy approaches
+//! 100 %.
+
+use crate::pipeline::PipelineResult;
+use dr_dag::{DecisionSpace, Traversal};
+
+/// Result of evaluating subset-derived rules against the full space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyReport {
+    /// Implementations whose time fell inside the predicted class range.
+    pub within_range: usize,
+    /// Total implementations classified.
+    pub total: usize,
+}
+
+impl AccuracyReport {
+    /// The labeling accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.within_range as f64 / self.total as f64
+        }
+    }
+}
+
+/// Classifies every implementation of `ground_truth` (traversal, true
+/// time) with the subset-trained pipeline and checks the time against the
+/// predicted class's `[fastest, slowest]` range, widened by
+/// `tolerance` (a fraction, e.g. 0.0 for the paper's strict check).
+pub fn labeling_accuracy(
+    space: &DecisionSpace,
+    subset: &PipelineResult,
+    ground_truth: &[(Traversal, f64)],
+    tolerance: f64,
+) -> AccuracyReport {
+    let mut within = 0usize;
+    for (t, time) in ground_truth {
+        let class = subset.classify(space, t);
+        let (lo, hi) = subset.labeling.class_ranges[class];
+        let margin_lo = lo * (1.0 - tolerance);
+        let margin_hi = hi * (1.0 + tolerance);
+        if *time >= margin_lo && *time <= margin_hi {
+            within += 1;
+        }
+    }
+    AccuracyReport { within_range: within, total: ground_truth.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::Strategy;
+    use crate::pipeline::{run_pipeline, PipelineConfig};
+    use dr_dag::{CostKey, DagBuilder, DecisionSpace, OpSpec};
+    use dr_sim::{Platform, TableWorkload};
+
+    fn setup() -> (DecisionSpace, TableWorkload, Platform) {
+        let mut b = DagBuilder::new();
+        let a = b.add("a", OpSpec::GpuKernel(CostKey::new("a")));
+        let g = b.add("b", OpSpec::GpuKernel(CostKey::new("b")));
+        let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+        b.edge(a, c);
+        b.edge(g, c);
+        let space = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
+        let mut w = TableWorkload::new(1);
+        w.cost_all("a", 5e-4).cost_all("b", 5e-4).cost_all("c", 1e-5);
+        let platform = dr_sim::Platform {
+            gpu_contention: 0.0,
+            ..Platform::perlmutter_like().noiseless()
+        };
+        (space, w, platform)
+    }
+
+    #[test]
+    fn exhaustive_rules_score_perfectly_on_their_own_data() {
+        let (space, w, platform) = setup();
+        let result =
+            run_pipeline(&space, &w, &platform, Strategy::Exhaustive, &PipelineConfig::quick())
+                .unwrap();
+        let truth: Vec<_> = result
+            .records
+            .iter()
+            .map(|r| (r.traversal.clone(), r.result.time()))
+            .collect();
+        let report = labeling_accuracy(&space, &result, &truth, 0.0);
+        assert_eq!(report.accuracy(), 1.0);
+        assert_eq!(report.total, truth.len());
+    }
+
+    #[test]
+    fn tolerance_widens_acceptance() {
+        let (space, w, platform) = setup();
+        let result =
+            run_pipeline(&space, &w, &platform, Strategy::Exhaustive, &PipelineConfig::quick())
+                .unwrap();
+        // Shift all true times up by 1%: strict check fails for ranges
+        // that were tight, 5% tolerance recovers them.
+        let truth: Vec<_> = result
+            .records
+            .iter()
+            .map(|r| (r.traversal.clone(), r.result.time() * 1.01))
+            .collect();
+        let strict = labeling_accuracy(&space, &result, &truth, 0.0);
+        let loose = labeling_accuracy(&space, &result, &truth, 0.05);
+        assert!(loose.accuracy() >= strict.accuracy());
+        assert_eq!(loose.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn empty_ground_truth_reports_zero() {
+        let (space, w, platform) = setup();
+        let result =
+            run_pipeline(&space, &w, &platform, Strategy::Exhaustive, &PipelineConfig::quick())
+                .unwrap();
+        let report = labeling_accuracy(&space, &result, &[], 0.0);
+        assert_eq!(report.accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Exploration strategies: how the `(sequence, time)` sample set is
+//! collected before rule mining.
+
+use dr_dag::DecisionSpace;
+use dr_mcts::{Evaluator, ExploredRecord, Mcts, MctsConfig};
+use dr_sim::SimError;
+
+/// How to collect the sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Benchmark every traversal of the space (feasible only for small
+    /// DAGs; this is the paper's canonical 2036-implementation dataset).
+    Exhaustive,
+    /// Monte-Carlo tree search with the given iteration budget
+    /// (paper Section III-C).
+    Mcts {
+        /// Number of search iterations (rollouts).
+        iterations: usize,
+        /// Search hyperparameters.
+        config: MctsConfig,
+    },
+    /// Uniform random sampling with the given rollout budget (the
+    /// baseline the paper's future work calls for).
+    Random {
+        /// Number of rollouts.
+        iterations: usize,
+        /// Sampling seed.
+        seed: u64,
+    },
+}
+
+/// Collects explored records under a strategy.
+pub fn explore<E: Evaluator>(
+    space: &DecisionSpace,
+    mut eval: E,
+    strategy: Strategy,
+) -> Result<Vec<ExploredRecord>, SimError> {
+    match strategy {
+        Strategy::Exhaustive => {
+            let mut records = Vec::new();
+            for (i, t) in space.enumerate().into_iter().enumerate() {
+                let seed = 0xE0E0_0000u64 ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let result = eval.evaluate(&t, seed)?;
+                records.push(ExploredRecord { traversal: t, result });
+            }
+            Ok(records)
+        }
+        Strategy::Mcts { iterations, config } => {
+            let mut mcts = Mcts::new(space, eval, config);
+            mcts.run(iterations)?;
+            Ok(mcts.into_records())
+        }
+        Strategy::Random { iterations, seed } => {
+            dr_mcts::random_search(space, eval, iterations, seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_dag::{CostKey, DagBuilder, OpSpec};
+    use dr_mcts::SimEvaluator;
+    use dr_sim::{BenchConfig, Platform, TableWorkload};
+
+    fn setup() -> (DecisionSpace, TableWorkload, Platform) {
+        let mut b = DagBuilder::new();
+        let a = b.add("a", OpSpec::GpuKernel(CostKey::new("a")));
+        let g = b.add("b", OpSpec::GpuKernel(CostKey::new("b")));
+        let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+        b.edge(a, c);
+        b.edge(g, c);
+        let space = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
+        let mut w = TableWorkload::new(1);
+        w.cost_all("a", 1e-4).cost_all("b", 2e-4).cost_all("c", 1e-5);
+        (space, w, Platform::perlmutter_like().noiseless())
+    }
+
+    #[test]
+    fn exhaustive_covers_the_whole_space() {
+        let (space, w, platform) = setup();
+        let eval = SimEvaluator::new(&space, &w, &platform, BenchConfig::quick());
+        let records = explore(&space, eval, Strategy::Exhaustive).unwrap();
+        assert_eq!(records.len() as u128, space.count_traversals());
+    }
+
+    #[test]
+    fn mcts_strategy_respects_budget() {
+        let (space, w, platform) = setup();
+        let eval = SimEvaluator::new(&space, &w, &platform, BenchConfig::quick());
+        let records = explore(
+            &space,
+            eval,
+            Strategy::Mcts { iterations: 5, config: MctsConfig::default() },
+        )
+        .unwrap();
+        assert!(!records.is_empty() && records.len() <= 5);
+    }
+
+    #[test]
+    fn random_strategy_returns_unique_records() {
+        let (space, w, platform) = setup();
+        let eval = SimEvaluator::new(&space, &w, &platform, BenchConfig::quick());
+        let records =
+            explore(&space, eval, Strategy::Random { iterations: 30, seed: 1 }).unwrap();
+        let set: std::collections::HashSet<_> =
+            records.iter().map(|r| &r.traversal).collect();
+        assert_eq!(set.len(), records.len());
+    }
+}

@@ -1,0 +1,39 @@
+//! # dr-core — the end-to-end CUDA+MPI design-rule pipeline
+//!
+//! Facade over the reproduction's substrates, implementing the paper's
+//! full system (Fig. 2): a DAG of CUDA and MPI operations defines the
+//! design space; Monte-Carlo tree search (or an exhaustive/random sweep)
+//! collects `(sequence, time)` samples on the platform simulator; class
+//! labels come from convolution + peak detection over the sorted times;
+//! pairwise ordering/stream features feed a CART decision tree; and the
+//! tree's root-to-leaf paths become human-readable design rules.
+//!
+//! ```
+//! use dr_core::{run_pipeline, PipelineConfig, Strategy};
+//! use dr_spmv::SpmvScenario;
+//!
+//! let sc = SpmvScenario::small(42);
+//! let result = run_pipeline(
+//!     &sc.space,
+//!     &sc.workload,
+//!     &sc.platform,
+//!     Strategy::Mcts { iterations: 16, config: Default::default() },
+//!     &PipelineConfig::quick(),
+//! )
+//! .unwrap();
+//! assert!(!result.rulesets.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod evaluate;
+mod multi_input;
+mod synthesize;
+mod explore;
+mod pipeline;
+
+pub use evaluate::{labeling_accuracy, AccuracyReport};
+pub use explore::{explore, Strategy};
+pub use multi_input::{mine_rules_multi, InputFeature, InputRun, MultiInputResult};
+pub use synthesize::{satisfies, synthesize};
+pub use pipeline::{mine_rules, run_pipeline, PipelineConfig, PipelineResult};

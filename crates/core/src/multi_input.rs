@@ -1,0 +1,268 @@
+//! Rules that generalize across inputs (paper future work, Section VI:
+//! "A natural extension is to generate rules that generalize across
+//! inputs. This extension requires changes to the feature-vector
+//! generation to include features that discriminate between inputs.")
+//!
+//! Each input (e.g. a matrix with a different bandwidth) is explored and
+//! labelled independently — class 0 is *that input's* fastest regime.
+//! The pooled training set then extends every traversal's feature vector
+//! with binary *input features* (e.g. "remote-dominant", "messages are
+//! eager"), letting one decision tree express input-conditional rules
+//! such as "when remote-dominant, launch `yl` before the exchange".
+
+use crate::pipeline::PipelineConfig;
+use dr_mcts::ExploredRecord;
+use dr_ml::{algorithm1, featurize, label_times, FeatureSet, HyperSearch, Labeling};
+use dr_dag::{DecisionSpace, Traversal};
+
+/// One binary property of an input, shared across its records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputFeature {
+    /// Feature name, e.g. `"remote-dominant"`.
+    pub name: String,
+    /// The input's value for it.
+    pub value: bool,
+}
+
+/// One explored input: its records plus its input features.
+#[derive(Debug, Clone)]
+pub struct InputRun {
+    /// Display tag, e.g. `"bandwidth n/4"`.
+    pub tag: String,
+    /// Explored implementations of this input.
+    pub records: Vec<ExploredRecord>,
+    /// Input features; every run must list the same names in the same
+    /// order.
+    pub input_features: Vec<InputFeature>,
+}
+
+/// A tree trained across inputs.
+#[derive(Debug, Clone)]
+pub struct MultiInputResult {
+    /// Per-input labelings (classes are relative within each input).
+    pub labelings: Vec<Labeling>,
+    /// Pruned traversal features over the pooled sample set.
+    pub features: FeatureSet,
+    /// Names of the appended input-feature columns.
+    pub input_feature_names: Vec<String>,
+    /// Algorithm 1's search over the pooled data.
+    pub search: HyperSearch,
+    /// Largest per-input class count (the tree's label range).
+    pub num_classes: usize,
+}
+
+impl MultiInputResult {
+    /// Input features the tree actually splits on — the concrete answer
+    /// to "do the rules need to discriminate between inputs?".
+    pub fn used_input_features(&self) -> Vec<&str> {
+        let offset = self.features.num_features();
+        let mut used: Vec<&str> = self
+            .search
+            .tree
+            .nodes()
+            .iter()
+            .filter_map(|n| n.feature)
+            .filter(|&f| f >= offset)
+            .map(|f| self.input_feature_names[f - offset].as_str())
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        used
+    }
+
+    /// Predicts the performance class of a traversal of `space` run on an
+    /// input with the given feature values.
+    pub fn classify(
+        &self,
+        space: &DecisionSpace,
+        t: &Traversal,
+        input_values: &[bool],
+    ) -> usize {
+        let mut x = self.features.vector_of(space, t);
+        x.extend_from_slice(input_values);
+        self.search.tree.predict(&x)
+    }
+}
+
+/// Mines one rule tree across several explored inputs.
+///
+/// # Panics
+///
+/// Panics when runs are empty, a run has no records, or the input-feature
+/// schemas disagree between runs.
+pub fn mine_rules_multi(
+    space: &DecisionSpace,
+    runs: &[InputRun],
+    cfg: &PipelineConfig,
+) -> MultiInputResult {
+    assert!(!runs.is_empty(), "need at least one input run");
+    let schema: Vec<&str> =
+        runs[0].input_features.iter().map(|f| f.name.as_str()).collect();
+    for run in runs {
+        assert!(!run.records.is_empty(), "run {:?} has no records", run.tag);
+        let names: Vec<&str> =
+            run.input_features.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, schema, "input-feature schemas must match");
+    }
+
+    // Label each input independently.
+    let labelings: Vec<Labeling> = runs
+        .iter()
+        .map(|run| {
+            let times: Vec<f64> = run.records.iter().map(|r| r.result.time()).collect();
+            label_times(&times, &cfg.labeling)
+        })
+        .collect();
+    let num_classes =
+        labelings.iter().map(|l| l.num_classes).max().expect("non-empty");
+
+    // Pooled traversal features (pruned over the union of all samples).
+    let traversals: Vec<&Traversal> = runs
+        .iter()
+        .flat_map(|run| run.records.iter().map(|r| &r.traversal))
+        .collect();
+    let features = featurize(space, &traversals);
+
+    // Assemble rows: traversal features ++ input features.
+    let mut x: Vec<Vec<bool>> = Vec::with_capacity(traversals.len());
+    let mut y: Vec<usize> = Vec::with_capacity(traversals.len());
+    let mut row = 0usize;
+    for (run, labeling) in runs.iter().zip(&labelings) {
+        for (i, _) in run.records.iter().enumerate() {
+            let mut v = features.matrix[row].clone();
+            v.extend(run.input_features.iter().map(|f| f.value));
+            x.push(v);
+            y.push(labeling.labels[i]);
+            row += 1;
+        }
+    }
+
+    let search = algorithm1(&x, &y, num_classes, &cfg.train);
+    MultiInputResult {
+        labelings,
+        features,
+        input_feature_names: schema.iter().map(|s| s.to_string()).collect(),
+        search,
+        num_classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_ml::{DecisionTree, TrainConfig};
+    use dr_sim::{BenchResult, Percentiles};
+    use dr_dag::{CostKey, DagBuilder, OpSpec};
+
+    fn space() -> DecisionSpace {
+        let mut b = DagBuilder::new();
+        let a = b.add("a", OpSpec::GpuKernel(CostKey::new("a")));
+        let g = b.add("b", OpSpec::GpuKernel(CostKey::new("b")));
+        let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+        b.edge(a, c);
+        b.edge(g, c);
+        DecisionSpace::new(b.build().unwrap(), 2).unwrap()
+    }
+
+    fn result_of(t: f64) -> BenchResult {
+        BenchResult {
+            measurements: vec![t],
+            percentiles: Percentiles { p01: t, p10: t, p50: t, p90: t, p99: t },
+        }
+    }
+
+    /// Synthetic ground truth whose fastest choice depends on the input:
+    /// on "big" inputs same-stream is fast, on "small" inputs it is slow.
+    fn runs(sp: &DecisionSpace) -> Vec<InputRun> {
+        let a = sp.op_by_name("a").unwrap();
+        let b = sp.op_by_name("b").unwrap();
+        let mut out = Vec::new();
+        for big in [true, false] {
+            let records: Vec<ExploredRecord> = sp
+                .enumerate()
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let st = t.streams(sp.num_ops());
+                    let same = st[a] == st[b];
+                    let fast = same == big;
+                    let jitter = 1e-4 * ((i * 7919 % 97) as f64) / 97.0;
+                    ExploredRecord {
+                        traversal: t,
+                        result: result_of(if fast { 1.0 } else { 1.5 } + jitter),
+                    }
+                })
+                .collect();
+            out.push(InputRun {
+                tag: if big { "big" } else { "small" }.into(),
+                records,
+                input_features: vec![InputFeature { name: "big-input".into(), value: big }],
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn input_features_enable_cross_input_rules() {
+        let sp = space();
+        let runs = runs(&sp);
+        let result = mine_rules_multi(&sp, &runs, &PipelineConfig::quick());
+        assert_eq!(result.search.error, 0.0, "input feature makes it separable");
+        assert_eq!(result.used_input_features(), vec!["big-input"]);
+        // Without the input feature, the pooled problem is inherently
+        // ambiguous: same feature vector, different labels.
+        let traversals: Vec<&Traversal> = runs
+            .iter()
+            .flat_map(|r| r.records.iter().map(|rec| &rec.traversal))
+            .collect();
+        let fs = featurize(&sp, &traversals);
+        let y: Vec<usize> = runs
+            .iter()
+            .flat_map(|r| {
+                let times: Vec<f64> =
+                    r.records.iter().map(|rec| rec.result.time()).collect();
+                label_times(&times, &Default::default()).labels
+            })
+            .collect();
+        let blind = DecisionTree::fit(&fs.matrix, &y, 2, &TrainConfig::default());
+        assert!(
+            blind.error(&fs.matrix, &y) > 0.2,
+            "without input features the classes are not separable: {}",
+            blind.error(&fs.matrix, &y)
+        );
+    }
+
+    #[test]
+    fn classify_flips_with_the_input() {
+        let sp = space();
+        let runs = runs(&sp);
+        let result = mine_rules_multi(&sp, &runs, &PipelineConfig::quick());
+        let same_stream = sp
+            .traversal_from_names(&[
+                ("a", Some(0)),
+                ("CER-after-a", None),
+                ("b", Some(0)),
+                ("CER-after-b", None),
+                ("CES-b4-c", None),
+                ("c", None),
+            ])
+            .unwrap();
+        assert_eq!(result.classify(&sp, &same_stream, &[true]), 0, "fast on big");
+        assert_eq!(result.classify(&sp, &same_stream, &[false]), 1, "slow on small");
+    }
+
+    #[test]
+    #[should_panic(expected = "schemas must match")]
+    fn mismatched_schemas_panic() {
+        let sp = space();
+        let mut rs = runs(&sp);
+        rs[1].input_features[0].name = "other".into();
+        mine_rules_multi(&sp, &rs, &PipelineConfig::quick());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_runs_panic() {
+        mine_rules_multi(&space(), &[], &PipelineConfig::quick());
+    }
+}

@@ -1,0 +1,169 @@
+//! The end-to-end design-rule pipeline (paper Fig. 2): explore → label →
+//! featurize → train → extract rules.
+
+use crate::explore::{explore, Strategy};
+use dr_dag::{DecisionSpace, Traversal};
+use dr_mcts::{ExploredRecord, SimEvaluator};
+use dr_ml::{
+    algorithm1, extract_rulesets, featurize, label_times, FeatureSet, HyperSearch, LabelingConfig,
+    Labeling, RuleSet, TrainConfig,
+};
+use dr_sim::{BenchConfig, Platform, SimError, Workload};
+
+/// Pipeline parameters (defaults mirror the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub struct PipelineConfig {
+    /// Class-labeling parameters (Section IV-A).
+    pub labeling: LabelingConfig,
+    /// Decision-tree parameters (Table IV); `max_leaf_nodes`/`max_depth`
+    /// are chosen by Algorithm 1.
+    pub train: TrainConfig,
+    /// Measurement protocol (Section III-C-3).
+    pub bench: BenchConfig,
+}
+
+
+impl PipelineConfig {
+    /// Cheap settings for tests and examples.
+    pub fn quick() -> Self {
+        PipelineConfig { bench: BenchConfig::quick(), ..Default::default() }
+    }
+}
+
+/// Everything the pipeline produces for one exploration run.
+#[derive(Debug, Clone)]
+pub struct PipelineResult {
+    /// The explored implementations with their measurements.
+    pub records: Vec<ExploredRecord>,
+    /// Performance-class labeling of the records.
+    pub labeling: Labeling,
+    /// The pruned feature matrix of the records.
+    pub features: FeatureSet,
+    /// Algorithm 1's hyperparameter search (the tree is
+    /// `search.tree`).
+    pub search: HyperSearch,
+    /// One ruleset per decision-tree leaf.
+    pub rulesets: Vec<RuleSet>,
+}
+
+impl PipelineResult {
+    /// Predicts the performance class of an arbitrary traversal of the
+    /// same space using the learned tree.
+    pub fn classify(&self, space: &DecisionSpace, t: &Traversal) -> usize {
+        let x = self.features.vector_of(space, t);
+        self.search.tree.predict(&x)
+    }
+
+    /// The scalar time of each record (median measurement), parallel to
+    /// `records`.
+    pub fn times(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.result.time()).collect()
+    }
+}
+
+/// Runs the full pipeline over a decision space and workload.
+pub fn run_pipeline<W: Workload>(
+    space: &DecisionSpace,
+    workload: &W,
+    platform: &Platform,
+    strategy: Strategy,
+    cfg: &PipelineConfig,
+) -> Result<PipelineResult, SimError> {
+    let eval = SimEvaluator::new(space, workload, platform, cfg.bench);
+    let records = explore(space, eval, strategy)?;
+    Ok(mine_rules(space, records, cfg))
+}
+
+/// The mining half of the pipeline, reusable when records were collected
+/// elsewhere (e.g. shared between experiments).
+pub fn mine_rules(
+    space: &DecisionSpace,
+    records: Vec<ExploredRecord>,
+    cfg: &PipelineConfig,
+) -> PipelineResult {
+    assert!(!records.is_empty(), "cannot mine rules from zero records");
+    let times: Vec<f64> = records.iter().map(|r| r.result.time()).collect();
+    let labeling = label_times(&times, &cfg.labeling);
+    let traversals: Vec<&Traversal> = records.iter().map(|r| &r.traversal).collect();
+    let features = featurize(space, &traversals);
+    let search = algorithm1(&features.matrix, &labeling.labels, labeling.num_classes, &cfg.train);
+    let rulesets = extract_rulesets(&search.tree, &features);
+    PipelineResult { records, labeling, features, search, rulesets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_dag::{CostKey, DagBuilder, OpSpec};
+    use dr_sim::TableWorkload;
+
+    /// A space with a strong, learnable performance cliff: two big
+    /// kernels either overlap (different streams) or serialize.
+    fn setup() -> (DecisionSpace, TableWorkload, Platform) {
+        let mut b = DagBuilder::new();
+        let a = b.add("a", OpSpec::GpuKernel(CostKey::new("a")));
+        let g = b.add("b", OpSpec::GpuKernel(CostKey::new("b")));
+        let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+        b.edge(a, c);
+        b.edge(g, c);
+        let space = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
+        let mut w = TableWorkload::new(1);
+        w.cost_all("a", 5e-4).cost_all("b", 5e-4).cost_all("c", 1e-5);
+        let platform = dr_sim::Platform {
+            gpu_contention: 0.0,
+            ..Platform::perlmutter_like().noiseless()
+        };
+        (space, w, platform)
+    }
+
+    #[test]
+    fn exhaustive_pipeline_learns_the_stream_rule() {
+        let (space, w, platform) = setup();
+        let result =
+            run_pipeline(&space, &w, &platform, Strategy::Exhaustive, &PipelineConfig::quick())
+                .unwrap();
+        // Two regimes: overlapped (~0.5 ms) vs serialized (~1 ms).
+        assert_eq!(result.labeling.num_classes, 2, "{:?}", result.labeling.boundaries);
+        assert_eq!(result.search.error, 0.0, "cliff must be perfectly learnable");
+        // The discriminating feature is the stream assignment.
+        let stream_rules = result
+            .rulesets
+            .iter()
+            .flat_map(|rs| rs.rules.iter())
+            .filter(|r| matches!(r.kind, dr_ml::FeatureKind::SameStream(_, _)))
+            .count();
+        assert!(stream_rules > 0, "rules: {:?}", result.rulesets);
+    }
+
+    #[test]
+    fn classify_agrees_with_training_labels() {
+        let (space, w, platform) = setup();
+        let result =
+            run_pipeline(&space, &w, &platform, Strategy::Exhaustive, &PipelineConfig::quick())
+                .unwrap();
+        for (rec, &label) in result.records.iter().zip(&result.labeling.labels) {
+            assert_eq!(result.classify(&space, &rec.traversal), label);
+        }
+    }
+
+    #[test]
+    fn mcts_pipeline_runs_on_a_budget() {
+        let (space, w, platform) = setup();
+        let strategy = Strategy::Mcts {
+            iterations: 8,
+            config: dr_mcts::MctsConfig::default(),
+        };
+        let result =
+            run_pipeline(&space, &w, &platform, strategy, &PipelineConfig::quick()).unwrap();
+        assert!(!result.records.is_empty());
+        assert!(!result.rulesets.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero records")]
+    fn mining_zero_records_panics() {
+        let (space, _, _) = setup();
+        mine_rules(&space, Vec::new(), &PipelineConfig::quick());
+    }
+}

@@ -1,0 +1,181 @@
+//! Rule application: constructing an implementation that follows a mined
+//! ruleset (paper Section V: "program implementors may take any ruleset
+//! that corresponds to the desired performance class and follow the rules
+//! in their implementation. Doing so will ensure the performance of the
+//! implementation falls within that class.").
+
+use dr_dag::{DecisionSpace, Placement, Prefix, Traversal};
+use dr_ml::{FeatureKind, Rule};
+
+/// Upper bound on DFS steps before giving up (guards against adversarial
+/// rule combinations on huge spaces).
+const MAX_STEPS: usize = 2_000_000;
+
+/// Searches for a complete traversal satisfying every rule. Returns
+/// `None` when no satisfying traversal exists (contradictory rules) or
+/// the step budget runs out.
+pub fn synthesize(space: &DecisionSpace, rules: &[Rule]) -> Option<Traversal> {
+    let mut prefix = space.empty_prefix();
+    let mut steps = 0usize;
+    dfs(space, rules, &mut prefix, &mut steps)
+}
+
+fn dfs(
+    space: &DecisionSpace,
+    rules: &[Rule],
+    prefix: &mut Prefix,
+    steps: &mut usize,
+) -> Option<Traversal> {
+    if prefix.len() == space.num_ops() {
+        return Some(Traversal { steps: prefix.steps().to_vec() });
+    }
+    if *steps >= MAX_STEPS {
+        return None;
+    }
+    for p in space.eligible(prefix) {
+        *steps += 1;
+        if violates(rules, prefix, p) {
+            continue;
+        }
+        space.apply(prefix, p);
+        if let Some(t) = dfs(space, rules, prefix, steps) {
+            return Some(t);
+        }
+        space.unapply(prefix);
+    }
+    None
+}
+
+/// Whether placing `p` next would make some rule unsatisfiable.
+fn violates(rules: &[Rule], prefix: &Prefix, p: Placement) -> bool {
+    for r in rules {
+        match r.kind {
+            FeatureKind::Before(u, v) => {
+                // Required order: first operand must precede second.
+                let (first, second) = if r.value { (u, v) } else { (v, u) };
+                if p.op == second && !prefix.is_placed(first) {
+                    return true;
+                }
+            }
+            FeatureKind::SameStream(u, v) => {
+                let other = if p.op == u {
+                    v
+                } else if p.op == v {
+                    u
+                } else {
+                    continue;
+                };
+                if let Some(os) = prefix.stream_of(other) {
+                    let same = p.stream == Some(os);
+                    if same != r.value {
+                        return true;
+                    }
+                }
+                // The canonical stream numbering can make a required
+                // binding unreachable in one branch (e.g. "different
+                // stream" when only stream 0 exists yet); DFS backtracking
+                // over the other placements handles it.
+            }
+        }
+    }
+    false
+}
+
+/// Checks a complete traversal against a ruleset.
+pub fn satisfies(space: &DecisionSpace, t: &Traversal, rules: &[Rule]) -> bool {
+    let pos = t.positions(space.num_ops());
+    let streams = t.streams(space.num_ops());
+    rules.iter().all(|r| match r.kind {
+        FeatureKind::Before(u, v) => (pos[u] < pos[v]) == r.value,
+        FeatureKind::SameStream(u, v) => (streams[u] == streams[v]) == r.value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_dag::{CostKey, DagBuilder, OpSpec};
+
+    fn space() -> DecisionSpace {
+        let mut b = DagBuilder::new();
+        let a = b.add("a", OpSpec::GpuKernel(CostKey::new("a")));
+        let g = b.add("b", OpSpec::GpuKernel(CostKey::new("b")));
+        let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+        b.edge(a, c);
+        b.edge(g, c);
+        DecisionSpace::new(b.build().unwrap(), 2).unwrap()
+    }
+
+    fn rule(kind: FeatureKind, value: bool) -> Rule {
+        Rule { kind, value }
+    }
+
+    #[test]
+    fn synthesizes_ordering_rules() {
+        let sp = space();
+        let a = sp.op_by_name("a").unwrap();
+        let b = sp.op_by_name("b").unwrap();
+        let rules = vec![rule(FeatureKind::Before(a, b), false)]; // b before a
+        let t = synthesize(&sp, &rules).expect("satisfiable");
+        assert!(satisfies(&sp, &t, &rules));
+        sp.validate(&t).unwrap();
+        let pos = t.positions(sp.num_ops());
+        assert!(pos[b] < pos[a]);
+    }
+
+    #[test]
+    fn synthesizes_stream_rules() {
+        let sp = space();
+        let a = sp.op_by_name("a").unwrap();
+        let b = sp.op_by_name("b").unwrap();
+        for value in [true, false] {
+            let rules = vec![rule(FeatureKind::SameStream(a, b), value)];
+            let t = synthesize(&sp, &rules).expect("satisfiable");
+            assert!(satisfies(&sp, &t, &rules), "value={value}");
+        }
+    }
+
+    #[test]
+    fn contradictory_rules_are_unsatisfiable() {
+        let sp = space();
+        let a = sp.op_by_name("a").unwrap();
+        let b = sp.op_by_name("b").unwrap();
+        let rules = vec![
+            rule(FeatureKind::Before(a, b), true),
+            rule(FeatureKind::Before(a, b), false),
+        ];
+        assert!(synthesize(&sp, &rules).is_none());
+    }
+
+    #[test]
+    fn dag_constrained_rules_are_unsatisfiable() {
+        let sp = space();
+        let a = sp.op_by_name("a").unwrap();
+        let c = sp.op_by_name("c").unwrap();
+        // c before a contradicts the DAG edge a -> c.
+        let rules = vec![rule(FeatureKind::Before(a, c), false)];
+        assert!(synthesize(&sp, &rules).is_none());
+    }
+
+    #[test]
+    fn empty_ruleset_synthesizes_any_traversal() {
+        let sp = space();
+        let t = synthesize(&sp, &[]).expect("any traversal works");
+        sp.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn combined_rules_are_respected() {
+        let sp = space();
+        let a = sp.op_by_name("a").unwrap();
+        let b = sp.op_by_name("b").unwrap();
+        let cer_a = sp.op_by_name("CER-after-a").unwrap();
+        let rules = vec![
+            rule(FeatureKind::Before(a, b), false),
+            rule(FeatureKind::SameStream(a, b), false),
+            rule(FeatureKind::Before(b, cer_a), true),
+        ];
+        let t = synthesize(&sp, &rules).expect("satisfiable");
+        assert!(satisfies(&sp, &t, &rules));
+    }
+}

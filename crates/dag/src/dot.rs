@@ -1,0 +1,98 @@
+//! Graphviz export of program DAGs and decision spaces, for papers and
+//! debugging (the source of figures like the paper's Fig. 3c).
+
+use crate::graph::ProgramDag;
+use crate::op::VertexKind;
+use crate::space::{DecisionKind, DecisionSpace};
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+/// Renders a program DAG in Graphviz `dot` syntax: GPU vertices as boxes,
+/// CPU vertices as ellipses, artificial bookends dashed.
+pub fn dag_to_dot(dag: &ProgramDag) -> String {
+    let mut out = String::from("digraph program {\n  rankdir=TB;\n");
+    for (id, v) in dag.vertices().iter().enumerate() {
+        let shape = match v.kind() {
+            VertexKind::Gpu => "box",
+            VertexKind::Cpu => "ellipse",
+        };
+        let style = if v.spec.is_artificial() { ",style=dashed" } else { "" };
+        out.push_str(&format!(
+            "  n{id} [label=\"{}\",shape={shape}{style}];\n",
+            escape(&v.name)
+        ));
+    }
+    for id in 0..dag.len() {
+        for &s in dag.succs(id) {
+            out.push_str(&format!("  n{id} -> n{s};\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the decision space's precedence graph (user vertices plus the
+/// spawned synchronization operations) in `dot` syntax.
+pub fn space_to_dot(space: &DecisionSpace) -> String {
+    let mut out = String::from("digraph decisions {\n  rankdir=TB;\n");
+    for (id, op) in space.ops().iter().enumerate() {
+        let (shape, style) = match op.kind {
+            DecisionKind::Gpu(_) => ("box", ""),
+            DecisionKind::Cpu(_) => ("ellipse", ""),
+            DecisionKind::CerAfter(_) | DecisionKind::CesBefore(_) => {
+                ("diamond", ",style=dotted")
+            }
+        };
+        out.push_str(&format!(
+            "  n{id} [label=\"{}\",shape={shape}{style}];\n",
+            escape(&op.name)
+        ));
+    }
+    for id in 0..space.num_ops() {
+        for &p in space.op_preds(id) {
+            out.push_str(&format!("  n{p} -> n{id};\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DagBuilder;
+    use crate::op::{CostKey, OpSpec};
+
+    fn space() -> DecisionSpace {
+        let mut b = DagBuilder::new();
+        let k = b.add("k", OpSpec::GpuKernel(CostKey::new("k")));
+        let c = b.add("c\"quoted\"", OpSpec::CpuWork(CostKey::new("c")));
+        b.edge(k, c);
+        DecisionSpace::new(b.build().unwrap(), 2).unwrap()
+    }
+
+    #[test]
+    fn dag_dot_contains_all_vertices_and_edges() {
+        let sp = space();
+        let dot = dag_to_dot(sp.dag());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("label=\"k\",shape=box"));
+        assert!(dot.contains("style=dashed"), "bookends dashed");
+        assert!(dot.contains("->"));
+        assert!(dot.contains("c\\\"quoted\\\""), "quotes escaped");
+    }
+
+    #[test]
+    fn space_dot_includes_sync_ops() {
+        let sp = space();
+        let dot = space_to_dot(&sp);
+        assert!(dot.contains("CER-after-k"));
+        assert!(dot.contains("shape=diamond"));
+        // One edge line per predecessor relation.
+        let edges = dot.matches("->").count();
+        let expected: usize = (0..sp.num_ops()).map(|o| sp.op_preds(o).len()).sum();
+        assert_eq!(edges, expected);
+    }
+}

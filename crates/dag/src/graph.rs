@@ -1,0 +1,418 @@
+//! The program DAG `G_P` (paper Section III-A).
+//!
+//! Vertices are operations of a CUDA+MPI program `P`; edges are the
+//! dependencies between them. Artificial `Start` and `End` vertices are
+//! added so that every vertex lies on a `Start → … → End` path.
+
+use crate::op::{OpSpec, VertexKind};
+
+/// Index of a vertex inside a [`ProgramDag`].
+pub type VertexId = usize;
+
+/// A named operation in the program DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vertex {
+    /// Human-readable operation name (e.g. `"Pack"`, `"yl"`). Names appear
+    /// verbatim in generated design rules.
+    pub name: String,
+    /// Semantic payload interpreted by the platform simulator.
+    pub spec: OpSpec,
+}
+
+impl Vertex {
+    /// Table II classification of this vertex.
+    pub fn kind(&self) -> VertexKind {
+        self.spec.kind()
+    }
+}
+
+/// Errors detected while building or validating a program DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// Two vertices were given the same name; rules would be ambiguous.
+    DuplicateName(String),
+    /// An edge endpoint does not refer to an added vertex.
+    UnknownVertex(VertexId),
+    /// An edge from a vertex to itself.
+    SelfLoop(String),
+    /// The dependencies contain a cycle involving the named vertex, so the
+    /// graph is not a DAG and has no traversal.
+    Cycle(String),
+    /// The same edge was added twice.
+    DuplicateEdge(String, String),
+    /// The graph has no vertices besides the artificial bookends.
+    Empty,
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::DuplicateName(n) => write!(f, "duplicate vertex name {n:?}"),
+            DagError::UnknownVertex(v) => write!(f, "edge endpoint {v} does not exist"),
+            DagError::SelfLoop(n) => write!(f, "self-loop on vertex {n:?}"),
+            DagError::Cycle(n) => write!(f, "dependency cycle through vertex {n:?}"),
+            DagError::DuplicateEdge(u, v) => write!(f, "duplicate edge {u:?} -> {v:?}"),
+            DagError::Empty => write!(f, "program has no operations"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// Builder for [`ProgramDag`]. Add operation vertices and dependency edges,
+/// then call [`DagBuilder::build`]; the builder inserts the artificial
+/// `Start`/`End` bookends and validates the graph.
+#[derive(Debug, Default)]
+pub struct DagBuilder {
+    vertices: Vec<Vertex>,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl DagBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an operation vertex and returns its id.
+    pub fn add(&mut self, name: impl Into<String>, spec: OpSpec) -> VertexId {
+        let id = self.vertices.len();
+        self.vertices.push(Vertex { name: name.into(), spec });
+        id
+    }
+
+    /// Declares that `v` can start only after `u` completes.
+    pub fn edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Validates the graph, adds `Start`/`End`, and produces the immutable
+    /// [`ProgramDag`].
+    pub fn build(self) -> Result<ProgramDag, DagError> {
+        if self.vertices.is_empty() {
+            return Err(DagError::Empty);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for v in &self.vertices {
+            if v.spec.is_artificial() {
+                // Users must not add their own bookends; names would clash.
+                return Err(DagError::DuplicateName(v.name.clone()));
+            }
+            if !seen.insert(v.name.as_str()) {
+                return Err(DagError::DuplicateName(v.name.clone()));
+            }
+        }
+        let n_user = self.vertices.len();
+        for &(u, v) in &self.edges {
+            if u >= n_user {
+                return Err(DagError::UnknownVertex(u));
+            }
+            if v >= n_user {
+                return Err(DagError::UnknownVertex(v));
+            }
+            if u == v {
+                return Err(DagError::SelfLoop(self.vertices[u].name.clone()));
+            }
+        }
+
+        let mut vertices = self.vertices;
+        let start = vertices.len();
+        vertices.push(Vertex { name: "Start".into(), spec: OpSpec::Start });
+        let end = vertices.len();
+        vertices.push(Vertex { name: "End".into(), spec: OpSpec::End });
+
+        let n = vertices.len();
+        let mut preds: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        let mut edge_set = std::collections::HashSet::new();
+        for &(u, v) in &self.edges {
+            if !edge_set.insert((u, v)) {
+                return Err(DagError::DuplicateEdge(
+                    vertices[u].name.clone(),
+                    vertices[v].name.clone(),
+                ));
+            }
+            succs[u].push(v);
+            preds[v].push(u);
+        }
+        // Start feeds every user vertex with no predecessor; every user
+        // vertex with no successor feeds End (paper Section III-A).
+        for id in 0..n_user {
+            if preds[id].is_empty() {
+                succs[start].push(id);
+                preds[id].push(start);
+            }
+            if succs[id].is_empty() {
+                succs[id].push(end);
+                preds[end].push(id);
+            }
+        }
+
+        let dag = ProgramDag { vertices, preds, succs, start, end };
+        dag.check_acyclic()?;
+        Ok(dag)
+    }
+}
+
+/// An immutable, validated program DAG with artificial `Start`/`End`
+/// bookends. `Start` has a path to every vertex and every vertex has a path
+/// to `End`.
+#[derive(Debug, Clone)]
+pub struct ProgramDag {
+    vertices: Vec<Vertex>,
+    preds: Vec<Vec<VertexId>>,
+    succs: Vec<Vec<VertexId>>,
+    start: VertexId,
+    end: VertexId,
+}
+
+impl ProgramDag {
+    /// All vertices, including `Start` and `End`.
+    pub fn vertices(&self) -> &[Vertex] {
+        &self.vertices
+    }
+
+    /// The vertex with the given id.
+    pub fn vertex(&self, id: VertexId) -> &Vertex {
+        &self.vertices[id]
+    }
+
+    /// Direct predecessors of `id`.
+    pub fn preds(&self, id: VertexId) -> &[VertexId] {
+        &self.preds[id]
+    }
+
+    /// Direct successors of `id`.
+    pub fn succs(&self, id: VertexId) -> &[VertexId] {
+        &self.succs[id]
+    }
+
+    /// Id of the artificial entry vertex.
+    pub fn start(&self) -> VertexId {
+        self.start
+    }
+
+    /// Id of the artificial exit vertex.
+    pub fn end(&self) -> VertexId {
+        self.end
+    }
+
+    /// Number of vertices including the bookends.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True when the DAG holds no vertices (never true post-build).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Ids of the user (non-artificial) vertices.
+    pub fn user_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertices.len()).filter(|&v| !self.vertices[v].spec.is_artificial())
+    }
+
+    /// Looks a vertex up by name.
+    pub fn by_name(&self, name: &str) -> Option<VertexId> {
+        self.vertices.iter().position(|v| v.name == name)
+    }
+
+    /// One topological order of all vertices (Kahn's algorithm); `Start`
+    /// first, `End` last.
+    pub fn topo_order(&self) -> Vec<VertexId> {
+        let n = self.vertices.len();
+        let mut indeg: Vec<usize> = (0..n).map(|v| self.preds[v].len()).collect();
+        let mut queue: Vec<VertexId> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            order.push(v);
+            for &s in &self.succs[v] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "graph validated acyclic at build time");
+        order
+    }
+
+    fn check_acyclic(&self) -> Result<(), DagError> {
+        let n = self.vertices.len();
+        let mut indeg: Vec<usize> = (0..n).map(|v| self.preds[v].len()).collect();
+        let mut queue: Vec<VertexId> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(v) = queue.pop() {
+            visited += 1;
+            for &s in &self.succs[v] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if visited != n {
+            let culprit = (0..n)
+                .find(|&v| indeg[v] > 0)
+                .expect("some vertex has positive in-degree in a cycle");
+            return Err(DagError::Cycle(self.vertices[culprit].name.clone()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{CommKey, CostKey};
+
+    fn cpu(name: &str) -> (String, OpSpec) {
+        (name.to_string(), OpSpec::CpuWork(CostKey::new(name)))
+    }
+
+    #[test]
+    fn build_adds_bookends_and_paths() {
+        let mut b = DagBuilder::new();
+        let (n1, s1) = cpu("a");
+        let a = b.add(n1, s1);
+        let (n2, s2) = cpu("b");
+        let v = b.add(n2, s2);
+        b.edge(a, v);
+        let dag = b.build().unwrap();
+        assert_eq!(dag.len(), 4);
+        assert_eq!(dag.preds(a), &[dag.start()]);
+        assert_eq!(dag.succs(v), &[dag.end()]);
+        assert_eq!(dag.vertex(dag.start()).name, "Start");
+        assert_eq!(dag.vertex(dag.end()).name, "End");
+    }
+
+    #[test]
+    fn isolated_vertex_connects_both_bookends() {
+        let mut b = DagBuilder::new();
+        let (n, s) = cpu("solo");
+        let v = b.add(n, s);
+        let dag = b.build().unwrap();
+        assert_eq!(dag.preds(v), &[dag.start()]);
+        assert_eq!(dag.succs(v), &[dag.end()]);
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut b = DagBuilder::new();
+        let (n1, s1) = cpu("a");
+        let a = b.add(n1, s1);
+        let (n2, s2) = cpu("b");
+        let v = b.add(n2, s2);
+        b.edge(a, v);
+        b.edge(v, a);
+        assert!(matches!(b.build(), Err(DagError::Cycle(_))));
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut b = DagBuilder::new();
+        let (n1, s1) = cpu("a");
+        b.add(n1, s1);
+        let (_, s2) = cpu("x");
+        b.add("a", s2);
+        assert_eq!(b.build().unwrap_err(), DagError::DuplicateName("a".into()));
+    }
+
+    #[test]
+    fn reserved_bookend_names_rejected() {
+        let mut b = DagBuilder::new();
+        b.add("sneaky", OpSpec::Start);
+        assert!(matches!(b.build(), Err(DagError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = DagBuilder::new();
+        let (n1, s1) = cpu("a");
+        let a = b.add(n1, s1);
+        b.edge(a, a);
+        assert_eq!(b.build().unwrap_err(), DagError::SelfLoop("a".into()));
+    }
+
+    #[test]
+    fn unknown_endpoint_rejected() {
+        let mut b = DagBuilder::new();
+        let (n1, s1) = cpu("a");
+        let a = b.add(n1, s1);
+        b.edge(a, 17);
+        assert_eq!(b.build().unwrap_err(), DagError::UnknownVertex(17));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut b = DagBuilder::new();
+        let (n1, s1) = cpu("a");
+        let a = b.add(n1, s1);
+        let (n2, s2) = cpu("b");
+        let v = b.add(n2, s2);
+        b.edge(a, v);
+        b.edge(a, v);
+        assert!(matches!(b.build(), Err(DagError::DuplicateEdge(_, _))));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(DagBuilder::new().build().unwrap_err(), DagError::Empty);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let mut b = DagBuilder::new();
+        let ids: Vec<_> = (0..5)
+            .map(|i| {
+                let (n, s) = cpu(&format!("v{i}"));
+                b.add(n, s)
+            })
+            .collect();
+        b.edge(ids[0], ids[2]);
+        b.edge(ids[1], ids[2]);
+        b.edge(ids[2], ids[3]);
+        b.edge(ids[2], ids[4]);
+        let dag = b.build().unwrap();
+        let order = dag.topo_order();
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for v in 0..dag.len() {
+            for &s in dag.succs(v) {
+                assert!(pos[&v] < pos[&s], "{v} must precede {s}");
+            }
+        }
+        assert_eq!(order[0], dag.start());
+        assert_eq!(*order.last().unwrap(), dag.end());
+    }
+
+    #[test]
+    fn by_name_finds_vertices() {
+        let mut b = DagBuilder::new();
+        let (n, s) = cpu("needle");
+        let id = b.add(n, s);
+        b.add("haystack", OpSpec::GpuKernel(CostKey::new("k")));
+        let dag = b.build().unwrap();
+        assert_eq!(dag.by_name("needle"), Some(id));
+        assert_eq!(dag.by_name("missing"), None);
+    }
+
+    #[test]
+    fn mixed_specs_supported() {
+        let mut b = DagBuilder::new();
+        let k = CommKey::new("x");
+        let p = b.add("pack", OpSpec::GpuKernel(CostKey::new("pack")));
+        let s = b.add("send", OpSpec::PostSends(k.clone()));
+        let r = b.add("recv", OpSpec::PostRecvs(k.clone()));
+        let ws = b.add("ws", OpSpec::WaitSends(k.clone()));
+        let wr = b.add("wr", OpSpec::WaitRecvs(k));
+        b.edge(p, s);
+        b.edge(s, ws);
+        b.edge(r, wr);
+        let dag = b.build().unwrap();
+        assert_eq!(dag.vertex(p).kind(), VertexKind::Gpu);
+        assert_eq!(dag.vertex(ws).kind(), VertexKind::Cpu);
+        assert_eq!(dag.user_vertices().count(), 5);
+    }
+}

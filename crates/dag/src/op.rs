@@ -1,0 +1,157 @@
+//! Operation taxonomy for CUDA+MPI program DAGs (paper Table II).
+//!
+//! A program is assembled from *operations*: synchronous CPU work,
+//! asynchronous GPU kernels, and MPI point-to-point communication calls.
+//! In the DAG, GPU operations are not yet assigned to a stream; the search
+//! binds them to streams (`BoundGPU_s` in the paper) as part of each
+//! candidate implementation.
+
+use std::fmt;
+
+/// Identifies an entry in a [`CostModel`](crate::CostKey)-style lookup: the
+/// platform model resolves this key to a duration for each rank.
+///
+/// Keys are plain strings so that workload crates can mint them without a
+/// central registry; they are resolved once per schedule compilation, not
+/// per simulated sample, so string comparison cost is irrelevant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CostKey(pub String);
+
+impl CostKey {
+    /// Creates a cost key from anything string-like.
+    pub fn new(s: impl Into<String>) -> Self {
+        CostKey(s.into())
+    }
+}
+
+impl fmt::Display for CostKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Identifies a communication pattern: which peers each rank exchanges data
+/// with and how many bytes flow on each edge. A `WaitSends`/`WaitRecvs`
+/// operation completes the non-blocking operations posted by the
+/// `PostSends`/`PostRecvs` operation carrying the *same* key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CommKey(pub String);
+
+impl CommKey {
+    /// Creates a communication key from anything string-like.
+    pub fn new(s: impl Into<String>) -> Self {
+        CommKey(s.into())
+    }
+}
+
+impl fmt::Display for CommKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// What a DAG vertex *does*. This is the semantic payload the platform
+/// simulator interprets; the search machinery only cares about the derived
+/// [`VertexKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpSpec {
+    /// Artificial entry vertex: single entry point of the program.
+    Start,
+    /// Artificial exit vertex. Models a full device synchronization plus
+    /// barrier: the program is complete only when every operation has
+    /// finished. Because `End` synchronizes the whole device, edges into it
+    /// never spawn explicit event-based synchronization.
+    End,
+    /// A synchronous CPU computation; the CPU thread is busy for the
+    /// duration resolved from the cost key.
+    CpuWork(CostKey),
+    /// An asynchronous GPU kernel launch. The kernel body runs on whichever
+    /// stream the search binds it to; the CPU pays only launch overhead.
+    GpuKernel(CostKey),
+    /// Post one `MPI_Isend` per peer in the communication pattern.
+    PostSends(CommKey),
+    /// Post one `MPI_Irecv` per peer in the communication pattern.
+    PostRecvs(CommKey),
+    /// Block the CPU until every send posted under this key has completed.
+    WaitSends(CommKey),
+    /// Block the CPU until every receive posted under this key has landed.
+    WaitRecvs(CommKey),
+    /// A blocking `MPI_Allreduce` (Table II's collective functions): every
+    /// rank contributes a payload and blocks until the reduction
+    /// completes across all ranks. The workload's communication pattern
+    /// for the key gives each rank's contribution size as a single
+    /// `sends` entry `(0, bytes)`; `recvs` must be empty, and the key
+    /// must not be shared with point-to-point operations.
+    AllReduce(CommKey),
+}
+
+/// Whether a vertex runs on the CPU timeline or is an (unbound) GPU
+/// operation, mirroring the paper's Table II. `BoundGPU_s` arises at search
+/// time, when a [`Placement`](crate::Placement) pairs a GPU vertex with a
+/// stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VertexKind {
+    /// Synchronous CPU operation (including MPI calls, which are issued by
+    /// the CPU even when the payload moves asynchronously).
+    Cpu,
+    /// Asynchronous GPU operation, not yet assigned to a stream.
+    Gpu,
+}
+
+impl OpSpec {
+    /// The Table II classification of this operation.
+    pub fn kind(&self) -> VertexKind {
+        match self {
+            OpSpec::GpuKernel(_) => VertexKind::Gpu,
+            _ => VertexKind::Cpu,
+        }
+    }
+
+    /// True for the artificial `Start`/`End` bookends.
+    pub fn is_artificial(&self) -> bool {
+        matches!(self, OpSpec::Start | OpSpec::End)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_kernel_is_gpu_kind() {
+        assert_eq!(OpSpec::GpuKernel(CostKey::new("k")).kind(), VertexKind::Gpu);
+    }
+
+    #[test]
+    fn mpi_and_cpu_ops_are_cpu_kind() {
+        for spec in [
+            OpSpec::Start,
+            OpSpec::End,
+            OpSpec::CpuWork(CostKey::new("w")),
+            OpSpec::PostSends(CommKey::new("c")),
+            OpSpec::PostRecvs(CommKey::new("c")),
+            OpSpec::WaitSends(CommKey::new("c")),
+            OpSpec::WaitRecvs(CommKey::new("c")),
+            OpSpec::AllReduce(CommKey::new("c")),
+        ] {
+            assert_eq!(spec.kind(), VertexKind::Cpu, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn artificial_detection() {
+        assert!(OpSpec::Start.is_artificial());
+        assert!(OpSpec::End.is_artificial());
+        assert!(!OpSpec::CpuWork(CostKey::new("w")).is_artificial());
+    }
+
+    #[test]
+    fn keys_display_and_compare() {
+        let a = CostKey::new("pack");
+        let b = CostKey::new("pack");
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "pack");
+        let c = CommKey::new("halo");
+        assert_eq!(c.to_string(), "halo");
+    }
+}

@@ -1,0 +1,737 @@
+//! The sequential decision problem over program traversals
+//! (paper Sections III-B and III-C).
+//!
+//! A traversal of the program DAG specifies an implementation: the order in
+//! which the CPU issues operations, plus a stream binding for every GPU
+//! operation. This module derives from a [`ProgramDag`] the *decision
+//! space*: the set of schedulable operations (user vertices plus the
+//! synchronization operations of Table III that have freedom in where they
+//! are issued), the precedence constraints among them, and the machinery to
+//! enumerate or incrementally extend traversal prefixes.
+//!
+//! # Synchronization operations as decisions
+//!
+//! Table III of the paper inserts synchronization between dependent
+//! operations. Two of those insertions leave real scheduling freedom, and
+//! the paper's generated rules order them against kernels (e.g. *"yl before
+//! CES-b4-PostSend"*), so they are modelled as first-class decision
+//! operations:
+//!
+//! * `CER-after-u` — `cudaEventRecord` on `u`'s stream, for every GPU
+//!   vertex `u` with a CPU successor (other than the artificial `End`,
+//!   which performs a device-wide synchronization instead). Constraint:
+//!   after `u`.
+//! * `CES-b4-v` — `cudaEventSynchronize`, for every CPU vertex `v` with at
+//!   least one GPU predecessor. Constraints: after every `CER-after-u` of
+//!   its GPU predecessors, and before `v`.
+//!
+//! The remaining insertion — `cudaStreamWaitEvent` between GPU vertices
+//! bound to *different* streams — depends on the stream binding chosen for
+//! the successor, so it cannot exist before that choice is made. It is
+//! glued immediately before its target during schedule construction
+//! ([`crate::sync`]) and is not a decision operation.
+
+use crate::graph::{ProgramDag, VertexId};
+use crate::op::VertexKind;
+use std::collections::HashMap;
+
+/// Index of a decision operation within a [`DecisionSpace`].
+pub type OpId = usize;
+
+/// A CUDA stream identifier (0-based).
+pub type StreamId = usize;
+
+/// What a decision operation is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// A synchronous CPU vertex from the program DAG.
+    Cpu(VertexId),
+    /// An asynchronous GPU vertex from the program DAG; the traversal must
+    /// bind it to a stream.
+    Gpu(VertexId),
+    /// `cudaEventRecord` issued on the stream of the referenced GPU
+    /// decision operation.
+    CerAfter(OpId),
+    /// `cudaEventSynchronize` blocking the CPU until the events of the
+    /// referenced CPU operation's GPU predecessors have completed.
+    CesBefore(OpId),
+}
+
+impl DecisionKind {
+    /// True if the traversal must choose a stream for this operation.
+    pub fn needs_stream(&self) -> bool {
+        matches!(self, DecisionKind::Gpu(_))
+    }
+}
+
+/// A schedulable operation in the decision space.
+#[derive(Debug, Clone)]
+pub struct DecisionOp {
+    /// Display name; DAG vertices keep their names, synchronization
+    /// operations are auto-named `CER-after-<u>` / `CES-b4-<v>` as in the
+    /// paper.
+    pub name: String,
+    /// Role of the operation.
+    pub kind: DecisionKind,
+}
+
+/// One step of a traversal: an operation, with a stream binding when the
+/// operation is a GPU vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Placement {
+    /// The decision operation issued at this step.
+    pub op: OpId,
+    /// Stream binding; `Some` exactly for GPU vertices.
+    pub stream: Option<StreamId>,
+}
+
+/// A complete traversal: a permutation of all decision operations
+/// respecting the precedence constraints, with stream bindings.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Traversal {
+    /// The issue order.
+    pub steps: Vec<Placement>,
+}
+
+impl Traversal {
+    /// Position of each op in the issue order, indexed by [`OpId`].
+    pub fn positions(&self, num_ops: usize) -> Vec<usize> {
+        let mut pos = vec![usize::MAX; num_ops];
+        for (i, p) in self.steps.iter().enumerate() {
+            pos[p.op] = i;
+        }
+        pos
+    }
+
+    /// Stream binding of each op (`None` for CPU ops), indexed by [`OpId`].
+    pub fn streams(&self, num_ops: usize) -> Vec<Option<StreamId>> {
+        let mut st = vec![None; num_ops];
+        for p in &self.steps {
+            st[p.op] = p.stream;
+        }
+        st
+    }
+}
+
+/// Errors from decision-space construction or traversal validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpaceError {
+    /// More decision operations than the prefix bitmask supports.
+    TooManyOps(usize),
+    /// At least one stream is required.
+    NoStreams,
+    /// A traversal failed validation; the string explains why.
+    InvalidTraversal(String),
+}
+
+impl std::fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpaceError::TooManyOps(n) => {
+                write!(f, "{n} decision ops exceed the supported maximum of 64")
+            }
+            SpaceError::NoStreams => write!(f, "num_streams must be >= 1"),
+            SpaceError::InvalidTraversal(why) => write!(f, "invalid traversal: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+/// The decision space derived from a program DAG: schedulable operations,
+/// precedence constraints, and the number of available GPU streams.
+#[derive(Debug, Clone)]
+pub struct DecisionSpace {
+    dag: ProgramDag,
+    ops: Vec<DecisionOp>,
+    preds: Vec<Vec<OpId>>,
+    succs: Vec<Vec<OpId>>,
+    num_streams: usize,
+    /// DAG vertex id -> decision op id (None for Start/End).
+    vertex_to_op: Vec<Option<OpId>>,
+    /// GPU decision op -> its CER decision op, if any.
+    cer_of: Vec<Option<OpId>>,
+}
+
+impl DecisionSpace {
+    /// Derives the decision space from a validated DAG, with `num_streams`
+    /// CUDA streams available for GPU vertices.
+    pub fn new(dag: ProgramDag, num_streams: usize) -> Result<Self, SpaceError> {
+        if num_streams == 0 {
+            return Err(SpaceError::NoStreams);
+        }
+        let mut ops: Vec<DecisionOp> = Vec::new();
+        let mut vertex_to_op: Vec<Option<OpId>> = vec![None; dag.len()];
+        for v in dag.user_vertices() {
+            let kind = match dag.vertex(v).kind() {
+                VertexKind::Cpu => DecisionKind::Cpu(v),
+                VertexKind::Gpu => DecisionKind::Gpu(v),
+            };
+            vertex_to_op[v] = Some(ops.len());
+            ops.push(DecisionOp { name: dag.vertex(v).name.clone(), kind });
+        }
+
+        let mut preds: Vec<Vec<OpId>> = vec![Vec::new(); ops.len()];
+        // Precedence from DAG edges between user vertices.
+        for v in dag.user_vertices() {
+            let vo = vertex_to_op[v].expect("user vertex mapped");
+            for &u in dag.preds(v) {
+                if let Some(uo) = vertex_to_op[u] {
+                    preds[vo].push(uo);
+                }
+            }
+        }
+
+        // Spawn CER-after-u for GPU u with a CPU user successor.
+        let mut cer_of: Vec<Option<OpId>> = vec![None; ops.len()];
+        let gpu_ops: Vec<OpId> = (0..ops.len())
+            .filter(|&o| matches!(ops[o].kind, DecisionKind::Gpu(_)))
+            .collect();
+        for &g in &gpu_ops {
+            let gv = match ops[g].kind {
+                DecisionKind::Gpu(v) => v,
+                _ => unreachable!(),
+            };
+            let has_cpu_user_succ = dag.succs(gv).iter().any(|&s| {
+                vertex_to_op[s].is_some() && dag.vertex(s).kind() == VertexKind::Cpu
+            });
+            if has_cpu_user_succ {
+                let id = ops.len();
+                ops.push(DecisionOp {
+                    name: format!("CER-after-{}", ops[g].name),
+                    kind: DecisionKind::CerAfter(g),
+                });
+                preds.push(vec![g]);
+                cer_of[g] = Some(id);
+            }
+        }
+        cer_of.resize(ops.len(), None);
+
+        // Spawn CES-b4-v for CPU user v with >=1 GPU user predecessor.
+        let cpu_ops: Vec<OpId> = (0..ops.len())
+            .filter(|&o| matches!(ops[o].kind, DecisionKind::Cpu(_)))
+            .collect();
+        for &c in &cpu_ops {
+            let cv = match ops[c].kind {
+                DecisionKind::Cpu(v) => v,
+                _ => unreachable!(),
+            };
+            let gpu_pred_cers: Vec<OpId> = dag
+                .preds(cv)
+                .iter()
+                .filter_map(|&u| vertex_to_op[u])
+                .filter(|&uo| matches!(ops[uo].kind, DecisionKind::Gpu(_)))
+                .map(|uo| {
+                    cer_of[uo].expect(
+                        "a GPU vertex with a CPU successor always has a CER decision op",
+                    )
+                })
+                .collect();
+            if !gpu_pred_cers.is_empty() {
+                let id = ops.len();
+                ops.push(DecisionOp {
+                    name: format!("CES-b4-{}", ops[c].name),
+                    kind: DecisionKind::CesBefore(c),
+                });
+                preds.push(gpu_pred_cers);
+                preds[c].push(id);
+            }
+        }
+        cer_of.resize(ops.len(), None);
+
+        if ops.len() > 64 {
+            return Err(SpaceError::TooManyOps(ops.len()));
+        }
+
+        let mut succs: Vec<Vec<OpId>> = vec![Vec::new(); ops.len()];
+        for (v, ps) in preds.iter().enumerate() {
+            for &u in ps {
+                succs[u].push(v);
+            }
+        }
+
+        Ok(DecisionSpace { dag, ops, preds, succs, num_streams, vertex_to_op, cer_of })
+    }
+
+    /// The underlying program DAG.
+    pub fn dag(&self) -> &ProgramDag {
+        &self.dag
+    }
+
+    /// All decision operations.
+    pub fn ops(&self) -> &[DecisionOp] {
+        &self.ops
+    }
+
+    /// Number of decision operations (== traversal length).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of available CUDA streams.
+    pub fn num_streams(&self) -> usize {
+        self.num_streams
+    }
+
+    /// Precedence predecessors of a decision operation.
+    pub fn op_preds(&self, op: OpId) -> &[OpId] {
+        &self.preds[op]
+    }
+
+    /// Precedence successors of a decision operation.
+    pub fn op_succs(&self, op: OpId) -> &[OpId] {
+        &self.succs[op]
+    }
+
+    /// Decision op id of a DAG vertex (None for Start/End).
+    pub fn op_of_vertex(&self, v: VertexId) -> Option<OpId> {
+        self.vertex_to_op.get(v).copied().flatten()
+    }
+
+    /// The CER decision op recording an event after GPU decision op `g`.
+    pub fn cer_of(&self, g: OpId) -> Option<OpId> {
+        self.cer_of[g]
+    }
+
+    /// Looks up a decision op by display name.
+    pub fn op_by_name(&self, name: &str) -> Option<OpId> {
+        self.ops.iter().position(|o| o.name == name)
+    }
+
+    /// A fresh empty prefix.
+    pub fn empty_prefix(&self) -> Prefix {
+        Prefix {
+            steps: Vec::with_capacity(self.ops.len()),
+            placed: 0,
+            placed_preds: self.preds.iter().map(|_| 0u8).collect(),
+            streams: vec![None; self.ops.len()],
+            streams_used: 0,
+        }
+    }
+
+    /// The eligible next placements from `prefix`, applying canonical
+    /// stream pruning: a GPU vertex may use any already-used stream or the
+    /// single lowest-numbered fresh one. This prunes prefixes equivalent
+    /// under a stream bijection (paper Section III-C-2) while keeping the
+    /// space complete.
+    pub fn eligible(&self, prefix: &Prefix) -> Vec<Placement> {
+        let mut out = Vec::new();
+        for op in 0..self.ops.len() {
+            if prefix.is_placed(op) {
+                continue;
+            }
+            if (prefix.placed_preds[op] as usize) < self.preds[op].len() {
+                continue;
+            }
+            if self.ops[op].kind.needs_stream() {
+                let max_stream = (prefix.streams_used + 1).min(self.num_streams);
+                for s in 0..max_stream {
+                    out.push(Placement { op, stream: Some(s) });
+                }
+            } else {
+                out.push(Placement { op, stream: None });
+            }
+        }
+        out
+    }
+
+    /// Applies a placement to a prefix. The placement must come from
+    /// [`DecisionSpace::eligible`] (checked with debug assertions).
+    pub fn apply(&self, prefix: &mut Prefix, p: Placement) {
+        debug_assert!(!prefix.is_placed(p.op));
+        debug_assert_eq!(
+            prefix.placed_preds[p.op] as usize,
+            self.preds[p.op].len(),
+            "placement has unplaced predecessors"
+        );
+        debug_assert_eq!(p.stream.is_some(), self.ops[p.op].kind.needs_stream());
+        prefix.placed |= 1u64 << p.op;
+        prefix.streams[p.op] = p.stream;
+        if let Some(s) = p.stream {
+            debug_assert!(s <= prefix.streams_used, "non-canonical stream choice");
+            if s == prefix.streams_used {
+                prefix.streams_used += 1;
+            }
+        }
+        for &succ in &self.succs[p.op] {
+            prefix.placed_preds[succ] += 1;
+        }
+        prefix.steps.push(p);
+    }
+
+    /// Undoes the most recent placement (for DFS enumeration).
+    pub fn unapply(&self, prefix: &mut Prefix) {
+        let p = prefix.steps.pop().expect("prefix is non-empty");
+        prefix.placed &= !(1u64 << p.op);
+        prefix.streams[p.op] = None;
+        if let Some(s) = p.stream {
+            // Canonical numbering: the stream count only shrinks when the
+            // removed placement introduced the newest stream and no other
+            // placed op uses it.
+            if s + 1 == prefix.streams_used
+                && !prefix.steps.iter().any(|q| q.stream == Some(s))
+            {
+                prefix.streams_used -= 1;
+            }
+        }
+        for &succ in &self.succs[p.op] {
+            prefix.placed_preds[succ] -= 1;
+        }
+    }
+
+    /// Enumerates every complete canonical traversal. Only feasible for
+    /// small DAGs; the SpMV demonstration space has a few thousand.
+    pub fn enumerate(&self) -> Vec<Traversal> {
+        let mut out = Vec::new();
+        let mut prefix = self.empty_prefix();
+        self.enumerate_rec(&mut prefix, &mut out);
+        out
+    }
+
+    fn enumerate_rec(&self, prefix: &mut Prefix, out: &mut Vec<Traversal>) {
+        if prefix.len() == self.ops.len() {
+            out.push(Traversal { steps: prefix.steps.clone() });
+            return;
+        }
+        for p in self.eligible(prefix) {
+            self.apply(prefix, p);
+            self.enumerate_rec(prefix, out);
+            self.unapply(prefix);
+        }
+    }
+
+    /// Counts complete canonical traversals without materializing them,
+    /// memoizing on (placed-set, streams-used). Exact even for spaces too
+    /// large to enumerate.
+    pub fn count_traversals(&self) -> u128 {
+        let mut memo: HashMap<(u64, usize), u128> = HashMap::new();
+        let mut prefix = self.empty_prefix();
+        self.count_rec(&mut prefix, &mut memo)
+    }
+
+    fn count_rec(&self, prefix: &mut Prefix, memo: &mut HashMap<(u64, usize), u128>) -> u128 {
+        if prefix.len() == self.ops.len() {
+            return 1;
+        }
+        let key = (prefix.placed, prefix.streams_used);
+        if let Some(&c) = memo.get(&key) {
+            return c;
+        }
+        let mut total = 0u128;
+        for p in self.eligible(prefix) {
+            self.apply(prefix, p);
+            total += self.count_rec(prefix, memo);
+            self.unapply(prefix);
+        }
+        memo.insert(key, total);
+        total
+    }
+
+    /// Completes `prefix` into a full traversal by repeatedly applying a
+    /// placement chosen by `pick` from the eligible set (used by MCTS
+    /// rollouts). The prefix is left complete.
+    pub fn complete_with(
+        &self,
+        prefix: &mut Prefix,
+        mut pick: impl FnMut(&[Placement]) -> usize,
+    ) -> Traversal {
+        while prefix.len() < self.ops.len() {
+            let elig = self.eligible(prefix);
+            debug_assert!(!elig.is_empty(), "a DAG prefix always has an eligible op");
+            let i = pick(&elig);
+            self.apply(prefix, elig[i]);
+        }
+        Traversal { steps: prefix.steps.clone() }
+    }
+
+    /// Validates that `t` is a complete canonical traversal of this space.
+    pub fn validate(&self, t: &Traversal) -> Result<(), SpaceError> {
+        if t.steps.len() != self.ops.len() {
+            return Err(SpaceError::InvalidTraversal(format!(
+                "length {} != {} ops",
+                t.steps.len(),
+                self.ops.len()
+            )));
+        }
+        let mut prefix = self.empty_prefix();
+        for &p in &t.steps {
+            let ok = self.eligible(&prefix).contains(&p);
+            if !ok {
+                return Err(SpaceError::InvalidTraversal(format!(
+                    "step {:?} ({}) is not eligible at position {}",
+                    p,
+                    self.ops[p.op].name,
+                    prefix.len()
+                )));
+            }
+            self.apply(&mut prefix, p);
+        }
+        Ok(())
+    }
+
+    /// Builds a traversal from `(name, stream)` pairs; convenience for
+    /// tests and examples.
+    pub fn traversal_from_names(
+        &self,
+        steps: &[(&str, Option<StreamId>)],
+    ) -> Result<Traversal, SpaceError> {
+        let mut t = Traversal { steps: Vec::with_capacity(steps.len()) };
+        for &(name, stream) in steps {
+            let op = self.op_by_name(name).ok_or_else(|| {
+                SpaceError::InvalidTraversal(format!("unknown op name {name:?}"))
+            })?;
+            t.steps.push(Placement { op, stream });
+        }
+        self.validate(&t)?;
+        Ok(t)
+    }
+}
+
+/// An in-progress traversal prefix `P_k` with incremental bookkeeping for
+/// O(ops) eligibility queries and O(degree) apply/unapply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prefix {
+    steps: Vec<Placement>,
+    placed: u64,
+    placed_preds: Vec<u8>,
+    streams: Vec<Option<StreamId>>,
+    streams_used: usize,
+}
+
+impl Prefix {
+    /// Number of placed operations (`k` in the paper's `P_k`).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when nothing has been placed.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The placements so far, in issue order.
+    pub fn steps(&self) -> &[Placement] {
+        &self.steps
+    }
+
+    /// Whether `op` is placed in this prefix.
+    pub fn is_placed(&self, op: OpId) -> bool {
+        self.placed & (1u64 << op) != 0
+    }
+
+    /// Stream binding of `op`, if it is a placed GPU op.
+    pub fn stream_of(&self, op: OpId) -> Option<StreamId> {
+        self.streams[op]
+    }
+
+    /// How many distinct streams the prefix has used so far.
+    pub fn streams_used(&self) -> usize {
+        self.streams_used
+    }
+
+    /// Bitmask of placed ops (ops are numbered 0..64).
+    pub fn placed_mask(&self) -> u64 {
+        self.placed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DagBuilder;
+    use crate::op::{CostKey, OpSpec};
+
+    /// Two-kernel, one-CPU-op diamond used across the tests:
+    /// `a (GPU)` and `b (GPU)` feed `c (CPU)`.
+    fn diamond(num_streams: usize) -> DecisionSpace {
+        let mut b = DagBuilder::new();
+        let a = b.add("a", OpSpec::GpuKernel(CostKey::new("a")));
+        let g = b.add("b", OpSpec::GpuKernel(CostKey::new("b")));
+        let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+        b.edge(a, c);
+        b.edge(g, c);
+        DecisionSpace::new(b.build().unwrap(), num_streams).unwrap()
+    }
+
+    #[test]
+    fn sync_ops_are_spawned() {
+        let sp = diamond(2);
+        // a, b, c, CER-after-a, CER-after-b, CES-b4-c
+        assert_eq!(sp.num_ops(), 6);
+        assert!(sp.op_by_name("CER-after-a").is_some());
+        assert!(sp.op_by_name("CER-after-b").is_some());
+        assert!(sp.op_by_name("CES-b4-c").is_some());
+        let ces = sp.op_by_name("CES-b4-c").unwrap();
+        let c = sp.op_by_name("c").unwrap();
+        assert!(sp.op_preds(c).contains(&ces));
+        assert_eq!(sp.op_preds(ces).len(), 2);
+    }
+
+    #[test]
+    fn gpu_vertex_feeding_only_end_gets_no_cer() {
+        let mut b = DagBuilder::new();
+        b.add("k", OpSpec::GpuKernel(CostKey::new("k")));
+        let sp = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
+        assert_eq!(sp.num_ops(), 1);
+        assert!(sp.op_by_name("CER-after-k").is_none());
+    }
+
+    #[test]
+    fn eligibility_respects_preds() {
+        let sp = diamond(1);
+        let prefix = sp.empty_prefix();
+        let elig = sp.eligible(&prefix);
+        // Only the two kernels are initially eligible (single stream).
+        let names: Vec<_> = elig.iter().map(|p| sp.ops()[p.op].name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn canonical_stream_pruning_first_gpu_uses_stream0() {
+        let sp = diamond(2);
+        let elig = sp.eligible(&sp.empty_prefix());
+        for p in &elig {
+            assert_eq!(p.stream, Some(0), "first GPU placement is pinned to stream 0");
+        }
+        // After placing one kernel, the other may use stream 0 or 1.
+        let mut prefix = sp.empty_prefix();
+        sp.apply(&mut prefix, elig[0]);
+        let second: Vec<_> = sp
+            .eligible(&prefix)
+            .into_iter()
+            .filter(|p| sp.ops()[p.op].kind.needs_stream())
+            .map(|p| p.stream.unwrap())
+            .collect();
+        assert_eq!(second, vec![0, 1]);
+    }
+
+    #[test]
+    fn enumerate_and_count_agree() {
+        for streams in 1..=3 {
+            let sp = diamond(streams);
+            let all = sp.enumerate();
+            assert_eq!(all.len() as u128, sp.count_traversals(), "streams={streams}");
+            // All traversals distinct and valid.
+            let set: std::collections::HashSet<_> = all.iter().collect();
+            assert_eq!(set.len(), all.len());
+            for t in &all {
+                sp.validate(t).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_count_single_stream_is_linear_extension_count() {
+        // Ops: a, b, CER-a, CER-b, CES, c with a<CER-a<CES<c, b<CER-b<CES.
+        // With one stream there are no stream choices. Count linear
+        // extensions by brute force here: interleavings of chains
+        // (a,CER-a) and (b,CER-b) then CES then c = C(4,2) = 6.
+        let sp = diamond(1);
+        assert_eq!(sp.count_traversals(), 6);
+    }
+
+    #[test]
+    fn diamond_count_two_streams_scales_by_bindings() {
+        // Two GPU ops, two streams: first pinned to stream 0, second free
+        // => 2 bindings per ordering.
+        let sp = diamond(2);
+        assert_eq!(sp.count_traversals(), 12);
+    }
+
+    #[test]
+    fn unapply_restores_state() {
+        let sp = diamond(2);
+        let mut prefix = sp.empty_prefix();
+        let before = prefix.clone();
+        let elig = sp.eligible(&prefix);
+        sp.apply(&mut prefix, elig[0]);
+        sp.unapply(&mut prefix);
+        assert_eq!(prefix, before);
+    }
+
+    #[test]
+    fn unapply_keeps_stream_count_when_stream_still_used() {
+        let sp = diamond(2);
+        let mut prefix = sp.empty_prefix();
+        let a = sp.op_by_name("a").unwrap();
+        let b = sp.op_by_name("b").unwrap();
+        sp.apply(&mut prefix, Placement { op: a, stream: Some(0) });
+        sp.apply(&mut prefix, Placement { op: b, stream: Some(0) });
+        sp.unapply(&mut prefix);
+        assert_eq!(prefix.streams_used(), 1, "stream 0 still used by a");
+    }
+
+    #[test]
+    fn complete_with_always_terminates() {
+        let sp = diamond(2);
+        let mut prefix = sp.empty_prefix();
+        let t = sp.complete_with(&mut prefix, |_| 0);
+        assert_eq!(t.steps.len(), sp.num_ops());
+        sp.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_traversals() {
+        let sp = diamond(1);
+        let all = sp.enumerate();
+        let mut t = all[0].clone();
+        t.steps.swap(0, 5); // break precedence
+        assert!(sp.validate(&t).is_err());
+        let mut short = all[0].clone();
+        short.steps.pop();
+        assert!(sp.validate(&short).is_err());
+    }
+
+    #[test]
+    fn traversal_from_names_roundtrip() {
+        let sp = diamond(1);
+        let t = sp
+            .traversal_from_names(&[
+                ("a", Some(0)),
+                ("CER-after-a", None),
+                ("b", Some(0)),
+                ("CER-after-b", None),
+                ("CES-b4-c", None),
+                ("c", None),
+            ])
+            .unwrap();
+        sp.validate(&t).unwrap();
+        assert!(sp.traversal_from_names(&[("nope", None)]).is_err());
+    }
+
+    #[test]
+    fn positions_and_streams_views() {
+        let sp = diamond(2);
+        let t = sp.enumerate().into_iter().next().unwrap();
+        let pos = t.positions(sp.num_ops());
+        for (i, p) in t.steps.iter().enumerate() {
+            assert_eq!(pos[p.op], i);
+        }
+        let st = t.streams(sp.num_ops());
+        for p in &t.steps {
+            assert_eq!(st[p.op], p.stream);
+        }
+    }
+
+    #[test]
+    fn zero_streams_rejected() {
+        let mut b = DagBuilder::new();
+        b.add("k", OpSpec::GpuKernel(CostKey::new("k")));
+        assert_eq!(
+            DecisionSpace::new(b.build().unwrap(), 0).unwrap_err(),
+            SpaceError::NoStreams
+        );
+    }
+
+    #[test]
+    fn cpu_only_program_has_no_stream_choices() {
+        let mut b = DagBuilder::new();
+        let x = b.add("x", OpSpec::CpuWork(CostKey::new("x")));
+        let y = b.add("y", OpSpec::CpuWork(CostKey::new("y")));
+        b.edge(x, y);
+        let sp = DecisionSpace::new(b.build().unwrap(), 4).unwrap();
+        assert_eq!(sp.count_traversals(), 1);
+        let t = &sp.enumerate()[0];
+        assert!(t.steps.iter().all(|p| p.stream.is_none()));
+    }
+}

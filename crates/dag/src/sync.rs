@@ -1,0 +1,460 @@
+//! Executable schedule construction with synchronization insertion
+//! (paper Table III).
+//!
+//! A [`Traversal`] fixes the issue order and stream bindings; this module
+//! lowers it to the concrete host-issued instruction sequence a CUDA+MPI
+//! process would execute:
+//!
+//! | edge `u → v`              | inserted                                   |
+//! |---------------------------|--------------------------------------------|
+//! | CPU → anything            | nothing (CPU ops are synchronous)          |
+//! | GPU_i → CPU               | `cudaEventRecord` → `cudaEventSynchronize` |
+//! | GPU_i → GPU_i             | nothing (same-stream FIFO)                 |
+//! | GPU_i → GPU_j (i ≠ j)     | `cudaEventRecord` → `cudaStreamWaitEvent`  |
+//!
+//! The first two insertions correspond to the `CER-after-*` / `CES-b4-*`
+//! decision operations already present in the traversal. The cross-stream
+//! `cudaStreamWaitEvent` depends on the successor's stream binding, so it
+//! is glued here, immediately before its target kernel; when no usable
+//! event record has been issued yet, a glued record is emitted as well.
+
+use crate::graph::VertexId;
+use crate::op::OpSpec;
+use crate::space::{DecisionKind, DecisionSpace, OpId, StreamId, Traversal};
+use crate::CostKey;
+use crate::CommKey;
+
+/// Identifies a CUDA event within one [`Schedule`].
+pub type EventId = usize;
+
+/// A concrete host-issued instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleAction {
+    /// Synchronous CPU computation.
+    CpuWork(CostKey),
+    /// Asynchronous kernel launch into `stream`.
+    KernelLaunch {
+        /// Target stream.
+        stream: StreamId,
+        /// Cost-model key for the kernel body duration.
+        cost: CostKey,
+    },
+    /// Post one `MPI_Isend` per peer of the pattern.
+    PostSends(CommKey),
+    /// Post one `MPI_Irecv` per peer of the pattern.
+    PostRecvs(CommKey),
+    /// Block until all sends under the key complete.
+    WaitSends(CommKey),
+    /// Block until all receives under the key complete.
+    WaitRecvs(CommKey),
+    /// Blocking collective reduction across all ranks.
+    AllReduce(CommKey),
+    /// `cudaEventRecord(event, stream)`.
+    EventRecord {
+        /// Recorded event.
+        event: EventId,
+        /// Stream whose current tail the event captures.
+        stream: StreamId,
+    },
+    /// `cudaEventSynchronize` on each event in turn (CPU blocks).
+    EventSync {
+        /// Events that must all have completed before the CPU proceeds.
+        events: Vec<EventId>,
+    },
+    /// `cudaStreamWaitEvent(stream, event)`: `stream` stalls until `event`.
+    StreamWaitEvent {
+        /// Waiting stream.
+        stream: StreamId,
+        /// Event being waited on.
+        event: EventId,
+    },
+    /// Device-wide synchronization (the artificial `End`): the program is
+    /// complete once every stream has drained and every pending MPI
+    /// operation would have been consumed.
+    DeviceSync,
+}
+
+/// A named instruction in the executable sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledItem {
+    /// Display name: decision-op name, or auto-generated for glued
+    /// synchronization (`CSWE-b4-*`, `CER-after-*(glued)`).
+    pub name: String,
+    /// The instruction.
+    pub action: ScheduleAction,
+    /// Decision op this item came from; `None` for glued items and the
+    /// terminal `DeviceSync`.
+    pub source: Option<OpId>,
+}
+
+/// The executable lowering of one traversal: the exact host-issue sequence
+/// including all inserted synchronization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Host-issued instructions, in order. The final item is always the
+    /// `DeviceSync` of the artificial `End` vertex.
+    pub items: Vec<ScheduledItem>,
+    /// Number of distinct CUDA events allocated.
+    pub num_events: usize,
+    /// Number of distinct streams referenced.
+    pub num_streams: usize,
+}
+
+impl Schedule {
+    /// Names of all items, for debugging and golden tests.
+    pub fn names(&self) -> Vec<&str> {
+        self.items.iter().map(|i| i.name.as_str()).collect()
+    }
+}
+
+/// Lowers a complete traversal into its executable [`Schedule`].
+///
+/// # Panics
+///
+/// Panics if `t` is not a valid complete traversal of `space` (use
+/// [`DecisionSpace::validate`] first for untrusted input).
+pub fn build_schedule(space: &DecisionSpace, t: &Traversal) -> Schedule {
+    assert_eq!(t.steps.len(), space.num_ops(), "traversal must be complete");
+    let dag = space.dag();
+    let streams = t.streams(space.num_ops());
+    let positions = t.positions(space.num_ops());
+
+    // Event ids: one per CER decision op, then glued records.
+    let mut event_of_cer: Vec<Option<EventId>> = vec![None; space.num_ops()];
+    let mut num_events = 0usize;
+    for (op, d) in space.ops().iter().enumerate() {
+        if matches!(d.kind, DecisionKind::CerAfter(_)) {
+            event_of_cer[op] = Some(num_events);
+            num_events += 1;
+        }
+    }
+
+    let mut items: Vec<ScheduledItem> = Vec::with_capacity(space.num_ops() + 4);
+    let mut max_stream = 0usize;
+
+    for (idx, p) in t.steps.iter().enumerate() {
+        let d = &space.ops()[p.op];
+        match d.kind {
+            DecisionKind::Cpu(v) => {
+                items.push(ScheduledItem {
+                    name: d.name.clone(),
+                    action: lower_cpu_spec(dag.vertex(v).spec.clone()),
+                    source: Some(p.op),
+                });
+            }
+            DecisionKind::Gpu(v) => {
+                let stream = p.stream.expect("GPU placements carry a stream");
+                max_stream = max_stream.max(stream);
+                glue_cross_stream_waits(
+                    space,
+                    v,
+                    p.op,
+                    stream,
+                    idx,
+                    &streams,
+                    &positions,
+                    &event_of_cer,
+                    &mut num_events,
+                    &mut items,
+                );
+                let cost = match &dag.vertex(v).spec {
+                    OpSpec::GpuKernel(c) => c.clone(),
+                    other => unreachable!("GPU decision op lowered from {other:?}"),
+                };
+                items.push(ScheduledItem {
+                    name: d.name.clone(),
+                    action: ScheduleAction::KernelLaunch { stream, cost },
+                    source: Some(p.op),
+                });
+            }
+            DecisionKind::CerAfter(g) => {
+                let stream = streams[g].expect("CER target is a placed GPU op");
+                max_stream = max_stream.max(stream);
+                items.push(ScheduledItem {
+                    name: d.name.clone(),
+                    action: ScheduleAction::EventRecord {
+                        event: event_of_cer[p.op].expect("CER op has an event"),
+                        stream,
+                    },
+                    source: Some(p.op),
+                });
+            }
+            DecisionKind::CesBefore(_) => {
+                let events: Vec<EventId> = space
+                    .op_preds(p.op)
+                    .iter()
+                    .map(|&cer| event_of_cer[cer].expect("CES preds are CER ops"))
+                    .collect();
+                items.push(ScheduledItem {
+                    name: d.name.clone(),
+                    action: ScheduleAction::EventSync { events },
+                    source: Some(p.op),
+                });
+            }
+        }
+    }
+
+    items.push(ScheduledItem {
+        name: "End".into(),
+        action: ScheduleAction::DeviceSync,
+        source: None,
+    });
+
+    Schedule { items, num_events, num_streams: max_stream + 1 }
+}
+
+fn lower_cpu_spec(spec: OpSpec) -> ScheduleAction {
+    match spec {
+        OpSpec::CpuWork(c) => ScheduleAction::CpuWork(c),
+        OpSpec::PostSends(c) => ScheduleAction::PostSends(c),
+        OpSpec::PostRecvs(c) => ScheduleAction::PostRecvs(c),
+        OpSpec::WaitSends(c) => ScheduleAction::WaitSends(c),
+        OpSpec::WaitRecvs(c) => ScheduleAction::WaitRecvs(c),
+        OpSpec::AllReduce(c) => ScheduleAction::AllReduce(c),
+        other => unreachable!("CPU decision op lowered from {other:?}"),
+    }
+}
+
+/// Emits the Table III row-4 synchronization for every GPU predecessor of
+/// `v` bound to a different stream: a `cudaStreamWaitEvent` glued before
+/// the launch, reusing the predecessor's `CER-after-*` event when that
+/// record has already been issued, otherwise gluing a fresh record.
+#[allow(clippy::too_many_arguments)]
+fn glue_cross_stream_waits(
+    space: &DecisionSpace,
+    v: VertexId,
+    v_op: OpId,
+    stream: StreamId,
+    idx: usize,
+    streams: &[Option<StreamId>],
+    positions: &[usize],
+    event_of_cer: &[Option<EventId>],
+    num_events: &mut usize,
+    items: &mut Vec<ScheduledItem>,
+) {
+    let dag = space.dag();
+    for &u in dag.preds(v) {
+        let Some(u_op) = space.op_of_vertex(u) else { continue };
+        let Some(u_stream) = streams[u_op] else { continue };
+        if u_stream == stream {
+            continue; // same-stream FIFO order suffices
+        }
+        let event = match space.cer_of(u_op) {
+            Some(cer) if positions[cer] < idx => {
+                event_of_cer[cer].expect("CER op has an event")
+            }
+            _ => {
+                // No usable record issued yet: glue one now. It captures
+                // u's stream at this point, which is at or after u itself,
+                // so the dependency is (conservatively) preserved.
+                let event = *num_events;
+                *num_events += 1;
+                items.push(ScheduledItem {
+                    name: format!("CER-after-{}(glued)", space.ops()[u_op].name),
+                    action: ScheduleAction::EventRecord { event, stream: u_stream },
+                    source: None,
+                });
+                event
+            }
+        };
+        items.push(ScheduledItem {
+            name: format!("CSWE-b4-{}", space.ops()[v_op].name),
+            action: ScheduleAction::StreamWaitEvent { stream, event },
+            source: None,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DagBuilder;
+    use crate::op::{CommKey, CostKey};
+
+    /// GPU kernel `k` feeding CPU op `c`, plus an independent GPU chain
+    /// `g1 -> g2` to exercise the cross-stream glue path.
+    fn space() -> DecisionSpace {
+        let mut b = DagBuilder::new();
+        let k = b.add("k", OpSpec::GpuKernel(CostKey::new("k")));
+        let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+        let g1 = b.add("g1", OpSpec::GpuKernel(CostKey::new("g1")));
+        let g2 = b.add("g2", OpSpec::GpuKernel(CostKey::new("g2")));
+        b.edge(k, c);
+        b.edge(g1, g2);
+        DecisionSpace::new(b.build().unwrap(), 2).unwrap()
+    }
+
+    fn schedule_of(names: &[(&str, Option<usize>)]) -> Schedule {
+        let sp = space();
+        let t = sp.traversal_from_names(names).unwrap();
+        build_schedule(&sp, &t)
+    }
+
+    #[test]
+    fn gpu_to_cpu_gets_record_then_sync() {
+        let s = schedule_of(&[
+            ("k", Some(0)),
+            ("CER-after-k", None),
+            ("CES-b4-c", None),
+            ("c", None),
+            ("g1", Some(0)),
+            ("g2", Some(0)),
+        ]);
+        let names = s.names();
+        let rec = names.iter().position(|n| *n == "CER-after-k").unwrap();
+        let sync = names.iter().position(|n| *n == "CES-b4-c").unwrap();
+        let c = names.iter().position(|n| *n == "c").unwrap();
+        assert!(rec < sync && sync < c);
+        match &s.items[rec].action {
+            ScheduleAction::EventRecord { stream, .. } => assert_eq!(*stream, 0),
+            other => panic!("expected record, got {other:?}"),
+        }
+        match &s.items[sync].action {
+            ScheduleAction::EventSync { events } => assert_eq!(events.len(), 1),
+            other => panic!("expected sync, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_stream_gpu_chain_needs_no_wait() {
+        let s = schedule_of(&[
+            ("g1", Some(0)),
+            ("g2", Some(0)),
+            ("k", Some(0)),
+            ("CER-after-k", None),
+            ("CES-b4-c", None),
+            ("c", None),
+        ]);
+        assert!(!s.names().iter().any(|n| n.starts_with("CSWE")));
+    }
+
+    #[test]
+    fn cross_stream_gpu_chain_glues_record_and_wait() {
+        let s = schedule_of(&[
+            ("g1", Some(0)),
+            ("g2", Some(1)),
+            ("k", Some(0)),
+            ("CER-after-k", None),
+            ("CES-b4-c", None),
+            ("c", None),
+        ]);
+        let names = s.names();
+        let glued = names.iter().position(|n| *n == "CER-after-g1(glued)").unwrap();
+        let wait = names.iter().position(|n| *n == "CSWE-b4-g2").unwrap();
+        let g2 = names.iter().position(|n| *n == "g2").unwrap();
+        assert!(glued < wait && wait < g2);
+        match &s.items[wait].action {
+            ScheduleAction::StreamWaitEvent { stream, event } => {
+                assert_eq!(*stream, 1);
+                // The glued record must target the same event.
+                match &s.items[glued].action {
+                    ScheduleAction::EventRecord { event: e, stream: rs } => {
+                        assert_eq!(e, event);
+                        assert_eq!(*rs, 0);
+                    }
+                    other => panic!("expected record, got {other:?}"),
+                }
+            }
+            other => panic!("expected stream wait, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schedule_ends_with_device_sync() {
+        let s = schedule_of(&[
+            ("g1", Some(0)),
+            ("g2", Some(0)),
+            ("k", Some(0)),
+            ("CER-after-k", None),
+            ("CES-b4-c", None),
+            ("c", None),
+        ]);
+        assert_eq!(s.items.last().unwrap().action, ScheduleAction::DeviceSync);
+        assert_eq!(s.items.last().unwrap().name, "End");
+    }
+
+    #[test]
+    fn mpi_specs_lower_to_matching_actions() {
+        let mut b = DagBuilder::new();
+        let key = CommKey::new("x");
+        let ps = b.add("PostSends", OpSpec::PostSends(key.clone()));
+        let pr = b.add("PostRecvs", OpSpec::PostRecvs(key.clone()));
+        let ws = b.add("WaitSends", OpSpec::WaitSends(key.clone()));
+        let wr = b.add("WaitRecvs", OpSpec::WaitRecvs(key.clone()));
+        b.edge(ps, ws);
+        b.edge(pr, wr);
+        let sp = DecisionSpace::new(b.build().unwrap(), 1).unwrap();
+        let t = sp.enumerate().into_iter().next().unwrap();
+        let s = build_schedule(&sp, &t);
+        let find = |n: &str| {
+            s.items
+                .iter()
+                .find(|i| i.name == n)
+                .unwrap_or_else(|| panic!("{n} missing"))
+                .action
+                .clone()
+        };
+        assert_eq!(find("PostSends"), ScheduleAction::PostSends(key.clone()));
+        assert_eq!(find("PostRecvs"), ScheduleAction::PostRecvs(key.clone()));
+        assert_eq!(find("WaitSends"), ScheduleAction::WaitSends(key.clone()));
+        assert_eq!(find("WaitRecvs"), ScheduleAction::WaitRecvs(key));
+    }
+
+    #[test]
+    fn every_traversal_lowers_cleanly() {
+        let sp = space();
+        for t in sp.enumerate() {
+            let s = build_schedule(&sp, &t);
+            // One item per decision op, plus End, plus any glued sync.
+            assert!(s.items.len() > sp.num_ops());
+            assert!(s.num_streams <= 2);
+            // Every event referenced by sync/wait actions was recorded
+            // earlier in the sequence.
+            let mut recorded = std::collections::HashSet::new();
+            for item in &s.items {
+                match &item.action {
+                    ScheduleAction::EventRecord { event, .. } => {
+                        recorded.insert(*event);
+                    }
+                    ScheduleAction::EventSync { events } => {
+                        for e in events {
+                            assert!(recorded.contains(e), "sync before record in {t:?}");
+                        }
+                    }
+                    ScheduleAction::StreamWaitEvent { event, .. } => {
+                        assert!(recorded.contains(event), "wait before record in {t:?}");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reuses_cer_event_when_record_already_issued() {
+        // Force g1's CER decision op to exist by giving g1 a CPU successor.
+        let mut b = DagBuilder::new();
+        let g1 = b.add("g1", OpSpec::GpuKernel(CostKey::new("g1")));
+        let g2 = b.add("g2", OpSpec::GpuKernel(CostKey::new("g2")));
+        let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+        b.edge(g1, g2);
+        b.edge(g1, c);
+        let sp = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
+        let t = sp
+            .traversal_from_names(&[
+                ("g1", Some(0)),
+                ("CER-after-g1", None),
+                ("g2", Some(1)),
+                ("CES-b4-c", None),
+                ("c", None),
+            ])
+            .unwrap();
+        let s = build_schedule(&sp, &t);
+        assert!(
+            !s.names().iter().any(|n| n.contains("glued")),
+            "record already issued; no glued record expected: {:?}",
+            s.names()
+        );
+        assert!(s.names().contains(&"CSWE-b4-g2"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # dr-halo — the 3D halo-exchange workload
+//!
+//! The extension named in the paper's future work: "the work is currently
+//! being extended to 3D halo-exchange communication, modeling
+//! fine-grained communication operations in each dimension."
+//!
+//! * [`Grid3`] / [`DistributedGrid`] — a distributed 7-point Jacobi
+//!   stencil whose pack/exchange/unpack/sweep decomposition is validated
+//!   numerically against the serial sweep;
+//! * [`halo_dag`] — the per-dimension program DAG (pack → post → wait →
+//!   unpack chains feeding a boundary kernel, with an independent
+//!   interior kernel);
+//! * [`HaloWorkload`] / [`StencilModel`] — exact face sizes and stencil
+//!   estimates for the platform simulator;
+//! * [`HaloScenario`] — everything assembled for exploration. The 3D
+//!   space has >10¹² traversals: MCTS territory by construction.
+
+#![warn(missing_docs)]
+
+mod cost;
+mod dag;
+mod grid;
+mod scenario;
+
+pub use cost::{HaloSpec, HaloWorkload, StencilModel};
+pub use dag::{halo_dag, k_halo, k_pack, k_unpack, HaloDagConfig, DIMS, K_BOUNDARY, K_INTERIOR};
+pub use grid::{jacobi_step, DistributedGrid, Grid3, LocalBlock, RankGrid};
+pub use scenario::HaloScenario;

@@ -1,0 +1,124 @@
+//! Ready-made halo-exchange exploration scenarios.
+
+use crate::cost::{HaloSpec, HaloWorkload, StencilModel};
+use crate::dag::{halo_dag, HaloDagConfig};
+use crate::grid::RankGrid;
+use dr_dag::{build_schedule, DecisionSpace, Traversal};
+use dr_sim::{benchmark, BenchConfig, BenchResult, CompiledProgram, Platform, SimError};
+
+/// A fully assembled halo-exchange exploration problem.
+#[derive(Debug, Clone)]
+pub struct HaloScenario {
+    /// The traversal decision space.
+    pub space: DecisionSpace,
+    /// The topology-derived workload.
+    pub workload: HaloWorkload,
+    /// The platform the implementations run on.
+    pub platform: Platform,
+}
+
+impl HaloScenario {
+    /// Assembles a scenario.
+    pub fn build(spec: HaloSpec, streams: usize, platform: Platform) -> Self {
+        let dag = halo_dag(&HaloDagConfig { dims: spec.dims }).expect("static halo DAG");
+        let space = DecisionSpace::new(dag, streams).expect("halo space fits in 64 ops");
+        HaloScenario { space, workload: HaloWorkload::new(spec), platform }
+    }
+
+    /// A 2×2×2 topology with 192³-cell subdomains on two streams — the
+    /// future-work demonstration configuration.
+    pub fn cube2(_seed: u64) -> Self {
+        HaloScenario::build(
+            HaloSpec {
+                topo: RankGrid::new([2, 2, 2]),
+                local_n: [192, 192, 192],
+                dims: 3,
+                model: StencilModel::default(),
+            },
+            2,
+            Platform::perlmutter_like(),
+        )
+    }
+
+    /// A one-dimensional two-rank instance whose space is enumerable,
+    /// for tests.
+    pub fn line2(_seed: u64) -> Self {
+        HaloScenario::build(
+            HaloSpec {
+                topo: RankGrid::new([2, 1, 1]),
+                local_n: [64, 64, 64],
+                dims: 1,
+                model: StencilModel::default(),
+            },
+            2,
+            Platform::perlmutter_like(),
+        )
+    }
+
+    /// Compiles one traversal into an executable program.
+    pub fn compile(&self, t: &Traversal) -> Result<CompiledProgram, SimError> {
+        let schedule = build_schedule(&self.space, t);
+        CompiledProgram::compile(&schedule, &self.workload)
+    }
+
+    /// Runs the full measurement protocol on one traversal.
+    pub fn benchmark(
+        &self,
+        t: &Traversal,
+        cfg: &BenchConfig,
+        seed: u64,
+    ) -> Result<BenchResult, SimError> {
+        let prog = self.compile(t)?;
+        benchmark(&prog, &self.platform, cfg, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_scenario_traversals_execute() {
+        let sc = HaloScenario::line2(1);
+        let cfg = BenchConfig { t_measure: 1e-4, num_measurements: 1, max_samples: 2 };
+        let mut prefix = sc.space.empty_prefix();
+        let t = sc.space.complete_with(&mut prefix, |_| 0);
+        let res = sc.benchmark(&t, &cfg, 3).unwrap();
+        assert!(res.time() > 0.0);
+    }
+
+    #[test]
+    fn cube_scenario_random_traversals_execute() {
+        use rand::{Rng, SeedableRng};
+        let sc = HaloScenario::cube2(1);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let cfg = BenchConfig { t_measure: 1e-4, num_measurements: 1, max_samples: 2 };
+        for _ in 0..5 {
+            let mut prefix = sc.space.empty_prefix();
+            let t = sc.space.complete_with(&mut prefix, |e| rng.gen_range(0..e.len()));
+            let res = sc.benchmark(&t, &cfg, 7).unwrap();
+            assert!(res.time() > 0.0);
+        }
+    }
+
+    #[test]
+    fn ordering_matters_in_the_halo_space_too() {
+        use rand::{Rng, SeedableRng};
+        let sc = HaloScenario::cube2(2);
+        let platform = sc.platform.clone().noiseless();
+        let sc = HaloScenario { platform, ..sc };
+        let cfg = BenchConfig { t_measure: 1e-4, num_measurements: 1, max_samples: 2 };
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let times: Vec<f64> = (0..24)
+            .map(|_| {
+                let mut prefix = sc.space.empty_prefix();
+                let t =
+                    sc.space.complete_with(&mut prefix, |e| rng.gen_range(0..e.len()));
+                sc.benchmark(&t, &cfg, 1).unwrap().time()
+            })
+            .collect();
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(0.0f64, f64::max);
+        assert!(max / min > 1.05, "spread {min}..{max}");
+    }
+}

@@ -1,0 +1,25 @@
+//! # dr-mcts — Monte-Carlo tree search over CUDA+MPI design spaces
+//!
+//! Implements the paper's search strategy (Section III-C): the design
+//! space of a CUDA+MPI program — operation orderings × stream assignments
+//! — is explored by MCTS whose *exploitation* signal is not raw speed but
+//! the **performance range** observed in a subtree. The search therefore
+//! gravitates toward regions where design decisions have a large impact,
+//! which is exactly the data the downstream rule-mining pipeline needs.
+//!
+//! * [`Mcts`] — the four-phase search (selection / expansion / rollout /
+//!   backpropagation) with exhaustion detection;
+//! * [`Evaluator`] / [`SimEvaluator`] — measurement of rollouts via the
+//!   platform simulator;
+//! * [`random_search`] — the uniform random-sampling baseline the paper's
+//!   future work calls for (used by the ablation benchmark).
+
+#![warn(missing_docs)]
+
+mod eval;
+mod random;
+mod tree;
+
+pub use eval::{Evaluator, SimEvaluator};
+pub use random::random_search;
+pub use tree::{ExploredRecord, Exploitation, Mcts, MctsConfig, StepOutcome, TreeStats};

@@ -1,0 +1,87 @@
+//! Graphviz export of trained decision trees, in the style of the
+//! paper's Fig. 6: each node shows its split condition, sample count, and
+//! per-class counts; leaves are colored by their dominating class.
+
+use crate::tree::DecisionTree;
+
+/// A small qualitative palette for class coloring (cycled when there are
+/// more classes than entries).
+const PALETTE: [&str; 6] =
+    ["#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462"];
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+/// Renders `tree` in `dot` syntax. `feature_names[i]` labels feature `i`
+/// (its value-1 phrasing); `class_names[c]` labels class `c`.
+pub fn tree_to_dot(
+    tree: &DecisionTree,
+    feature_names: &[String],
+    class_names: &[String],
+) -> String {
+    let mut out = String::from(
+        "digraph tree {\n  node [shape=box,style=\"rounded,filled\"];\n",
+    );
+    for (id, n) in tree.nodes().iter().enumerate() {
+        let samples: usize = n.raw_counts.iter().sum();
+        let label = match n.feature {
+            Some(f) => format!(
+                "{}?\\nsamples {}\\nclasses {:?}",
+                escape(&feature_names[f]),
+                samples,
+                n.raw_counts
+            ),
+            None => format!(
+                "{}\\nsamples {}\\nclasses {:?}",
+                escape(&class_names[n.class()]),
+                samples,
+                n.raw_counts
+            ),
+        };
+        let color = PALETTE[n.class() % PALETTE.len()];
+        out.push_str(&format!("  n{id} [label=\"{label}\",fillcolor=\"{color}\"];\n"));
+    }
+    for (id, n) in tree.nodes().iter().enumerate() {
+        if n.feature.is_some() {
+            out.push_str(&format!("  n{id} -> n{} [label=\"no\"];\n", n.left));
+            out.push_str(&format!("  n{id} -> n{} [label=\"yes\"];\n", n.right));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TrainConfig;
+
+    #[test]
+    fn dot_covers_nodes_and_branches() {
+        let x = vec![vec![false], vec![false], vec![true], vec![true]];
+        let y = vec![0, 0, 1, 1];
+        let tree = DecisionTree::fit(&x, &y, 2, &TrainConfig::default());
+        let dot = tree_to_dot(
+            &tree,
+            &["a before b".to_string()],
+            &["fast".to_string(), "slow".to_string()],
+        );
+        assert!(dot.contains("a before b?"));
+        assert!(dot.contains("fast"));
+        assert!(dot.contains("slow"));
+        assert!(dot.contains("label=\"no\""));
+        assert!(dot.contains("label=\"yes\""));
+        assert_eq!(dot.matches("fillcolor").count(), tree.nodes().len());
+    }
+
+    #[test]
+    fn single_leaf_tree_renders() {
+        let x = vec![vec![true]; 3];
+        let y = vec![1; 3];
+        let tree = DecisionTree::fit(&x, &y, 2, &TrainConfig::default());
+        let dot = tree_to_dot(&tree, &[String::from("f")], &["c0".into(), "c1".into()]);
+        assert!(dot.contains("c1"));
+        assert!(!dot.contains("label=\"yes\""));
+    }
+}

@@ -1,0 +1,306 @@
+//! Sequence-to-vector feature transformation (paper Section IV-B).
+//!
+//! Each traversal becomes a fixed-length binary vector:
+//!
+//! * an **ordering feature** for every pair of decision operations `(u,v)`
+//!   — 1 iff `u` is issued before `v`;
+//! * a **stream-assignment feature** for every pair of GPU operations —
+//!   1 iff they are bound to the same stream.
+//!
+//! Features that take the same value in every sample carry no
+//! discriminatory power (e.g. `u before v` when `u → v` is a DAG
+//! constraint) and are removed; so is every feature identical to an
+//! earlier one across all samples (e.g. when `v` always immediately
+//! follows `u`, their orderings against any third operation coincide).
+
+use dr_dag::{DecisionKind, DecisionSpace, OpId, Traversal};
+
+/// Semantic identity of a feature, independent of the sample set it was
+/// derived from (used to compare rules across exploration budgets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FeatureKind {
+    /// Ordering feature: 1 iff op `.0` is issued before op `.1`
+    /// (normalized so `.0 < .1`).
+    Before(OpId, OpId),
+    /// Stream feature: 1 iff GPU ops `.0` and `.1` share a stream
+    /// (normalized so `.0 < .1`).
+    SameStream(OpId, OpId),
+}
+
+/// A named feature column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Feature {
+    /// Semantic identity.
+    pub kind: FeatureKind,
+    /// Human-readable positive phrasing (value = 1), e.g.
+    /// `"Pack before yl"` or `"Pack same stream as yl"`.
+    pub name: String,
+}
+
+impl Feature {
+    /// The phrasing of `feature == value`, as the paper's rule tables
+    /// print it: a false ordering flips the operands, a false stream
+    /// feature becomes "different stream than".
+    pub fn phrase(&self, space: &DecisionSpace, value: bool) -> String {
+        let name = |o: OpId| space.ops()[o].name.as_str();
+        match (self.kind, value) {
+            (FeatureKind::Before(u, v), true) => format!("{} before {}", name(u), name(v)),
+            (FeatureKind::Before(u, v), false) => format!("{} before {}", name(v), name(u)),
+            (FeatureKind::SameStream(u, v), true) => {
+                format!("{} same stream as {}", name(u), name(v))
+            }
+            (FeatureKind::SameStream(u, v), false) => {
+                format!("{} different stream than {}", name(u), name(v))
+            }
+        }
+    }
+}
+
+/// The feature matrix of a sample set: retained columns plus bookkeeping
+/// about what was pruned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureSet {
+    /// Retained feature columns.
+    pub features: Vec<Feature>,
+    /// `matrix[sample][feature]`.
+    pub matrix: Vec<Vec<bool>>,
+    /// Number of constant columns removed.
+    pub dropped_constant: usize,
+    /// Number of duplicate columns removed.
+    pub dropped_duplicate: usize,
+}
+
+impl FeatureSet {
+    /// Number of samples.
+    pub fn num_samples(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// Number of retained features.
+    pub fn num_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Computes the retained feature vector of a traversal that was not
+    /// necessarily part of the original sample set (used to classify the
+    /// full space with rules learned from a subset).
+    pub fn vector_of(&self, space: &DecisionSpace, t: &Traversal) -> Vec<bool> {
+        let pos = t.positions(space.num_ops());
+        let streams = t.streams(space.num_ops());
+        self.features
+            .iter()
+            .map(|f| eval_kind(f.kind, &pos, &streams))
+            .collect()
+    }
+}
+
+fn eval_kind(kind: FeatureKind, pos: &[usize], streams: &[Option<usize>]) -> bool {
+    match kind {
+        FeatureKind::Before(u, v) => pos[u] < pos[v],
+        FeatureKind::SameStream(u, v) => streams[u] == streams[v],
+    }
+}
+
+/// The full (un-pruned) feature universe of a decision space.
+pub fn feature_universe(space: &DecisionSpace) -> Vec<Feature> {
+    let n = space.num_ops();
+    let mut features = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            features.push(Feature {
+                kind: FeatureKind::Before(u, v),
+                name: format!("{} before {}", space.ops()[u].name, space.ops()[v].name),
+            });
+        }
+    }
+    let gpu_ops: Vec<OpId> = (0..n)
+        .filter(|&o| matches!(space.ops()[o].kind, DecisionKind::Gpu(_)))
+        .collect();
+    for (i, &u) in gpu_ops.iter().enumerate() {
+        for &v in &gpu_ops[i + 1..] {
+            features.push(Feature {
+                kind: FeatureKind::SameStream(u, v),
+                name: format!(
+                    "{} same stream as {}",
+                    space.ops()[u].name,
+                    space.ops()[v].name
+                ),
+            });
+        }
+    }
+    features
+}
+
+/// Builds the pruned feature matrix of a sample set.
+pub fn featurize(space: &DecisionSpace, traversals: &[&Traversal]) -> FeatureSet {
+    let universe = feature_universe(space);
+    let rows: Vec<(Vec<usize>, Vec<Option<usize>>)> = traversals
+        .iter()
+        .map(|t| (t.positions(space.num_ops()), t.streams(space.num_ops())))
+        .collect();
+
+    // Evaluate column-wise for pruning.
+    let mut kept: Vec<(Feature, Vec<bool>)> = Vec::new();
+    let mut dropped_constant = 0;
+    let mut dropped_duplicate = 0;
+    for f in universe {
+        let col: Vec<bool> =
+            rows.iter().map(|(pos, st)| eval_kind(f.kind, pos, st)).collect();
+        let constant = col.iter().all(|&b| b == col[0]);
+        if constant && !rows.is_empty() {
+            dropped_constant += 1;
+            continue;
+        }
+        if kept.iter().any(|(_, existing)| existing == &col) {
+            dropped_duplicate += 1;
+            continue;
+        }
+        kept.push((f, col));
+    }
+
+    let features: Vec<Feature> = kept.iter().map(|(f, _)| f.clone()).collect();
+    let matrix: Vec<Vec<bool>> = (0..rows.len())
+        .map(|s| kept.iter().map(|(_, col)| col[s]).collect())
+        .collect();
+    FeatureSet { features, matrix, dropped_constant, dropped_duplicate }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_dag::{CostKey, DagBuilder, OpSpec};
+
+    /// Two independent GPU kernels and a dependent CPU op.
+    fn space() -> DecisionSpace {
+        let mut b = DagBuilder::new();
+        let a = b.add("a", OpSpec::GpuKernel(CostKey::new("a")));
+        let g = b.add("b", OpSpec::GpuKernel(CostKey::new("b")));
+        let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+        b.edge(a, c);
+        b.edge(g, c);
+        DecisionSpace::new(b.build().unwrap(), 2).unwrap()
+    }
+
+    #[test]
+    fn universe_covers_all_pairs() {
+        let sp = space();
+        let n = sp.num_ops(); // 6 ops (a, b, c, 2×CER, CES)
+        let uni = feature_universe(&sp);
+        let ordering = uni
+            .iter()
+            .filter(|f| matches!(f.kind, FeatureKind::Before(_, _)))
+            .count();
+        let stream = uni
+            .iter()
+            .filter(|f| matches!(f.kind, FeatureKind::SameStream(_, _)))
+            .count();
+        assert_eq!(ordering, n * (n - 1) / 2);
+        assert_eq!(stream, 1); // only (a, b) are GPU
+    }
+
+    #[test]
+    fn constant_features_are_pruned() {
+        let sp = space();
+        let all = sp.enumerate();
+        let refs: Vec<&Traversal> = all.iter().collect();
+        let fs = featurize(&sp, &refs);
+        assert!(fs.dropped_constant > 0, "DAG-implied orderings must be pruned");
+        // "a before CER-after-a" is DAG-implied: never retained.
+        let a = sp.op_by_name("a").unwrap();
+        let cer = sp.op_by_name("CER-after-a").unwrap();
+        assert!(fs
+            .features
+            .iter()
+            .all(|f| f.kind != FeatureKind::Before(a.min(cer), a.max(cer))));
+    }
+
+    #[test]
+    fn retained_features_discriminate() {
+        let sp = space();
+        let all = sp.enumerate();
+        let refs: Vec<&Traversal> = all.iter().collect();
+        let fs = featurize(&sp, &refs);
+        assert!(fs.num_features() > 0);
+        for j in 0..fs.num_features() {
+            let col: Vec<bool> = fs.matrix.iter().map(|r| r[j]).collect();
+            assert!(col.iter().any(|&b| b) && col.iter().any(|&b| !b), "feature {j}");
+        }
+    }
+
+    #[test]
+    fn duplicate_columns_are_pruned() {
+        let sp = space();
+        let all = sp.enumerate();
+        let refs: Vec<&Traversal> = all.iter().collect();
+        let fs = featurize(&sp, &refs);
+        for i in 0..fs.num_features() {
+            for j in i + 1..fs.num_features() {
+                let ci: Vec<bool> = fs.matrix.iter().map(|r| r[i]).collect();
+                let cj: Vec<bool> = fs.matrix.iter().map(|r| r[j]).collect();
+                assert_ne!(ci, cj, "columns {i} and {j} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn vector_of_matches_matrix_rows() {
+        let sp = space();
+        let all = sp.enumerate();
+        let refs: Vec<&Traversal> = all.iter().collect();
+        let fs = featurize(&sp, &refs);
+        for (s, t) in all.iter().enumerate() {
+            assert_eq!(fs.vector_of(&sp, t), fs.matrix[s]);
+        }
+    }
+
+    #[test]
+    fn phrase_renders_positive_and_negative() {
+        let sp = space();
+        let a = sp.op_by_name("a").unwrap();
+        let b = sp.op_by_name("b").unwrap();
+        let before = Feature {
+            kind: FeatureKind::Before(a, b),
+            name: String::new(),
+        };
+        assert_eq!(before.phrase(&sp, true), "a before b");
+        assert_eq!(before.phrase(&sp, false), "b before a");
+        let stream = Feature { kind: FeatureKind::SameStream(a, b), name: String::new() };
+        assert_eq!(stream.phrase(&sp, true), "a same stream as b");
+        assert_eq!(stream.phrase(&sp, false), "a different stream than b");
+    }
+
+    #[test]
+    fn same_stream_feature_reflects_bindings() {
+        let sp = space();
+        let t_same = sp
+            .traversal_from_names(&[
+                ("a", Some(0)),
+                ("CER-after-a", None),
+                ("b", Some(0)),
+                ("CER-after-b", None),
+                ("CES-b4-c", None),
+                ("c", None),
+            ])
+            .unwrap();
+        let t_diff = sp
+            .traversal_from_names(&[
+                ("a", Some(0)),
+                ("CER-after-a", None),
+                ("b", Some(1)),
+                ("CER-after-b", None),
+                ("CES-b4-c", None),
+                ("c", None),
+            ])
+            .unwrap();
+        let fs = featurize(&sp, &[&t_same, &t_diff]);
+        let a = sp.op_by_name("a").unwrap();
+        let b = sp.op_by_name("b").unwrap();
+        let j = fs
+            .features
+            .iter()
+            .position(|f| f.kind == FeatureKind::SameStream(a.min(b), a.max(b)))
+            .expect("stream feature retained: it differs between samples");
+        assert!(fs.matrix[0][j]);
+        assert!(!fs.matrix[1][j]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Decision-tree hyperparameter search (paper Algorithm 1, Fig. 5).
+//!
+//! The paths to leaf nodes become design rules, so a maximally accurate
+//! tree is wanted without concern for overfitting. Starting from two leaf
+//! nodes, the leaf budget is increased (probing up to five steps ahead)
+//! until the training error stops shrinking; `max_depth` is always one
+//! less than the leaf budget.
+
+use crate::tree::{DecisionTree, TrainConfig};
+
+/// One `train()` invocation during the search, for Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchStep {
+    /// `max_leaf_nodes` used.
+    pub max_leaf_nodes: usize,
+    /// Training error of the resulting tree.
+    pub error: f64,
+    /// Depth actually reached (may be below the allowance).
+    pub depth: usize,
+    /// Leaves actually grown.
+    pub leaves: usize,
+    /// Whether the step was accepted as the new best.
+    pub accepted: bool,
+}
+
+/// Result of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct HyperSearch {
+    /// The selected classifier.
+    pub tree: DecisionTree,
+    /// The selected `max_leaf_nodes`.
+    pub max_leaf_nodes: usize,
+    /// Its training error.
+    pub error: f64,
+    /// Every probe, in execution order (Fig. 5 plots these).
+    pub history: Vec<SearchStep>,
+}
+
+/// Runs Algorithm 1: iteratively grow the leaf budget while training
+/// error shrinks. `base` supplies criterion/weighting; its
+/// `max_leaf_nodes`/`max_depth` are overridden by the search.
+pub fn algorithm1(
+    x: &[Vec<bool>],
+    y: &[usize],
+    num_classes: usize,
+    base: &TrainConfig,
+) -> HyperSearch {
+    let train = |mln: usize| -> (f64, DecisionTree, usize, usize) {
+        let cfg = TrainConfig {
+            max_leaf_nodes: Some(mln),
+            max_depth: Some(mln.saturating_sub(1).max(1)),
+            ..*base
+        };
+        let t = DecisionTree::fit(x, y, num_classes, &cfg);
+        let e = t.error(x, y);
+        let d = t.depth();
+        let l = t.num_leaves();
+        (e, t, d, l)
+    };
+
+    let mut history = Vec::new();
+    let mut mln = 2usize;
+    let mut err = f64::INFINITY;
+    let (mut cur, mut clf, d0, l0) = train(mln);
+    history.push(SearchStep {
+        max_leaf_nodes: mln,
+        error: cur,
+        depth: d0,
+        leaves: l0,
+        accepted: true,
+    });
+    while cur < err {
+        err = cur;
+        for i in 1..=5 {
+            let (e, t, d, l) = train(mln + i);
+            let accepted = e < err;
+            history.push(SearchStep { max_leaf_nodes: mln + i, error: e, depth: d, leaves: l, accepted });
+            if accepted {
+                clf = t;
+                mln += i;
+                cur = e;
+                break;
+            }
+        }
+        // If no probe improved, `cur` still equals `err` and the loop ends.
+    }
+    HyperSearch { tree: clf, max_leaf_nodes: mln, error: err.min(cur), history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three classes separable with 3 leaves: f0 splits class 2, f1
+    /// splits 0 from 1.
+    fn data() -> (Vec<Vec<bool>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..10 {
+            x.push(vec![true, false]);
+            y.push(2);
+            x.push(vec![false, false]);
+            y.push(0);
+            x.push(vec![false, true]);
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn search_reaches_zero_error_with_minimal_leaves() {
+        let (x, y) = data();
+        let s = algorithm1(&x, &y, 3, &TrainConfig::default());
+        assert_eq!(s.error, 0.0);
+        assert_eq!(s.tree.num_leaves(), 3);
+        assert!(s.max_leaf_nodes >= 3);
+        // History starts at the mandatory mln=2 probe.
+        assert_eq!(s.history[0].max_leaf_nodes, 2);
+        assert!(s.history[0].error > 0.0);
+    }
+
+    #[test]
+    fn search_history_is_monotone_in_accepted_steps() {
+        let (x, y) = data();
+        let s = algorithm1(&x, &y, 3, &TrainConfig::default());
+        let accepted: Vec<f64> =
+            s.history.iter().filter(|h| h.accepted).map(|h| h.error).collect();
+        for w in accepted.windows(2) {
+            assert!(w[1] < w[0], "accepted errors must strictly decrease");
+        }
+    }
+
+    #[test]
+    fn trivial_problem_stops_immediately() {
+        // Perfectly separable with 2 leaves: the mln=2 tree already has
+        // zero error, probes 3..7 cannot improve, search stops.
+        let x = vec![vec![false], vec![true], vec![false], vec![true]];
+        let y = vec![0, 1, 0, 1];
+        let s = algorithm1(&x, &y, 2, &TrainConfig::default());
+        assert_eq!(s.error, 0.0);
+        assert_eq!(s.max_leaf_nodes, 2);
+        // 1 initial + 5 failed probes.
+        assert_eq!(s.history.len(), 6);
+    }
+
+    #[test]
+    fn depth_is_capped_at_leaves_minus_one() {
+        let (x, y) = data();
+        let s = algorithm1(&x, &y, 3, &TrainConfig::default());
+        for h in &s.history {
+            assert!(h.depth <= h.max_leaf_nodes.saturating_sub(1).max(1));
+        }
+    }
+}

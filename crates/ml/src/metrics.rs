@@ -1,0 +1,129 @@
+//! Classifier diagnostics: confusion matrices and Gini feature
+//! importances, used to interpret the mined rules ("which design
+//! decisions carry the discriminating power?").
+
+use crate::tree::{DecisionTree, TrainConfig};
+
+/// `matrix[true_class][predicted_class]` counts over a labelled set.
+pub fn confusion_matrix(
+    tree: &DecisionTree,
+    x: &[Vec<bool>],
+    y: &[usize],
+    num_classes: usize,
+) -> Vec<Vec<usize>> {
+    let mut m = vec![vec![0usize; num_classes]; num_classes];
+    for (xi, &yi) in x.iter().zip(y) {
+        m[yi][tree.predict(xi)] += 1;
+    }
+    m
+}
+
+/// Per-class precision and recall derived from a confusion matrix.
+/// Classes with no predictions (or no members) report 0.
+pub fn precision_recall(matrix: &[Vec<usize>]) -> Vec<(f64, f64)> {
+    let k = matrix.len();
+    (0..k)
+        .map(|c| {
+            let tp = matrix[c][c] as f64;
+            let predicted: usize = (0..k).map(|t| matrix[t][c]).sum();
+            let actual: usize = matrix[c].iter().sum();
+            let precision = if predicted == 0 { 0.0 } else { tp / predicted as f64 };
+            let recall = if actual == 0 { 0.0 } else { tp / actual as f64 };
+            (precision, recall)
+        })
+        .collect()
+}
+
+/// Gini (mean-decrease-impurity) feature importances, normalized to sum
+/// to 1 (all zeros when the tree has no splits): the total weighted
+/// impurity decrease contributed by each feature's splits, as
+/// scikit-learn's `feature_importances_` reports.
+pub fn feature_importances(
+    tree: &DecisionTree,
+    num_features: usize,
+    cfg: &TrainConfig,
+) -> Vec<f64> {
+    let mut imp = vec![0.0f64; num_features];
+    for n in tree.nodes() {
+        let Some(f) = n.feature else { continue };
+        let w: f64 = n.weighted_counts.iter().sum();
+        let wl: f64 = tree.nodes()[n.left].weighted_counts.iter().sum();
+        let wr: f64 = tree.nodes()[n.right].weighted_counts.iter().sum();
+        let decrease = w * cfg.criterion_impurity(&n.weighted_counts)
+            - wl * cfg.criterion_impurity(&tree.nodes()[n.left].weighted_counts)
+            - wr * cfg.criterion_impurity(&tree.nodes()[n.right].weighted_counts);
+        imp[f] += decrease.max(0.0);
+    }
+    let total: f64 = imp.iter().sum();
+    if total > 0.0 {
+        for v in &mut imp {
+            *v /= total;
+        }
+    }
+    imp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::DecisionTree;
+
+    fn data() -> (Vec<Vec<bool>>, Vec<usize>) {
+        // Feature 0 decides the class; feature 1 is pure noise.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let f0 = i % 2 == 0;
+            let f1 = i % 3 == 0;
+            x.push(vec![f0, f1]);
+            y.push(usize::from(f0));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn confusion_matrix_diagonal_for_perfect_tree() {
+        let (x, y) = data();
+        let tree = DecisionTree::fit(&x, &y, 2, &TrainConfig::default());
+        let m = confusion_matrix(&tree, &x, &y, 2);
+        assert_eq!(m[0][1] + m[1][0], 0, "no confusion: {m:?}");
+        assert_eq!(m[0][0] + m[1][1], 40);
+    }
+
+    #[test]
+    fn precision_recall_perfect_is_one() {
+        let (x, y) = data();
+        let tree = DecisionTree::fit(&x, &y, 2, &TrainConfig::default());
+        let pr = precision_recall(&confusion_matrix(&tree, &x, &y, 2));
+        for (p, r) in pr {
+            assert_eq!((p, r), (1.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn precision_recall_handles_empty_rows() {
+        let m = vec![vec![0, 0], vec![3, 5]];
+        let pr = precision_recall(&m);
+        assert_eq!(pr[0], (0.0, 0.0)); // class 0 never occurs / never hit
+        assert_eq!(pr[1].1, 5.0 / 8.0);
+    }
+
+    #[test]
+    fn informative_feature_dominates_importances() {
+        let (x, y) = data();
+        let cfg = TrainConfig::default();
+        let tree = DecisionTree::fit(&x, &y, 2, &cfg);
+        let imp = feature_importances(&tree, 2, &cfg);
+        assert!(imp[0] > 0.99, "{imp:?}");
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stump_has_zero_importances() {
+        let x = vec![vec![true]; 4];
+        let y = vec![0; 4];
+        let cfg = TrainConfig::default();
+        let tree = DecisionTree::fit(&x, &y, 1, &cfg);
+        assert_eq!(feature_importances(&tree, 1, &cfg), vec![0.0]);
+    }
+}

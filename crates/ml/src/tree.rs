@@ -1,0 +1,504 @@
+//! CART decision-tree classifier (paper Section IV-C, Table IV).
+//!
+//! A from-scratch reimplementation of the scikit-learn
+//! `DecisionTreeClassifier` configuration the paper uses: CART with the
+//! Gini (or entropy) criterion, best-first growth honouring
+//! `max_leaf_nodes`, a `max_depth` cap, and `class_weight="balanced"`.
+//! Features are binary (the Section IV-B vectors), so every split is
+//! "feature = 0 goes left, feature = 1 goes right".
+
+/// Split-quality criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Criterion {
+    /// Gini impurity — the paper's choice ("simpler and faster, no
+    /// difference for test cases").
+    Gini,
+    /// Shannon entropy.
+    Entropy,
+}
+
+impl Criterion {
+    /// Impurity of a weighted class-count vector under this criterion.
+    pub fn impurity(&self, counts: &[f64]) -> f64 {
+        let total: f64 = counts.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        match self {
+            Criterion::Gini => {
+                1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f64>()
+            }
+            Criterion::Entropy => -counts
+                .iter()
+                .filter(|&&c| c > 0.0)
+                .map(|&c| {
+                    let p = c / total;
+                    p * p.log2()
+                })
+                .sum::<f64>(),
+        }
+    }
+}
+
+/// Training parameters (defaults mirror the paper's Table IV).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Split criterion.
+    pub criterion: Criterion,
+    /// Maximum number of leaves (best-first growth); `None` = unlimited.
+    pub max_leaf_nodes: Option<usize>,
+    /// Maximum tree depth; `None` = unlimited.
+    pub max_depth: Option<usize>,
+    /// Weight all classes equally regardless of how many samples carry
+    /// each label (`class_weight="balanced"`).
+    pub balanced: bool,
+}
+
+impl TrainConfig {
+    /// Impurity of a weighted class-count vector under this config's
+    /// criterion (convenience for diagnostics like feature importances).
+    pub fn criterion_impurity(&self, counts: &[f64]) -> f64 {
+        self.criterion.impurity(counts)
+    }
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            criterion: Criterion::Gini,
+            max_leaf_nodes: None,
+            max_depth: None,
+            balanced: true,
+        }
+    }
+}
+
+/// A tree node; leaves have `feature == None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Split feature, `None` for leaves.
+    pub feature: Option<usize>,
+    /// Child for `feature == false` (valid when `feature` is `Some`).
+    pub left: usize,
+    /// Child for `feature == true`.
+    pub right: usize,
+    /// Class-weighted sample counts reaching this node.
+    pub weighted_counts: Vec<f64>,
+    /// Raw sample counts reaching this node.
+    pub raw_counts: Vec<usize>,
+    /// Depth (root = 0).
+    pub depth: usize,
+}
+
+impl Node {
+    /// Majority class by weighted counts (ties → lowest class id).
+    pub fn class(&self) -> usize {
+        let mut best = 0;
+        for (c, &w) in self.weighted_counts.iter().enumerate() {
+            if w > self.weighted_counts[best] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// True when all samples at this node share one label.
+    pub fn is_pure(&self) -> bool {
+        self.raw_counts.iter().filter(|&&c| c > 0).count() <= 1
+    }
+}
+
+/// A trained CART classifier over binary features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    num_classes: usize,
+    class_weights: Vec<f64>,
+}
+
+/// One root-to-leaf path: the conjunction of feature conditions plus the
+/// leaf reached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafPath {
+    /// `(feature, value)` conditions on the path, root first.
+    pub conditions: Vec<(usize, bool)>,
+    /// Index of the leaf node in the tree.
+    pub node: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on binary features `x` (row-major) with labels `y` in
+    /// `0..num_classes`.
+    pub fn fit(x: &[Vec<bool>], y: &[usize], num_classes: usize, cfg: &TrainConfig) -> Self {
+        assert_eq!(x.len(), y.len(), "sample/label length mismatch");
+        assert!(!x.is_empty(), "cannot fit on an empty sample set");
+        assert!(y.iter().all(|&c| c < num_classes), "label out of range");
+        let n = x.len();
+        let num_features = x[0].len();
+
+        // class_weight="balanced": w_c = n / (k * count_c).
+        let mut raw = vec![0usize; num_classes];
+        for &c in y {
+            raw[c] += 1;
+        }
+        let class_weights: Vec<f64> = if cfg.balanced {
+            raw.iter()
+                .map(|&c| {
+                    if c == 0 {
+                        0.0
+                    } else {
+                        n as f64 / (num_classes as f64 * c as f64)
+                    }
+                })
+                .collect()
+        } else {
+            vec![1.0; num_classes]
+        };
+
+        let mut tree = DecisionTree { nodes: Vec::new(), num_classes, class_weights };
+        let all: Vec<usize> = (0..n).collect();
+        let root = tree.make_node(&all, y, 0);
+        tree.nodes.push(root);
+
+        // Best-first growth: always split the frontier leaf with the
+        // largest weighted impurity decrease.
+        struct Candidate {
+            node: usize,
+            samples: Vec<usize>,
+            feature: usize,
+            improvement: f64,
+        }
+        let mut frontier: Vec<Candidate> = Vec::new();
+        let push_candidate =
+            |tree: &DecisionTree, node: usize, samples: Vec<usize>, frontier: &mut Vec<Candidate>| {
+                if tree.nodes[node].is_pure() {
+                    return;
+                }
+                if let Some(d) = cfg.max_depth {
+                    if tree.nodes[node].depth >= d {
+                        return;
+                    }
+                }
+                if let Some((feature, improvement)) =
+                    tree.best_split(&samples, x, y, num_features, cfg)
+                {
+                    frontier.push(Candidate { node, samples, feature, improvement });
+                }
+            };
+        push_candidate(&tree, 0, all, &mut frontier);
+
+        let mut num_leaves = 1usize;
+        while !frontier.is_empty() {
+            if let Some(cap) = cfg.max_leaf_nodes {
+                if num_leaves >= cap {
+                    break;
+                }
+            }
+            // Extract the best candidate (frontiers are tiny; linear scan).
+            let best = frontier
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    a.1.improvement
+                        .partial_cmp(&b.1.improvement)
+                        .expect("improvements are finite")
+                        // Deterministic tie-break: earlier node id wins.
+                        .then(b.1.node.cmp(&a.1.node))
+                })
+                .map(|(i, _)| i)
+                .expect("frontier non-empty");
+            let cand = frontier.swap_remove(best);
+
+            let (ls, rs): (Vec<usize>, Vec<usize>) =
+                cand.samples.iter().partition(|&&s| !x[s][cand.feature]);
+            let left = tree.nodes.len();
+            let lnode = tree.make_node(&ls, y, tree.nodes[cand.node].depth + 1);
+            tree.nodes.push(lnode);
+            let right = tree.nodes.len();
+            let rnode = tree.make_node(&rs, y, tree.nodes[cand.node].depth + 1);
+            tree.nodes.push(rnode);
+            tree.nodes[cand.node].feature = Some(cand.feature);
+            tree.nodes[cand.node].left = left;
+            tree.nodes[cand.node].right = right;
+            num_leaves += 1;
+
+            push_candidate(&tree, left, ls, &mut frontier);
+            push_candidate(&tree, right, rs, &mut frontier);
+        }
+        tree
+    }
+
+    fn make_node(&self, samples: &[usize], y: &[usize], depth: usize) -> Node {
+        let mut raw = vec![0usize; self.num_classes];
+        for &s in samples {
+            raw[y[s]] += 1;
+        }
+        let weighted: Vec<f64> = raw
+            .iter()
+            .zip(&self.class_weights)
+            .map(|(&c, &w)| c as f64 * w)
+            .collect();
+        Node { feature: None, left: 0, right: 0, weighted_counts: weighted, raw_counts: raw, depth }
+    }
+
+    /// Best split of a sample subset: the feature maximizing the weighted
+    /// impurity decrease. Returns `None` when no feature separates the
+    /// samples with positive improvement.
+    fn best_split(
+        &self,
+        samples: &[usize],
+        x: &[Vec<bool>],
+        y: &[usize],
+        num_features: usize,
+        cfg: &TrainConfig,
+    ) -> Option<(usize, f64)> {
+        let mut parent = vec![0.0f64; self.num_classes];
+        for &s in samples {
+            parent[y[s]] += self.class_weights[y[s]];
+        }
+        let w_parent: f64 = parent.iter().sum();
+        let imp_parent = cfg.criterion.impurity(&parent);
+        let mut best: Option<(usize, f64)> = None;
+        #[allow(clippy::needless_range_loop)] // indices are the clearest form here
+        for f in 0..num_features {
+            let mut left = vec![0.0f64; self.num_classes];
+            for &s in samples {
+                if !x[s][f] {
+                    left[y[s]] += self.class_weights[y[s]];
+                }
+            }
+            let w_left: f64 = left.iter().sum();
+            let w_right = w_parent - w_left;
+            if w_left <= 0.0 || w_right <= 0.0 {
+                continue; // split does not separate anything
+            }
+            let right: Vec<f64> =
+                parent.iter().zip(&left).map(|(&p, &l)| p - l).collect();
+            let improvement = w_parent * imp_parent
+                - w_left * cfg.criterion.impurity(&left)
+                - w_right * cfg.criterion.impurity(&right);
+            // Any separating split is acceptable (scikit-learn splits
+            // every impure node; improvement only ranks candidates), so a
+            // zero-improvement split — e.g. the first level of XOR — is
+            // still taken when nothing better exists.
+            if best.is_none_or(|(_, b)| improvement > b) {
+                best = Some((f, improvement));
+            }
+        }
+        best
+    }
+
+    /// All nodes (root is index 0).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of classes the tree was trained with.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Predicted class of one feature vector.
+    pub fn predict(&self, x: &[bool]) -> usize {
+        let mut node = 0usize;
+        while let Some(f) = self.nodes[node].feature {
+            node = if x[f] { self.nodes[node].right } else { self.nodes[node].left };
+        }
+        self.nodes[node].class()
+    }
+
+    /// Number of leaf nodes.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| n.feature.is_none()).count()
+    }
+
+    /// Maximum depth reached (root = 0).
+    pub fn depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Class-weighted misclassification rate on a labelled set (plain
+    /// rate when the tree was trained unweighted). Weighting keeps small
+    /// classes relevant in Algorithm 1's error minimization, matching the
+    /// `class_weight="balanced"` intent.
+    pub fn error(&self, x: &[Vec<bool>], y: &[usize]) -> f64 {
+        let mut wrong = 0.0;
+        let mut total = 0.0;
+        for (xi, &yi) in x.iter().zip(y) {
+            let w = self.class_weights[yi];
+            total += w;
+            if self.predict(xi) != yi {
+                wrong += w;
+            }
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            wrong / total
+        }
+    }
+
+    /// Every root-to-leaf path (pre-order).
+    pub fn leaf_paths(&self) -> Vec<LeafPath> {
+        let mut out = Vec::new();
+        let mut stack = vec![(0usize, Vec::new())];
+        while let Some((node, conds)) = stack.pop() {
+            match self.nodes[node].feature {
+                None => out.push(LeafPath { conditions: conds, node }),
+                Some(f) => {
+                    let mut right = conds.clone();
+                    right.push((f, true));
+                    stack.push((self.nodes[node].right, right));
+                    let mut left = conds;
+                    left.push((f, false));
+                    stack.push((self.nodes[node].left, left));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<Vec<bool>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for a in [false, true] {
+            for b in [false, true] {
+                for _ in 0..5 {
+                    x.push(vec![a, b]);
+                    y.push(usize::from(a ^ b));
+                }
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_xor_exactly() {
+        let (x, y) = xor_data();
+        let tree = DecisionTree::fit(&x, &y, 2, &TrainConfig::default());
+        assert_eq!(tree.error(&x, &y), 0.0);
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(tree.predict(xi), yi);
+        }
+        assert_eq!(tree.num_leaves(), 4);
+        assert_eq!(tree.depth(), 2);
+    }
+
+    #[test]
+    fn single_feature_split() {
+        let x = vec![vec![false], vec![false], vec![true], vec![true]];
+        let y = vec![0, 0, 1, 1];
+        let tree = DecisionTree::fit(&x, &y, 2, &TrainConfig::default());
+        assert_eq!(tree.num_leaves(), 2);
+        assert_eq!(tree.predict(&[false]), 0);
+        assert_eq!(tree.predict(&[true]), 1);
+    }
+
+    #[test]
+    fn max_leaf_nodes_caps_growth() {
+        let (x, y) = xor_data();
+        let cfg = TrainConfig { max_leaf_nodes: Some(3), ..Default::default() };
+        let tree = DecisionTree::fit(&x, &y, 2, &cfg);
+        assert_eq!(tree.num_leaves(), 3);
+    }
+
+    #[test]
+    fn max_depth_caps_growth() {
+        let (x, y) = xor_data();
+        let cfg = TrainConfig { max_depth: Some(1), ..Default::default() };
+        let tree = DecisionTree::fit(&x, &y, 2, &cfg);
+        assert!(tree.depth() <= 1);
+        assert!(tree.num_leaves() <= 2);
+    }
+
+    #[test]
+    fn pure_node_stops_splitting() {
+        let x = vec![vec![false, true]; 6];
+        let y = vec![1; 6];
+        let tree = DecisionTree::fit(&x, &y, 3, &TrainConfig::default());
+        assert_eq!(tree.num_leaves(), 1);
+        assert_eq!(tree.predict(&[true, false]), 1);
+    }
+
+    #[test]
+    fn balanced_weights_protect_minority_class() {
+        // 1 minority sample distinguishable by feature 0; 99 majority.
+        let mut x = vec![vec![true]];
+        let mut y = vec![1usize];
+        for _ in 0..99 {
+            x.push(vec![false]);
+            y.push(0);
+        }
+        let balanced = DecisionTree::fit(&x, &y, 2, &TrainConfig::default());
+        assert_eq!(balanced.predict(&[true]), 1, "minority class must be found");
+        assert_eq!(balanced.error(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn entropy_criterion_also_learns() {
+        let (x, y) = xor_data();
+        let cfg = TrainConfig { criterion: Criterion::Entropy, ..Default::default() };
+        let tree = DecisionTree::fit(&x, &y, 2, &cfg);
+        assert_eq!(tree.error(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn impurity_values() {
+        assert_eq!(Criterion::Gini.impurity(&[5.0, 5.0]), 0.5);
+        assert_eq!(Criterion::Gini.impurity(&[10.0, 0.0]), 0.0);
+        assert!((Criterion::Entropy.impurity(&[5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(Criterion::Entropy.impurity(&[10.0]), 0.0);
+        assert_eq!(Criterion::Gini.impurity(&[]), 0.0);
+    }
+
+    #[test]
+    fn leaf_paths_partition_the_feature_space() {
+        let (x, y) = xor_data();
+        let tree = DecisionTree::fit(&x, &y, 2, &TrainConfig::default());
+        let paths = tree.leaf_paths();
+        assert_eq!(paths.len(), tree.num_leaves());
+        // Every sample follows exactly one path.
+        for xi in &x {
+            let matching = paths
+                .iter()
+                .filter(|p| p.conditions.iter().all(|&(f, v)| xi[f] == v))
+                .count();
+            assert_eq!(matching, 1);
+        }
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let (x, y) = xor_data();
+        let a = DecisionTree::fit(&x, &y, 2, &TrainConfig::default());
+        let b = DecisionTree::fit(&x, &y, 2, &TrainConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn three_class_problem() {
+        // Class = number of true features (0, 1, 2).
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for a in [false, true] {
+            for b in [false, true] {
+                x.push(vec![a, b]);
+                y.push(usize::from(a) + usize::from(b));
+            }
+        }
+        let tree = DecisionTree::fit(&x, &y, 3, &TrainConfig::default());
+        assert_eq!(tree.error(&x, &y), 0.0);
+        assert_eq!(tree.predict(&[true, true]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_labels_rejected() {
+        DecisionTree::fit(&[vec![true]], &[5], 2, &TrainConfig::default());
+    }
+}

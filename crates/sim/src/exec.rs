@@ -1,0 +1,970 @@
+//! Discrete-event execution of a compiled program across all ranks.
+//!
+//! Every rank is an SPMD copy of the same instruction list. Ranks are
+//! advanced round-robin; a rank blocks when it reaches an `MPI_Wait` whose
+//! matching remote post has not executed yet. If no rank can advance, the
+//! program deadlocks (e.g. all ranks waiting on receives before any rank
+//! has posted its sends) and the executor reports it instead of hanging.
+
+use crate::compile::{CompiledProgram, Instr, SimError};
+use crate::platform::Platform;
+use crate::trace::{Resource, Trace, TraceEvent};
+use rand::rngs::SmallRng;
+
+/// Completion times of one simulated program invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    /// Finish time of each rank, seconds from program start.
+    pub rank_times: Vec<f64>,
+}
+
+impl ExecOutcome {
+    /// Program time: the slowest rank.
+    pub fn time(&self) -> f64 {
+        self.rank_times.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Step {
+    Advanced,
+    Blocked,
+    Done,
+}
+
+struct RankState {
+    pc: usize,
+    cpu: f64,
+    stream_tail: Vec<f64>,
+    /// Kernel execution intervals per stream, for the contention model.
+    kernel_intervals: Vec<Vec<(f64, f64)>>,
+    event_time: Vec<Option<f64>>,
+    event_stream: Vec<Option<usize>>,
+    /// Per comm index: the time this rank entered a collective (set on
+    /// first arrival, consumed when all ranks have entered).
+    collective_entry: Vec<Option<f64>>,
+    /// Per comm index: post time of each send `(peer, bytes, t)`.
+    send_posts: Vec<Option<Vec<(usize, u64, f64)>>>,
+    /// Per comm index: post time of each receive `(peer, bytes, t)`.
+    recv_posts: Vec<Option<Vec<(usize, u64, f64)>>>,
+}
+
+impl RankState {
+    fn new(prog: &CompiledProgram) -> Self {
+        RankState {
+            pc: 0,
+            cpu: 0.0,
+            stream_tail: vec![0.0; prog.num_streams],
+            kernel_intervals: vec![Vec::new(); prog.num_streams],
+            event_time: vec![None; prog.num_events],
+            event_stream: vec![None; prog.num_events],
+            collective_entry: vec![None; prog.comms.len()],
+            send_posts: vec![None; prog.comms.len()],
+            recv_posts: vec![None; prog.comms.len()],
+        }
+    }
+}
+
+/// Executes one invocation of `prog` on `platform`, drawing measurement
+/// noise from `rng`. Returns per-rank completion times.
+pub fn execute(
+    prog: &CompiledProgram,
+    platform: &Platform,
+    rng: &mut SmallRng,
+) -> Result<ExecOutcome, SimError> {
+    Executor::new(prog, platform, false).run(rng).map(|(o, _)| o)
+}
+
+/// Like [`execute`], additionally recording a per-operation [`Trace`]
+/// (host spans and kernel stream spans) for timeline inspection.
+pub fn execute_traced(
+    prog: &CompiledProgram,
+    platform: &Platform,
+    rng: &mut SmallRng,
+) -> Result<(ExecOutcome, Trace), SimError> {
+    let (o, t) = Executor::new(prog, platform, true).run(rng)?;
+    Ok((o, t.expect("tracing was enabled")))
+}
+
+struct Executor<'a> {
+    prog: &'a CompiledProgram,
+    platform: &'a Platform,
+    ranks: Vec<RankState>,
+    /// Cached transfer arrival / send-completion times keyed by
+    /// `(comm, src, dst)`, so both endpoints observe identical times and
+    /// noise is drawn exactly once per transfer.
+    arrivals: std::collections::HashMap<(usize, usize, usize), (f64, f64)>,
+    trace: Option<Trace>,
+    /// Set when a blocked step still made observable progress (e.g. a
+    /// rank registering its entry into a collective) so the deadlock
+    /// detector does not fire spuriously.
+    noted_progress: bool,
+}
+
+impl<'a> Executor<'a> {
+    fn new(prog: &'a CompiledProgram, platform: &'a Platform, traced: bool) -> Self {
+        Executor {
+            prog,
+            platform,
+            ranks: (0..prog.num_ranks).map(|_| RankState::new(prog)).collect(),
+            arrivals: std::collections::HashMap::new(),
+            trace: traced.then(Trace::default),
+            noted_progress: false,
+        }
+    }
+
+    fn run(mut self, rng: &mut SmallRng) -> Result<(ExecOutcome, Option<Trace>), SimError> {
+        loop {
+            let mut progressed = false;
+            let mut all_done = true;
+            for r in 0..self.prog.num_ranks {
+                loop {
+                    match self.step(r, rng)? {
+                        Step::Advanced => progressed = true,
+                        Step::Blocked => {
+                            all_done = false;
+                            break;
+                        }
+                        Step::Done => break,
+                    }
+                }
+            }
+            if all_done {
+                break;
+            }
+            progressed |= std::mem::take(&mut self.noted_progress);
+            if !progressed {
+                let blocked: Vec<String> = (0..self.prog.num_ranks)
+                    .filter(|&r| self.ranks[r].pc < self.prog.instrs[r].len())
+                    .map(|r| format!("rank {r} at {}", self.prog.names[self.ranks[r].pc]))
+                    .collect();
+                return Err(SimError::Deadlock { detail: blocked.join("; ") });
+            }
+        }
+        Ok((
+            ExecOutcome { rank_times: self.ranks.iter().map(|r| r.cpu).collect() },
+            self.trace,
+        ))
+    }
+
+    fn step(&mut self, r: usize, rng: &mut SmallRng) -> Result<Step, SimError> {
+        let pc = self.ranks[r].pc;
+        if pc >= self.prog.instrs[r].len() {
+            return Ok(Step::Done);
+        }
+        // Blocking checks first (no state mutation on a blocked step).
+        match &self.prog.instrs[r][pc] {
+            Instr::WaitRecvs { comm } => {
+                if self.ranks[r].recv_posts[*comm].is_none() {
+                    return Err(SimError::WaitBeforePost {
+                        rank: r,
+                        name: self.prog.names[pc].clone(),
+                    });
+                }
+                for &(peer, _) in &self.prog.comms[*comm].recvs[r] {
+                    if self.ranks[peer].send_posts[*comm].is_none() {
+                        return Ok(Step::Blocked);
+                    }
+                }
+            }
+            Instr::WaitSends { comm } => {
+                if self.ranks[r].send_posts[*comm].is_none() {
+                    return Err(SimError::WaitBeforePost {
+                        rank: r,
+                        name: self.prog.names[pc].clone(),
+                    });
+                }
+                for &(peer, bytes) in &self.prog.comms[*comm].sends[r] {
+                    if !self.platform.is_eager(bytes)
+                        && self.ranks[peer].recv_posts[*comm].is_none()
+                    {
+                        return Ok(Step::Blocked);
+                    }
+                }
+            }
+            Instr::AllReduce { comm } => {
+                // Register this rank's entry once; complete only when all
+                // ranks have entered (blocking collective semantics).
+                if self.ranks[r].collective_entry[*comm].is_none() {
+                    self.ranks[r].collective_entry[*comm] = Some(self.ranks[r].cpu);
+                    self.noted_progress = true;
+                }
+                let comm = *comm;
+                if (0..self.prog.num_ranks)
+                    .any(|p| self.ranks[p].collective_entry[comm].is_none())
+                {
+                    return Ok(Step::Blocked);
+                }
+            }
+            _ => {}
+        }
+
+        let noise = |rng: &mut SmallRng| self.platform.noise.factor(rng);
+        let cpu_before = self.ranks[r].cpu;
+        let mut kernel_span: Option<(usize, f64, f64)> = None;
+        let instr = self.prog.instrs[r][pc].clone();
+        match instr {
+            Instr::CpuWork { dur } => {
+                let f = noise(rng);
+                self.ranks[r].cpu += dur * f;
+            }
+            Instr::KernelLaunch { stream, dur } => {
+                let f = noise(rng);
+                self.ranks[r].cpu += self.platform.kernel_launch_overhead;
+                let start = self.ranks[r].cpu.max(self.ranks[r].stream_tail[stream]);
+                let end = self.contended_end(r, stream, start, dur * f);
+                self.ranks[r].stream_tail[stream] = end;
+                self.ranks[r].kernel_intervals[stream].push((start, end));
+                kernel_span = Some((stream, start, end));
+            }
+            Instr::EventRecord { event, stream } => {
+                self.ranks[r].cpu += self.platform.event_record_overhead;
+                // The record is an in-stream marker: it completes when
+                // everything enqueued in the stream so far has completed.
+                self.ranks[r].event_time[event] =
+                    Some(self.ranks[r].stream_tail[stream].max(self.ranks[r].cpu));
+                self.ranks[r].event_stream[event] = Some(stream);
+            }
+            Instr::EventSync { ref events } => {
+                let mut t = self.ranks[r].cpu + self.platform.event_sync_overhead;
+                for &e in events.iter() {
+                    let et = self.ranks[r].event_time[e]
+                        .expect("schedule orders records before syncs");
+                    t = t.max(et);
+                }
+                self.ranks[r].cpu = t;
+            }
+            Instr::StreamWaitEvent { stream, event } => {
+                self.ranks[r].cpu += self.platform.stream_wait_overhead;
+                let mut et = self.ranks[r].event_time[event]
+                    .expect("schedule orders records before stream waits");
+                let src_stream = self.ranks[r].event_stream[event]
+                    .expect("recorded events know their stream");
+                if self.platform.gpu_of(src_stream) != self.platform.gpu_of(stream) {
+                    // Peer synchronization crosses the GPU interconnect.
+                    et += self.platform.cross_gpu_sync_latency;
+                }
+                let tail = &mut self.ranks[r].stream_tail[stream];
+                *tail = tail.max(et);
+            }
+            Instr::PostSends { comm } => {
+                let mut posts = Vec::with_capacity(self.prog.comms[comm].sends[r].len());
+                for &(peer, bytes) in &self.prog.comms[comm].sends[r] {
+                    self.ranks[r].cpu += self.platform.isend_overhead;
+                    posts.push((peer, bytes, self.ranks[r].cpu));
+                }
+                self.ranks[r].send_posts[comm] = Some(posts);
+            }
+            Instr::PostRecvs { comm } => {
+                let mut posts = Vec::with_capacity(self.prog.comms[comm].recvs[r].len());
+                for &(peer, bytes) in &self.prog.comms[comm].recvs[r] {
+                    self.ranks[r].cpu += self.platform.irecv_overhead;
+                    posts.push((peer, bytes, self.ranks[r].cpu));
+                }
+                self.ranks[r].recv_posts[comm] = Some(posts);
+            }
+            Instr::WaitRecvs { comm } => {
+                let mut t = self.ranks[r].cpu + self.platform.wait_overhead;
+                let peers: Vec<usize> =
+                    self.prog.comms[comm].recvs[r].iter().map(|&(p, _)| p).collect();
+                for peer in peers {
+                    let (arrival, _) = self.transfer(comm, peer, r, rng)?;
+                    t = t.max(arrival);
+                }
+                self.ranks[r].cpu = t;
+            }
+            Instr::WaitSends { comm } => {
+                let mut t = self.ranks[r].cpu + self.platform.wait_overhead;
+                let peers: Vec<usize> =
+                    self.prog.comms[comm].sends[r].iter().map(|&(p, _)| p).collect();
+                for peer in peers {
+                    let (_, send_complete) = self.transfer(comm, r, peer, rng)?;
+                    t = t.max(send_complete);
+                }
+                self.ranks[r].cpu = t;
+            }
+            Instr::AllReduce { comm } => {
+                let entries: f64 = (0..self.prog.num_ranks)
+                    .map(|p| {
+                        self.ranks[p].collective_entry[comm]
+                            .expect("blocking logic ensures all ranks entered")
+                    })
+                    .fold(0.0, f64::max);
+                let bytes = self.prog.comms[comm].sends[r]
+                    .first()
+                    .map(|&(_, b)| b)
+                    .expect("collective pattern validated at compile time");
+                let dur = self.platform.collective_time(self.prog.num_ranks, bytes)
+                    * self.platform.noise.factor(rng);
+                self.ranks[r].cpu =
+                    entries.max(self.ranks[r].cpu) + self.platform.wait_overhead + dur;
+            }
+            Instr::DeviceSync => {
+                let tail_max =
+                    self.ranks[r].stream_tail.iter().copied().fold(0.0f64, f64::max);
+                self.ranks[r].cpu = self.ranks[r].cpu.max(tail_max);
+            }
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            trace.events.push(TraceEvent {
+                rank: r,
+                name: self.prog.names[pc].clone(),
+                resource: Resource::Cpu,
+                start: cpu_before,
+                end: self.ranks[r].cpu,
+            });
+            if let Some((stream, start, end)) = kernel_span {
+                trace.events.push(TraceEvent {
+                    rank: r,
+                    name: self.prog.names[pc].clone(),
+                    resource: Resource::Stream(stream),
+                    start,
+                    end,
+                });
+            }
+        }
+        self.ranks[r].pc += 1;
+        Ok(Step::Advanced)
+    }
+
+    /// Kernel end time under the inter-stream contention model: a kernel
+    /// accrues `gpu_contention` extra seconds per second of overlap with
+    /// kernels already placed in *other streams of the same GPU*. Solved
+    /// by a short fixed point: extending the kernel can only add bounded
+    /// overlap.
+    fn contended_end(&self, r: usize, stream: usize, start: f64, dur: f64) -> f64 {
+        let c = self.platform.gpu_contention;
+        if c == 0.0 {
+            return start + dur;
+        }
+        let gpu = self.platform.gpu_of(stream);
+        let mut end = start + dur;
+        for _ in 0..8 {
+            let mut overlap = 0.0;
+            for (s, intervals) in self.ranks[r].kernel_intervals.iter().enumerate() {
+                if s == stream || self.platform.gpu_of(s) != gpu {
+                    continue;
+                }
+                for &(a, b) in intervals {
+                    overlap += (end.min(b) - start.max(a)).max(0.0);
+                }
+            }
+            let new_end = start + dur + c * overlap;
+            if (new_end - end).abs() < 1e-12 {
+                return new_end;
+            }
+            end = new_end;
+        }
+        end
+    }
+
+    /// Arrival time at `dst` and completion time at `src` of the message
+    /// `src → dst` under `comm`, computed once and cached. Both post times
+    /// must already be known for rendezvous messages (the step() blocking
+    /// logic guarantees it); eager messages need only the send post.
+    fn transfer(
+        &mut self,
+        comm: usize,
+        src: usize,
+        dst: usize,
+        rng: &mut SmallRng,
+    ) -> Result<(f64, f64), SimError> {
+        if let Some(&cached) = self.arrivals.get(&(comm, src, dst)) {
+            return Ok(cached);
+        }
+        let bytes = self.prog.comms[comm].sends[src]
+            .iter()
+            .find(|&&(p, _)| p == dst)
+            .map(|&(_, b)| b)
+            .expect("comm table validated pairwise at compile time");
+        let send_post = self.ranks[src].send_posts[comm]
+            .as_ref()
+            .expect("blocking logic ensures sender posted")
+            .iter()
+            .find(|&&(p, _, _)| p == dst)
+            .map(|&(_, _, t)| t)
+            .expect("validated pairwise");
+        let recv_post = self.ranks[dst].recv_posts[comm].as_ref().map(|posts| {
+            posts
+                .iter()
+                .find(|&&(p, _, _)| p == src)
+                .map(|&(_, _, t)| t)
+                .expect("validated pairwise")
+        });
+        let wire = self.platform.wire_time(bytes) * self.platform.noise.factor(rng);
+        let result = if self.platform.is_eager(bytes) {
+            // Eager: payload leaves immediately and the send completes at
+            // once (buffered). The receiver's wait clamps the arrival to
+            // its own timeline, which is already past its receive post,
+            // so no recv_post term is needed here.
+            (send_post + wire, send_post)
+        } else {
+            // Rendezvous: the transfer starts once both sides have posted.
+            let rp = recv_post.expect("blocking logic ensures receiver posted");
+            let start = send_post.max(rp);
+            let arrival = start + wire;
+            (arrival, arrival)
+        };
+        self.arrivals.insert((comm, src, dst), result);
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::CompiledProgram;
+    use crate::workload::{CommPattern, TableWorkload};
+    use dr_dag::{build_schedule, CommKey, CostKey, DagBuilder, DecisionSpace, OpSpec, Schedule};
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0)
+    }
+
+    fn compile(
+        build: impl FnOnce(&mut DagBuilder),
+        pick: impl Fn(&DecisionSpace) -> dr_dag::Traversal,
+        workload: &TableWorkload,
+    ) -> (CompiledProgram, Schedule) {
+        let mut b = DagBuilder::new();
+        build(&mut b);
+        let sp = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
+        let t = pick(&sp);
+        let s = build_schedule(&sp, &t);
+        (CompiledProgram::compile(&s, workload).unwrap(), s)
+    }
+
+    #[test]
+    fn single_cpu_op_takes_its_duration() {
+        let mut w = TableWorkload::new(1);
+        w.cost_all("c", 3e-3);
+        let (p, _) = compile(
+            |b| {
+                b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+            },
+            |sp| sp.enumerate().into_iter().next().unwrap(),
+            &w,
+        );
+        let platform = Platform::perlmutter_like().noiseless();
+        let out = execute(&p, &platform, &mut rng()).unwrap();
+        assert!((out.time() - 3e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_stream_kernels_serialize_different_streams_overlap() {
+        let mut w = TableWorkload::new(1);
+        w.cost_all("k1", 1e-3).cost_all("k2", 1e-3);
+        let platform = Platform {
+            gpu_contention: 0.0,
+            ..Platform::perlmutter_like().noiseless()
+        };
+        let build = |b: &mut DagBuilder| {
+            b.add("k1", OpSpec::GpuKernel(CostKey::new("k1")));
+            b.add("k2", OpSpec::GpuKernel(CostKey::new("k2")));
+        };
+        let same = |sp: &DecisionSpace| {
+            sp.traversal_from_names(&[("k1", Some(0)), ("k2", Some(0))]).unwrap()
+        };
+        let diff = |sp: &DecisionSpace| {
+            sp.traversal_from_names(&[("k1", Some(0)), ("k2", Some(1))]).unwrap()
+        };
+        let (p_same, _) = compile(build, same, &w);
+        let (p_diff, _) = compile(build, diff, &w);
+        let t_same = execute(&p_same, &platform, &mut rng()).unwrap().time();
+        let t_diff = execute(&p_diff, &platform, &mut rng()).unwrap().time();
+        assert!(t_same > 1.9e-3, "serialized kernels: {t_same}");
+        assert!(t_diff < 1.2e-3, "overlapped kernels: {t_diff}");
+    }
+
+    #[test]
+    fn contention_slows_overlapped_kernels() {
+        let mut w = TableWorkload::new(1);
+        w.cost_all("k1", 1e-3).cost_all("k2", 1e-3);
+        let build = |b: &mut DagBuilder| {
+            b.add("k1", OpSpec::GpuKernel(CostKey::new("k1")));
+            b.add("k2", OpSpec::GpuKernel(CostKey::new("k2")));
+        };
+        let diff = |sp: &DecisionSpace| {
+            sp.traversal_from_names(&[("k1", Some(0)), ("k2", Some(1))]).unwrap()
+        };
+        let free = Platform {
+            gpu_contention: 0.0,
+            ..Platform::perlmutter_like().noiseless()
+        };
+        let contended = Platform { gpu_contention: 0.5, ..free.clone() };
+        let (p, _) = compile(build, diff, &w);
+        let t_free = execute(&p, &free, &mut rng()).unwrap().time();
+        let t_cont = execute(&p, &contended, &mut rng()).unwrap().time();
+        assert!(t_cont > t_free, "contention must cost time: {t_cont} vs {t_free}");
+        // Still cheaper than full serialization (contention 0.5 < 1.0).
+        assert!(t_cont < 2e-3);
+    }
+
+    #[test]
+    fn event_sync_blocks_cpu_until_kernel_done() {
+        let mut w = TableWorkload::new(1);
+        w.cost_all("k", 5e-3).cost_all("c", 1e-6);
+        let build = |b: &mut DagBuilder| {
+            let k = b.add("k", OpSpec::GpuKernel(CostKey::new("k")));
+            let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+            b.edge(k, c);
+        };
+        let (p, _) = compile(
+            build,
+            |sp| {
+                sp.traversal_from_names(&[
+                    ("k", Some(0)),
+                    ("CER-after-k", None),
+                    ("CES-b4-c", None),
+                    ("c", None),
+                ])
+                .unwrap()
+            },
+            &w,
+        );
+        let platform = Platform::perlmutter_like().noiseless();
+        let out = execute(&p, &platform, &mut rng()).unwrap();
+        assert!(out.time() >= 5e-3, "CPU op must wait for the kernel: {}", out.time());
+    }
+
+    #[test]
+    fn cross_stream_wait_orders_kernels() {
+        let mut w = TableWorkload::new(1);
+        w.cost_all("k1", 2e-3).cost_all("k2", 2e-3);
+        let platform = Platform {
+            gpu_contention: 0.0,
+            ..Platform::perlmutter_like().noiseless()
+        };
+        let build = |b: &mut DagBuilder| {
+            let a = b.add("k1", OpSpec::GpuKernel(CostKey::new("k1")));
+            let c = b.add("k2", OpSpec::GpuKernel(CostKey::new("k2")));
+            b.edge(a, c);
+        };
+        let (p, _) = compile(
+            build,
+            |sp| sp.traversal_from_names(&[("k1", Some(0)), ("k2", Some(1))]).unwrap(),
+            &w,
+        );
+        let out = execute(&p, &platform, &mut rng()).unwrap();
+        // Dependent kernels serialize even across streams.
+        assert!(out.time() >= 4e-3, "{}", out.time());
+    }
+
+    #[test]
+    fn device_sync_waits_for_all_streams() {
+        let mut w = TableWorkload::new(1);
+        w.cost_all("k", 7e-3);
+        let (p, _) = compile(
+            |b| {
+                b.add("k", OpSpec::GpuKernel(CostKey::new("k")));
+            },
+            |sp| sp.enumerate().into_iter().next().unwrap(),
+            &w,
+        );
+        let platform = Platform::perlmutter_like().noiseless();
+        let out = execute(&p, &platform, &mut rng()).unwrap();
+        assert!(out.time() >= 7e-3);
+    }
+
+    fn exchange_build(b: &mut DagBuilder) {
+        let key = CommKey::new("x");
+        let ps = b.add("PostSends", OpSpec::PostSends(key.clone()));
+        let pr = b.add("PostRecvs", OpSpec::PostRecvs(key.clone()));
+        let ws = b.add("WaitSends", OpSpec::WaitSends(key.clone()));
+        let wr = b.add("WaitRecvs", OpSpec::WaitRecvs(key));
+        b.edge(ps, ws);
+        b.edge(pr, wr);
+        b.edge(ps, wr);
+    }
+
+    #[test]
+    fn exchange_completes_and_charges_wire_time() {
+        let mut w = TableWorkload::new(2);
+        let bytes = 1 << 20; // rendezvous-sized
+        w.comm_all_to_all("x", bytes);
+        let (p, _) = compile(
+            exchange_build,
+            |sp| {
+                sp.traversal_from_names(&[
+                    ("PostRecvs", None),
+                    ("PostSends", None),
+                    ("WaitSends", None),
+                    ("WaitRecvs", None),
+                ])
+                .unwrap()
+            },
+            &w,
+        );
+        let platform = Platform::perlmutter_like().noiseless();
+        let out = execute(&p, &platform, &mut rng()).unwrap();
+        assert!(out.time() >= platform.wire_time(bytes), "{}", out.time());
+        assert_eq!(out.rank_times.len(), 2);
+    }
+
+    #[test]
+    fn eager_messages_do_not_need_recv_for_send_completion() {
+        let mut w = TableWorkload::new(2);
+        w.comm_all_to_all("x", 512); // below eager threshold
+        let (p, _) = compile(
+            exchange_build,
+            |sp| {
+                sp.traversal_from_names(&[
+                    ("PostSends", None),
+                    ("WaitSends", None),
+                    ("PostRecvs", None),
+                    ("WaitRecvs", None),
+                ])
+                .unwrap()
+            },
+            &w,
+        );
+        let platform = Platform::perlmutter_like().noiseless();
+        // Sends complete before receives are posted: must not deadlock.
+        let out = execute(&p, &platform, &mut rng()).unwrap();
+        assert!(out.time() > 0.0);
+    }
+
+    #[test]
+    fn rendezvous_wait_before_remote_recv_deadlocks_when_recv_never_posts() {
+        // Both ranks: PostSends then WaitSends (rendezvous) with the recv
+        // posts scheduled *after* the send wait. SPMD symmetry means no
+        // rank ever posts receives before blocking: deadlock.
+        let mut w = TableWorkload::new(2);
+        w.comm_all_to_all("x", 1 << 20);
+        let (p, _) = compile(
+            exchange_build,
+            |sp| {
+                sp.traversal_from_names(&[
+                    ("PostSends", None),
+                    ("WaitSends", None),
+                    ("PostRecvs", None),
+                    ("WaitRecvs", None),
+                ])
+                .unwrap()
+            },
+            &w,
+        );
+        let platform = Platform::perlmutter_like().noiseless();
+        match execute(&p, &platform, &mut rng()) {
+            Err(SimError::Deadlock { .. }) => {}
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn asymmetric_sizes_by_rank_are_supported() {
+        // Rank 0 sends 1 MiB to rank 1; rank 1 sends 2 MiB back.
+        let mut w = TableWorkload::new(2);
+        w.comm_on(
+            0,
+            "x",
+            CommPattern { sends: vec![(1, 1 << 20)], recvs: vec![(1, 2 << 20)] },
+        );
+        w.comm_on(
+            1,
+            "x",
+            CommPattern { sends: vec![(0, 2 << 20)], recvs: vec![(0, 1 << 20)] },
+        );
+        let (p, _) = compile(
+            exchange_build,
+            |sp| {
+                sp.traversal_from_names(&[
+                    ("PostRecvs", None),
+                    ("PostSends", None),
+                    ("WaitSends", None),
+                    ("WaitRecvs", None),
+                ])
+                .unwrap()
+            },
+            &w,
+        );
+        let platform = Platform::perlmutter_like().noiseless();
+        let out = execute(&p, &platform, &mut rng()).unwrap();
+        // Rank 0 waits for the 2 MiB message; both finish after its wire time.
+        assert!(out.rank_times[0] >= platform.wire_time(2 << 20));
+    }
+
+    #[test]
+    fn noiseless_execution_is_exactly_reproducible() {
+        let mut w = TableWorkload::new(2);
+        w.comm_all_to_all("x", 1 << 16);
+        let (p, _) = compile(
+            exchange_build,
+            |sp| {
+                sp.traversal_from_names(&[
+                    ("PostRecvs", None),
+                    ("PostSends", None),
+                    ("WaitSends", None),
+                    ("WaitRecvs", None),
+                ])
+                .unwrap()
+            },
+            &w,
+        );
+        let platform = Platform::perlmutter_like().noiseless();
+        let a = execute(&p, &platform, &mut rng()).unwrap();
+        let b = execute(&p, &platform, &mut rng()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noisy_execution_is_seed_deterministic() {
+        let mut w = TableWorkload::new(2);
+        w.comm_all_to_all("x", 1 << 16);
+        let (p, _) = compile(
+            exchange_build,
+            |sp| {
+                sp.traversal_from_names(&[
+                    ("PostRecvs", None),
+                    ("PostSends", None),
+                    ("WaitSends", None),
+                    ("WaitRecvs", None),
+                ])
+                .unwrap()
+            },
+            &w,
+        );
+        let platform = Platform::perlmutter_like(); // noisy
+        let a = execute(&p, &platform, &mut SmallRng::seed_from_u64(9)).unwrap();
+        let b = execute(&p, &platform, &mut SmallRng::seed_from_u64(9)).unwrap();
+        let c = execute(&p, &platform, &mut SmallRng::seed_from_u64(10)).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::trace::Resource;
+    use crate::workload::TableWorkload;
+    use dr_dag::{build_schedule, CostKey, DagBuilder, DecisionSpace, OpSpec};
+    use rand::SeedableRng;
+
+    #[test]
+    fn traced_execution_matches_untraced_and_covers_ops() {
+        let mut b = DagBuilder::new();
+        let k = b.add("k", OpSpec::GpuKernel(CostKey::new("k")));
+        let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+        b.edge(k, c);
+        let sp = DecisionSpace::new(b.build().unwrap(), 1).unwrap();
+        let t = sp.enumerate().into_iter().next().unwrap();
+        let s = build_schedule(&sp, &t);
+        let mut w = TableWorkload::new(2);
+        w.cost_all("k", 1e-4).cost_all("c", 2e-5);
+        let prog = CompiledProgram::compile(&s, &w).unwrap();
+        let platform = Platform::perlmutter_like().noiseless();
+        let plain = execute(&prog, &platform, &mut SmallRng::seed_from_u64(3)).unwrap();
+        let (traced, trace) =
+            execute_traced(&prog, &platform, &mut SmallRng::seed_from_u64(3)).unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb timing");
+        // Every instruction appears as a CPU span on every rank, and the
+        // kernel additionally as a stream span.
+        for rank in 0..2 {
+            let cpu_spans = trace
+                .rank(rank)
+                .filter(|e| e.resource == Resource::Cpu)
+                .count();
+            assert_eq!(cpu_spans, prog.names.len());
+            let kernel_spans: Vec<_> = trace
+                .rank(rank)
+                .filter(|e| matches!(e.resource, Resource::Stream(_)))
+                .collect();
+            assert_eq!(kernel_spans.len(), 1);
+            assert_eq!(kernel_spans[0].name, "k");
+            assert!((kernel_spans[0].duration() - 1e-4).abs() < 1e-12);
+        }
+        // Spans are within the makespan and ordered sanely.
+        let makespan = trace.makespan();
+        assert!((makespan - traced.time()).abs() < 1e-12);
+        for e in &trace.events {
+            assert!(e.start <= e.end);
+            assert!(e.end <= makespan + 1e-15);
+        }
+    }
+}
+
+#[cfg(test)]
+mod multi_gpu_tests {
+    use super::*;
+    use crate::workload::TableWorkload;
+    use dr_dag::{build_schedule, CostKey, DagBuilder, DecisionSpace, OpSpec};
+    use rand::SeedableRng;
+
+    fn two_kernel_prog(
+        streams: (usize, usize),
+        dep: bool,
+        w: &TableWorkload,
+    ) -> CompiledProgram {
+        let mut b = DagBuilder::new();
+        let k1 = b.add("k1", OpSpec::GpuKernel(CostKey::new("k1")));
+        let k2 = b.add("k2", OpSpec::GpuKernel(CostKey::new("k2")));
+        if dep {
+            b.edge(k1, k2);
+        }
+        let sp = DecisionSpace::new(b.build().unwrap(), 4).unwrap();
+        let t = sp
+            .traversal_from_names(&[("k1", Some(streams.0)), ("k2", Some(streams.1))])
+            .unwrap();
+        let s = build_schedule(&sp, &t);
+        CompiledProgram::compile(&s, w).unwrap()
+    }
+
+    fn workload() -> TableWorkload {
+        let mut w = TableWorkload::new(1);
+        w.cost_all("k1", 1e-3).cost_all("k2", 1e-3);
+        w
+    }
+
+    #[test]
+    fn separate_gpus_do_not_contend() {
+        let w = workload();
+        let platform = Platform {
+            gpu_contention: 0.5,
+            streams_per_gpu: 1, // stream 0 -> GPU 0, stream 1 -> GPU 1
+            ..Platform::perlmutter_like().noiseless()
+        };
+        // Same-GPU contention baseline: both streams on GPU 0.
+        let same_gpu = Platform { streams_per_gpu: 2, ..platform.clone() };
+        let prog = two_kernel_prog((0, 1), false, &w);
+        let t_sep = execute(&prog, &platform, &mut SmallRng::seed_from_u64(1))
+            .unwrap()
+            .time();
+        let t_same = execute(&prog, &same_gpu, &mut SmallRng::seed_from_u64(1))
+            .unwrap()
+            .time();
+        assert!(t_sep < t_same, "separate GPUs avoid contention: {t_sep} vs {t_same}");
+        assert!((t_sep - 1e-3).abs() < 2e-5, "fully parallel on 2 GPUs: {t_sep}");
+    }
+
+    #[test]
+    fn cross_gpu_dependency_pays_peer_sync_latency() {
+        let w = workload();
+        let base = Platform {
+            gpu_contention: 0.0,
+            streams_per_gpu: 1,
+            cross_gpu_sync_latency: 50e-6,
+            ..Platform::perlmutter_like().noiseless()
+        };
+        let prog_cross = two_kernel_prog((0, 1), true, &w);
+        let prog_local = two_kernel_prog((0, 0), true, &w);
+        let t_cross = execute(&prog_cross, &base, &mut SmallRng::seed_from_u64(1))
+            .unwrap()
+            .time();
+        let t_local = execute(&prog_local, &base, &mut SmallRng::seed_from_u64(1))
+            .unwrap()
+            .time();
+        assert!(
+            t_cross >= t_local + 45e-6,
+            "peer sync latency must show: {t_cross} vs {t_local}"
+        );
+    }
+
+    #[test]
+    fn single_gpu_default_is_unchanged() {
+        let p = Platform::perlmutter_like();
+        for s in 0..16 {
+            assert_eq!(p.gpu_of(s), 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod collective_tests {
+    use super::*;
+    use crate::workload::{CommPattern, TableWorkload};
+    use dr_dag::{build_schedule, CommKey, CostKey, DagBuilder, DecisionSpace, OpSpec};
+    use rand::SeedableRng;
+
+    fn contribution(w: &mut TableWorkload, ranks: usize, key: &str, bytes: u64) {
+        for r in 0..ranks {
+            w.comm_on(r, key, CommPattern { sends: vec![(0, bytes)], recvs: vec![] });
+        }
+    }
+
+    /// Per-rank skewed work followed by a blocking allreduce.
+    fn program(ranks: usize) -> (CompiledProgram, f64) {
+        let mut b = DagBuilder::new();
+        let work = b.add("work", OpSpec::CpuWork(CostKey::new("work")));
+        let red = b.add("dot", OpSpec::AllReduce(CommKey::new("dot")));
+        b.edge(work, red);
+        let sp = DecisionSpace::new(b.build().unwrap(), 1).unwrap();
+        let t = sp.enumerate().into_iter().next().unwrap();
+        let s = build_schedule(&sp, &t);
+        let mut w = TableWorkload::new(ranks);
+        let slowest = 1e-3 * ranks as f64;
+        for r in 0..ranks {
+            w.cost_on(r, "work", 1e-3 * (r + 1) as f64);
+        }
+        contribution(&mut w, ranks, "dot", 8);
+        (CompiledProgram::compile(&s, &w).unwrap(), slowest)
+    }
+
+    #[test]
+    fn allreduce_synchronizes_all_ranks() {
+        let (prog, slowest) = program(4);
+        let platform = Platform::perlmutter_like().noiseless();
+        let out = execute(&prog, &platform, &mut SmallRng::seed_from_u64(1)).unwrap();
+        // Every rank finishes after the slowest rank's work plus the tree.
+        let tree = platform.collective_time(4, 8);
+        for rt in &out.rank_times {
+            assert!(*rt >= slowest + tree, "{rt} < {slowest} + {tree}");
+        }
+        // The fast ranks do not finish much later than the slow one.
+        let spread = out.rank_times.iter().copied().fold(0.0f64, f64::max)
+            - out.rank_times.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(spread < 1e-5, "collective aligns ranks: spread {spread}");
+    }
+
+    #[test]
+    fn collective_time_scales_logarithmically() {
+        let p = Platform::perlmutter_like();
+        assert_eq!(p.collective_time(1, 1024), 0.0);
+        let t2 = p.collective_time(2, 1024);
+        let t8 = p.collective_time(8, 1024);
+        assert!((t8 / t2 - 3.0).abs() < 1e-9, "log2(8) = 3 rounds");
+    }
+
+    #[test]
+    fn single_rank_allreduce_is_free() {
+        let (prog, _) = program(1);
+        let platform = Platform::perlmutter_like().noiseless();
+        let out = execute(&prog, &platform, &mut SmallRng::seed_from_u64(1)).unwrap();
+        assert!((out.time() - 1e-3 - platform.wait_overhead).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_key_use_is_rejected() {
+        let mut b = DagBuilder::new();
+        let red = b.add("dot", OpSpec::AllReduce(CommKey::new("x")));
+        let ps = b.add("PostSends", OpSpec::PostSends(CommKey::new("x")));
+        b.edge(red, ps);
+        let sp = DecisionSpace::new(b.build().unwrap(), 1).unwrap();
+        let t = sp.enumerate().into_iter().next().unwrap();
+        let s = build_schedule(&sp, &t);
+        let mut w = TableWorkload::new(2);
+        contribution(&mut w, 2, "x", 8);
+        assert!(matches!(
+            CompiledProgram::compile(&s, &w),
+            Err(SimError::MixedCommKey { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_collective_pattern_is_rejected() {
+        let mut b = DagBuilder::new();
+        b.add("dot", OpSpec::AllReduce(CommKey::new("x")));
+        let sp = DecisionSpace::new(b.build().unwrap(), 1).unwrap();
+        let t = sp.enumerate().into_iter().next().unwrap();
+        let s = build_schedule(&sp, &t);
+        let mut w = TableWorkload::new(2);
+        // recvs must be empty for a collective key.
+        w.comm_on(0, "x", CommPattern { sends: vec![(0, 8)], recvs: vec![(1, 8)] });
+        w.comm_on(1, "x", CommPattern { sends: vec![(0, 8)], recvs: vec![] });
+        assert!(matches!(
+            CompiledProgram::compile(&s, &w),
+            Err(SimError::InvalidCollective { rank: 0, .. })
+        ));
+    }
+}

@@ -1,0 +1,35 @@
+//! # dr-sim — discrete-event CUDA+MPI platform simulator
+//!
+//! The reproduction's substitute for the paper's Perlmutter node. The
+//! design-rule pipeline consumes only `(sequence, measured time)` pairs,
+//! so any timing source that exhibits the first-order phenomena of a real
+//! GPU cluster — asynchronous kernel launches, per-stream FIFO ordering,
+//! inter-stream contention, CUDA event semantics, eager/rendezvous MPI
+//! point-to-point messaging, and blocking waits — yields the same kind of
+//! multi-modal performance landscape the method dissects.
+//!
+//! * [`Platform`] — the parametric cost model (launch overheads, link
+//!   latency/bandwidth, contention, measurement noise);
+//! * [`Workload`] — resolves the symbolic cost/communication keys of a
+//!   program DAG for a concrete problem instance;
+//! * [`CompiledProgram`] — a schedule resolved against a workload;
+//! * [`execute`] — one simulated invocation across all ranks, with
+//!   deadlock detection;
+//! * [`benchmark`] — the paper's measurement protocol (samples until
+//!   `t_measure`, percentile records, max-over-ranks reduction).
+
+#![warn(missing_docs)]
+
+mod bench;
+mod compile;
+mod exec;
+mod platform;
+pub mod trace;
+mod workload;
+
+pub use bench::{benchmark, percentile, BenchConfig, BenchResult, Percentiles};
+pub use compile::{CommTable, CompiledProgram, Instr, SimError};
+pub use exec::{execute, execute_traced, ExecOutcome};
+pub use trace::{Resource, Trace, TraceEvent};
+pub use platform::{NoiseModel, Platform};
+pub use workload::{CommPattern, TableWorkload, Workload};

@@ -1,0 +1,246 @@
+//! Platform cost model: the simulator's substitute for the paper's
+//! Perlmutter node (Table I).
+//!
+//! The reproduction has no A100s or Cray-MPICH; instead the platform is a
+//! parametric first-order model of the behaviours that make operation
+//! order and stream assignment matter: host-side launch overheads, stream
+//! FIFO serialization, inter-stream kernel contention, eager/rendezvous
+//! point-to-point messaging, and blocking waits.
+
+/// Multiplicative log-normal measurement noise. Real benchmarks jitter;
+/// the labeling pipeline (convolution + peak prominence) is designed to be
+/// robust to it, so the simulator reproduces it deterministically from a
+/// seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Standard deviation of `ln(factor)`; 0 disables noise.
+    pub sigma: f64,
+}
+
+impl NoiseModel {
+    /// No measurement noise (exact repeatable timings).
+    pub const NONE: NoiseModel = NoiseModel { sigma: 0.0 };
+
+    /// Draws a multiplicative noise factor `exp(sigma · z)`, `z ~ N(0,1)`,
+    /// using the Box-Muller transform on two uniform draws.
+    pub fn factor(&self, rng: &mut impl rand::Rng) -> f64 {
+        if self.sigma == 0.0 {
+            return 1.0;
+        }
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.sigma * z).exp()
+    }
+}
+
+/// First-order cost model of a multi-rank GPU node. All times are seconds,
+/// bandwidths bytes/second.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// CPU time consumed by launching a kernel (`cudaLaunchKernel`).
+    pub kernel_launch_overhead: f64,
+    /// CPU time consumed by `cudaEventRecord`.
+    pub event_record_overhead: f64,
+    /// CPU time consumed by `cudaEventSynchronize` beyond the actual wait.
+    pub event_sync_overhead: f64,
+    /// CPU time consumed by `cudaStreamWaitEvent`.
+    pub stream_wait_overhead: f64,
+    /// CPU time consumed by posting one `MPI_Isend`.
+    pub isend_overhead: f64,
+    /// CPU time consumed by posting one `MPI_Irecv`.
+    pub irecv_overhead: f64,
+    /// CPU time consumed by an `MPI_Wait` call beyond the actual wait.
+    pub wait_overhead: f64,
+    /// Per-message network/PCIe latency.
+    pub net_latency: f64,
+    /// Link bandwidth for message payloads.
+    pub net_bandwidth: f64,
+    /// Messages at or below this size use the eager protocol (the send
+    /// buffer is captured immediately and the send completes without a
+    /// matching receive); larger messages rendezvous (the transfer starts
+    /// only once both sides have posted).
+    pub eager_threshold: u64,
+    /// Inter-stream kernel contention: while a kernel overlaps a kernel in
+    /// another stream *of the same GPU*, it accrues `contention` extra
+    /// seconds per second of overlap (0 = perfect concurrency, 1 = no
+    /// benefit over serialization).
+    pub gpu_contention: f64,
+    /// Streams per GPU: streams `0..streams_per_gpu` live on GPU 0, the
+    /// next block on GPU 1, and so on (paper future work: "extending
+    /// resource assignment to include multiple GPUs or NUMA nodes").
+    /// `usize::MAX` (the default) models a single GPU.
+    pub streams_per_gpu: usize,
+    /// Extra latency of a `cudaStreamWaitEvent` whose event was recorded
+    /// on a *different GPU* (peer synchronization crosses NVLink/PCIe).
+    pub cross_gpu_sync_latency: f64,
+    /// Measurement noise applied to kernel/CPU durations and transfers.
+    pub noise: NoiseModel,
+}
+
+impl Platform {
+    /// A Perlmutter-like single node: A100-class GPUs on PCIe 4.0, one
+    /// NIC, Cray-MPICH-like eager threshold. Values are first-order
+    /// magnitudes from public microbenchmarks, not measurements; the
+    /// reproduction's target is the *shape* of the design-space landscape.
+    pub fn perlmutter_like() -> Self {
+        Platform {
+            kernel_launch_overhead: 5e-6,
+            event_record_overhead: 1e-6,
+            event_sync_overhead: 2e-6,
+            stream_wait_overhead: 1e-6,
+            isend_overhead: 1.5e-6,
+            irecv_overhead: 1.0e-6,
+            wait_overhead: 1.0e-6,
+            net_latency: 4e-6,
+            net_bandwidth: 12e9,
+            eager_threshold: 8 * 1024,
+            gpu_contention: 0.25,
+            streams_per_gpu: usize::MAX,
+            cross_gpu_sync_latency: 8e-6,
+            noise: NoiseModel { sigma: 0.02 },
+        }
+    }
+
+    /// The GPU a stream belongs to.
+    pub fn gpu_of(&self, stream: usize) -> usize {
+        stream / self.streams_per_gpu.max(1)
+    }
+
+    /// A Summit-like node: NVLink-class interconnect (higher bandwidth,
+    /// lower effective eager threshold), slightly slower host, stronger
+    /// kernel concurrency.
+    pub fn summit_like() -> Self {
+        Platform {
+            kernel_launch_overhead: 7e-6,
+            net_latency: 2e-6,
+            net_bandwidth: 23e9,
+            eager_threshold: 4 * 1024,
+            gpu_contention: 0.15,
+            ..Platform::perlmutter_like()
+        }
+    }
+
+    /// A commodity Ethernet cluster: order-of-magnitude slower network,
+    /// large latency — communication dominates, so overlap rules carry
+    /// far more weight.
+    pub fn commodity_cluster() -> Self {
+        Platform {
+            net_latency: 40e-6,
+            net_bandwidth: 1.2e9,
+            eager_threshold: 64 * 1024,
+            ..Platform::perlmutter_like()
+        }
+    }
+
+    /// The same platform with noise disabled (for deterministic tests and
+    /// golden outputs).
+    pub fn noiseless(mut self) -> Self {
+        self.noise = NoiseModel::NONE;
+        self
+    }
+
+    /// Transfer duration for a payload once the transfer has started.
+    pub fn wire_time(&self, bytes: u64) -> f64 {
+        self.net_latency + bytes as f64 / self.net_bandwidth
+    }
+
+    /// Whether a message of this size is sent eagerly.
+    pub fn is_eager(&self, bytes: u64) -> bool {
+        bytes <= self.eager_threshold
+    }
+
+    /// Duration of a tree-based collective reduction across `ranks`
+    /// participants once all have entered: `ceil(log2 P)` rounds of one
+    /// message each.
+    pub fn collective_time(&self, ranks: usize, bytes: u64) -> f64 {
+        if ranks <= 1 {
+            return 0.0;
+        }
+        let rounds = (ranks as f64).log2().ceil();
+        rounds * self.wire_time(bytes)
+    }
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Platform::perlmutter_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sigma_noise_is_identity() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(NoiseModel::NONE.factor(&mut rng), 1.0);
+    }
+
+    #[test]
+    fn noise_is_positive_and_near_one() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let nm = NoiseModel { sigma: 0.05 };
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f = nm.factor(&mut rng);
+            assert!(f > 0.0);
+            sum += f;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.01, "lognormal mean ~ exp(sigma^2/2): {mean}");
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let nm = NoiseModel { sigma: 0.1 };
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(nm.factor(&mut a), nm.factor(&mut b));
+        }
+    }
+
+    #[test]
+    fn wire_time_scales_with_bytes() {
+        let p = Platform::perlmutter_like();
+        assert!(p.wire_time(1 << 20) > p.wire_time(1 << 10));
+        assert!((p.wire_time(0) - p.net_latency).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eager_threshold_boundary() {
+        let p = Platform::perlmutter_like();
+        assert!(p.is_eager(p.eager_threshold));
+        assert!(!p.is_eager(p.eager_threshold + 1));
+    }
+}
+
+#[cfg(test)]
+mod preset_tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_the_claimed_directions() {
+        let perlmutter = Platform::perlmutter_like();
+        let summit = Platform::summit_like();
+        let commodity = Platform::commodity_cluster();
+        assert!(summit.net_bandwidth > perlmutter.net_bandwidth);
+        assert!(summit.net_latency < perlmutter.net_latency);
+        assert!(commodity.net_bandwidth < perlmutter.net_bandwidth / 5.0);
+        assert!(commodity.net_latency > perlmutter.net_latency * 5.0);
+        assert!(summit.gpu_contention < perlmutter.gpu_contention);
+    }
+
+    #[test]
+    fn presets_wire_times_order_sensibly() {
+        let bytes = 1 << 20;
+        let t_summit = Platform::summit_like().wire_time(bytes);
+        let t_perl = Platform::perlmutter_like().wire_time(bytes);
+        let t_comm = Platform::commodity_cluster().wire_time(bytes);
+        assert!(t_summit < t_perl && t_perl < t_comm);
+    }
+}

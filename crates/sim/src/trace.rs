@@ -1,0 +1,231 @@
+//! Execution traces: per-operation timelines of one simulated invocation.
+//!
+//! The design rules tell an implementer *what* to do; a trace shows *why*
+//! it is fast or slow — which waits blocked the host, how kernels
+//! overlapped across streams, when messages actually moved. Traces are
+//! the simulator's analogue of an Nsight/`mpiP` timeline.
+
+/// Where an operation executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// The rank's host thread.
+    Cpu,
+    /// A CUDA stream on the rank's GPU.
+    Stream(usize),
+}
+
+impl std::fmt::Display for Resource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Resource::Cpu => write!(f, "cpu"),
+            Resource::Stream(s) => write!(f, "stream{s}"),
+        }
+    }
+}
+
+/// One operation instance in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Rank the operation ran on.
+    pub rank: usize,
+    /// Instruction name (from the schedule).
+    pub name: String,
+    /// Resource the span occupies.
+    pub resource: Resource,
+    /// Span start (seconds from program start).
+    pub start: f64,
+    /// Span end.
+    pub end: f64,
+}
+
+impl TraceEvent {
+    /// Span duration.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A complete invocation trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// All spans, in emission (host-issue) order per rank.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Events of one rank.
+    pub fn rank(&self, rank: usize) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.rank == rank)
+    }
+
+    /// The last completion time across all spans.
+    pub fn makespan(&self) -> f64 {
+        self.events.iter().map(|e| e.end).fold(0.0, f64::max)
+    }
+
+    /// Renders an ASCII Gantt chart of one rank: one row per resource,
+    /// `width` columns across the makespan. Busy cells show `█`, and the
+    /// first letter of the operation name marks each span start.
+    pub fn ascii_gantt(&self, rank: usize, width: usize) -> String {
+        let events: Vec<&TraceEvent> = self.rank(rank).collect();
+        if events.is_empty() {
+            return String::new();
+        }
+        let makespan = self.makespan().max(f64::MIN_POSITIVE);
+        let mut resources: Vec<Resource> = events.iter().map(|e| e.resource).collect();
+        resources.sort_by_key(|r| match r {
+            Resource::Cpu => 0,
+            Resource::Stream(s) => 1 + s,
+        });
+        resources.dedup();
+        let mut out = String::new();
+        for res in resources {
+            let mut row = vec![' '; width];
+            for e in events.iter().filter(|e| e.resource == res) {
+                let a = ((e.start / makespan) * width as f64) as usize;
+                let b = (((e.end / makespan) * width as f64).ceil() as usize).min(width);
+                for cell in row.iter_mut().take(b).skip(a) {
+                    *cell = '█';
+                }
+                if a < width {
+                    row[a] = e.name.chars().next().unwrap_or('?');
+                }
+            }
+            out.push_str(&format!("{:>8} |", res.to_string()));
+            out.extend(row);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(rank: usize, name: &str, resource: Resource, start: f64, end: f64) -> TraceEvent {
+        TraceEvent { rank, name: name.into(), resource, start, end }
+    }
+
+    #[test]
+    fn makespan_is_last_end() {
+        let t = Trace {
+            events: vec![
+                ev(0, "a", Resource::Cpu, 0.0, 1.0),
+                ev(0, "k", Resource::Stream(0), 0.5, 3.0),
+            ],
+        };
+        assert_eq!(t.makespan(), 3.0);
+        assert_eq!(t.events[1].duration(), 2.5);
+    }
+
+    #[test]
+    fn rank_filter_works() {
+        let t = Trace {
+            events: vec![
+                ev(0, "a", Resource::Cpu, 0.0, 1.0),
+                ev(1, "b", Resource::Cpu, 0.0, 2.0),
+            ],
+        };
+        assert_eq!(t.rank(1).count(), 1);
+        assert_eq!(t.rank(2).count(), 0);
+    }
+
+    #[test]
+    fn gantt_rows_cover_resources() {
+        let t = Trace {
+            events: vec![
+                ev(0, "work", Resource::Cpu, 0.0, 1.0),
+                ev(0, "kern", Resource::Stream(1), 1.0, 2.0),
+            ],
+        };
+        let g = t.ascii_gantt(0, 20);
+        assert_eq!(g.lines().count(), 2);
+        assert!(g.contains("cpu"));
+        assert!(g.contains("stream1"));
+        assert!(g.contains('w'));
+        assert!(g.contains('k'));
+    }
+
+    #[test]
+    fn gantt_of_missing_rank_is_empty() {
+        let t = Trace::default();
+        assert_eq!(t.ascii_gantt(3, 10), "");
+    }
+}
+
+impl Trace {
+    /// Serializes the trace in Chrome trace-event format (the JSON array
+    /// flavour readable by `chrome://tracing` and Perfetto). Each rank
+    /// maps to a process, each resource to a thread; timestamps are in
+    /// microseconds as the format requires. Hand-rolled JSON: names are
+    /// instruction identifiers (letters, digits, `-`, `(`, `)`), so only
+    /// quotes/backslashes need escaping.
+    pub fn to_chrome_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("[");
+        let mut first = true;
+        for e in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let tid = match e.resource {
+                Resource::Cpu => 0,
+                Resource::Stream(s) => s + 1,
+            };
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+                esc(&e.name),
+                e.rank,
+                tid,
+                e.start * 1e6,
+                e.duration() * 1e6
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod chrome_tests {
+    use super::*;
+
+    #[test]
+    fn chrome_json_is_wellformed_and_complete() {
+        let t = Trace {
+            events: vec![
+                TraceEvent {
+                    rank: 0,
+                    name: "Pack".into(),
+                    resource: Resource::Stream(1),
+                    start: 1e-6,
+                    end: 3e-6,
+                },
+                TraceEvent {
+                    rank: 2,
+                    name: "CES-b4-\"x\"".into(),
+                    resource: Resource::Cpu,
+                    start: 0.0,
+                    end: 5e-7,
+                },
+            ],
+        };
+        let json = t.to_chrome_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"pid\":2"));
+        assert!(json.contains("\"tid\":2"), "stream 1 -> tid 2");
+        assert!(json.contains("\\\"x\\\""), "quotes escaped");
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":2.000"));
+    }
+
+    #[test]
+    fn empty_trace_is_empty_array() {
+        assert_eq!(Trace::default().to_chrome_json(), "[]");
+    }
+}

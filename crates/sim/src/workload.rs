@@ -1,0 +1,143 @@
+//! Workload abstraction: resolves the symbolic cost/communication keys in
+//! a program DAG to concrete per-rank durations and message patterns.
+
+use dr_dag::{CommKey, CostKey};
+use std::collections::HashMap;
+
+/// The point-to-point traffic of one rank under one communication key.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommPattern {
+    /// `(peer, bytes)` for each `MPI_Isend` the rank posts.
+    pub sends: Vec<(usize, u64)>,
+    /// `(peer, bytes)` for each `MPI_Irecv` the rank posts.
+    pub recvs: Vec<(usize, u64)>,
+}
+
+/// Resolves symbolic keys for a concrete problem instance.
+///
+/// A workload is SPMD: every rank executes the same schedule, but costs
+/// and communication differ per rank (e.g. edge ranks of a banded SpMV
+/// have fewer neighbours).
+pub trait Workload {
+    /// Number of MPI ranks.
+    fn num_ranks(&self) -> usize;
+    /// Noiseless duration, in seconds, of the keyed operation on `rank`.
+    /// `None` if the key is unknown (compilation fails).
+    fn cost(&self, rank: usize, key: &CostKey) -> Option<f64>;
+    /// The keyed communication pattern of `rank`. `None` if unknown.
+    fn comm(&self, rank: usize, key: &CommKey) -> Option<CommPattern>;
+}
+
+impl<W: Workload + ?Sized> Workload for Box<W> {
+    fn num_ranks(&self) -> usize {
+        self.as_ref().num_ranks()
+    }
+    fn cost(&self, rank: usize, key: &CostKey) -> Option<f64> {
+        self.as_ref().cost(rank, key)
+    }
+    fn comm(&self, rank: usize, key: &CommKey) -> Option<CommPattern> {
+        self.as_ref().comm(rank, key)
+    }
+}
+
+/// A simple table-backed workload, convenient for tests, examples, and
+/// hand-built scenarios.
+#[derive(Debug, Clone, Default)]
+pub struct TableWorkload {
+    ranks: usize,
+    costs: HashMap<(usize, CostKey), f64>,
+    comms: HashMap<(usize, CommKey), CommPattern>,
+}
+
+impl TableWorkload {
+    /// Creates an empty workload over `ranks` ranks.
+    pub fn new(ranks: usize) -> Self {
+        TableWorkload { ranks, ..Default::default() }
+    }
+
+    /// Sets the duration of `key` on every rank.
+    pub fn cost_all(&mut self, key: impl Into<String>, seconds: f64) -> &mut Self {
+        let key = CostKey::new(key.into());
+        for r in 0..self.ranks {
+            self.costs.insert((r, key.clone()), seconds);
+        }
+        self
+    }
+
+    /// Sets the duration of `key` on one rank.
+    pub fn cost_on(&mut self, rank: usize, key: impl Into<String>, seconds: f64) -> &mut Self {
+        self.costs.insert((rank, CostKey::new(key.into())), seconds);
+        self
+    }
+
+    /// Sets the communication pattern of `key` on one rank.
+    pub fn comm_on(
+        &mut self,
+        rank: usize,
+        key: impl Into<String>,
+        pattern: CommPattern,
+    ) -> &mut Self {
+        self.comms.insert((rank, CommKey::new(key.into())), pattern);
+        self
+    }
+
+    /// All-to-all exchange of `bytes` under `key`.
+    pub fn comm_all_to_all(&mut self, key: impl Into<String>, bytes: u64) -> &mut Self {
+        let key: String = key.into();
+        for r in 0..self.ranks {
+            let peers: Vec<usize> = (0..self.ranks).filter(|&p| p != r).collect();
+            let pattern = CommPattern {
+                sends: peers.iter().map(|&p| (p, bytes)).collect(),
+                recvs: peers.iter().map(|&p| (p, bytes)).collect(),
+            };
+            self.comms.insert((r, CommKey::new(key.clone())), pattern);
+        }
+        self
+    }
+}
+
+impl Workload for TableWorkload {
+    fn num_ranks(&self) -> usize {
+        self.ranks
+    }
+
+    fn cost(&self, rank: usize, key: &CostKey) -> Option<f64> {
+        self.costs.get(&(rank, key.clone())).copied()
+    }
+
+    fn comm(&self, rank: usize, key: &CommKey) -> Option<CommPattern> {
+        self.comms.get(&(rank, key.clone())).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_workload_round_trips() {
+        let mut w = TableWorkload::new(3);
+        w.cost_all("k", 1e-3).cost_on(1, "k", 2e-3);
+        assert_eq!(w.cost(0, &CostKey::new("k")), Some(1e-3));
+        assert_eq!(w.cost(1, &CostKey::new("k")), Some(2e-3));
+        assert_eq!(w.cost(0, &CostKey::new("missing")), None);
+    }
+
+    #[test]
+    fn all_to_all_pattern_is_symmetric() {
+        let mut w = TableWorkload::new(4);
+        w.comm_all_to_all("x", 100);
+        for r in 0..4 {
+            let p = w.comm(r, &CommKey::new("x")).unwrap();
+            assert_eq!(p.sends.len(), 3);
+            assert_eq!(p.recvs.len(), 3);
+            assert!(p.sends.iter().all(|&(peer, b)| peer != r && b == 100));
+        }
+    }
+
+    #[test]
+    fn unknown_comm_key_is_none() {
+        let w = TableWorkload::new(2);
+        assert_eq!(w.comm(0, &CommKey::new("x")), None);
+    }
+}

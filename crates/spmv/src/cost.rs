@@ -1,0 +1,307 @@
+//! Cost model mapping the SpMV decomposition onto the platform simulator.
+//!
+//! Kernel durations are first-order memory-bound estimates derived from
+//! the *exact* per-rank counts of the decomposition (non-zeros multiplied,
+//! elements packed, bytes moved), so edge ranks are genuinely cheaper than
+//! interior ranks — exactly the asymmetry that makes `max` over ranks the
+//! right reduction in the measurement protocol.
+
+use crate::dag::{DIRECTIONS, K_HALO, K_PACK, K_UNPACK, K_YL, K_YR};
+use crate::partition::DistributedSpmv;
+use dr_dag::{CommKey, CostKey};
+use dr_sim::{CommPattern, Workload};
+
+/// First-order GPU kernel timing model (seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuModel {
+    /// Time per non-zero of an SpMV kernel (memory-bound estimate).
+    pub spmv_sec_per_nnz: f64,
+    /// Fixed cost of any SpMV kernel invocation.
+    pub spmv_fixed: f64,
+    /// Time per element gathered by the pack kernel.
+    pub gather_sec_per_elem: f64,
+    /// Fixed cost of the pack kernel.
+    pub gather_fixed: f64,
+    /// Host-to-device bandwidth for the unpack copy (bytes/s).
+    pub h2d_bandwidth: f64,
+    /// Fixed cost of the unpack copy.
+    pub h2d_fixed: f64,
+}
+
+impl Default for GpuModel {
+    /// A100-like magnitudes: ~1.5 TB/s HBM for kernels (≈ 0.2 ns/nnz
+    /// effective for irregular SpMV), 24 GB/s PCIe 4.0 for host copies.
+    fn default() -> Self {
+        GpuModel {
+            spmv_sec_per_nnz: 2e-10,
+            spmv_fixed: 3e-6,
+            gather_sec_per_elem: 4e-10,
+            gather_fixed: 2e-6,
+            h2d_bandwidth: 24e9,
+            h2d_fixed: 4e-6,
+        }
+    }
+}
+
+/// Per-rank resolved costs (coarse and per-neighbour-direction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RankCosts {
+    pack: f64,
+    yl: f64,
+    yr: f64,
+    unpack: f64,
+    /// Per direction (`prev`, `next`): pack and unpack costs for the
+    /// fine-grained DAG.
+    pack_dir: [f64; 2],
+    unpack_dir: [f64; 2],
+}
+
+/// [`Workload`] implementation for a distributed SpMV instance: resolves
+/// the `Pack`/`yl`/`yr`/`Unpack` cost keys and the `halo` communication
+/// pattern for every rank.
+#[derive(Debug, Clone)]
+pub struct SpmvWorkload {
+    costs: Vec<RankCosts>,
+    comms: Vec<CommPattern>,
+    /// Per rank, per direction (`prev`, `next`): the single-neighbour
+    /// pattern for the fine-grained DAG.
+    comms_dir: Vec<[CommPattern; 2]>,
+}
+
+impl SpmvWorkload {
+    /// Derives the workload from a decomposition under a GPU model.
+    pub fn new(dist: &DistributedSpmv, model: &GpuModel) -> Self {
+        // Direction `down` (d=0): send to rank−1, receive from rank+1;
+        // direction `up` (d=1): send to rank+1, receive from rank−1.
+        // Pairing the send with the opposite-side receive keeps each
+        // communication key's sends/receives matched across ranks.
+        let num_ranks = dist.ranks.len();
+        let list_len = |lists: &[(usize, Vec<usize>)], peer: usize| {
+            lists.iter().find(|&&(p, _)| p == peer).map_or(0, |(_, l)| l.len())
+        };
+
+        let mut costs = Vec::with_capacity(num_ranks);
+        let mut comms = Vec::with_capacity(num_ranks);
+        let mut comms_dir = Vec::with_capacity(num_ranks);
+        for rm in &dist.ranks {
+            let mut pack_dir = [model.gather_fixed; 2];
+            let mut unpack_dir = [model.h2d_fixed; 2];
+            let mut dirs: [CommPattern; 2] = Default::default();
+            for d in 0..2 {
+                let send_peer = if d == 0 {
+                    rm.rank.checked_sub(1)
+                } else {
+                    (rm.rank + 1 < num_ranks).then_some(rm.rank + 1)
+                };
+                let recv_peer = if d == 0 {
+                    (rm.rank + 1 < num_ranks).then_some(rm.rank + 1)
+                } else {
+                    rm.rank.checked_sub(1)
+                };
+                if let Some(peer) = send_peer {
+                    let send = list_len(&rm.send_lists, peer);
+                    pack_dir[d] += send as f64 * model.gather_sec_per_elem;
+                    if send > 0 {
+                        dirs[d].sends.push((peer, send as u64 * 8));
+                    }
+                }
+                if let Some(peer) = recv_peer {
+                    let recv = list_len(&rm.recv_lists, peer);
+                    unpack_dir[d] += recv as f64 * 8.0 / model.h2d_bandwidth;
+                    if recv > 0 {
+                        dirs[d].recvs.push((peer, recv as u64 * 8));
+                    }
+                }
+            }
+            costs.push(RankCosts {
+                pack: model.gather_fixed + rm.num_send() as f64 * model.gather_sec_per_elem,
+                yl: model.spmv_fixed + rm.a_l.nnz() as f64 * model.spmv_sec_per_nnz,
+                yr: model.spmv_fixed + rm.a_r.nnz() as f64 * model.spmv_sec_per_nnz,
+                unpack: model.h2d_fixed + rm.num_recv() as f64 * 8.0 / model.h2d_bandwidth,
+                pack_dir,
+                unpack_dir,
+            });
+            comms.push(CommPattern {
+                sends: rm
+                    .send_lists
+                    .iter()
+                    .filter(|(_, l)| !l.is_empty())
+                    .map(|(dst, l)| (*dst, l.len() as u64 * 8))
+                    .collect(),
+                recvs: rm
+                    .recv_lists
+                    .iter()
+                    .filter(|(_, l)| !l.is_empty())
+                    .map(|(src, l)| (*src, l.len() as u64 * 8))
+                    .collect(),
+            });
+            comms_dir.push(dirs);
+        }
+        SpmvWorkload { costs, comms, comms_dir }
+    }
+}
+
+impl Workload for SpmvWorkload {
+    fn num_ranks(&self) -> usize {
+        self.costs.len()
+    }
+
+    fn cost(&self, rank: usize, key: &CostKey) -> Option<f64> {
+        let c = self.costs.get(rank)?;
+        match key.0.as_str() {
+            K_PACK => return Some(c.pack),
+            K_YL => return Some(c.yl),
+            K_YR => return Some(c.yr),
+            K_UNPACK => return Some(c.unpack),
+            _ => {}
+        }
+        for (d, dir) in DIRECTIONS.iter().enumerate() {
+            if key.0 == format!("{K_PACK}-{dir}") {
+                return Some(c.pack_dir[d]);
+            }
+            if key.0 == format!("{K_UNPACK}-{dir}") {
+                return Some(c.unpack_dir[d]);
+            }
+        }
+        None
+    }
+
+    fn comm(&self, rank: usize, key: &CommKey) -> Option<CommPattern> {
+        if key.0 == K_HALO {
+            return self.comms.get(rank).cloned();
+        }
+        for (d, dir) in DIRECTIONS.iter().enumerate() {
+            if key.0 == format!("{K_HALO}-{dir}") {
+                return self.comms_dir.get(rank).map(|c| c[d].clone());
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{banded_matrix, BandedSpec};
+
+    fn workload() -> (DistributedSpmv, SpmvWorkload) {
+        let a = banded_matrix(&BandedSpec::small(21));
+        let d = DistributedSpmv::new(&a, 4);
+        let w = SpmvWorkload::new(&d, &GpuModel::default());
+        (d, w)
+    }
+
+    #[test]
+    fn all_keys_resolve_on_all_ranks() {
+        let (_, w) = workload();
+        for rank in 0..4 {
+            for key in [K_PACK, K_YL, K_YR, K_UNPACK] {
+                let t = w.cost(rank, &CostKey::new(key)).unwrap();
+                assert!(t > 0.0, "{key} on rank {rank}");
+            }
+            assert!(w.comm(rank, &CommKey::new(K_HALO)).is_some());
+        }
+    }
+
+    #[test]
+    fn unknown_keys_are_none() {
+        let (_, w) = workload();
+        assert!(w.cost(0, &CostKey::new("nope")).is_none());
+        assert!(w.comm(0, &CommKey::new("nope")).is_none());
+    }
+
+    #[test]
+    fn interior_ranks_cost_more_than_edge_ranks() {
+        let (_, w) = workload();
+        let yr_edge = w.cost(0, &CostKey::new(K_YR)).unwrap();
+        let yr_interior = w.cost(1, &CostKey::new(K_YR)).unwrap();
+        assert!(
+            yr_interior > yr_edge,
+            "interior remote block is larger: {yr_interior} vs {yr_edge}"
+        );
+    }
+
+    #[test]
+    fn comm_pattern_matches_decomposition_counts() {
+        let (d, w) = workload();
+        for rm in &d.ranks {
+            let pat = w.comm(rm.rank, &CommKey::new(K_HALO)).unwrap();
+            let sent: u64 = pat.sends.iter().map(|&(_, b)| b).sum();
+            assert_eq!(sent, rm.num_send() as u64 * 8);
+            let recvd: u64 = pat.recvs.iter().map(|&(_, b)| b).sum();
+            assert_eq!(recvd, rm.num_recv() as u64 * 8);
+        }
+    }
+
+    #[test]
+    fn paper_scale_times_are_sub_millisecond() {
+        // Sanity check the magnitudes on the real paper input: kernels in
+        // the tens-to-hundreds of microseconds.
+        let a = banded_matrix(&BandedSpec::paper(0));
+        let d = DistributedSpmv::new(&a, 4);
+        let w = SpmvWorkload::new(&d, &GpuModel::default());
+        let yl = w.cost(1, &CostKey::new(K_YL)).unwrap();
+        assert!(yl > 1e-6 && yl < 1e-3, "yl = {yl}");
+    }
+}
+
+#[cfg(test)]
+mod fine_cost_tests {
+    use super::*;
+    use crate::matrix::{banded_matrix, BandedSpec};
+
+    #[test]
+    fn directional_patterns_pair_up_across_ranks() {
+        let a = banded_matrix(&BandedSpec::small(23));
+        let d = DistributedSpmv::new(&a, 4);
+        let w = SpmvWorkload::new(&d, &GpuModel::default());
+        for dir in DIRECTIONS {
+            let key = CommKey::new(format!("{K_HALO}-{dir}"));
+            for rank in 0..4 {
+                let pat = w.comm(rank, &key).unwrap();
+                for &(peer, bytes) in &pat.sends {
+                    let peer_pat = w.comm(peer, &key).unwrap();
+                    assert!(
+                        peer_pat.recvs.contains(&(rank, bytes)),
+                        "{dir}: rank {rank} -> {peer} unmatched"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn directional_costs_resolve_everywhere() {
+        let a = banded_matrix(&BandedSpec::small(23));
+        let d = DistributedSpmv::new(&a, 4);
+        let w = SpmvWorkload::new(&d, &GpuModel::default());
+        for dir in DIRECTIONS {
+            for rank in 0..4 {
+                assert!(w.cost(rank, &CostKey::new(format!("{K_PACK}-{dir}"))).unwrap() > 0.0);
+                assert!(w.cost(rank, &CostKey::new(format!("{K_UNPACK}-{dir}"))).unwrap() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn directional_totals_match_coarse_totals() {
+        let a = banded_matrix(&BandedSpec::small(23));
+        let d = DistributedSpmv::new(&a, 4);
+        let w = SpmvWorkload::new(&d, &GpuModel::default());
+        for rank in 0..4 {
+            let coarse = w.comm(rank, &CommKey::new(K_HALO)).unwrap();
+            let total_coarse: u64 = coarse.sends.iter().map(|&(_, b)| b).sum();
+            let total_dir: u64 = DIRECTIONS
+                .iter()
+                .flat_map(|dir| {
+                    w.comm(rank, &CommKey::new(format!("{K_HALO}-{dir}")))
+                        .unwrap()
+                        .sends
+                        .into_iter()
+                        .map(|(_, b)| b)
+                })
+                .sum();
+            assert_eq!(total_coarse, total_dir, "rank {rank}");
+        }
+    }
+}

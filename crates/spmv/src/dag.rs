@@ -1,0 +1,295 @@
+//! The SpMV program DAG (paper Fig. 3c).
+//!
+//! Operations (names match the paper's generated rules):
+//!
+//! * `Pack` (GPU) — gather the local `x` entries each peer needs into
+//!   per-peer send buffers;
+//! * `PostSend` / `PostRecv` (CPU) — post the non-blocking point-to-point
+//!   operations;
+//! * `WaitSend` / `WaitRecv` (CPU) — complete them;
+//! * `Unpack` (GPU, optional) — move the received `x_R` to the device;
+//! * `yl` (GPU) — local partial product `y_L = A_L x_L`;
+//! * `yr` (GPU) — remote partial product `y_R = A_R x_R`.
+//!
+//! Dependencies: `Pack → PostSend → WaitSend`, `PostRecv → WaitRecv`,
+//! plus the two deadlock-freedom edges `PostSend → WaitRecv` and
+//! `PostRecv → WaitSend` (in an SPMD program, every rank must have posted
+//! both directions before any rank blocks in an `MPI_Wait`; without these
+//! edges the rendezvous protocol deadlocks, which the simulator detects —
+//! and the paper's rule tables never order `PostRecv`/`PostSend` against
+//! the opposite wait, consistent with those pairs being DAG-constrained).
+//! Finally `WaitRecv → [Unpack →] yr`; `yl` is independent of the
+//! communication chain.
+
+use dr_dag::{CommKey, CostKey, DagBuilder, DagError, OpSpec, ProgramDag};
+
+/// Cost key of the pack kernel.
+pub const K_PACK: &str = "Pack";
+/// Cost key of the local multiply kernel.
+pub const K_YL: &str = "yl";
+/// Cost key of the remote multiply kernel.
+pub const K_YR: &str = "yr";
+/// Cost key of the unpack (H2D scatter) kernel.
+pub const K_UNPACK: &str = "Unpack";
+/// Communication key of the halo exchange.
+pub const K_HALO: &str = "halo";
+
+/// Operation granularity (paper Section III-A): the SpMV "could have been
+/// implemented with a set of parallel independent vertices for each
+/// separate pack and `MPI_Isend` instead of collecting them into single
+/// Pack and PostSends vertices. This finer granularity would eliminate
+/// false dependencies … The downside … is a larger space of
+/// implementations to search."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Granularity {
+    /// One Pack/PostSend/… vertex covering all peers (the paper's
+    /// demonstration choice).
+    #[default]
+    Coarse,
+    /// Separate Pack/PostSend/PostRecv/WaitSend/WaitRecv/Unpack vertices
+    /// per neighbour direction (`prev`/`next` for the banded matrix).
+    PerNeighbor,
+}
+
+/// Data-flow direction suffixes used by the fine-grained DAG. Each
+/// direction is one matched exchange: under `down`, every rank sends to
+/// its lower neighbour and receives from its upper one (and vice versa
+/// for `up`), so sends and receives of the same communication key pair up
+/// across ranks.
+pub const DIRECTIONS: [&str; 2] = ["down", "up"];
+
+/// Structural options for the SpMV DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpmvDagConfig {
+    /// Include the explicit `Unpack` GPU operation between `WaitRecv` and
+    /// `yr`. With it the space closely matches the paper's scale; without
+    /// it `yr` reads the received buffer directly.
+    pub with_unpack: bool,
+    /// Coarse (paper) or per-neighbour vertices.
+    pub granularity: Granularity,
+}
+
+impl Default for SpmvDagConfig {
+    fn default() -> Self {
+        SpmvDagConfig { with_unpack: true, granularity: Granularity::Coarse }
+    }
+}
+
+/// Builds the SpMV program DAG.
+pub fn spmv_dag(cfg: &SpmvDagConfig) -> Result<ProgramDag, DagError> {
+    match cfg.granularity {
+        Granularity::Coarse => coarse_dag(cfg),
+        Granularity::PerNeighbor => per_neighbor_dag(cfg),
+    }
+}
+
+fn coarse_dag(cfg: &SpmvDagConfig) -> Result<ProgramDag, DagError> {
+    let halo = CommKey::new(K_HALO);
+    let mut b = DagBuilder::new();
+    let pack = b.add("Pack", OpSpec::GpuKernel(CostKey::new(K_PACK)));
+    let post_send = b.add("PostSend", OpSpec::PostSends(halo.clone()));
+    let post_recv = b.add("PostRecv", OpSpec::PostRecvs(halo.clone()));
+    let wait_send = b.add("WaitSend", OpSpec::WaitSends(halo.clone()));
+    let wait_recv = b.add("WaitRecv", OpSpec::WaitRecvs(halo));
+    let yl = b.add("yl", OpSpec::GpuKernel(CostKey::new(K_YL)));
+    let yr = b.add("yr", OpSpec::GpuKernel(CostKey::new(K_YR)));
+
+    b.edge(pack, post_send);
+    b.edge(post_send, wait_send);
+    b.edge(post_recv, wait_recv);
+    b.edge(post_send, wait_recv);
+    b.edge(post_recv, wait_send);
+    if cfg.with_unpack {
+        let unpack = b.add("Unpack", OpSpec::GpuKernel(CostKey::new(K_UNPACK)));
+        b.edge(wait_recv, unpack);
+        b.edge(unpack, yr);
+    } else {
+        b.edge(wait_recv, yr);
+    }
+    let _ = yl; // independent: Start -> yl -> End via the builder.
+    Ok(b.build().expect("the SpMV DAG is statically valid"))
+}
+
+/// The fine-grained variant: one Pack/PostSend/PostRecv/WaitSend/WaitRecv
+/// (and optional Unpack) per neighbour direction, eliminating the false
+/// dependencies of the coarse vertices (e.g. sending to `next` no longer
+/// waits on the pack for `prev`), at the cost of a much larger space.
+fn per_neighbor_dag(cfg: &SpmvDagConfig) -> Result<ProgramDag, DagError> {
+    let mut b = DagBuilder::new();
+    let yl = b.add("yl", OpSpec::GpuKernel(CostKey::new(K_YL)));
+    let yr = b.add("yr", OpSpec::GpuKernel(CostKey::new(K_YR)));
+    let mut post_sends = Vec::new();
+    let mut post_recvs = Vec::new();
+    let mut wait_sends = Vec::new();
+    let mut wait_recvs = Vec::new();
+    for d in DIRECTIONS {
+        let halo = CommKey::new(format!("{K_HALO}-{d}"));
+        let pack =
+            b.add(format!("Pack-{d}"), OpSpec::GpuKernel(CostKey::new(format!("{K_PACK}-{d}"))));
+        let ps = b.add(format!("PostSend-{d}"), OpSpec::PostSends(halo.clone()));
+        let pr = b.add(format!("PostRecv-{d}"), OpSpec::PostRecvs(halo.clone()));
+        let ws = b.add(format!("WaitSend-{d}"), OpSpec::WaitSends(halo.clone()));
+        let wr = b.add(format!("WaitRecv-{d}"), OpSpec::WaitRecvs(halo));
+        b.edge(pack, ps);
+        b.edge(ps, ws);
+        b.edge(pr, wr);
+        if cfg.with_unpack {
+            let unpack = b.add(
+                format!("Unpack-{d}"),
+                OpSpec::GpuKernel(CostKey::new(format!("{K_UNPACK}-{d}"))),
+            );
+            b.edge(wr, unpack);
+            b.edge(unpack, yr);
+        } else {
+            b.edge(wr, yr);
+        }
+        post_sends.push(ps);
+        post_recvs.push(pr);
+        wait_sends.push(ws);
+        wait_recvs.push(wr);
+    }
+    // Deadlock freedom across directions: every rank posts everything
+    // before any rank blocks in a wait.
+    for &ps in &post_sends {
+        for &wr in &wait_recvs {
+            b.edge(ps, wr);
+        }
+    }
+    for &pr in &post_recvs {
+        for &ws in &wait_sends {
+            b.edge(pr, ws);
+        }
+    }
+    let _ = yl;
+    Ok(b.build().expect("the fine-grained SpMV DAG is statically valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_dag::{DecisionSpace, VertexKind};
+
+    #[test]
+    fn dag_has_expected_vertices() {
+        let dag = spmv_dag(&SpmvDagConfig::default()).unwrap();
+        for name in ["Pack", "PostSend", "PostRecv", "WaitSend", "WaitRecv", "yl", "yr", "Unpack"]
+        {
+            assert!(dag.by_name(name).is_some(), "{name} missing");
+        }
+        assert_eq!(dag.user_vertices().count(), 8);
+        for gpu in ["Pack", "yl", "yr", "Unpack"] {
+            let v = dag.by_name(gpu).unwrap();
+            assert_eq!(dag.vertex(v).kind(), VertexKind::Gpu, "{gpu}");
+        }
+    }
+
+    #[test]
+    fn decision_space_spawns_paper_sync_ops() {
+        let dag = spmv_dag(&SpmvDagConfig::default()).unwrap();
+        let sp = DecisionSpace::new(dag, 2).unwrap();
+        assert!(sp.op_by_name("CER-after-Pack").is_some());
+        assert!(sp.op_by_name("CES-b4-PostSend").is_some());
+        // yl/yr feed only End, which device-syncs: no CER for them.
+        assert!(sp.op_by_name("CER-after-yl").is_none());
+        assert!(sp.op_by_name("CER-after-yr").is_none());
+    }
+
+    #[test]
+    fn space_size_is_paper_scale() {
+        let dag = spmv_dag(&SpmvDagConfig::default()).unwrap();
+        let sp = DecisionSpace::new(dag, 2).unwrap();
+        let count = sp.count_traversals();
+        // The paper reports 2036 for its exact Fig. 3c DAG; ours must land
+        // in the same regime (a few thousand, far beyond hand search).
+        assert!(count > 500 && count < 10_000, "space size {count}");
+    }
+
+    #[test]
+    fn no_unpack_variant_is_smaller() {
+        let with = DecisionSpace::new(spmv_dag(&SpmvDagConfig::default()).unwrap(), 2)
+            .unwrap()
+            .count_traversals();
+        let without = DecisionSpace::new(
+            spmv_dag(&SpmvDagConfig { with_unpack: false, ..Default::default() }).unwrap(),
+            2,
+        )
+        .unwrap()
+        .count_traversals();
+        assert!(without < with, "{without} !< {with}");
+    }
+
+    #[test]
+    fn every_traversal_orders_posts_before_waits() {
+        let dag = spmv_dag(&SpmvDagConfig { with_unpack: false, ..Default::default() }).unwrap();
+        let sp = DecisionSpace::new(dag, 2).unwrap();
+        for t in sp.enumerate() {
+            let pos = t.positions(sp.num_ops());
+            let p = |n: &str| pos[sp.op_by_name(n).unwrap()];
+            assert!(p("PostSend") < p("WaitSend"));
+            assert!(p("PostRecv") < p("WaitRecv"));
+            assert!(p("PostSend") < p("WaitRecv"), "deadlock-freedom edge");
+            assert!(p("PostRecv") < p("WaitSend"), "deadlock-freedom edge");
+            assert!(p("Pack") < p("CER-after-Pack"));
+            assert!(p("CER-after-Pack") < p("CES-b4-PostSend"));
+            assert!(p("CES-b4-PostSend") < p("PostSend"));
+            assert!(p("WaitRecv") < p("yr"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod fine_tests {
+    use super::*;
+    use dr_dag::DecisionSpace;
+
+    fn fine_cfg() -> SpmvDagConfig {
+        SpmvDagConfig { with_unpack: true, granularity: Granularity::PerNeighbor }
+    }
+
+    #[test]
+    fn fine_dag_has_per_direction_vertices() {
+        let dag = spmv_dag(&fine_cfg()).unwrap();
+        for d in DIRECTIONS {
+            for op in ["Pack", "PostSend", "PostRecv", "WaitSend", "WaitRecv", "Unpack"] {
+                assert!(dag.by_name(&format!("{op}-{d}")).is_some(), "{op}-{d}");
+            }
+        }
+        assert_eq!(dag.user_vertices().count(), 2 * 6 + 2);
+    }
+
+    #[test]
+    fn fine_space_is_much_larger_than_coarse() {
+        let coarse = DecisionSpace::new(spmv_dag(&SpmvDagConfig::default()).unwrap(), 2)
+            .unwrap()
+            .count_traversals();
+        let fine = DecisionSpace::new(spmv_dag(&fine_cfg()).unwrap(), 2)
+            .unwrap()
+            .count_traversals();
+        assert!(
+            fine > coarse * 100,
+            "finer granularity must blow up the space: {fine} vs {coarse}"
+        );
+    }
+
+    #[test]
+    fn fine_dag_removes_false_dependencies() {
+        // With per-direction vertices, PostSend-down no longer depends on
+        // Pack-up: a traversal can send down before packing up.
+        let dag = spmv_dag(&fine_cfg()).unwrap();
+        let space = DecisionSpace::new(dag, 1).unwrap();
+        let ps_down = space.op_by_name("PostSend-down").unwrap();
+        let pack_up = space.op_by_name("Pack-up").unwrap();
+        // No precedence path from Pack-up to PostSend-down.
+        let mut reachable = vec![false; space.num_ops()];
+        let mut stack = vec![pack_up];
+        while let Some(op) = stack.pop() {
+            for &s in space.op_succs(op) {
+                if !reachable[s] {
+                    reachable[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        assert!(!reachable[ps_down], "false dependency must be gone");
+    }
+}

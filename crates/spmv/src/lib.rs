@@ -1,0 +1,31 @@
+//! # dr-spmv — the distributed SpMV demonstration workload
+//!
+//! The paper demonstrates its design-rule system on a distributed
+//! sparse-matrix–vector multiplication (Fig. 3): a banded random matrix is
+//! row-partitioned across MPI ranks; each rank computes a local partial
+//! product while exchanging the halo `x` entries needed for the remote
+//! partial product. This crate provides:
+//!
+//! * [`Csr`] / [`banded_matrix`] — sparse matrices and the paper's
+//!   synthetic banded input ([`BandedSpec::paper`]);
+//! * [`DistributedSpmv`] — the row partition, local/remote split, and
+//!   pack/receive index lists, with a functional [`DistributedSpmv::multiply`]
+//!   that validates the decomposition numerically;
+//! * [`spmv_dag`] — the Fig. 3c program DAG;
+//! * [`SpmvWorkload`] / [`GpuModel`] — the cost model binding the
+//!   decomposition's exact counts to the platform simulator;
+//! * [`SpmvScenario`] — everything assembled, ready for exploration.
+
+#![warn(missing_docs)]
+
+mod cost;
+mod dag;
+mod matrix;
+mod partition;
+mod scenario;
+
+pub use cost::{GpuModel, SpmvWorkload};
+pub use dag::{spmv_dag, Granularity, SpmvDagConfig, DIRECTIONS, K_HALO, K_PACK, K_UNPACK, K_YL, K_YR};
+pub use matrix::{banded_matrix, BandedSpec, Csr};
+pub use partition::{DistributedSpmv, Partition, RankMatrix};
+pub use scenario::SpmvScenario;

@@ -1,0 +1,352 @@
+//! Row-wise partitioning of a distributed SpMV (paper Fig. 3b).
+//!
+//! Contiguous rows of `A`, `x`, and `y` are divided evenly across ranks.
+//! Each rank's product splits into a *local* part `y_L = A_L x_L` over the
+//! columns it owns and a *remote* part `y_R = A_R x_R` over columns owned
+//! by other ranks; `x_R` is assembled from the peers' `x` entries that
+//! appear as non-zero columns in `A_R`.
+
+use crate::matrix::Csr;
+use std::ops::Range;
+
+/// Even contiguous partition of `n` indices over `ranks` ranks (the first
+/// `n % ranks` ranks take one extra).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// Total number of rows/entries.
+    pub n: usize,
+    /// Number of ranks.
+    pub ranks: usize,
+}
+
+impl Partition {
+    /// Creates a partition; `ranks` must be in `1..=n`.
+    pub fn new(n: usize, ranks: usize) -> Self {
+        assert!(ranks >= 1 && ranks <= n, "need 1 <= ranks <= n");
+        Partition { n, ranks }
+    }
+
+    /// The index range owned by `rank`.
+    pub fn range(&self, rank: usize) -> Range<usize> {
+        let base = self.n / self.ranks;
+        let extra = self.n % self.ranks;
+        let lo = rank * base + rank.min(extra);
+        let len = base + usize::from(rank < extra);
+        lo..lo + len
+    }
+
+    /// The rank owning global index `i`.
+    pub fn owner(&self, i: usize) -> usize {
+        assert!(i < self.n);
+        let base = self.n / self.ranks;
+        let extra = self.n % self.ranks;
+        let split = extra * (base + 1);
+        if i < split {
+            i / (base + 1)
+        } else {
+            extra + (i - split) / base
+        }
+    }
+}
+
+/// One rank's share of the distributed SpMV.
+#[derive(Debug, Clone)]
+pub struct RankMatrix {
+    /// This rank's id.
+    pub rank: usize,
+    /// Global rows (and local x entries) owned by this rank.
+    pub rows: Range<usize>,
+    /// Local block: columns re-indexed to `0..rows.len()`.
+    pub a_l: Csr,
+    /// Remote block: columns re-indexed to the compact remote ordering
+    /// (concatenation of `recv_lists` buffers).
+    pub a_r: Csr,
+    /// Per source rank: the ascending global x indices this rank receives.
+    /// Ordered by source rank; concatenated, they define the compact
+    /// column space of `a_r`.
+    pub recv_lists: Vec<(usize, Vec<usize>)>,
+    /// Per destination rank: the local x indices this rank packs and
+    /// sends. Mirror image of the destinations' `recv_lists`.
+    pub send_lists: Vec<(usize, Vec<usize>)>,
+}
+
+impl RankMatrix {
+    /// Total remote entries received (the length of `x_R`).
+    pub fn num_recv(&self) -> usize {
+        self.recv_lists.iter().map(|(_, l)| l.len()).sum()
+    }
+
+    /// Total local entries packed and sent.
+    pub fn num_send(&self) -> usize {
+        self.send_lists.iter().map(|(_, l)| l.len()).sum()
+    }
+}
+
+/// A complete distributed decomposition of one sparse matrix.
+#[derive(Debug, Clone)]
+pub struct DistributedSpmv {
+    /// The row partition.
+    pub partition: Partition,
+    /// Per-rank matrices and communication lists.
+    pub ranks: Vec<RankMatrix>,
+}
+
+impl DistributedSpmv {
+    /// Decomposes square matrix `a` across `num_ranks` ranks.
+    pub fn new(a: &Csr, num_ranks: usize) -> Self {
+        assert_eq!(a.nrows, a.ncols, "distributed SpMV assumes a square matrix");
+        let partition = Partition::new(a.nrows, num_ranks);
+
+        // First pass: per rank, split entries into local/remote and
+        // collect the remote column sets grouped by owner.
+        struct Draft {
+            rows: Range<usize>,
+            local: Vec<(usize, usize, f64)>,
+            remote: Vec<(usize, usize, f64)>, // (local row, global col, val)
+            recv_lists: Vec<(usize, Vec<usize>)>,
+        }
+        let mut drafts: Vec<Draft> = Vec::with_capacity(num_ranks);
+        for rank in 0..num_ranks {
+            let rows = partition.range(rank);
+            let mut local = Vec::new();
+            let mut remote = Vec::new();
+            let mut remote_cols: Vec<usize> = Vec::new();
+            for (li, r) in rows.clone().enumerate() {
+                for (c, v) in a.row(r) {
+                    if rows.contains(&c) {
+                        local.push((li, c - rows.start, v));
+                    } else {
+                        remote.push((li, c, v));
+                        remote_cols.push(c);
+                    }
+                }
+            }
+            remote_cols.sort_unstable();
+            remote_cols.dedup();
+            // Group by owner; owners come out ascending because the
+            // partition is contiguous and the columns are sorted.
+            let mut recv_lists: Vec<(usize, Vec<usize>)> = Vec::new();
+            for c in remote_cols {
+                let owner = partition.owner(c);
+                match recv_lists.last_mut() {
+                    Some((o, list)) if *o == owner => list.push(c),
+                    _ => recv_lists.push((owner, vec![c])),
+                }
+            }
+            drafts.push(Draft { rows, local, remote, recv_lists });
+        }
+
+        // Second pass: derive send lists (what each peer needs from me)
+        // and compact the remote blocks.
+        let mut ranks_out = Vec::with_capacity(num_ranks);
+        for rank in 0..num_ranks {
+            let draft = &drafts[rank];
+            let width = draft.rows.len();
+            let a_l = Csr::from_triplets(width, width, draft.local.iter().copied());
+
+            // Compact mapping: position within the concatenated receive
+            // buffers (source-rank order, ascending indices within each).
+            let mut compact = std::collections::HashMap::new();
+            let mut next = 0usize;
+            for (_, list) in &draft.recv_lists {
+                for &g in list {
+                    compact.insert(g, next);
+                    next += 1;
+                }
+            }
+            let a_r = Csr::from_triplets(
+                width,
+                next.max(1),
+                draft.remote.iter().map(|&(li, c, v)| (li, compact[&c], v)),
+            );
+
+            let send_lists: Vec<(usize, Vec<usize>)> = (0..num_ranks)
+                .filter(|&peer| peer != rank)
+                .filter_map(|peer| {
+                    let lo = drafts[rank].rows.start;
+                    drafts[peer]
+                        .recv_lists
+                        .iter()
+                        .find(|&&(src, _)| src == rank)
+                        .map(|(_, list)| (peer, list.iter().map(|&g| g - lo).collect()))
+                })
+                .collect();
+
+            ranks_out.push(RankMatrix {
+                rank,
+                rows: draft.rows.clone(),
+                a_l,
+                a_r,
+                recv_lists: draft.recv_lists.clone(),
+                send_lists,
+            });
+        }
+
+        DistributedSpmv { partition, ranks: ranks_out }
+    }
+
+    /// Executes the distributed algorithm functionally — pack, exchange,
+    /// local multiply, remote multiply, combine — and returns the full
+    /// product vector. Validates the decomposition against
+    /// [`Csr::spmv`] in tests.
+    pub fn multiply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.partition.n);
+        // Pack: per rank, per destination, gather local x entries.
+        let packed: Vec<Vec<(usize, Vec<f64>)>> = self
+            .ranks
+            .iter()
+            .map(|rm| {
+                let lo = rm.rows.start;
+                rm.send_lists
+                    .iter()
+                    .map(|(dst, locals)| {
+                        (*dst, locals.iter().map(|&li| x[lo + li]).collect())
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut y = vec![0.0; self.partition.n];
+        for rm in &self.ranks {
+            // Exchange: assemble x_R from the peers' packed buffers, in
+            // recv_lists order.
+            let mut x_r = Vec::with_capacity(rm.num_recv());
+            for (src, list) in &rm.recv_lists {
+                let buf = packed[*src]
+                    .iter()
+                    .find(|(dst, _)| dst == &rm.rank)
+                    .map(|(_, b)| b)
+                    .expect("send/recv lists are mirror images");
+                assert_eq!(buf.len(), list.len());
+                x_r.extend_from_slice(buf);
+            }
+            let x_l = &x[rm.rows.clone()];
+            let y_l = rm.a_l.spmv(x_l);
+            let y_r = if rm.num_recv() > 0 {
+                rm.a_r.spmv(&x_r)
+            } else {
+                vec![0.0; rm.rows.len()]
+            };
+            for (i, r) in rm.rows.clone().enumerate() {
+                y[r] = y_l[i] + y_r[i];
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{banded_matrix, BandedSpec};
+
+    #[test]
+    fn partition_ranges_tile_exactly() {
+        for (n, ranks) in [(10, 3), (12, 4), (7, 7), (150_000, 4)] {
+            let p = Partition::new(n, ranks);
+            let mut covered = 0;
+            for r in 0..ranks {
+                let range = p.range(r);
+                assert_eq!(range.start, covered);
+                covered = range.end;
+                for i in range.clone() {
+                    assert_eq!(p.owner(i), r, "owner({i})");
+                }
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ranks")]
+    fn too_many_ranks_rejected() {
+        Partition::new(3, 4);
+    }
+
+    #[test]
+    fn send_and_recv_lists_mirror() {
+        let a = banded_matrix(&BandedSpec::small(11));
+        let d = DistributedSpmv::new(&a, 4);
+        for rm in &d.ranks {
+            for (dst, locals) in &rm.send_lists {
+                let peer = &d.ranks[*dst];
+                let (_, recv) = peer
+                    .recv_lists
+                    .iter()
+                    .find(|&&(src, _)| src == rm.rank)
+                    .expect("peer must expect our data");
+                assert_eq!(recv.len(), locals.len());
+                let lo = rm.rows.start;
+                for (&li, &g) in locals.iter().zip(recv) {
+                    assert_eq!(lo + li, g, "send index must match peer's global index");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_and_remote_nnz_partition_the_matrix() {
+        let a = banded_matrix(&BandedSpec::small(5));
+        let d = DistributedSpmv::new(&a, 4);
+        let total: usize = d.ranks.iter().map(|rm| rm.a_l.nnz() + rm.a_r.nnz()).sum();
+        assert_eq!(total, a.nnz());
+    }
+
+    #[test]
+    fn distributed_multiply_matches_serial() {
+        use rand::{Rng, SeedableRng};
+        let a = banded_matrix(&BandedSpec::small(2));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let x: Vec<f64> = (0..a.ncols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let want = a.spmv(&x);
+        for ranks in [1, 2, 3, 4, 6] {
+            let d = DistributedSpmv::new(&a, ranks);
+            let got = d.multiply(&x);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!((g - w).abs() < 1e-9, "ranks={ranks} row {i}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn banded_neighbours_only_talk_to_adjacent_ranks() {
+        // Band width n/4 over 4 ranks: each rank only needs x entries from
+        // adjacent ranks.
+        let a = banded_matrix(&BandedSpec::small(13));
+        let d = DistributedSpmv::new(&a, 4);
+        for rm in &d.ranks {
+            for &(src, _) in &rm.recv_lists {
+                assert!(
+                    src.abs_diff(rm.rank) == 1,
+                    "rank {} receives from non-neighbour {}",
+                    rm.rank,
+                    src
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_has_no_communication() {
+        let a = banded_matrix(&BandedSpec::small(3));
+        let d = DistributedSpmv::new(&a, 1);
+        assert!(d.ranks[0].recv_lists.is_empty());
+        assert!(d.ranks[0].send_lists.is_empty());
+        assert_eq!(d.ranks[0].a_r.nnz(), 0);
+    }
+
+    #[test]
+    fn local_remote_balance_near_paper_band() {
+        // The paper picks bandwidth n/4 so local and remote work are
+        // roughly balanced across 4 ranks; check the interior ranks see a
+        // non-trivial remote share.
+        let a = banded_matrix(&BandedSpec::small(17));
+        let d = DistributedSpmv::new(&a, 4);
+        for rm in &d.ranks[1..3] {
+            let local = rm.a_l.nnz() as f64;
+            let remote = rm.a_r.nnz() as f64;
+            let share = remote / (local + remote);
+            assert!(share > 0.1 && share < 0.9, "remote share {share}");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Ready-made SpMV exploration scenarios bundling the DAG decision space,
+//! the decomposition-derived workload, and benchmarking helpers.
+
+use crate::cost::{GpuModel, SpmvWorkload};
+use crate::dag::{spmv_dag, SpmvDagConfig};
+use crate::matrix::{banded_matrix, BandedSpec};
+use crate::partition::DistributedSpmv;
+use dr_dag::{build_schedule, DecisionSpace, Traversal};
+use dr_sim::{benchmark, BenchConfig, BenchResult, CompiledProgram, Platform, SimError};
+
+/// A fully assembled SpMV design-space exploration problem.
+#[derive(Debug, Clone)]
+pub struct SpmvScenario {
+    /// The traversal decision space (DAG + sync ops + streams).
+    pub space: DecisionSpace,
+    /// The decomposition-derived cost/communication model.
+    pub workload: SpmvWorkload,
+    /// The platform the implementations run on.
+    pub platform: Platform,
+    /// The matrix decomposition (kept for inspection and numeric checks).
+    pub dist: DistributedSpmv,
+}
+
+impl SpmvScenario {
+    /// Assembles a scenario from its ingredients.
+    pub fn build(
+        spec: &BandedSpec,
+        ranks: usize,
+        streams: usize,
+        dag_cfg: &SpmvDagConfig,
+        model: &GpuModel,
+        platform: Platform,
+    ) -> Self {
+        let a = banded_matrix(spec);
+        let dist = DistributedSpmv::new(&a, ranks);
+        let workload = SpmvWorkload::new(&dist, model);
+        let dag = spmv_dag(dag_cfg).expect("static SpMV DAG is valid");
+        let space = DecisionSpace::new(dag, streams).expect("SpMV space fits in 64 ops");
+        SpmvScenario { space, workload, platform, dist }
+    }
+
+    /// The paper's demonstration setup: the 150 000-row banded matrix on
+    /// 4 ranks with 2 streams.
+    pub fn paper(seed: u64) -> Self {
+        SpmvScenario::build(
+            &BandedSpec::paper(seed),
+            4,
+            2,
+            &SpmvDagConfig::default(),
+            &GpuModel::default(),
+            Platform::perlmutter_like(),
+        )
+    }
+
+    /// The paper setup with the fine-grained (per-neighbour-direction)
+    /// DAG of Section III-A's granularity discussion. The space is far
+    /// too large to enumerate; use MCTS.
+    pub fn paper_fine(seed: u64) -> Self {
+        SpmvScenario::build(
+            &BandedSpec::paper(seed),
+            4,
+            2,
+            &SpmvDagConfig {
+                with_unpack: true,
+                granularity: crate::dag::Granularity::PerNeighbor,
+            },
+            &GpuModel::default(),
+            Platform::perlmutter_like(),
+        )
+    }
+
+    /// A scaled-down setup with the same proportions, cheap enough for
+    /// tests and examples.
+    pub fn small(seed: u64) -> Self {
+        SpmvScenario::build(
+            &BandedSpec::small(seed),
+            4,
+            2,
+            &SpmvDagConfig::default(),
+            &GpuModel::default(),
+            Platform::perlmutter_like(),
+        )
+    }
+
+    /// Compiles one traversal into an executable program.
+    pub fn compile(&self, t: &Traversal) -> Result<CompiledProgram, SimError> {
+        let schedule = build_schedule(&self.space, t);
+        CompiledProgram::compile(&schedule, &self.workload)
+    }
+
+    /// Runs the full measurement protocol on one traversal.
+    pub fn benchmark(
+        &self,
+        t: &Traversal,
+        cfg: &BenchConfig,
+        seed: u64,
+    ) -> Result<BenchResult, SimError> {
+        let prog = self.compile(t)?;
+        benchmark(&prog, &self.platform, cfg, seed)
+    }
+}
+
+#[cfg(test)]
+impl SpmvScenario {
+    fn workload_ranks(&self) -> usize {
+        use dr_sim::Workload;
+        self.workload.num_ranks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_traversal_of_the_small_scenario_executes() {
+        let sc = SpmvScenario::small(1);
+        let cfg = BenchConfig { t_measure: 1e-4, num_measurements: 1, max_samples: 2 };
+        let all = sc.space.enumerate();
+        assert!(all.len() > 500, "space size {}", all.len());
+        // Executing the whole space is the Fig. 1 workload; here just
+        // spot-check a deterministic stride for speed.
+        for t in all.iter().step_by(97) {
+            let res = sc.benchmark(t, &cfg, 7).unwrap();
+            assert!(res.time() > 0.0);
+        }
+    }
+
+    #[test]
+    fn orderings_change_performance() {
+        let sc = SpmvScenario::small(2);
+        let platform = sc.platform.clone().noiseless();
+        let sc = SpmvScenario { platform, ..sc };
+        let cfg = BenchConfig { t_measure: 1e-4, num_measurements: 3, max_samples: 5 };
+        let all = sc.space.enumerate();
+        let times: Vec<f64> = all
+            .iter()
+            .step_by(41)
+            .map(|t| sc.benchmark(t, &cfg, 3).unwrap().time())
+            .collect();
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(0.0f64, f64::max);
+        assert!(
+            max / min > 1.05,
+            "design decisions must matter: min {min}, max {max}"
+        );
+    }
+
+    #[test]
+    fn paper_scenario_assembles() {
+        let sc = SpmvScenario::paper(0);
+        assert_eq!(sc.workload_ranks(), 4);
+        assert_eq!(sc.space.num_streams(), 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! One conjugate-gradient iteration — the kind of Tpetra-style solver
+//! kernel the paper's introduction motivates. Combines the distributed
+//! SpMV (pack/exchange/local/remote) with a dot-product reduction
+//! (`MPI_Allreduce`, Table II's collective class) and an AXPY update,
+//! then mines design rules for the composite DAG.
+//!
+//! Run with: `cargo run --release --example cg_step`
+
+use cuda_mpi_design_rules::dag::{
+    CommKey, CostKey, DagBuilder, DecisionSpace, OpSpec,
+};
+use cuda_mpi_design_rules::ml::rulesets_for_class;
+use cuda_mpi_design_rules::pipeline::{run_pipeline, PipelineConfig, Strategy};
+use cuda_mpi_design_rules::sim::{CommPattern, Platform, TableWorkload, Workload};
+use cuda_mpi_design_rules::spmv::{
+    BandedSpec, DistributedSpmv, GpuModel, SpmvWorkload, banded_matrix,
+};
+
+/// Layers solver-specific costs over the SpMV decomposition's workload.
+struct CgWorkload {
+    spmv: SpmvWorkload,
+    extra: TableWorkload,
+}
+
+impl Workload for CgWorkload {
+    fn num_ranks(&self) -> usize {
+        self.spmv.num_ranks()
+    }
+    fn cost(&self, rank: usize, key: &CostKey) -> Option<f64> {
+        self.spmv.cost(rank, key).or_else(|| self.extra.cost(rank, key))
+    }
+    fn comm(&self, rank: usize, key: &CommKey) -> Option<CommPattern> {
+        self.spmv.comm(rank, key).or_else(|| self.extra.comm(rank, key))
+    }
+}
+
+fn main() {
+    let ranks = 4;
+    let a = banded_matrix(&BandedSpec::small(47));
+    let dist = DistributedSpmv::new(&a, ranks);
+    let spmv = SpmvWorkload::new(&dist, &GpuModel::default());
+
+    // --- DAG: SpMV of the search direction, then pᵀ(Ap) via a local dot
+    // kernel + Allreduce, then the AXPY update.
+    let halo = CommKey::new("halo");
+    let mut b = DagBuilder::new();
+    let pack = b.add("Pack", OpSpec::GpuKernel(CostKey::new("Pack")));
+    let ps = b.add("PostSend", OpSpec::PostSends(halo.clone()));
+    let pr = b.add("PostRecv", OpSpec::PostRecvs(halo.clone()));
+    let ws = b.add("WaitSend", OpSpec::WaitSends(halo.clone()));
+    let wr = b.add("WaitRecv", OpSpec::WaitRecvs(halo));
+    let unpack = b.add("Unpack", OpSpec::GpuKernel(CostKey::new("Unpack")));
+    let yl = b.add("yl", OpSpec::GpuKernel(CostKey::new("yl")));
+    let yr = b.add("yr", OpSpec::GpuKernel(CostKey::new("yr")));
+    let dot_local = b.add("DotLocal", OpSpec::GpuKernel(CostKey::new("DotLocal")));
+    let dot = b.add("DotAllreduce", OpSpec::AllReduce(CommKey::new("dot")));
+    let axpy = b.add("Axpy", OpSpec::GpuKernel(CostKey::new("Axpy")));
+    b.edge(pack, ps);
+    b.edge(ps, ws);
+    b.edge(pr, wr);
+    b.edge(ps, wr);
+    b.edge(pr, ws);
+    b.edge(wr, unpack);
+    b.edge(unpack, yr);
+    b.edge(yl, dot_local);
+    b.edge(yr, dot_local);
+    b.edge(dot_local, dot);
+    b.edge(dot, axpy);
+    let dag = b.build().expect("CG DAG is valid");
+    let space = DecisionSpace::new(dag, 2).expect("fits in 64 ops");
+    println!(
+        "CG-step decision space: {} ops, {} traversals",
+        space.num_ops(),
+        space.count_traversals()
+    );
+
+    // --- Costs: SpMV keys from the decomposition; dot/axpy sized by rows.
+    let rows = a.nrows / ranks;
+    let mut extra = TableWorkload::new(ranks);
+    extra
+        .cost_all("DotLocal", 3e-6 + rows as f64 * 2e-10)
+        .cost_all("Axpy", 3e-6 + rows as f64 * 2e-10);
+    for r in 0..ranks {
+        extra.comm_on(r, "dot", CommPattern { sends: vec![(0, 8)], recvs: vec![] });
+    }
+    let workload = CgWorkload { spmv, extra };
+
+    let result = run_pipeline(
+        &space,
+        &workload,
+        &Platform::perlmutter_like(),
+        Strategy::Mcts { iterations: 500, config: Default::default() },
+        &PipelineConfig::quick(),
+    )
+    .expect("CG scenario always executes");
+
+    let times = result.times();
+    let fastest = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let slowest = times.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "explored {} implementations, {:.2}x spread, {} classes",
+        result.records.len(),
+        slowest / fastest,
+        result.labeling.num_classes
+    );
+    println!();
+    println!("rules for the fastest class:");
+    for rs in rulesets_for_class(&result.rulesets, 0).iter().take(2) {
+        println!("  ruleset ({} samples):", rs.samples);
+        for line in cuda_mpi_design_rules::ml::render_ruleset(rs, &space) {
+            println!("    - {line}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! 3D halo exchange — the extension the paper's future work describes
+//! ("the work is currently being extended to 3D halo-exchange
+//! communication, modeling fine-grained communication operations in each
+//! dimension").
+//!
+//! A 2×2×2 rank grid exchanges ghost faces in x, y, and z; each dimension
+//! has its own pack kernel, point-to-point exchange, and unpack kernel.
+//! An interior stencil kernel is independent of all communication; a
+//! boundary stencil kernel needs every unpacked face. The design space
+//! exceeds 10¹² traversals, so rules are mined from an MCTS exploration.
+//! The decomposition itself is numerically validated: the distributed
+//! Jacobi sweep the DAG schedules reproduces the serial sweep exactly.
+//!
+//! Run with: `cargo run --release --example halo_exchange`
+
+use cuda_mpi_design_rules::halo::{
+    jacobi_step, DistributedGrid, Grid3, HaloScenario, RankGrid,
+};
+use cuda_mpi_design_rules::mcts::MctsConfig;
+use cuda_mpi_design_rules::ml::rulesets_for_class;
+use cuda_mpi_design_rules::pipeline::{run_pipeline, PipelineConfig, Strategy};
+
+fn main() {
+    // --- Numeric sanity: the algorithm the DAG schedules is correct.
+    let g = Grid3::from_fn([8, 8, 8], |x, y, z| (x * 3 + y * 5 + z * 7) as f64);
+    let want = jacobi_step(&g);
+    let mut d = DistributedGrid::from_global(&g, RankGrid::new([2, 2, 2]));
+    d.exchange_ghosts();
+    d.jacobi_step();
+    let got = d.gather();
+    let max_err = got
+        .data
+        .iter()
+        .zip(&want.data)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("distributed vs serial Jacobi max error: {max_err:.2e}");
+    assert!(max_err < 1e-12);
+
+    // --- Design-space exploration on the simulated platform.
+    let sc = HaloScenario::cube2(7);
+    println!(
+        "halo-exchange decision space: {} ops, {} traversals",
+        sc.space.num_ops(),
+        sc.space.count_traversals()
+    );
+
+    let iterations = 600;
+    println!("running MCTS for {iterations} iterations …");
+    let result = run_pipeline(
+        &sc.space,
+        &sc.workload,
+        &sc.platform,
+        Strategy::Mcts { iterations, config: MctsConfig { seed: 7, ..Default::default() } },
+        &PipelineConfig::quick(),
+    )
+    .expect("halo scenario always executes");
+
+    let times = result.times();
+    let fastest = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let slowest = times.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "explored {} implementations, {:.2}x spread, {} classes",
+        result.records.len(),
+        slowest / fastest,
+        result.labeling.num_classes
+    );
+    println!();
+    println!("rules for the fastest class:");
+    for rs in rulesets_for_class(&result.rulesets, 0).iter().take(3) {
+        println!("  ruleset ({} samples):", rs.samples);
+        for line in cuda_mpi_design_rules::ml::render_ruleset(rs, &sc.space) {
+            println!("    - {line}");
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: mine design rules for a tiny hand-built CUDA+MPI program.
+//!
+//! Build a DAG of operations, let the pipeline explore every traversal on
+//! the simulated platform, and print the discovered performance classes
+//! and the rules that discriminate them.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cuda_mpi_design_rules::dag::{CostKey, DagBuilder, DecisionSpace, OpSpec};
+use cuda_mpi_design_rules::pipeline::{run_pipeline, PipelineConfig, Strategy};
+use cuda_mpi_design_rules::sim::{Platform, TableWorkload};
+
+fn main() {
+    // A program with two independent kernels feeding a CPU reduction:
+    // the design space is every issue order × stream assignment.
+    let mut b = DagBuilder::new();
+    let fft = b.add("fft", OpSpec::GpuKernel(CostKey::new("fft")));
+    let blur = b.add("blur", OpSpec::GpuKernel(CostKey::new("blur")));
+    let reduce = b.add("reduce", OpSpec::CpuWork(CostKey::new("reduce")));
+    b.edge(fft, reduce);
+    b.edge(blur, reduce);
+    let dag = b.build().expect("valid DAG");
+    let space = DecisionSpace::new(dag, 2).expect("small space");
+    println!("design space: {} implementations", space.count_traversals());
+
+    // Durations for each operation; both kernels are long enough that
+    // overlapping them is the dominant design decision.
+    let mut workload = TableWorkload::new(1);
+    workload
+        .cost_all("fft", 400e-6)
+        .cost_all("blur", 350e-6)
+        .cost_all("reduce", 20e-6);
+
+    let platform = Platform::perlmutter_like();
+    let result = run_pipeline(
+        &space,
+        &workload,
+        &platform,
+        Strategy::Exhaustive,
+        &PipelineConfig::quick(),
+    )
+    .expect("simulation cannot fail on this workload");
+
+    println!("performance classes: {}", result.labeling.num_classes);
+    for (c, &(lo, hi)) in result.labeling.class_ranges.iter().enumerate() {
+        println!("  class {c}: {:.1} µs .. {:.1} µs", lo * 1e6, hi * 1e6);
+    }
+    println!();
+    println!("design rules:");
+    for rs in &result.rulesets {
+        println!("  to land in class {} ({} samples):", rs.class, rs.samples);
+        for line in cuda_mpi_design_rules::ml::render_ruleset(rs, &space) {
+            println!("    - {line}");
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Command-line driver: explore a built-in scenario, print design rules,
+//! synthesize a rule-following implementation, or inspect timelines —
+//! without writing any Rust. Used by the `dr-rules` binary.
+
+use crate::dag::{build_schedule, DecisionSpace, Traversal};
+use crate::mcts::MctsConfig;
+use crate::ml::{render_ruleset, rulesets_for_class};
+use crate::pipeline::{run_pipeline, synthesize, PipelineConfig, Strategy};
+use crate::sim::{
+    benchmark, execute_traced, BenchConfig, CompiledProgram, Platform, SimError, Workload,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Built-in scenarios selectable from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// The paper's SpMV (scaled-down matrix).
+    Spmv,
+    /// SpMV at full paper scale (150 000-row matrix).
+    SpmvPaper,
+    /// SpMV with per-neighbour granularity.
+    SpmvFine,
+    /// 3D halo exchange on a 2×2×2 rank cube.
+    Halo,
+}
+
+/// Subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Print the decision space summary.
+    Info,
+    /// Explore and print class summary.
+    Explore,
+    /// Explore and print the rulesets per class.
+    Rules,
+    /// Explore, follow the fastest-class ruleset, benchmark the result.
+    Synthesize,
+    /// Trace the best and worst explored implementations.
+    Timeline,
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Selected scenario.
+    pub scenario: Scenario,
+    /// Selected command.
+    pub command: Command,
+    /// Exploration budget (MCTS iterations).
+    pub iterations: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Use the random-sampling baseline instead of MCTS.
+    pub random: bool,
+}
+
+/// Usage text printed on parse errors.
+pub const USAGE: &str = "usage: dr-rules <scenario> <command> [options]
+  scenarios: spmv | spmv-paper | spmv-fine | halo
+  commands:  info | explore | rules | synthesize | timeline
+  options:   --iterations N (default 300)
+             --seed N       (default 0)
+             --random       (uniform sampling instead of MCTS)";
+
+/// Parses command-line arguments (excluding `argv[0]`).
+pub fn parse(args: &[String]) -> Result<CliOptions, String> {
+    let mut it = args.iter();
+    let scenario = match it.next().map(String::as_str) {
+        Some("spmv") => Scenario::Spmv,
+        Some("spmv-paper") => Scenario::SpmvPaper,
+        Some("spmv-fine") => Scenario::SpmvFine,
+        Some("halo") => Scenario::Halo,
+        Some(other) => return Err(format!("unknown scenario {other:?}\n{USAGE}")),
+        None => return Err(format!("missing scenario\n{USAGE}")),
+    };
+    let command = match it.next().map(String::as_str) {
+        Some("info") => Command::Info,
+        Some("explore") => Command::Explore,
+        Some("rules") => Command::Rules,
+        Some("synthesize") => Command::Synthesize,
+        Some("timeline") => Command::Timeline,
+        Some(other) => return Err(format!("unknown command {other:?}\n{USAGE}")),
+        None => return Err(format!("missing command\n{USAGE}")),
+    };
+    let mut opts = CliOptions { scenario, command, iterations: 300, seed: 0, random: false };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--iterations" => {
+                let v = it.next().ok_or("--iterations needs a value")?;
+                opts.iterations =
+                    v.parse().map_err(|_| format!("bad --iterations value {v:?}"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad --seed value {v:?}"))?;
+            }
+            "--random" => opts.random = true,
+            other => return Err(format!("unknown option {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// A scenario erased to the pieces the driver needs.
+struct Instance {
+    space: DecisionSpace,
+    workload: Box<dyn Workload>,
+    platform: Platform,
+}
+
+fn instance(opts: &CliOptions) -> Instance {
+    match opts.scenario {
+        Scenario::Spmv => {
+            let sc = crate::spmv::SpmvScenario::small(opts.seed);
+            Instance {
+                space: sc.space,
+                workload: Box::new(sc.workload),
+                platform: sc.platform,
+            }
+        }
+        Scenario::SpmvPaper => {
+            let sc = crate::spmv::SpmvScenario::paper(opts.seed);
+            Instance {
+                space: sc.space,
+                workload: Box::new(sc.workload),
+                platform: sc.platform,
+            }
+        }
+        Scenario::SpmvFine => {
+            use crate::spmv::{BandedSpec, GpuModel, Granularity, SpmvDagConfig, SpmvScenario};
+            let sc = SpmvScenario::build(
+                &BandedSpec::small(opts.seed),
+                4,
+                2,
+                &SpmvDagConfig { with_unpack: true, granularity: Granularity::PerNeighbor },
+                &GpuModel::default(),
+                Platform::perlmutter_like(),
+            );
+            Instance {
+                space: sc.space,
+                workload: Box::new(sc.workload),
+                platform: sc.platform,
+            }
+        }
+        Scenario::Halo => {
+            let sc = crate::halo::HaloScenario::cube2(opts.seed);
+            Instance {
+                space: sc.space,
+                workload: Box::new(sc.workload),
+                platform: sc.platform,
+            }
+        }
+    }
+}
+
+fn strategy(opts: &CliOptions) -> Strategy {
+    if opts.random {
+        Strategy::Random { iterations: opts.iterations, seed: opts.seed }
+    } else {
+        Strategy::Mcts {
+            iterations: opts.iterations,
+            config: MctsConfig { seed: opts.seed, ..Default::default() },
+        }
+    }
+}
+
+/// Runs the parsed command, writing human-readable output to `out`.
+pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), String> {
+    let inst = instance(opts);
+    let fail = |e: SimError| format!("simulation failed: {e}");
+    let io = |e: std::io::Error| format!("write failed: {e}");
+
+    if opts.command == Command::Info {
+        writeln!(out, "decision ops : {}", inst.space.num_ops()).map_err(io)?;
+        writeln!(out, "streams      : {}", inst.space.num_streams()).map_err(io)?;
+        writeln!(out, "traversals   : {}", inst.space.count_traversals()).map_err(io)?;
+        for op in inst.space.ops() {
+            writeln!(out, "  {}", op.name).map_err(io)?;
+        }
+        return Ok(());
+    }
+
+    let result = run_pipeline(
+        &inst.space,
+        &inst.workload,
+        &inst.platform,
+        strategy(opts),
+        &PipelineConfig::quick(),
+    )
+    .map_err(fail)?;
+
+    match opts.command {
+        Command::Info => unreachable!("handled above"),
+        Command::Explore => {
+            let times = result.times();
+            let fastest = times.iter().copied().fold(f64::INFINITY, f64::min);
+            let slowest = times.iter().copied().fold(0.0f64, f64::max);
+            writeln!(out, "explored {} implementations", result.records.len()).map_err(io)?;
+            writeln!(out, "spread   {:.2}x ({:.1} µs .. {:.1} µs)", slowest / fastest,
+                fastest * 1e6, slowest * 1e6).map_err(io)?;
+            writeln!(out, "classes  {}", result.labeling.num_classes).map_err(io)?;
+            for (c, &(lo, hi)) in result.labeling.class_ranges.iter().enumerate() {
+                let members =
+                    result.labeling.labels.iter().filter(|&&l| l == c).count();
+                writeln!(out, "  class {c}: {members} impls, {:.1} µs .. {:.1} µs",
+                    lo * 1e6, hi * 1e6).map_err(io)?;
+            }
+        }
+        Command::Rules => {
+            for class in 0..result.labeling.num_classes {
+                writeln!(out, "== class {class} ==").map_err(io)?;
+                for rs in rulesets_for_class(&result.rulesets, class).iter().take(3) {
+                    writeln!(out, "  ruleset ({} samples{}):", rs.samples,
+                        if rs.pure { "" } else { ", impure" }).map_err(io)?;
+                    for line in render_ruleset(rs, &inst.space) {
+                        writeln!(out, "    - {line}").map_err(io)?;
+                    }
+                }
+            }
+        }
+        Command::Synthesize => {
+            let sets = rulesets_for_class(&result.rulesets, 0);
+            let rs = sets.first().ok_or("no fastest-class ruleset found")?;
+            for line in render_ruleset(rs, &inst.space) {
+                writeln!(out, "rule: {line}").map_err(io)?;
+            }
+            let t = synthesize(&inst.space, &rs.rules)
+                .ok_or("rules are unsatisfiable (try more iterations)")?;
+            let time = bench_traversal(&inst, &t, opts.seed).map_err(fail)?;
+            let (_, hi) = result.labeling.class_ranges[0];
+            writeln!(out, "synthesized implementation: {:.1} µs (class-0 max {:.1} µs)",
+                time * 1e6, hi * 1e6).map_err(io)?;
+        }
+        Command::Timeline => {
+            let best = result
+                .records
+                .iter()
+                .min_by(|a, b| a.result.time().partial_cmp(&b.result.time()).unwrap())
+                .ok_or("no records")?;
+            let worst = result
+                .records
+                .iter()
+                .max_by(|a, b| a.result.time().partial_cmp(&b.result.time()).unwrap())
+                .ok_or("no records")?;
+            for (tag, rec) in [("fastest", best), ("slowest", worst)] {
+                let schedule = build_schedule(&inst.space, &rec.traversal);
+                let prog =
+                    CompiledProgram::compile(&schedule, &inst.workload).map_err(fail)?;
+                let (outcome, trace) = execute_traced(
+                    &prog,
+                    &inst.platform.clone().noiseless(),
+                    &mut SmallRng::seed_from_u64(opts.seed),
+                )
+                .map_err(fail)?;
+                writeln!(out, "== {tag}: {:.1} µs ==", outcome.time() * 1e6).map_err(io)?;
+                write!(out, "{}", trace.ascii_gantt(0, 96)).map_err(io)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn bench_traversal(inst: &Instance, t: &Traversal, seed: u64) -> Result<f64, SimError> {
+    let schedule = build_schedule(&inst.space, t);
+    let prog = CompiledProgram::compile(&schedule, &inst.workload)?;
+    Ok(benchmark(&prog, &inst.platform, &BenchConfig::quick(), seed)?.time())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_happy_paths() {
+        let o = parse(&argv("spmv rules --iterations 50 --seed 9")).unwrap();
+        assert_eq!(o.scenario, Scenario::Spmv);
+        assert_eq!(o.command, Command::Rules);
+        assert_eq!(o.iterations, 50);
+        assert_eq!(o.seed, 9);
+        assert!(!o.random);
+        let o = parse(&argv("halo explore --random")).unwrap();
+        assert_eq!(o.scenario, Scenario::Halo);
+        assert!(o.random);
+        assert_eq!(o.iterations, 300);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("nope info")).is_err());
+        assert!(parse(&argv("spmv nope")).is_err());
+        assert!(parse(&argv("spmv info --bogus")).is_err());
+        assert!(parse(&argv("spmv info --iterations")).is_err());
+        assert!(parse(&argv("spmv info --iterations many")).is_err());
+    }
+
+    #[test]
+    fn info_command_prints_space_summary() {
+        let opts = parse(&argv("spmv info")).unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("traversals   : 1600"));
+        assert!(s.contains("CES-b4-PostSend"));
+    }
+
+    #[test]
+    fn explore_command_reports_classes() {
+        let opts = parse(&argv("spmv explore --iterations 40 --seed 2")).unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("explored"));
+        assert!(s.contains("class 0"));
+    }
+
+    #[test]
+    fn rules_command_prints_rulesets() {
+        let opts = parse(&argv("spmv rules --iterations 60 --seed 2")).unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("ruleset"));
+        assert!(s.contains(" - "));
+    }
+
+    #[test]
+    fn synthesize_command_round_trips() {
+        let opts = parse(&argv("spmv synthesize --iterations 80 --seed 3")).unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("synthesized implementation"), "{s}");
+    }
+
+    #[test]
+    fn timeline_command_draws_gantt_rows() {
+        let opts = parse(&argv("spmv timeline --iterations 30 --seed 4")).unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("fastest"));
+        assert!(s.contains("cpu |"));
+        assert!(s.contains("stream0 |"));
+    }
+}

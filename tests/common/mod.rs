@@ -1,0 +1,50 @@
+//! Shared proptest generators for the integration-level property tests.
+
+use cuda_mpi_design_rules::dag::{CostKey, DagBuilder, DecisionSpace, OpSpec, ProgramDag};
+use proptest::prelude::*;
+
+/// A random DAG of up to `max_n` CPU/GPU compute vertices. Edges only go
+/// from lower to higher vertex ids, so the graph is acyclic by
+/// construction; the builder adds Start/End.
+pub fn arb_dag(max_n: usize) -> impl Strategy<Value = ProgramDag> {
+    (2..=max_n)
+        .prop_flat_map(|n| {
+            let kinds = proptest::collection::vec(any::<bool>(), n);
+            let edges = proptest::collection::vec(any::<bool>(), n * (n - 1) / 2);
+            (Just(n), kinds, edges)
+        })
+        .prop_map(|(n, kinds, edges)| {
+            let mut b = DagBuilder::new();
+            let ids: Vec<_> = (0..n)
+                .map(|i| {
+                    let name = format!("v{i}");
+                    let key = CostKey::new(name.clone());
+                    if kinds[i] {
+                        b.add(name, OpSpec::GpuKernel(key))
+                    } else {
+                        b.add(name, OpSpec::CpuWork(key))
+                    }
+                })
+                .collect();
+            let mut e = 0;
+            for i in 0..n {
+                for j in i + 1..n {
+                    if edges[e] {
+                        b.edge(ids[i], ids[j]);
+                    }
+                    e += 1;
+                }
+            }
+            b.build().expect("forward edges are always acyclic")
+        })
+}
+
+/// A random decision space over a random DAG with 1–3 streams, filtered
+/// to spaces small enough to enumerate.
+pub fn arb_small_space(max_n: usize, max_traversals: u128) -> impl Strategy<Value = DecisionSpace> {
+    (arb_dag(max_n), 1usize..=3)
+        .prop_map(|(dag, streams)| DecisionSpace::new(dag, streams).expect("few ops"))
+        .prop_filter("space must be enumerable", move |sp| {
+            sp.count_traversals() <= max_traversals
+        })
+}

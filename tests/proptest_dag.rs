@@ -1,0 +1,119 @@
+//! Property tests on the DAG substrate: enumeration, canonicalization,
+//! and schedule lowering hold for arbitrary DAGs, not just the SpMV one.
+
+mod common;
+
+use common::arb_small_space;
+use cuda_mpi_design_rules::dag::{build_schedule, ScheduleAction};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn enumeration_is_exact_unique_and_valid(space in arb_small_space(5, 2000)) {
+        let all = space.enumerate();
+        prop_assert_eq!(all.len() as u128, space.count_traversals());
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        prop_assert_eq!(set.len(), all.len(), "traversals must be unique");
+        for t in &all {
+            prop_assert!(space.validate(t).is_ok());
+        }
+    }
+
+    #[test]
+    fn every_traversal_is_a_permutation_of_all_ops(space in arb_small_space(5, 2000)) {
+        for t in space.enumerate() {
+            prop_assert_eq!(t.steps.len(), space.num_ops());
+            let mut seen = vec![false; space.num_ops()];
+            for p in &t.steps {
+                prop_assert!(!seen[p.op], "op repeated");
+                seen[p.op] = true;
+                prop_assert_eq!(
+                    p.stream.is_some(),
+                    space.ops()[p.op].kind.needs_stream(),
+                    "stream binding exactly for GPU ops"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_form_pins_first_gpu_to_stream_zero(space in arb_small_space(5, 2000)) {
+        for t in space.enumerate() {
+            if let Some(first_gpu) = t.steps.iter().find(|p| p.stream.is_some()) {
+                prop_assert_eq!(first_gpu.stream, Some(0));
+            }
+            // Streams are introduced in order: stream s appears only after
+            // streams 0..s have been used.
+            let mut used = 0usize;
+            for p in &t.steps {
+                if let Some(s) = p.stream {
+                    prop_assert!(s <= used, "stream {} introduced too early", s);
+                    if s == used {
+                        used += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn precedence_constraints_hold_in_every_traversal(space in arb_small_space(5, 2000)) {
+        for t in space.enumerate() {
+            let pos = t.positions(space.num_ops());
+            for op in 0..space.num_ops() {
+                for &p in space.op_preds(op) {
+                    prop_assert!(pos[p] < pos[op], "pred must precede");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_record_events_before_use(space in arb_small_space(5, 500)) {
+        for t in space.enumerate().into_iter().take(64) {
+            let s = build_schedule(&space, &t);
+            let mut recorded = std::collections::HashSet::new();
+            for item in &s.items {
+                match &item.action {
+                    ScheduleAction::EventRecord { event, .. } => {
+                        recorded.insert(*event);
+                    }
+                    ScheduleAction::EventSync { events } => {
+                        for e in events {
+                            prop_assert!(recorded.contains(e));
+                        }
+                    }
+                    ScheduleAction::StreamWaitEvent { event, .. } => {
+                        prop_assert!(recorded.contains(event));
+                    }
+                    _ => {}
+                }
+            }
+            prop_assert!(matches!(
+                s.items.last().unwrap().action,
+                ScheduleAction::DeviceSync
+            ));
+            prop_assert!(s.num_streams <= space.num_streams());
+        }
+    }
+
+    #[test]
+    fn rollout_completion_always_yields_valid_traversals(
+        space in arb_small_space(6, u128::MAX),
+        picks in proptest::collection::vec(any::<u32>(), 64),
+    ) {
+        // complete_with must terminate and produce a valid traversal for
+        // arbitrary (even adversarial) pick sequences — this also covers
+        // spaces far too large to enumerate.
+        let mut i = 0;
+        let mut prefix = space.empty_prefix();
+        let t = space.complete_with(&mut prefix, |elig| {
+            let k = picks.get(i % picks.len()).copied().unwrap_or(0) as usize;
+            i += 1;
+            k % elig.len()
+        });
+        prop_assert!(space.validate(&t).is_ok());
+    }
+}

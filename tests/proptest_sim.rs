@@ -1,0 +1,153 @@
+//! Property tests on the platform simulator: sanity laws that must hold
+//! for any program and any cost assignment.
+
+mod common;
+
+use common::arb_small_space;
+use cuda_mpi_design_rules::dag::build_schedule;
+use cuda_mpi_design_rules::sim::{
+    execute, CompiledProgram, Platform, TableWorkload,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn workload_for(space: &cuda_mpi_design_rules::dag::DecisionSpace, costs: &[f64]) -> TableWorkload {
+    let mut w = TableWorkload::new(2);
+    for (i, op) in space.dag().user_vertices().enumerate() {
+        let name = space.dag().vertex(op).name.clone();
+        w.cost_all(name, costs[i % costs.len()].abs() + 1e-9);
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn execution_time_bounds(
+        space in arb_small_space(5, 300),
+        costs in proptest::collection::vec(1e-6f64..1e-3, 5),
+    ) {
+        let w = workload_for(&space, &costs);
+        let platform = Platform::perlmutter_like().noiseless();
+        let user_count = space.dag().user_vertices().count();
+        let max_cost = (0..user_count)
+            .map(|i| costs[i % costs.len()].abs() + 1e-9)
+            .fold(0.0f64, f64::max);
+        let sum_cost: f64 = (0..user_count)
+            .map(|i| costs[i % costs.len()].abs() + 1e-9)
+            .sum();
+        // Generous overhead budget: launches, events, syncs.
+        let overhead = 1e-4 * user_count as f64;
+        for t in space.enumerate().into_iter().take(48) {
+            let s = build_schedule(&space, &t);
+            let prog = CompiledProgram::compile(&s, &w).unwrap();
+            let out = execute(&prog, &platform, &mut SmallRng::seed_from_u64(1)).unwrap();
+            let time = out.time();
+            // No op can be skipped: at least the longest op must elapse.
+            prop_assert!(time >= max_cost, "time {time} < max op {max_cost}");
+            // And everything serialized plus overheads is an upper bound
+            // (contention can only stretch overlap, never beyond serial).
+            prop_assert!(
+                time <= sum_cost * (1.0 + platform.gpu_contention) + overhead,
+                "time {time} > serial bound {}",
+                sum_cost + overhead
+            );
+        }
+    }
+
+    #[test]
+    fn noiseless_execution_is_deterministic(
+        space in arb_small_space(5, 300),
+        costs in proptest::collection::vec(1e-6f64..1e-3, 5),
+    ) {
+        let w = workload_for(&space, &costs);
+        let platform = Platform::perlmutter_like().noiseless();
+        if let Some(t) = space.enumerate().into_iter().next() {
+            let s = build_schedule(&space, &t);
+            let prog = CompiledProgram::compile(&s, &w).unwrap();
+            let a = execute(&prog, &platform, &mut SmallRng::seed_from_u64(1)).unwrap();
+            let b = execute(&prog, &platform, &mut SmallRng::seed_from_u64(99)).unwrap();
+            prop_assert_eq!(a, b, "noiseless runs must not depend on the rng");
+        }
+    }
+
+    #[test]
+    fn increasing_a_cost_never_speeds_the_program_up(
+        space in arb_small_space(4, 200),
+        costs in proptest::collection::vec(1e-6f64..1e-3, 5),
+        bump_idx in 0usize..5,
+    ) {
+        let platform = Platform::perlmutter_like().noiseless();
+        let w1 = workload_for(&space, &costs);
+        let mut bumped = costs.clone();
+        let bi = bump_idx % bumped.len();
+        bumped[bi] *= 3.0;
+        let w2 = workload_for(&space, &bumped);
+        for t in space.enumerate().into_iter().take(16) {
+            let s = build_schedule(&space, &t);
+            let p1 = CompiledProgram::compile(&s, &w1).unwrap();
+            let p2 = CompiledProgram::compile(&s, &w2).unwrap();
+            let t1 = execute(&p1, &platform, &mut SmallRng::seed_from_u64(1)).unwrap().time();
+            let t2 = execute(&p2, &platform, &mut SmallRng::seed_from_u64(1)).unwrap().time();
+            prop_assert!(t2 >= t1 - 1e-12, "monotonicity violated: {t1} -> {t2}");
+        }
+    }
+
+    #[test]
+    fn all_ranks_finish_and_times_are_finite(
+        space in arb_small_space(5, 300),
+        costs in proptest::collection::vec(1e-6f64..1e-3, 5),
+    ) {
+        let w = workload_for(&space, &costs);
+        let platform = Platform::perlmutter_like(); // with noise
+        for (i, t) in space.enumerate().into_iter().take(24).enumerate() {
+            let s = build_schedule(&space, &t);
+            let prog = CompiledProgram::compile(&s, &w).unwrap();
+            let out = execute(&prog, &platform, &mut SmallRng::seed_from_u64(i as u64)).unwrap();
+            prop_assert_eq!(out.rank_times.len(), 2);
+            for rt in &out.rank_times {
+                prop_assert!(rt.is_finite() && *rt > 0.0);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulated_time_never_beats_the_critical_path(
+        space in arb_small_space(5, 300),
+        costs in proptest::collection::vec(1e-6f64..1e-3, 5),
+    ) {
+        use cuda_mpi_design_rules::dag::critical_path;
+        let w = workload_for(&space, &costs);
+        let platform = Platform::perlmutter_like().noiseless();
+        let dag = space.dag();
+        let cp = critical_path(dag, |v| {
+            use cuda_mpi_design_rules::sim::Workload;
+            match &dag.vertex(v).spec {
+                cuda_mpi_design_rules::dag::OpSpec::CpuWork(k)
+                | cuda_mpi_design_rules::dag::OpSpec::GpuKernel(k) => {
+                    w.cost(0, k).unwrap_or(0.0)
+                }
+                _ => 0.0,
+            }
+        });
+        for t in space.enumerate().into_iter().take(24) {
+            let s = build_schedule(&space, &t);
+            let prog = CompiledProgram::compile(&s, &w).unwrap();
+            let time = execute(&prog, &platform, &mut SmallRng::seed_from_u64(1))
+                .unwrap()
+                .time();
+            prop_assert!(
+                time >= cp.length - 1e-12,
+                "no schedule can beat the dependency chain: {} < {}",
+                time,
+                cp.length
+            );
+        }
+    }
+}
