@@ -63,7 +63,11 @@ fn bench_mcts(c: &mut Criterion) {
                         &sc.space,
                         &sc.workload,
                         &sc.platform,
-                        BenchConfig { t_measure: 1e-4, num_measurements: 1, max_samples: 1 },
+                        BenchConfig {
+                            t_measure: 1e-4,
+                            num_measurements: 1,
+                            max_samples: 1,
+                        },
                     ),
                     MctsConfig::default(),
                 )

@@ -19,7 +19,10 @@ fn main() {
                 &BandedSpec::small(seed),
                 4,
                 2,
-                &SpmvDagConfig { with_unpack: true, granularity: Granularity::PerNeighbor },
+                &SpmvDagConfig {
+                    with_unpack: true,
+                    granularity: Granularity::PerNeighbor,
+                },
                 &GpuModel::default(),
                 dr_sim::Platform::perlmutter_like(),
             )
@@ -51,7 +54,10 @@ fn main() {
                 &sc.platform,
                 Strategy::Mcts {
                     iterations: budget,
-                    config: MctsConfig { seed, ..Default::default() },
+                    config: MctsConfig {
+                        seed,
+                        ..Default::default()
+                    },
                 },
                 &dr_bench::pipeline_config(),
             )

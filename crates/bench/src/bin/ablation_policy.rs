@@ -48,10 +48,7 @@ fn main() {
             )
             .expect("SpMV scenario always executes");
             let report = labeling_accuracy(&sc.space, &result, &ground_truth, 0.02);
-            let best = result
-                .times()
-                .into_iter()
-                .fold(f64::INFINITY, f64::min);
+            let best = result.times().into_iter().fold(f64::INFINITY, f64::min);
             println!(
                 "{:>8}  {:<18} {:>8.1}% {:>10.2} {:>11.1}%",
                 budget,

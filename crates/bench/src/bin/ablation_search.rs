@@ -2,7 +2,7 @@
 //! uniform random sampling at equal rollout budgets, scored by Fig.-7
 //! labeling accuracy and by coverage of the fastest class.
 
-use dr_core::{labeling_accuracy, mine_rules, run_pipeline, Strategy};
+use dr_core::{labeling_accuracy, mine_rules, run_pipeline_instrumented, Strategy};
 use dr_mcts::MctsConfig;
 
 fn main() {
@@ -27,11 +27,17 @@ fn main() {
         for strategy in [
             Strategy::Mcts {
                 iterations: budget,
-                config: MctsConfig { seed: dr_bench::seed(), ..Default::default() },
+                config: MctsConfig {
+                    seed: dr_bench::seed(),
+                    ..Default::default()
+                },
             },
-            Strategy::Random { iterations: budget, seed: dr_bench::seed() },
+            Strategy::Random {
+                iterations: budget,
+                seed: dr_bench::seed(),
+            },
         ] {
-            let result = run_pipeline(
+            let run = run_pipeline_instrumented(
                 &sc.space,
                 &sc.workload,
                 &sc.platform,
@@ -39,6 +45,13 @@ fn main() {
                 &dr_bench::pipeline_config(),
             )
             .expect("SpMV scenario always executes");
+            // The per-iteration telemetry is the convergence curve
+            // (best_time vs iteration) used by EXPERIMENTS.md.
+            dr_bench::write_artifact(
+                &format!("ablation_{}_{budget}.csv", strategy.name()),
+                &run.telemetry.to_csv(),
+            );
+            let result = run.result;
             let report = labeling_accuracy(&sc.space, &result, &ground_truth, 0.02);
             // How many implementations of the true fastest class did the
             // strategy actually visit?

@@ -20,15 +20,27 @@ fn main() -> std::io::Result<()> {
     let records = dr_bench::exhaustive_records(&sc);
     let times: Vec<f64> = records.iter().map(|r| r.result.time()).collect();
     let labeling = label_times(&times, &Default::default());
-    let traversals: Vec<&dr_dag::Traversal> =
-        records.iter().map(|r| &r.traversal).collect();
+    let traversals: Vec<&dr_dag::Traversal> = records.iter().map(|r| &r.traversal).collect();
     let features = featurize(&sc.space, &traversals);
-    let cfg = TrainConfig { max_leaf_nodes: Some(6), max_depth: Some(5), ..Default::default() };
-    let tree = DecisionTree::fit(&features.matrix, &labeling.labels, labeling.num_classes, &cfg);
-    let feature_names: Vec<String> =
-        features.features.iter().map(|f| f.phrase(&sc.space, true)).collect();
-    let class_names: Vec<String> =
-        (0..labeling.num_classes).map(|c| format!("class {c}")).collect();
+    let cfg = TrainConfig {
+        max_leaf_nodes: Some(6),
+        max_depth: Some(5),
+        ..Default::default()
+    };
+    let tree = DecisionTree::fit(
+        &features.matrix,
+        &labeling.labels,
+        labeling.num_classes,
+        &cfg,
+    );
+    let feature_names: Vec<String> = features
+        .features
+        .iter()
+        .map(|f| f.phrase(&sc.space, true))
+        .collect();
+    let class_names: Vec<String> = (0..labeling.num_classes)
+        .map(|c| format!("class {c}"))
+        .collect();
     std::fs::write(
         dir.join("fig6_tree.dot"),
         tree_to_dot(&tree, &feature_names, &class_names),

@@ -19,7 +19,10 @@ fn main() {
     println!("implementations      : {}", times.len());
     println!("fastest              : {}", dr_bench::us(fastest));
     println!("slowest              : {}", dr_bench::us(slowest));
-    println!("slowest/fastest      : {:.2}x  (paper: 1.47x)", slowest / fastest);
+    println!(
+        "slowest/fastest      : {:.2}x  (paper: 1.47x)",
+        slowest / fastest
+    );
     println!();
     println!("{}", dr_bench::ascii_plot(&times, 12, 72));
     println!("deciles (µs):");

@@ -15,7 +15,12 @@ fn main() {
             .iter()
             .map(|&s| dag.vertex(s).name.as_str())
             .collect();
-        println!("  {:<10} [{:?}] -> {}", vert.name, vert.kind(), succs.join(", "));
+        println!(
+            "  {:<10} [{:?}] -> {}",
+            vert.name,
+            vert.kind(),
+            succs.join(", ")
+        );
     }
 
     println!();

@@ -14,7 +14,10 @@ fn main() {
     println!("{}", dr_bench::ascii_plot(&labeling.sorted_times, 10, 72));
 
     println!("== Figure 4b: step-kernel convolution ==");
-    println!("{}", dr_bench::ascii_plot(&labeling.convolution.values, 10, 72));
+    println!(
+        "{}",
+        dr_bench::ascii_plot(&labeling.convolution.values, 10, 72)
+    );
 
     println!("== Figure 4c: detected class boundaries ==");
     println!("classes: {}", labeling.num_classes);

@@ -10,7 +10,10 @@ fn main() {
     let result = mine_rules(&sc.space, records, &dr_bench::pipeline_config());
 
     println!("== Figure 5: decision-tree hyperparameter search ==");
-    println!("{:>14}  {:>10}  {:>6}  {:>7}  accepted", "max_leaf_nodes", "error", "depth", "leaves");
+    println!(
+        "{:>14}  {:>10}  {:>6}  {:>7}  accepted",
+        "max_leaf_nodes", "error", "depth", "leaves"
+    );
     for h in &result.search.history {
         println!(
             "{:>14}  {:>10.4}  {:>6}  {:>7}  {}",

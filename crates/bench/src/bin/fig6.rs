@@ -9,8 +9,7 @@ fn main() {
     let records = dr_bench::exhaustive_records(&sc);
     let times: Vec<f64> = records.iter().map(|r| r.result.time()).collect();
     let labeling = label_times(&times, &Default::default());
-    let traversals: Vec<&dr_dag::Traversal> =
-        records.iter().map(|r| &r.traversal).collect();
+    let traversals: Vec<&dr_dag::Traversal> = records.iter().map(|r| &r.traversal).collect();
     let features = featurize(&sc.space, &traversals);
 
     // The paper's intermediate tree: six leaves, depth limited to five.
@@ -19,7 +18,12 @@ fn main() {
         max_depth: Some(5),
         ..Default::default()
     };
-    let tree = DecisionTree::fit(&features.matrix, &labeling.labels, labeling.num_classes, &cfg);
+    let tree = DecisionTree::fit(
+        &features.matrix,
+        &labeling.labels,
+        labeling.num_classes,
+        &cfg,
+    );
 
     println!("== Figure 6: six-leaf decision tree ==");
     println!(
@@ -34,11 +38,19 @@ fn main() {
     println!();
     println!("== Feature importances (Gini mean decrease) ==");
     let importances = dr_ml::feature_importances(&tree, features.num_features(), &cfg);
-    let mut ranked: Vec<(usize, f64)> =
-        importances.iter().copied().enumerate().filter(|&(_, v)| v > 0.0).collect();
+    let mut ranked: Vec<(usize, f64)> = importances
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, v)| v > 0.0)
+        .collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     for (f, v) in ranked {
-        println!("  {:>6.1}%  {}", v * 100.0, features.features[f].phrase(&sc.space, true));
+        println!(
+            "  {:>6.1}%  {}",
+            v * 100.0,
+            features.features[f].phrase(&sc.space, true)
+        );
     }
 
     println!();
@@ -50,7 +62,11 @@ fn main() {
             i + 1,
             rs.class,
             rs.samples,
-            if rs.pure { "" } else { ", impure: insufficient leaf budget" }
+            if rs.pure {
+                ""
+            } else {
+                ", impure: insufficient leaf budget"
+            }
         );
         for line in dr_ml::render_ruleset(rs, &sc.space) {
             println!("    {line}");
@@ -69,14 +85,14 @@ fn print_node(
     let pad = "  ".repeat(indent);
     match n.feature {
         None => {
-            println!(
-                "{pad}leaf: class {} samples {:?}",
-                n.class(),
-                n.raw_counts
-            );
+            println!("{pad}leaf: class {} samples {:?}", n.class(), n.raw_counts);
         }
         Some(f) => {
-            println!("{pad}[{}?] samples {:?}", features.features[f].phrase(space, true), n.raw_counts);
+            println!(
+                "{pad}[{}?] samples {:?}",
+                features.features[f].phrase(space, true),
+                n.raw_counts
+            );
             println!("{pad}├─ no:");
             print_node(tree, features, space, n.left, indent + 1);
             println!("{pad}└─ yes:");

@@ -4,7 +4,7 @@
 //! whose exhaustively-measured time falls inside the predicted class's
 //! performance range.
 
-use dr_core::{labeling_accuracy, mine_rules, run_pipeline, Strategy};
+use dr_core::{labeling_accuracy, mine_rules, run_pipeline_instrumented, Strategy};
 use dr_mcts::MctsConfig;
 
 fn main() {
@@ -18,7 +18,10 @@ fn main() {
         .collect();
 
     println!("== Figure 7: MCTS iterations vs labeling accuracy ==");
-    println!("{:>10}  {:>9}  {:>8}  {:>8}", "iterations", "explored", "classes", "accuracy");
+    println!(
+        "{:>10}  {:>9}  {:>8}  {:>8}",
+        "iterations", "explored", "classes", "accuracy"
+    );
     let budgets = [50usize, 100, 200, 400, 800, total];
     for &budget in &budgets {
         let result = if budget >= total {
@@ -26,16 +29,25 @@ fn main() {
         } else {
             let strategy = Strategy::Mcts {
                 iterations: budget,
-                config: MctsConfig { seed: dr_bench::seed(), ..Default::default() },
+                config: MctsConfig {
+                    seed: dr_bench::seed(),
+                    ..Default::default()
+                },
             };
-            run_pipeline(
+            let run = run_pipeline_instrumented(
                 &sc.space,
                 &sc.workload,
                 &sc.platform,
                 strategy,
                 &dr_bench::pipeline_config(),
             )
-            .expect("SpMV scenario always executes")
+            .expect("SpMV scenario always executes");
+            dr_bench::write_artifact(&format!("fig7_report_{budget}.json"), &run.report.to_json());
+            dr_bench::write_artifact(
+                &format!("fig7_telemetry_{budget}.csv"),
+                &run.telemetry.to_csv(),
+            );
+            run.result
         };
         let report = labeling_accuracy(&sc.space, &result, &ground_truth, 0.02);
         println!(

@@ -6,14 +6,16 @@
 
 use dr_core::{explore, mine_rules_multi, InputFeature, InputRun, Strategy};
 use dr_mcts::{MctsConfig, SimEvaluator};
-use dr_spmv::{
-    banded_matrix, BandedSpec, DistributedSpmv, GpuModel, SpmvDagConfig, SpmvScenario,
-};
+use dr_spmv::{banded_matrix, BandedSpec, DistributedSpmv, GpuModel, SpmvDagConfig, SpmvScenario};
 
 fn main() {
     let seed = dr_bench::seed();
     let small = std::env::var("DR_SCALE").as_deref() == Ok("small");
-    let base = if small { BandedSpec::small(seed) } else { BandedSpec::paper(seed) };
+    let base = if small {
+        BandedSpec::small(seed)
+    } else {
+        BandedSpec::paper(seed)
+    };
     let iterations = 400;
 
     // Three inputs: narrow, paper, and wide band.
@@ -48,20 +50,36 @@ fn main() {
             .max()
             .unwrap_or(0);
         let eager = max_msg <= sc.platform.eager_threshold;
-        let eval =
-            SimEvaluator::new(&sc.space, &sc.workload, &sc.platform, dr_bench::bench_config());
+        let eval = SimEvaluator::new(
+            &sc.space,
+            &sc.workload,
+            &sc.platform,
+            dr_bench::bench_config(),
+        );
         let records = explore(
             &sc.space,
             eval,
-            Strategy::Mcts { iterations, config: MctsConfig { seed, ..Default::default() } },
+            Strategy::Mcts {
+                iterations,
+                config: MctsConfig {
+                    seed,
+                    ..Default::default()
+                },
+            },
         )
         .expect("SpMV scenario always executes");
         runs.push(InputRun {
             tag: tag.to_string(),
             records,
             input_features: vec![
-                InputFeature { name: "remote-dominant".into(), value: remote_dominant },
-                InputFeature { name: "messages-eager".into(), value: eager },
+                InputFeature {
+                    name: "remote-dominant".into(),
+                    value: remote_dominant,
+                },
+                InputFeature {
+                    name: "messages-eager".into(),
+                    value: eager,
+                },
             ],
         });
         reference_space.get_or_insert(sc.space);
@@ -76,7 +94,10 @@ fn main() {
             run.tag,
             run.records.len(),
             labeling.num_classes,
-            run.input_features.iter().map(|f| (f.name.as_str(), f.value)).collect::<Vec<_>>()
+            run.input_features
+                .iter()
+                .map(|f| (f.name.as_str(), f.value))
+                .collect::<Vec<_>>()
         );
     }
     println!();

@@ -10,23 +10,61 @@ fn main() {
     let p = &sc.platform;
     let g = GpuModel::default();
     println!("== Table I (simulated): platform description ==");
-    println!("{:<28} {}", "kernel launch overhead", dr_bench::us(p.kernel_launch_overhead));
-    println!("{:<28} {}", "cudaEventRecord overhead", dr_bench::us(p.event_record_overhead));
-    println!("{:<28} {}", "cudaEventSynchronize ovh.", dr_bench::us(p.event_sync_overhead));
-    println!("{:<28} {}", "cudaStreamWaitEvent ovh.", dr_bench::us(p.stream_wait_overhead));
-    println!("{:<28} {}", "MPI_Isend overhead", dr_bench::us(p.isend_overhead));
-    println!("{:<28} {}", "MPI_Irecv overhead", dr_bench::us(p.irecv_overhead));
-    println!("{:<28} {}", "MPI_Wait overhead", dr_bench::us(p.wait_overhead));
+    println!(
+        "{:<28} {}",
+        "kernel launch overhead",
+        dr_bench::us(p.kernel_launch_overhead)
+    );
+    println!(
+        "{:<28} {}",
+        "cudaEventRecord overhead",
+        dr_bench::us(p.event_record_overhead)
+    );
+    println!(
+        "{:<28} {}",
+        "cudaEventSynchronize ovh.",
+        dr_bench::us(p.event_sync_overhead)
+    );
+    println!(
+        "{:<28} {}",
+        "cudaStreamWaitEvent ovh.",
+        dr_bench::us(p.stream_wait_overhead)
+    );
+    println!(
+        "{:<28} {}",
+        "MPI_Isend overhead",
+        dr_bench::us(p.isend_overhead)
+    );
+    println!(
+        "{:<28} {}",
+        "MPI_Irecv overhead",
+        dr_bench::us(p.irecv_overhead)
+    );
+    println!(
+        "{:<28} {}",
+        "MPI_Wait overhead",
+        dr_bench::us(p.wait_overhead)
+    );
     println!("{:<28} {}", "network latency", dr_bench::us(p.net_latency));
-    println!("{:<28} {:.1} GB/s", "network bandwidth", p.net_bandwidth / 1e9);
+    println!(
+        "{:<28} {:.1} GB/s",
+        "network bandwidth",
+        p.net_bandwidth / 1e9
+    );
     println!("{:<28} {} B", "eager threshold", p.eager_threshold);
     println!("{:<28} {}", "inter-stream contention", p.gpu_contention);
     println!("{:<28} sigma = {}", "measurement noise", p.noise.sigma);
     println!();
     println!("== GPU kernel model (A100-like magnitudes) ==");
-    println!("{:<28} {} s/nnz", "SpMV time per non-zero", g.spmv_sec_per_nnz);
+    println!(
+        "{:<28} {} s/nnz",
+        "SpMV time per non-zero", g.spmv_sec_per_nnz
+    );
     println!("{:<28} {}", "SpMV fixed cost", dr_bench::us(g.spmv_fixed));
-    println!("{:<28} {} s/elem", "pack gather per element", g.gather_sec_per_elem);
+    println!(
+        "{:<28} {} s/elem",
+        "pack gather per element", g.gather_sec_per_elem
+    );
     println!("{:<28} {}", "pack fixed cost", dr_bench::us(g.gather_fixed));
     println!("{:<28} {:.1} GB/s", "H2D bandwidth", g.h2d_bandwidth / 1e9);
     println!("{:<28} {}", "H2D fixed cost", dr_bench::us(g.h2d_fixed));

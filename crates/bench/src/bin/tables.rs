@@ -7,7 +7,7 @@
 //! * `missing:`  — underconstrained: a canonical condition the budgeted
 //!   ruleset lacks (red / "insufficient rules" in the paper).
 
-use dr_core::{mine_rules, run_pipeline, PipelineResult, Strategy};
+use dr_core::{mine_rules, run_pipeline_instrumented, PipelineResult, Strategy};
 use dr_mcts::MctsConfig;
 use dr_ml::{compare_to_canonical, rulesets_for_class};
 
@@ -25,9 +25,12 @@ fn main() {
         eprintln!("MCTS with {budget} iterations …");
         let strategy = Strategy::Mcts {
             iterations: budget,
-            config: MctsConfig { seed: dr_bench::seed(), ..Default::default() },
+            config: MctsConfig {
+                seed: dr_bench::seed(),
+                ..Default::default()
+            },
         };
-        let r = run_pipeline(
+        let run = run_pipeline_instrumented(
             &sc.space,
             &sc.workload,
             &sc.platform,
@@ -35,7 +38,15 @@ fn main() {
             &dr_bench::pipeline_config(),
         )
         .expect("SpMV scenario always executes");
-        results.push((budget, r));
+        dr_bench::write_artifact(
+            &format!("tables_report_{budget}.json"),
+            &run.report.to_json(),
+        );
+        dr_bench::write_artifact(
+            &format!("tables_telemetry_{budget}.csv"),
+            &run.telemetry.to_csv(),
+        );
+        results.push((budget, run.result));
     }
     results.push((total, canonical.clone()));
 

@@ -26,10 +26,12 @@ fn main() {
         let schedule = build_schedule(&sc.space, &rec.traversal);
         let prog = CompiledProgram::compile(&schedule, &sc.workload)
             .expect("SpMV schedules always compile");
-        let (outcome, trace) =
-            execute_traced(&prog, &platform, &mut SmallRng::seed_from_u64(1))
-                .expect("SpMV always executes");
-        println!("== {tag} implementation: {} ==", dr_bench::us(outcome.time()));
+        let (outcome, trace) = execute_traced(&prog, &platform, &mut SmallRng::seed_from_u64(1))
+            .expect("SpMV always executes");
+        println!(
+            "== {tag} implementation: {} ==",
+            dr_bench::us(outcome.time())
+        );
         let order: Vec<&str> = rec
             .traversal
             .steps

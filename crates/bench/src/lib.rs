@@ -7,6 +7,9 @@
 //! on the scaled-down SpMV instance (fast, for smoke-testing the
 //! harness); the default is the paper-scale instance (150 000-row banded
 //! matrix, 4 ranks, 2 streams). `DR_SEED` overrides the master seed.
+//! When `DR_ARTIFACTS=<dir>` is set, the `fig7`, `tables`, and
+//! `ablation_search` binaries additionally write their run reports
+//! (JSON) and per-iteration search telemetry (CSV) into that directory.
 
 #![warn(missing_docs)]
 
@@ -20,7 +23,10 @@ pub const DEFAULT_SEED: u64 = 0xD5;
 
 /// Reads the harness seed from `DR_SEED` (default [`DEFAULT_SEED`]).
 pub fn seed() -> u64 {
-    std::env::var("DR_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEED)
+    std::env::var("DR_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
 }
 
 /// Builds the demonstration scenario: paper scale by default,
@@ -40,7 +46,32 @@ pub fn bench_config() -> BenchConfig {
 
 /// The pipeline configuration used by the harness.
 pub fn pipeline_config() -> PipelineConfig {
-    PipelineConfig { bench: bench_config(), ..Default::default() }
+    PipelineConfig {
+        bench: bench_config(),
+        ..Default::default()
+    }
+}
+
+/// Writes an observability artifact (run report, telemetry CSV) into the
+/// `DR_ARTIFACTS` directory, creating it if necessary. A no-op when the
+/// variable is unset; returns the path written to, if any.
+pub fn write_artifact(name: &str, contents: &str) -> Option<std::path::PathBuf> {
+    let dir = std::path::PathBuf::from(std::env::var_os("DR_ARTIFACTS")?);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create artifact dir {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(name);
+    match std::fs::write(&path, contents) {
+        Ok(()) => {
+            eprintln!("wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    }
 }
 
 /// Collects the exhaustive record set of the scenario — the canonical
@@ -101,5 +132,21 @@ mod tests {
     #[test]
     fn us_formats() {
         assert_eq!(us(1.5e-4), "150.00 µs");
+    }
+
+    #[test]
+    fn write_artifact_respects_env_gate() {
+        // Unset: a silent no-op. (Env mutation is safe here: this is the
+        // only test touching DR_ARTIFACTS, and cargo runs each test
+        // binary's tests in one process.)
+        std::env::remove_var("DR_ARTIFACTS");
+        assert_eq!(write_artifact("x.txt", "data"), None);
+        // Set: creates the directory and writes the file.
+        let dir = std::env::temp_dir().join(format!("dr-artifacts-{}", std::process::id()));
+        std::env::set_var("DR_ARTIFACTS", &dir);
+        let path = write_artifact("x.txt", "data").expect("artifact written");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "data");
+        std::env::remove_var("DR_ARTIFACTS");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

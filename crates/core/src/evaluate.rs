@@ -50,7 +50,10 @@ pub fn labeling_accuracy(
             within += 1;
         }
     }
-    AccuracyReport { within_range: within, total: ground_truth.len() }
+    AccuracyReport {
+        within_range: within,
+        total: ground_truth.len(),
+    }
 }
 
 #[cfg(test)]
@@ -70,7 +73,9 @@ mod tests {
         b.edge(g, c);
         let space = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
         let mut w = TableWorkload::new(1);
-        w.cost_all("a", 5e-4).cost_all("b", 5e-4).cost_all("c", 1e-5);
+        w.cost_all("a", 5e-4)
+            .cost_all("b", 5e-4)
+            .cost_all("c", 1e-5);
         let platform = dr_sim::Platform {
             gpu_contention: 0.0,
             ..Platform::perlmutter_like().noiseless()
@@ -81,9 +86,14 @@ mod tests {
     #[test]
     fn exhaustive_rules_score_perfectly_on_their_own_data() {
         let (space, w, platform) = setup();
-        let result =
-            run_pipeline(&space, &w, &platform, Strategy::Exhaustive, &PipelineConfig::quick())
-                .unwrap();
+        let result = run_pipeline(
+            &space,
+            &w,
+            &platform,
+            Strategy::Exhaustive,
+            &PipelineConfig::quick(),
+        )
+        .unwrap();
         let truth: Vec<_> = result
             .records
             .iter()
@@ -97,9 +107,14 @@ mod tests {
     #[test]
     fn tolerance_widens_acceptance() {
         let (space, w, platform) = setup();
-        let result =
-            run_pipeline(&space, &w, &platform, Strategy::Exhaustive, &PipelineConfig::quick())
-                .unwrap();
+        let result = run_pipeline(
+            &space,
+            &w,
+            &platform,
+            Strategy::Exhaustive,
+            &PipelineConfig::quick(),
+        )
+        .unwrap();
         // Shift all true times up by 1%: strict check fails for ranges
         // that were tight, 5% tolerance recovers them.
         let truth: Vec<_> = result
@@ -116,9 +131,14 @@ mod tests {
     #[test]
     fn empty_ground_truth_reports_zero() {
         let (space, w, platform) = setup();
-        let result =
-            run_pipeline(&space, &w, &platform, Strategy::Exhaustive, &PipelineConfig::quick())
-                .unwrap();
+        let result = run_pipeline(
+            &space,
+            &w,
+            &platform,
+            Strategy::Exhaustive,
+            &PipelineConfig::quick(),
+        )
+        .unwrap();
         let report = labeling_accuracy(&space, &result, &[], 0.0);
         assert_eq!(report.accuracy(), 0.0);
     }

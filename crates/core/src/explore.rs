@@ -1,9 +1,9 @@
 //! Exploration strategies: how the `(sequence, time)` sample set is
 //! collected before rule mining.
 
-use dr_dag::DecisionSpace;
-use dr_mcts::{Evaluator, ExploredRecord, Mcts, MctsConfig};
-use dr_sim::SimError;
+use dr_dag::{DecisionSpace, Traversal};
+use dr_mcts::{Evaluator, ExploredRecord, Mcts, MctsConfig, SearchTelemetry, TelemetryRow};
+use dr_sim::{SimError, SimStats};
 
 /// How to collect the sample set.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,29 +29,78 @@ pub enum Strategy {
     },
 }
 
+impl Strategy {
+    /// The strategy's short name, used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Exhaustive => "exhaustive",
+            Strategy::Mcts { .. } => "mcts",
+            Strategy::Random { .. } => "random",
+        }
+    }
+}
+
 /// Collects explored records under a strategy.
 pub fn explore<E: Evaluator>(
     space: &DecisionSpace,
-    mut eval: E,
+    eval: E,
     strategy: Strategy,
 ) -> Result<Vec<ExploredRecord>, SimError> {
+    explore_instrumented(space, eval, strategy).map(|(records, _, _)| records)
+}
+
+/// Like [`explore`], additionally returning the per-iteration
+/// [`SearchTelemetry`] and the evaluator's accumulated [`SimStats`]
+/// (`None` for evaluators that do not run the simulator).
+pub fn explore_instrumented<E: Evaluator>(
+    space: &DecisionSpace,
+    mut eval: E,
+    strategy: Strategy,
+) -> Result<(Vec<ExploredRecord>, SearchTelemetry, Option<SimStats>), SimError> {
     match strategy {
         Strategy::Exhaustive => {
             let mut records = Vec::new();
+            let mut telemetry = SearchTelemetry::new();
+            let mut best = f64::INFINITY;
+            let mut worst = f64::NEG_INFINITY;
             for (i, t) in space.enumerate().into_iter().enumerate() {
                 let seed = 0xE0E0_0000u64 ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
                 let result = eval.evaluate(&t, seed)?;
-                records.push(ExploredRecord { traversal: t, result });
+                best = best.min(result.time());
+                worst = worst.max(result.time());
+                let rollout_len = t.steps.len();
+                records.push(ExploredRecord {
+                    traversal: t,
+                    result,
+                });
+                telemetry.push(TelemetryRow {
+                    iteration: i as u64 + 1,
+                    unique_traversals: records.len(),
+                    best_time: best,
+                    worst_time: worst,
+                    tree_nodes: 0,
+                    max_depth: 0,
+                    rollout_len,
+                });
             }
-            Ok(records)
+            let stats = eval.sim_stats().cloned();
+            Ok((records, telemetry, stats))
         }
         Strategy::Mcts { iterations, config } => {
             let mut mcts = Mcts::new(space, eval, config);
             mcts.run(iterations)?;
-            Ok(mcts.into_records())
+            let (records, telemetry, eval) = mcts.into_parts();
+            Ok((records, telemetry, eval.sim_stats().cloned()))
         }
         Strategy::Random { iterations, seed } => {
-            dr_mcts::random_search(space, eval, iterations, seed)
+            let (records, telemetry) = dr_mcts::random_search_telemetry(
+                space,
+                |t: &Traversal, s: u64| eval.evaluate(t, s),
+                iterations,
+                seed,
+            )?;
+            let stats = eval.sim_stats().cloned();
+            Ok((records, telemetry, stats))
         }
     }
 }
@@ -72,7 +121,9 @@ mod tests {
         b.edge(g, c);
         let space = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
         let mut w = TableWorkload::new(1);
-        w.cost_all("a", 1e-4).cost_all("b", 2e-4).cost_all("c", 1e-5);
+        w.cost_all("a", 1e-4)
+            .cost_all("b", 2e-4)
+            .cost_all("c", 1e-5);
         (space, w, Platform::perlmutter_like().noiseless())
     }
 
@@ -91,7 +142,10 @@ mod tests {
         let records = explore(
             &space,
             eval,
-            Strategy::Mcts { iterations: 5, config: MctsConfig::default() },
+            Strategy::Mcts {
+                iterations: 5,
+                config: MctsConfig::default(),
+            },
         )
         .unwrap();
         assert!(!records.is_empty() && records.len() <= 5);
@@ -101,10 +155,16 @@ mod tests {
     fn random_strategy_returns_unique_records() {
         let (space, w, platform) = setup();
         let eval = SimEvaluator::new(&space, &w, &platform, BenchConfig::quick());
-        let records =
-            explore(&space, eval, Strategy::Random { iterations: 30, seed: 1 }).unwrap();
-        let set: std::collections::HashSet<_> =
-            records.iter().map(|r| &r.traversal).collect();
+        let records = explore(
+            &space,
+            eval,
+            Strategy::Random {
+                iterations: 30,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        let set: std::collections::HashSet<_> = records.iter().map(|r| &r.traversal).collect();
         assert_eq!(set.len(), records.len());
     }
 }

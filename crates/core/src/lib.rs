@@ -27,13 +27,18 @@
 #![warn(missing_docs)]
 
 mod evaluate;
-mod multi_input;
-mod synthesize;
 mod explore;
+mod multi_input;
 mod pipeline;
+mod report;
+mod synthesize;
 
 pub use evaluate::{labeling_accuracy, AccuracyReport};
-pub use explore::{explore, Strategy};
+pub use explore::{explore, explore_instrumented, Strategy};
 pub use multi_input::{mine_rules_multi, InputFeature, InputRun, MultiInputResult};
+pub use pipeline::{
+    mine_rules, mine_rules_timed, run_pipeline, run_pipeline_instrumented, InstrumentedRun,
+    PipelineConfig, PipelineResult,
+};
+pub use report::{MiningSummary, RunReport, SearchSummary};
 pub use synthesize::{satisfies, synthesize};
-pub use pipeline::{mine_rules, run_pipeline, PipelineConfig, PipelineResult};

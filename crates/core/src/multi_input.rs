@@ -11,9 +11,9 @@
 //! such as "when remote-dominant, launch `yl` before the exchange".
 
 use crate::pipeline::PipelineConfig;
+use dr_dag::{DecisionSpace, Traversal};
 use dr_mcts::ExploredRecord;
 use dr_ml::{algorithm1, featurize, label_times, FeatureSet, HyperSearch, Labeling};
-use dr_dag::{DecisionSpace, Traversal};
 
 /// One binary property of an input, shared across its records.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,12 +72,7 @@ impl MultiInputResult {
 
     /// Predicts the performance class of a traversal of `space` run on an
     /// input with the given feature values.
-    pub fn classify(
-        &self,
-        space: &DecisionSpace,
-        t: &Traversal,
-        input_values: &[bool],
-    ) -> usize {
+    pub fn classify(&self, space: &DecisionSpace, t: &Traversal, input_values: &[bool]) -> usize {
         let mut x = self.features.vector_of(space, t);
         x.extend_from_slice(input_values);
         self.search.tree.predict(&x)
@@ -96,12 +91,14 @@ pub fn mine_rules_multi(
     cfg: &PipelineConfig,
 ) -> MultiInputResult {
     assert!(!runs.is_empty(), "need at least one input run");
-    let schema: Vec<&str> =
-        runs[0].input_features.iter().map(|f| f.name.as_str()).collect();
+    let schema: Vec<&str> = runs[0]
+        .input_features
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
     for run in runs {
         assert!(!run.records.is_empty(), "run {:?} has no records", run.tag);
-        let names: Vec<&str> =
-            run.input_features.iter().map(|f| f.name.as_str()).collect();
+        let names: Vec<&str> = run.input_features.iter().map(|f| f.name.as_str()).collect();
         assert_eq!(names, schema, "input-feature schemas must match");
     }
 
@@ -113,8 +110,11 @@ pub fn mine_rules_multi(
             label_times(&times, &cfg.labeling)
         })
         .collect();
-    let num_classes =
-        labelings.iter().map(|l| l.num_classes).max().expect("non-empty");
+    let num_classes = labelings
+        .iter()
+        .map(|l| l.num_classes)
+        .max()
+        .expect("non-empty");
 
     // Pooled traversal features (pruned over the union of all samples).
     let traversals: Vec<&Traversal> = runs
@@ -150,9 +150,9 @@ pub fn mine_rules_multi(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dr_dag::{CostKey, DagBuilder, OpSpec};
     use dr_ml::{DecisionTree, TrainConfig};
     use dr_sim::{BenchResult, Percentiles};
-    use dr_dag::{CostKey, DagBuilder, OpSpec};
 
     fn space() -> DecisionSpace {
         let mut b = DagBuilder::new();
@@ -167,7 +167,13 @@ mod tests {
     fn result_of(t: f64) -> BenchResult {
         BenchResult {
             measurements: vec![t],
-            percentiles: Percentiles { p01: t, p10: t, p50: t, p90: t, p99: t },
+            percentiles: Percentiles {
+                p01: t,
+                p10: t,
+                p50: t,
+                p90: t,
+                p99: t,
+            },
         }
     }
 
@@ -196,7 +202,10 @@ mod tests {
             out.push(InputRun {
                 tag: if big { "big" } else { "small" }.into(),
                 records,
-                input_features: vec![InputFeature { name: "big-input".into(), value: big }],
+                input_features: vec![InputFeature {
+                    name: "big-input".into(),
+                    value: big,
+                }],
             });
         }
         out
@@ -219,8 +228,7 @@ mod tests {
         let y: Vec<usize> = runs
             .iter()
             .flat_map(|r| {
-                let times: Vec<f64> =
-                    r.records.iter().map(|rec| rec.result.time()).collect();
+                let times: Vec<f64> = r.records.iter().map(|rec| rec.result.time()).collect();
                 label_times(&times, &Default::default()).labels
             })
             .collect();
@@ -247,8 +255,16 @@ mod tests {
                 ("c", None),
             ])
             .unwrap();
-        assert_eq!(result.classify(&sp, &same_stream, &[true]), 0, "fast on big");
-        assert_eq!(result.classify(&sp, &same_stream, &[false]), 1, "slow on small");
+        assert_eq!(
+            result.classify(&sp, &same_stream, &[true]),
+            0,
+            "fast on big"
+        );
+        assert_eq!(
+            result.classify(&sp, &same_stream, &[false]),
+            1,
+            "slow on small"
+        );
     }
 
     #[test]

@@ -1,18 +1,19 @@
 //! The end-to-end design-rule pipeline (paper Fig. 2): explore → label →
 //! featurize → train → extract rules.
 
-use crate::explore::{explore, Strategy};
+use crate::explore::{explore_instrumented, Strategy};
+use crate::report::{RunReport, SearchSummary};
 use dr_dag::{DecisionSpace, Traversal};
-use dr_mcts::{ExploredRecord, SimEvaluator};
+use dr_mcts::{ExploredRecord, SearchTelemetry, SimEvaluator};
 use dr_ml::{
-    algorithm1, extract_rulesets, featurize, label_times, FeatureSet, HyperSearch, LabelingConfig,
-    Labeling, RuleSet, TrainConfig,
+    algorithm1, extract_rulesets, featurize, label_times, FeatureSet, HyperSearch, Labeling,
+    LabelingConfig, RuleSet, TrainConfig,
 };
+use dr_obs::{Phases, Stopwatch};
 use dr_sim::{BenchConfig, Platform, SimError, Workload};
 
 /// Pipeline parameters (defaults mirror the paper).
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PipelineConfig {
     /// Class-labeling parameters (Section IV-A).
     pub labeling: LabelingConfig,
@@ -23,11 +24,13 @@ pub struct PipelineConfig {
     pub bench: BenchConfig,
 }
 
-
 impl PipelineConfig {
     /// Cheap settings for tests and examples.
     pub fn quick() -> Self {
-        PipelineConfig { bench: BenchConfig::quick(), ..Default::default() }
+        PipelineConfig {
+            bench: BenchConfig::quick(),
+            ..Default::default()
+        }
     }
 }
 
@@ -70,9 +73,44 @@ pub fn run_pipeline<W: Workload>(
     strategy: Strategy,
     cfg: &PipelineConfig,
 ) -> Result<PipelineResult, SimError> {
+    run_pipeline_instrumented(space, workload, platform, strategy, cfg).map(|r| r.result)
+}
+
+/// Result plus observability artifacts of one instrumented pipeline run.
+#[derive(Debug, Clone)]
+pub struct InstrumentedRun {
+    /// The pipeline's mined output.
+    pub result: PipelineResult,
+    /// Aggregated run report (phase timings, sim stats, search and
+    /// mining summaries).
+    pub report: RunReport,
+    /// Per-iteration search telemetry (one row per exploration
+    /// iteration).
+    pub telemetry: SearchTelemetry,
+}
+
+/// Like [`run_pipeline`], additionally producing a [`RunReport`] and the
+/// per-iteration [`SearchTelemetry`].
+pub fn run_pipeline_instrumented<W: Workload>(
+    space: &DecisionSpace,
+    workload: &W,
+    platform: &Platform,
+    strategy: Strategy,
+    cfg: &PipelineConfig,
+) -> Result<InstrumentedRun, SimError> {
+    let mut phases = Phases::new();
     let eval = SimEvaluator::new(space, workload, platform, cfg.bench);
-    let records = explore(space, eval, strategy)?;
-    Ok(mine_rules(space, records, cfg))
+    let sw = Stopwatch::start();
+    let (records, telemetry, sim) = explore_instrumented(space, eval, strategy)?;
+    phases.add("explore", sw.elapsed());
+    let result = mine_rules_timed(space, records, cfg, &mut phases);
+    let search = SearchSummary::from_telemetry(strategy.name(), &telemetry);
+    let report = RunReport::new(phases, sim, search, &result);
+    Ok(InstrumentedRun {
+        result,
+        report,
+        telemetry,
+    })
 }
 
 /// The mining half of the pipeline, reusable when records were collected
@@ -82,14 +120,38 @@ pub fn mine_rules(
     records: Vec<ExploredRecord>,
     cfg: &PipelineConfig,
 ) -> PipelineResult {
+    mine_rules_timed(space, records, cfg, &mut Phases::new())
+}
+
+/// [`mine_rules`], recording each stage's wall-clock duration into
+/// `phases` under the names `label`, `featurize`, `train`, and `rules`.
+pub fn mine_rules_timed(
+    space: &DecisionSpace,
+    records: Vec<ExploredRecord>,
+    cfg: &PipelineConfig,
+    phases: &mut Phases,
+) -> PipelineResult {
     assert!(!records.is_empty(), "cannot mine rules from zero records");
     let times: Vec<f64> = records.iter().map(|r| r.result.time()).collect();
-    let labeling = label_times(&times, &cfg.labeling);
+    let labeling = phases.time("label", || label_times(&times, &cfg.labeling));
     let traversals: Vec<&Traversal> = records.iter().map(|r| &r.traversal).collect();
-    let features = featurize(space, &traversals);
-    let search = algorithm1(&features.matrix, &labeling.labels, labeling.num_classes, &cfg.train);
-    let rulesets = extract_rulesets(&search.tree, &features);
-    PipelineResult { records, labeling, features, search, rulesets }
+    let features = phases.time("featurize", || featurize(space, &traversals));
+    let search = phases.time("train", || {
+        algorithm1(
+            &features.matrix,
+            &labeling.labels,
+            labeling.num_classes,
+            &cfg.train,
+        )
+    });
+    let rulesets = phases.time("rules", || extract_rulesets(&search.tree, &features));
+    PipelineResult {
+        records,
+        labeling,
+        features,
+        search,
+        rulesets,
+    }
 }
 
 #[cfg(test)]
@@ -109,7 +171,9 @@ mod tests {
         b.edge(g, c);
         let space = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
         let mut w = TableWorkload::new(1);
-        w.cost_all("a", 5e-4).cost_all("b", 5e-4).cost_all("c", 1e-5);
+        w.cost_all("a", 5e-4)
+            .cost_all("b", 5e-4)
+            .cost_all("c", 1e-5);
         let platform = dr_sim::Platform {
             gpu_contention: 0.0,
             ..Platform::perlmutter_like().noiseless()
@@ -120,12 +184,24 @@ mod tests {
     #[test]
     fn exhaustive_pipeline_learns_the_stream_rule() {
         let (space, w, platform) = setup();
-        let result =
-            run_pipeline(&space, &w, &platform, Strategy::Exhaustive, &PipelineConfig::quick())
-                .unwrap();
+        let result = run_pipeline(
+            &space,
+            &w,
+            &platform,
+            Strategy::Exhaustive,
+            &PipelineConfig::quick(),
+        )
+        .unwrap();
         // Two regimes: overlapped (~0.5 ms) vs serialized (~1 ms).
-        assert_eq!(result.labeling.num_classes, 2, "{:?}", result.labeling.boundaries);
-        assert_eq!(result.search.error, 0.0, "cliff must be perfectly learnable");
+        assert_eq!(
+            result.labeling.num_classes, 2,
+            "{:?}",
+            result.labeling.boundaries
+        );
+        assert_eq!(
+            result.search.error, 0.0,
+            "cliff must be perfectly learnable"
+        );
         // The discriminating feature is the stream assignment.
         let stream_rules = result
             .rulesets
@@ -139,9 +215,14 @@ mod tests {
     #[test]
     fn classify_agrees_with_training_labels() {
         let (space, w, platform) = setup();
-        let result =
-            run_pipeline(&space, &w, &platform, Strategy::Exhaustive, &PipelineConfig::quick())
-                .unwrap();
+        let result = run_pipeline(
+            &space,
+            &w,
+            &platform,
+            Strategy::Exhaustive,
+            &PipelineConfig::quick(),
+        )
+        .unwrap();
         for (rec, &label) in result.records.iter().zip(&result.labeling.labels) {
             assert_eq!(result.classify(&space, &rec.traversal), label);
         }
@@ -158,6 +239,40 @@ mod tests {
             run_pipeline(&space, &w, &platform, strategy, &PipelineConfig::quick()).unwrap();
         assert!(!result.records.is_empty());
         assert!(!result.rulesets.is_empty());
+    }
+
+    #[test]
+    fn instrumented_pipeline_reports_phases_stats_and_telemetry() {
+        let (space, w, platform) = setup();
+        let strategy = Strategy::Mcts {
+            iterations: 8,
+            config: dr_mcts::MctsConfig::default(),
+        };
+        let run =
+            run_pipeline_instrumented(&space, &w, &platform, strategy, &PipelineConfig::quick())
+                .unwrap();
+        // Every pipeline phase was timed.
+        for name in ["explore", "label", "featurize", "train", "rules"] {
+            assert!(
+                run.report.phases.get(name).is_some(),
+                "missing phase {name}"
+            );
+        }
+        // Telemetry: one row per iteration, summarized faithfully.
+        assert_eq!(run.telemetry.len(), 8);
+        assert_eq!(run.report.search.strategy, "mcts");
+        assert_eq!(run.report.search.iterations, 8);
+        assert_eq!(
+            run.report.search.unique_traversals,
+            run.result.records.len()
+        );
+        // The SimEvaluator accumulated simulator statistics.
+        let sim = run.report.sim.as_ref().expect("sim stats present");
+        assert!(sim.runs > 0 && sim.instructions > 0);
+        // The JSON rendering is syntactically valid.
+        dr_obs::json::validate(&run.report.to_json()).unwrap();
+        let text = run.report.render_text();
+        assert!(text.contains("explore") && text.contains("mining:"));
     }
 
     #[test]

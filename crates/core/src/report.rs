@@ -1,0 +1,193 @@
+//! Run reports: one aggregated observability artifact per pipeline run.
+//!
+//! A [`RunReport`] collects everything the instrumented pipeline
+//! observed — wall-clock phase timings (explore → label → featurize →
+//! train → rules), accumulated simulator statistics, the search's final
+//! telemetry row, and the mined-rule summary — rendered either as
+//! human-readable text or as a single JSON object for downstream
+//! tooling.
+
+use crate::pipeline::PipelineResult;
+use dr_mcts::SearchTelemetry;
+use dr_obs::{json, Phases};
+use dr_sim::SimStats;
+
+/// The search's final state, condensed from its telemetry history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSummary {
+    /// Strategy name (`exhaustive`, `mcts`, or `random`).
+    pub strategy: String,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Distinct traversals benchmarked.
+    pub unique_traversals: usize,
+    /// Fastest measured time (seconds).
+    pub best_time: f64,
+    /// Slowest measured time (seconds).
+    pub worst_time: f64,
+    /// Materialized tree nodes (0 for tree-less strategies).
+    pub tree_nodes: usize,
+    /// Deepest materialized tree node.
+    pub max_depth: usize,
+}
+
+impl SearchSummary {
+    /// Condenses a telemetry history into its final state.
+    pub fn from_telemetry(strategy: &str, telemetry: &SearchTelemetry) -> Self {
+        let last = telemetry.last();
+        SearchSummary {
+            strategy: strategy.to_string(),
+            iterations: last.map_or(0, |r| r.iteration),
+            unique_traversals: last.map_or(0, |r| r.unique_traversals),
+            best_time: last.map_or(f64::NAN, |r| r.best_time),
+            worst_time: last.map_or(f64::NAN, |r| r.worst_time),
+            tree_nodes: last.map_or(0, |r| r.tree_nodes),
+            max_depth: last.map_or(0, |r| r.max_depth),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"strategy\":\"{}\",\"iterations\":{},\"unique_traversals\":{},",
+                "\"best_time\":{},\"worst_time\":{},\"tree_nodes\":{},\"max_depth\":{}}}"
+            ),
+            json::escape(&self.strategy),
+            self.iterations,
+            self.unique_traversals,
+            json::number(self.best_time),
+            json::number(self.worst_time),
+            self.tree_nodes,
+            self.max_depth
+        )
+    }
+}
+
+/// Mined-rule outcomes worth reporting alongside the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiningSummary {
+    /// Performance classes found by labeling.
+    pub num_classes: usize,
+    /// Decision-tree training error (0 = perfect).
+    pub tree_error: f64,
+    /// Rulesets extracted (decision-tree leaves).
+    pub num_rulesets: usize,
+}
+
+/// One pipeline run's aggregated observability artifact.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Wall-clock seconds per pipeline phase.
+    pub phases: Phases,
+    /// Simulator statistics summed across every benchmark sample of the
+    /// exploration (absent when the evaluator did not run the
+    /// simulator).
+    pub sim: Option<SimStats>,
+    /// Final search state.
+    pub search: SearchSummary,
+    /// Mined-rule outcomes.
+    pub mining: MiningSummary,
+}
+
+impl RunReport {
+    /// Assembles a report from the instrumented pipeline's pieces.
+    pub fn new(
+        phases: Phases,
+        sim: Option<SimStats>,
+        search: SearchSummary,
+        result: &PipelineResult,
+    ) -> Self {
+        RunReport {
+            phases,
+            sim,
+            search,
+            mining: MiningSummary {
+                num_classes: result.labeling.num_classes,
+                tree_error: result.search.error,
+                num_rulesets: result.rulesets.len(),
+            },
+        }
+    }
+
+    /// Renders the report as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"phases\":{},\"sim\":{},\"search\":{},\"mining\":{{\"num_classes\":{},\"tree_error\":{},\"num_rulesets\":{}}}}}",
+            self.phases.to_json(),
+            self.sim.as_ref().map_or("null".to_string(), |s| s.to_json()),
+            self.search.to_json(),
+            self.mining.num_classes,
+            json::number(self.mining.tree_error),
+            self.mining.num_rulesets
+        )
+    }
+
+    /// Renders the report as human-readable text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("phases:\n");
+        out.push_str(&self.phases.render_text());
+        out.push_str(&format!(
+            "search: {} — {} iterations, {} unique traversals\n",
+            self.search.strategy, self.search.iterations, self.search.unique_traversals
+        ));
+        out.push_str(&format!(
+            "  time range {:.1} µs .. {:.1} µs, tree {} nodes (depth {})\n",
+            self.search.best_time * 1e6,
+            self.search.worst_time * 1e6,
+            self.search.tree_nodes,
+            self.search.max_depth
+        ));
+        if let Some(sim) = &self.sim {
+            out.push_str(&format!(
+                "simulator: {} runs, {} instructions, {} eager / {} rendezvous msgs, {} bytes\n",
+                sim.runs, sim.instructions, sim.eager_msgs, sim.rendezvous_msgs, sim.bytes_moved
+            ));
+            out.push_str(&format!(
+                "  sync ops: {} CER, {} CES, {} CSWE; {} collective\n",
+                sim.sync_cer, sim.sync_ces, sim.sync_cswe, sim.collective_ops
+            ));
+        }
+        out.push_str(&format!(
+            "mining: {} classes, tree error {:.4}, {} rulesets\n",
+            self.mining.num_classes, self.mining.tree_error, self.mining.num_rulesets
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_mcts::TelemetryRow;
+
+    fn telemetry() -> SearchTelemetry {
+        let mut t = SearchTelemetry::new();
+        t.push(TelemetryRow {
+            iteration: 4,
+            unique_traversals: 3,
+            best_time: 1e-4,
+            worst_time: 4e-4,
+            tree_nodes: 9,
+            max_depth: 3,
+            rollout_len: 2,
+        });
+        t
+    }
+
+    #[test]
+    fn summary_condenses_last_row() {
+        let s = SearchSummary::from_telemetry("mcts", &telemetry());
+        assert_eq!(s.strategy, "mcts");
+        assert_eq!(s.iterations, 4);
+        assert_eq!(s.unique_traversals, 3);
+        assert_eq!(s.tree_nodes, 9);
+    }
+
+    #[test]
+    fn empty_telemetry_yields_zeroed_summary() {
+        let s = SearchSummary::from_telemetry("random", &SearchTelemetry::new());
+        assert_eq!(s.iterations, 0);
+        assert!(s.best_time.is_nan());
+    }
+}

@@ -27,7 +27,9 @@ fn dfs(
     steps: &mut usize,
 ) -> Option<Traversal> {
     if prefix.len() == space.num_ops() {
-        return Some(Traversal { steps: prefix.steps().to_vec() });
+        return Some(Traversal {
+            steps: prefix.steps().to_vec(),
+        });
     }
     if *steps >= MAX_STEPS {
         return None;

@@ -1,0 +1,218 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach crates.io; this crate provides the
+//! API subset the workspace's benches use ([`Criterion`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`criterion_group!`],
+//! [`criterion_main!`]). Instead of criterion's statistical machinery it
+//! runs each routine for the configured measurement time and prints the
+//! mean wall-clock duration per iteration — enough for relative
+//! comparisons between commits on the same machine.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup values.
+    SmallInput,
+    /// Large per-iteration setup values.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Runs and times one benchmark routine.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Mean seconds per iteration, filled by `iter`/`iter_batched`.
+    mean: Option<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly for the configured measurement time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up.
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.config.sample_size as u64
+            || start.elapsed() < self.config.measurement_time
+        {
+            black_box(routine());
+            iters += 1;
+            if iters >= 1_000_000_000 {
+                break;
+            }
+        }
+        self.mean = Some(start.elapsed().as_secs_f64() / iters as f64);
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let budget = self.config.warm_up_time + self.config.measurement_time;
+        let start = Instant::now();
+        while iters < self.config.sample_size as u64 || measured < self.config.measurement_time {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            measured += t0.elapsed();
+            iters += 1;
+            if start.elapsed() > budget * 4 {
+                break; // setup-dominated benchmark; don't hang
+            }
+        }
+        self.mean = Some(measured.as_secs_f64() / iters as f64);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            config: Config {
+                warm_up_time: Duration::from_millis(300),
+                measurement_time: Duration::from_millis(1000),
+                sample_size: 10,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the minimum number of iterations.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            config: &self.config,
+            mean: None,
+        };
+        f(&mut b);
+        match b.mean {
+            Some(mean) => {
+                let (value, unit) = if mean >= 1.0 {
+                    (mean, "s")
+                } else if mean >= 1e-3 {
+                    (mean * 1e3, "ms")
+                } else if mean >= 1e-6 {
+                    (mean * 1e6, "µs")
+                } else {
+                    (mean * 1e9, "ns")
+                };
+                println!("{name:<40} {value:>10.3} {unit}/iter");
+            }
+            None => println!("{name:<40} (no measurement)"),
+        }
+        self
+    }
+}
+
+/// Groups benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3);
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        // `ran` was captured mutably; at least sample_size iterations ran.
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2))
+            .sample_size(2);
+        let mut setups = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(setups >= 2);
+    }
+}

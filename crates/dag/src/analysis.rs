@@ -25,7 +25,11 @@ pub fn critical_path(dag: &ProgramDag, dur: impl Fn(VertexId) -> f64) -> Critica
     let mut best: Vec<f64> = vec![0.0; n]; // path length *ending* at v, inclusive
     let mut pred_on_path: Vec<Option<VertexId>> = vec![None; n];
     for v in dag.topo_order() {
-        let d = if dag.vertex(v).spec.is_artificial() { 0.0 } else { dur(v) };
+        let d = if dag.vertex(v).spec.is_artificial() {
+            0.0
+        } else {
+            dur(v)
+        };
         assert!(d >= 0.0, "negative duration for {}", dag.vertex(v).name);
         let (incoming, from) = dag
             .preds(v)
@@ -46,7 +50,10 @@ pub fn critical_path(dag: &ProgramDag, dur: impl Fn(VertexId) -> f64) -> Critica
         cur = pred_on_path[v];
     }
     vertices.reverse();
-    CriticalPath { length: best[dag.end()], vertices }
+    CriticalPath {
+        length: best[dag.end()],
+        vertices,
+    }
 }
 
 /// Dependency depth of each vertex: the number of edges on the longest

@@ -18,7 +18,11 @@ pub fn dag_to_dot(dag: &ProgramDag) -> String {
             VertexKind::Gpu => "box",
             VertexKind::Cpu => "ellipse",
         };
-        let style = if v.spec.is_artificial() { ",style=dashed" } else { "" };
+        let style = if v.spec.is_artificial() {
+            ",style=dashed"
+        } else {
+            ""
+        };
         out.push_str(&format!(
             "  n{id} [label=\"{}\",shape={shape}{style}];\n",
             escape(&v.name)
@@ -41,9 +45,7 @@ pub fn space_to_dot(space: &DecisionSpace) -> String {
         let (shape, style) = match op.kind {
             DecisionKind::Gpu(_) => ("box", ""),
             DecisionKind::Cpu(_) => ("ellipse", ""),
-            DecisionKind::CerAfter(_) | DecisionKind::CesBefore(_) => {
-                ("diamond", ",style=dotted")
-            }
+            DecisionKind::CerAfter(_) | DecisionKind::CesBefore(_) => ("diamond", ",style=dotted"),
         };
         out.push_str(&format!(
             "  n{id} [label=\"{}\",shape={shape}{style}];\n",

@@ -77,7 +77,10 @@ impl DagBuilder {
     /// Adds an operation vertex and returns its id.
     pub fn add(&mut self, name: impl Into<String>, spec: OpSpec) -> VertexId {
         let id = self.vertices.len();
-        self.vertices.push(Vertex { name: name.into(), spec });
+        self.vertices.push(Vertex {
+            name: name.into(),
+            spec,
+        });
         id
     }
 
@@ -118,9 +121,15 @@ impl DagBuilder {
 
         let mut vertices = self.vertices;
         let start = vertices.len();
-        vertices.push(Vertex { name: "Start".into(), spec: OpSpec::Start });
+        vertices.push(Vertex {
+            name: "Start".into(),
+            spec: OpSpec::Start,
+        });
         let end = vertices.len();
-        vertices.push(Vertex { name: "End".into(), spec: OpSpec::End });
+        vertices.push(Vertex {
+            name: "End".into(),
+            spec: OpSpec::End,
+        });
 
         let n = vertices.len();
         let mut preds: Vec<Vec<VertexId>> = vec![Vec::new(); n];
@@ -149,7 +158,13 @@ impl DagBuilder {
             }
         }
 
-        let dag = ProgramDag { vertices, preds, succs, start, end };
+        let dag = ProgramDag {
+            vertices,
+            preds,
+            succs,
+            start,
+            end,
+        };
         dag.check_acyclic()?;
         Ok(dag)
     }

@@ -168,7 +168,10 @@ impl DecisionSpace {
                 VertexKind::Gpu => DecisionKind::Gpu(v),
             };
             vertex_to_op[v] = Some(ops.len());
-            ops.push(DecisionOp { name: dag.vertex(v).name.clone(), kind });
+            ops.push(DecisionOp {
+                name: dag.vertex(v).name.clone(),
+                kind,
+            });
         }
 
         let mut preds: Vec<Vec<OpId>> = vec![Vec::new(); ops.len()];
@@ -192,9 +195,10 @@ impl DecisionSpace {
                 DecisionKind::Gpu(v) => v,
                 _ => unreachable!(),
             };
-            let has_cpu_user_succ = dag.succs(gv).iter().any(|&s| {
-                vertex_to_op[s].is_some() && dag.vertex(s).kind() == VertexKind::Cpu
-            });
+            let has_cpu_user_succ = dag
+                .succs(gv)
+                .iter()
+                .any(|&s| vertex_to_op[s].is_some() && dag.vertex(s).kind() == VertexKind::Cpu);
             if has_cpu_user_succ {
                 let id = ops.len();
                 ops.push(DecisionOp {
@@ -222,9 +226,8 @@ impl DecisionSpace {
                 .filter_map(|&u| vertex_to_op[u])
                 .filter(|&uo| matches!(ops[uo].kind, DecisionKind::Gpu(_)))
                 .map(|uo| {
-                    cer_of[uo].expect(
-                        "a GPU vertex with a CPU successor always has a CER decision op",
-                    )
+                    cer_of[uo]
+                        .expect("a GPU vertex with a CPU successor always has a CER decision op")
                 })
                 .collect();
             if !gpu_pred_cers.is_empty() {
@@ -250,7 +253,15 @@ impl DecisionSpace {
             }
         }
 
-        Ok(DecisionSpace { dag, ops, preds, succs, num_streams, vertex_to_op, cer_of })
+        Ok(DecisionSpace {
+            dag,
+            ops,
+            preds,
+            succs,
+            num_streams,
+            vertex_to_op,
+            cer_of,
+        })
     }
 
     /// The underlying program DAG.
@@ -326,7 +337,10 @@ impl DecisionSpace {
             if self.ops[op].kind.needs_stream() {
                 let max_stream = (prefix.streams_used + 1).min(self.num_streams);
                 for s in 0..max_stream {
-                    out.push(Placement { op, stream: Some(s) });
+                    out.push(Placement {
+                        op,
+                        stream: Some(s),
+                    });
                 }
             } else {
                 out.push(Placement { op, stream: None });
@@ -368,9 +382,7 @@ impl DecisionSpace {
             // Canonical numbering: the stream count only shrinks when the
             // removed placement introduced the newest stream and no other
             // placed op uses it.
-            if s + 1 == prefix.streams_used
-                && !prefix.steps.iter().any(|q| q.stream == Some(s))
-            {
+            if s + 1 == prefix.streams_used && !prefix.steps.iter().any(|q| q.stream == Some(s)) {
                 prefix.streams_used -= 1;
             }
         }
@@ -390,7 +402,9 @@ impl DecisionSpace {
 
     fn enumerate_rec(&self, prefix: &mut Prefix, out: &mut Vec<Traversal>) {
         if prefix.len() == self.ops.len() {
-            out.push(Traversal { steps: prefix.steps.clone() });
+            out.push(Traversal {
+                steps: prefix.steps.clone(),
+            });
             return;
         }
         for p in self.eligible(prefix) {
@@ -441,7 +455,9 @@ impl DecisionSpace {
             let i = pick(&elig);
             self.apply(prefix, elig[i]);
         }
-        Traversal { steps: prefix.steps.clone() }
+        Traversal {
+            steps: prefix.steps.clone(),
+        }
     }
 
     /// Validates that `t` is a complete canonical traversal of this space.
@@ -475,11 +491,13 @@ impl DecisionSpace {
         &self,
         steps: &[(&str, Option<StreamId>)],
     ) -> Result<Traversal, SpaceError> {
-        let mut t = Traversal { steps: Vec::with_capacity(steps.len()) };
+        let mut t = Traversal {
+            steps: Vec::with_capacity(steps.len()),
+        };
         for &(name, stream) in steps {
-            let op = self.op_by_name(name).ok_or_else(|| {
-                SpaceError::InvalidTraversal(format!("unknown op name {name:?}"))
-            })?;
+            let op = self
+                .op_by_name(name)
+                .ok_or_else(|| SpaceError::InvalidTraversal(format!("unknown op name {name:?}")))?;
             t.steps.push(Placement { op, stream });
         }
         self.validate(&t)?;
@@ -591,7 +609,11 @@ mod tests {
         let sp = diamond(2);
         let elig = sp.eligible(&sp.empty_prefix());
         for p in &elig {
-            assert_eq!(p.stream, Some(0), "first GPU placement is pinned to stream 0");
+            assert_eq!(
+                p.stream,
+                Some(0),
+                "first GPU placement is pinned to stream 0"
+            );
         }
         // After placing one kernel, the other may use stream 0 or 1.
         let mut prefix = sp.empty_prefix();
@@ -610,7 +632,11 @@ mod tests {
         for streams in 1..=3 {
             let sp = diamond(streams);
             let all = sp.enumerate();
-            assert_eq!(all.len() as u128, sp.count_traversals(), "streams={streams}");
+            assert_eq!(
+                all.len() as u128,
+                sp.count_traversals(),
+                "streams={streams}"
+            );
             // All traversals distinct and valid.
             let set: std::collections::HashSet<_> = all.iter().collect();
             assert_eq!(set.len(), all.len());
@@ -655,8 +681,20 @@ mod tests {
         let mut prefix = sp.empty_prefix();
         let a = sp.op_by_name("a").unwrap();
         let b = sp.op_by_name("b").unwrap();
-        sp.apply(&mut prefix, Placement { op: a, stream: Some(0) });
-        sp.apply(&mut prefix, Placement { op: b, stream: Some(0) });
+        sp.apply(
+            &mut prefix,
+            Placement {
+                op: a,
+                stream: Some(0),
+            },
+        );
+        sp.apply(
+            &mut prefix,
+            Placement {
+                op: b,
+                stream: Some(0),
+            },
+        );
         sp.unapply(&mut prefix);
         assert_eq!(prefix.streams_used(), 1, "stream 0 still used by a");
     }

@@ -21,8 +21,8 @@
 use crate::graph::VertexId;
 use crate::op::OpSpec;
 use crate::space::{DecisionKind, DecisionSpace, OpId, StreamId, Traversal};
-use crate::CostKey;
 use crate::CommKey;
+use crate::CostKey;
 
 /// Identifies a CUDA event within one [`Schedule`].
 pub type EventId = usize;
@@ -200,7 +200,11 @@ pub fn build_schedule(space: &DecisionSpace, t: &Traversal) -> Schedule {
         source: None,
     });
 
-    Schedule { items, num_events, num_streams: max_stream + 1 }
+    Schedule {
+        items,
+        num_events,
+        num_streams: max_stream + 1,
+    }
 }
 
 fn lower_cpu_spec(spec: OpSpec) -> ScheduleAction {
@@ -234,15 +238,17 @@ fn glue_cross_stream_waits(
 ) {
     let dag = space.dag();
     for &u in dag.preds(v) {
-        let Some(u_op) = space.op_of_vertex(u) else { continue };
-        let Some(u_stream) = streams[u_op] else { continue };
+        let Some(u_op) = space.op_of_vertex(u) else {
+            continue;
+        };
+        let Some(u_stream) = streams[u_op] else {
+            continue;
+        };
         if u_stream == stream {
             continue; // same-stream FIFO order suffices
         }
         let event = match space.cer_of(u_op) {
-            Some(cer) if positions[cer] < idx => {
-                event_of_cer[cer].expect("CER op has an event")
-            }
+            Some(cer) if positions[cer] < idx => event_of_cer[cer].expect("CER op has an event"),
             _ => {
                 // No usable record issued yet: glue one now. It captures
                 // u's stream at this point, which is at or after u itself,
@@ -251,7 +257,10 @@ fn glue_cross_stream_waits(
                 *num_events += 1;
                 items.push(ScheduledItem {
                     name: format!("CER-after-{}(glued)", space.ops()[u_op].name),
-                    action: ScheduleAction::EventRecord { event, stream: u_stream },
+                    action: ScheduleAction::EventRecord {
+                        event,
+                        stream: u_stream,
+                    },
                     source: None,
                 });
                 event
@@ -339,7 +348,10 @@ mod tests {
             ("c", None),
         ]);
         let names = s.names();
-        let glued = names.iter().position(|n| *n == "CER-after-g1(glued)").unwrap();
+        let glued = names
+            .iter()
+            .position(|n| *n == "CER-after-g1(glued)")
+            .unwrap();
         let wait = names.iter().position(|n| *n == "CSWE-b4-g2").unwrap();
         let g2 = names.iter().position(|n| *n == "g2").unwrap();
         assert!(glued < wait && wait < g2);
@@ -348,7 +360,10 @@ mod tests {
                 assert_eq!(*stream, 1);
                 // The glued record must target the same event.
                 match &s.items[glued].action {
-                    ScheduleAction::EventRecord { event: e, stream: rs } => {
+                    ScheduleAction::EventRecord {
+                        event: e,
+                        stream: rs,
+                    } => {
                         assert_eq!(e, event);
                         assert_eq!(*rs, 0);
                     }

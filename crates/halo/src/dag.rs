@@ -49,8 +49,14 @@ impl Default for HaloDagConfig {
 pub fn halo_dag(cfg: &HaloDagConfig) -> Result<ProgramDag, DagError> {
     assert!((1..=3).contains(&cfg.dims), "1..=3 dimensions");
     let mut b = DagBuilder::new();
-    let _interior = b.add(K_INTERIOR, dr_dag::OpSpec::GpuKernel(CostKey::new(K_INTERIOR)));
-    let boundary = b.add(K_BOUNDARY, dr_dag::OpSpec::GpuKernel(CostKey::new(K_BOUNDARY)));
+    let _interior = b.add(
+        K_INTERIOR,
+        dr_dag::OpSpec::GpuKernel(CostKey::new(K_INTERIOR)),
+    );
+    let boundary = b.add(
+        K_BOUNDARY,
+        dr_dag::OpSpec::GpuKernel(CostKey::new(K_BOUNDARY)),
+    );
     let mut post_sends = Vec::new();
     let mut post_recvs = Vec::new();
     let mut wait_sends = Vec::new();
@@ -63,9 +69,18 @@ pub fn halo_dag(cfg: &HaloDagConfig) -> Result<ProgramDag, DagError> {
             format!("Pack-{name}"),
             dr_dag::OpSpec::GpuKernel(CostKey::new(k_pack(d))),
         );
-        let ps = b.add(format!("PostSend-{name}"), dr_dag::OpSpec::PostSends(halo.clone()));
-        let pr = b.add(format!("PostRecv-{name}"), dr_dag::OpSpec::PostRecvs(halo.clone()));
-        let ws = b.add(format!("WaitSend-{name}"), dr_dag::OpSpec::WaitSends(halo.clone()));
+        let ps = b.add(
+            format!("PostSend-{name}"),
+            dr_dag::OpSpec::PostSends(halo.clone()),
+        );
+        let pr = b.add(
+            format!("PostRecv-{name}"),
+            dr_dag::OpSpec::PostRecvs(halo.clone()),
+        );
+        let ws = b.add(
+            format!("WaitSend-{name}"),
+            dr_dag::OpSpec::WaitSends(halo.clone()),
+        );
         let wr = b.add(format!("WaitRecv-{name}"), dr_dag::OpSpec::WaitRecvs(halo));
         let unpack = b.add(
             format!("Unpack-{name}"),
@@ -104,7 +119,9 @@ mod tests {
         let dag = halo_dag(&HaloDagConfig::default()).unwrap();
         assert_eq!(dag.user_vertices().count(), 2 + 3 * 6);
         for d in DIMS {
-            for op in ["Pack", "PostSend", "PostRecv", "WaitSend", "WaitRecv", "Unpack"] {
+            for op in [
+                "Pack", "PostSend", "PostRecv", "WaitSend", "WaitRecv", "Unpack",
+            ] {
                 assert!(dag.by_name(&format!("{op}-{d}")).is_some());
             }
         }

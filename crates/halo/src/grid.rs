@@ -19,7 +19,10 @@ pub struct Grid3 {
 impl Grid3 {
     /// A zero-filled grid.
     pub fn zeros(n: [usize; 3]) -> Self {
-        Grid3 { n, data: vec![0.0; n[0] * n[1] * n[2]] }
+        Grid3 {
+            n,
+            data: vec![0.0; n[0] * n[1] * n[2]],
+        }
     }
 
     /// Builds a grid from a coordinate function.
@@ -137,7 +140,10 @@ pub struct LocalBlock {
 impl LocalBlock {
     fn zeros(n: [usize; 3]) -> Self {
         let m = [n[0] + 2, n[1] + 2, n[2] + 2];
-        LocalBlock { n, data: vec![0.0; m[0] * m[1] * m[2]] }
+        LocalBlock {
+            n,
+            data: vec![0.0; m[0] * m[1] * m[2]],
+        }
     }
 
     /// Linear index into the padded array (padded coordinates: interior
@@ -177,14 +183,12 @@ impl LocalBlock {
 
     /// Number of cells in a face orthogonal to `dim`.
     pub fn face_len(&self, dim: usize) -> usize {
-        let others: Vec<usize> =
-            (0..3).filter(|&d| d != dim).map(|d| self.n[d]).collect();
+        let others: Vec<usize> = (0..3).filter(|&d| d != dim).map(|d| self.n[d]).collect();
         others[0] * others[1]
     }
 
     fn face_coords(&self, dim: usize) -> impl Iterator<Item = (usize, usize)> {
-        let others: Vec<usize> =
-            (0..3).filter(|&d| d != dim).map(|d| self.n[d]).collect();
+        let others: Vec<usize> = (0..3).filter(|&d| d != dim).map(|d| self.n[d]).collect();
         let (na, nb) = (others[0], others[1]);
         (0..nb).flat_map(move |b| (0..na).map(move |a| (a + 1, b + 1)))
     }
@@ -219,9 +223,7 @@ impl DistributedGrid {
     /// dimension must divide evenly.
     pub fn from_global(g: &Grid3, topo: RankGrid) -> Self {
         let local_n = [g.n[0] / topo.p[0], g.n[1] / topo.p[1], g.n[2] / topo.p[2]];
-        for (d, (&ln, (&p, &gn))) in
-            local_n.iter().zip(topo.p.iter().zip(&g.n)).enumerate()
-        {
+        for (d, (&ln, (&p, &gn))) in local_n.iter().zip(topo.p.iter().zip(&g.n)).enumerate() {
             assert_eq!(ln * p, gn, "dimension {d} must divide");
             assert!(ln >= 1);
         }
@@ -244,7 +246,11 @@ impl DistributedGrid {
             }
             blocks.push(blk);
         }
-        DistributedGrid { topo, local_n, blocks }
+        DistributedGrid {
+            topo,
+            local_n,
+            blocks,
+        }
     }
 
     /// Pack → exchange → unpack for every dimension and side: after this,

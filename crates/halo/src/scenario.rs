@@ -22,7 +22,11 @@ impl HaloScenario {
     pub fn build(spec: HaloSpec, streams: usize, platform: Platform) -> Self {
         let dag = halo_dag(&HaloDagConfig { dims: spec.dims }).expect("static halo DAG");
         let space = DecisionSpace::new(dag, streams).expect("halo space fits in 64 ops");
-        HaloScenario { space, workload: HaloWorkload::new(spec), platform }
+        HaloScenario {
+            space,
+            workload: HaloWorkload::new(spec),
+            platform,
+        }
     }
 
     /// A 2×2×2 topology with 192³-cell subdomains on two streams — the
@@ -80,7 +84,11 @@ mod tests {
     #[test]
     fn line_scenario_traversals_execute() {
         let sc = HaloScenario::line2(1);
-        let cfg = BenchConfig { t_measure: 1e-4, num_measurements: 1, max_samples: 2 };
+        let cfg = BenchConfig {
+            t_measure: 1e-4,
+            num_measurements: 1,
+            max_samples: 2,
+        };
         let mut prefix = sc.space.empty_prefix();
         let t = sc.space.complete_with(&mut prefix, |_| 0);
         let res = sc.benchmark(&t, &cfg, 3).unwrap();
@@ -92,10 +100,16 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let sc = HaloScenario::cube2(1);
         let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
-        let cfg = BenchConfig { t_measure: 1e-4, num_measurements: 1, max_samples: 2 };
+        let cfg = BenchConfig {
+            t_measure: 1e-4,
+            num_measurements: 1,
+            max_samples: 2,
+        };
         for _ in 0..5 {
             let mut prefix = sc.space.empty_prefix();
-            let t = sc.space.complete_with(&mut prefix, |e| rng.gen_range(0..e.len()));
+            let t = sc
+                .space
+                .complete_with(&mut prefix, |e| rng.gen_range(0..e.len()));
             let res = sc.benchmark(&t, &cfg, 7).unwrap();
             assert!(res.time() > 0.0);
         }
@@ -107,13 +121,18 @@ mod tests {
         let sc = HaloScenario::cube2(2);
         let platform = sc.platform.clone().noiseless();
         let sc = HaloScenario { platform, ..sc };
-        let cfg = BenchConfig { t_measure: 1e-4, num_measurements: 1, max_samples: 2 };
+        let cfg = BenchConfig {
+            t_measure: 1e-4,
+            num_measurements: 1,
+            max_samples: 2,
+        };
         let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
         let times: Vec<f64> = (0..24)
             .map(|_| {
                 let mut prefix = sc.space.empty_prefix();
-                let t =
-                    sc.space.complete_with(&mut prefix, |e| rng.gen_range(0..e.len()));
+                let t = sc
+                    .space
+                    .complete_with(&mut prefix, |e| rng.gen_range(0..e.len()));
                 sc.benchmark(&t, &cfg, 1).unwrap().time()
             })
             .collect();

@@ -2,7 +2,10 @@
 //! the (simulated) platform.
 
 use dr_dag::{build_schedule, DecisionSpace, Traversal};
-use dr_sim::{benchmark, BenchConfig, BenchResult, CompiledProgram, Platform, SimError, Workload};
+use dr_sim::{
+    benchmark_instrumented, BenchConfig, BenchResult, CompiledProgram, Platform, SimError,
+    SimStats, Workload,
+};
 
 /// Measures the empirical performance of a complete traversal.
 ///
@@ -12,6 +15,12 @@ use dr_sim::{benchmark, BenchConfig, BenchResult, CompiledProgram, Platform, Sim
 pub trait Evaluator {
     /// Benchmarks `t` and returns its measurement record.
     fn evaluate(&mut self, t: &Traversal, seed: u64) -> Result<BenchResult, SimError>;
+
+    /// Simulator statistics accumulated across every evaluation so far.
+    /// `None` for evaluators that do not run the simulator (the default).
+    fn sim_stats(&self) -> Option<&SimStats> {
+        None
+    }
 }
 
 impl<F> Evaluator for F
@@ -31,6 +40,7 @@ pub struct SimEvaluator<'a, W: Workload> {
     workload: &'a W,
     platform: &'a Platform,
     cfg: BenchConfig,
+    stats: SimStats,
 }
 
 impl<'a, W: Workload> SimEvaluator<'a, W> {
@@ -41,7 +51,19 @@ impl<'a, W: Workload> SimEvaluator<'a, W> {
         platform: &'a Platform,
         cfg: BenchConfig,
     ) -> Self {
-        SimEvaluator { space, workload, platform, cfg }
+        SimEvaluator {
+            space,
+            workload,
+            platform,
+            cfg,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Simulator statistics summed over every sample of every evaluated
+    /// traversal.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
     }
 }
 
@@ -49,7 +71,13 @@ impl<W: Workload> Evaluator for SimEvaluator<'_, W> {
     fn evaluate(&mut self, t: &Traversal, seed: u64) -> Result<BenchResult, SimError> {
         let schedule = build_schedule(self.space, t);
         let prog = CompiledProgram::compile(&schedule, self.workload)?;
-        benchmark(&prog, self.platform, &self.cfg, seed)
+        let (result, stats) = benchmark_instrumented(&prog, self.platform, &self.cfg, seed)?;
+        self.stats.merge(&stats);
+        Ok(result)
+    }
+
+    fn sim_stats(&self) -> Option<&SimStats> {
+        Some(&self.stats)
     }
 }
 

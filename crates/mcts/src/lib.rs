@@ -18,8 +18,10 @@
 
 mod eval;
 mod random;
+mod telemetry;
 mod tree;
 
 pub use eval::{Evaluator, SimEvaluator};
-pub use random::random_search;
-pub use tree::{ExploredRecord, Exploitation, Mcts, MctsConfig, StepOutcome, TreeStats};
+pub use random::{random_search, random_search_telemetry};
+pub use telemetry::{SearchTelemetry, TelemetryRow};
+pub use tree::{Exploitation, ExploredRecord, Mcts, MctsConfig, StepOutcome, TreeStats};

@@ -1,0 +1,168 @@
+//! Per-iteration search telemetry.
+//!
+//! Each search iteration appends one [`TelemetryRow`] capturing how the
+//! search is progressing — the data behind convergence plots (paper
+//! Fig. 7 shows exactly this: measured-time spread vs. iteration).
+//! Exported as CSV (one row per iteration) or JSON.
+
+use dr_obs::{csv_row, json};
+
+/// One iteration's snapshot of the search state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryRow {
+    /// 1-based iteration number.
+    pub iteration: u64,
+    /// Distinct traversals benchmarked so far.
+    pub unique_traversals: usize,
+    /// Fastest measured time so far (seconds).
+    pub best_time: f64,
+    /// Slowest measured time so far (seconds).
+    pub worst_time: f64,
+    /// Materialized tree nodes (0 for tree-less searches).
+    pub tree_nodes: usize,
+    /// Deepest materialized node so far (root = 0).
+    pub max_depth: usize,
+    /// Placements chosen during this iteration's random rollout phase.
+    pub rollout_len: usize,
+}
+
+/// The full per-iteration history of one search.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchTelemetry {
+    rows: Vec<TelemetryRow>,
+}
+
+impl SearchTelemetry {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one iteration's row.
+    pub fn push(&mut self, row: TelemetryRow) {
+        self.rows.push(row);
+    }
+
+    /// All rows, in iteration order.
+    pub fn rows(&self) -> &[TelemetryRow] {
+        &self.rows
+    }
+
+    /// Number of recorded iterations.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no iterations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The latest row (the search's current state), if any.
+    pub fn last(&self) -> Option<&TelemetryRow> {
+        self.rows.last()
+    }
+
+    /// Renders a CSV document: a header line plus one row per iteration.
+    pub fn to_csv(&self) -> String {
+        let mut out = csv_row(&[
+            "iteration".into(),
+            "unique_traversals".into(),
+            "best_time".into(),
+            "worst_time".into(),
+            "tree_nodes".into(),
+            "max_depth".into(),
+            "rollout_len".into(),
+        ]);
+        for r in &self.rows {
+            out.push_str(&csv_row(&[
+                r.iteration.to_string(),
+                r.unique_traversals.to_string(),
+                format!("{:e}", r.best_time),
+                format!("{:e}", r.worst_time),
+                r.tree_nodes.to_string(),
+                r.max_depth.to_string(),
+                r.rollout_len.to_string(),
+            ]));
+        }
+        out
+    }
+
+    /// Renders a JSON array of per-iteration objects.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    concat!(
+                        "{{\"iteration\":{},\"unique_traversals\":{},",
+                        "\"best_time\":{},\"worst_time\":{},\"tree_nodes\":{},",
+                        "\"max_depth\":{},\"rollout_len\":{}}}"
+                    ),
+                    r.iteration,
+                    r.unique_traversals,
+                    json::number(r.best_time),
+                    json::number(r.worst_time),
+                    r.tree_nodes,
+                    r.max_depth,
+                    r.rollout_len
+                )
+            })
+            .collect();
+        format!("[{}]", rows.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(i: u64) -> TelemetryRow {
+        TelemetryRow {
+            iteration: i,
+            unique_traversals: i as usize,
+            best_time: 1e-4,
+            worst_time: 2e-4,
+            tree_nodes: 3 * i as usize,
+            max_depth: 2,
+            rollout_len: 4,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_line_per_row() {
+        let mut t = SearchTelemetry::new();
+        t.push(row(1));
+        t.push(row(2));
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "iteration,unique_traversals,best_time,worst_time,tree_nodes,max_depth,rollout_len"
+        );
+        assert!(lines[1].starts_with("1,1,"));
+        assert!(lines[2].starts_with("2,2,"));
+    }
+
+    #[test]
+    fn json_is_wellformed() {
+        let mut t = SearchTelemetry::new();
+        t.push(row(1));
+        json::validate(&t.to_json()).unwrap();
+        assert!(t.to_json().contains("\"iteration\":1"));
+        assert_eq!(SearchTelemetry::new().to_json(), "[]");
+    }
+
+    #[test]
+    fn last_tracks_latest_row() {
+        let mut t = SearchTelemetry::new();
+        assert!(t.last().is_none());
+        assert!(t.is_empty());
+        t.push(row(1));
+        t.push(row(2));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.last().unwrap().iteration, 2);
+    }
+}

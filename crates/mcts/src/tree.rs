@@ -23,6 +23,7 @@
 //! platform simulator, so the search is just a sequential loop.
 
 use crate::eval::Evaluator;
+use crate::telemetry::{SearchTelemetry, TelemetryRow};
 use dr_dag::{DecisionSpace, Placement, Traversal};
 use dr_sim::{BenchResult, SimError};
 use rand::rngs::SmallRng;
@@ -144,7 +145,10 @@ impl Node {
     }
 
     fn child(&self, p: Placement) -> Option<NodeId> {
-        self.children.iter().find(|&&(q, _)| q == p).map(|&(_, id)| id)
+        self.children
+            .iter()
+            .find(|&&(q, _)| q == p)
+            .map(|&(_, id)| id)
     }
 }
 
@@ -158,6 +162,10 @@ pub struct Mcts<'a, E: Evaluator> {
     seen: HashMap<Traversal, usize>,
     rng: SmallRng,
     iterations: u64,
+    telemetry: SearchTelemetry,
+    /// Deepest materialized node, maintained incrementally so telemetry
+    /// rows avoid the full-tree walk [`Mcts::stats`] performs.
+    max_depth: usize,
 }
 
 impl<'a, E: Evaluator> Mcts<'a, E> {
@@ -173,6 +181,8 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
             seen: HashMap::new(),
             rng: SmallRng::seed_from_u64(cfg.seed),
             iterations: 0,
+            telemetry: SearchTelemetry::new(),
+            max_depth: 0,
         }
     }
 
@@ -184,6 +194,19 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
     /// Consumes the search and returns the explored records.
     pub fn into_records(self) -> Vec<ExploredRecord> {
         self.records
+    }
+
+    /// Per-iteration telemetry rows (one per [`Mcts::step`] that ran a
+    /// rollout).
+    pub fn telemetry(&self) -> &SearchTelemetry {
+        &self.telemetry
+    }
+
+    /// Consumes the search, returning the explored records together with
+    /// the telemetry history and the evaluator (whose accumulated
+    /// simulator statistics outlive the search).
+    pub fn into_parts(self) -> (Vec<ExploredRecord>, SearchTelemetry, E) {
+        (self.records, self.telemetry, self.eval)
     }
 
     /// True when every traversal of the space has been benchmarked.
@@ -260,7 +283,9 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
                 break; // reached a complete traversal
             }
             let unvisited_exists = elig.iter().any(|&p| {
-                self.nodes[node].child(p).is_none_or(|c| self.nodes[c].n == 0)
+                self.nodes[node]
+                    .child(p)
+                    .is_none_or(|c| self.nodes[c].n == 0)
             });
             if unvisited_exists {
                 break;
@@ -286,7 +311,9 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
                     .iter()
                     .copied()
                     .filter(|&p| {
-                        self.nodes[node].child(p).is_none_or(|c| self.nodes[c].n == 0)
+                        self.nodes[node]
+                            .child(p)
+                            .is_none_or(|c| self.nodes[c].n == 0)
                     })
                     .collect();
                 let pick = candidates[self.rng.gen_range(0..candidates.len())];
@@ -297,15 +324,19 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
         }
 
         // Rollout: randomly complete the prefix, materializing nodes.
+        let mut rollout_len = 0usize;
         while prefix.len() < self.space.num_ops() {
             let elig = self.space.eligible(&prefix);
             let pick = elig[self.rng.gen_range(0..elig.len())];
             let child = self.get_or_create_child(node, pick, &mut prefix);
             path.push(child);
             node = child;
+            rollout_len += 1;
         }
 
-        let traversal = Traversal { steps: prefix.steps().to_vec() };
+        let traversal = Traversal {
+            steps: prefix.steps().to_vec(),
+        };
         let (record_idx, new) = match self.seen.get(&traversal) {
             Some(&idx) => (idx, false),
             None => {
@@ -313,7 +344,10 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
                     ^ (self.records.len() as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
                 let result = self.eval.evaluate(&traversal, seed)?;
                 let idx = self.records.len();
-                self.records.push(ExploredRecord { traversal: traversal.clone(), result });
+                self.records.push(ExploredRecord {
+                    traversal: traversal.clone(),
+                    result,
+                });
                 self.seen.insert(traversal, idx);
                 (idx, true)
             }
@@ -331,7 +365,21 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
         }
         self.mark_fully_explored(&path);
 
-        Ok(StepOutcome::Explored { record: record_idx, new })
+        self.max_depth = self.max_depth.max(path.len() - 1);
+        self.telemetry.push(TelemetryRow {
+            iteration: self.iterations,
+            unique_traversals: self.records.len(),
+            best_time: self.nodes[0].t_min,
+            worst_time: self.nodes[0].t_max,
+            tree_nodes: self.nodes.len(),
+            max_depth: self.max_depth,
+            rollout_len,
+        });
+
+        Ok(StepOutcome::Explored {
+            record: record_idx,
+            new,
+        })
     }
 
     /// Bottom-up fully-explored propagation along the iteration path.
@@ -361,7 +409,9 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
         let parent_range = pn.t_max - pn.t_min;
         let mut best: Option<(f64, Placement)> = None;
         for &p in elig {
-            let c = pn.child(p).expect("selection only runs with all children visited");
+            let c = pn
+                .child(p)
+                .expect("selection only runs with all children visited");
             let ch = &self.nodes[c];
             let explore = if ch.fully_explored {
                 f64::NEG_INFINITY
@@ -434,7 +484,9 @@ mod tests {
 
     fn small_workload() -> TableWorkload {
         let mut w = TableWorkload::new(1);
-        w.cost_all("a", 1e-4).cost_all("b", 2e-4).cost_all("c", 5e-5);
+        w.cost_all("a", 1e-4)
+            .cost_all("b", 2e-4)
+            .cost_all("c", 5e-5);
         w
     }
 
@@ -460,7 +512,14 @@ mod tests {
         let w = small_workload();
         let platform = Platform::perlmutter_like().noiseless();
         let eval = SimEvaluator::new(&space, &w, &platform, BenchConfig::quick());
-        let mut mcts = Mcts::new(&space, eval, MctsConfig { seed: 3, ..Default::default() });
+        let mut mcts = Mcts::new(
+            &space,
+            eval,
+            MctsConfig {
+                seed: 3,
+                ..Default::default()
+            },
+        );
         mcts.run(50).unwrap();
         let set: std::collections::HashSet<_> =
             mcts.records().iter().map(|r| &r.traversal).collect();
@@ -477,8 +536,14 @@ mod tests {
         let platform = Platform::perlmutter_like();
         let run = |seed| {
             let eval = SimEvaluator::new(&space, &w, &platform, BenchConfig::quick());
-            let mut mcts =
-                Mcts::new(&space, eval, MctsConfig { seed, ..Default::default() });
+            let mut mcts = Mcts::new(
+                &space,
+                eval,
+                MctsConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             mcts.run(20).unwrap();
             mcts.records()
                 .iter()
@@ -505,6 +570,92 @@ mod tests {
 }
 
 #[cfg(test)]
+mod telemetry_tests {
+    use super::*;
+    use crate::eval::SimEvaluator;
+    use dr_dag::{CostKey, DagBuilder, OpSpec};
+    use dr_sim::{BenchConfig, Platform, TableWorkload};
+
+    fn space() -> DecisionSpace {
+        let mut b = DagBuilder::new();
+        let a = b.add("a", OpSpec::GpuKernel(CostKey::new("a")));
+        let g = b.add("b", OpSpec::GpuKernel(CostKey::new("b")));
+        let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+        b.edge(a, c);
+        b.edge(g, c);
+        DecisionSpace::new(b.build().unwrap(), 2).unwrap()
+    }
+
+    #[test]
+    fn one_row_per_iteration_with_monotone_progress() {
+        let sp = space();
+        let mut w = TableWorkload::new(1);
+        w.cost_all("a", 1e-4)
+            .cost_all("b", 2e-4)
+            .cost_all("c", 1e-5);
+        let platform = Platform::perlmutter_like().noiseless();
+        let eval = SimEvaluator::new(&sp, &w, &platform, BenchConfig::quick());
+        let mut mcts = Mcts::new(&sp, eval, MctsConfig::default());
+        mcts.run(25).unwrap();
+        let telemetry = mcts.telemetry();
+        assert_eq!(telemetry.len() as u64, mcts.iterations());
+        let rows = telemetry.rows();
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.iteration, i as u64 + 1);
+            assert!(r.best_time <= r.worst_time);
+            assert!(r.tree_nodes >= 1);
+            assert!(r.max_depth <= sp.num_ops());
+            assert!(r.rollout_len <= sp.num_ops());
+        }
+        for w in rows.windows(2) {
+            assert!(w[1].unique_traversals >= w[0].unique_traversals);
+            assert!(w[1].tree_nodes >= w[0].tree_nodes);
+            assert!(w[1].best_time <= w[0].best_time);
+            assert!(w[1].worst_time >= w[0].worst_time);
+        }
+        // Incremental max depth agrees with the full-tree walk.
+        assert_eq!(rows.last().unwrap().max_depth, mcts.stats().max_depth);
+    }
+
+    #[test]
+    fn exhausted_steps_do_not_add_rows() {
+        let sp = space();
+        let mut w = TableWorkload::new(1);
+        w.cost_all("a", 1e-4)
+            .cost_all("b", 2e-4)
+            .cost_all("c", 1e-5);
+        let platform = Platform::perlmutter_like().noiseless();
+        let eval = SimEvaluator::new(&sp, &w, &platform, BenchConfig::quick());
+        let mut mcts = Mcts::new(&sp, eval, MctsConfig::default());
+        mcts.run(10_000).unwrap();
+        assert!(mcts.is_exhausted());
+        let rows_before = mcts.telemetry().len();
+        mcts.step().unwrap();
+        assert_eq!(mcts.telemetry().len(), rows_before);
+    }
+
+    #[test]
+    fn evaluator_stats_survive_into_parts() {
+        let sp = space();
+        let mut w = TableWorkload::new(1);
+        w.cost_all("a", 1e-4)
+            .cost_all("b", 2e-4)
+            .cost_all("c", 1e-5);
+        let platform = Platform::perlmutter_like().noiseless();
+        let eval = SimEvaluator::new(&sp, &w, &platform, BenchConfig::quick());
+        let mut mcts = Mcts::new(&sp, eval, MctsConfig::default());
+        mcts.run(10).unwrap();
+        assert!(Evaluator::sim_stats(&mcts.eval).is_some());
+        let (records, telemetry, eval) = mcts.into_parts();
+        let stats = eval.stats();
+        assert!(stats.runs > 0, "each evaluation runs simulator samples");
+        assert!(stats.instructions > 0);
+        assert!(!records.is_empty());
+        assert!(!telemetry.is_empty());
+    }
+}
+
+#[cfg(test)]
 mod policy_tests {
     use super::*;
     use crate::eval::SimEvaluator;
@@ -526,7 +677,9 @@ mod policy_tests {
         let sp = space();
         let total = sp.count_traversals() as usize;
         let mut w = TableWorkload::new(1);
-        w.cost_all("a", 1e-4).cost_all("b", 2e-4).cost_all("c", 1e-5);
+        w.cost_all("a", 1e-4)
+            .cost_all("b", 2e-4)
+            .cost_all("c", 1e-5);
         let platform = Platform::perlmutter_like().noiseless();
         for policy in [
             Exploitation::CoverageRange,
@@ -534,7 +687,10 @@ mod policy_tests {
             Exploitation::Constant,
         ] {
             let eval = SimEvaluator::new(&sp, &w, &platform, BenchConfig::quick());
-            let cfg = MctsConfig { exploitation: policy, ..Default::default() };
+            let cfg = MctsConfig {
+                exploitation: policy,
+                ..Default::default()
+            };
             let mut mcts = Mcts::new(&sp, eval, cfg);
             let new = mcts.run(10_000).unwrap();
             assert_eq!(new, total, "{policy:?} must still cover the space");
@@ -546,11 +702,17 @@ mod policy_tests {
     fn policies_explore_in_different_orders() {
         let sp = space();
         let mut w = TableWorkload::new(1);
-        w.cost_all("a", 1e-4).cost_all("b", 2e-4).cost_all("c", 1e-5);
+        w.cost_all("a", 1e-4)
+            .cost_all("b", 2e-4)
+            .cost_all("c", 1e-5);
         let platform = Platform::perlmutter_like().noiseless();
         let order = |policy| {
             let eval = SimEvaluator::new(&sp, &w, &platform, BenchConfig::quick());
-            let cfg = MctsConfig { exploitation: policy, seed: 4, ..Default::default() };
+            let cfg = MctsConfig {
+                exploitation: policy,
+                seed: 4,
+                ..Default::default()
+            };
             let mut mcts = Mcts::new(&sp, eval, cfg);
             mcts.run(8).unwrap();
             mcts.records()
@@ -584,7 +746,9 @@ mod stats_tests {
         b.edge(g, c);
         let sp = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
         let mut w = TableWorkload::new(1);
-        w.cost_all("a", 1e-4).cost_all("b", 2e-4).cost_all("c", 1e-5);
+        w.cost_all("a", 1e-4)
+            .cost_all("b", 2e-4)
+            .cost_all("c", 1e-5);
         let platform = Platform::perlmutter_like().noiseless();
         let eval = SimEvaluator::new(&sp, &w, &platform, BenchConfig::quick());
         let mut mcts = Mcts::new(&sp, eval, MctsConfig::default());
@@ -593,7 +757,11 @@ mod stats_tests {
         assert_eq!(s0.nodes, 1);
         mcts.run(10_000).unwrap();
         let s = mcts.stats();
-        assert_eq!(s.max_depth, sp.num_ops(), "exhausted tree reaches the leaves");
+        assert_eq!(
+            s.max_depth,
+            sp.num_ops(),
+            "exhausted tree reaches the leaves"
+        );
         assert!(s.fully_explored >= 1);
         assert!(s.t_max >= s.t_min && s.t_min > 0.0);
         assert!(s.rollouts >= sp.count_traversals() as u64);

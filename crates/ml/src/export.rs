@@ -6,8 +6,9 @@ use crate::tree::DecisionTree;
 
 /// A small qualitative palette for class coloring (cycled when there are
 /// more classes than entries).
-const PALETTE: [&str; 6] =
-    ["#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462"];
+const PALETTE: [&str; 6] = [
+    "#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462",
+];
 
 fn escape(s: &str) -> String {
     s.replace('"', "\\\"")
@@ -20,9 +21,7 @@ pub fn tree_to_dot(
     feature_names: &[String],
     class_names: &[String],
 ) -> String {
-    let mut out = String::from(
-        "digraph tree {\n  node [shape=box,style=\"rounded,filled\"];\n",
-    );
+    let mut out = String::from("digraph tree {\n  node [shape=box,style=\"rounded,filled\"];\n");
     for (id, n) in tree.nodes().iter().enumerate() {
         let samples: usize = n.raw_counts.iter().sum();
         let label = match n.feature {
@@ -40,7 +39,9 @@ pub fn tree_to_dot(
             ),
         };
         let color = PALETTE[n.class() % PALETTE.len()];
-        out.push_str(&format!("  n{id} [label=\"{label}\",fillcolor=\"{color}\"];\n"));
+        out.push_str(&format!(
+            "  n{id} [label=\"{label}\",fillcolor=\"{color}\"];\n"
+        ));
     }
     for (id, n) in tree.nodes().iter().enumerate() {
         if n.feature.is_some() {

@@ -144,8 +144,10 @@ pub fn featurize(space: &DecisionSpace, traversals: &[&Traversal]) -> FeatureSet
     let mut dropped_constant = 0;
     let mut dropped_duplicate = 0;
     for f in universe {
-        let col: Vec<bool> =
-            rows.iter().map(|(pos, st)| eval_kind(f.kind, pos, st)).collect();
+        let col: Vec<bool> = rows
+            .iter()
+            .map(|(pos, st)| eval_kind(f.kind, pos, st))
+            .collect();
         let constant = col.iter().all(|&b| b == col[0]);
         if constant && !rows.is_empty() {
             dropped_constant += 1;
@@ -162,7 +164,12 @@ pub fn featurize(space: &DecisionSpace, traversals: &[&Traversal]) -> FeatureSet
     let matrix: Vec<Vec<bool>> = (0..rows.len())
         .map(|s| kept.iter().map(|(_, col)| col[s]).collect())
         .collect();
-    FeatureSet { features, matrix, dropped_constant, dropped_duplicate }
+    FeatureSet {
+        features,
+        matrix,
+        dropped_constant,
+        dropped_duplicate,
+    }
 }
 
 #[cfg(test)]
@@ -204,7 +211,10 @@ mod tests {
         let all = sp.enumerate();
         let refs: Vec<&Traversal> = all.iter().collect();
         let fs = featurize(&sp, &refs);
-        assert!(fs.dropped_constant > 0, "DAG-implied orderings must be pruned");
+        assert!(
+            fs.dropped_constant > 0,
+            "DAG-implied orderings must be pruned"
+        );
         // "a before CER-after-a" is DAG-implied: never retained.
         let a = sp.op_by_name("a").unwrap();
         let cer = sp.op_by_name("CER-after-a").unwrap();
@@ -223,7 +233,10 @@ mod tests {
         assert!(fs.num_features() > 0);
         for j in 0..fs.num_features() {
             let col: Vec<bool> = fs.matrix.iter().map(|r| r[j]).collect();
-            assert!(col.iter().any(|&b| b) && col.iter().any(|&b| !b), "feature {j}");
+            assert!(
+                col.iter().any(|&b| b) && col.iter().any(|&b| !b),
+                "feature {j}"
+            );
         }
     }
 
@@ -264,7 +277,10 @@ mod tests {
         };
         assert_eq!(before.phrase(&sp, true), "a before b");
         assert_eq!(before.phrase(&sp, false), "b before a");
-        let stream = Feature { kind: FeatureKind::SameStream(a, b), name: String::new() };
+        let stream = Feature {
+            kind: FeatureKind::SameStream(a, b),
+            name: String::new(),
+        };
         assert_eq!(stream.phrase(&sp, true), "a same stream as b");
         assert_eq!(stream.phrase(&sp, false), "a different stream than b");
     }

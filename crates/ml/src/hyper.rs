@@ -74,7 +74,13 @@ pub fn algorithm1(
         for i in 1..=5 {
             let (e, t, d, l) = train(mln + i);
             let accepted = e < err;
-            history.push(SearchStep { max_leaf_nodes: mln + i, error: e, depth: d, leaves: l, accepted });
+            history.push(SearchStep {
+                max_leaf_nodes: mln + i,
+                error: e,
+                depth: d,
+                leaves: l,
+                accepted,
+            });
             if accepted {
                 clf = t;
                 mln += i;
@@ -84,7 +90,12 @@ pub fn algorithm1(
         }
         // If no probe improved, `cur` still equals `err` and the loop ends.
     }
-    HyperSearch { tree: clf, max_leaf_nodes: mln, error: err.min(cur), history }
+    HyperSearch {
+        tree: clf,
+        max_leaf_nodes: mln,
+        error: err.min(cur),
+        history,
+    }
 }
 
 #[cfg(test)]
@@ -123,8 +134,12 @@ mod tests {
     fn search_history_is_monotone_in_accepted_steps() {
         let (x, y) = data();
         let s = algorithm1(&x, &y, 3, &TrainConfig::default());
-        let accepted: Vec<f64> =
-            s.history.iter().filter(|h| h.accepted).map(|h| h.error).collect();
+        let accepted: Vec<f64> = s
+            .history
+            .iter()
+            .filter(|h| h.accepted)
+            .map(|h| h.error)
+            .collect();
         for w in accepted.windows(2) {
             assert!(w[1] < w[0], "accepted errors must strictly decrease");
         }

@@ -23,7 +23,10 @@ pub struct LabelingConfig {
 
 impl Default for LabelingConfig {
     fn default() -> Self {
-        LabelingConfig { radius_frac: 0.005, prominence_percentile: 98.0 }
+        LabelingConfig {
+            radius_frac: 0.005,
+            prominence_percentile: 98.0,
+        }
     }
 }
 
@@ -105,13 +108,25 @@ pub fn label_times(times: &[f64], cfg: &LabelingConfig) -> Labeling {
     let mut class_ranges = Vec::with_capacity(num_classes);
     let mut lo = 0usize;
     for c in 0..num_classes {
-        let hi = if c < boundaries.len() { boundaries[c] } else { n };
+        let hi = if c < boundaries.len() {
+            boundaries[c]
+        } else {
+            n
+        };
         debug_assert!(hi > lo, "class {c} must be non-empty");
         class_ranges.push((sorted_times[lo], sorted_times[hi - 1]));
         lo = hi;
     }
 
-    Labeling { order, sorted_times, convolution, boundaries, labels, num_classes, class_ranges }
+    Labeling {
+        order,
+        sorted_times,
+        convolution,
+        boundaries,
+        labels,
+        num_classes,
+        class_ranges,
+    }
 }
 
 #[cfg(test)]

@@ -27,7 +27,11 @@ pub fn precision_recall(matrix: &[Vec<usize>]) -> Vec<(f64, f64)> {
             let tp = matrix[c][c] as f64;
             let predicted: usize = (0..k).map(|t| matrix[t][c]).sum();
             let actual: usize = matrix[c].iter().sum();
-            let precision = if predicted == 0 { 0.0 } else { tp / predicted as f64 };
+            let precision = if predicted == 0 {
+                0.0
+            } else {
+                tp / predicted as f64
+            };
             let recall = if actual == 0 { 0.0 } else { tp / actual as f64 };
             (precision, recall)
         })

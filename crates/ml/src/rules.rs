@@ -27,7 +27,11 @@ pub struct Rule {
 impl Rule {
     /// Human-readable phrasing, as printed in the paper's tables.
     pub fn phrase(&self, space: &DecisionSpace) -> String {
-        Feature { kind: self.kind, name: String::new() }.phrase(space, self.value)
+        Feature {
+            kind: self.kind,
+            name: String::new(),
+        }
+        .phrase(space, self.value)
     }
 }
 
@@ -56,7 +60,10 @@ pub fn extract_rulesets(tree: &DecisionTree, features: &FeatureSet) -> Vec<RuleS
                 rules: p
                     .conditions
                     .iter()
-                    .map(|&(f, v)| Rule { kind: features.features[f].kind, value: v })
+                    .map(|&(f, v)| Rule {
+                        kind: features.features[f].kind,
+                        value: v,
+                    })
                     .collect(),
                 class: node.class(),
                 samples: node.raw_counts.iter().sum(),
@@ -114,10 +121,30 @@ pub fn compare_to_canonical(candidate: &RuleSet, canonical: &[RuleSet]) -> Optio
         .max_by_key(|(_, c)| c.rules.iter().filter(|r| cand.contains(r)).count())
         .expect("non-empty");
     let canon: std::collections::HashSet<Rule> = best.rules.iter().copied().collect();
-    let shared = candidate.rules.iter().copied().filter(|r| canon.contains(r)).collect();
-    let extra = candidate.rules.iter().copied().filter(|r| !canon.contains(r)).collect();
-    let missing = best.rules.iter().copied().filter(|r| !cand.contains(r)).collect();
-    Some(Consistency { matched, shared, extra, missing })
+    let shared = candidate
+        .rules
+        .iter()
+        .copied()
+        .filter(|r| canon.contains(r))
+        .collect();
+    let extra = candidate
+        .rules
+        .iter()
+        .copied()
+        .filter(|r| !canon.contains(r))
+        .collect();
+    let missing = best
+        .rules
+        .iter()
+        .copied()
+        .filter(|r| !cand.contains(r))
+        .collect();
+    Some(Consistency {
+        matched,
+        shared,
+        extra,
+        missing,
+    })
 }
 
 /// Renders a ruleset as the paper's tables do: one condition per line.
@@ -185,9 +212,15 @@ mod tests {
         let sp = space();
         let a = sp.op_by_name("a").unwrap();
         let b = sp.op_by_name("b").unwrap();
-        let r = Rule { kind: FeatureKind::SameStream(a, b), value: false };
+        let r = Rule {
+            kind: FeatureKind::SameStream(a, b),
+            value: false,
+        };
         assert_eq!(r.phrase(&sp), "a different stream than b");
-        let r2 = Rule { kind: FeatureKind::Before(a, b), value: false };
+        let r2 = Rule {
+            kind: FeatureKind::Before(a, b),
+            value: false,
+        };
         assert_eq!(r2.phrase(&sp), "b before a");
     }
 
@@ -197,7 +230,16 @@ mod tests {
         let k2 = FeatureKind::Before(0, 2);
         let k3 = FeatureKind::SameStream(0, 1);
         let canon = vec![RuleSet {
-            rules: vec![Rule { kind: k1, value: true }, Rule { kind: k2, value: true }],
+            rules: vec![
+                Rule {
+                    kind: k1,
+                    value: true,
+                },
+                Rule {
+                    kind: k2,
+                    value: true,
+                },
+            ],
             class: 0,
             samples: 10,
             class_counts: vec![10],
@@ -206,9 +248,18 @@ mod tests {
         // Overconstrained: superset of the canonical conditions.
         let over = RuleSet {
             rules: vec![
-                Rule { kind: k1, value: true },
-                Rule { kind: k2, value: true },
-                Rule { kind: k3, value: false },
+                Rule {
+                    kind: k1,
+                    value: true,
+                },
+                Rule {
+                    kind: k2,
+                    value: true,
+                },
+                Rule {
+                    kind: k3,
+                    value: false,
+                },
             ],
             class: 0,
             samples: 5,
@@ -221,7 +272,10 @@ mod tests {
         assert_eq!(c.shared.len(), 2);
         // Underconstrained: misses a canonical condition.
         let under = RuleSet {
-            rules: vec![Rule { kind: k1, value: true }],
+            rules: vec![Rule {
+                kind: k1,
+                value: true,
+            }],
             class: 0,
             samples: 5,
             class_counts: vec![5],
@@ -229,7 +283,13 @@ mod tests {
         };
         let c = compare_to_canonical(&under, &canon).unwrap();
         assert!(!c.is_consistent());
-        assert_eq!(c.missing, vec![Rule { kind: k2, value: true }]);
+        assert_eq!(
+            c.missing,
+            vec![Rule {
+                kind: k2,
+                value: true
+            }]
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub fn step_convolve(a: &[f64], r: usize) -> Convolution {
     assert!(r >= 1, "radius must be at least 1");
     let n = a.len();
     if n < 2 * r {
-        return Convolution { start: 0, values: Vec::new() };
+        return Convolution {
+            start: 0,
+            values: Vec::new(),
+        };
     }
     // Valid i: the window a[i-r+1 ..= i+r] must stay in bounds.
     let start = r - 1;

@@ -26,7 +26,10 @@ impl Criterion {
         }
         match self {
             Criterion::Gini => {
-                1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f64>()
+                1.0 - counts
+                    .iter()
+                    .map(|&c| (c / total) * (c / total))
+                    .sum::<f64>()
             }
             Criterion::Entropy => -counts
                 .iter()
@@ -155,7 +158,11 @@ impl DecisionTree {
             vec![1.0; num_classes]
         };
 
-        let mut tree = DecisionTree { nodes: Vec::new(), num_classes, class_weights };
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            num_classes,
+            class_weights,
+        };
         let all: Vec<usize> = (0..n).collect();
         let root = tree.make_node(&all, y, 0);
         tree.nodes.push(root);
@@ -169,22 +176,28 @@ impl DecisionTree {
             improvement: f64,
         }
         let mut frontier: Vec<Candidate> = Vec::new();
-        let push_candidate =
-            |tree: &DecisionTree, node: usize, samples: Vec<usize>, frontier: &mut Vec<Candidate>| {
-                if tree.nodes[node].is_pure() {
+        let push_candidate = |tree: &DecisionTree,
+                              node: usize,
+                              samples: Vec<usize>,
+                              frontier: &mut Vec<Candidate>| {
+            if tree.nodes[node].is_pure() {
+                return;
+            }
+            if let Some(d) = cfg.max_depth {
+                if tree.nodes[node].depth >= d {
                     return;
                 }
-                if let Some(d) = cfg.max_depth {
-                    if tree.nodes[node].depth >= d {
-                        return;
-                    }
-                }
-                if let Some((feature, improvement)) =
-                    tree.best_split(&samples, x, y, num_features, cfg)
-                {
-                    frontier.push(Candidate { node, samples, feature, improvement });
-                }
-            };
+            }
+            if let Some((feature, improvement)) = tree.best_split(&samples, x, y, num_features, cfg)
+            {
+                frontier.push(Candidate {
+                    node,
+                    samples,
+                    feature,
+                    improvement,
+                });
+            }
+        };
         push_candidate(&tree, 0, all, &mut frontier);
 
         let mut num_leaves = 1usize;
@@ -238,7 +251,14 @@ impl DecisionTree {
             .zip(&self.class_weights)
             .map(|(&c, &w)| c as f64 * w)
             .collect();
-        Node { feature: None, left: 0, right: 0, weighted_counts: weighted, raw_counts: raw, depth }
+        Node {
+            feature: None,
+            left: 0,
+            right: 0,
+            weighted_counts: weighted,
+            raw_counts: raw,
+            depth,
+        }
     }
 
     /// Best split of a sample subset: the feature maximizing the weighted
@@ -272,8 +292,7 @@ impl DecisionTree {
             if w_left <= 0.0 || w_right <= 0.0 {
                 continue; // split does not separate anything
             }
-            let right: Vec<f64> =
-                parent.iter().zip(&left).map(|(&p, &l)| p - l).collect();
+            let right: Vec<f64> = parent.iter().zip(&left).map(|(&p, &l)| p - l).collect();
             let improvement = w_parent * imp_parent
                 - w_left * cfg.criterion.impurity(&left)
                 - w_right * cfg.criterion.impurity(&right);
@@ -302,7 +321,11 @@ impl DecisionTree {
     pub fn predict(&self, x: &[bool]) -> usize {
         let mut node = 0usize;
         while let Some(f) = self.nodes[node].feature {
-            node = if x[f] { self.nodes[node].right } else { self.nodes[node].left };
+            node = if x[f] {
+                self.nodes[node].right
+            } else {
+                self.nodes[node].left
+            };
         }
         self.nodes[node].class()
     }
@@ -344,7 +367,10 @@ impl DecisionTree {
         let mut stack = vec![(0usize, Vec::new())];
         while let Some((node, conds)) = stack.pop() {
             match self.nodes[node].feature {
-                None => out.push(LeafPath { conditions: conds, node }),
+                None => out.push(LeafPath {
+                    conditions: conds,
+                    node,
+                }),
                 Some(f) => {
                     let mut right = conds.clone();
                     right.push((f, true));
@@ -402,7 +428,10 @@ mod tests {
     #[test]
     fn max_leaf_nodes_caps_growth() {
         let (x, y) = xor_data();
-        let cfg = TrainConfig { max_leaf_nodes: Some(3), ..Default::default() };
+        let cfg = TrainConfig {
+            max_leaf_nodes: Some(3),
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&x, &y, 2, &cfg);
         assert_eq!(tree.num_leaves(), 3);
     }
@@ -410,7 +439,10 @@ mod tests {
     #[test]
     fn max_depth_caps_growth() {
         let (x, y) = xor_data();
-        let cfg = TrainConfig { max_depth: Some(1), ..Default::default() };
+        let cfg = TrainConfig {
+            max_depth: Some(1),
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&x, &y, 2, &cfg);
         assert!(tree.depth() <= 1);
         assert!(tree.num_leaves() <= 2);
@@ -442,7 +474,10 @@ mod tests {
     #[test]
     fn entropy_criterion_also_learns() {
         let (x, y) = xor_data();
-        let cfg = TrainConfig { criterion: Criterion::Entropy, ..Default::default() };
+        let cfg = TrainConfig {
+            criterion: Criterion::Entropy,
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&x, &y, 2, &cfg);
         assert_eq!(tree.error(&x, &y), 0.0);
     }

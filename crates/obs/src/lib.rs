@@ -1,0 +1,55 @@
+//! `dr-obs` — observability core for the design-rules pipeline.
+//!
+//! Zero-dependency metrics primitives threaded through every layer of
+//! the workspace: [`metrics`] (counters, gauges, fixed-bucket
+//! histograms with percentile queries), [`timer`] (stopwatches and
+//! named phase timers), and [`json`] (hand-rolled JSON formatting plus
+//! a syntax validator used by tests that assert artifacts are
+//! well-formed).
+//!
+//! Everything is single-threaded by design, matching the simulator and
+//! the search loop: plain structs mutated through `&mut self`, no
+//! atomics, no global registries.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod timer;
+
+pub use metrics::{Counter, Gauge, Histogram};
+pub use timer::{Phases, Stopwatch};
+
+/// Writes one CSV row, quoting fields that contain commas, quotes, or
+/// newlines (RFC 4180 style).
+pub fn csv_row(fields: &[String]) -> String {
+    let mut out = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if f.contains([',', '"', '\n']) {
+            out.push('"');
+            out.push_str(&f.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(f);
+        }
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_row_quotes_when_needed() {
+        assert_eq!(csv_row(&["a".into(), "b".into()]), "a,b\n");
+        assert_eq!(
+            csv_row(&["a,b".into(), "c\"d".into()]),
+            "\"a,b\",\"c\"\"d\"\n"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Wall-clock stopwatches and named phase timers.
+
+use std::time::Instant;
+
+use crate::json;
+
+/// A simple wall-clock stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds since `start`.
+    pub fn elapsed(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// Accumulated wall-clock time per named phase, in insertion order.
+///
+/// Phases are the coarse pipeline stages (explore, label, featurize,
+/// train, rules); repeated [`Phases::add`] calls with the same name
+/// accumulate into one entry.
+#[derive(Debug, Clone, Default)]
+pub struct Phases {
+    entries: Vec<(String, f64)>,
+}
+
+impl Phases {
+    /// Creates an empty phase table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f` and accumulates its wall-clock duration under `name`.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let sw = Stopwatch::start();
+        let out = f();
+        self.add(name, sw.elapsed());
+        out
+    }
+
+    /// Accumulates `seconds` under `name`.
+    pub fn add(&mut self, name: &str, seconds: f64) {
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| n == name) {
+            e.1 += seconds;
+        } else {
+            self.entries.push((name.to_string(), seconds));
+        }
+    }
+
+    /// Accumulated seconds for `name`, if recorded.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|(_, s)| s).sum()
+    }
+
+    /// `(name, seconds)` pairs in insertion order.
+    pub fn entries(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+
+    /// Renders as a JSON object `{name: seconds, ...}`.
+    pub fn to_json(&self) -> String {
+        let fields: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(n, s)| format!("\"{}\":{}", json::escape(n), json::number(*s)))
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    }
+
+    /// Renders a fixed-width text table with a share-of-total column.
+    pub fn render_text(&self) -> String {
+        let total = self.total();
+        let mut out = String::new();
+        for (name, secs) in &self.entries {
+            let share = if total > 0.0 {
+                100.0 * secs / total
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  {name:<12} {:>10.3} ms  {share:>5.1}%\n",
+                secs * 1e3
+            ));
+        }
+        out.push_str(&format!("  {:<12} {:>10.3} ms\n", "total", total * 1e3));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_moves_forward() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a && a >= 0.0);
+    }
+
+    #[test]
+    fn phases_accumulate_in_order() {
+        let mut p = Phases::new();
+        p.add("explore", 1.0);
+        p.add("train", 0.5);
+        p.add("explore", 0.25);
+        assert_eq!(p.get("explore"), Some(1.25));
+        assert_eq!(p.get("train"), Some(0.5));
+        assert_eq!(p.get("rules"), None);
+        assert_eq!(p.total(), 1.75);
+        let names: Vec<_> = p.entries().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["explore", "train"]);
+    }
+
+    #[test]
+    fn time_returns_the_closure_value() {
+        let mut p = Phases::new();
+        let v = p.time("work", || 42);
+        assert_eq!(v, 42);
+        assert!(p.get("work").unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn json_and_text_render() {
+        let mut p = Phases::new();
+        p.add("explore", 0.002);
+        p.add("label", 0.001);
+        crate::json::validate(&p.to_json()).unwrap();
+        let text = p.render_text();
+        assert!(text.contains("explore"));
+        assert!(text.contains("total"));
+    }
+}

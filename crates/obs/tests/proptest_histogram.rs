@@ -1,0 +1,78 @@
+//! Property tests for the histogram's percentile math.
+
+use dr_obs::Histogram;
+use proptest::prelude::*;
+
+/// Arbitrary finite samples spanning several orders of magnitude.
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    collection::vec(1e-6f64..1e3, 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn percentiles_stay_within_observed_range(
+        xs in samples(),
+        q in 0f64..=1.0,
+    ) {
+        let mut h = Histogram::exponential(1e-7, 10.0, 12);
+        for &x in &xs {
+            h.record(x);
+        }
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let p = h.percentile(q).expect("non-empty histogram");
+        prop_assert!(p >= lo && p <= hi, "p{q} = {p} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_q(xs in samples()) {
+        let mut h = Histogram::linear(0.0, 1e3, 32);
+        for &x in &xs {
+            h.record(x);
+        }
+        let ps: Vec<f64> = (0..=10)
+            .map(|i| h.percentile(i as f64 / 10.0).unwrap())
+            .collect();
+        for w in ps.windows(2) {
+            prop_assert!(w[1] >= w[0], "percentiles not monotone: {ps:?}");
+        }
+    }
+
+    #[test]
+    fn extreme_quantiles_hit_min_and_max(xs in samples()) {
+        let mut h = Histogram::exponential(1e-7, 10.0, 12);
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.percentile(0.0), h.min());
+        prop_assert_eq!(h.percentile(1.0), h.max());
+    }
+
+    #[test]
+    fn count_and_sum_track_recorded_samples(xs in samples()) {
+        let mut h = Histogram::linear(0.0, 10.0, 8);
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        let bucket_total: u64 = h.buckets().map(|(_, n)| n).sum();
+        prop_assert_eq!(bucket_total, xs.len() as u64);
+        let expect: f64 = xs.iter().sum();
+        prop_assert!((h.sum() - expect).abs() <= 1e-9 * expect.abs().max(1.0));
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored(xs in collection::vec(0f64..10.0, 1..50)) {
+        let mut h = Histogram::linear(0.0, 10.0, 8);
+        for &x in &xs {
+            h.record(x);
+        }
+        let before = (h.count(), h.sum(), h.percentile(0.5));
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        prop_assert_eq!(before, (h.count(), h.sum(), h.percentile(0.5)));
+    }
+}

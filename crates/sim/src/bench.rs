@@ -9,8 +9,9 @@
 //! each explored sequence and used for rule generation.
 
 use crate::compile::{CompiledProgram, SimError};
-use crate::exec::execute;
+use crate::exec::{execute, execute_instrumented};
 use crate::platform::Platform;
+use crate::stats::SimStats;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -28,14 +29,22 @@ pub struct BenchConfig {
 
 impl Default for BenchConfig {
     fn default() -> Self {
-        BenchConfig { t_measure: 0.01, num_measurements: 50, max_samples: 1000 }
+        BenchConfig {
+            t_measure: 0.01,
+            num_measurements: 50,
+            max_samples: 1000,
+        }
     }
 }
 
 impl BenchConfig {
     /// A cheap configuration for unit tests and examples.
     pub fn quick() -> Self {
-        BenchConfig { t_measure: 1e-3, num_measurements: 9, max_samples: 50 }
+        BenchConfig {
+            t_measure: 1e-3,
+            num_measurements: 9,
+            max_samples: 50,
+        }
     }
 }
 
@@ -97,6 +106,32 @@ pub fn benchmark(
     cfg: &BenchConfig,
     seed: u64,
 ) -> Result<BenchResult, SimError> {
+    run_protocol(prog, platform, cfg, seed, None)
+}
+
+/// Like [`benchmark`], additionally folding every sample's [`SimStats`]
+/// into one aggregate (`stats.runs` counts the samples).
+///
+/// Produces the identical [`BenchResult`] for the same `seed`: the stats
+/// accumulation draws no randomness.
+pub fn benchmark_instrumented(
+    prog: &CompiledProgram,
+    platform: &Platform,
+    cfg: &BenchConfig,
+    seed: u64,
+) -> Result<(BenchResult, SimStats), SimError> {
+    let mut stats = SimStats::for_shape(prog.num_ranks, prog.num_streams);
+    let result = run_protocol(prog, platform, cfg, seed, Some(&mut stats))?;
+    Ok((result, stats))
+}
+
+fn run_protocol(
+    prog: &CompiledProgram,
+    platform: &Platform,
+    cfg: &BenchConfig,
+    seed: u64,
+    mut stats: Option<&mut SimStats>,
+) -> Result<BenchResult, SimError> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut measurements = Vec::with_capacity(cfg.num_measurements);
     for _ in 0..cfg.num_measurements {
@@ -104,7 +139,13 @@ pub fn benchmark(
         let mut accum = vec![0.0f64; prog.num_ranks];
         let mut samples = 0usize;
         loop {
-            let outcome = execute(prog, platform, &mut rng)?;
+            let outcome = if let Some(stats) = stats.as_deref_mut() {
+                let (outcome, sample_stats) = execute_instrumented(prog, platform, &mut rng)?;
+                stats.merge(&sample_stats);
+                outcome
+            } else {
+                execute(prog, platform, &mut rng)?
+            };
             for (a, t) in accum.iter_mut().zip(&outcome.rank_times) {
                 *a += t;
             }
@@ -115,10 +156,7 @@ pub fn benchmark(
             }
         }
         // Estimate: max over ranks of (elapsed on that rank / n_samples).
-        let est = accum
-            .iter()
-            .map(|a| a / samples as f64)
-            .fold(0.0, f64::max);
+        let est = accum.iter().map(|a| a / samples as f64).fold(0.0, f64::max);
         measurements.push(est);
     }
     let mut sorted = measurements.clone();
@@ -130,7 +168,10 @@ pub fn benchmark(
         p90: percentile(&sorted, 90.0),
         p99: percentile(&sorted, 99.0),
     };
-    Ok(BenchResult { measurements, percentiles })
+    Ok(BenchResult {
+        measurements,
+        percentiles,
+    })
 }
 
 #[cfg(test)]
@@ -178,7 +219,10 @@ mod tests {
         let platform = Platform::perlmutter_like().noiseless();
         let res = benchmark(&prog, &platform, &BenchConfig::quick(), 1).unwrap();
         assert!((res.time() - 2.5e-4).abs() < 1e-9, "{}", res.time());
-        assert_eq!(res.measurements.len(), BenchConfig::quick().num_measurements);
+        assert_eq!(
+            res.measurements.len(),
+            BenchConfig::quick().num_measurements
+        );
         // All percentiles identical without noise.
         assert_eq!(res.percentiles.p01, res.percentiles.p99);
     }
@@ -187,7 +231,11 @@ mod tests {
     fn measurement_uses_multiple_samples_for_fast_programs() {
         let prog = one_op_program(1e-5);
         let platform = Platform::perlmutter_like().noiseless();
-        let cfg = BenchConfig { t_measure: 1e-3, num_measurements: 3, max_samples: 500 };
+        let cfg = BenchConfig {
+            t_measure: 1e-3,
+            num_measurements: 3,
+            max_samples: 500,
+        };
         let res = benchmark(&prog, &platform, &cfg, 1).unwrap();
         // 100 samples of 1e-5 fill 1e-3 seconds; the estimate still
         // recovers the per-invocation time.
@@ -198,9 +246,31 @@ mod tests {
     fn max_samples_caps_the_loop() {
         let prog = one_op_program(1e-9);
         let platform = Platform::perlmutter_like().noiseless();
-        let cfg = BenchConfig { t_measure: 10.0, num_measurements: 2, max_samples: 7 };
+        let cfg = BenchConfig {
+            t_measure: 10.0,
+            num_measurements: 2,
+            max_samples: 7,
+        };
         let res = benchmark(&prog, &platform, &cfg, 1).unwrap();
         assert!((res.time() - 1e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instrumented_benchmark_matches_plain_and_counts_samples() {
+        let prog = one_op_program(1e-4);
+        let platform = Platform::perlmutter_like(); // noisy
+        let plain = benchmark(&prog, &platform, &BenchConfig::quick(), 5).unwrap();
+        let (inst, stats) =
+            benchmark_instrumented(&prog, &platform, &BenchConfig::quick(), 5).unwrap();
+        assert_eq!(plain, inst, "instrumentation must not change measurements");
+        assert!(stats.runs > 0);
+        // The same instruction count accrues on every sample.
+        assert_eq!(stats.instructions % stats.runs, 0);
+        assert!(
+            stats.instructions >= stats.runs * 2,
+            "2 ranks, >= 1 instr each"
+        );
+        assert!(stats.cpu_busy.iter().all(|&b| b > 0.0));
     }
 
     #[test]
@@ -210,7 +280,10 @@ mod tests {
         let a = benchmark(&prog, &platform, &BenchConfig::quick(), 5).unwrap();
         let b = benchmark(&prog, &platform, &BenchConfig::quick(), 5).unwrap();
         assert_eq!(a, b);
-        assert!(a.percentiles.p99 > a.percentiles.p01, "noise must spread measurements");
+        assert!(
+            a.percentiles.p99 > a.percentiles.p01,
+            "noise must spread measurements"
+        );
         // Median stays near the true duration.
         assert!((a.time() - 1e-4).abs() / 1e-4 < 0.05);
     }

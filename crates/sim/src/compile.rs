@@ -76,7 +76,10 @@ impl std::fmt::Display for SimError {
                 write!(f, "no communication pattern for key {key} on rank {rank}")
             }
             SimError::AsymmetricComm { key, src, dst } => {
-                write!(f, "comm {key}: rank {src} sends to {dst} with no matching receive")
+                write!(
+                    f,
+                    "comm {key}: rank {src} sends to {dst} with no matching receive"
+                )
             }
             SimError::WaitBeforePost { rank, name } => {
                 write!(f, "rank {rank}: {name} executed before its matching post")
@@ -87,7 +90,10 @@ impl std::fmt::Display for SimError {
                 write!(f, "comm key {key} mixes point-to-point and collective use")
             }
             SimError::InvalidCollective { key, rank } => {
-                write!(f, "collective {key}: rank {rank} must have one send and no recvs")
+                write!(
+                    f,
+                    "collective {key}: rank {rank} must have one send and no recvs"
+                )
             }
         }
     }
@@ -222,42 +228,48 @@ impl CompiledProgram {
             for &(_, action) in &proto {
                 let instr = match action {
                     ScheduleAction::CpuWork(key) => Instr::CpuWork {
-                        dur: workload.cost(rank, key).ok_or_else(|| SimError::MissingCost {
-                            rank,
-                            key: key.clone(),
-                        })?,
+                        dur: workload
+                            .cost(rank, key)
+                            .ok_or_else(|| SimError::MissingCost {
+                                rank,
+                                key: key.clone(),
+                            })?,
                     },
                     ScheduleAction::KernelLaunch { stream, cost } => Instr::KernelLaunch {
                         stream: *stream,
-                        dur: workload.cost(rank, cost).ok_or_else(|| SimError::MissingCost {
-                            rank,
-                            key: cost.clone(),
-                        })?,
+                        dur: workload
+                            .cost(rank, cost)
+                            .ok_or_else(|| SimError::MissingCost {
+                                rank,
+                                key: cost.clone(),
+                            })?,
                     },
-                    ScheduleAction::PostSends(key) => {
-                        Instr::PostSends { comm: comm_idx(key, &mut comm_keys) }
-                    }
-                    ScheduleAction::PostRecvs(key) => {
-                        Instr::PostRecvs { comm: comm_idx(key, &mut comm_keys) }
-                    }
-                    ScheduleAction::WaitSends(key) => {
-                        Instr::WaitSends { comm: comm_idx(key, &mut comm_keys) }
-                    }
-                    ScheduleAction::WaitRecvs(key) => {
-                        Instr::WaitRecvs { comm: comm_idx(key, &mut comm_keys) }
-                    }
-                    ScheduleAction::AllReduce(key) => {
-                        Instr::AllReduce { comm: comm_idx(key, &mut comm_keys) }
-                    }
-                    ScheduleAction::EventRecord { event, stream } => {
-                        Instr::EventRecord { event: *event, stream: *stream }
-                    }
-                    ScheduleAction::EventSync { events } => {
-                        Instr::EventSync { events: events.clone().into_boxed_slice() }
-                    }
-                    ScheduleAction::StreamWaitEvent { stream, event } => {
-                        Instr::StreamWaitEvent { stream: *stream, event: *event }
-                    }
+                    ScheduleAction::PostSends(key) => Instr::PostSends {
+                        comm: comm_idx(key, &mut comm_keys),
+                    },
+                    ScheduleAction::PostRecvs(key) => Instr::PostRecvs {
+                        comm: comm_idx(key, &mut comm_keys),
+                    },
+                    ScheduleAction::WaitSends(key) => Instr::WaitSends {
+                        comm: comm_idx(key, &mut comm_keys),
+                    },
+                    ScheduleAction::WaitRecvs(key) => Instr::WaitRecvs {
+                        comm: comm_idx(key, &mut comm_keys),
+                    },
+                    ScheduleAction::AllReduce(key) => Instr::AllReduce {
+                        comm: comm_idx(key, &mut comm_keys),
+                    },
+                    ScheduleAction::EventRecord { event, stream } => Instr::EventRecord {
+                        event: *event,
+                        stream: *stream,
+                    },
+                    ScheduleAction::EventSync { events } => Instr::EventSync {
+                        events: events.clone().into_boxed_slice(),
+                    },
+                    ScheduleAction::StreamWaitEvent { stream, event } => Instr::StreamWaitEvent {
+                        stream: *stream,
+                        event: *event,
+                    },
                     ScheduleAction::DeviceSync => Instr::DeviceSync,
                 };
                 list.push(instr);
@@ -293,7 +305,10 @@ impl CompiledProgram {
             for rank in 0..num_ranks {
                 let pat = workload
                     .comm(rank, key)
-                    .ok_or_else(|| SimError::MissingComm { rank, key: key.clone() })?;
+                    .ok_or_else(|| SimError::MissingComm {
+                        rank,
+                        key: key.clone(),
+                    })?;
                 sends.push(pat.sends);
                 recvs.push(pat.recvs);
             }
@@ -301,34 +316,53 @@ impl CompiledProgram {
                 // Collective: one contribution-size entry per rank.
                 for rank in 0..num_ranks {
                     if sends[rank].len() != 1 || !recvs[rank].is_empty() {
-                        return Err(SimError::InvalidCollective { key: key.clone(), rank });
+                        return Err(SimError::InvalidCollective {
+                            key: key.clone(),
+                            rank,
+                        });
                     }
                 }
-                comms.push(CommTable { key: key.clone(), sends, recvs });
+                comms.push(CommTable {
+                    key: key.clone(),
+                    sends,
+                    recvs,
+                });
                 continue;
             }
             // Pairwise matching: each send must have a matching receive.
             #[allow(clippy::needless_range_loop)] // indices are the clearest form here
             for src in 0..num_ranks {
                 for &(dst, bytes) in &sends[src] {
-                    let matched = dst < num_ranks
-                        && recvs[dst].iter().any(|&(p, b)| p == src && b == bytes);
+                    let matched =
+                        dst < num_ranks && recvs[dst].iter().any(|&(p, b)| p == src && b == bytes);
                     if !matched {
-                        return Err(SimError::AsymmetricComm { key: key.clone(), src, dst });
+                        return Err(SimError::AsymmetricComm {
+                            key: key.clone(),
+                            src,
+                            dst,
+                        });
                     }
                 }
             }
             #[allow(clippy::needless_range_loop)] // indices are the clearest form here
             for dst in 0..num_ranks {
                 for &(src, bytes) in &recvs[dst] {
-                    let matched = src < num_ranks
-                        && sends[src].iter().any(|&(p, b)| p == dst && b == bytes);
+                    let matched =
+                        src < num_ranks && sends[src].iter().any(|&(p, b)| p == dst && b == bytes);
                     if !matched {
-                        return Err(SimError::AsymmetricComm { key: key.clone(), src: dst, dst: src });
+                        return Err(SimError::AsymmetricComm {
+                            key: key.clone(),
+                            src: dst,
+                            dst: src,
+                        });
                     }
                 }
             }
-            comms.push(CommTable { key: key.clone(), sends, recvs });
+            comms.push(CommTable {
+                key: key.clone(),
+                sends,
+                recvs,
+            });
         }
 
         Ok(CompiledProgram {
@@ -409,9 +443,23 @@ mod tests {
         let (_, s) = mini_schedule();
         let mut w = TableWorkload::new(2);
         w.cost_all("k", 1e-3);
-        w.comm_on(0, "x", CommPattern { sends: vec![(1, 100)], recvs: vec![(1, 100)] });
+        w.comm_on(
+            0,
+            "x",
+            CommPattern {
+                sends: vec![(1, 100)],
+                recvs: vec![(1, 100)],
+            },
+        );
         // Rank 1 receives the wrong size.
-        w.comm_on(1, "x", CommPattern { sends: vec![(0, 100)], recvs: vec![(0, 999)] });
+        w.comm_on(
+            1,
+            "x",
+            CommPattern {
+                sends: vec![(0, 100)],
+                recvs: vec![(0, 999)],
+            },
+        );
         assert!(matches!(
             CompiledProgram::compile(&s, &w),
             Err(SimError::AsymmetricComm { .. })
@@ -422,6 +470,9 @@ mod tests {
     fn zero_rank_workload_rejected() {
         let (_, s) = mini_schedule();
         let w = TableWorkload::new(0);
-        assert!(matches!(CompiledProgram::compile(&s, &w), Err(SimError::NoRanks)));
+        assert!(matches!(
+            CompiledProgram::compile(&s, &w),
+            Err(SimError::NoRanks)
+        ));
     }
 }

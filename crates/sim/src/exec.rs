@@ -8,6 +8,7 @@
 
 use crate::compile::{CompiledProgram, Instr, SimError};
 use crate::platform::Platform;
+use crate::stats::SimStats;
 use crate::trace::{Resource, Trace, TraceEvent};
 use rand::rngs::SmallRng;
 
@@ -72,7 +73,9 @@ pub fn execute(
     platform: &Platform,
     rng: &mut SmallRng,
 ) -> Result<ExecOutcome, SimError> {
-    Executor::new(prog, platform, false).run(rng).map(|(o, _)| o)
+    Executor::new(prog, platform, false)
+        .run(rng)
+        .map(|(o, _, _)| o)
 }
 
 /// Like [`execute`], additionally recording a per-operation [`Trace`]
@@ -82,8 +85,20 @@ pub fn execute_traced(
     platform: &Platform,
     rng: &mut SmallRng,
 ) -> Result<(ExecOutcome, Trace), SimError> {
-    let (o, t) = Executor::new(prog, platform, true).run(rng)?;
+    let (o, t, _) = Executor::new(prog, platform, true).run(rng)?;
     Ok((o, t.expect("tracing was enabled")))
+}
+
+/// Like [`execute`], additionally returning the invocation's
+/// [`SimStats`] (instruction counts, message protocol split, bytes
+/// moved, sync-op counts per kind, per-resource busy time).
+pub fn execute_instrumented(
+    prog: &CompiledProgram,
+    platform: &Platform,
+    rng: &mut SmallRng,
+) -> Result<(ExecOutcome, SimStats), SimError> {
+    let (o, _, s) = Executor::new(prog, platform, false).run(rng)?;
+    Ok((o, s))
 }
 
 struct Executor<'a> {
@@ -95,6 +110,7 @@ struct Executor<'a> {
     /// noise is drawn exactly once per transfer.
     arrivals: std::collections::HashMap<(usize, usize, usize), (f64, f64)>,
     trace: Option<Trace>,
+    stats: SimStats,
     /// Set when a blocked step still made observable progress (e.g. a
     /// rank registering its entry into a collective) so the deadlock
     /// detector does not fire spuriously.
@@ -109,11 +125,15 @@ impl<'a> Executor<'a> {
             ranks: (0..prog.num_ranks).map(|_| RankState::new(prog)).collect(),
             arrivals: std::collections::HashMap::new(),
             trace: traced.then(Trace::default),
+            stats: SimStats::for_shape(prog.num_ranks, prog.num_streams),
             noted_progress: false,
         }
     }
 
-    fn run(mut self, rng: &mut SmallRng) -> Result<(ExecOutcome, Option<Trace>), SimError> {
+    fn run(
+        mut self,
+        rng: &mut SmallRng,
+    ) -> Result<(ExecOutcome, Option<Trace>, SimStats), SimError> {
         loop {
             let mut progressed = false;
             let mut all_done = true;
@@ -138,12 +158,18 @@ impl<'a> Executor<'a> {
                     .filter(|&r| self.ranks[r].pc < self.prog.instrs[r].len())
                     .map(|r| format!("rank {r} at {}", self.prog.names[self.ranks[r].pc]))
                     .collect();
-                return Err(SimError::Deadlock { detail: blocked.join("; ") });
+                return Err(SimError::Deadlock {
+                    detail: blocked.join("; "),
+                });
             }
         }
+        self.stats.runs = 1;
         Ok((
-            ExecOutcome { rank_times: self.ranks.iter().map(|r| r.cpu).collect() },
+            ExecOutcome {
+                rank_times: self.ranks.iter().map(|r| r.cpu).collect(),
+            },
             self.trace,
+            self.stats,
         ))
     }
 
@@ -190,8 +216,7 @@ impl<'a> Executor<'a> {
                     self.noted_progress = true;
                 }
                 let comm = *comm;
-                if (0..self.prog.num_ranks)
-                    .any(|p| self.ranks[p].collective_entry[comm].is_none())
+                if (0..self.prog.num_ranks).any(|p| self.ranks[p].collective_entry[comm].is_none())
                 {
                     return Ok(Step::Blocked);
                 }
@@ -218,6 +243,7 @@ impl<'a> Executor<'a> {
                 kernel_span = Some((stream, start, end));
             }
             Instr::EventRecord { event, stream } => {
+                self.stats.sync_cer += 1;
                 self.ranks[r].cpu += self.platform.event_record_overhead;
                 // The record is an in-stream marker: it completes when
                 // everything enqueued in the stream so far has completed.
@@ -226,20 +252,22 @@ impl<'a> Executor<'a> {
                 self.ranks[r].event_stream[event] = Some(stream);
             }
             Instr::EventSync { ref events } => {
+                self.stats.sync_ces += 1;
                 let mut t = self.ranks[r].cpu + self.platform.event_sync_overhead;
                 for &e in events.iter() {
-                    let et = self.ranks[r].event_time[e]
-                        .expect("schedule orders records before syncs");
+                    let et =
+                        self.ranks[r].event_time[e].expect("schedule orders records before syncs");
                     t = t.max(et);
                 }
                 self.ranks[r].cpu = t;
             }
             Instr::StreamWaitEvent { stream, event } => {
+                self.stats.sync_cswe += 1;
                 self.ranks[r].cpu += self.platform.stream_wait_overhead;
                 let mut et = self.ranks[r].event_time[event]
                     .expect("schedule orders records before stream waits");
-                let src_stream = self.ranks[r].event_stream[event]
-                    .expect("recorded events know their stream");
+                let src_stream =
+                    self.ranks[r].event_stream[event].expect("recorded events know their stream");
                 if self.platform.gpu_of(src_stream) != self.platform.gpu_of(stream) {
                     // Peer synchronization crosses the GPU interconnect.
                     et += self.platform.cross_gpu_sync_latency;
@@ -265,8 +293,10 @@ impl<'a> Executor<'a> {
             }
             Instr::WaitRecvs { comm } => {
                 let mut t = self.ranks[r].cpu + self.platform.wait_overhead;
-                let peers: Vec<usize> =
-                    self.prog.comms[comm].recvs[r].iter().map(|&(p, _)| p).collect();
+                let peers: Vec<usize> = self.prog.comms[comm].recvs[r]
+                    .iter()
+                    .map(|&(p, _)| p)
+                    .collect();
                 for peer in peers {
                     let (arrival, _) = self.transfer(comm, peer, r, rng)?;
                     t = t.max(arrival);
@@ -275,8 +305,10 @@ impl<'a> Executor<'a> {
             }
             Instr::WaitSends { comm } => {
                 let mut t = self.ranks[r].cpu + self.platform.wait_overhead;
-                let peers: Vec<usize> =
-                    self.prog.comms[comm].sends[r].iter().map(|&(p, _)| p).collect();
+                let peers: Vec<usize> = self.prog.comms[comm].sends[r]
+                    .iter()
+                    .map(|&(p, _)| p)
+                    .collect();
                 for peer in peers {
                     let (_, send_complete) = self.transfer(comm, r, peer, rng)?;
                     t = t.max(send_complete);
@@ -298,12 +330,22 @@ impl<'a> Executor<'a> {
                     * self.platform.noise.factor(rng);
                 self.ranks[r].cpu =
                     entries.max(self.ranks[r].cpu) + self.platform.wait_overhead + dur;
+                self.stats.collective_ops += 1;
+                self.stats.bytes_moved += bytes;
             }
             Instr::DeviceSync => {
-                let tail_max =
-                    self.ranks[r].stream_tail.iter().copied().fold(0.0f64, f64::max);
+                let tail_max = self.ranks[r]
+                    .stream_tail
+                    .iter()
+                    .copied()
+                    .fold(0.0f64, f64::max);
                 self.ranks[r].cpu = self.ranks[r].cpu.max(tail_max);
             }
+        }
+        self.stats.instructions += 1;
+        self.stats.cpu_busy[r] += self.ranks[r].cpu - cpu_before;
+        if let Some((stream, start, end)) = kernel_span {
+            self.stats.stream_busy[r][stream] += end - start;
         }
         if let Some(trace) = self.trace.as_mut() {
             trace.events.push(TraceEvent {
@@ -392,6 +434,12 @@ impl<'a> Executor<'a> {
                 .expect("validated pairwise")
         });
         let wire = self.platform.wire_time(bytes) * self.platform.noise.factor(rng);
+        self.stats.bytes_moved += bytes;
+        if self.platform.is_eager(bytes) {
+            self.stats.eager_msgs += 1;
+        } else {
+            self.stats.rendezvous_msgs += 1;
+        }
         let result = if self.platform.is_eager(bytes) {
             // Eager: payload leaves immediately and the send completes at
             // once (buffered). The receiver's wait clamps the arrival to
@@ -464,10 +512,12 @@ mod tests {
             b.add("k2", OpSpec::GpuKernel(CostKey::new("k2")));
         };
         let same = |sp: &DecisionSpace| {
-            sp.traversal_from_names(&[("k1", Some(0)), ("k2", Some(0))]).unwrap()
+            sp.traversal_from_names(&[("k1", Some(0)), ("k2", Some(0))])
+                .unwrap()
         };
         let diff = |sp: &DecisionSpace| {
-            sp.traversal_from_names(&[("k1", Some(0)), ("k2", Some(1))]).unwrap()
+            sp.traversal_from_names(&[("k1", Some(0)), ("k2", Some(1))])
+                .unwrap()
         };
         let (p_same, _) = compile(build, same, &w);
         let (p_diff, _) = compile(build, diff, &w);
@@ -486,17 +536,24 @@ mod tests {
             b.add("k2", OpSpec::GpuKernel(CostKey::new("k2")));
         };
         let diff = |sp: &DecisionSpace| {
-            sp.traversal_from_names(&[("k1", Some(0)), ("k2", Some(1))]).unwrap()
+            sp.traversal_from_names(&[("k1", Some(0)), ("k2", Some(1))])
+                .unwrap()
         };
         let free = Platform {
             gpu_contention: 0.0,
             ..Platform::perlmutter_like().noiseless()
         };
-        let contended = Platform { gpu_contention: 0.5, ..free.clone() };
+        let contended = Platform {
+            gpu_contention: 0.5,
+            ..free.clone()
+        };
         let (p, _) = compile(build, diff, &w);
         let t_free = execute(&p, &free, &mut rng()).unwrap().time();
         let t_cont = execute(&p, &contended, &mut rng()).unwrap().time();
-        assert!(t_cont > t_free, "contention must cost time: {t_cont} vs {t_free}");
+        assert!(
+            t_cont > t_free,
+            "contention must cost time: {t_cont} vs {t_free}"
+        );
         // Still cheaper than full serialization (contention 0.5 < 1.0).
         assert!(t_cont < 2e-3);
     }
@@ -525,7 +582,11 @@ mod tests {
         );
         let platform = Platform::perlmutter_like().noiseless();
         let out = execute(&p, &platform, &mut rng()).unwrap();
-        assert!(out.time() >= 5e-3, "CPU op must wait for the kernel: {}", out.time());
+        assert!(
+            out.time() >= 5e-3,
+            "CPU op must wait for the kernel: {}",
+            out.time()
+        );
     }
 
     #[test]
@@ -543,7 +604,10 @@ mod tests {
         };
         let (p, _) = compile(
             build,
-            |sp| sp.traversal_from_names(&[("k1", Some(0)), ("k2", Some(1))]).unwrap(),
+            |sp| {
+                sp.traversal_from_names(&[("k1", Some(0)), ("k2", Some(1))])
+                    .unwrap()
+            },
             &w,
         );
         let out = execute(&p, &platform, &mut rng()).unwrap();
@@ -659,12 +723,18 @@ mod tests {
         w.comm_on(
             0,
             "x",
-            CommPattern { sends: vec![(1, 1 << 20)], recvs: vec![(1, 2 << 20)] },
+            CommPattern {
+                sends: vec![(1, 1 << 20)],
+                recvs: vec![(1, 2 << 20)],
+            },
         );
         w.comm_on(
             1,
             "x",
-            CommPattern { sends: vec![(0, 2 << 20)], recvs: vec![(0, 1 << 20)] },
+            CommPattern {
+                sends: vec![(0, 2 << 20)],
+                recvs: vec![(0, 1 << 20)],
+            },
         );
         let (p, _) = compile(
             exchange_build,
@@ -786,17 +856,127 @@ mod trace_tests {
 }
 
 #[cfg(test)]
+mod stats_tests {
+    use super::*;
+    use crate::workload::TableWorkload;
+    use dr_dag::{build_schedule, CommKey, CostKey, DagBuilder, DecisionSpace, OpSpec};
+    use rand::SeedableRng;
+
+    #[test]
+    fn instrumented_execution_counts_sync_ops_and_matches_untraced() {
+        // kernel -> cpu dependency forces a CER + CES pair on each rank.
+        let mut b = DagBuilder::new();
+        let k = b.add("k", OpSpec::GpuKernel(CostKey::new("k")));
+        let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+        b.edge(k, c);
+        let sp = DecisionSpace::new(b.build().unwrap(), 1).unwrap();
+        let t = sp.enumerate().into_iter().next().unwrap();
+        let s = build_schedule(&sp, &t);
+        let mut w = TableWorkload::new(2);
+        w.cost_all("k", 1e-4).cost_all("c", 2e-5);
+        let prog = CompiledProgram::compile(&s, &w).unwrap();
+        let platform = Platform::perlmutter_like().noiseless();
+        let plain = execute(&prog, &platform, &mut SmallRng::seed_from_u64(3)).unwrap();
+        let (out, stats) =
+            execute_instrumented(&prog, &platform, &mut SmallRng::seed_from_u64(3)).unwrap();
+        assert_eq!(plain, out, "instrumentation must not perturb timing");
+        assert_eq!(stats.runs, 1);
+        assert_eq!(
+            stats.instructions as usize,
+            prog.names.len() * 2,
+            "2 SPMD ranks"
+        );
+        assert_eq!(stats.sync_cer, 2, "one record per rank");
+        assert_eq!(stats.sync_ces, 2, "one sync per rank");
+        assert_eq!(stats.sync_cswe, 0);
+        assert_eq!(
+            stats.eager_msgs + stats.rendezvous_msgs,
+            0,
+            "no messaging here"
+        );
+        // Each rank's kernel ran for 1e-4 s on stream 0.
+        for r in 0..2 {
+            assert!((stats.stream_busy[r][0] - 1e-4).abs() < 1e-12);
+            assert!((stats.cpu_busy[r] - out.rank_times[r]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn instrumented_execution_classifies_message_protocols() {
+        let mut b = DagBuilder::new();
+        let key = CommKey::new("x");
+        let ps = b.add("PostSends", OpSpec::PostSends(key.clone()));
+        let pr = b.add("PostRecvs", OpSpec::PostRecvs(key.clone()));
+        let ws = b.add("WaitSends", OpSpec::WaitSends(key.clone()));
+        let wr = b.add("WaitRecvs", OpSpec::WaitRecvs(key));
+        b.edge(ps, ws);
+        b.edge(pr, wr);
+        b.edge(ps, wr);
+        let sp = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
+        let t = sp
+            .traversal_from_names(&[
+                ("PostRecvs", None),
+                ("PostSends", None),
+                ("WaitSends", None),
+                ("WaitRecvs", None),
+            ])
+            .unwrap();
+        let s = build_schedule(&sp, &t);
+        let platform = Platform::perlmutter_like().noiseless();
+        for (bytes, eager) in [(512u64, true), (1u64 << 20, false)] {
+            let mut w = TableWorkload::new(2);
+            w.comm_all_to_all("x", bytes);
+            let prog = CompiledProgram::compile(&s, &w).unwrap();
+            let (_, stats) =
+                execute_instrumented(&prog, &platform, &mut SmallRng::seed_from_u64(1)).unwrap();
+            // One message each way between the two ranks.
+            if eager {
+                assert_eq!(stats.eager_msgs, 2);
+                assert_eq!(stats.rendezvous_msgs, 0);
+            } else {
+                assert_eq!(stats.eager_msgs, 0);
+                assert_eq!(stats.rendezvous_msgs, 2);
+            }
+            assert_eq!(stats.bytes_moved, 2 * bytes);
+        }
+    }
+
+    #[test]
+    fn collective_contributions_are_counted() {
+        use crate::workload::CommPattern;
+        let mut b = DagBuilder::new();
+        b.add("dot", OpSpec::AllReduce(CommKey::new("dot")));
+        let sp = DecisionSpace::new(b.build().unwrap(), 1).unwrap();
+        let t = sp.enumerate().into_iter().next().unwrap();
+        let s = build_schedule(&sp, &t);
+        let mut w = TableWorkload::new(4);
+        for r in 0..4 {
+            w.comm_on(
+                r,
+                "dot",
+                CommPattern {
+                    sends: vec![(0, 8)],
+                    recvs: vec![],
+                },
+            );
+        }
+        let prog = CompiledProgram::compile(&s, &w).unwrap();
+        let platform = Platform::perlmutter_like().noiseless();
+        let (_, stats) =
+            execute_instrumented(&prog, &platform, &mut SmallRng::seed_from_u64(1)).unwrap();
+        assert_eq!(stats.collective_ops, 4, "one completion per rank");
+        assert_eq!(stats.bytes_moved, 4 * 8);
+    }
+}
+
+#[cfg(test)]
 mod multi_gpu_tests {
     use super::*;
     use crate::workload::TableWorkload;
     use dr_dag::{build_schedule, CostKey, DagBuilder, DecisionSpace, OpSpec};
     use rand::SeedableRng;
 
-    fn two_kernel_prog(
-        streams: (usize, usize),
-        dep: bool,
-        w: &TableWorkload,
-    ) -> CompiledProgram {
+    fn two_kernel_prog(streams: (usize, usize), dep: bool, w: &TableWorkload) -> CompiledProgram {
         let mut b = DagBuilder::new();
         let k1 = b.add("k1", OpSpec::GpuKernel(CostKey::new("k1")));
         let k2 = b.add("k2", OpSpec::GpuKernel(CostKey::new("k2")));
@@ -826,7 +1006,10 @@ mod multi_gpu_tests {
             ..Platform::perlmutter_like().noiseless()
         };
         // Same-GPU contention baseline: both streams on GPU 0.
-        let same_gpu = Platform { streams_per_gpu: 2, ..platform.clone() };
+        let same_gpu = Platform {
+            streams_per_gpu: 2,
+            ..platform.clone()
+        };
         let prog = two_kernel_prog((0, 1), false, &w);
         let t_sep = execute(&prog, &platform, &mut SmallRng::seed_from_u64(1))
             .unwrap()
@@ -834,8 +1017,14 @@ mod multi_gpu_tests {
         let t_same = execute(&prog, &same_gpu, &mut SmallRng::seed_from_u64(1))
             .unwrap()
             .time();
-        assert!(t_sep < t_same, "separate GPUs avoid contention: {t_sep} vs {t_same}");
-        assert!((t_sep - 1e-3).abs() < 2e-5, "fully parallel on 2 GPUs: {t_sep}");
+        assert!(
+            t_sep < t_same,
+            "separate GPUs avoid contention: {t_sep} vs {t_same}"
+        );
+        assert!(
+            (t_sep - 1e-3).abs() < 2e-5,
+            "fully parallel on 2 GPUs: {t_sep}"
+        );
     }
 
     #[test]
@@ -879,7 +1068,14 @@ mod collective_tests {
 
     fn contribution(w: &mut TableWorkload, ranks: usize, key: &str, bytes: u64) {
         for r in 0..ranks {
-            w.comm_on(r, key, CommPattern { sends: vec![(0, bytes)], recvs: vec![] });
+            w.comm_on(
+                r,
+                key,
+                CommPattern {
+                    sends: vec![(0, bytes)],
+                    recvs: vec![],
+                },
+            );
         }
     }
 
@@ -960,8 +1156,22 @@ mod collective_tests {
         let s = build_schedule(&sp, &t);
         let mut w = TableWorkload::new(2);
         // recvs must be empty for a collective key.
-        w.comm_on(0, "x", CommPattern { sends: vec![(0, 8)], recvs: vec![(1, 8)] });
-        w.comm_on(1, "x", CommPattern { sends: vec![(0, 8)], recvs: vec![] });
+        w.comm_on(
+            0,
+            "x",
+            CommPattern {
+                sends: vec![(0, 8)],
+                recvs: vec![(1, 8)],
+            },
+        );
+        w.comm_on(
+            1,
+            "x",
+            CommPattern {
+                sends: vec![(0, 8)],
+                recvs: vec![],
+            },
+        );
         assert!(matches!(
             CompiledProgram::compile(&s, &w),
             Err(SimError::InvalidCollective { rank: 0, .. })

@@ -24,12 +24,16 @@ mod bench;
 mod compile;
 mod exec;
 mod platform;
+mod stats;
 pub mod trace;
 mod workload;
 
-pub use bench::{benchmark, percentile, BenchConfig, BenchResult, Percentiles};
+pub use bench::{
+    benchmark, benchmark_instrumented, percentile, BenchConfig, BenchResult, Percentiles,
+};
 pub use compile::{CommTable, CompiledProgram, Instr, SimError};
-pub use exec::{execute, execute_traced, ExecOutcome};
-pub use trace::{Resource, Trace, TraceEvent};
+pub use exec::{execute, execute_instrumented, execute_traced, ExecOutcome};
 pub use platform::{NoiseModel, Platform};
+pub use stats::SimStats;
+pub use trace::{Resource, ResourceUtilization, Trace, TraceEvent};
 pub use workload::{CommPattern, TableWorkload, Workload};

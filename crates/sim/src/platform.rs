@@ -191,7 +191,10 @@ mod tests {
             sum += f;
         }
         let mean = sum / 10_000.0;
-        assert!((mean - 1.0).abs() < 0.01, "lognormal mean ~ exp(sigma^2/2): {mean}");
+        assert!(
+            (mean - 1.0).abs() < 0.01,
+            "lognormal mean ~ exp(sigma^2/2): {mean}"
+        );
     }
 
     #[test]

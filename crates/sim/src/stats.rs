@@ -1,0 +1,180 @@
+//! Aggregate execution statistics of simulated invocations.
+//!
+//! Where a [`crate::trace::Trace`] records every span of one invocation,
+//! [`SimStats`] is the cheap always-on summary: instruction counts,
+//! eager vs. rendezvous message matching, bytes moved, synchronization
+//! operations inserted per kind, and per-resource busy time. Stats from
+//! repeated invocations (e.g. across benchmark samples) combine with
+//! [`SimStats::merge`].
+
+use dr_obs::json;
+
+/// Counts and busy times accumulated over one or more simulated
+/// invocations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Simulated invocations folded into these stats.
+    pub runs: u64,
+    /// Instructions executed (all ranks).
+    pub instructions: u64,
+    /// Point-to-point messages matched via the eager protocol.
+    pub eager_msgs: u64,
+    /// Point-to-point messages matched via the rendezvous protocol.
+    pub rendezvous_msgs: u64,
+    /// Payload bytes moved (point-to-point plus collective
+    /// contributions).
+    pub bytes_moved: u64,
+    /// Collective operations completed (counted per participating rank).
+    pub collective_ops: u64,
+    /// `cudaEventRecord` instructions executed (`CER`).
+    pub sync_cer: u64,
+    /// `cudaEventSynchronize` instructions executed (`CES`).
+    pub sync_ces: u64,
+    /// `cudaStreamWaitEvent` instructions executed (`CSWE`).
+    pub sync_cswe: u64,
+    /// Per-rank host-timeline busy seconds (instruction spans, including
+    /// blocking waits — the CPU is occupied either way).
+    pub cpu_busy: Vec<f64>,
+    /// Per-rank, per-stream kernel-execution seconds.
+    pub stream_busy: Vec<Vec<f64>>,
+}
+
+impl SimStats {
+    /// Empty stats sized for `ranks` ranks with `streams` streams each.
+    pub fn for_shape(ranks: usize, streams: usize) -> Self {
+        SimStats {
+            cpu_busy: vec![0.0; ranks],
+            stream_busy: vec![vec![0.0; streams]; ranks],
+            ..Default::default()
+        }
+    }
+
+    /// Total synchronization instructions across all kinds.
+    pub fn sync_ops(&self) -> u64 {
+        self.sync_cer + self.sync_ces + self.sync_cswe
+    }
+
+    /// Folds `other` into `self`, summing counts and busy times.
+    /// Shapes are reconciled by growing to the larger rank/stream count.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.runs += other.runs;
+        self.instructions += other.instructions;
+        self.eager_msgs += other.eager_msgs;
+        self.rendezvous_msgs += other.rendezvous_msgs;
+        self.bytes_moved += other.bytes_moved;
+        self.collective_ops += other.collective_ops;
+        self.sync_cer += other.sync_cer;
+        self.sync_ces += other.sync_ces;
+        self.sync_cswe += other.sync_cswe;
+        if self.cpu_busy.len() < other.cpu_busy.len() {
+            self.cpu_busy.resize(other.cpu_busy.len(), 0.0);
+        }
+        for (a, b) in self.cpu_busy.iter_mut().zip(&other.cpu_busy) {
+            *a += b;
+        }
+        if self.stream_busy.len() < other.stream_busy.len() {
+            self.stream_busy.resize(other.stream_busy.len(), Vec::new());
+        }
+        for (a, b) in self.stream_busy.iter_mut().zip(&other.stream_busy) {
+            if a.len() < b.len() {
+                a.resize(b.len(), 0.0);
+            }
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+    }
+
+    /// Renders the stats as a JSON object.
+    pub fn to_json(&self) -> String {
+        let cpu: Vec<String> = self.cpu_busy.iter().map(|&s| json::number(s)).collect();
+        let streams: Vec<String> = self
+            .stream_busy
+            .iter()
+            .map(|per_rank| {
+                let cells: Vec<String> = per_rank.iter().map(|&s| json::number(s)).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"runs\":{},\"instructions\":{},\"eager_msgs\":{},",
+                "\"rendezvous_msgs\":{},\"bytes_moved\":{},\"collective_ops\":{},",
+                "\"sync_cer\":{},\"sync_ces\":{},\"sync_cswe\":{},",
+                "\"cpu_busy\":[{}],\"stream_busy\":[{}]}}"
+            ),
+            self.runs,
+            self.instructions,
+            self.eager_msgs,
+            self.rendezvous_msgs,
+            self.bytes_moved,
+            self.collective_ops,
+            self.sync_cer,
+            self.sync_ces,
+            self.sync_cswe,
+            cpu.join(","),
+            streams.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counts_and_busy_times() {
+        let mut a = SimStats::for_shape(2, 2);
+        a.runs = 1;
+        a.instructions = 10;
+        a.eager_msgs = 2;
+        a.cpu_busy[0] = 1.0;
+        a.stream_busy[1][0] = 0.5;
+        let mut b = SimStats::for_shape(2, 2);
+        b.runs = 1;
+        b.instructions = 5;
+        b.rendezvous_msgs = 3;
+        b.cpu_busy[0] = 0.25;
+        b.stream_busy[1][0] = 0.5;
+        a.merge(&b);
+        assert_eq!(a.runs, 2);
+        assert_eq!(a.instructions, 15);
+        assert_eq!(a.eager_msgs, 2);
+        assert_eq!(a.rendezvous_msgs, 3);
+        assert_eq!(a.cpu_busy[0], 1.25);
+        assert_eq!(a.stream_busy[1][0], 1.0);
+    }
+
+    #[test]
+    fn merge_grows_to_the_larger_shape() {
+        let mut a = SimStats::for_shape(1, 1);
+        let mut b = SimStats::for_shape(3, 2);
+        b.cpu_busy[2] = 7.0;
+        b.stream_busy[0][1] = 3.0;
+        a.merge(&b);
+        assert_eq!(a.cpu_busy.len(), 3);
+        assert_eq!(a.cpu_busy[2], 7.0);
+        assert_eq!(a.stream_busy[0][1], 3.0);
+    }
+
+    #[test]
+    fn json_is_wellformed() {
+        let mut s = SimStats::for_shape(2, 2);
+        s.runs = 1;
+        s.sync_cer = 4;
+        s.cpu_busy[1] = 0.125;
+        json::validate(&s.to_json()).unwrap();
+        assert!(s.to_json().contains("\"sync_cer\":4"));
+    }
+
+    #[test]
+    fn sync_ops_totals_all_kinds() {
+        let s = SimStats {
+            sync_cer: 1,
+            sync_ces: 2,
+            sync_cswe: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.sync_ops(), 7);
+    }
+}

@@ -45,6 +45,20 @@ impl TraceEvent {
     }
 }
 
+/// Busy time and busy fraction of one `(rank, resource)` timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceUtilization {
+    /// Rank the resource belongs to.
+    pub rank: usize,
+    /// The resource (host thread or stream).
+    pub resource: Resource,
+    /// Seconds the resource was occupied by at least one span
+    /// (overlapping spans are merged, not double-counted).
+    pub busy: f64,
+    /// `busy / makespan`, in `[0, 1]` (`0` for an empty trace).
+    pub utilization: f64,
+}
+
 /// A complete invocation trace.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
@@ -53,6 +67,53 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Busy time and busy fraction per `(rank, resource)`, ordered by
+    /// rank and then CPU before streams. Overlapping spans on one
+    /// resource are merged so busy time never exceeds the makespan.
+    pub fn utilization(&self) -> Vec<ResourceUtilization> {
+        let makespan = self.makespan();
+        let mut keys: Vec<(usize, Resource)> =
+            self.events.iter().map(|e| (e.rank, e.resource)).collect();
+        keys.sort_by_key(|&(rank, res)| {
+            (
+                rank,
+                match res {
+                    Resource::Cpu => 0,
+                    Resource::Stream(s) => 1 + s,
+                },
+            )
+        });
+        keys.dedup();
+        keys.into_iter()
+            .map(|(rank, resource)| {
+                let mut intervals: Vec<(f64, f64)> = self
+                    .events
+                    .iter()
+                    .filter(|e| e.rank == rank && e.resource == resource)
+                    .map(|e| (e.start.max(0.0), e.end.min(makespan)))
+                    .filter(|&(a, b)| b > a)
+                    .collect();
+                intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("trace times are finite"));
+                let mut busy = 0.0;
+                let mut cursor = f64::NEG_INFINITY;
+                for (a, b) in intervals {
+                    let a = a.max(cursor);
+                    if b > a {
+                        busy += b - a;
+                        cursor = b;
+                    }
+                }
+                let utilization = if makespan > 0.0 { busy / makespan } else { 0.0 };
+                ResourceUtilization {
+                    rank,
+                    resource,
+                    busy,
+                    utilization,
+                }
+            })
+            .collect()
+    }
+
     /// Events of one rank.
     pub fn rank(&self, rank: usize) -> impl Iterator<Item = &TraceEvent> {
         self.events.iter().filter(move |e| e.rank == rank)
@@ -104,7 +165,13 @@ mod tests {
     use super::*;
 
     fn ev(rank: usize, name: &str, resource: Resource, start: f64, end: f64) -> TraceEvent {
-        TraceEvent { rank, name: name.into(), resource, start, end }
+        TraceEvent {
+            rank,
+            name: name.into(),
+            resource,
+            start,
+            end,
+        }
     }
 
     #[test]
@@ -154,6 +221,13 @@ mod tests {
     }
 }
 
+fn tid_of(resource: Resource) -> usize {
+    match resource {
+        Resource::Cpu => 0,
+        Resource::Stream(s) => s + 1,
+    }
+}
+
 impl Trace {
     /// Serializes the trace in Chrome trace-event format (the JSON array
     /// flavour readable by `chrome://tracing` and Perfetto). Each rank
@@ -161,32 +235,74 @@ impl Trace {
     /// microseconds as the format requires. Hand-rolled JSON: names are
     /// instruction identifiers (letters, digits, `-`, `(`, `)`), so only
     /// quotes/backslashes need escaping.
+    ///
+    /// Beyond the `"ph":"X"` duration spans, the stream carries
+    /// `"ph":"M"` metadata naming each process (`rank R`) and thread
+    /// (`cpu`, `streamN`) so Perfetto labels tracks, and a per-rank
+    /// `"ph":"C"` counter track (`active`) sampling how many resources
+    /// are busy at each span boundary.
     pub fn to_chrome_json(&self) -> String {
         fn esc(s: &str) -> String {
             s.replace('\\', "\\\\").replace('"', "\\\"")
         }
-        let mut out = String::from("[");
-        let mut first = true;
-        for e in &self.events {
-            if !first {
-                out.push(',');
+        let mut records: Vec<String> = Vec::with_capacity(self.events.len() * 2);
+        // Metadata: one process_name per rank, one thread_name per
+        // (rank, resource) seen in the trace.
+        let mut threads: Vec<(usize, Resource)> =
+            self.events.iter().map(|e| (e.rank, e.resource)).collect();
+        threads.sort_by_key(|&(rank, res)| (rank, tid_of(res)));
+        threads.dedup();
+        let mut last_rank = usize::MAX;
+        for &(rank, res) in &threads {
+            if rank != last_rank {
+                records.push(format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{rank},\"args\":{{\"name\":\"rank {rank}\"}}}}"
+                ));
+                last_rank = rank;
             }
-            first = false;
-            let tid = match e.resource {
-                Resource::Cpu => 0,
-                Resource::Stream(s) => s + 1,
-            };
-            out.push_str(&format!(
+            records.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{rank},\"tid\":{},\"args\":{{\"name\":\"{res}\"}}}}",
+                tid_of(res)
+            ));
+        }
+        // Duration spans.
+        for e in &self.events {
+            records.push(format!(
                 "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
                 esc(&e.name),
                 e.rank,
-                tid,
+                tid_of(e.resource),
                 e.start * 1e6,
                 e.duration() * 1e6
             ));
         }
-        out.push(']');
-        out
+        // Counter track: busy resources per rank, sampled at span
+        // boundaries. Deltas at equal timestamps coalesce to one sample.
+        let mut ranks: Vec<usize> = self.events.iter().map(|e| e.rank).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        for rank in ranks {
+            let mut deltas: Vec<(f64, i64)> = Vec::new();
+            for e in self.events.iter().filter(|e| e.rank == rank) {
+                deltas.push((e.start, 1));
+                deltas.push((e.end, -1));
+            }
+            deltas.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("trace times are finite"));
+            let mut active = 0i64;
+            let mut i = 0;
+            while i < deltas.len() {
+                let t = deltas[i].0;
+                while i < deltas.len() && deltas[i].0 == t {
+                    active += deltas[i].1;
+                    i += 1;
+                }
+                records.push(format!(
+                    "{{\"name\":\"active\",\"ph\":\"C\",\"pid\":{rank},\"ts\":{:.3},\"args\":{{\"busy\":{active}}}}}",
+                    t * 1e6
+                ));
+            }
+        }
+        format!("[{}]", records.join(","))
     }
 }
 
@@ -227,5 +343,136 @@ mod chrome_tests {
     #[test]
     fn empty_trace_is_empty_array() {
         assert_eq!(Trace::default().to_chrome_json(), "[]");
+    }
+
+    #[test]
+    fn metadata_names_processes_and_threads() {
+        let t = Trace {
+            events: vec![
+                TraceEvent {
+                    rank: 1,
+                    name: "k".into(),
+                    resource: Resource::Stream(0),
+                    start: 0.0,
+                    end: 1e-6,
+                },
+                TraceEvent {
+                    rank: 1,
+                    name: "c".into(),
+                    resource: Resource::Cpu,
+                    start: 0.0,
+                    end: 1e-6,
+                },
+            ],
+        };
+        let json = t.to_chrome_json();
+        dr_obs::json::validate(&json).unwrap();
+        assert_eq!(
+            json.matches("\"ph\":\"M\"").count(),
+            3,
+            "1 process + 2 threads"
+        );
+        assert!(json.contains("\"name\":\"rank 1\""));
+        assert!(json.contains("\"name\":\"cpu\""));
+        assert!(json.contains("\"name\":\"stream0\""));
+        // Metadata precedes the spans.
+        assert!(json.find("\"ph\":\"M\"").unwrap() < json.find("\"ph\":\"X\"").unwrap());
+    }
+
+    #[test]
+    fn counter_track_follows_span_boundaries() {
+        // Two overlapping spans: busy count goes 1, 2, 1, 0.
+        let t = Trace {
+            events: vec![
+                TraceEvent {
+                    rank: 0,
+                    name: "a".into(),
+                    resource: Resource::Cpu,
+                    start: 0.0,
+                    end: 2e-6,
+                },
+                TraceEvent {
+                    rank: 0,
+                    name: "k".into(),
+                    resource: Resource::Stream(0),
+                    start: 1e-6,
+                    end: 3e-6,
+                },
+            ],
+        };
+        let json = t.to_chrome_json();
+        dr_obs::json::validate(&json).unwrap();
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 4);
+        assert!(json.contains("\"busy\":2"));
+        // The final boundary returns to zero.
+        assert!(json.contains("\"busy\":0"));
+    }
+}
+
+#[cfg(test)]
+mod utilization_tests {
+    use super::*;
+
+    fn ev(rank: usize, resource: Resource, start: f64, end: f64) -> TraceEvent {
+        TraceEvent {
+            rank,
+            name: "x".into(),
+            resource,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn merged_busy_time_ignores_overlap() {
+        let t = Trace {
+            events: vec![
+                ev(0, Resource::Cpu, 0.0, 2.0),
+                ev(0, Resource::Cpu, 1.0, 3.0), // overlaps the first
+                ev(0, Resource::Stream(0), 0.0, 4.0),
+            ],
+        };
+        let u = t.utilization();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u[0].resource, Resource::Cpu);
+        assert!((u[0].busy - 3.0).abs() < 1e-12, "merged [0,2]∪[1,3] = 3s");
+        assert!((u[0].utilization - 0.75).abs() < 1e-12);
+        assert_eq!(u[1].resource, Resource::Stream(0));
+        assert!((u[1].utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_spans_sum_exactly() {
+        let t = Trace {
+            events: vec![
+                ev(0, Resource::Cpu, 0.0, 1.0),
+                ev(0, Resource::Cpu, 2.0, 3.0),
+                ev(1, Resource::Cpu, 0.0, 4.0),
+            ],
+        };
+        let u = t.utilization();
+        assert_eq!(u.len(), 2);
+        assert!((u[0].busy - 2.0).abs() < 1e-12);
+        assert!((u[0].utilization - 0.5).abs() < 1e-12);
+        assert_eq!(u[1].rank, 1);
+        assert!((u[1].utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_has_no_rows() {
+        assert!(Trace::default().utilization().is_empty());
+    }
+
+    #[test]
+    fn zero_duration_spans_contribute_nothing() {
+        let t = Trace {
+            events: vec![
+                ev(0, Resource::Cpu, 1.0, 1.0),
+                ev(0, Resource::Cpu, 0.0, 2.0),
+            ],
+        };
+        let u = t.utilization();
+        assert_eq!(u.len(), 1);
+        assert!((u[0].busy - 2.0).abs() < 1e-12);
     }
 }

@@ -52,7 +52,10 @@ pub struct TableWorkload {
 impl TableWorkload {
     /// Creates an empty workload over `ranks` ranks.
     pub fn new(ranks: usize) -> Self {
-        TableWorkload { ranks, ..Default::default() }
+        TableWorkload {
+            ranks,
+            ..Default::default()
+        }
     }
 
     /// Sets the duration of `key` on every rank.

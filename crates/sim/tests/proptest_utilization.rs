@@ -1,0 +1,107 @@
+//! Property tests for trace utilization invariants: per-resource busy
+//! time never exceeds the makespan, utilization is a fraction, and for
+//! non-overlapping spans busy time equals the sum of span durations.
+
+use dr_sim::{Resource, Trace, TraceEvent};
+use proptest::prelude::*;
+
+fn resource(idx: usize) -> Resource {
+    match idx {
+        0 => Resource::Cpu,
+        s => Resource::Stream(s - 1),
+    }
+}
+
+/// Arbitrary (possibly overlapping) spans over 3 ranks × {cpu, 2 streams}.
+fn arbitrary_events() -> impl Strategy<Value = Vec<TraceEvent>> {
+    collection::vec((0usize..3, 0usize..3, 0f64..1.0, 1e-6f64..0.5), 1..40).prop_map(|tuples| {
+        tuples
+            .into_iter()
+            .map(|(rank, res, start, dur)| TraceEvent {
+                rank,
+                name: "op".to_string(),
+                resource: resource(res),
+                start,
+                end: start + dur,
+            })
+            .collect()
+    })
+}
+
+/// Spans laid out back-to-back with gaps, so no two spans on the same
+/// resource overlap.
+fn disjoint_events() -> impl Strategy<Value = Vec<TraceEvent>> {
+    collection::vec((0usize..3, 0usize..3, 1e-6f64..0.3, 0f64..0.2), 1..40).prop_map(|tuples| {
+        // One layout cursor per (rank, resource) lane.
+        let mut cursor = [[0f64; 3]; 3];
+        tuples
+            .into_iter()
+            .map(|(rank, res, dur, gap)| {
+                let start = cursor[rank][res] + gap;
+                cursor[rank][res] = start + dur;
+                TraceEvent {
+                    rank,
+                    name: "op".to_string(),
+                    resource: resource(res),
+                    start,
+                    end: start + dur,
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn busy_bounded_by_makespan_and_utilization_is_a_fraction(
+        events in arbitrary_events(),
+    ) {
+        let trace = Trace { events };
+        let makespan = trace.makespan();
+        for u in trace.utilization() {
+            prop_assert!(
+                u.busy <= makespan * (1.0 + 1e-12),
+                "busy {} > makespan {makespan}",
+                u.busy
+            );
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&u.utilization));
+            prop_assert!((u.busy - u.utilization * makespan).abs() <= 1e-9 * makespan);
+        }
+    }
+
+    #[test]
+    fn disjoint_spans_sum_exactly(events in disjoint_events()) {
+        let trace = Trace { events };
+        for u in trace.utilization() {
+            let expect: f64 = trace
+                .events
+                .iter()
+                .filter(|e| e.rank == u.rank && e.resource == u.resource)
+                .map(|e| e.duration())
+                .sum();
+            prop_assert!(
+                (u.busy - expect).abs() <= 1e-9 * expect.max(1.0),
+                "busy {} != summed durations {expect}",
+                u.busy
+            );
+        }
+    }
+
+    #[test]
+    fn every_active_resource_is_reported_once(events in arbitrary_events()) {
+        let trace = Trace { events };
+        let us = trace.utilization();
+        let mut keys: Vec<(usize, Resource)> =
+            trace.events.iter().map(|e| (e.rank, e.resource)).collect();
+        keys.sort_by_key(|&(r, res)| (r, match res {
+            Resource::Cpu => 0,
+            Resource::Stream(s) => 1 + s,
+        }));
+        keys.dedup();
+        let reported: Vec<(usize, Resource)> =
+            us.iter().map(|u| (u.rank, u.resource)).collect();
+        prop_assert_eq!(reported, keys);
+    }
+}

@@ -77,7 +77,10 @@ impl SpmvWorkload {
         // communication key's sends/receives matched across ranks.
         let num_ranks = dist.ranks.len();
         let list_len = |lists: &[(usize, Vec<usize>)], peer: usize| {
-            lists.iter().find(|&&(p, _)| p == peer).map_or(0, |(_, l)| l.len())
+            lists
+                .iter()
+                .find(|&&(p, _)| p == peer)
+                .map_or(0, |(_, l)| l.len())
         };
 
         let mut costs = Vec::with_capacity(num_ranks);
@@ -137,7 +140,11 @@ impl SpmvWorkload {
             });
             comms_dir.push(dirs);
         }
-        SpmvWorkload { costs, comms, comms_dir }
+        SpmvWorkload {
+            costs,
+            comms,
+            comms_dir,
+        }
     }
 }
 
@@ -277,8 +284,16 @@ mod fine_cost_tests {
         let w = SpmvWorkload::new(&d, &GpuModel::default());
         for dir in DIRECTIONS {
             for rank in 0..4 {
-                assert!(w.cost(rank, &CostKey::new(format!("{K_PACK}-{dir}"))).unwrap() > 0.0);
-                assert!(w.cost(rank, &CostKey::new(format!("{K_UNPACK}-{dir}"))).unwrap() > 0.0);
+                assert!(
+                    w.cost(rank, &CostKey::new(format!("{K_PACK}-{dir}")))
+                        .unwrap()
+                        > 0.0
+                );
+                assert!(
+                    w.cost(rank, &CostKey::new(format!("{K_UNPACK}-{dir}")))
+                        .unwrap()
+                        > 0.0
+                );
             }
         }
     }

@@ -71,7 +71,10 @@ pub struct SpmvDagConfig {
 
 impl Default for SpmvDagConfig {
     fn default() -> Self {
-        SpmvDagConfig { with_unpack: true, granularity: Granularity::Coarse }
+        SpmvDagConfig {
+            with_unpack: true,
+            granularity: Granularity::Coarse,
+        }
     }
 }
 
@@ -124,8 +127,10 @@ fn per_neighbor_dag(cfg: &SpmvDagConfig) -> Result<ProgramDag, DagError> {
     let mut wait_recvs = Vec::new();
     for d in DIRECTIONS {
         let halo = CommKey::new(format!("{K_HALO}-{d}"));
-        let pack =
-            b.add(format!("Pack-{d}"), OpSpec::GpuKernel(CostKey::new(format!("{K_PACK}-{d}"))));
+        let pack = b.add(
+            format!("Pack-{d}"),
+            OpSpec::GpuKernel(CostKey::new(format!("{K_PACK}-{d}"))),
+        );
         let ps = b.add(format!("PostSend-{d}"), OpSpec::PostSends(halo.clone()));
         let pr = b.add(format!("PostRecv-{d}"), OpSpec::PostRecvs(halo.clone()));
         let ws = b.add(format!("WaitSend-{d}"), OpSpec::WaitSends(halo.clone()));
@@ -161,7 +166,8 @@ fn per_neighbor_dag(cfg: &SpmvDagConfig) -> Result<ProgramDag, DagError> {
         }
     }
     let _ = yl;
-    Ok(b.build().expect("the fine-grained SpMV DAG is statically valid"))
+    Ok(b.build()
+        .expect("the fine-grained SpMV DAG is statically valid"))
 }
 
 #[cfg(test)]
@@ -172,8 +178,9 @@ mod tests {
     #[test]
     fn dag_has_expected_vertices() {
         let dag = spmv_dag(&SpmvDagConfig::default()).unwrap();
-        for name in ["Pack", "PostSend", "PostRecv", "WaitSend", "WaitRecv", "yl", "yr", "Unpack"]
-        {
+        for name in [
+            "Pack", "PostSend", "PostRecv", "WaitSend", "WaitRecv", "yl", "yr", "Unpack",
+        ] {
             assert!(dag.by_name(name).is_some(), "{name} missing");
         }
         assert_eq!(dag.user_vertices().count(), 8);
@@ -210,7 +217,11 @@ mod tests {
             .unwrap()
             .count_traversals();
         let without = DecisionSpace::new(
-            spmv_dag(&SpmvDagConfig { with_unpack: false, ..Default::default() }).unwrap(),
+            spmv_dag(&SpmvDagConfig {
+                with_unpack: false,
+                ..Default::default()
+            })
+            .unwrap(),
             2,
         )
         .unwrap()
@@ -220,7 +231,11 @@ mod tests {
 
     #[test]
     fn every_traversal_orders_posts_before_waits() {
-        let dag = spmv_dag(&SpmvDagConfig { with_unpack: false, ..Default::default() }).unwrap();
+        let dag = spmv_dag(&SpmvDagConfig {
+            with_unpack: false,
+            ..Default::default()
+        })
+        .unwrap();
         let sp = DecisionSpace::new(dag, 2).unwrap();
         for t in sp.enumerate() {
             let pos = t.positions(sp.num_ops());
@@ -243,14 +258,19 @@ mod fine_tests {
     use dr_dag::DecisionSpace;
 
     fn fine_cfg() -> SpmvDagConfig {
-        SpmvDagConfig { with_unpack: true, granularity: Granularity::PerNeighbor }
+        SpmvDagConfig {
+            with_unpack: true,
+            granularity: Granularity::PerNeighbor,
+        }
     }
 
     #[test]
     fn fine_dag_has_per_direction_vertices() {
         let dag = spmv_dag(&fine_cfg()).unwrap();
         for d in DIRECTIONS {
-            for op in ["Pack", "PostSend", "PostRecv", "WaitSend", "WaitRecv", "Unpack"] {
+            for op in [
+                "Pack", "PostSend", "PostRecv", "WaitSend", "WaitRecv", "Unpack",
+            ] {
                 assert!(dag.by_name(&format!("{op}-{d}")).is_some(), "{op}-{d}");
             }
         }

@@ -25,7 +25,9 @@ mod partition;
 mod scenario;
 
 pub use cost::{GpuModel, SpmvWorkload};
-pub use dag::{spmv_dag, Granularity, SpmvDagConfig, DIRECTIONS, K_HALO, K_PACK, K_UNPACK, K_YL, K_YR};
+pub use dag::{
+    spmv_dag, Granularity, SpmvDagConfig, DIRECTIONS, K_HALO, K_PACK, K_UNPACK, K_YL, K_YR,
+};
 pub use matrix::{banded_matrix, BandedSpec, Csr};
 pub use partition::{DistributedSpmv, Partition, RankMatrix};
 pub use scenario::SpmvScenario;

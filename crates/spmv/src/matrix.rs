@@ -57,7 +57,13 @@ impl Csr {
             }
             row_ptr.push(col_idx.len());
         }
-        Csr { nrows, ncols, row_ptr, col_idx, vals }
+        Csr {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 
     /// Number of stored entries.
@@ -103,13 +109,23 @@ impl BandedSpec {
     /// The paper's demonstration input: n = 150 000, nnz = 1 500 000,
     /// bandwidth = n / 4.
     pub fn paper(seed: u64) -> Self {
-        BandedSpec { n: 150_000, nnz: 1_500_000, bandwidth: 150_000 / 4, seed }
+        BandedSpec {
+            n: 150_000,
+            nnz: 1_500_000,
+            bandwidth: 150_000 / 4,
+            seed,
+        }
     }
 
     /// A scaled-down instance with identical proportions, cheap enough
     /// for unit tests (n = 1 200, nnz = 12 000, bandwidth = n / 4).
     pub fn small(seed: u64) -> Self {
-        BandedSpec { n: 1200, nnz: 12_000, bandwidth: 300, seed }
+        BandedSpec {
+            n: 1200,
+            nnz: 12_000,
+            bandwidth: 300,
+            seed,
+        }
     }
 }
 
@@ -117,7 +133,12 @@ impl BandedSpec {
 /// random within the band (duplicates are re-drawn per row so the exact
 /// non-zero count is met), values uniform in `[-1, 1)`.
 pub fn banded_matrix(spec: &BandedSpec) -> Csr {
-    let BandedSpec { n, nnz, bandwidth, seed } = *spec;
+    let BandedSpec {
+        n,
+        nnz,
+        bandwidth,
+        seed,
+    } = *spec;
     assert!(n > 0 && bandwidth > 0, "degenerate banded spec");
     let half = (bandwidth / 2).max(1);
     let mut rng = StdRng::seed_from_u64(seed);

@@ -133,7 +133,12 @@ impl DistributedSpmv {
                     _ => recv_lists.push((owner, vec![c])),
                 }
             }
-            drafts.push(Draft { rows, local, remote, recv_lists });
+            drafts.push(Draft {
+                rows,
+                local,
+                remote,
+                recv_lists,
+            });
         }
 
         // Second pass: derive send lists (what each peer needs from me)
@@ -182,7 +187,10 @@ impl DistributedSpmv {
             });
         }
 
-        DistributedSpmv { partition, ranks: ranks_out }
+        DistributedSpmv {
+            partition,
+            ranks: ranks_out,
+        }
     }
 
     /// Executes the distributed algorithm functionally — pack, exchange,
@@ -199,9 +207,7 @@ impl DistributedSpmv {
                 let lo = rm.rows.start;
                 rm.send_lists
                     .iter()
-                    .map(|(dst, locals)| {
-                        (*dst, locals.iter().map(|&li| x[lo + li]).collect())
-                    })
+                    .map(|(dst, locals)| (*dst, locals.iter().map(|&li| x[lo + li]).collect()))
                     .collect()
             })
             .collect();

@@ -36,7 +36,12 @@ impl SpmvScenario {
         let workload = SpmvWorkload::new(&dist, model);
         let dag = spmv_dag(dag_cfg).expect("static SpMV DAG is valid");
         let space = DecisionSpace::new(dag, streams).expect("SpMV space fits in 64 ops");
-        SpmvScenario { space, workload, platform, dist }
+        SpmvScenario {
+            space,
+            workload,
+            platform,
+            dist,
+        }
     }
 
     /// The paper's demonstration setup: the 150 000-row banded matrix on
@@ -115,7 +120,11 @@ mod tests {
     #[test]
     fn every_traversal_of_the_small_scenario_executes() {
         let sc = SpmvScenario::small(1);
-        let cfg = BenchConfig { t_measure: 1e-4, num_measurements: 1, max_samples: 2 };
+        let cfg = BenchConfig {
+            t_measure: 1e-4,
+            num_measurements: 1,
+            max_samples: 2,
+        };
         let all = sc.space.enumerate();
         assert!(all.len() > 500, "space size {}", all.len());
         // Executing the whole space is the Fig. 1 workload; here just
@@ -131,7 +140,11 @@ mod tests {
         let sc = SpmvScenario::small(2);
         let platform = sc.platform.clone().noiseless();
         let sc = SpmvScenario { platform, ..sc };
-        let cfg = BenchConfig { t_measure: 1e-4, num_measurements: 3, max_samples: 5 };
+        let cfg = BenchConfig {
+            t_measure: 1e-4,
+            num_measurements: 3,
+            max_samples: 5,
+        };
         let all = sc.space.enumerate();
         let times: Vec<f64> = all
             .iter()

@@ -6,14 +6,12 @@
 //!
 //! Run with: `cargo run --release --example cg_step`
 
-use cuda_mpi_design_rules::dag::{
-    CommKey, CostKey, DagBuilder, DecisionSpace, OpSpec,
-};
+use cuda_mpi_design_rules::dag::{CommKey, CostKey, DagBuilder, DecisionSpace, OpSpec};
 use cuda_mpi_design_rules::ml::rulesets_for_class;
 use cuda_mpi_design_rules::pipeline::{run_pipeline, PipelineConfig, Strategy};
 use cuda_mpi_design_rules::sim::{CommPattern, Platform, TableWorkload, Workload};
 use cuda_mpi_design_rules::spmv::{
-    BandedSpec, DistributedSpmv, GpuModel, SpmvWorkload, banded_matrix,
+    banded_matrix, BandedSpec, DistributedSpmv, GpuModel, SpmvWorkload,
 };
 
 /// Layers solver-specific costs over the SpMV decomposition's workload.
@@ -27,10 +25,14 @@ impl Workload for CgWorkload {
         self.spmv.num_ranks()
     }
     fn cost(&self, rank: usize, key: &CostKey) -> Option<f64> {
-        self.spmv.cost(rank, key).or_else(|| self.extra.cost(rank, key))
+        self.spmv
+            .cost(rank, key)
+            .or_else(|| self.extra.cost(rank, key))
     }
     fn comm(&self, rank: usize, key: &CommKey) -> Option<CommPattern> {
-        self.spmv.comm(rank, key).or_else(|| self.extra.comm(rank, key))
+        self.spmv
+            .comm(rank, key)
+            .or_else(|| self.extra.comm(rank, key))
     }
 }
 
@@ -81,7 +83,14 @@ fn main() {
         .cost_all("DotLocal", 3e-6 + rows as f64 * 2e-10)
         .cost_all("Axpy", 3e-6 + rows as f64 * 2e-10);
     for r in 0..ranks {
-        extra.comm_on(r, "dot", CommPattern { sends: vec![(0, 8)], recvs: vec![] });
+        extra.comm_on(
+            r,
+            "dot",
+            CommPattern {
+                sends: vec![(0, 8)],
+                recvs: vec![],
+            },
+        );
     }
     let workload = CgWorkload { spmv, extra };
 
@@ -89,7 +98,10 @@ fn main() {
         &space,
         &workload,
         &Platform::perlmutter_like(),
-        Strategy::Mcts { iterations: 500, config: Default::default() },
+        Strategy::Mcts {
+            iterations: 500,
+            config: Default::default(),
+        },
         &PipelineConfig::quick(),
     )
     .expect("CG scenario always executes");

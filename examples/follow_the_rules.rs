@@ -6,9 +6,7 @@
 
 use cuda_mpi_design_rules::mcts::MctsConfig;
 use cuda_mpi_design_rules::ml::rulesets_for_class;
-use cuda_mpi_design_rules::pipeline::{
-    run_pipeline, synthesize, PipelineConfig, Strategy,
-};
+use cuda_mpi_design_rules::pipeline::{run_pipeline, synthesize, PipelineConfig, Strategy};
 use cuda_mpi_design_rules::sim::BenchConfig;
 use cuda_mpi_design_rules::spmv::SpmvScenario;
 
@@ -20,7 +18,13 @@ fn main() {
         &sc.space,
         &sc.workload,
         &sc.platform,
-        Strategy::Mcts { iterations: 300, config: MctsConfig { seed: 31, ..Default::default() } },
+        Strategy::Mcts {
+            iterations: 300,
+            config: MctsConfig {
+                seed: 31,
+                ..Default::default()
+            },
+        },
         &PipelineConfig::quick(),
     )
     .expect("SpMV always executes");
@@ -35,7 +39,10 @@ fn main() {
     // 2. Take the best-supported fastest-class ruleset and follow it.
     let fast_sets = rulesets_for_class(&result.rulesets, 0);
     let ruleset = fast_sets.first().expect("a fastest-class ruleset exists");
-    println!("following the dominant ruleset ({} samples):", ruleset.samples);
+    println!(
+        "following the dominant ruleset ({} samples):",
+        ruleset.samples
+    );
     for line in cuda_mpi_design_rules::ml::render_ruleset(ruleset, &sc.space) {
         println!("  - {line}");
     }
@@ -48,7 +55,10 @@ fn main() {
         .expect("SpMV always executes")
         .time();
     println!();
-    println!("synthesized implementation measured at {:.1} µs", time * 1e6);
+    println!(
+        "synthesized implementation measured at {:.1} µs",
+        time * 1e6
+    );
     if time <= hi * 1.05 {
         println!("within the fastest class, as the rules promised.");
     } else {

@@ -13,9 +13,7 @@
 //!
 //! Run with: `cargo run --release --example halo_exchange`
 
-use cuda_mpi_design_rules::halo::{
-    jacobi_step, DistributedGrid, Grid3, HaloScenario, RankGrid,
-};
+use cuda_mpi_design_rules::halo::{jacobi_step, DistributedGrid, Grid3, HaloScenario, RankGrid};
 use cuda_mpi_design_rules::mcts::MctsConfig;
 use cuda_mpi_design_rules::ml::rulesets_for_class;
 use cuda_mpi_design_rules::pipeline::{run_pipeline, PipelineConfig, Strategy};
@@ -51,7 +49,13 @@ fn main() {
         &sc.space,
         &sc.workload,
         &sc.platform,
-        Strategy::Mcts { iterations, config: MctsConfig { seed: 7, ..Default::default() } },
+        Strategy::Mcts {
+            iterations,
+            config: MctsConfig {
+                seed: 7,
+                ..Default::default()
+            },
+        },
         &PipelineConfig::quick(),
     )
     .expect("halo scenario always executes");

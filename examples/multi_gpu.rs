@@ -12,9 +12,7 @@
 use cuda_mpi_design_rules::ml::{render_ruleset, rulesets_for_class};
 use cuda_mpi_design_rules::pipeline::{run_pipeline, PipelineConfig, Strategy};
 use cuda_mpi_design_rules::sim::Platform;
-use cuda_mpi_design_rules::spmv::{
-    BandedSpec, GpuModel, SpmvDagConfig, SpmvScenario,
-};
+use cuda_mpi_design_rules::spmv::{BandedSpec, GpuModel, SpmvDagConfig, SpmvScenario};
 
 fn report(tag: &str, platform: Platform) {
     let sc = SpmvScenario::build(
@@ -29,7 +27,10 @@ fn report(tag: &str, platform: Platform) {
         &sc.space,
         &sc.workload,
         &sc.platform,
-        Strategy::Mcts { iterations: 500, config: Default::default() },
+        Strategy::Mcts {
+            iterations: 500,
+            config: Default::default(),
+        },
         &PipelineConfig::quick(),
     )
     .expect("SpMV always executes");

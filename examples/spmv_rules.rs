@@ -12,7 +12,11 @@ use cuda_mpi_design_rules::spmv::SpmvScenario;
 
 fn main() {
     let paper_scale = std::env::args().any(|a| a == "--paper");
-    let sc = if paper_scale { SpmvScenario::paper(42) } else { SpmvScenario::small(42) };
+    let sc = if paper_scale {
+        SpmvScenario::paper(42)
+    } else {
+        SpmvScenario::small(42)
+    };
     println!(
         "SpMV design space: {} traversals over {} streams",
         sc.space.count_traversals(),
@@ -21,12 +25,22 @@ fn main() {
 
     let iterations = 400;
     println!("running MCTS for {iterations} iterations …");
-    let cfg = if paper_scale { PipelineConfig::default() } else { PipelineConfig::quick() };
+    let cfg = if paper_scale {
+        PipelineConfig::default()
+    } else {
+        PipelineConfig::quick()
+    };
     let result = run_pipeline(
         &sc.space,
         &sc.workload,
         &sc.platform,
-        Strategy::Mcts { iterations, config: MctsConfig { seed: 42, ..Default::default() } },
+        Strategy::Mcts {
+            iterations,
+            config: MctsConfig {
+                seed: 42,
+                ..Default::default()
+            },
+        },
         &cfg,
     )
     .expect("the SpMV scenario always executes");
@@ -39,12 +53,19 @@ fn main() {
     let times = result.times();
     let fastest = times.iter().copied().fold(f64::INFINITY, f64::min);
     let slowest = times.iter().copied().fold(0.0f64, f64::max);
-    println!("spread: {:.2}x between fastest and slowest", slowest / fastest);
+    println!(
+        "spread: {:.2}x between fastest and slowest",
+        slowest / fastest
+    );
     println!();
 
     for class in 0..result.labeling.num_classes {
         let (lo, hi) = result.labeling.class_ranges[class];
-        println!("== class {class} ({:.1} µs .. {:.1} µs) ==", lo * 1e6, hi * 1e6);
+        println!(
+            "== class {class} ({:.1} µs .. {:.1} µs) ==",
+            lo * 1e6,
+            hi * 1e6
+        );
         for rs in rulesets_for_class(&result.rulesets, class).iter().take(2) {
             println!(
                 "  ruleset ({} samples{}):",

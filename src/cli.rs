@@ -5,7 +5,7 @@
 use crate::dag::{build_schedule, DecisionSpace, Traversal};
 use crate::mcts::MctsConfig;
 use crate::ml::{render_ruleset, rulesets_for_class};
-use crate::pipeline::{run_pipeline, synthesize, PipelineConfig, Strategy};
+use crate::pipeline::{run_pipeline_instrumented, synthesize, PipelineConfig, Strategy};
 use crate::sim::{
     benchmark, execute_traced, BenchConfig, CompiledProgram, Platform, SimError, Workload,
 };
@@ -53,6 +53,10 @@ pub struct CliOptions {
     pub seed: u64,
     /// Use the random-sampling baseline instead of MCTS.
     pub random: bool,
+    /// Write a JSON run report (phase timings, sim stats, summaries) here.
+    pub report: Option<String>,
+    /// Write per-iteration search telemetry CSV here.
+    pub telemetry: Option<String>,
 }
 
 /// Usage text printed on parse errors.
@@ -61,7 +65,9 @@ pub const USAGE: &str = "usage: dr-rules <scenario> <command> [options]
   commands:  info | explore | rules | synthesize | timeline
   options:   --iterations N (default 300)
              --seed N       (default 0)
-             --random       (uniform sampling instead of MCTS)";
+             --random       (uniform sampling instead of MCTS)
+             --report PATH    (write a JSON run report)
+             --telemetry PATH (write per-iteration search telemetry CSV)";
 
 /// Parses command-line arguments (excluding `argv[0]`).
 pub fn parse(args: &[String]) -> Result<CliOptions, String> {
@@ -83,19 +89,34 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         Some(other) => return Err(format!("unknown command {other:?}\n{USAGE}")),
         None => return Err(format!("missing command\n{USAGE}")),
     };
-    let mut opts = CliOptions { scenario, command, iterations: 300, seed: 0, random: false };
+    let mut opts = CliOptions {
+        scenario,
+        command,
+        iterations: 300,
+        seed: 0,
+        random: false,
+        report: None,
+        telemetry: None,
+    };
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--iterations" => {
                 let v = it.next().ok_or("--iterations needs a value")?;
-                opts.iterations =
-                    v.parse().map_err(|_| format!("bad --iterations value {v:?}"))?;
+                opts.iterations = v
+                    .parse()
+                    .map_err(|_| format!("bad --iterations value {v:?}"))?;
             }
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 opts.seed = v.parse().map_err(|_| format!("bad --seed value {v:?}"))?;
             }
             "--random" => opts.random = true,
+            "--report" => {
+                opts.report = Some(it.next().ok_or("--report needs a path")?.clone());
+            }
+            "--telemetry" => {
+                opts.telemetry = Some(it.next().ok_or("--telemetry needs a path")?.clone());
+            }
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),
         }
     }
@@ -133,7 +154,10 @@ fn instance(opts: &CliOptions) -> Instance {
                 &BandedSpec::small(opts.seed),
                 4,
                 2,
-                &SpmvDagConfig { with_unpack: true, granularity: Granularity::PerNeighbor },
+                &SpmvDagConfig {
+                    with_unpack: true,
+                    granularity: Granularity::PerNeighbor,
+                },
                 &GpuModel::default(),
                 Platform::perlmutter_like(),
             );
@@ -156,11 +180,17 @@ fn instance(opts: &CliOptions) -> Instance {
 
 fn strategy(opts: &CliOptions) -> Strategy {
     if opts.random {
-        Strategy::Random { iterations: opts.iterations, seed: opts.seed }
+        Strategy::Random {
+            iterations: opts.iterations,
+            seed: opts.seed,
+        }
     } else {
         Strategy::Mcts {
             iterations: opts.iterations,
-            config: MctsConfig { seed: opts.seed, ..Default::default() },
+            config: MctsConfig {
+                seed: opts.seed,
+                ..Default::default()
+            },
         }
     }
 }
@@ -181,7 +211,7 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
         return Ok(());
     }
 
-    let result = run_pipeline(
+    let run = run_pipeline_instrumented(
         &inst.space,
         &inst.workload,
         &inst.platform,
@@ -190,6 +220,23 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
     )
     .map_err(fail)?;
 
+    if let Some(path) = &opts.report {
+        std::fs::write(path, run.report.to_json())
+            .map_err(|e| format!("cannot write report {path:?}: {e}"))?;
+        writeln!(out, "wrote run report to {path}").map_err(io)?;
+    }
+    if let Some(path) = &opts.telemetry {
+        std::fs::write(path, run.telemetry.to_csv())
+            .map_err(|e| format!("cannot write telemetry {path:?}: {e}"))?;
+        writeln!(
+            out,
+            "wrote {} telemetry rows to {path}",
+            run.telemetry.len()
+        )
+        .map_err(io)?;
+    }
+    let result = run.result;
+
     match opts.command {
         Command::Info => unreachable!("handled above"),
         Command::Explore => {
@@ -197,22 +244,37 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
             let fastest = times.iter().copied().fold(f64::INFINITY, f64::min);
             let slowest = times.iter().copied().fold(0.0f64, f64::max);
             writeln!(out, "explored {} implementations", result.records.len()).map_err(io)?;
-            writeln!(out, "spread   {:.2}x ({:.1} µs .. {:.1} µs)", slowest / fastest,
-                fastest * 1e6, slowest * 1e6).map_err(io)?;
+            writeln!(
+                out,
+                "spread   {:.2}x ({:.1} µs .. {:.1} µs)",
+                slowest / fastest,
+                fastest * 1e6,
+                slowest * 1e6
+            )
+            .map_err(io)?;
             writeln!(out, "classes  {}", result.labeling.num_classes).map_err(io)?;
             for (c, &(lo, hi)) in result.labeling.class_ranges.iter().enumerate() {
-                let members =
-                    result.labeling.labels.iter().filter(|&&l| l == c).count();
-                writeln!(out, "  class {c}: {members} impls, {:.1} µs .. {:.1} µs",
-                    lo * 1e6, hi * 1e6).map_err(io)?;
+                let members = result.labeling.labels.iter().filter(|&&l| l == c).count();
+                writeln!(
+                    out,
+                    "  class {c}: {members} impls, {:.1} µs .. {:.1} µs",
+                    lo * 1e6,
+                    hi * 1e6
+                )
+                .map_err(io)?;
             }
         }
         Command::Rules => {
             for class in 0..result.labeling.num_classes {
                 writeln!(out, "== class {class} ==").map_err(io)?;
                 for rs in rulesets_for_class(&result.rulesets, class).iter().take(3) {
-                    writeln!(out, "  ruleset ({} samples{}):", rs.samples,
-                        if rs.pure { "" } else { ", impure" }).map_err(io)?;
+                    writeln!(
+                        out,
+                        "  ruleset ({} samples{}):",
+                        rs.samples,
+                        if rs.pure { "" } else { ", impure" }
+                    )
+                    .map_err(io)?;
                     for line in render_ruleset(rs, &inst.space) {
                         writeln!(out, "    - {line}").map_err(io)?;
                     }
@@ -229,8 +291,13 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
                 .ok_or("rules are unsatisfiable (try more iterations)")?;
             let time = bench_traversal(&inst, &t, opts.seed).map_err(fail)?;
             let (_, hi) = result.labeling.class_ranges[0];
-            writeln!(out, "synthesized implementation: {:.1} µs (class-0 max {:.1} µs)",
-                time * 1e6, hi * 1e6).map_err(io)?;
+            writeln!(
+                out,
+                "synthesized implementation: {:.1} µs (class-0 max {:.1} µs)",
+                time * 1e6,
+                hi * 1e6
+            )
+            .map_err(io)?;
         }
         Command::Timeline => {
             let best = result
@@ -245,8 +312,7 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
                 .ok_or("no records")?;
             for (tag, rec) in [("fastest", best), ("slowest", worst)] {
                 let schedule = build_schedule(&inst.space, &rec.traversal);
-                let prog =
-                    CompiledProgram::compile(&schedule, &inst.workload).map_err(fail)?;
+                let prog = CompiledProgram::compile(&schedule, &inst.workload).map_err(fail)?;
                 let (outcome, trace) = execute_traced(
                     &prog,
                     &inst.platform.clone().noiseless(),
@@ -336,6 +402,54 @@ mod tests {
         run(&opts, &mut buf).unwrap();
         let s = String::from_utf8(buf).unwrap();
         assert!(s.contains("synthesized implementation"), "{s}");
+    }
+
+    #[test]
+    fn report_and_telemetry_flags_write_artifacts() {
+        let dir = std::env::temp_dir();
+        let report = dir.join(format!("dr-rules-report-{}.json", std::process::id()));
+        let telem = dir.join(format!("dr-rules-telem-{}.csv", std::process::id()));
+        let iterations = 40;
+        let opts = parse(&argv(&format!(
+            "spmv explore --iterations {iterations} --seed 2 --report {} --telemetry {}",
+            report.display(),
+            telem.display()
+        )))
+        .unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("wrote run report"), "{s}");
+
+        // The report is one syntactically valid JSON object with the
+        // expected top-level sections.
+        let json = std::fs::read_to_string(&report).unwrap();
+        crate::obs::json::validate(&json).unwrap();
+        for key in ["\"phases\"", "\"sim\"", "\"search\"", "\"mining\""] {
+            assert!(json.contains(key), "report missing {key}: {json}");
+        }
+
+        // The telemetry CSV has exactly one row per search iteration.
+        let csv = std::fs::read_to_string(&telem).unwrap();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines.len(),
+            iterations + 1,
+            "header + one row per iteration"
+        );
+        assert!(lines[0].starts_with("iteration,unique_traversals,"));
+
+        std::fs::remove_file(&report).ok();
+        std::fs::remove_file(&telem).ok();
+    }
+
+    #[test]
+    fn parse_accepts_artifact_paths() {
+        let o = parse(&argv("spmv explore --report r.json --telemetry t.csv")).unwrap();
+        assert_eq!(o.report.as_deref(), Some("r.json"));
+        assert_eq!(o.telemetry.as_deref(), Some("t.csv"));
+        assert!(parse(&argv("spmv explore --report")).is_err());
+        assert!(parse(&argv("spmv explore --telemetry")).is_err());
     }
 
     #[test]

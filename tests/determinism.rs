@@ -8,7 +8,11 @@ use cuda_mpi_design_rules::spmv::SpmvScenario;
 
 fn fast_config() -> PipelineConfig {
     PipelineConfig {
-        bench: BenchConfig { t_measure: 1e-4, num_measurements: 3, max_samples: 3 },
+        bench: BenchConfig {
+            t_measure: 1e-4,
+            num_measurements: 3,
+            max_samples: 3,
+        },
         ..Default::default()
     }
 }
@@ -21,7 +25,10 @@ fn fingerprint(seed: u64) -> (Vec<f64>, Vec<usize>, usize, f64) {
         &sc.platform,
         Strategy::Mcts {
             iterations: 60,
-            config: MctsConfig { seed, ..Default::default() },
+            config: MctsConfig {
+                seed,
+                ..Default::default()
+            },
         },
         &fast_config(),
     )

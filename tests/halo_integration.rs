@@ -2,16 +2,18 @@
 //! of the scheduled algorithm plus end-to-end rule mining on a space far
 //! too large to enumerate.
 
-use cuda_mpi_design_rules::halo::{
-    jacobi_step, DistributedGrid, Grid3, HaloScenario, RankGrid,
-};
+use cuda_mpi_design_rules::halo::{jacobi_step, DistributedGrid, Grid3, HaloScenario, RankGrid};
 use cuda_mpi_design_rules::mcts::MctsConfig;
 use cuda_mpi_design_rules::pipeline::{run_pipeline, PipelineConfig, Strategy};
 use cuda_mpi_design_rules::sim::BenchConfig;
 
 fn fast_config() -> PipelineConfig {
     PipelineConfig {
-        bench: BenchConfig { t_measure: 1e-4, num_measurements: 2, max_samples: 2 },
+        bench: BenchConfig {
+            t_measure: 1e-4,
+            num_measurements: 2,
+            max_samples: 2,
+        },
         ..Default::default()
     }
 }
@@ -46,7 +48,13 @@ fn mcts_mines_rules_on_the_halo_space() {
         &sc.space,
         &sc.workload,
         &sc.platform,
-        Strategy::Mcts { iterations: 120, config: MctsConfig { seed: 3, ..Default::default() } },
+        Strategy::Mcts {
+            iterations: 120,
+            config: MctsConfig {
+                seed: 3,
+                ..Default::default()
+            },
+        },
         &fast_config(),
     )
     .unwrap();
@@ -56,16 +64,16 @@ fn mcts_mines_rules_on_the_halo_space() {
     // Interior-kernel placement should matter: at least one rule should
     // mention Interior (ordering or stream).
     let interior = sc.space.op_by_name("Interior").unwrap();
-    let mentions_interior = result.rulesets.iter().flat_map(|rs| &rs.rules).any(|r| {
-        match r.kind {
-            cuda_mpi_design_rules::ml::FeatureKind::Before(u, v) => {
-                u == interior || v == interior
-            }
+    let mentions_interior = result
+        .rulesets
+        .iter()
+        .flat_map(|rs| &rs.rules)
+        .any(|r| match r.kind {
+            cuda_mpi_design_rules::ml::FeatureKind::Before(u, v) => u == interior || v == interior,
             cuda_mpi_design_rules::ml::FeatureKind::SameStream(u, v) => {
                 u == interior || v == interior
             }
-        }
-    });
+        });
     assert!(mentions_interior, "rules: {:?}", result.rulesets.len());
 }
 
@@ -78,7 +86,10 @@ fn one_dimensional_halo_pipeline_runs_exhaustively_sampled() {
         &sc.space,
         &sc.workload,
         &sc.platform,
-        Strategy::Random { iterations: 80, seed: 5 },
+        Strategy::Random {
+            iterations: 80,
+            seed: 5,
+        },
         &fast_config(),
     )
     .unwrap();

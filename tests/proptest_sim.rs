@@ -5,9 +5,7 @@ mod common;
 
 use common::arb_small_space;
 use cuda_mpi_design_rules::dag::build_schedule;
-use cuda_mpi_design_rules::sim::{
-    execute, CompiledProgram, Platform, TableWorkload,
-};
+use cuda_mpi_design_rules::sim::{execute, CompiledProgram, Platform, TableWorkload};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

@@ -14,13 +14,21 @@ fn random_x(n: usize, seed: u64) -> Vec<f64> {
 fn assert_close(a: &[f64], b: &[f64]) {
     assert_eq!(a.len(), b.len());
     for (i, (x, y)) in a.iter().zip(b).enumerate() {
-        assert!((x - y).abs() < 1e-8 * (1.0 + y.abs()), "row {i}: {x} vs {y}");
+        assert!(
+            (x - y).abs() < 1e-8 * (1.0 + y.abs()),
+            "row {i}: {x} vs {y}"
+        );
     }
 }
 
 #[test]
 fn distributed_equals_serial_across_rank_counts() {
-    let a = banded_matrix(&BandedSpec { n: 2000, nnz: 22_000, bandwidth: 500, seed: 4 });
+    let a = banded_matrix(&BandedSpec {
+        n: 2000,
+        nnz: 22_000,
+        bandwidth: 500,
+        seed: 4,
+    });
     let x = random_x(a.ncols, 5);
     let want = a.spmv(&x);
     for ranks in [1, 2, 3, 4, 5, 8] {
@@ -32,7 +40,12 @@ fn distributed_equals_serial_across_rank_counts() {
 #[test]
 fn distributed_equals_serial_on_paper_proportions() {
     // Same n/bandwidth ratio as the paper input, scaled down 50×.
-    let a = banded_matrix(&BandedSpec { n: 3000, nnz: 30_000, bandwidth: 750, seed: 6 });
+    let a = banded_matrix(&BandedSpec {
+        n: 3000,
+        nnz: 30_000,
+        bandwidth: 750,
+        seed: 6,
+    });
     let x = random_x(a.ncols, 7);
     let d = DistributedSpmv::new(&a, 4);
     assert_close(&d.multiply(&x), &a.spmv(&x));
