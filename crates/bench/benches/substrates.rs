@@ -44,7 +44,7 @@ fn bench_dag(c: &mut Criterion) {
         b.iter(|| black_box(&sc.space).count_traversals())
     });
     c.bench_function("dag/enumerate_space", |b| {
-        b.iter(|| black_box(&sc.space).enumerate().len())
+        b.iter(|| black_box(&sc.space).enumerate().count())
     });
     let t = first_traversal(&sc);
     c.bench_function("dag/build_schedule", |b| {
@@ -80,7 +80,7 @@ fn bench_mcts(c: &mut Criterion) {
 
 fn bench_ml(c: &mut Criterion) {
     let sc = scenario();
-    let all = sc.space.enumerate();
+    let all: Vec<_> = sc.space.enumerate().collect();
     // Synthetic but structured times: fast when Pack precedes yl.
     let pack = sc.space.op_by_name("Pack").unwrap();
     let yl = sc.space.op_by_name("yl").unwrap();

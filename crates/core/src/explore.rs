@@ -1,9 +1,30 @@
 //! Exploration strategies: how the `(sequence, time)` sample set is
 //! collected before rule mining.
+//!
+//! Every strategy has a serial backend ([`explore_instrumented`]) and a
+//! parallel one ([`explore_parallel`]). The parallel engine is built so
+//! that the *record set* — which traversals were measured, and what each
+//! measurement returned — is a pure function of the strategy and its
+//! seed, independent of the thread count. The enabling invariant is that
+//! each evaluation is seeded by [`dr_dag::eval_seed`], a function of the
+//! traversal being measured rather than of when, where, or by which
+//! worker it is discovered.
 
-use dr_dag::{DecisionSpace, Traversal};
-use dr_mcts::{Evaluator, ExploredRecord, Mcts, MctsConfig, SearchTelemetry, TelemetryRow};
-use dr_sim::{SimError, SimStats};
+use dr_dag::{eval_seed, DecisionSpace, Traversal};
+use dr_mcts::{
+    CachingEvaluator, Evaluator, ExploredRecord, Mcts, MctsConfig, SearchTelemetry, TelemetryRow,
+};
+use dr_par::{par_map_stream_with, split_budget, CacheStats, StripedCache};
+use dr_sim::{BenchResult, SimError, SimStats};
+use std::collections::HashMap;
+
+/// Master seed of the exhaustive strategy's evaluation seeds (the
+/// strategy has no user-facing seed of its own).
+const EXHAUSTIVE_MASTER_SEED: u64 = 0xE0E0_0000;
+
+/// Per-worker search-seed decorrelator for root-parallel MCTS
+/// (worker 0 keeps the configured seed unchanged).
+const WORKER_SEED_MIX: u64 = 0xA076_1D64_78BD_642F;
 
 /// How to collect the sample set.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,30 +80,12 @@ pub fn explore_instrumented<E: Evaluator>(
 ) -> Result<(Vec<ExploredRecord>, SearchTelemetry, Option<SimStats>), SimError> {
     match strategy {
         Strategy::Exhaustive => {
-            let mut records = Vec::new();
-            let mut telemetry = SearchTelemetry::new();
-            let mut best = f64::INFINITY;
-            let mut worst = f64::NEG_INFINITY;
-            for (i, t) in space.enumerate().into_iter().enumerate() {
-                let seed = 0xE0E0_0000u64 ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                let result = eval.evaluate(&t, seed)?;
-                best = best.min(result.time());
-                worst = worst.max(result.time());
-                let rollout_len = t.steps.len();
-                records.push(ExploredRecord {
-                    traversal: t,
-                    result,
-                });
-                telemetry.push(TelemetryRow {
-                    iteration: i as u64 + 1,
-                    unique_traversals: records.len(),
-                    best_time: best,
-                    worst_time: worst,
-                    tree_nodes: 0,
-                    max_depth: 0,
-                    rollout_len,
-                });
+            let mut pairs = Vec::new();
+            for t in space.enumerate() {
+                let result = eval.evaluate(&t, eval_seed(EXHAUSTIVE_MASTER_SEED, &t))?;
+                pairs.push((t, result));
             }
+            let (records, telemetry) = exhaustive_records(pairs);
             let stats = eval.sim_stats().cloned();
             Ok((records, telemetry, stats))
         }
@@ -103,6 +106,375 @@ pub fn explore_instrumented<E: Evaluator>(
             Ok((records, telemetry, stats))
         }
     }
+}
+
+/// Everything one (possibly parallel) exploration run produced.
+#[derive(Debug, Clone)]
+pub struct ExploreOutput {
+    /// Distinct explored implementations with their measurements.
+    pub records: Vec<ExploredRecord>,
+    /// One row per search iteration (renumbered globally when merged
+    /// from several workers).
+    pub telemetry: SearchTelemetry,
+    /// Simulator statistics merged across workers (`None` when the
+    /// evaluators do not run the simulator). The `u64` counters equal
+    /// the serial run's exactly; floating-point aggregates may differ
+    /// in the last bits because summation order differs.
+    pub sim: Option<SimStats>,
+    /// Hit/miss counters of the shared result cache (all zero for
+    /// strategies that never re-visit a traversal).
+    pub cache: CacheStats,
+    /// Number of worker threads actually used.
+    pub threads: usize,
+}
+
+/// Parallel [`explore_instrumented`]: evaluates with `threads` workers,
+/// each owning an evaluator built by `make_eval`.
+///
+/// For a fixed strategy/seed the returned record *set* — traversal and
+/// measurement pairs — is identical for every thread count (for
+/// [`Strategy::Mcts`] this holds whenever the budget exhausts the space;
+/// under a partial budget different worker trajectories may surface
+/// different subsets, though every measurement that does appear is still
+/// thread-count-invariant). `threads <= 1` delegates to the serial path.
+///
+/// * `Exhaustive` streams the lazy enumeration through a chunked worker
+///   pool and restores canonical order afterwards, so even the record
+///   *order* matches the serial backend bit for bit.
+/// * `Random` generates the rollout sequence serially (each iteration's
+///   rollout is a pure function of `(seed, iteration)`), deduplicates,
+///   and fans out only the expensive evaluations.
+/// * `Mcts` runs root-parallel: one tree per worker with a decorrelated
+///   search seed, sharing one [`StripedCache`] so no worker re-simulates
+///   a traversal another has measured. Records are merged worker-major
+///   and deduplicated.
+pub fn explore_parallel<E, F>(
+    space: &DecisionSpace,
+    make_eval: F,
+    strategy: Strategy,
+    threads: usize,
+) -> Result<ExploreOutput, SimError>
+where
+    E: Evaluator + Send,
+    F: Fn() -> E + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        let (records, telemetry, sim) = explore_instrumented(space, make_eval(), strategy)?;
+        return Ok(ExploreOutput {
+            records,
+            telemetry,
+            sim,
+            cache: CacheStats::default(),
+            threads: 1,
+        });
+    }
+    match strategy {
+        Strategy::Exhaustive => exhaustive_parallel(space, &make_eval, threads),
+        Strategy::Random { iterations, seed } => {
+            random_parallel(space, &make_eval, iterations, seed, threads)
+        }
+        Strategy::Mcts { iterations, config } => {
+            mcts_root_parallel(space, &make_eval, iterations, config, threads)
+        }
+    }
+}
+
+/// Builds the exhaustive strategy's records and telemetry from
+/// `(traversal, result)` pairs in canonical enumeration order — shared
+/// by the serial and parallel backends so their outputs are identical by
+/// construction.
+fn exhaustive_records(
+    pairs: Vec<(Traversal, BenchResult)>,
+) -> (Vec<ExploredRecord>, SearchTelemetry) {
+    let mut records = Vec::with_capacity(pairs.len());
+    let mut telemetry = SearchTelemetry::new();
+    let mut best = f64::INFINITY;
+    let mut worst = f64::NEG_INFINITY;
+    for (i, (t, result)) in pairs.into_iter().enumerate() {
+        best = best.min(result.time());
+        worst = worst.max(result.time());
+        let rollout_len = t.steps.len();
+        records.push(ExploredRecord {
+            traversal: t,
+            result,
+        });
+        telemetry.push(TelemetryRow {
+            iteration: i as u64 + 1,
+            unique_traversals: records.len(),
+            best_time: best,
+            worst_time: worst,
+            tree_nodes: 0,
+            max_depth: 0,
+            rollout_len,
+        });
+    }
+    (records, telemetry)
+}
+
+/// Merges the simulator statistics of per-worker evaluators in worker
+/// order.
+fn merge_worker_stats<E: Evaluator>(states: &[E]) -> Option<SimStats> {
+    let mut total: Option<SimStats> = None;
+    for e in states {
+        if let Some(s) = e.sim_stats() {
+            total.get_or_insert_with(SimStats::default).merge(s);
+        }
+    }
+    total
+}
+
+fn exhaustive_parallel<E, F>(
+    space: &DecisionSpace,
+    make_eval: &F,
+    threads: usize,
+) -> Result<ExploreOutput, SimError>
+where
+    E: Evaluator + Send,
+    F: Fn() -> E + Sync,
+{
+    // The lazy enumeration is the shared work queue; each worker owns an
+    // evaluator. Seeds depend only on the traversal, and the pool
+    // restores input order, so output matches the serial path exactly.
+    let (pairs, states) = par_map_stream_with(
+        space.enumerate(),
+        threads,
+        |_worker| make_eval(),
+        |eval, _i, t: Traversal| {
+            let result = eval.evaluate(&t, eval_seed(EXHAUSTIVE_MASTER_SEED, &t))?;
+            Ok((t, result))
+        },
+    )?;
+    let sim = merge_worker_stats(&states);
+    let (records, telemetry) = exhaustive_records(pairs);
+    Ok(ExploreOutput {
+        records,
+        telemetry,
+        sim,
+        cache: CacheStats::default(),
+        threads,
+    })
+}
+
+fn random_parallel<E, F>(
+    space: &DecisionSpace,
+    make_eval: &F,
+    iterations: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<ExploreOutput, SimError>
+where
+    E: Evaluator + Send,
+    F: Fn() -> E + Sync,
+{
+    // Rollout generation is cheap and strictly deterministic, so it runs
+    // serially; only the evaluations (the expensive part) fan out. Each
+    // rollout is a pure function of (seed, iteration), so this produces
+    // the very sequence the serial backend would.
+    let mut uniques: Vec<Traversal> = Vec::new();
+    let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+    // For iteration i: Some(u) iff it first discovered unique index u.
+    let mut first_discovery: Vec<Option<usize>> = Vec::with_capacity(iterations);
+    let mut rollout_lens: Vec<usize> = Vec::with_capacity(iterations);
+    for iter in 0..iterations {
+        let t = dr_mcts::random_rollout(space, seed, iter as u64);
+        rollout_lens.push(t.steps.len());
+        let hash = t.canonical_hash();
+        let existing = by_hash
+            .get(&hash)
+            .into_iter()
+            .flatten()
+            .copied()
+            .find(|&u| uniques[u] == t);
+        match existing {
+            Some(_) => first_discovery.push(None),
+            None => {
+                let u = uniques.len();
+                by_hash.entry(hash).or_default().push(u);
+                uniques.push(t);
+                first_discovery.push(Some(u));
+            }
+        }
+    }
+    let (pairs, states) = par_map_stream_with(
+        uniques.into_iter(),
+        threads,
+        |_worker| make_eval(),
+        |eval, _i, t: Traversal| {
+            let result = eval.evaluate(&t, eval_seed(seed, &t))?;
+            Ok((t, result))
+        },
+    )?;
+    let sim = merge_worker_stats(&states);
+    let records: Vec<ExploredRecord> = pairs
+        .into_iter()
+        .map(|(traversal, result)| ExploredRecord { traversal, result })
+        .collect();
+    let mut telemetry = SearchTelemetry::new();
+    let mut best = f64::INFINITY;
+    let mut worst = f64::NEG_INFINITY;
+    let mut count = 0usize;
+    for iter in 0..iterations {
+        if let Some(u) = first_discovery[iter] {
+            count = u + 1;
+            let time = records[u].result.time();
+            best = best.min(time);
+            worst = worst.max(time);
+        }
+        telemetry.push(TelemetryRow {
+            iteration: iter as u64 + 1,
+            unique_traversals: count,
+            best_time: best,
+            worst_time: worst,
+            tree_nodes: 0,
+            max_depth: 0,
+            rollout_len: rollout_lens[iter],
+        });
+    }
+    Ok(ExploreOutput {
+        records,
+        telemetry,
+        sim,
+        cache: CacheStats::default(),
+        threads,
+    })
+}
+
+/// Pins evaluation seeds to `eval_seed(master, t)` regardless of the
+/// seed the search supplies. Root-parallel workers search with different
+/// seeds but must *measure* identically — whichever worker computes a
+/// traversal first stores in the shared cache exactly the result every
+/// other worker (and the serial run) would have produced, making the
+/// cache race-free in values.
+struct MasterSeeded<E> {
+    inner: E,
+    master: u64,
+}
+
+impl<E: Evaluator> Evaluator for MasterSeeded<E> {
+    fn evaluate(&mut self, t: &Traversal, _seed: u64) -> Result<BenchResult, SimError> {
+        self.inner.evaluate(t, eval_seed(self.master, t))
+    }
+
+    fn sim_stats(&self) -> Option<&SimStats> {
+        self.inner.sim_stats()
+    }
+}
+
+type WorkerOutcome = Result<(Vec<ExploredRecord>, SearchTelemetry, Option<SimStats>), SimError>;
+
+fn mcts_root_parallel<E, F>(
+    space: &DecisionSpace,
+    make_eval: &F,
+    iterations: usize,
+    config: MctsConfig,
+    threads: usize,
+) -> Result<ExploreOutput, SimError>
+where
+    E: Evaluator + Send,
+    F: Fn() -> E + Sync,
+{
+    let cache: StripedCache<Traversal, BenchResult> = StripedCache::new(64);
+    let budgets = split_budget(iterations, threads);
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|s| {
+        let cache = &cache;
+        let handles: Vec<_> = budgets
+            .iter()
+            .enumerate()
+            .map(|(worker, &budget)| {
+                s.spawn(move || -> WorkerOutcome {
+                    let worker_cfg = MctsConfig {
+                        seed: config.seed ^ (worker as u64).wrapping_mul(WORKER_SEED_MIX),
+                        ..config
+                    };
+                    let eval = CachingEvaluator::new(
+                        MasterSeeded {
+                            inner: make_eval(),
+                            master: config.seed,
+                        },
+                        cache,
+                    );
+                    let mut mcts = Mcts::new(space, eval, worker_cfg);
+                    mcts.run(budget)?;
+                    let (records, telemetry, eval) = mcts.into_parts();
+                    let sim = eval.sim_stats().cloned();
+                    Ok((records, telemetry, sim))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("MCTS worker panicked"))
+            .collect()
+    });
+
+    // Merge worker-major: renumber iterations globally and deduplicate
+    // records across workers. Worker trajectories are independent, so
+    // tree_nodes/max_depth/rollout_len stay worker-local in each row;
+    // unique/best/worst are recomputed globally.
+    let mut records: Vec<ExploredRecord> = Vec::new();
+    let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut telemetry = SearchTelemetry::new();
+    let mut sim: Option<SimStats> = None;
+    let mut best = f64::INFINITY;
+    let mut worst = f64::NEG_INFINITY;
+    let mut iteration = 0u64;
+    let insert = |records: &mut Vec<ExploredRecord>,
+                  by_hash: &mut HashMap<u64, Vec<usize>>,
+                  best: &mut f64,
+                  worst: &mut f64,
+                  rec: ExploredRecord| {
+        let hash = rec.traversal.canonical_hash();
+        let dup = by_hash
+            .get(&hash)
+            .into_iter()
+            .flatten()
+            .copied()
+            .any(|i| records[i].traversal == rec.traversal);
+        if !dup {
+            *best = best.min(rec.result.time());
+            *worst = worst.max(rec.result.time());
+            by_hash.entry(hash).or_default().push(records.len());
+            records.push(rec);
+        }
+    };
+    for outcome in outcomes {
+        let (wrecords, wtelemetry, wsim) = outcome?;
+        let mut recs = wrecords.into_iter();
+        let mut local_count = 0usize;
+        for row in wtelemetry.rows() {
+            iteration += 1;
+            if row.unique_traversals > local_count {
+                local_count = row.unique_traversals;
+                let rec = recs.next().expect("unique count tracks records");
+                insert(&mut records, &mut by_hash, &mut best, &mut worst, rec);
+            }
+            telemetry.push(TelemetryRow {
+                iteration,
+                unique_traversals: records.len(),
+                best_time: best,
+                worst_time: worst,
+                tree_nodes: row.tree_nodes,
+                max_depth: row.max_depth,
+                rollout_len: row.rollout_len,
+            });
+        }
+        // Records not claimed by a telemetry increment (none in
+        // practice) are still kept rather than silently dropped.
+        for rec in recs {
+            insert(&mut records, &mut by_hash, &mut best, &mut worst, rec);
+        }
+        if let Some(ws) = wsim {
+            sim.get_or_insert_with(SimStats::default).merge(&ws);
+        }
+    }
+    Ok(ExploreOutput {
+        records,
+        telemetry,
+        sim,
+        cache: cache.stats(),
+        threads,
+    })
 }
 
 #[cfg(test)]
@@ -166,5 +538,110 @@ mod tests {
         .unwrap();
         let set: std::collections::HashSet<_> = records.iter().map(|r| &r.traversal).collect();
         assert_eq!(set.len(), records.len());
+    }
+
+    /// Runs `explore_parallel` over the shared setup with a fresh
+    /// SimEvaluator per worker.
+    fn run_parallel(strategy: Strategy, threads: usize) -> ExploreOutput {
+        let (space, w, platform) = setup();
+        explore_parallel(
+            &space,
+            || SimEvaluator::new(&space, &w, &platform, BenchConfig::quick()),
+            strategy,
+            threads,
+        )
+        .unwrap()
+    }
+
+    fn record_set(records: &[ExploredRecord]) -> std::collections::HashSet<(Traversal, u64)> {
+        records
+            .iter()
+            .map(|r| (r.traversal.clone(), r.result.time().to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_exhaustive_matches_serial_bit_for_bit() {
+        let serial = run_parallel(Strategy::Exhaustive, 1);
+        for threads in [2, 3, 8] {
+            let par = run_parallel(Strategy::Exhaustive, threads);
+            assert_eq!(par.threads, threads);
+            assert_eq!(par.records.len(), serial.records.len());
+            // Same records in the same (canonical) order, same times.
+            for (a, b) in par.records.iter().zip(&serial.records) {
+                assert_eq!(a.traversal, b.traversal);
+                assert_eq!(a.result, b.result);
+            }
+            assert_eq!(par.telemetry.to_csv(), serial.telemetry.to_csv());
+            let (ps, ss) = (par.sim.unwrap(), serial.sim.clone().unwrap());
+            assert_eq!(ps.runs, ss.runs);
+            assert_eq!(ps.instructions, ss.instructions);
+        }
+    }
+
+    #[test]
+    fn parallel_random_matches_serial_bit_for_bit() {
+        let strategy = Strategy::Random {
+            iterations: 40,
+            seed: 9,
+        };
+        let serial = run_parallel(strategy, 1);
+        for threads in [2, 4] {
+            let par = run_parallel(strategy, threads);
+            for (a, b) in par.records.iter().zip(&serial.records) {
+                assert_eq!(a.traversal, b.traversal);
+                assert_eq!(a.result, b.result);
+            }
+            assert_eq!(par.records.len(), serial.records.len());
+            assert_eq!(par.telemetry.to_csv(), serial.telemetry.to_csv());
+        }
+    }
+
+    #[test]
+    fn root_parallel_mcts_exhausts_to_the_serial_record_set() {
+        // A budget far above the space size exhausts every worker's
+        // tree, so the merged record set must be thread-count-invariant
+        // and identical to the serial search's.
+        let strategy = Strategy::Mcts {
+            iterations: 200,
+            config: MctsConfig::default(),
+        };
+        let serial = run_parallel(strategy, 1);
+        let serial_set = record_set(&serial.records);
+        assert!(!serial_set.is_empty());
+        for threads in [2, 4] {
+            let par = run_parallel(strategy, threads);
+            assert_eq!(record_set(&par.records), serial_set, "threads={threads}");
+            // Re-running is deterministic in full.
+            let again = run_parallel(strategy, threads);
+            assert_eq!(record_set(&again.records), record_set(&par.records));
+            // Workers overlap on a tiny space, so the shared cache
+            // must have absorbed re-simulations.
+            assert!(par.cache.hits > 0, "expected cache hits: {:?}", par.cache);
+            assert_eq!(par.cache.misses as usize, par.records.len());
+        }
+    }
+
+    #[test]
+    fn parallel_mcts_telemetry_is_renumbered_and_monotone() {
+        let strategy = Strategy::Mcts {
+            iterations: 60,
+            config: MctsConfig::default(),
+        };
+        let par = run_parallel(strategy, 3);
+        let rows = par.telemetry.rows();
+        assert!(!rows.is_empty());
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.iteration, i as u64 + 1);
+        }
+        for w in rows.windows(2) {
+            assert!(w[1].unique_traversals >= w[0].unique_traversals);
+            assert!(w[1].best_time <= w[0].best_time);
+        }
+        assert_eq!(
+            rows.last().unwrap().unique_traversals,
+            par.records.len(),
+            "final row counts all merged records"
+        );
     }
 }

@@ -34,7 +34,7 @@ mod report;
 mod synthesize;
 
 pub use evaluate::{labeling_accuracy, AccuracyReport};
-pub use explore::{explore, explore_instrumented, Strategy};
+pub use explore::{explore, explore_instrumented, explore_parallel, ExploreOutput, Strategy};
 pub use multi_input::{mine_rules_multi, InputFeature, InputRun, MultiInputResult};
 pub use pipeline::{
     mine_rules, mine_rules_timed, run_pipeline, run_pipeline_instrumented, InstrumentedRun,

@@ -1,7 +1,7 @@
 //! The end-to-end design-rule pipeline (paper Fig. 2): explore → label →
 //! featurize → train → extract rules.
 
-use crate::explore::{explore_instrumented, Strategy};
+use crate::explore::{explore_parallel, Strategy};
 use crate::report::{RunReport, SearchSummary};
 use dr_dag::{DecisionSpace, Traversal};
 use dr_mcts::{ExploredRecord, SearchTelemetry, SimEvaluator};
@@ -10,6 +10,7 @@ use dr_ml::{
     LabelingConfig, RuleSet, TrainConfig,
 };
 use dr_obs::{Phases, Stopwatch};
+use dr_par::{resolve_threads, CacheStats};
 use dr_sim::{BenchConfig, Platform, SimError, Workload};
 
 /// Pipeline parameters (defaults mirror the paper).
@@ -22,6 +23,9 @@ pub struct PipelineConfig {
     pub train: TrainConfig,
     /// Measurement protocol (Section III-C-3).
     pub bench: BenchConfig,
+    /// Exploration worker threads. `0` (the default) resolves via the
+    /// `DR_THREADS` environment variable, falling back to serial.
+    pub threads: usize,
 }
 
 impl PipelineConfig {
@@ -66,7 +70,7 @@ impl PipelineResult {
 }
 
 /// Runs the full pipeline over a decision space and workload.
-pub fn run_pipeline<W: Workload>(
+pub fn run_pipeline<W: Workload + Sync>(
     space: &DecisionSpace,
     workload: &W,
     platform: &Platform,
@@ -87,11 +91,18 @@ pub struct InstrumentedRun {
     /// Per-iteration search telemetry (one row per exploration
     /// iteration).
     pub telemetry: SearchTelemetry,
+    /// Hit/miss counters of the shared evaluation cache (all zero for
+    /// serial runs and strategies that never re-visit a traversal).
+    pub cache: CacheStats,
+    /// Number of exploration worker threads actually used.
+    pub threads: usize,
 }
 
 /// Like [`run_pipeline`], additionally producing a [`RunReport`] and the
-/// per-iteration [`SearchTelemetry`].
-pub fn run_pipeline_instrumented<W: Workload>(
+/// per-iteration [`SearchTelemetry`]. Exploration uses
+/// [`PipelineConfig::threads`] workers (resolved through `DR_THREADS`
+/// when zero); mining is always serial.
+pub fn run_pipeline_instrumented<W: Workload + Sync>(
     space: &DecisionSpace,
     workload: &W,
     platform: &Platform,
@@ -99,17 +110,24 @@ pub fn run_pipeline_instrumented<W: Workload>(
     cfg: &PipelineConfig,
 ) -> Result<InstrumentedRun, SimError> {
     let mut phases = Phases::new();
-    let eval = SimEvaluator::new(space, workload, platform, cfg.bench);
+    let threads = resolve_threads((cfg.threads > 0).then_some(cfg.threads));
     let sw = Stopwatch::start();
-    let (records, telemetry, sim) = explore_instrumented(space, eval, strategy)?;
+    let explored = explore_parallel(
+        space,
+        || SimEvaluator::new(space, workload, platform, cfg.bench),
+        strategy,
+        threads,
+    )?;
     phases.add("explore", sw.elapsed());
-    let result = mine_rules_timed(space, records, cfg, &mut phases);
-    let search = SearchSummary::from_telemetry(strategy.name(), &telemetry);
-    let report = RunReport::new(phases, sim, search, &result);
+    let result = mine_rules_timed(space, explored.records, cfg, &mut phases);
+    let search = SearchSummary::from_telemetry(strategy.name(), &explored.telemetry);
+    let report = RunReport::new(phases, explored.sim, search, &result);
     Ok(InstrumentedRun {
         result,
         report,
-        telemetry,
+        telemetry: explored.telemetry,
+        cache: explored.cache,
+        threads: explored.threads,
     })
 }
 
@@ -280,5 +298,41 @@ mod tests {
     fn mining_zero_records_panics() {
         let (space, _, _) = setup();
         mine_rules(&space, Vec::new(), &PipelineConfig::quick());
+    }
+
+    #[test]
+    fn threaded_pipeline_matches_serial_on_exhaustive() {
+        let (space, w, platform) = setup();
+        let serial = run_pipeline_instrumented(
+            &space,
+            &w,
+            &platform,
+            Strategy::Exhaustive,
+            &PipelineConfig {
+                threads: 1,
+                ..PipelineConfig::quick()
+            },
+        )
+        .unwrap();
+        let par = run_pipeline_instrumented(
+            &space,
+            &w,
+            &platform,
+            Strategy::Exhaustive,
+            &PipelineConfig {
+                threads: 4,
+                ..PipelineConfig::quick()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.threads, 1);
+        assert_eq!(par.threads, 4);
+        assert_eq!(par.result.records.len(), serial.result.records.len());
+        for (a, b) in par.result.records.iter().zip(&serial.result.records) {
+            assert_eq!(a.traversal, b.traversal);
+            assert_eq!(a.result, b.result);
+        }
+        assert_eq!(par.result.labeling.labels, serial.result.labeling.labels);
+        assert_eq!(par.result.search.error, serial.result.search.error);
     }
 }

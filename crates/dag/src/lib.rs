@@ -34,7 +34,7 @@ pub use dot::{dag_to_dot, space_to_dot};
 pub use graph::{DagBuilder, DagError, ProgramDag, Vertex, VertexId};
 pub use op::{CommKey, CostKey, OpSpec, VertexKind};
 pub use space::{
-    DecisionKind, DecisionOp, DecisionSpace, OpId, Placement, Prefix, SpaceError, StreamId,
-    Traversal,
+    eval_seed, DecisionKind, DecisionOp, DecisionSpace, OpId, Placement, Prefix, SpaceError,
+    StreamId, Traversal, TraversalIter,
 };
 pub use sync::{build_schedule, EventId, Schedule, ScheduleAction, ScheduledItem};

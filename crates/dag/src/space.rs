@@ -93,7 +93,50 @@ pub struct Traversal {
     pub steps: Vec<Placement>,
 }
 
+/// One FNV-1a round over a 64-bit word.
+fn fnv1a(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(0x100_0000_01B3)
+}
+
+/// The per-traversal evaluation seed: a pure function of the master seed
+/// and the traversal's identity (its [`Traversal::canonical_hash`]).
+///
+/// This is the determinism policy of the parallel exploration engine:
+/// because the seed depends on *what* is evaluated and never on *when*
+/// (loop index) or *where* (worker thread), a traversal's measurement is
+/// identical whether it is found first or last, serially or on any of N
+/// threads — so the explored record set is a function of the search seed
+/// alone, not of the thread count.
+pub fn eval_seed(master: u64, t: &Traversal) -> u64 {
+    t.canonical_hash() ^ master.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+}
+
 impl Traversal {
+    /// An order-sensitive 64-bit hash of the full placement sequence,
+    /// stable across runs, platforms, and Rust versions (unlike the std
+    /// hasher). Per-traversal evaluation seeds and the parallel engine's
+    /// cache striping both derive from it, so its stability is part of
+    /// the reproducibility contract.
+    pub fn canonical_hash(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64; // FNV offset basis
+        for p in &self.steps {
+            h = fnv1a(h, p.op as u64 + 1);
+            h = fnv1a(
+                h,
+                match p.stream {
+                    Some(s) => s as u64 + 2,
+                    None => 1,
+                },
+            );
+        }
+        // FNV's high bits are weak; finish with the SplitMix64 avalanche
+        // so the hash is usable for stripe selection and seed derivation.
+        let mut z = h;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
     /// Position of each op in the issue order, indexed by [`OpId`].
     pub fn positions(&self, num_ops: usize) -> Vec<usize> {
         let mut pos = vec![usize::MAX; num_ops];
@@ -391,26 +434,17 @@ impl DecisionSpace {
         }
     }
 
-    /// Enumerates every complete canonical traversal. Only feasible for
-    /// small DAGs; the SpMV demonstration space has a few thousand.
-    pub fn enumerate(&self) -> Vec<Traversal> {
-        let mut out = Vec::new();
-        let mut prefix = self.empty_prefix();
-        self.enumerate_rec(&mut prefix, &mut out);
-        out
-    }
-
-    fn enumerate_rec(&self, prefix: &mut Prefix, out: &mut Vec<Traversal>) {
-        if prefix.len() == self.ops.len() {
-            out.push(Traversal {
-                steps: prefix.steps.clone(),
-            });
-            return;
-        }
-        for p in self.eligible(prefix) {
-            self.apply(prefix, p);
-            self.enumerate_rec(prefix, out);
-            self.unapply(prefix);
+    /// Enumerates every complete canonical traversal **lazily**, in
+    /// depth-first (canonical) order. Exhaustive exploration streams
+    /// from this iterator, so peak memory is O(ops) bookkeeping rather
+    /// than the full space; collect it only when a materialized list is
+    /// genuinely needed.
+    pub fn enumerate(&self) -> TraversalIter<'_> {
+        TraversalIter {
+            space: self,
+            prefix: self.empty_prefix(),
+            stack: Vec::new(),
+            state: IterState::Fresh,
         }
     }
 
@@ -502,6 +536,85 @@ impl DecisionSpace {
         }
         self.validate(&t)?;
         Ok(t)
+    }
+}
+
+/// One backtracking level of [`TraversalIter`]: the eligible placements
+/// at that depth and the next alternative to try.
+struct Frame {
+    elig: Vec<Placement>,
+    next: usize,
+}
+
+enum IterState {
+    Fresh,
+    Running,
+    Done,
+}
+
+/// Lazy depth-first enumeration of every complete canonical traversal of
+/// a [`DecisionSpace`], produced by [`DecisionSpace::enumerate`].
+///
+/// The iterator owns a single [`Prefix`] that it extends and backtracks
+/// in place, so advancing costs amortized O(ops) per traversal and the
+/// whole enumeration holds only O(ops²) transient state — never the full
+/// space.
+pub struct TraversalIter<'a> {
+    space: &'a DecisionSpace,
+    prefix: Prefix,
+    stack: Vec<Frame>,
+    state: IterState,
+}
+
+impl Iterator for TraversalIter<'_> {
+    type Item = Traversal;
+
+    fn next(&mut self) -> Option<Traversal> {
+        match self.state {
+            IterState::Done => return None,
+            IterState::Fresh => {
+                self.state = IterState::Running;
+                if self.space.num_ops() == 0 {
+                    self.state = IterState::Done;
+                    return Some(Traversal { steps: Vec::new() });
+                }
+                self.stack.push(Frame {
+                    elig: self.space.eligible(&self.prefix),
+                    next: 0,
+                });
+            }
+            IterState::Running => {}
+        }
+        // Invariant: the top frame enumerates alternatives for position
+        // `prefix.len()`; a complete traversal is yielded with its final
+        // placement already undone, so the stack never holds a frame for
+        // the (choiceless) complete prefix.
+        loop {
+            let frame = self.stack.last_mut()?;
+            if frame.next < frame.elig.len() {
+                let p = frame.elig[frame.next];
+                frame.next += 1;
+                self.space.apply(&mut self.prefix, p);
+                if self.prefix.len() == self.space.num_ops() {
+                    let t = Traversal {
+                        steps: self.prefix.steps.clone(),
+                    };
+                    self.space.unapply(&mut self.prefix);
+                    return Some(t);
+                }
+                self.stack.push(Frame {
+                    elig: self.space.eligible(&self.prefix),
+                    next: 0,
+                });
+            } else {
+                self.stack.pop();
+                if self.stack.is_empty() {
+                    self.state = IterState::Done;
+                    return None;
+                }
+                self.space.unapply(&mut self.prefix);
+            }
+        }
     }
 }
 
@@ -631,7 +744,7 @@ mod tests {
     fn enumerate_and_count_agree() {
         for streams in 1..=3 {
             let sp = diamond(streams);
-            let all = sp.enumerate();
+            let all: Vec<Traversal> = sp.enumerate().collect();
             assert_eq!(
                 all.len() as u128,
                 sp.count_traversals(),
@@ -711,7 +824,7 @@ mod tests {
     #[test]
     fn validate_rejects_bad_traversals() {
         let sp = diamond(1);
-        let all = sp.enumerate();
+        let all: Vec<Traversal> = sp.enumerate().collect();
         let mut t = all[0].clone();
         t.steps.swap(0, 5); // break precedence
         assert!(sp.validate(&t).is_err());
@@ -740,7 +853,7 @@ mod tests {
     #[test]
     fn positions_and_streams_views() {
         let sp = diamond(2);
-        let t = sp.enumerate().into_iter().next().unwrap();
+        let t = sp.enumerate().next().unwrap();
         let pos = t.positions(sp.num_ops());
         for (i, p) in t.steps.iter().enumerate() {
             assert_eq!(pos[p.op], i);
@@ -769,7 +882,45 @@ mod tests {
         b.edge(x, y);
         let sp = DecisionSpace::new(b.build().unwrap(), 4).unwrap();
         assert_eq!(sp.count_traversals(), 1);
-        let t = &sp.enumerate()[0];
+        let t = sp.enumerate().next().unwrap();
         assert!(t.steps.iter().all(|p| p.stream.is_none()));
+    }
+
+    #[test]
+    fn lazy_enumeration_matches_eager_collection() {
+        let sp = diamond(2);
+        // Driving the iterator one element at a time gives the same
+        // sequence as collecting it wholesale.
+        let eager: Vec<Traversal> = sp.enumerate().collect();
+        let mut it = sp.enumerate();
+        for want in &eager {
+            assert_eq!(&it.next().unwrap(), want);
+        }
+        assert!(it.next().is_none());
+        assert!(it.next().is_none(), "fused after exhaustion");
+        // And partial consumption does not require the full space.
+        let first_three: Vec<Traversal> = sp.enumerate().take(3).collect();
+        assert_eq!(&eager[..3], &first_three[..]);
+    }
+
+    #[test]
+    fn canonical_hash_distinguishes_ops_streams_and_order() {
+        let sp = diamond(2);
+        let all: Vec<Traversal> = sp.enumerate().collect();
+        let hashes: std::collections::HashSet<u64> =
+            all.iter().map(Traversal::canonical_hash).collect();
+        assert_eq!(hashes.len(), all.len(), "no collisions on this space");
+        // Equal traversals hash equal (pure function of the steps).
+        assert_eq!(all[0].canonical_hash(), all[0].clone().canonical_hash());
+    }
+
+    #[test]
+    fn eval_seed_depends_on_master_and_traversal_only() {
+        let sp = diamond(2);
+        let mut it = sp.enumerate();
+        let (a, b) = (it.next().unwrap(), it.next().unwrap());
+        assert_eq!(eval_seed(7, &a), eval_seed(7, &a));
+        assert_ne!(eval_seed(7, &a), eval_seed(8, &a));
+        assert_ne!(eval_seed(7, &a), eval_seed(7, &b));
     }
 }

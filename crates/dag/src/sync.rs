@@ -399,7 +399,7 @@ mod tests {
         b.edge(ps, ws);
         b.edge(pr, wr);
         let sp = DecisionSpace::new(b.build().unwrap(), 1).unwrap();
-        let t = sp.enumerate().into_iter().next().unwrap();
+        let t = sp.enumerate().next().unwrap();
         let s = build_schedule(&sp, &t);
         let find = |n: &str| {
             s.items

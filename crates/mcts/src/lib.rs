@@ -21,7 +21,7 @@ mod random;
 mod telemetry;
 mod tree;
 
-pub use eval::{Evaluator, SimEvaluator};
-pub use random::{random_search, random_search_telemetry};
+pub use eval::{CachingEvaluator, Evaluator, SimEvaluator};
+pub use random::{random_rollout, random_search, random_search_telemetry};
 pub use telemetry::{SearchTelemetry, TelemetryRow};
 pub use tree::{Exploitation, ExploredRecord, Mcts, MctsConfig, StepOutcome, TreeStats};

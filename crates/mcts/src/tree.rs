@@ -24,7 +24,7 @@
 
 use crate::eval::Evaluator;
 use crate::telemetry::{SearchTelemetry, TelemetryRow};
-use dr_dag::{DecisionSpace, Placement, Traversal};
+use dr_dag::{eval_seed, DecisionSpace, Placement, Traversal};
 use dr_sim::{BenchResult, SimError};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -159,7 +159,12 @@ pub struct Mcts<'a, E: Evaluator> {
     cfg: MctsConfig,
     nodes: Vec<Node>,
     records: Vec<ExploredRecord>,
-    seen: HashMap<Traversal, usize>,
+    /// Canonical-hash index into `records` (values are candidate record
+    /// indices; equality is re-checked, so a hash collision costs a probe
+    /// and never a misattributed measurement). Keyed by hash rather than
+    /// by owned `Traversal` so recording a rollout moves the traversal
+    /// into its record instead of cloning it.
+    seen: HashMap<u64, Vec<usize>>,
     rng: SmallRng,
     iterations: u64,
     telemetry: SearchTelemetry,
@@ -337,18 +342,28 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
         let traversal = Traversal {
             steps: prefix.steps().to_vec(),
         };
-        let (record_idx, new) = match self.seen.get(&traversal) {
-            Some(&idx) => (idx, false),
+        let hash = traversal.canonical_hash();
+        let found = self
+            .seen
+            .get(&hash)
+            .into_iter()
+            .flatten()
+            .copied()
+            .find(|&idx| self.records[idx].traversal == traversal);
+        let (record_idx, new) = match found {
+            Some(idx) => (idx, false),
             None => {
-                let seed = self.cfg.seed.wrapping_add(0x9E37_79B9_7F4A_7C15)
-                    ^ (self.records.len() as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                let result = self.eval.evaluate(&traversal, seed)?;
+                // Seeded by the traversal's identity (not the discovery
+                // index): the measurement is the same wherever and
+                // whenever this traversal is rolled out, which is what
+                // makes root-parallel search merges and the shared
+                // evaluation cache coherent.
+                let result = self
+                    .eval
+                    .evaluate(&traversal, eval_seed(self.cfg.seed, &traversal))?;
                 let idx = self.records.len();
-                self.records.push(ExploredRecord {
-                    traversal: traversal.clone(),
-                    result,
-                });
-                self.seen.insert(traversal, idx);
+                self.records.push(ExploredRecord { traversal, result });
+                self.seen.entry(hash).or_default().push(idx);
                 (idx, true)
             }
         };
@@ -545,9 +560,9 @@ mod tests {
                 },
             );
             mcts.run(20).unwrap();
-            mcts.records()
-                .iter()
-                .map(|r| (r.traversal.clone(), r.result.time()))
+            mcts.into_records()
+                .into_iter()
+                .map(|r| (r.traversal, r.result.time()))
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
@@ -715,9 +730,9 @@ mod policy_tests {
             };
             let mut mcts = Mcts::new(&sp, eval, cfg);
             mcts.run(8).unwrap();
-            mcts.records()
-                .iter()
-                .map(|r| r.traversal.clone())
+            mcts.into_records()
+                .into_iter()
+                .map(|r| r.traversal)
                 .collect::<Vec<_>>()
         };
         // Not guaranteed in general, but with this seed the paper policy

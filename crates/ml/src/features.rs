@@ -208,7 +208,7 @@ mod tests {
     #[test]
     fn constant_features_are_pruned() {
         let sp = space();
-        let all = sp.enumerate();
+        let all: Vec<_> = sp.enumerate().collect();
         let refs: Vec<&Traversal> = all.iter().collect();
         let fs = featurize(&sp, &refs);
         assert!(
@@ -227,7 +227,7 @@ mod tests {
     #[test]
     fn retained_features_discriminate() {
         let sp = space();
-        let all = sp.enumerate();
+        let all: Vec<_> = sp.enumerate().collect();
         let refs: Vec<&Traversal> = all.iter().collect();
         let fs = featurize(&sp, &refs);
         assert!(fs.num_features() > 0);
@@ -243,7 +243,7 @@ mod tests {
     #[test]
     fn duplicate_columns_are_pruned() {
         let sp = space();
-        let all = sp.enumerate();
+        let all: Vec<_> = sp.enumerate().collect();
         let refs: Vec<&Traversal> = all.iter().collect();
         let fs = featurize(&sp, &refs);
         for i in 0..fs.num_features() {
@@ -258,7 +258,7 @@ mod tests {
     #[test]
     fn vector_of_matches_matrix_rows() {
         let sp = space();
-        let all = sp.enumerate();
+        let all: Vec<_> = sp.enumerate().collect();
         let refs: Vec<&Traversal> = all.iter().collect();
         let fs = featurize(&sp, &refs);
         for (s, t) in all.iter().enumerate() {

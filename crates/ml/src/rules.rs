@@ -172,7 +172,7 @@ mod tests {
     /// Labels derived from a simple ground truth: class 1 iff a and b
     /// share a stream.
     fn labelled_data(sp: &DecisionSpace) -> (Vec<Traversal>, Vec<usize>) {
-        let all = sp.enumerate();
+        let all: Vec<_> = sp.enumerate().collect();
         let a = sp.op_by_name("a").unwrap();
         let b = sp.op_by_name("b").unwrap();
         let y: Vec<usize> = all

@@ -1,0 +1,203 @@
+//! Lock-striped concurrent memo table for evaluation results.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Hit/miss counters of a [`StripedCache`], taken with [`StripedCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the compute closure.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when the cache was never hit).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Folds another counter pair into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// A concurrent `K → V` memo table sharded into independently locked
+/// stripes selected by a caller-supplied canonical hash.
+///
+/// The caller provides the hash (rather than the std `Hash` machinery)
+/// because stripe selection participates in the determinism contract:
+/// the exploration engine keys on [`Traversal::canonical_hash`]-style
+/// stable hashes so the same build always shards the same way. Keys are
+/// still compared by full equality inside a stripe, so hash collisions
+/// cost a probe, never a wrong answer.
+pub struct StripedCache<K, V> {
+    stripes: Vec<Mutex<HashMap<K, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V: Clone> StripedCache<K, V> {
+    /// Creates a cache with `stripes` independent shards (minimum 1).
+    pub fn new(stripes: usize) -> Self {
+        StripedCache {
+            stripes: (0..stripes.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached value for `key`, or runs `compute`, stores its
+    /// result, and returns it. The stripe lock is held *across* the
+    /// computation: each key is computed at most once even under
+    /// contention (so side effects like simulator statistics accrue
+    /// exactly once per key), at the price of serializing misses that
+    /// share a stripe.
+    pub fn get_or_try_insert<E>(
+        &self,
+        hash: u64,
+        key: &K,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E>
+    where
+        K: Clone,
+    {
+        let stripe = &self.stripes[(hash % self.stripes.len() as u64) as usize];
+        let mut map = stripe.lock().expect("cache stripe poisoned");
+        if let Some(v) = map.get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(v.clone());
+        }
+        let v = compute()?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        map.insert(key.clone(), v.clone());
+        Ok(v)
+    }
+
+    /// Number of cached entries (sums all stripes; takes each lock).
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("cache stripe poisoned").len())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoizes_and_counts() {
+        let cache: StripedCache<String, u32> = StripedCache::new(4);
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = cache
+                .get_or_try_insert::<()>(7, &"k".to_string(), || {
+                    calls += 1;
+                    Ok(41 + calls)
+                })
+                .unwrap();
+            assert_eq!(v, 42);
+        }
+        assert_eq!(calls, 1, "compute ran exactly once");
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache: StripedCache<u8, u8> = StripedCache::new(2);
+        let r: Result<u8, &str> = cache.get_or_try_insert(0, &1, || Err("nope"));
+        assert_eq!(r.unwrap_err(), "nope");
+        assert!(cache.is_empty());
+        let v = cache.get_or_try_insert::<&str>(0, &1, || Ok(9)).unwrap();
+        assert_eq!(v, 9);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
+    }
+
+    #[test]
+    fn colliding_hashes_stay_correct() {
+        // Same hash, different keys: both live in one stripe, equality
+        // keeps them apart.
+        let cache: StripedCache<u64, u64> = StripedCache::new(8);
+        for k in 0..100u64 {
+            let v = cache.get_or_try_insert::<()>(5, &k, || Ok(k * k)).unwrap();
+            assert_eq!(v, k * k);
+        }
+        for k in 0..100u64 {
+            let v = cache
+                .get_or_try_insert::<()>(5, &k, || unreachable!())
+                .unwrap();
+            assert_eq!(v, k * k);
+        }
+        assert_eq!(cache.len(), 100);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 100,
+                misses: 100
+            }
+        );
+    }
+
+    #[test]
+    fn concurrent_callers_compute_each_key_once() {
+        let cache: StripedCache<u32, u32> = StripedCache::new(16);
+        let computed = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for k in 0..50u32 {
+                        let v = cache
+                            .get_or_try_insert::<()>(u64::from(k), &k, || {
+                                computed.fetch_add(1, Ordering::Relaxed);
+                                Ok(k + 1)
+                            })
+                            .unwrap();
+                        assert_eq!(v, k + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::Relaxed), 50, "one compute per key");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 50);
+        assert_eq!(stats.hits + stats.misses, 200);
+    }
+
+    #[test]
+    fn hit_rate_is_well_defined() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        let mut m = CacheStats { hits: 1, misses: 2 };
+        m.merge(&s);
+        assert_eq!(m, CacheStats { hits: 4, misses: 3 });
+    }
+}

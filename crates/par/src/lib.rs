@@ -1,0 +1,28 @@
+//! # dr-par — deterministic parallelism primitives
+//!
+//! The exploration phase is the pipeline's bottleneck: thousands of
+//! `(traversal, measured time)` samples, each a full discrete-event
+//! simulation. This crate provides the two building blocks the parallel
+//! exploration engine is made of, using only `std::thread` (the build
+//! environment is offline; no rayon):
+//!
+//! * [`par_map_stream`] / [`par_map_stream_with`] — a scoped worker pool
+//!   that streams items from a (possibly lazy) iterator through a chunked
+//!   work queue and returns results **in input order**, so the output is
+//!   bit-for-bit independent of the thread count and of scheduling;
+//! * [`StripedCache`] — a lock-striped concurrent memo table keyed by a
+//!   caller-supplied canonical hash, so repeated rollouts across workers
+//!   never re-simulate the same traversal.
+//!
+//! Determinism policy: parallel callers must make each item's result a
+//! pure function of the item itself (e.g. derive per-traversal evaluation
+//! seeds from a canonical traversal hash, never from a loop index); the
+//! pool then guarantees the *ordering* side of the contract.
+
+#![warn(missing_docs)]
+
+mod cache;
+mod pool;
+
+pub use cache::{CacheStats, StripedCache};
+pub use pool::{par_map_stream, par_map_stream_with, resolve_threads, split_budget};

@@ -1,0 +1,256 @@
+//! Scoped worker pool with a chunked work queue and order-restoring
+//! result merge.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Items pulled from the shared iterator per queue lock acquisition.
+/// Large enough to amortize the mutex, small enough to keep the tail of
+/// an uneven workload balanced.
+const CHUNK: usize = 8;
+
+/// Resolves the worker count: an explicit request wins, then the
+/// `DR_THREADS` environment variable, then 1 (fully serial — the safe,
+/// reproducible-latency default; parallel results are identical anyway).
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        return n.max(1);
+    }
+    std::env::var("DR_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Splits an iteration budget into `parts` per-worker budgets that sum to
+/// `total`, earlier workers taking the remainder (deterministic).
+pub fn split_budget(total: usize, parts: usize) -> Vec<usize> {
+    let parts = parts.max(1);
+    let base = total / parts;
+    let rem = total % parts;
+    (0..parts).map(|w| base + usize::from(w < rem)).collect()
+}
+
+/// [`par_map_stream_with`] without per-worker state.
+pub fn par_map_stream<T, R, Err, I, F>(items: I, threads: usize, f: F) -> Result<Vec<R>, Err>
+where
+    I: Iterator<Item = T> + Send,
+    T: Send,
+    R: Send,
+    Err: Send,
+    F: Fn(usize, T) -> Result<R, Err> + Sync,
+{
+    par_map_stream_with(items, threads, |_| (), |(), i, t| f(i, t)).map(|(out, _)| out)
+}
+
+/// Streams `items` through `threads` scoped workers, applying `f` to each
+/// and returning the results **in input order** together with every
+/// worker's final state (in worker-index order).
+///
+/// Each worker owns one state value built by `init(worker_index)` — this
+/// is how callers give every thread its own evaluator while the pool
+/// merges their accumulated statistics deterministically afterwards.
+/// Items are handed out in small chunks from the shared iterator, so a
+/// lazy enumeration is consumed as it is produced and never materialized
+/// wholesale. On an error the pool stops handing out work, finishes
+/// nothing further, and returns the error with the smallest input index
+/// among those observed.
+pub fn par_map_stream_with<T, R, S, Err, I, Init, F>(
+    items: I,
+    threads: usize,
+    init: Init,
+    f: F,
+) -> Result<(Vec<R>, Vec<S>), Err>
+where
+    I: Iterator<Item = T> + Send,
+    T: Send,
+    R: Send,
+    S: Send,
+    Err: Send,
+    Init: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize, T) -> Result<R, Err> + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        // Serial fast path: no queue, no locks — the reference semantics
+        // the parallel path must reproduce.
+        let mut state = init(0);
+        let mut out = Vec::new();
+        for (i, item) in items.enumerate() {
+            out.push(f(&mut state, i, item)?);
+        }
+        return Ok((out, vec![state]));
+    }
+
+    let queue = Mutex::new(items.enumerate());
+    let stop = AtomicBool::new(false);
+    let mut tagged: Vec<(usize, R)> = Vec::new();
+    let mut states: Vec<S> = Vec::new();
+    let mut first_err: Option<(usize, Err)> = None;
+
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let queue = &queue;
+                let stop = &stop;
+                let init = &init;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut state = init(w);
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    let mut err: Option<(usize, Err)> = None;
+                    'work: while !stop.load(Ordering::Relaxed) {
+                        let batch: Vec<(usize, T)> = {
+                            let mut q = queue.lock().expect("queue lock poisoned");
+                            q.by_ref().take(CHUNK).collect()
+                        };
+                        if batch.is_empty() {
+                            break;
+                        }
+                        for (i, item) in batch {
+                            match f(&mut state, i, item) {
+                                Ok(r) => out.push((i, r)),
+                                Err(e) => {
+                                    err = Some((i, e));
+                                    stop.store(true, Ordering::Relaxed);
+                                    break 'work;
+                                }
+                            }
+                        }
+                    }
+                    (out, state, err)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (out, state, err) = h.join().expect("explore worker panicked");
+            tagged.extend(out);
+            states.push(state);
+            if let Some((i, e)) = err {
+                if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                    first_err = Some((i, e));
+                }
+            }
+        }
+    });
+
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    Ok((tagged.into_iter().map(|(_, r)| r).collect(), states))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_prefers_explicit_then_env_then_one() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1);
+        // Env handling: this test owns the variable (no other test in
+        // this binary touches it) and restores the unset state.
+        std::env::set_var("DR_THREADS", "5");
+        assert_eq!(resolve_threads(None), 5);
+        assert_eq!(resolve_threads(Some(2)), 2, "explicit beats env");
+        std::env::set_var("DR_THREADS", "zero");
+        assert_eq!(resolve_threads(None), 1, "garbage env ignored");
+        std::env::remove_var("DR_THREADS");
+        assert_eq!(resolve_threads(None), 1);
+    }
+
+    #[test]
+    fn split_budget_sums_and_balances() {
+        assert_eq!(split_budget(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(split_budget(3, 8).iter().sum::<usize>(), 3);
+        assert_eq!(split_budget(0, 3), vec![0, 0, 0]);
+        assert_eq!(split_budget(7, 1), vec![7]);
+        for (total, parts) in [(100, 7), (5, 5), (1, 2)] {
+            let b = split_budget(total, parts);
+            assert_eq!(b.len(), parts);
+            assert_eq!(b.iter().sum::<usize>(), total);
+            assert!(b.iter().all(|&x| x.abs_diff(total / parts) <= 1));
+        }
+    }
+
+    #[test]
+    fn results_are_in_input_order_for_every_thread_count() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial: Vec<u64> = par_map_stream(items.clone().into_iter(), 1, |i, x| {
+            Ok::<_, ()>(x * 2 + i as u64)
+        })
+        .unwrap();
+        for threads in [2, 3, 4, 8] {
+            let par = par_map_stream(items.clone().into_iter(), threads, |i, x| {
+                // Uneven per-item work so chunks finish out of order.
+                if x % 7 == 0 {
+                    std::thread::yield_now();
+                }
+                Ok::<_, ()>(x * 2 + i as u64)
+            })
+            .unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn lazy_sources_are_consumed_without_materialization() {
+        // An iterator that counts how far it has been driven: the pool
+        // must pull everything exactly once, through the shared queue.
+        let pulled = std::sync::atomic::AtomicUsize::new(0);
+        let src = (0..57).map(|x| {
+            pulled.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        let out = par_map_stream(src, 4, |_, x| Ok::<_, ()>(x)).unwrap();
+        assert_eq!(out, (0..57).collect::<Vec<_>>());
+        assert_eq!(pulled.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn errors_short_circuit_and_surface() {
+        for threads in [1, 4] {
+            let res: Result<Vec<u32>, String> =
+                par_map_stream((0..1000).map(Ok::<u32, String>), threads, |i, x| {
+                    let x = x?;
+                    if i == 13 {
+                        Err(format!("boom at {i}"))
+                    } else {
+                        Ok(x)
+                    }
+                });
+            assert_eq!(res.unwrap_err(), "boom at 13", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_states_come_back_in_worker_order() {
+        let (out, states) = par_map_stream_with(
+            (0..40).collect::<Vec<_>>().into_iter(),
+            4,
+            |w| (w, 0usize),
+            |state, _, x: i32| {
+                state.1 += 1;
+                Ok::<_, ()>(x)
+            },
+        )
+        .unwrap();
+        assert_eq!(out.len(), 40);
+        assert_eq!(states.len(), 4);
+        assert_eq!(
+            states.iter().map(|s| s.0).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3],
+            "states are returned in worker-index order"
+        );
+        assert_eq!(states.iter().map(|s| s.1).sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out = par_map_stream(std::iter::empty::<u8>(), 4, |_, x| Ok::<_, ()>(x)).unwrap();
+        assert!(out.is_empty());
+    }
+}

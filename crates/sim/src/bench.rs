@@ -184,7 +184,7 @@ mod tests {
         let mut b = DagBuilder::new();
         b.add("c", OpSpec::CpuWork(CostKey::new("c")));
         let sp = DecisionSpace::new(b.build().unwrap(), 1).unwrap();
-        let t = sp.enumerate().into_iter().next().unwrap();
+        let t = sp.enumerate().next().unwrap();
         let s = build_schedule(&sp, &t);
         let mut w = TableWorkload::new(2);
         w.cost_all("c", dur);

@@ -394,7 +394,7 @@ mod tests {
         b.edge(pr, wr);
         b.edge(ps, wr);
         let sp = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
-        let t = sp.enumerate().into_iter().next().unwrap();
+        let t = sp.enumerate().next().unwrap();
         let s = build_schedule(&sp, &t);
         (sp, s)
     }

@@ -491,7 +491,7 @@ mod tests {
             |b| {
                 b.add("c", OpSpec::CpuWork(CostKey::new("c")));
             },
-            |sp| sp.enumerate().into_iter().next().unwrap(),
+            |sp| sp.enumerate().next().unwrap(),
             &w,
         );
         let platform = Platform::perlmutter_like().noiseless();
@@ -623,7 +623,7 @@ mod tests {
             |b| {
                 b.add("k", OpSpec::GpuKernel(CostKey::new("k")));
             },
-            |sp| sp.enumerate().into_iter().next().unwrap(),
+            |sp| sp.enumerate().next().unwrap(),
             &w,
         );
         let platform = Platform::perlmutter_like().noiseless();
@@ -819,7 +819,7 @@ mod trace_tests {
         let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
         b.edge(k, c);
         let sp = DecisionSpace::new(b.build().unwrap(), 1).unwrap();
-        let t = sp.enumerate().into_iter().next().unwrap();
+        let t = sp.enumerate().next().unwrap();
         let s = build_schedule(&sp, &t);
         let mut w = TableWorkload::new(2);
         w.cost_all("k", 1e-4).cost_all("c", 2e-5);
@@ -870,7 +870,7 @@ mod stats_tests {
         let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
         b.edge(k, c);
         let sp = DecisionSpace::new(b.build().unwrap(), 1).unwrap();
-        let t = sp.enumerate().into_iter().next().unwrap();
+        let t = sp.enumerate().next().unwrap();
         let s = build_schedule(&sp, &t);
         let mut w = TableWorkload::new(2);
         w.cost_all("k", 1e-4).cost_all("c", 2e-5);
@@ -947,7 +947,7 @@ mod stats_tests {
         let mut b = DagBuilder::new();
         b.add("dot", OpSpec::AllReduce(CommKey::new("dot")));
         let sp = DecisionSpace::new(b.build().unwrap(), 1).unwrap();
-        let t = sp.enumerate().into_iter().next().unwrap();
+        let t = sp.enumerate().next().unwrap();
         let s = build_schedule(&sp, &t);
         let mut w = TableWorkload::new(4);
         for r in 0..4 {
@@ -1086,7 +1086,7 @@ mod collective_tests {
         let red = b.add("dot", OpSpec::AllReduce(CommKey::new("dot")));
         b.edge(work, red);
         let sp = DecisionSpace::new(b.build().unwrap(), 1).unwrap();
-        let t = sp.enumerate().into_iter().next().unwrap();
+        let t = sp.enumerate().next().unwrap();
         let s = build_schedule(&sp, &t);
         let mut w = TableWorkload::new(ranks);
         let slowest = 1e-3 * ranks as f64;
@@ -1137,7 +1137,7 @@ mod collective_tests {
         let ps = b.add("PostSends", OpSpec::PostSends(CommKey::new("x")));
         b.edge(red, ps);
         let sp = DecisionSpace::new(b.build().unwrap(), 1).unwrap();
-        let t = sp.enumerate().into_iter().next().unwrap();
+        let t = sp.enumerate().next().unwrap();
         let s = build_schedule(&sp, &t);
         let mut w = TableWorkload::new(2);
         contribution(&mut w, 2, "x", 8);
@@ -1152,7 +1152,7 @@ mod collective_tests {
         let mut b = DagBuilder::new();
         b.add("dot", OpSpec::AllReduce(CommKey::new("x")));
         let sp = DecisionSpace::new(b.build().unwrap(), 1).unwrap();
-        let t = sp.enumerate().into_iter().next().unwrap();
+        let t = sp.enumerate().next().unwrap();
         let s = build_schedule(&sp, &t);
         let mut w = TableWorkload::new(2);
         // recvs must be empty for a collective key.

@@ -125,7 +125,7 @@ mod tests {
             num_measurements: 1,
             max_samples: 2,
         };
-        let all = sc.space.enumerate();
+        let all: Vec<_> = sc.space.enumerate().collect();
         assert!(all.len() > 500, "space size {}", all.len());
         // Executing the whole space is the Fig. 1 workload; here just
         // spot-check a deterministic stride for speed.
@@ -145,7 +145,7 @@ mod tests {
             num_measurements: 3,
             max_samples: 5,
         };
-        let all = sc.space.enumerate();
+        let all: Vec<_> = sc.space.enumerate().collect();
         let times: Vec<f64> = all
             .iter()
             .step_by(41)

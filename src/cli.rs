@@ -53,6 +53,9 @@ pub struct CliOptions {
     pub seed: u64,
     /// Use the random-sampling baseline instead of MCTS.
     pub random: bool,
+    /// Exploration worker threads (`None` = honor `DR_THREADS`, else
+    /// serial).
+    pub threads: Option<usize>,
     /// Write a JSON run report (phase timings, sim stats, summaries) here.
     pub report: Option<String>,
     /// Write per-iteration search telemetry CSV here.
@@ -66,6 +69,8 @@ pub const USAGE: &str = "usage: dr-rules <scenario> <command> [options]
   options:   --iterations N (default 300)
              --seed N       (default 0)
              --random       (uniform sampling instead of MCTS)
+             --threads N    (exploration worker threads; default: the
+                             DR_THREADS environment variable, else 1)
              --report PATH    (write a JSON run report)
              --telemetry PATH (write per-iteration search telemetry CSV)";
 
@@ -95,6 +100,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         iterations: 300,
         seed: 0,
         random: false,
+        threads: None,
         report: None,
         telemetry: None,
     };
@@ -111,6 +117,16 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                 opts.seed = v.parse().map_err(|_| format!("bad --seed value {v:?}"))?;
             }
             "--random" => opts.random = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --threads value {v:?}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                opts.threads = Some(n);
+            }
             "--report" => {
                 opts.report = Some(it.next().ok_or("--report needs a path")?.clone());
             }
@@ -126,7 +142,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
 /// A scenario erased to the pieces the driver needs.
 struct Instance {
     space: DecisionSpace,
-    workload: Box<dyn Workload>,
+    workload: Box<dyn Workload + Sync>,
     platform: Platform,
 }
 
@@ -216,7 +232,10 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
         &inst.workload,
         &inst.platform,
         strategy(opts),
-        &PipelineConfig::quick(),
+        &PipelineConfig {
+            threads: opts.threads.unwrap_or(0),
+            ..PipelineConfig::quick()
+        },
     )
     .map_err(fail)?;
 
@@ -353,6 +372,9 @@ mod tests {
         assert_eq!(o.scenario, Scenario::Halo);
         assert!(o.random);
         assert_eq!(o.iterations, 300);
+        assert_eq!(o.threads, None);
+        let o = parse(&argv("spmv explore --threads 4")).unwrap();
+        assert_eq!(o.threads, Some(4));
     }
 
     #[test]
@@ -363,6 +385,9 @@ mod tests {
         assert!(parse(&argv("spmv info --bogus")).is_err());
         assert!(parse(&argv("spmv info --iterations")).is_err());
         assert!(parse(&argv("spmv info --iterations many")).is_err());
+        assert!(parse(&argv("spmv info --threads")).is_err());
+        assert!(parse(&argv("spmv info --threads 0")).is_err());
+        assert!(parse(&argv("spmv info --threads some")).is_err());
     }
 
     #[test]

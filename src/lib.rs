@@ -8,5 +8,6 @@ pub use dr_halo as halo;
 pub use dr_mcts as mcts;
 pub use dr_ml as ml;
 pub use dr_obs as obs;
+pub use dr_par as par;
 pub use dr_sim as sim;
 pub use dr_spmv as spmv;

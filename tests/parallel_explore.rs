@@ -1,0 +1,118 @@
+//! Determinism regression for the parallel exploration engine: for every
+//! strategy and thread count, `explore_parallel` must produce the same
+//! `(traversal, time)` set as the serial backend — on a *noisy* platform,
+//! where any seed drift (per-index seeds, worker-dependent seeds, cache
+//! races) would surface as differing measurement bits.
+
+use cuda_mpi_design_rules::dag::{CostKey, DagBuilder, DecisionSpace, OpSpec, Traversal};
+use cuda_mpi_design_rules::mcts::{MctsConfig, SimEvaluator};
+use cuda_mpi_design_rules::pipeline::{explore_instrumented, explore_parallel, Strategy};
+use cuda_mpi_design_rules::sim::{BenchConfig, Platform, TableWorkload};
+use std::collections::HashSet;
+
+/// A small space (12 traversals) whose every traversal any reasonable
+/// budget covers, on a platform with measurement noise left ON.
+fn setup() -> (DecisionSpace, TableWorkload, Platform) {
+    let mut b = DagBuilder::new();
+    let a = b.add("a", OpSpec::GpuKernel(CostKey::new("a")));
+    let g = b.add("b", OpSpec::GpuKernel(CostKey::new("b")));
+    let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+    b.edge(a, c);
+    b.edge(g, c);
+    let space = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
+    let mut w = TableWorkload::new(1);
+    w.cost_all("a", 3e-4)
+        .cost_all("b", 2e-4)
+        .cost_all("c", 1e-5);
+    (space, w, Platform::perlmutter_like())
+}
+
+type RecordSet = HashSet<(Traversal, u64)>;
+
+fn serial_set(strategy: Strategy) -> RecordSet {
+    let (space, w, platform) = setup();
+    let eval = SimEvaluator::new(&space, &w, &platform, BenchConfig::quick());
+    let (records, _, _) = explore_instrumented(&space, eval, strategy).unwrap();
+    records
+        .into_iter()
+        .map(|r| (r.traversal, r.result.time().to_bits()))
+        .collect()
+}
+
+fn parallel_set(strategy: Strategy, threads: usize) -> (RecordSet, u64) {
+    let (space, w, platform) = setup();
+    let out = explore_parallel(
+        &space,
+        || SimEvaluator::new(&space, &w, &platform, BenchConfig::quick()),
+        strategy,
+        threads,
+    )
+    .unwrap();
+    let sim_runs = out.sim.as_ref().map(|s| s.runs).unwrap_or(0);
+    let set = out
+        .records
+        .into_iter()
+        .map(|r| (r.traversal, r.result.time().to_bits()))
+        .collect();
+    (set, sim_runs)
+}
+
+fn assert_thread_count_invariant(strategy: Strategy) {
+    let serial = serial_set(strategy);
+    assert!(!serial.is_empty());
+    let (_, serial_runs) = parallel_set(strategy, 1);
+    for threads in [1usize, 2, 4] {
+        let (par, runs) = parallel_set(strategy, threads);
+        assert_eq!(
+            par,
+            serial,
+            "{} with {threads} threads diverged from the serial record set",
+            strategy.name()
+        );
+        // Each unique traversal is simulated exactly once per run, so
+        // the merged u64 sim counters are thread-count-invariant too.
+        assert_eq!(runs, serial_runs, "{} sim runs drifted", strategy.name());
+    }
+}
+
+#[test]
+fn exhaustive_is_thread_count_invariant() {
+    assert_thread_count_invariant(Strategy::Exhaustive);
+}
+
+#[test]
+fn random_is_thread_count_invariant() {
+    assert_thread_count_invariant(Strategy::Random {
+        iterations: 60,
+        seed: 5,
+    });
+}
+
+#[test]
+fn mcts_at_exhaustion_is_thread_count_invariant() {
+    // 300 iterations vastly exceed the 12-traversal space: every worker
+    // tree exhausts, so the merged set equals the serial search's.
+    assert_thread_count_invariant(Strategy::Mcts {
+        iterations: 300,
+        config: MctsConfig {
+            seed: 17,
+            ..Default::default()
+        },
+    });
+}
+
+#[test]
+fn parallel_runs_are_repeatable() {
+    // Same (seed, threads) twice → identical everything, including on
+    // the racy-by-construction root-parallel MCTS path.
+    let strategy = Strategy::Mcts {
+        iterations: 300,
+        config: MctsConfig {
+            seed: 23,
+            ..Default::default()
+        },
+    };
+    let (a, _) = parallel_set(strategy, 4);
+    let (b, _) = parallel_set(strategy, 4);
+    assert_eq!(a, b);
+}

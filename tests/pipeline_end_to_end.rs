@@ -162,7 +162,7 @@ fn fastest_class_rules_actually_produce_fast_implementations() {
         return; // tree imperfect; forward guarantee does not apply
     }
     let (_, hi) = result.labeling.class_ranges[0];
-    let all = sc.space.enumerate();
+    let all: Vec<_> = sc.space.enumerate().collect();
     let mut checked = 0;
     // Step must be coprime-ish with the space layout and small enough that
     // the sweep hits class-0 members regardless of the rng stream.

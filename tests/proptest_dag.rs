@@ -12,7 +12,7 @@ proptest! {
 
     #[test]
     fn enumeration_is_exact_unique_and_valid(space in arb_small_space(5, 2000)) {
-        let all = space.enumerate();
+        let all: Vec<_> = space.enumerate().collect();
         prop_assert_eq!(all.len() as u128, space.count_traversals());
         let set: std::collections::HashSet<_> = all.iter().collect();
         prop_assert_eq!(set.len(), all.len(), "traversals must be unique");
@@ -72,7 +72,7 @@ proptest! {
 
     #[test]
     fn schedules_record_events_before_use(space in arb_small_space(5, 500)) {
-        for t in space.enumerate().into_iter().take(64) {
+        for t in space.enumerate().take(64) {
             let s = build_schedule(&space, &t);
             let mut recorded = std::collections::HashSet::new();
             for item in &s.items {

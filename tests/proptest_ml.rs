@@ -115,7 +115,7 @@ proptest! {
     fn feature_matrix_has_no_constant_or_duplicate_columns(
         space in arb_small_space(4, 300),
     ) {
-        let all = space.enumerate();
+        let all: Vec<_> = space.enumerate().collect();
         let refs: Vec<&Traversal> = all.iter().collect();
         let fs = featurize(&space, &refs);
         prop_assert_eq!(fs.num_samples(), all.len());

@@ -1,0 +1,103 @@
+//! Property tests on the parallel exploration substrate: the striped
+//! result cache is observationally transparent, and per-worker simulator
+//! statistics merge back to exactly what a serial accumulation yields.
+
+mod common;
+
+use common::arb_small_space;
+use cuda_mpi_design_rules::dag::eval_seed;
+use cuda_mpi_design_rules::mcts::{CachingEvaluator, Evaluator, SimEvaluator};
+use cuda_mpi_design_rules::par::{par_map_stream_with, StripedCache};
+use cuda_mpi_design_rules::sim::{BenchConfig, Platform, SimStats, TableWorkload};
+use proptest::prelude::*;
+
+fn workload_for(space: &cuda_mpi_design_rules::dag::DecisionSpace) -> TableWorkload {
+    let mut w = TableWorkload::new(1);
+    for (i, op) in space.ops().iter().enumerate() {
+        w.cost_all(op.name.clone(), 1e-5 * (i as f64 + 1.0));
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The cache-wrapped evaluator returns bit-identical results to the
+    /// bare evaluator for every traversal, including repeats, and its
+    /// hit/miss counters account for exactly the repeats.
+    #[test]
+    fn cached_evaluation_equals_direct_evaluation(
+        space in arb_small_space(4, 200),
+        repeats in 1usize..4,
+    ) {
+        let w = workload_for(&space);
+        let platform = Platform::perlmutter_like();
+        let uniques: Vec<_> = space.enumerate().collect();
+
+        let mut direct = SimEvaluator::new(&space, &w, &platform, BenchConfig::quick());
+        let cache = StripedCache::new(8);
+        let inner = SimEvaluator::new(&space, &w, &platform, BenchConfig::quick());
+        let mut cached = CachingEvaluator::new(inner, &cache);
+
+        for _ in 0..repeats {
+            for t in &uniques {
+                let seed = eval_seed(7, t);
+                let a = direct.evaluate(t, seed).unwrap();
+                let b = cached.evaluate(t, seed).unwrap();
+                prop_assert_eq!(a, b);
+            }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.misses as usize, uniques.len());
+        prop_assert_eq!(stats.hits as usize, uniques.len() * (repeats - 1));
+        prop_assert_eq!(cache.len(), uniques.len());
+    }
+
+    /// Evaluating a space partitioned across workers and merging the
+    /// per-worker SimStats in worker order reproduces the serial
+    /// accumulation: u64 counters exactly, busy-time sums to fp
+    /// tolerance (summation order differs).
+    #[test]
+    fn worker_stats_merge_to_serial_accumulation(
+        space in arb_small_space(4, 200),
+        threads in 2usize..5,
+    ) {
+        let w = workload_for(&space);
+        let platform = Platform::perlmutter_like();
+
+        let mut serial = SimEvaluator::new(&space, &w, &platform, BenchConfig::quick());
+        for t in space.enumerate() {
+            serial.evaluate(&t, eval_seed(11, &t)).unwrap();
+        }
+        let serial_stats = serial.stats().clone();
+
+        let (_, states) = par_map_stream_with(
+            space.enumerate(),
+            threads,
+            |_worker| SimEvaluator::new(&space, &w, &platform, BenchConfig::quick()),
+            |eval, _i, t| eval.evaluate(&t, eval_seed(11, &t)),
+        )
+        .unwrap();
+        let mut merged = SimStats::default();
+        for s in &states {
+            merged.merge(s.stats());
+        }
+
+        prop_assert_eq!(merged.runs, serial_stats.runs);
+        prop_assert_eq!(merged.instructions, serial_stats.instructions);
+        prop_assert_eq!(merged.eager_msgs, serial_stats.eager_msgs);
+        prop_assert_eq!(merged.rendezvous_msgs, serial_stats.rendezvous_msgs);
+        prop_assert_eq!(merged.bytes_moved, serial_stats.bytes_moved);
+        prop_assert_eq!(merged.collective_ops, serial_stats.collective_ops);
+        prop_assert_eq!(merged.sync_ops(), serial_stats.sync_ops());
+        prop_assert_eq!(merged.cpu_busy.len(), serial_stats.cpu_busy.len());
+        for (a, b) in merged.cpu_busy.iter().zip(&serial_stats.cpu_busy) {
+            prop_assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+        }
+        for (ra, rb) in merged.stream_busy.iter().zip(&serial_stats.stream_busy) {
+            for (a, b) in ra.iter().zip(rb) {
+                prop_assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+            }
+        }
+    }
+}

@@ -38,7 +38,7 @@ proptest! {
             .sum();
         // Generous overhead budget: launches, events, syncs.
         let overhead = 1e-4 * user_count as f64;
-        for t in space.enumerate().into_iter().take(48) {
+        for t in space.enumerate().take(48) {
             let s = build_schedule(&space, &t);
             let prog = CompiledProgram::compile(&s, &w).unwrap();
             let out = execute(&prog, &platform, &mut SmallRng::seed_from_u64(1)).unwrap();
@@ -62,7 +62,7 @@ proptest! {
     ) {
         let w = workload_for(&space, &costs);
         let platform = Platform::perlmutter_like().noiseless();
-        if let Some(t) = space.enumerate().into_iter().next() {
+        if let Some(t) = space.enumerate().next() {
             let s = build_schedule(&space, &t);
             let prog = CompiledProgram::compile(&s, &w).unwrap();
             let a = execute(&prog, &platform, &mut SmallRng::seed_from_u64(1)).unwrap();
@@ -83,7 +83,7 @@ proptest! {
         let bi = bump_idx % bumped.len();
         bumped[bi] *= 3.0;
         let w2 = workload_for(&space, &bumped);
-        for t in space.enumerate().into_iter().take(16) {
+        for t in space.enumerate().take(16) {
             let s = build_schedule(&space, &t);
             let p1 = CompiledProgram::compile(&s, &w1).unwrap();
             let p2 = CompiledProgram::compile(&s, &w2).unwrap();
@@ -100,7 +100,7 @@ proptest! {
     ) {
         let w = workload_for(&space, &costs);
         let platform = Platform::perlmutter_like(); // with noise
-        for (i, t) in space.enumerate().into_iter().take(24).enumerate() {
+        for (i, t) in space.enumerate().take(24).enumerate() {
             let s = build_schedule(&space, &t);
             let prog = CompiledProgram::compile(&s, &w).unwrap();
             let out = execute(&prog, &platform, &mut SmallRng::seed_from_u64(i as u64)).unwrap();
@@ -134,7 +134,7 @@ proptest! {
                 _ => 0.0,
             }
         });
-        for t in space.enumerate().into_iter().take(24) {
+        for t in space.enumerate().take(24) {
             let s = build_schedule(&space, &t);
             let prog = CompiledProgram::compile(&s, &w).unwrap();
             let time = execute(&prog, &platform, &mut SmallRng::seed_from_u64(1))
