@@ -12,6 +12,7 @@
 //! (JSON) and per-iteration search telemetry (CSV) into that directory.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use dr_core::{explore, PipelineConfig, Strategy};
 use dr_mcts::{ExploredRecord, SimEvaluator};
@@ -44,10 +45,12 @@ pub fn bench_config() -> BenchConfig {
     BenchConfig::default()
 }
 
-/// The pipeline configuration used by the harness.
+/// The pipeline configuration used by the harness. Linting is on so the
+/// run reports written to `DR_ARTIFACTS` carry static-analysis counters.
 pub fn pipeline_config() -> PipelineConfig {
     PipelineConfig {
         bench: bench_config(),
+        lint: true,
         ..Default::default()
     }
 }

@@ -25,9 +25,11 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod evaluate;
 mod explore;
+mod lintstage;
 mod multi_input;
 mod pipeline;
 mod report;
@@ -35,10 +37,11 @@ mod synthesize;
 
 pub use evaluate::{labeling_accuracy, AccuracyReport};
 pub use explore::{explore, explore_instrumented, explore_parallel, ExploreOutput, Strategy};
+pub use lintstage::{lint_space, topology_from_workload, LintTotals, LintingEvaluator, SpaceLint};
 pub use multi_input::{mine_rules_multi, InputFeature, InputRun, MultiInputResult};
 pub use pipeline::{
     mine_rules, mine_rules_timed, run_pipeline, run_pipeline_instrumented, InstrumentedRun,
     PipelineConfig, PipelineResult,
 };
-pub use report::{MiningSummary, RunReport, SearchSummary};
+pub use report::{LintSummary, MiningSummary, RunReport, SearchSummary};
 pub use synthesize::{satisfies, synthesize};

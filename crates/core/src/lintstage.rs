@@ -1,0 +1,257 @@
+//! The opt-in lint stage: static schedule analysis threaded through the
+//! exploration pipeline.
+//!
+//! With [`PipelineConfig::lint`](crate::PipelineConfig) enabled, every
+//! evaluated traversal is first checked by `dr-lint` (happens-before
+//! verification, MPI deadlock detection, redundant-sync analysis) before
+//! the simulator measures it. Findings never fail an evaluation — the
+//! simulator remains the ground truth for *time* — but they accumulate
+//! into shared [`LintTotals`] surfaced in the run's
+//! [`RunReport`](crate::RunReport).
+
+use crate::report::LintSummary;
+use dr_dag::{DecisionSpace, OpSpec, Traversal};
+use dr_lint::{lint_traversal, CommTopology, LintCounters, LintReport};
+use dr_mcts::Evaluator;
+use dr_sim::{BenchResult, Platform, SimError, SimStats, Workload};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Thread-safe lint counters shared by every exploration worker.
+#[derive(Debug, Default)]
+pub struct LintTotals {
+    schedules: AtomicU64,
+    errors: AtomicU64,
+    warnings: AtomicU64,
+    races: AtomicU64,
+    deadlocks: AtomicU64,
+    redundant_syncs: AtomicU64,
+    nanos: AtomicU64,
+}
+
+impl LintTotals {
+    /// Folds one schedule's report (and the time spent producing it) in.
+    pub fn absorb(&self, report: &LintReport, nanos: u64) {
+        self.schedules.fetch_add(1, Ordering::Relaxed);
+        self.errors
+            .fetch_add(report.errors().count() as u64, Ordering::Relaxed);
+        self.warnings
+            .fetch_add(report.warnings().count() as u64, Ordering::Relaxed);
+        self.races
+            .fetch_add(report.races() as u64, Ordering::Relaxed);
+        self.deadlocks
+            .fetch_add(report.deadlocks() as u64, Ordering::Relaxed);
+        self.redundant_syncs
+            .fetch_add(report.redundant_syncs() as u64, Ordering::Relaxed);
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Snapshot for the run report.
+    pub fn summary(&self) -> LintSummary {
+        LintSummary {
+            schedules: self.schedules.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            warnings: self.warnings.load(Ordering::Relaxed),
+            races: self.races.load(Ordering::Relaxed),
+            deadlocks: self.deadlocks.load(Ordering::Relaxed),
+            redundant_syncs: self.redundant_syncs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total wall-clock seconds spent linting (summed across workers).
+    pub fn seconds(&self) -> f64 {
+        self.nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+}
+
+/// Evaluator wrapper that lints each traversal before the inner evaluator
+/// measures it. Placed *inside* the exploration cache, so each distinct
+/// traversal is linted exactly once per run.
+pub struct LintingEvaluator<'a, E> {
+    inner: E,
+    space: &'a DecisionSpace,
+    topo: &'a CommTopology,
+    totals: Arc<LintTotals>,
+}
+
+impl<'a, E> LintingEvaluator<'a, E> {
+    /// Wraps `inner`, accumulating findings into the shared `totals`.
+    pub fn new(
+        inner: E,
+        space: &'a DecisionSpace,
+        topo: &'a CommTopology,
+        totals: Arc<LintTotals>,
+    ) -> Self {
+        LintingEvaluator {
+            inner,
+            space,
+            topo,
+            totals,
+        }
+    }
+}
+
+impl<E: Evaluator> Evaluator for LintingEvaluator<'_, E> {
+    fn evaluate(&mut self, t: &Traversal, seed: u64) -> Result<BenchResult, SimError> {
+        let start = std::time::Instant::now();
+        let report = lint_traversal(self.space, t, Some(self.topo));
+        self.totals
+            .absorb(&report, start.elapsed().as_nanos() as u64);
+        self.inner.evaluate(t, seed)
+    }
+
+    fn sim_stats(&self) -> Option<&SimStats> {
+        self.inner.sim_stats()
+    }
+}
+
+/// Builds the lint-side communication topology from the pipeline's own
+/// ingredients: one [`RankTraffic`](dr_lint::RankTraffic) entry per comm
+/// key referenced by the DAG, resolved through the workload, with the
+/// platform's eager threshold.
+pub fn topology_from_workload<W: Workload>(
+    space: &DecisionSpace,
+    workload: &W,
+    platform: &Platform,
+) -> CommTopology {
+    let dag = space.dag();
+    let keys: BTreeSet<_> = dag
+        .user_vertices()
+        .filter_map(|v| match &dag.vertex(v).spec {
+            OpSpec::PostSends(c)
+            | OpSpec::PostRecvs(c)
+            | OpSpec::WaitSends(c)
+            | OpSpec::WaitRecvs(c)
+            | OpSpec::AllReduce(c) => Some(c.clone()),
+            _ => None,
+        })
+        .collect();
+    let mut topo =
+        CommTopology::new(workload.num_ranks()).with_eager_threshold(platform.eager_threshold);
+    for key in keys {
+        for rank in 0..workload.num_ranks() {
+            if let Some(pattern) = workload.comm(rank, &key) {
+                topo.set(key.clone(), rank, pattern.sends, pattern.recvs);
+            }
+        }
+    }
+    topo
+}
+
+/// Outcome of linting an enumerated decision space.
+#[derive(Debug, Clone)]
+pub struct SpaceLint {
+    /// Aggregate counters over every linted schedule.
+    pub counters: LintCounters,
+    /// Whether enumeration stopped at the schedule cap.
+    pub truncated: bool,
+    /// Rendered diagnostics of the first offending schedules (capped).
+    pub sample: Vec<String>,
+}
+
+/// Lints every traversal `space` enumerates (up to `max_schedules`;
+/// `0` = unlimited), aggregating counters and keeping a small sample of
+/// rendered diagnostics for display.
+pub fn lint_space(
+    space: &DecisionSpace,
+    topo: Option<&CommTopology>,
+    max_schedules: usize,
+) -> SpaceLint {
+    const SAMPLE_CAP: usize = 12;
+    let mut counters = LintCounters::default();
+    let mut sample = Vec::new();
+    let mut truncated = false;
+    for (i, t) in space.enumerate().enumerate() {
+        if max_schedules != 0 && i >= max_schedules {
+            truncated = true;
+            break;
+        }
+        let report = lint_traversal(space, &t, topo);
+        for d in &report.diagnostics {
+            if sample.len() < SAMPLE_CAP {
+                sample.push(format!("schedule #{i}: {}", d.render()));
+            }
+        }
+        counters.absorb(&report);
+    }
+    SpaceLint {
+        counters,
+        truncated,
+        sample,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_dag::{CommKey, CostKey, DagBuilder};
+    use dr_sim::TableWorkload;
+
+    fn exchange_space() -> DecisionSpace {
+        let key = CommKey::new("x");
+        let mut b = DagBuilder::new();
+        let ps = b.add("ps", OpSpec::PostSends(key.clone()));
+        let pr = b.add("pr", OpSpec::PostRecvs(key.clone()));
+        let ws = b.add("ws", OpSpec::WaitSends(key.clone()));
+        let wr = b.add("wr", OpSpec::WaitRecvs(key));
+        b.edge(ps, ws);
+        b.edge(pr, wr);
+        b.edge(ps, wr);
+        DecisionSpace::new(b.build().unwrap(), 1).unwrap()
+    }
+
+    fn exchange_workload(bytes: u64) -> TableWorkload {
+        let mut w = TableWorkload::new(2);
+        w.comm_all_to_all("x", bytes);
+        w
+    }
+
+    #[test]
+    fn topology_mirrors_the_workload() {
+        let space = exchange_space();
+        let w = exchange_workload(4096);
+        let platform = Platform::perlmutter_like();
+        let topo = topology_from_workload(&space, &w, &platform);
+        let pat = topo.pattern(&CommKey::new("x")).expect("key known");
+        assert_eq!(pat.len(), 2);
+        assert_eq!(pat[0].sends, vec![(1, 4096)]);
+        assert_eq!(pat[1].recvs, vec![(0, 4096)]);
+        assert_eq!(topo.is_eager(4096), platform.is_eager(4096));
+    }
+
+    #[test]
+    fn lint_space_aggregates_and_caps() {
+        let space = exchange_space();
+        let w = exchange_workload(256);
+        let topo = topology_from_workload(&space, &w, &Platform::perlmutter_like());
+        let full = lint_space(&space, Some(&topo), 0);
+        assert!(!full.truncated);
+        assert_eq!(full.counters.errors, 0, "{:?}", full.sample);
+        let capped = lint_space(&space, Some(&topo), 1);
+        assert!(capped.truncated);
+        assert_eq!(capped.counters.schedules, 1);
+    }
+
+    #[test]
+    fn linting_evaluator_counts_without_changing_results() {
+        let mut b = DagBuilder::new();
+        b.add("k", OpSpec::GpuKernel(CostKey::new("k")));
+        let space = DecisionSpace::new(b.build().unwrap(), 1).unwrap();
+        let mut w = TableWorkload::new(1);
+        w.cost_all("k", 1e-4);
+        let platform = Platform::perlmutter_like().noiseless();
+        let topo = topology_from_workload(&space, &w, &platform);
+        let totals = Arc::new(LintTotals::default());
+        let inner = dr_mcts::SimEvaluator::new(&space, &w, &platform, dr_sim::BenchConfig::quick());
+        let mut eval = LintingEvaluator::new(inner, &space, &topo, totals.clone());
+        let t = space.enumerate().next().unwrap();
+        let res = eval.evaluate(&t, 7).unwrap();
+        assert!(res.time() >= 1e-4);
+        let summary = totals.summary();
+        assert_eq!(summary.schedules, 1);
+        assert_eq!(summary.errors, 0);
+        assert!(totals.seconds() >= 0.0);
+        assert!(eval.sim_stats().is_some());
+    }
+}

@@ -186,7 +186,6 @@ mod tests {
         for big in [true, false] {
             let records: Vec<ExploredRecord> = sp
                 .enumerate()
-                .into_iter()
                 .enumerate()
                 .map(|(i, t)| {
                     let st = t.streams(sp.num_ops());

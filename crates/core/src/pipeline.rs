@@ -2,6 +2,7 @@
 //! featurize → train → extract rules.
 
 use crate::explore::{explore_parallel, Strategy};
+use crate::lintstage::{topology_from_workload, LintTotals, LintingEvaluator};
 use crate::report::{RunReport, SearchSummary};
 use dr_dag::{DecisionSpace, Traversal};
 use dr_mcts::{ExploredRecord, SearchTelemetry, SimEvaluator};
@@ -12,6 +13,7 @@ use dr_ml::{
 use dr_obs::{Phases, Stopwatch};
 use dr_par::{resolve_threads, CacheStats};
 use dr_sim::{BenchConfig, Platform, SimError, Workload};
+use std::sync::Arc;
 
 /// Pipeline parameters (defaults mirror the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -26,6 +28,10 @@ pub struct PipelineConfig {
     /// Exploration worker threads. `0` (the default) resolves via the
     /// `DR_THREADS` environment variable, falling back to serial.
     pub threads: usize,
+    /// Statically lint every evaluated schedule before simulating it,
+    /// surfacing counters in the run report. Findings never fail an
+    /// evaluation; off by default.
+    pub lint: bool,
 }
 
 impl PipelineConfig {
@@ -111,17 +117,42 @@ pub fn run_pipeline_instrumented<W: Workload + Sync>(
 ) -> Result<InstrumentedRun, SimError> {
     let mut phases = Phases::new();
     let threads = resolve_threads((cfg.threads > 0).then_some(cfg.threads));
+    let lint_ctx = cfg.lint.then(|| {
+        (
+            Arc::new(LintTotals::default()),
+            topology_from_workload(space, workload, platform),
+        )
+    });
     let sw = Stopwatch::start();
-    let explored = explore_parallel(
-        space,
-        || SimEvaluator::new(space, workload, platform, cfg.bench),
-        strategy,
-        threads,
-    )?;
+    let explored = match &lint_ctx {
+        Some((totals, topo)) => explore_parallel(
+            space,
+            || {
+                LintingEvaluator::new(
+                    SimEvaluator::new(space, workload, platform, cfg.bench),
+                    space,
+                    topo,
+                    totals.clone(),
+                )
+            },
+            strategy,
+            threads,
+        )?,
+        None => explore_parallel(
+            space,
+            || SimEvaluator::new(space, workload, platform, cfg.bench),
+            strategy,
+            threads,
+        )?,
+    };
     phases.add("explore", sw.elapsed());
+    if let Some((totals, _)) = &lint_ctx {
+        phases.add("lint", totals.seconds());
+    }
     let result = mine_rules_timed(space, explored.records, cfg, &mut phases);
     let search = SearchSummary::from_telemetry(strategy.name(), &explored.telemetry);
-    let report = RunReport::new(phases, explored.sim, search, &result);
+    let mut report = RunReport::new(phases, explored.sim, search, &result);
+    report.lint = lint_ctx.map(|(totals, _)| totals.summary());
     Ok(InstrumentedRun {
         result,
         report,
@@ -291,6 +322,44 @@ mod tests {
         dr_obs::json::validate(&run.report.to_json()).unwrap();
         let text = run.report.render_text();
         assert!(text.contains("explore") && text.contains("mining:"));
+    }
+
+    #[test]
+    fn lint_stage_surfaces_counters_in_the_report() {
+        let (space, w, platform) = setup();
+        let run = run_pipeline_instrumented(
+            &space,
+            &w,
+            &platform,
+            Strategy::Exhaustive,
+            &PipelineConfig {
+                lint: true,
+                ..PipelineConfig::quick()
+            },
+        )
+        .unwrap();
+        let lint = run.report.lint.expect("lint summary present");
+        // Exhaustive exploration lints each enumerated schedule once.
+        assert_eq!(lint.schedules as usize, run.result.records.len());
+        assert_eq!(lint.errors, 0, "build_schedule output must verify clean");
+        assert_eq!(lint.races, 0);
+        assert_eq!(lint.deadlocks, 0);
+        assert!(run.report.phases.get("lint").is_some());
+        let json = run.report.to_json();
+        dr_obs::json::validate(&json).unwrap();
+        assert!(json.contains("\"lint\":{\"schedules\":"));
+        assert!(run.report.render_text().contains("lint:"));
+        // Without the flag, the report says so explicitly.
+        let off = run_pipeline_instrumented(
+            &space,
+            &w,
+            &platform,
+            Strategy::Exhaustive,
+            &PipelineConfig::quick(),
+        )
+        .unwrap();
+        assert!(off.report.lint.is_none());
+        assert!(off.report.to_json().contains("\"lint\":null"));
     }
 
     #[test]

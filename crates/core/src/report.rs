@@ -63,6 +63,40 @@ impl SearchSummary {
     }
 }
 
+/// Aggregate static-analysis counters of one run's lint stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LintSummary {
+    /// Distinct schedules linted.
+    pub schedules: u64,
+    /// Error-severity diagnostics (races, deadlocks, malformed schedules).
+    pub errors: u64,
+    /// Warning-severity diagnostics (mostly redundant synchronization).
+    pub warnings: u64,
+    /// Happens-before races (`HB*` codes).
+    pub races: u64,
+    /// MPI deadlocks (`MPI103`/`MPI104`).
+    pub deadlocks: u64,
+    /// Redundant synchronizations (`RS*` codes).
+    pub redundant_syncs: u64,
+}
+
+impl LintSummary {
+    fn to_json(self) -> String {
+        format!(
+            concat!(
+                "{{\"schedules\":{},\"errors\":{},\"warnings\":{},",
+                "\"races\":{},\"deadlocks\":{},\"redundant_syncs\":{}}}"
+            ),
+            self.schedules,
+            self.errors,
+            self.warnings,
+            self.races,
+            self.deadlocks,
+            self.redundant_syncs
+        )
+    }
+}
+
 /// Mined-rule outcomes worth reporting alongside the run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MiningSummary {
@@ -87,6 +121,8 @@ pub struct RunReport {
     pub search: SearchSummary,
     /// Mined-rule outcomes.
     pub mining: MiningSummary,
+    /// Lint-stage counters (absent unless the run enabled linting).
+    pub lint: Option<LintSummary>,
 }
 
 impl RunReport {
@@ -106,19 +142,23 @@ impl RunReport {
                 tree_error: result.search.error,
                 num_rulesets: result.rulesets.len(),
             },
+            lint: None,
         }
     }
 
     /// Renders the report as one JSON object.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"phases\":{},\"sim\":{},\"search\":{},\"mining\":{{\"num_classes\":{},\"tree_error\":{},\"num_rulesets\":{}}}}}",
+            "{{\"phases\":{},\"sim\":{},\"search\":{},\"mining\":{{\"num_classes\":{},\"tree_error\":{},\"num_rulesets\":{}}},\"lint\":{}}}",
             self.phases.to_json(),
             self.sim.as_ref().map_or("null".to_string(), |s| s.to_json()),
             self.search.to_json(),
             self.mining.num_classes,
             json::number(self.mining.tree_error),
-            self.mining.num_rulesets
+            self.mining.num_rulesets,
+            self.lint
+                .as_ref()
+                .map_or("null".to_string(), |l| l.to_json())
         )
     }
 
@@ -146,6 +186,18 @@ impl RunReport {
             out.push_str(&format!(
                 "  sync ops: {} CER, {} CES, {} CSWE; {} collective\n",
                 sim.sync_cer, sim.sync_ces, sim.sync_cswe, sim.collective_ops
+            ));
+        }
+        if let Some(lint) = &self.lint {
+            out.push_str(&format!(
+                "lint: {} schedules — {} errors ({} races, {} deadlocks), \
+                 {} warnings ({} redundant syncs)\n",
+                lint.schedules,
+                lint.errors,
+                lint.races,
+                lint.deadlocks,
+                lint.warnings,
+                lint.redundant_syncs
             ));
         }
         out.push_str(&format!(

@@ -9,6 +9,7 @@
 //! comparisons between commits on the same machine.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::time::{Duration, Instant};
 

@@ -21,6 +21,7 @@
 //!   cross-stream GPU dependencies.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod analysis;
 pub mod dot;

@@ -16,6 +16,7 @@
 //!   space has >10¹² traversals: MCTS territory by construction.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod cost;
 mod dag;

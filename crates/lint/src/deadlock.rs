@@ -1,0 +1,527 @@
+//! MPI deadlock detection over the lowered schedule.
+//!
+//! The program is SPMD — every rank executes the same instruction list —
+//! but ranks differ in their communication patterns, so blocking can be
+//! asymmetric. The detector mirrors the simulator's blocking semantics
+//! (`crates/sim/src/exec.rs`) abstractly, with no clock:
+//!
+//! * `WaitRecvs(c)` blocks until every peer the rank receives from has
+//!   executed `PostSends(c)`;
+//! * `WaitSends(c)` blocks until every peer of a *rendezvous* send has
+//!   executed `PostRecvs(c)` (eager sends never block);
+//! * `AllReduce` blocks until every rank has reached it.
+//!
+//! Ranks advance round-robin until quiescence; unfinished ranks at
+//! quiescence are deadlocked (`MPI104`), and the wait-for sets in the
+//! diagnostic name who blocks whom. Static pre-checks catch the cases
+//! that never need execution: waits with no preceding own post
+//! (`MPI101`, the simulator's `WaitBeforePost`), asymmetric
+//! point-to-point patterns (`MPI102`), waits whose matching remote post
+//! instruction does not exist at all (`MPI103`), keys used both
+//! point-to-point and collectively (`MPI105`), and malformed collective
+//! patterns (`MPI107`).
+
+use crate::diag::{Diagnostic, RuleCode};
+use crate::topo::CommTopology;
+use dr_dag::{CommKey, Schedule, ScheduleAction};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The communication instructions of the schedule, by item index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CommOp<'a> {
+    PostSends(&'a CommKey),
+    PostRecvs(&'a CommKey),
+    WaitSends(&'a CommKey),
+    WaitRecvs(&'a CommKey),
+    AllReduce(&'a CommKey),
+}
+
+fn comm_ops(schedule: &Schedule) -> Vec<(usize, CommOp<'_>)> {
+    schedule
+        .items
+        .iter()
+        .enumerate()
+        .filter_map(|(i, item)| {
+            let op = match &item.action {
+                ScheduleAction::PostSends(c) => CommOp::PostSends(c),
+                ScheduleAction::PostRecvs(c) => CommOp::PostRecvs(c),
+                ScheduleAction::WaitSends(c) => CommOp::WaitSends(c),
+                ScheduleAction::WaitRecvs(c) => CommOp::WaitRecvs(c),
+                ScheduleAction::AllReduce(c) => CommOp::AllReduce(c),
+                _ => return None,
+            };
+            Some((i, op))
+        })
+        .collect()
+}
+
+/// Statically detects unmatched and cyclically-blocked MPI communication.
+pub fn detect_deadlocks(schedule: &Schedule, topo: &CommTopology) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let ops = comm_ops(schedule);
+    if ops.is_empty() {
+        return diags;
+    }
+
+    // Key usage: point-to-point vs collective must not mix (MPI105), and
+    // keys without topology information cannot be analyzed (MPI106).
+    let mut p2p_keys: BTreeMap<&CommKey, usize> = BTreeMap::new();
+    let mut coll_keys: BTreeMap<&CommKey, usize> = BTreeMap::new();
+    for &(i, op) in &ops {
+        match op {
+            CommOp::AllReduce(c) => {
+                coll_keys.entry(c).or_insert(i);
+            }
+            CommOp::PostSends(c)
+            | CommOp::PostRecvs(c)
+            | CommOp::WaitSends(c)
+            | CommOp::WaitRecvs(c) => {
+                p2p_keys.entry(c).or_insert(i);
+            }
+        }
+    }
+    for (key, &i) in &p2p_keys {
+        if let Some(&j) = coll_keys.get(key) {
+            diags.push(
+                Diagnostic::new(
+                    RuleCode::Mpi105,
+                    format!("comm key {key} used both point-to-point and collectively"),
+                )
+                .with_items(vec![i.min(j), i.max(j)]),
+            );
+        }
+    }
+    let known = |key: &CommKey| topo.pattern(key).is_some();
+    for (&key, &i) in p2p_keys.iter().chain(coll_keys.iter()) {
+        if !known(key) {
+            diags.push(
+                Diagnostic::new(
+                    RuleCode::Mpi106,
+                    format!("no topology for comm key {key}; its analysis is skipped"),
+                )
+                .with_items(vec![i]),
+            );
+        }
+    }
+
+    // Pattern-level matching (MPI102 / MPI107), independent of order.
+    for &key in p2p_keys.keys() {
+        let Some(pat) = topo.pattern(key) else {
+            continue;
+        };
+        for (src, traffic) in pat.iter().enumerate() {
+            for &(dst, bytes) in &traffic.sends {
+                let matched = dst < pat.len()
+                    && pat[dst]
+                        .recvs
+                        .iter()
+                        .filter(|&&(p, b)| p == src && b == bytes)
+                        .count()
+                        >= traffic
+                            .sends
+                            .iter()
+                            .filter(|&&(p, b)| p == dst && b == bytes)
+                            .count();
+                if !matched {
+                    diags.push(Diagnostic::new(
+                        RuleCode::Mpi102,
+                        format!(
+                            "{key}: rank {src} sends {bytes} B to rank {dst} with no matching recv"
+                        ),
+                    ));
+                }
+            }
+            for &(src_peer, bytes) in &traffic.recvs {
+                let matched = src_peer < pat.len()
+                    && pat[src_peer]
+                        .sends
+                        .iter()
+                        .filter(|&&(p, b)| p == src && b == bytes)
+                        .count()
+                        >= traffic
+                            .recvs
+                            .iter()
+                            .filter(|&&(p, b)| p == src_peer && b == bytes)
+                            .count();
+                if !matched {
+                    diags.push(Diagnostic::new(
+                        RuleCode::Mpi102,
+                        format!(
+                            "{key}: rank {src} expects {bytes} B from rank {src_peer} \
+                             with no matching send"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for &key in coll_keys.keys() {
+        let Some(pat) = topo.pattern(key) else {
+            continue;
+        };
+        for (rank, traffic) in pat.iter().enumerate() {
+            if traffic.sends.len() != 1 || !traffic.recvs.is_empty() {
+                diags.push(Diagnostic::new(
+                    RuleCode::Mpi107,
+                    format!(
+                        "collective {key}: rank {rank} must contribute exactly one send \
+                         and no recvs"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Program-order checks (MPI101) and never-posted checks (MPI103):
+    // SPMD, so one pass over the shared instruction list suffices.
+    let posted_before = |wait_idx: usize, want: &dyn Fn(CommOp<'_>) -> bool| {
+        ops.iter().any(|&(i, op)| i < wait_idx && want(op))
+    };
+    let exists = |want: &dyn Fn(CommOp<'_>) -> bool| ops.iter().any(|&(_, op)| want(op));
+    for &(i, op) in &ops {
+        match op {
+            CommOp::WaitSends(c) => {
+                if !posted_before(i, &|o| matches!(o, CommOp::PostSends(k) if k == c)) {
+                    diags.push(
+                        Diagnostic::new(
+                            RuleCode::Mpi101,
+                            format!("WaitSends({c}) at item {i} before any PostSends({c})"),
+                        )
+                        .with_items(vec![i]),
+                    );
+                }
+                let needs_remote_recv = topo.pattern(c).is_some_and(|pat| {
+                    pat.iter()
+                        .any(|t| t.sends.iter().any(|&(_, b)| !topo.is_eager(b)))
+                });
+                if needs_remote_recv && !exists(&|o| matches!(o, CommOp::PostRecvs(k) if k == c)) {
+                    diags.push(
+                        Diagnostic::new(
+                            RuleCode::Mpi103,
+                            format!(
+                                "WaitSends({c}) at item {i} needs rendezvous receives, \
+                                 but no rank ever posts PostRecvs({c})"
+                            ),
+                        )
+                        .with_items(vec![i]),
+                    );
+                }
+            }
+            CommOp::WaitRecvs(c) => {
+                if !posted_before(i, &|o| matches!(o, CommOp::PostRecvs(k) if k == c)) {
+                    diags.push(
+                        Diagnostic::new(
+                            RuleCode::Mpi101,
+                            format!("WaitRecvs({c}) at item {i} before any PostRecvs({c})"),
+                        )
+                        .with_items(vec![i]),
+                    );
+                }
+                let expects_data = topo
+                    .pattern(c)
+                    .is_some_and(|pat| pat.iter().any(|t| !t.recvs.is_empty()));
+                if expects_data && !exists(&|o| matches!(o, CommOp::PostSends(k) if k == c)) {
+                    diags.push(
+                        Diagnostic::new(
+                            RuleCode::Mpi103,
+                            format!(
+                                "WaitRecvs({c}) at item {i} expects messages, \
+                                 but no rank ever posts PostSends({c})"
+                            ),
+                        )
+                        .with_items(vec![i]),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Abstract round-robin execution to quiescence (MPI104). Only comm
+    // instructions matter; everything else is free progress.
+    let ranks = topo.num_ranks();
+    if ranks == 0 {
+        return diags;
+    }
+    let n = ops.len();
+    let mut pc = vec![0usize; ranks]; // index into `ops`, not items
+    let mut posted_sends: Vec<BTreeSet<&CommKey>> = vec![BTreeSet::new(); ranks];
+    let mut posted_recvs: Vec<BTreeSet<&CommKey>> = vec![BTreeSet::new(); ranks];
+
+    // A wait already reported as never-satisfiable (MPI101/MPI103) would
+    // make the simulator error out rather than block; treat it as
+    // non-blocking so MPI104 reports only genuine cross-rank cycles.
+    let unsatisfiable: BTreeSet<usize> = diags
+        .iter()
+        .filter(|d| matches!(d.code, RuleCode::Mpi101 | RuleCode::Mpi103))
+        .flat_map(|d| d.items.iter().copied())
+        .collect();
+
+    // Who `rank` is waiting for at its current op; empty = not blocked.
+    let waiting_on = |rank: usize,
+                      pc: &[usize],
+                      posted_sends: &[BTreeSet<&CommKey>],
+                      posted_recvs: &[BTreeSet<&CommKey>]|
+     -> Vec<usize> {
+        let (item_idx, op) = ops[pc[rank]];
+        if unsatisfiable.contains(&item_idx) {
+            return Vec::new();
+        }
+        match op {
+            CommOp::WaitRecvs(c) => match topo.pattern(c) {
+                Some(pat) => pat[rank]
+                    .recvs
+                    .iter()
+                    .map(|&(peer, _)| peer)
+                    .filter(|&peer| peer < ranks && !posted_sends[peer].contains(c))
+                    .collect(),
+                None => Vec::new(),
+            },
+            CommOp::WaitSends(c) => match topo.pattern(c) {
+                Some(pat) => pat[rank]
+                    .sends
+                    .iter()
+                    .filter(|&&(_, bytes)| !topo.is_eager(bytes))
+                    .map(|&(peer, _)| peer)
+                    .filter(|&peer| peer < ranks && !posted_recvs[peer].contains(c))
+                    .collect(),
+                None => Vec::new(),
+            },
+            CommOp::AllReduce(_) => (0..ranks).filter(|&p| pc[p] < pc[rank]).collect(),
+            _ => Vec::new(),
+        }
+    };
+
+    loop {
+        let mut progressed = false;
+        for rank in 0..ranks {
+            while pc[rank] < n {
+                if !waiting_on(rank, &pc, &posted_sends, &posted_recvs).is_empty() {
+                    break;
+                }
+                match ops[pc[rank]].1 {
+                    CommOp::PostSends(c) => {
+                        posted_sends[rank].insert(c);
+                    }
+                    CommOp::PostRecvs(c) => {
+                        posted_recvs[rank].insert(c);
+                    }
+                    _ => {}
+                }
+                pc[rank] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    let blocked: Vec<usize> = (0..ranks).filter(|&r| pc[r] < n).collect();
+    if !blocked.is_empty() {
+        let mut parts = Vec::new();
+        let mut items = Vec::new();
+        for &r in &blocked {
+            let (item_idx, _) = ops[pc[r]];
+            let peers = waiting_on(r, &pc, &posted_sends, &posted_recvs);
+            parts.push(format!(
+                "rank {r} blocked at {:?} (item {item_idx}) waiting on ranks {peers:?}",
+                schedule.items[item_idx].name
+            ));
+            items.push(item_idx);
+        }
+        items.sort_unstable();
+        items.dedup();
+        diags.push(
+            Diagnostic::new(RuleCode::Mpi104, format!("deadlock: {}", parts.join("; ")))
+                .with_items(items),
+        );
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_dag::ScheduledItem;
+
+    fn item(name: &str, action: ScheduleAction) -> ScheduledItem {
+        ScheduledItem {
+            name: name.into(),
+            action,
+            source: None,
+        }
+    }
+
+    fn schedule_of(actions: Vec<(&str, ScheduleAction)>) -> Schedule {
+        Schedule {
+            items: actions.into_iter().map(|(n, a)| item(n, a)).collect(),
+            num_events: 0,
+            num_streams: 1,
+        }
+    }
+
+    fn exchange_topology(bytes: u64) -> CommTopology {
+        let mut topo = CommTopology::new(2).with_eager_threshold(1024);
+        topo.all_to_all(CommKey::new("x"), bytes);
+        topo
+    }
+
+    #[test]
+    fn well_ordered_exchange_is_clean() {
+        let c = CommKey::new("x");
+        let s = schedule_of(vec![
+            ("pr", ScheduleAction::PostRecvs(c.clone())),
+            ("ps", ScheduleAction::PostSends(c.clone())),
+            ("ws", ScheduleAction::WaitSends(c.clone())),
+            ("wr", ScheduleAction::WaitRecvs(c)),
+        ]);
+        let diags = detect_deadlocks(&s, &exchange_topology(1 << 20));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn wait_before_own_post_is_mpi101() {
+        let c = CommKey::new("x");
+        let s = schedule_of(vec![
+            ("wr", ScheduleAction::WaitRecvs(c.clone())),
+            ("pr", ScheduleAction::PostRecvs(c.clone())),
+            ("ps", ScheduleAction::PostSends(c.clone())),
+            ("ws", ScheduleAction::WaitSends(c)),
+        ]);
+        let diags = detect_deadlocks(&s, &exchange_topology(1 << 20));
+        assert!(
+            diags.iter().any(|d| d.code == RuleCode::Mpi101),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn rendezvous_wait_before_remote_recv_deadlocks() {
+        // Mirror of the simulator's rendezvous deadlock test: everyone
+        // waits for sends to drain before anyone posts receives — with
+        // the receive post entirely absent, that is MPI103 (never posted).
+        let c = CommKey::new("x");
+        let s = schedule_of(vec![
+            ("ps", ScheduleAction::PostSends(c.clone())),
+            ("ws", ScheduleAction::WaitSends(c)),
+        ]);
+        let diags = detect_deadlocks(&s, &exchange_topology(1 << 20));
+        assert!(
+            diags.iter().any(|d| d.code == RuleCode::Mpi103),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn eager_sends_do_not_block() {
+        let c = CommKey::new("x");
+        let s = schedule_of(vec![
+            ("ps", ScheduleAction::PostSends(c.clone())),
+            ("ws", ScheduleAction::WaitSends(c.clone())),
+            ("pr", ScheduleAction::PostRecvs(c.clone())),
+            ("wr", ScheduleAction::WaitRecvs(c)),
+        ]);
+        // 512 B <= 1024 B threshold: the sends complete eagerly, so
+        // waiting on them before anyone posts receives is fine.
+        let diags = detect_deadlocks(&s, &exchange_topology(512));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unmatched_pattern_is_mpi102() {
+        let c = CommKey::new("x");
+        let mut topo = CommTopology::new(2);
+        topo.set(c.clone(), 0, vec![(1, 100)], vec![]);
+        topo.set(c.clone(), 1, vec![], vec![]); // rank 1 never receives
+        let s = schedule_of(vec![
+            ("pr", ScheduleAction::PostRecvs(c.clone())),
+            ("ps", ScheduleAction::PostSends(c.clone())),
+            ("ws", ScheduleAction::WaitSends(c.clone())),
+            ("wr", ScheduleAction::WaitRecvs(c)),
+        ]);
+        let diags = detect_deadlocks(&s, &topo);
+        assert!(
+            diags.iter().any(|d| d.code == RuleCode::Mpi102),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn collective_after_unreceived_rendezvous_deadlocks() {
+        // Rank order forces: wait for rendezvous sends (needs remote
+        // PostRecvs) but the receive post comes only after an AllReduce
+        // nobody can reach. Classic cyclic block -> MPI104.
+        let c = CommKey::new("x");
+        let r = CommKey::new("sum");
+        let mut topo = exchange_topology(1 << 20);
+        topo.collective(r.clone(), 8);
+        let s = schedule_of(vec![
+            ("ps", ScheduleAction::PostSends(c.clone())),
+            ("ws", ScheduleAction::WaitSends(c.clone())),
+            ("ar", ScheduleAction::AllReduce(r)),
+            ("pr", ScheduleAction::PostRecvs(c.clone())),
+            ("wr", ScheduleAction::WaitRecvs(c)),
+        ]);
+        let diags = detect_deadlocks(&s, &topo);
+        assert!(
+            diags.iter().any(|d| d.code == RuleCode::Mpi104),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn mixed_key_use_is_mpi105() {
+        let c = CommKey::new("x");
+        let mut topo = exchange_topology(512);
+        topo.collective(c.clone(), 8); // overwrites, but usage mix is the point
+        let s = schedule_of(vec![
+            ("ps", ScheduleAction::PostSends(c.clone())),
+            ("ws", ScheduleAction::WaitSends(c.clone())),
+            ("ar", ScheduleAction::AllReduce(c)),
+        ]);
+        let diags = detect_deadlocks(&s, &topo);
+        assert!(
+            diags.iter().any(|d| d.code == RuleCode::Mpi105),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_key_is_skipped_with_mpi106() {
+        let c = CommKey::new("mystery");
+        let s = schedule_of(vec![
+            ("pr", ScheduleAction::PostRecvs(c.clone())),
+            ("ps", ScheduleAction::PostSends(c.clone())),
+            ("wr", ScheduleAction::WaitRecvs(c)),
+        ]);
+        let diags = detect_deadlocks(&s, &CommTopology::new(2));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, RuleCode::Mpi106);
+    }
+
+    #[test]
+    fn invalid_collective_pattern_is_mpi107() {
+        let r = CommKey::new("sum");
+        let mut topo = CommTopology::new(2);
+        topo.set(r.clone(), 0, vec![(0, 8)], vec![]);
+        topo.set(r.clone(), 1, vec![], vec![(0, 8)]); // recvs: invalid
+        let s = schedule_of(vec![("ar", ScheduleAction::AllReduce(r))]);
+        let diags = detect_deadlocks(&s, &topo);
+        assert!(
+            diags.iter().any(|d| d.code == RuleCode::Mpi107),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn allreduce_alone_converges() {
+        let r = CommKey::new("sum");
+        let mut topo = CommTopology::new(4);
+        topo.collective(r.clone(), 8);
+        let s = schedule_of(vec![("ar", ScheduleAction::AllReduce(r))]);
+        let diags = detect_deadlocks(&s, &topo);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

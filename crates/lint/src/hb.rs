@@ -1,0 +1,520 @@
+//! Happens-before reconstruction and dependency-edge verification.
+//!
+//! Every [`ScheduledItem`] contributes three nodes to the happens-before
+//! graph — *issue* (the host call), *start* (the work begins), and *end*
+//! (the work completes) — connected by:
+//!
+//! * program order: `issue(i) → issue(i+1)`, `issue(i) → start(i) →
+//!   end(i)`, and `end(i) → issue(i+1)` for host-blocking items (CPU
+//!   work, MPI calls, `EventSync`, `DeviceSync`);
+//! * stream FIFO: `end(a) → start(b)` for consecutive device-enqueued
+//!   items `a`, `b` on the same stream (kernels, records, stream waits);
+//! * events: an event completes with its record item (which FIFO order
+//!   places after all prior work on the recorded stream), so
+//!   `end(record) → end(waiter)` for `StreamWaitEvent` and `EventSync`;
+//! * device-wide sync: `end(d) → end(sync)` for every device-enqueued
+//!   item `d` issued before a `DeviceSync`.
+//!
+//! Every edge points from a lower to a higher item index, so the node
+//! order is topological and reachability closes in one backward sweep
+//! over per-node bitsets. A DAG dependency `u → v` is *covered* iff
+//! `end(item(u))` reaches `start(item(v))`; an uncovered edge means the
+//! lowering lost the dependency — a data race on a real platform.
+
+use crate::diag::{Diagnostic, RuleCode};
+use dr_dag::{DecisionSpace, EventId, Schedule, ScheduleAction};
+
+/// The *issue* node of item `i` (host reaches the call).
+pub(crate) fn issue(i: usize) -> usize {
+    3 * i
+}
+
+/// The *start* node of item `i` (the work begins executing).
+pub(crate) fn start(i: usize) -> usize {
+    3 * i + 1
+}
+
+/// The *end* node of item `i` (the work completes).
+pub(crate) fn end(i: usize) -> usize {
+    3 * i + 2
+}
+
+/// Transitive happens-before reachability over the 3-nodes-per-item graph.
+pub struct HbGraph {
+    words: usize,
+    reach: Vec<u64>,
+}
+
+impl HbGraph {
+    /// Whether node `from` happens-before node `to` (strictly: `from`
+    /// does not reach itself unless on a cycle, and the graph is acyclic).
+    pub(crate) fn reaches(&self, from: usize, to: usize) -> bool {
+        self.reach[from * self.words + to / 64] >> (to % 64) & 1 == 1
+    }
+}
+
+/// Everything one happens-before construction produces.
+pub(crate) struct HbBuild {
+    /// The closed reachability relation.
+    pub hb: HbGraph,
+    /// Well-formedness and use-before-record diagnostics.
+    pub diags: Vec<Diagnostic>,
+    /// Per item: `true` when it is an `EventRecord` that some later wait
+    /// or sync resolved to.
+    pub used_records: Vec<bool>,
+}
+
+/// Builds the happens-before graph of `schedule`.
+///
+/// `active(item, event)` gates the record→waiter edge a `StreamWaitEvent`
+/// or `EventSync` at `item` would add for `event`; the redundancy
+/// analyzer rebuilds the graph with individual sync effects disabled to
+/// test whether coverage survives without them. All structural edges
+/// (program order, FIFO) are always present.
+pub(crate) fn build_hb<F: Fn(usize, EventId) -> bool>(schedule: &Schedule, active: F) -> HbBuild {
+    let n = schedule.items.len();
+    let nodes = 3 * n;
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); nodes];
+    let mut diags = Vec::new();
+    let mut used_records = vec![false; n];
+
+    let mut last_in_stream: Vec<Option<usize>> = vec![None; schedule.num_streams];
+    let mut latest_record: Vec<Option<usize>> = vec![None; schedule.num_events];
+    let mut device_items: Vec<usize> = Vec::new();
+
+    let edge = |adj: &mut Vec<Vec<u32>>, from: usize, to: usize| {
+        debug_assert!(from < to, "happens-before edges must point forward");
+        adj[from].push(to as u32);
+    };
+
+    for (i, item) in schedule.items.iter().enumerate() {
+        edge(&mut adj, issue(i), start(i));
+        edge(&mut adj, start(i), end(i));
+        if i + 1 < n {
+            edge(&mut adj, issue(i), issue(i + 1));
+        }
+
+        // Device-enqueued items join their stream's FIFO; everything else
+        // blocks the host until complete.
+        let stream = match &item.action {
+            ScheduleAction::KernelLaunch { stream, .. }
+            | ScheduleAction::EventRecord { stream, .. }
+            | ScheduleAction::StreamWaitEvent { stream, .. } => Some(*stream),
+            _ => None,
+        };
+        match stream {
+            Some(s) if s < schedule.num_streams => {
+                if let Some(prev) = last_in_stream[s] {
+                    edge(&mut adj, end(prev), start(i));
+                }
+                last_in_stream[s] = Some(i);
+                device_items.push(i);
+            }
+            Some(s) => {
+                diags.push(
+                    Diagnostic::new(
+                        RuleCode::Sched002,
+                        format!(
+                            "item {i} ({:?}) targets stream {s} but the schedule declares {}",
+                            item.name, schedule.num_streams
+                        ),
+                    )
+                    .with_items(vec![i]),
+                );
+                device_items.push(i);
+            }
+            None => {
+                if i + 1 < n {
+                    edge(&mut adj, end(i), issue(i + 1));
+                }
+            }
+        }
+
+        // Event effects: resolve each referenced event to its most recent
+        // preceding record (CUDA captures the record at wait-issue time).
+        let resolve = |adj: &mut Vec<Vec<u32>>,
+                       diags: &mut Vec<Diagnostic>,
+                       used: &mut Vec<bool>,
+                       latest: &[Option<usize>],
+                       ev: EventId| {
+            if ev >= schedule.num_events {
+                diags.push(
+                    Diagnostic::new(
+                        RuleCode::Sched002,
+                        format!(
+                            "item {i} ({:?}) references event {ev} but the schedule declares {}",
+                            item.name, schedule.num_events
+                        ),
+                    )
+                    .with_items(vec![i]),
+                );
+                return;
+            }
+            match latest[ev] {
+                Some(rec) => {
+                    used[rec] = true;
+                    if active(i, ev) {
+                        edge(adj, end(rec), end(i));
+                    }
+                }
+                None => diags.push(
+                    Diagnostic::new(
+                        RuleCode::Hb002,
+                        format!(
+                            "item {i} ({:?}) waits on event {ev} before any record of it",
+                            item.name
+                        ),
+                    )
+                    .with_items(vec![i]),
+                ),
+            }
+        };
+
+        match &item.action {
+            ScheduleAction::EventRecord { event, .. } => {
+                if *event >= schedule.num_events {
+                    diags.push(
+                        Diagnostic::new(
+                            RuleCode::Sched002,
+                            format!(
+                                "item {i} ({:?}) records event {event} but the schedule declares {}",
+                                item.name, schedule.num_events
+                            ),
+                        )
+                        .with_items(vec![i]),
+                    );
+                } else {
+                    latest_record[*event] = Some(i);
+                }
+            }
+            ScheduleAction::StreamWaitEvent { event, .. } => {
+                resolve(
+                    &mut adj,
+                    &mut diags,
+                    &mut used_records,
+                    &latest_record,
+                    *event,
+                );
+            }
+            ScheduleAction::EventSync { events } => {
+                for &ev in events {
+                    resolve(&mut adj, &mut diags, &mut used_records, &latest_record, ev);
+                }
+            }
+            ScheduleAction::DeviceSync => {
+                for &d in &device_items {
+                    edge(&mut adj, end(d), end(i));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Close reachability: edges only point forward, so a single backward
+    // sweep in node order computes the transitive closure.
+    let words = nodes.div_ceil(64);
+    let mut reach = vec![0u64; nodes * words];
+    for node in (0..nodes).rev() {
+        for s in std::mem::take(&mut adj[node]) {
+            let succ = s as usize;
+            reach[node * words + succ / 64] |= 1 << (succ % 64);
+            let (head, tail) = reach.split_at_mut(succ * words);
+            let dst = &mut head[node * words..node * words + words];
+            let src = &tail[..words];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d |= *s;
+            }
+        }
+    }
+
+    HbBuild {
+        hb: HbGraph { words, reach },
+        diags,
+        used_records,
+    }
+}
+
+/// Maps every decision op to its schedule item (via `ScheduledItem::
+/// source`), reporting `SCHED001` for ops that are missing or duplicated.
+pub(crate) fn map_ops(
+    space: &DecisionSpace,
+    schedule: &Schedule,
+) -> (Vec<Option<usize>>, Vec<Diagnostic>) {
+    let mut item_of_op: Vec<Option<usize>> = vec![None; space.num_ops()];
+    let mut diags = Vec::new();
+    for (i, item) in schedule.items.iter().enumerate() {
+        if let Some(op) = item.source {
+            if op >= space.num_ops() {
+                diags.push(
+                    Diagnostic::new(
+                        RuleCode::Sched001,
+                        format!("item {i} ({:?}) names unknown decision op {op}", item.name),
+                    )
+                    .with_items(vec![i]),
+                );
+            } else if let Some(first) = item_of_op[op] {
+                diags.push(
+                    Diagnostic::new(
+                        RuleCode::Sched001,
+                        format!(
+                            "decision op {:?} lowered twice (items {first} and {i})",
+                            space.ops()[op].name
+                        ),
+                    )
+                    .with_items(vec![first, i])
+                    .with_ops(vec![op]),
+                );
+            } else {
+                item_of_op[op] = Some(i);
+            }
+        }
+    }
+    for (op, slot) in item_of_op.iter().enumerate() {
+        if slot.is_none() {
+            diags.push(
+                Diagnostic::new(
+                    RuleCode::Sched001,
+                    format!(
+                        "decision op {:?} has no schedule item",
+                        space.ops()[op].name
+                    ),
+                )
+                .with_ops(vec![op]),
+            );
+        }
+    }
+    (item_of_op, diags)
+}
+
+/// The DAG dependency edges the verifier must see covered, as schedule
+/// item pairs `(item_u, item_v)`; `item_v == usize::MAX` marks an edge
+/// into the artificial `End` (covered by the final `DeviceSync`).
+pub(crate) fn dependency_edges(
+    space: &DecisionSpace,
+    item_of_op: &[Option<usize>],
+) -> Vec<(usize, usize, String)> {
+    let dag = space.dag();
+    let mut edges = Vec::new();
+    for v in dag.user_vertices() {
+        let Some(iv) = space.op_of_vertex(v).and_then(|op| item_of_op[op]) else {
+            continue;
+        };
+        for &u in dag.preds(v) {
+            let Some(iu) = space.op_of_vertex(u).and_then(|op| item_of_op[op]) else {
+                continue;
+            };
+            edges.push((
+                iu,
+                iv,
+                format!("{} -> {}", dag.vertex(u).name, dag.vertex(v).name),
+            ));
+        }
+    }
+    // Edges into End: every user predecessor of the terminal vertex must
+    // complete before the program does.
+    for &u in dag.preds(dag.end()) {
+        if let Some(iu) = space.op_of_vertex(u).and_then(|op| item_of_op[op]) {
+            edges.push((iu, usize::MAX, format!("{} -> End", dag.vertex(u).name)));
+        }
+    }
+    edges
+}
+
+/// Which dependency edges the given happens-before order covers.
+pub(crate) fn coverage(
+    schedule: &Schedule,
+    hb: &HbGraph,
+    edges: &[(usize, usize, String)],
+) -> Vec<bool> {
+    let n = schedule.items.len();
+    // "Program end" is the completion of a final DeviceSync; without one,
+    // nothing bounds still-running device work.
+    let end_node = schedule
+        .items
+        .last()
+        .filter(|item| item.action == ScheduleAction::DeviceSync)
+        .map(|_| end(n - 1));
+    edges
+        .iter()
+        .map(|&(iu, iv, _)| {
+            if iv == usize::MAX {
+                match end_node {
+                    Some(e) => end(iu) == e || hb.reaches(end(iu), e),
+                    None => false,
+                }
+            } else {
+                hb.reaches(end(iu), start(iv))
+            }
+        })
+        .collect()
+}
+
+/// Verifies that the schedule's happens-before order covers every DAG
+/// dependency edge; each uncovered edge is one `HB001` race diagnostic.
+pub fn verify_happens_before(space: &DecisionSpace, schedule: &Schedule) -> Vec<Diagnostic> {
+    let (item_of_op, mut diags) = map_ops(space, schedule);
+    let build = build_hb(schedule, |_, _| true);
+    diags.extend(build.diags);
+    let edges = dependency_edges(space, &item_of_op);
+    let covered = coverage(schedule, &build.hb, &edges);
+    for ((iu, iv, name), ok) in edges.iter().zip(&covered) {
+        if !ok {
+            let items = if *iv == usize::MAX {
+                vec![*iu]
+            } else {
+                vec![*iu, *iv]
+            };
+            diags.push(
+                Diagnostic::new(
+                    RuleCode::Hb001,
+                    format!("dependency {name} is not enforced by any synchronization"),
+                )
+                .with_items(items),
+            );
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_dag::{build_schedule, CostKey, DagBuilder, OpSpec, ScheduledItem};
+
+    fn two_kernel_space() -> DecisionSpace {
+        let mut b = DagBuilder::new();
+        let g1 = b.add("g1", OpSpec::GpuKernel(CostKey::new("g1")));
+        let g2 = b.add("g2", OpSpec::GpuKernel(CostKey::new("g2")));
+        b.edge(g1, g2);
+        DecisionSpace::new(b.build().unwrap(), 2).unwrap()
+    }
+
+    #[test]
+    fn same_stream_fifo_covers_the_edge() {
+        let sp = two_kernel_space();
+        let t = sp
+            .traversal_from_names(&[("g1", Some(0)), ("g2", Some(0))])
+            .unwrap();
+        let s = build_schedule(&sp, &t);
+        assert!(verify_happens_before(&sp, &s).is_empty());
+    }
+
+    #[test]
+    fn cross_stream_glue_covers_the_edge() {
+        let sp = two_kernel_space();
+        let t = sp
+            .traversal_from_names(&[("g1", Some(0)), ("g2", Some(1))])
+            .unwrap();
+        let s = build_schedule(&sp, &t);
+        assert!(verify_happens_before(&sp, &s).is_empty());
+    }
+
+    #[test]
+    fn dropping_the_stream_wait_is_a_race() {
+        let sp = two_kernel_space();
+        let t = sp
+            .traversal_from_names(&[("g1", Some(0)), ("g2", Some(1))])
+            .unwrap();
+        let mut s = build_schedule(&sp, &t);
+        s.items
+            .retain(|item| !matches!(item.action, ScheduleAction::StreamWaitEvent { .. }));
+        let diags = verify_happens_before(&sp, &s);
+        assert!(diags.iter().any(|d| d.code == RuleCode::Hb001), "{diags:?}");
+    }
+
+    #[test]
+    fn wait_before_record_is_flagged() {
+        let sp = two_kernel_space();
+        let t = sp
+            .traversal_from_names(&[("g1", Some(0)), ("g2", Some(1))])
+            .unwrap();
+        let mut s = build_schedule(&sp, &t);
+        // Swap the glued record and the stream wait: the wait now resolves
+        // to nothing.
+        let rec = s
+            .items
+            .iter()
+            .position(|i| matches!(i.action, ScheduleAction::EventRecord { .. }))
+            .unwrap();
+        let wait = s
+            .items
+            .iter()
+            .position(|i| matches!(i.action, ScheduleAction::StreamWaitEvent { .. }))
+            .unwrap();
+        s.items.swap(rec, wait);
+        let diags = verify_happens_before(&sp, &s);
+        assert!(diags.iter().any(|d| d.code == RuleCode::Hb002), "{diags:?}");
+    }
+
+    #[test]
+    fn missing_decision_op_is_flagged() {
+        let sp = two_kernel_space();
+        let t = sp
+            .traversal_from_names(&[("g1", Some(0)), ("g2", Some(0))])
+            .unwrap();
+        let mut s = build_schedule(&sp, &t);
+        s.items.retain(|item| item.name != "g2");
+        let diags = verify_happens_before(&sp, &s);
+        assert!(
+            diags.iter().any(|d| d.code == RuleCode::Sched001),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn missing_final_device_sync_breaks_end_edges() {
+        let sp = two_kernel_space();
+        let t = sp
+            .traversal_from_names(&[("g1", Some(0)), ("g2", Some(0))])
+            .unwrap();
+        let mut s = build_schedule(&sp, &t);
+        s.items.pop();
+        let diags = verify_happens_before(&sp, &s);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == RuleCode::Hb001 && d.message.contains("End")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_ids_are_flagged() {
+        let sp = two_kernel_space();
+        let t = sp
+            .traversal_from_names(&[("g1", Some(0)), ("g2", Some(1))])
+            .unwrap();
+        let mut s = build_schedule(&sp, &t);
+        s.items.insert(
+            0,
+            ScheduledItem {
+                name: "bogus".into(),
+                action: ScheduleAction::EventRecord {
+                    event: 99,
+                    stream: 0,
+                },
+                source: None,
+            },
+        );
+        let diags = verify_happens_before(&sp, &s);
+        assert!(
+            diags.iter().any(|d| d.code == RuleCode::Sched002),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn reachability_is_transitive_over_host_order() {
+        let sp = two_kernel_space();
+        let t = sp
+            .traversal_from_names(&[("g1", Some(0)), ("g2", Some(0))])
+            .unwrap();
+        let s = build_schedule(&sp, &t);
+        let build = build_hb(&s, |_, _| true);
+        let n = s.items.len();
+        // The first issue reaches every later node.
+        for node in 1..3 * n {
+            assert!(build.hb.reaches(issue(0), node), "issue(0) -/-> {node}");
+        }
+    }
+}

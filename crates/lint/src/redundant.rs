@@ -1,0 +1,235 @@
+//! Redundant-synchronization analysis.
+//!
+//! A synchronization effect is *redundant* when removing it leaves the
+//! set of covered DAG dependency edges unchanged — the remaining partial
+//! order (program order, stream FIFO, the other syncs) already dominates
+//! it, so it is pure overhead. Exactly the paper's design-rule material:
+//! "this `cudaStreamWaitEvent` buys you nothing here".
+//!
+//! The analysis is removal-based: rebuild the happens-before graph with
+//! one sync effect disabled and compare edge coverage against the
+//! baseline. Disabling never *adds* coverage, so equality means the
+//! effect was dominated.
+
+use crate::diag::{Diagnostic, RuleCode};
+use crate::hb::{build_hb, coverage, dependency_edges, map_ops};
+use dr_dag::{DecisionSpace, Schedule, ScheduleAction};
+
+/// Finds synchronization actions dominated by the rest of the partial
+/// order: `RS001` (StreamWaitEvent), `RS002` (whole EventSync), `RS003`
+/// (single event within an EventSync), `RS004` (unconsumed EventRecord).
+pub fn find_redundant_syncs(space: &DecisionSpace, schedule: &Schedule) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let (item_of_op, _) = map_ops(space, schedule);
+    let edges = dependency_edges(space, &item_of_op);
+    let baseline_build = build_hb(schedule, |_, _| true);
+    let baseline = coverage(schedule, &baseline_build.hb, &edges);
+
+    let same_without = |disabled: &dyn Fn(usize, usize) -> bool| -> bool {
+        let build = build_hb(schedule, |item, ev| !disabled(item, ev));
+        coverage(schedule, &build.hb, &edges) == baseline
+    };
+
+    for (i, item) in schedule.items.iter().enumerate() {
+        match &item.action {
+            ScheduleAction::StreamWaitEvent { event, .. } if same_without(&|item, _| item == i) => {
+                diags.push(
+                    Diagnostic::new(
+                        RuleCode::Rs001,
+                        format!(
+                            "StreamWaitEvent {:?} (event {event}) is dominated by the \
+                             existing partial order",
+                            item.name
+                        ),
+                    )
+                    .with_items(vec![i]),
+                );
+            }
+            ScheduleAction::EventSync { events } => {
+                let mut distinct = events.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                if same_without(&|item, _| item == i) {
+                    diags.push(
+                        Diagnostic::new(
+                            RuleCode::Rs002,
+                            format!(
+                                "EventSync {:?} is wholly dominated by the existing \
+                                 partial order",
+                                item.name
+                            ),
+                        )
+                        .with_items(vec![i]),
+                    );
+                } else {
+                    for &ev in &distinct {
+                        if same_without(&|item, e| item == i && e == ev) {
+                            diags.push(
+                                Diagnostic::new(
+                                    RuleCode::Rs003,
+                                    format!("event {ev} in EventSync {:?} is redundant", item.name),
+                                )
+                                .with_items(vec![i]),
+                            );
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for (i, used) in baseline_build.used_records.iter().enumerate() {
+        if matches!(schedule.items[i].action, ScheduleAction::EventRecord { .. }) && !used {
+            diags.push(
+                Diagnostic::new(
+                    RuleCode::Rs004,
+                    format!(
+                        "EventRecord {:?} is never consumed by a wait or sync",
+                        schedule.items[i].name
+                    ),
+                )
+                .with_items(vec![i]),
+            );
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_dag::{build_schedule, CostKey, DagBuilder, OpSpec, ScheduledItem};
+
+    /// Two same-stream GPU preds feeding one CPU op: the CES must sync
+    /// two events, but stream FIFO makes the earlier one redundant.
+    #[test]
+    fn same_stream_double_sync_has_a_redundant_event() {
+        let mut b = DagBuilder::new();
+        let g1 = b.add("g1", OpSpec::GpuKernel(CostKey::new("g1")));
+        let g2 = b.add("g2", OpSpec::GpuKernel(CostKey::new("g2")));
+        let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+        b.edge(g1, c);
+        b.edge(g2, c);
+        let sp = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
+        let t = sp
+            .traversal_from_names(&[
+                ("g1", Some(0)),
+                ("CER-after-g1", None),
+                ("g2", Some(0)),
+                ("CER-after-g2", None),
+                ("CES-b4-c", None),
+                ("c", None),
+            ])
+            .unwrap();
+        let s = build_schedule(&sp, &t);
+        let diags = find_redundant_syncs(&sp, &s);
+        assert!(
+            diags.iter().any(|d| d.code == RuleCode::Rs003),
+            "the g1 event is dominated via stream-0 FIFO: {diags:?}"
+        );
+        // Not the whole sync: dropping both events would uncover g2 -> c.
+        assert!(!diags.iter().any(|d| d.code == RuleCode::Rs002));
+    }
+
+    /// Cross-stream preds on distinct streams: both events needed.
+    #[test]
+    fn cross_stream_double_sync_is_not_redundant() {
+        let mut b = DagBuilder::new();
+        let g1 = b.add("g1", OpSpec::GpuKernel(CostKey::new("g1")));
+        let g2 = b.add("g2", OpSpec::GpuKernel(CostKey::new("g2")));
+        let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+        b.edge(g1, c);
+        b.edge(g2, c);
+        let sp = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
+        let t = sp
+            .traversal_from_names(&[
+                ("g1", Some(0)),
+                ("CER-after-g1", None),
+                ("g2", Some(1)),
+                ("CER-after-g2", None),
+                ("CES-b4-c", None),
+                ("c", None),
+            ])
+            .unwrap();
+        let s = build_schedule(&sp, &t);
+        let diags = find_redundant_syncs(&sp, &s);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    /// An injected no-op StreamWaitEvent duplicating same-stream FIFO.
+    #[test]
+    fn dominated_stream_wait_is_rs001() {
+        let mut b = DagBuilder::new();
+        let g1 = b.add("g1", OpSpec::GpuKernel(CostKey::new("g1")));
+        let g2 = b.add("g2", OpSpec::GpuKernel(CostKey::new("g2")));
+        b.edge(g1, g2);
+        let sp = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
+        let t = sp
+            .traversal_from_names(&[("g1", Some(0)), ("g2", Some(0))])
+            .unwrap();
+        let mut s = build_schedule(&sp, &t);
+        // Hand-insert record + wait on the same stream: FIFO already
+        // orders g1 before g2, so the wait is pure overhead.
+        let g2_at = s.items.iter().position(|i| i.name == "g2").unwrap();
+        let event = s.num_events;
+        s.num_events += 1;
+        s.items.insert(
+            g2_at,
+            ScheduledItem {
+                name: "CER-after-g1(extra)".into(),
+                action: ScheduleAction::EventRecord { event, stream: 0 },
+                source: None,
+            },
+        );
+        s.items.insert(
+            g2_at + 1,
+            ScheduledItem {
+                name: "CSWE-b4-g2(extra)".into(),
+                action: ScheduleAction::StreamWaitEvent { stream: 0, event },
+                source: None,
+            },
+        );
+        let diags = find_redundant_syncs(&sp, &s);
+        assert!(diags.iter().any(|d| d.code == RuleCode::Rs001), "{diags:?}");
+    }
+
+    #[test]
+    fn unused_record_is_rs004() {
+        let mut b = DagBuilder::new();
+        b.add("g1", OpSpec::GpuKernel(CostKey::new("g1")));
+        let sp = DecisionSpace::new(b.build().unwrap(), 1).unwrap();
+        let t = sp.traversal_from_names(&[("g1", Some(0))]).unwrap();
+        let mut s = build_schedule(&sp, &t);
+        let event = s.num_events;
+        s.num_events += 1;
+        s.items.insert(
+            1,
+            ScheduledItem {
+                name: "CER-after-g1(orphan)".into(),
+                action: ScheduleAction::EventRecord { event, stream: 0 },
+                source: None,
+            },
+        );
+        let diags = find_redundant_syncs(&sp, &s);
+        assert!(diags.iter().any(|d| d.code == RuleCode::Rs004), "{diags:?}");
+    }
+
+    /// The natural lowering of a necessary cross-stream dependency has no
+    /// redundant synchronization at all.
+    #[test]
+    fn necessary_glue_is_silent() {
+        let mut b = DagBuilder::new();
+        let g1 = b.add("g1", OpSpec::GpuKernel(CostKey::new("g1")));
+        let g2 = b.add("g2", OpSpec::GpuKernel(CostKey::new("g2")));
+        b.edge(g1, g2);
+        let sp = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
+        let t = sp
+            .traversal_from_names(&[("g1", Some(0)), ("g2", Some(1))])
+            .unwrap();
+        let s = build_schedule(&sp, &t);
+        let diags = find_redundant_syncs(&sp, &s);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Communication topology: the per-rank message patterns the deadlock
+//! detector matches against.
+//!
+//! The lint crate is deliberately independent of the simulator, so it
+//! carries its own minimal mirror of the workload's communication facts:
+//! for each [`CommKey`], who each rank sends to and receives from (and
+//! how many bytes), plus the platform's eager threshold (a rendezvous
+//! send blocks in `WaitSends` until the peer posts its receives; an
+//! eager send never does).
+
+use dr_dag::CommKey;
+use std::collections::BTreeMap;
+
+/// One rank's point-to-point traffic under one communication key.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RankTraffic {
+    /// `(peer, bytes)` for each message the rank sends.
+    pub sends: Vec<(usize, u64)>,
+    /// `(peer, bytes)` for each message the rank receives.
+    pub recvs: Vec<(usize, u64)>,
+}
+
+/// Per-key, per-rank communication patterns for an SPMD program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommTopology {
+    num_ranks: usize,
+    eager_threshold: Option<u64>,
+    table: BTreeMap<CommKey, Vec<RankTraffic>>,
+}
+
+impl CommTopology {
+    /// Creates an empty topology over `num_ranks` ranks with no eager
+    /// threshold (every send treated as rendezvous — the conservative
+    /// choice for deadlock detection).
+    pub fn new(num_ranks: usize) -> Self {
+        CommTopology {
+            num_ranks,
+            eager_threshold: None,
+            table: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the eager threshold: messages of at most `bytes` complete
+    /// their sends without waiting for the receiver.
+    pub fn with_eager_threshold(mut self, bytes: u64) -> Self {
+        self.eager_threshold = Some(bytes);
+        self
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    /// Whether a message of this size is sent eagerly. With no threshold
+    /// configured, nothing is eager.
+    pub fn is_eager(&self, bytes: u64) -> bool {
+        self.eager_threshold.is_some_and(|t| bytes <= t)
+    }
+
+    /// Sets one rank's traffic under `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rank >= num_ranks`.
+    pub fn set(
+        &mut self,
+        key: CommKey,
+        rank: usize,
+        sends: Vec<(usize, u64)>,
+        recvs: Vec<(usize, u64)>,
+    ) -> &mut Self {
+        assert!(rank < self.num_ranks, "rank {rank} out of range");
+        let slots = self
+            .table
+            .entry(key)
+            .or_insert_with(|| vec![RankTraffic::default(); self.num_ranks]);
+        slots[rank] = RankTraffic { sends, recvs };
+        self
+    }
+
+    /// Convenience: every rank sends `bytes` to and receives `bytes` from
+    /// every other rank under `key`.
+    pub fn all_to_all(&mut self, key: CommKey, bytes: u64) -> &mut Self {
+        for rank in 0..self.num_ranks {
+            let peers: Vec<(usize, u64)> = (0..self.num_ranks)
+                .filter(|&p| p != rank)
+                .map(|p| (p, bytes))
+                .collect();
+            self.set(key.clone(), rank, peers.clone(), peers);
+        }
+        self
+    }
+
+    /// Convenience: a collective where every rank contributes `bytes`
+    /// (one send, no recvs — the simulator's collective convention).
+    pub fn collective(&mut self, key: CommKey, bytes: u64) -> &mut Self {
+        for rank in 0..self.num_ranks {
+            self.set(key.clone(), rank, vec![(rank, bytes)], vec![]);
+        }
+        self
+    }
+
+    /// The per-rank traffic table for `key`, `None` when unknown.
+    pub fn pattern(&self, key: &CommKey) -> Option<&[RankTraffic]> {
+        self.table.get(key).map(Vec::as_slice)
+    }
+
+    /// Every key the topology knows about.
+    pub fn keys(&self) -> impl Iterator<Item = &CommKey> {
+        self.table.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_to_all_fills_every_rank() {
+        let mut topo = CommTopology::new(3).with_eager_threshold(1024);
+        topo.all_to_all(CommKey::new("x"), 4096);
+        let pat = topo.pattern(&CommKey::new("x")).unwrap();
+        assert_eq!(pat.len(), 3);
+        assert_eq!(pat[1].sends, vec![(0, 4096), (2, 4096)]);
+        assert_eq!(pat[1].recvs, vec![(0, 4096), (2, 4096)]);
+        assert!(!topo.is_eager(4096));
+        assert!(topo.is_eager(1024));
+    }
+
+    #[test]
+    fn no_threshold_means_nothing_is_eager() {
+        let topo = CommTopology::new(2);
+        assert!(!topo.is_eager(1));
+    }
+}

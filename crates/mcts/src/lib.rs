@@ -15,6 +15,7 @@
 //!   future work calls for (used by the ablation benchmark).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod eval;
 mod random;

@@ -18,6 +18,7 @@
 //!   analysis of Tables V–VII.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod export;
 mod features;

@@ -12,6 +12,7 @@
 //! atomics, no global registries.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod json;
 pub mod metrics;

@@ -20,6 +20,7 @@
 //! pool then guarantees the *ordering* side of the contract.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod cache;
 mod pool;

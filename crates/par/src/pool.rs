@@ -201,9 +201,8 @@ mod tests {
         // An iterator that counts how far it has been driven: the pool
         // must pull everything exactly once, through the shared queue.
         let pulled = std::sync::atomic::AtomicUsize::new(0);
-        let src = (0..57).map(|x| {
+        let src = (0..57).inspect(|_| {
             pulled.fetch_add(1, Ordering::Relaxed);
-            x
         });
         let out = par_map_stream(src, 4, |_, x| Ok::<_, ()>(x)).unwrap();
         assert_eq!(out, (0..57).collect::<Vec<_>>());

@@ -15,6 +15,7 @@
 //!   `Err`), which is observably identical under the test harness.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

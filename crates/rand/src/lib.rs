@@ -10,6 +10,7 @@
 //! are stable within this repository but not across implementations.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::ops::{Range, RangeInclusive};
 

@@ -19,6 +19,7 @@
 //!   `t_measure`, percentile records, max-over-ranks reduction).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod bench;
 mod compile;

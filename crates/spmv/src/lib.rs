@@ -17,6 +17,7 @@
 //! * [`SpmvScenario`] — everything assembled, ready for exploration.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod cost;
 mod dag;

@@ -5,7 +5,10 @@
 use crate::dag::{build_schedule, DecisionSpace, Traversal};
 use crate::mcts::MctsConfig;
 use crate::ml::{render_ruleset, rulesets_for_class};
-use crate::pipeline::{run_pipeline_instrumented, synthesize, PipelineConfig, Strategy};
+use crate::pipeline::{
+    lint_space, run_pipeline_instrumented, synthesize, topology_from_workload, PipelineConfig,
+    Strategy,
+};
 use crate::sim::{
     benchmark, execute_traced, BenchConfig, CompiledProgram, Platform, SimError, Workload,
 };
@@ -38,6 +41,8 @@ pub enum Command {
     Synthesize,
     /// Trace the best and worst explored implementations.
     Timeline,
+    /// Statically lint the enumerated schedules (no simulation).
+    Lint,
 }
 
 /// Parsed command line.
@@ -60,19 +65,24 @@ pub struct CliOptions {
     pub report: Option<String>,
     /// Write per-iteration search telemetry CSV here.
     pub telemetry: Option<String>,
+    /// Schedule cap for `lint` (`0` = lint the whole space).
+    pub max_schedules: usize,
 }
 
 /// Usage text printed on parse errors.
 pub const USAGE: &str = "usage: dr-rules <scenario> <command> [options]
   scenarios: spmv | spmv-paper | spmv-fine | halo
-  commands:  info | explore | rules | synthesize | timeline
+  commands:  info | explore | rules | synthesize | timeline | lint
   options:   --iterations N (default 300)
              --seed N       (default 0)
              --random       (uniform sampling instead of MCTS)
              --threads N    (exploration worker threads; default: the
                              DR_THREADS environment variable, else 1)
-             --report PATH    (write a JSON run report)
-             --telemetry PATH (write per-iteration search telemetry CSV)";
+             --report PATH    (write a JSON run report, or lint counters
+                               for the lint command)
+             --telemetry PATH (write per-iteration search telemetry CSV)
+             --max-schedules N (lint: stop after N schedules;
+                                0 = whole space; default 2048)";
 
 /// Parses command-line arguments (excluding `argv[0]`).
 pub fn parse(args: &[String]) -> Result<CliOptions, String> {
@@ -91,6 +101,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         Some("rules") => Command::Rules,
         Some("synthesize") => Command::Synthesize,
         Some("timeline") => Command::Timeline,
+        Some("lint") => Command::Lint,
         Some(other) => return Err(format!("unknown command {other:?}\n{USAGE}")),
         None => return Err(format!("missing command\n{USAGE}")),
     };
@@ -103,6 +114,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         threads: None,
         report: None,
         telemetry: None,
+        max_schedules: 2048,
     };
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -132,6 +144,12 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
             }
             "--telemetry" => {
                 opts.telemetry = Some(it.next().ok_or("--telemetry needs a path")?.clone());
+            }
+            "--max-schedules" => {
+                let v = it.next().ok_or("--max-schedules needs a value")?;
+                opts.max_schedules = v
+                    .parse()
+                    .map_err(|_| format!("bad --max-schedules value {v:?}"))?;
             }
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),
         }
@@ -227,6 +245,29 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
         return Ok(());
     }
 
+    if opts.command == Command::Lint {
+        let topo = topology_from_workload(&inst.space, &inst.workload, &inst.platform);
+        let lint = lint_space(&inst.space, Some(&topo), opts.max_schedules);
+        write!(out, "{}", lint.counters.render_text()).map_err(io)?;
+        for line in &lint.sample {
+            writeln!(out, "  {line}").map_err(io)?;
+        }
+        if lint.truncated {
+            writeln!(
+                out,
+                "note: stopped after {} schedules (--max-schedules; 0 = whole space)",
+                opts.max_schedules
+            )
+            .map_err(io)?;
+        }
+        if let Some(path) = &opts.report {
+            std::fs::write(path, lint.counters.to_json())
+                .map_err(|e| format!("cannot write report {path:?}: {e}"))?;
+            writeln!(out, "wrote lint counters to {path}").map_err(io)?;
+        }
+        return Ok(());
+    }
+
     let run = run_pipeline_instrumented(
         &inst.space,
         &inst.workload,
@@ -257,7 +298,7 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
     let result = run.result;
 
     match opts.command {
-        Command::Info => unreachable!("handled above"),
+        Command::Info | Command::Lint => unreachable!("handled above"),
         Command::Explore => {
             let times = result.times();
             let fastest = times.iter().copied().fold(f64::INFINITY, f64::min);
@@ -475,6 +516,49 @@ mod tests {
         assert_eq!(o.telemetry.as_deref(), Some("t.csv"));
         assert!(parse(&argv("spmv explore --report")).is_err());
         assert!(parse(&argv("spmv explore --telemetry")).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_lint_command_and_cap() {
+        let o = parse(&argv("spmv lint")).unwrap();
+        assert_eq!(o.command, Command::Lint);
+        assert_eq!(o.max_schedules, 2048);
+        let o = parse(&argv("halo lint --max-schedules 16")).unwrap();
+        assert_eq!(o.max_schedules, 16);
+        assert!(parse(&argv("spmv lint --max-schedules")).is_err());
+        assert!(parse(&argv("spmv lint --max-schedules lots")).is_err());
+    }
+
+    #[test]
+    fn lint_command_verifies_the_whole_spmv_space() {
+        // The full small-SpMV space has 1600 traversals; every schedule
+        // `build_schedule` emits must verify clean of errors.
+        let opts = parse(&argv("spmv lint --max-schedules 0")).unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("schedules 1600: 0 errors"), "{s}");
+        assert!(!s.contains("note: stopped"));
+    }
+
+    #[test]
+    fn lint_command_honors_cap_and_writes_counters() {
+        let dir = std::env::temp_dir();
+        let report = dir.join(format!("dr-rules-lint-{}.json", std::process::id()));
+        let opts = parse(&argv(&format!(
+            "spmv lint --max-schedules 5 --report {}",
+            report.display()
+        )))
+        .unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("schedules 5: 0 errors"), "{s}");
+        assert!(s.contains("note: stopped after 5 schedules"), "{s}");
+        let json = std::fs::read_to_string(&report).unwrap();
+        crate::obs::json::validate(&json).unwrap();
+        assert!(json.contains("\"schedules\":5"), "{json}");
+        std::fs::remove_file(&report).ok();
     }
 
     #[test]

@@ -1,10 +1,15 @@
 //! Meta-crate re-exporting the full CUDA+MPI design-rules toolkit, plus
 //! the `dr-rules` command-line driver.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod cli;
 
 pub use dr_core as pipeline;
 pub use dr_dag as dag;
 pub use dr_halo as halo;
+pub use dr_lint as lint;
 pub use dr_mcts as mcts;
 pub use dr_ml as ml;
 pub use dr_obs as obs;
