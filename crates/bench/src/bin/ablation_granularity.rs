@@ -9,7 +9,7 @@ use dr_core::{run_pipeline, Strategy};
 use dr_mcts::MctsConfig;
 use dr_spmv::SpmvScenario;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let small = std::env::var("DR_SCALE").as_deref() == Ok("small");
     let seed = dr_bench::seed();
     let (coarse, fine) = if small {
@@ -60,8 +60,7 @@ fn main() {
                     },
                 },
                 &dr_bench::pipeline_config(),
-            )
-            .expect("SpMV scenario always executes");
+            )?;
             let best = result.times().into_iter().fold(f64::INFINITY, f64::min);
             row.push_str(&format!(
                 "  {:>13.2} {:>9}",
@@ -79,4 +78,5 @@ fn main() {
          wins, which is exactly the granularity trade-off Section III-A\n\
          warns about."
     );
+    Ok(())
 }

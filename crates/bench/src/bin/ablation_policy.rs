@@ -8,7 +8,7 @@
 use dr_core::{labeling_accuracy, mine_rules, run_pipeline, Strategy};
 use dr_mcts::{Exploitation, MctsConfig};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sc = dr_bench::scenario();
     let total = sc.space.count_traversals() as usize;
     eprintln!("building the exhaustive ground truth ({total} implementations) …");
@@ -45,8 +45,7 @@ fn main() {
                     },
                 },
                 &dr_bench::pipeline_config(),
-            )
-            .expect("SpMV scenario always executes");
+            )?;
             let report = labeling_accuracy(&sc.space, &result, &ground_truth, 0.02);
             let best = result.times().into_iter().fold(f64::INFINITY, f64::min);
             println!(
@@ -60,4 +59,5 @@ fn main() {
         }
         println!();
     }
+    Ok(())
 }

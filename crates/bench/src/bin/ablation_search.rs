@@ -5,7 +5,7 @@
 use dr_core::{labeling_accuracy, mine_rules, run_pipeline_instrumented, Strategy};
 use dr_mcts::MctsConfig;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sc = dr_bench::scenario();
     let total = sc.space.count_traversals() as usize;
     eprintln!("building the exhaustive ground truth ({total} implementations) …");
@@ -43,8 +43,7 @@ fn main() {
                 &sc.platform,
                 strategy,
                 &dr_bench::pipeline_config(),
-            )
-            .expect("SpMV scenario always executes");
+            )?;
             // The per-iteration telemetry is the convergence curve
             // (best_time vs iteration) used by EXPERIMENTS.md.
             dr_bench::write_artifact(
@@ -72,4 +71,5 @@ fn main() {
     println!();
     println!("acc = Fig.-7 labeling accuracy; expl = distinct implementations");
     println!("explored; fast = explored implementations in the true fastest class");
+    Ok(())
 }

@@ -26,7 +26,11 @@ struct Leg {
     cache_misses: u64,
 }
 
-fn run_leg(sc: &dr_spmv::SpmvScenario, strategy: Strategy, threads: usize) -> (Leg, ExploreOutput) {
+fn run_leg(
+    sc: &dr_spmv::SpmvScenario,
+    strategy: Strategy,
+    threads: usize,
+) -> Result<(Leg, ExploreOutput), dr_sim::SimError> {
     let start = Instant::now();
     // The quick measurement protocol: this benchmark times the engine
     // (queueing, caching, merging), not the measurements themselves, and
@@ -37,8 +41,7 @@ fn run_leg(sc: &dr_spmv::SpmvScenario, strategy: Strategy, threads: usize) -> (L
         || SimEvaluator::new(&sc.space, &sc.workload, &sc.platform, cfg),
         strategy,
         threads,
-    )
-    .expect("SpMV scenario always executes");
+    )?;
     let wall_s = start.elapsed().as_secs_f64();
     let leg = Leg {
         strategy: strategy.name(),
@@ -48,7 +51,7 @@ fn run_leg(sc: &dr_spmv::SpmvScenario, strategy: Strategy, threads: usize) -> (L
         cache_hits: out.cache.hits,
         cache_misses: out.cache.misses,
     };
-    (leg, out)
+    Ok((leg, out))
 }
 
 fn record_set(out: &ExploreOutput) -> Vec<(u64, u64)> {
@@ -61,7 +64,7 @@ fn record_set(out: &ExploreOutput) -> Vec<(u64, u64)> {
     v
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sc = dr_bench::scenario();
     let seed = dr_bench::seed();
     let available = std::thread::available_parallelism()
@@ -81,16 +84,12 @@ fn main() {
         "strategy", "threads", "wall [s]", "samples/s", "speedup", "cache h/m"
     );
     for &threads in &THREAD_COUNTS {
-        let (leg, out) = run_leg(&sc, Strategy::Exhaustive, threads);
+        let (leg, out) = run_leg(&sc, Strategy::Exhaustive, threads)?;
         if threads == 1 {
             serial_wall = leg.wall_s;
             serial_set = record_set(&out);
-        } else {
-            assert_eq!(
-                record_set(&out),
-                serial_set,
-                "parallel exhaustive diverged from the serial record set"
-            );
+        } else if record_set(&out) != serial_set {
+            return Err("parallel exhaustive diverged from the serial record set".into());
         }
         println!(
             "{:>10}  {:>7}  {:>9.3}  {:>11.1}  {:>6.2}x  {:>4}/{:<5}",
@@ -115,7 +114,7 @@ fn main() {
             ..Default::default()
         },
     };
-    let (mcts_leg, mcts_out) = run_leg(&sc, mcts, 4);
+    let (mcts_leg, mcts_out) = run_leg(&sc, mcts, 4)?;
     println!(
         "{:>10}  {:>7}  {:>9.3}  {:>11.1}  {:>7}  {:>4}/{:<5}",
         "mcts",
@@ -149,10 +148,11 @@ fn main() {
         json::number(mcts_out.cache.hit_rate()),
         legs_json.join(", ")
     );
-    json::validate(&report).expect("report is well-formed JSON");
-    std::fs::write("BENCH_explore.json", &report).expect("cannot write BENCH_explore.json");
+    json::validate(&report)?;
+    std::fs::write("BENCH_explore.json", &report)?;
     println!("wrote BENCH_explore.json");
     dr_bench::write_artifact("BENCH_explore.json", &report);
+    Ok(())
 }
 
 fn leg_json(l: &Leg, speedup: f64) -> String {

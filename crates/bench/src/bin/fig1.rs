@@ -4,16 +4,16 @@
 //! The paper reports a 1.47× fastest-to-slowest spread over 2036
 //! implementations.
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sc = dr_bench::scenario();
     let count = sc.space.count_traversals();
     eprintln!("enumerating + benchmarking {count} implementations …");
     let records = dr_bench::exhaustive_records(&sc);
 
     let mut times: Vec<f64> = records.iter().map(|r| r.result.time()).collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let fastest = times[0];
-    let slowest = *times.last().expect("non-empty space");
+    times.sort_by(f64::total_cmp);
+    let fastest = *times.first().ok_or("empty decision space")?;
+    let slowest = *times.last().ok_or("empty decision space")?;
 
     println!("== Figure 1: sorted implementation performance ==");
     println!("implementations      : {}", times.len());
@@ -30,4 +30,5 @@ fn main() {
         let idx = (d * (times.len() - 1)) / 10;
         println!("  {:>3}%  {}", d * 10, dr_bench::us(times[idx]));
     }
+    Ok(())
 }

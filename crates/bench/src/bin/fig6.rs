@@ -44,7 +44,7 @@ fn main() {
         .enumerate()
         .filter(|&(_, v)| v > 0.0)
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     for (f, v) in ranked {
         println!(
             "  {:>6.1}%  {}",

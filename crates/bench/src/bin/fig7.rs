@@ -7,7 +7,7 @@
 use dr_core::{labeling_accuracy, mine_rules, run_pipeline_instrumented, Strategy};
 use dr_mcts::MctsConfig;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sc = dr_bench::scenario();
     let total = sc.space.count_traversals() as usize;
     eprintln!("building the exhaustive ground truth ({total} implementations) …");
@@ -40,8 +40,7 @@ fn main() {
                 &sc.platform,
                 strategy,
                 &dr_bench::pipeline_config(),
-            )
-            .expect("SpMV scenario always executes");
+            )?;
             dr_bench::write_artifact(&format!("fig7_report_{budget}.json"), &run.report.to_json());
             dr_bench::write_artifact(
                 &format!("fig7_telemetry_{budget}.csv"),
@@ -60,4 +59,5 @@ fn main() {
     }
     println!();
     println!("(paper: accuracy approaches ~100% by 200 iterations on its space)");
+    Ok(())
 }

@@ -8,7 +8,7 @@ use dr_core::{explore, mine_rules_multi, InputFeature, InputRun, Strategy};
 use dr_mcts::{MctsConfig, SimEvaluator};
 use dr_spmv::{banded_matrix, BandedSpec, DistributedSpmv, GpuModel, SpmvDagConfig, SpmvScenario};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = dr_bench::seed();
     let small = std::env::var("DR_SCALE").as_deref() == Ok("small");
     let base = if small {
@@ -66,8 +66,7 @@ fn main() {
                     ..Default::default()
                 },
             },
-        )
-        .expect("SpMV scenario always executes");
+        )?;
         runs.push(InputRun {
             tag: tag.to_string(),
             records,
@@ -84,7 +83,7 @@ fn main() {
         });
         reference_space.get_or_insert(sc.space);
     }
-    let space = reference_space.expect("at least one input");
+    let space = reference_space.ok_or("no inputs were explored")?;
 
     let result = mine_rules_multi(&space, &runs, &dr_bench::pipeline_config());
     println!("== Multi-input rule generalization ==");
@@ -114,4 +113,5 @@ fn main() {
         println!("input features the tree splits on: {used:?}");
         println!("(the rules are input-conditional, as the paper anticipated)");
     }
+    Ok(())
 }

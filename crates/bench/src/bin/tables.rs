@@ -11,7 +11,7 @@ use dr_core::{mine_rules, run_pipeline_instrumented, PipelineResult, Strategy};
 use dr_mcts::MctsConfig;
 use dr_ml::{compare_to_canonical, rulesets_for_class};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sc = dr_bench::scenario();
     let total = sc.space.count_traversals() as usize;
     eprintln!("building the canonical exhaustive dataset ({total} implementations) …");
@@ -36,8 +36,7 @@ fn main() {
             &sc.platform,
             strategy,
             &dr_bench::pipeline_config(),
-        )
-        .expect("SpMV scenario always executes");
+        )?;
         dr_bench::write_artifact(
             &format!("tables_report_{budget}.json"),
             &run.report.to_json(),
@@ -92,4 +91,5 @@ fn main() {
             }
         }
     }
+    Ok(())
 }

@@ -8,26 +8,24 @@ use dr_sim::{execute_traced, CompiledProgram};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sc = dr_bench::scenario();
     eprintln!("benchmarking the full space to find the extremes …");
     let records = dr_bench::exhaustive_records(&sc);
     let fastest = records
         .iter()
-        .min_by(|a, b| a.result.time().partial_cmp(&b.result.time()).unwrap())
-        .expect("non-empty space");
+        .min_by(|a, b| a.result.time().total_cmp(&b.result.time()))
+        .ok_or("empty decision space")?;
     let slowest = records
         .iter()
-        .max_by(|a, b| a.result.time().partial_cmp(&b.result.time()).unwrap())
-        .expect("non-empty space");
+        .max_by(|a, b| a.result.time().total_cmp(&b.result.time()))
+        .ok_or("empty decision space")?;
 
     let platform = sc.platform.clone().noiseless();
     for (tag, rec) in [("fastest", fastest), ("slowest", slowest)] {
         let schedule = build_schedule(&sc.space, &rec.traversal);
-        let prog = CompiledProgram::compile(&schedule, &sc.workload)
-            .expect("SpMV schedules always compile");
-        let (outcome, trace) = execute_traced(&prog, &platform, &mut SmallRng::seed_from_u64(1))
-            .expect("SpMV always executes");
+        let prog = CompiledProgram::compile(&schedule, &sc.workload)?;
+        let (outcome, trace) = execute_traced(&prog, &platform, &mut SmallRng::seed_from_u64(1))?;
         println!(
             "== {tag} implementation: {} ==",
             dr_bench::us(outcome.time())
@@ -43,4 +41,5 @@ fn main() {
         print!("{}", trace.ascii_gantt(1, 100));
         println!();
     }
+    Ok(())
 }

@@ -14,7 +14,10 @@ use dr_dag::{eval_seed, DecisionSpace, Traversal};
 use dr_mcts::{
     CachingEvaluator, Evaluator, ExploredRecord, Mcts, MctsConfig, SearchTelemetry, TelemetryRow,
 };
-use dr_par::{par_map_stream_with, split_budget, CacheStats, StripedCache};
+use dr_par::{
+    par_map_stream_isolated, par_map_stream_with, split_budget, CacheStats, ItemOutcome,
+    StripedCache,
+};
 use dr_sim::{BenchResult, SimError, SimStats};
 use std::collections::HashMap;
 
@@ -126,6 +129,14 @@ pub struct ExploreOutput {
     pub cache: CacheStats,
     /// Number of worker threads actually used.
     pub threads: usize,
+    /// Traversals quarantined by the resilient backends, with the error
+    /// that killed their final attempt (always empty on the fault-free
+    /// paths; root-parallel MCTS reports counts only, via
+    /// [`ExploreOutput::quarantined`]).
+    pub failures: Vec<(Traversal, SimError)>,
+    /// Total traversals dropped instead of measured (≥ `failures.len()`;
+    /// the difference is MCTS-internal quarantines).
+    pub quarantined: u64,
 }
 
 /// Parallel [`explore_instrumented`]: evaluates with `threads` workers,
@@ -167,6 +178,8 @@ where
             sim,
             cache: CacheStats::default(),
             threads: 1,
+            failures: Vec::new(),
+            quarantined: 0,
         });
     }
     match strategy {
@@ -177,6 +190,122 @@ where
         Strategy::Mcts { iterations, config } => {
             mcts_root_parallel(space, &make_eval, iterations, config, threads)
         }
+    }
+}
+
+/// Quarantine-not-abort [`explore_parallel`] for chaos runs: every
+/// evaluation is panic-isolated, failing traversals are collected in
+/// [`ExploreOutput::failures`] instead of aborting the exploration, and
+/// the surviving records keep the fault-free engine's determinism
+/// guarantees (outcomes are a pure function of strategy, seed, and each
+/// traversal — never of the thread count).
+///
+/// * `Exhaustive` and `Random` stream through the isolated worker pool
+///   ([`dr_par::par_map_stream_isolated`]); telemetry rows count the
+///   surviving measurements.
+/// * `Mcts` relies on [`dr_mcts::MctsConfig::max_failures`] for in-tree
+///   quarantine (set it before calling, e.g. to the iteration budget)
+///   plus a worker-level `catch_unwind`; quarantined counts are summed
+///   into [`ExploreOutput::quarantined`].
+pub fn explore_parallel_resilient<E, F>(
+    space: &DecisionSpace,
+    make_eval: F,
+    strategy: Strategy,
+    threads: usize,
+) -> Result<ExploreOutput, SimError>
+where
+    E: Evaluator + Send,
+    F: Fn() -> E + Sync,
+{
+    let threads = threads.max(1);
+    match strategy {
+        Strategy::Exhaustive => {
+            let traversals: Vec<Traversal> = space.enumerate().collect();
+            let out = par_map_stream_isolated(
+                traversals.iter(),
+                threads,
+                |_worker| make_eval(),
+                |eval, _i, t: &Traversal| eval.evaluate(t, eval_seed(EXHAUSTIVE_MASTER_SEED, t)),
+            );
+            Ok(resilient_output(traversals, out, threads))
+        }
+        Strategy::Random { iterations, seed } => {
+            let mut uniques: Vec<Traversal> = Vec::new();
+            let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+            for iter in 0..iterations {
+                let t = dr_mcts::random_rollout(space, seed, iter as u64);
+                let hash = t.canonical_hash();
+                let known = by_hash
+                    .get(&hash)
+                    .into_iter()
+                    .flatten()
+                    .any(|&u| uniques[u] == t);
+                if !known {
+                    by_hash.entry(hash).or_default().push(uniques.len());
+                    uniques.push(t);
+                }
+            }
+            let out = par_map_stream_isolated(
+                uniques.iter(),
+                threads,
+                |_worker| make_eval(),
+                |eval, _i, t: &Traversal| eval.evaluate(t, eval_seed(seed, t)),
+            );
+            Ok(resilient_output(uniques, out, threads))
+        }
+        Strategy::Mcts { iterations, config } => {
+            if threads == 1 {
+                let mut mcts = Mcts::new(space, make_eval(), config);
+                mcts.run(iterations)?;
+                let quarantined = mcts.failures() as u64;
+                let (records, telemetry, eval) = mcts.into_parts();
+                let sim = eval.sim_stats().cloned();
+                Ok(ExploreOutput {
+                    records,
+                    telemetry,
+                    sim,
+                    cache: CacheStats::default(),
+                    threads: 1,
+                    failures: Vec::new(),
+                    quarantined,
+                })
+            } else {
+                mcts_root_parallel(space, &make_eval, iterations, config, threads)
+            }
+        }
+    }
+}
+
+/// Folds the isolated pool's per-item outcomes (parallel to
+/// `traversals`) into an [`ExploreOutput`]: survivors become records in
+/// input order, quarantined items keep their traversal and error.
+fn resilient_output<E: Evaluator>(
+    traversals: Vec<Traversal>,
+    out: dr_par::PoolOutcome<BenchResult, E, SimError>,
+    threads: usize,
+) -> ExploreOutput {
+    let sim = merge_worker_stats(&out.states);
+    let mut pairs: Vec<(Traversal, BenchResult)> = Vec::new();
+    let mut failures: Vec<(Traversal, SimError)> = Vec::new();
+    for (t, item) in traversals.into_iter().zip(out.items) {
+        match item {
+            ItemOutcome::Ok(result) => pairs.push((t, result)),
+            ItemOutcome::Failed(e) => failures.push((t, e)),
+            ItemOutcome::Panicked(detail) => {
+                failures.push((t, SimError::Panicked { detail }));
+            }
+        }
+    }
+    let quarantined = failures.len() as u64;
+    let (records, telemetry) = exhaustive_records(pairs);
+    ExploreOutput {
+        records,
+        telemetry,
+        sim,
+        cache: CacheStats::default(),
+        threads,
+        failures,
+        quarantined,
     }
 }
 
@@ -253,6 +382,8 @@ where
         sim,
         cache: CacheStats::default(),
         threads,
+        failures: Vec::new(),
+        quarantined: 0,
     })
 }
 
@@ -337,6 +468,8 @@ where
         sim,
         cache: CacheStats::default(),
         threads,
+        failures: Vec::new(),
+        quarantined: 0,
     })
 }
 
@@ -361,7 +494,15 @@ impl<E: Evaluator> Evaluator for MasterSeeded<E> {
     }
 }
 
-type WorkerOutcome = Result<(Vec<ExploredRecord>, SearchTelemetry, Option<SimStats>), SimError>;
+type WorkerOutcome = Result<
+    (
+        Vec<ExploredRecord>,
+        SearchTelemetry,
+        Option<SimStats>,
+        usize,
+    ),
+    SimError,
+>;
 
 fn mcts_root_parallel<E, F>(
     space: &DecisionSpace,
@@ -383,22 +524,38 @@ where
             .enumerate()
             .map(|(worker, &budget)| {
                 s.spawn(move || -> WorkerOutcome {
-                    let worker_cfg = MctsConfig {
-                        seed: config.seed ^ (worker as u64).wrapping_mul(WORKER_SEED_MIX),
-                        ..config
-                    };
-                    let eval = CachingEvaluator::new(
-                        MasterSeeded {
-                            inner: make_eval(),
-                            master: config.seed,
+                    // Contain worker panics: a poisoned evaluation that
+                    // slips past per-item isolation surfaces as a
+                    // structured error instead of aborting the process.
+                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || -> WorkerOutcome {
+                            let worker_cfg = MctsConfig {
+                                seed: config.seed ^ (worker as u64).wrapping_mul(WORKER_SEED_MIX),
+                                ..config
+                            };
+                            let eval = CachingEvaluator::new(
+                                MasterSeeded {
+                                    inner: make_eval(),
+                                    master: config.seed,
+                                },
+                                cache,
+                            );
+                            let mut mcts = Mcts::new(space, eval, worker_cfg);
+                            mcts.run(budget)?;
+                            let failures = mcts.failures();
+                            let (records, telemetry, eval) = mcts.into_parts();
+                            let sim = eval.sim_stats().cloned();
+                            Ok((records, telemetry, sim, failures))
                         },
-                        cache,
-                    );
-                    let mut mcts = Mcts::new(space, eval, worker_cfg);
-                    mcts.run(budget)?;
-                    let (records, telemetry, eval) = mcts.into_parts();
-                    let sim = eval.sim_stats().cloned();
-                    Ok((records, telemetry, sim))
+                    ));
+                    run.unwrap_or_else(|payload| {
+                        let detail = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        Err(SimError::Panicked { detail })
+                    })
                 })
             })
             .collect();
@@ -438,8 +595,10 @@ where
             records.push(rec);
         }
     };
+    let mut quarantined = 0u64;
     for outcome in outcomes {
-        let (wrecords, wtelemetry, wsim) = outcome?;
+        let (wrecords, wtelemetry, wsim, wfailures) = outcome?;
+        quarantined += wfailures as u64;
         let mut recs = wrecords.into_iter();
         let mut local_count = 0usize;
         for row in wtelemetry.rows() {
@@ -474,6 +633,8 @@ where
         sim,
         cache: cache.stats(),
         threads,
+        failures: Vec::new(),
+        quarantined,
     })
 }
 
@@ -620,6 +781,124 @@ mod tests {
             assert!(par.cache.hits > 0, "expected cache hits: {:?}", par.cache);
             assert_eq!(par.cache.misses as usize, par.records.len());
         }
+    }
+
+    /// An evaluator that deterministically fails traversals by hash
+    /// residue — and, when `panics` is set, panics on one residue to
+    /// exercise containment (only valid under the isolated pool; the
+    /// MCTS path expects its evaluator to return errors, as the real
+    /// `ResilientEvaluator` does after catching panics itself).
+    fn chaotic_eval<'a>(
+        space: &'a DecisionSpace,
+        w: &'a TableWorkload,
+        platform: &'a Platform,
+        panics: bool,
+    ) -> impl FnMut(&Traversal, u64) -> Result<dr_sim::BenchResult, SimError> + 'a {
+        let mut inner = SimEvaluator::new(space, w, platform, BenchConfig::quick());
+        move |t: &Traversal, seed: u64| match t.canonical_hash() % 4 {
+            0 | 2 => Err(SimError::Panicked {
+                detail: "injected failure".into(),
+            }),
+            1 if panics => panic!("injected panic"),
+            1 => Err(SimError::Panicked {
+                detail: "injected failure".into(),
+            }),
+            _ => Evaluator::evaluate(&mut inner, t, seed),
+        }
+    }
+
+    #[test]
+    fn resilient_exhaustive_quarantines_and_keeps_the_rest() {
+        let (space, w, platform) = setup();
+        let total = space.count_traversals() as usize;
+        let run = |threads| {
+            explore_parallel_resilient(
+                &space,
+                || chaotic_eval(&space, &w, &platform, true),
+                Strategy::Exhaustive,
+                threads,
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        assert_eq!(
+            serial.records.len() + serial.failures.len(),
+            total,
+            "every traversal is either measured or quarantined"
+        );
+        assert!(!serial.failures.is_empty(), "chaos must bite this space");
+        assert!(!serial.records.is_empty(), "survivors must remain");
+        assert_eq!(serial.quarantined as usize, serial.failures.len());
+        // Panics were contained as structured errors.
+        assert!(serial
+            .failures
+            .iter()
+            .all(|(_, e)| matches!(e, SimError::Panicked { .. })));
+        for threads in [2, 4] {
+            let par = run(threads);
+            assert_eq!(par.records.len(), serial.records.len(), "threads={threads}");
+            for (a, b) in par.records.iter().zip(&serial.records) {
+                assert_eq!(a.traversal, b.traversal);
+                assert_eq!(a.result, b.result);
+            }
+            assert_eq!(
+                par.failures.iter().map(|(t, _)| t).collect::<Vec<_>>(),
+                serial.failures.iter().map(|(t, _)| t).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn resilient_random_matches_the_plain_engine_when_clean() {
+        let (space, w, platform) = setup();
+        let strategy = Strategy::Random {
+            iterations: 30,
+            seed: 5,
+        };
+        let plain = explore_parallel(
+            &space,
+            || SimEvaluator::new(&space, &w, &platform, BenchConfig::quick()),
+            strategy,
+            2,
+        )
+        .unwrap();
+        let resilient = explore_parallel_resilient(
+            &space,
+            || SimEvaluator::new(&space, &w, &platform, BenchConfig::quick()),
+            strategy,
+            2,
+        )
+        .unwrap();
+        assert_eq!(resilient.records.len(), plain.records.len());
+        for (a, b) in resilient.records.iter().zip(&plain.records) {
+            assert_eq!(a.traversal, b.traversal);
+            assert_eq!(a.result, b.result);
+        }
+        assert!(resilient.failures.is_empty());
+        assert_eq!(resilient.quarantined, 0);
+    }
+
+    #[test]
+    fn resilient_mcts_quarantines_in_tree() {
+        let (space, w, platform) = setup();
+        let total = space.count_traversals() as usize;
+        let strategy = Strategy::Mcts {
+            iterations: 400,
+            config: MctsConfig {
+                max_failures: total,
+                ..MctsConfig::default()
+            },
+        };
+        let out = explore_parallel_resilient(
+            &space,
+            || chaotic_eval(&space, &w, &platform, false),
+            strategy,
+            1,
+        )
+        .unwrap();
+        assert!(out.quarantined > 0, "chaos must bite");
+        assert!(!out.records.is_empty());
+        assert_eq!(out.records.len() + out.quarantined as usize, total);
     }
 
     #[test]

@@ -33,15 +33,24 @@ mod lintstage;
 mod multi_input;
 mod pipeline;
 mod report;
+mod resilient;
 mod synthesize;
 
 pub use evaluate::{labeling_accuracy, AccuracyReport};
-pub use explore::{explore, explore_instrumented, explore_parallel, ExploreOutput, Strategy};
-pub use lintstage::{lint_space, topology_from_workload, LintTotals, LintingEvaluator, SpaceLint};
+pub use explore::{
+    explore, explore_instrumented, explore_parallel, explore_parallel_resilient, ExploreOutput,
+    Strategy,
+};
+pub use lintstage::{
+    apply_fault_plan, lint_space, topology_from_workload, LintTotals, LintingEvaluator, SpaceLint,
+};
 pub use multi_input::{mine_rules_multi, InputFeature, InputRun, MultiInputResult};
 pub use pipeline::{
     mine_rules, mine_rules_timed, run_pipeline, run_pipeline_instrumented, InstrumentedRun,
     PipelineConfig, PipelineResult,
 };
-pub use report::{LintSummary, MiningSummary, RunReport, SearchSummary};
+pub use report::{LintSummary, MiningSummary, ResilienceSummary, RunReport, SearchSummary};
+pub use resilient::{
+    retry_seed, ResilienceTotals, ResilientEvaluator, DEFAULT_MAX_RETRIES, WATCHDOG_MAX_STEPS,
+};
 pub use synthesize::{satisfies, synthesize};

@@ -11,6 +11,7 @@
 
 use crate::report::LintSummary;
 use dr_dag::{DecisionSpace, OpSpec, Traversal};
+use dr_fault::{key_hash, FaultPlan, MessageFault};
 use dr_lint::{lint_traversal, CommTopology, LintCounters, LintReport};
 use dr_mcts::Evaluator;
 use dr_sim::{BenchResult, Platform, SimError, SimStats, Workload};
@@ -139,6 +140,38 @@ pub fn topology_from_workload<W: Workload>(
     topo
 }
 
+/// Projects a fault plan's message-drop decisions onto a lint topology:
+/// every send the simulator would drop under `plan` becomes a lost send
+/// the deadlock detector treats as never arriving. Both sides hash the
+/// comm key's string with [`dr_fault::key_hash`], so the simulator and
+/// the linter agree on exactly which messages vanish — the chaos oracle
+/// cross-checks fault-induced `SimError::Deadlock`s against the
+/// MPI103/MPI104 verdicts this topology produces.
+pub fn apply_fault_plan(topo: &mut CommTopology, plan: &FaultPlan) {
+    let keys: Vec<_> = topo.keys().cloned().collect();
+    for key in keys {
+        let kh = key_hash(&key.0);
+        let Some(pat) = topo.pattern(&key) else {
+            continue;
+        };
+        let lost: Vec<(usize, usize)> = pat
+            .iter()
+            .enumerate()
+            .flat_map(|(src, t)| {
+                t.sends
+                    .iter()
+                    .filter(move |&&(dst, _)| {
+                        plan.message(kh, src, dst) == Some(MessageFault::Drop)
+                    })
+                    .map(move |&(dst, _)| (src, dst))
+            })
+            .collect();
+        for (src, dst) in lost {
+            topo.add_lost_send(key.clone(), src, dst);
+        }
+    }
+}
+
 /// Outcome of linting an enumerated decision space.
 #[derive(Debug, Clone)]
 pub struct SpaceLint {
@@ -231,6 +264,76 @@ mod tests {
         let capped = lint_space(&space, Some(&topo), 1);
         assert!(capped.truncated);
         assert_eq!(capped.counters.schedules, 1);
+    }
+
+    #[test]
+    fn applied_fault_plan_marks_exactly_the_sims_drops() {
+        let space = exchange_space();
+        let w = exchange_workload(1 << 20);
+        let platform = Platform::perlmutter_like();
+        let cfg = dr_fault::FaultConfig::drops();
+        let plan = FaultPlan::derive(&cfg, 17);
+        let mut topo = topology_from_workload(&space, &w, &platform);
+        apply_fault_plan(&mut topo, &plan);
+        let key = CommKey::new("x");
+        let kh = key_hash(&key.0);
+        for (src, dst) in [(0usize, 1usize), (1, 0)] {
+            let sim_drops = plan.message(kh, src, dst) == Some(MessageFault::Drop);
+            assert_eq!(
+                topo.is_lost(&key, src, dst),
+                sim_drops,
+                "oracle and simulator disagree on {src} -> {dst}"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_oracle_sim_deadlocks_match_lint_verdicts() {
+        // The heart of the chaos oracle: for a sweep of seeded drop
+        // plans, the simulator's fault-induced deadlocks and the
+        // deadlock detector's MPI103/MPI104 verdicts must agree exactly.
+        let space = exchange_space();
+        let w = exchange_workload(1 << 20); // rendezvous-sized exchange
+        let platform = Platform::perlmutter_like().noiseless();
+        let t = space.enumerate().next().unwrap();
+        let schedule = dr_dag::build_schedule(&space, &t);
+        let prog = dr_sim::CompiledProgram::compile(&schedule, &w).unwrap();
+        let cfg = dr_fault::FaultConfig::drops();
+        let (mut dropping, mut clean) = (0u32, 0u32);
+        for seed in 0..24u64 {
+            let plan = FaultPlan::derive(&cfg, seed);
+            let faulted = platform
+                .clone()
+                .with_faults(plan)
+                .with_budget(1_000_000, 0.0);
+            let sim = dr_sim::benchmark_instrumented(
+                &prog,
+                &faulted,
+                &dr_sim::BenchConfig::quick(),
+                seed,
+            );
+            let sim_deadlocked = match sim {
+                Ok(_) => false,
+                Err(dr_sim::SimError::Deadlock { .. } | dr_sim::SimError::Budget { .. }) => true,
+                Err(e) => panic!("unexpected simulator error under drops: {e}"),
+            };
+            let mut topo = topology_from_workload(&space, &w, &platform);
+            apply_fault_plan(&mut topo, &plan);
+            let report = lint_traversal(&space, &t, Some(&topo));
+            let lint_flagged = report.deadlocks() > 0;
+            assert_eq!(
+                sim_deadlocked, lint_flagged,
+                "seed {seed}: simulator deadlock = {sim_deadlocked}, \
+                 lint verdict = {lint_flagged}"
+            );
+            if sim_deadlocked {
+                dropping += 1;
+            } else {
+                clean += 1;
+            }
+        }
+        assert!(dropping > 0, "sweep never dropped a message");
+        assert!(clean > 0, "sweep never left a plan clean");
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! The end-to-end design-rule pipeline (paper Fig. 2): explore → label →
 //! featurize → train → extract rules.
 
-use crate::explore::{explore_parallel, Strategy};
+use crate::explore::{explore_parallel, explore_parallel_resilient, Strategy};
 use crate::lintstage::{topology_from_workload, LintTotals, LintingEvaluator};
 use crate::report::{RunReport, SearchSummary};
+use crate::resilient::{ResilienceTotals, ResilientEvaluator};
 use dr_dag::{DecisionSpace, Traversal};
+use dr_fault::FaultConfig;
 use dr_mcts::{ExploredRecord, SearchTelemetry, SimEvaluator};
 use dr_ml::{
     algorithm1, extract_rulesets, featurize, label_times, FeatureSet, HyperSearch, Labeling,
@@ -32,6 +34,14 @@ pub struct PipelineConfig {
     /// surfacing counters in the run report. Findings never fail an
     /// evaluation; off by default.
     pub lint: bool,
+    /// Deterministic fault injection (chaos mode). Inactive (clean) by
+    /// default; when inactive, the `DR_FAULTS` environment variable is
+    /// consulted (`clean`/`light`/`heavy`/`drops` or `key=value`
+    /// overrides). An active config routes exploration through the
+    /// resilient engine: retry-with-reseed evaluation under a watchdog
+    /// budget, panic isolation, quarantine instead of abort, and robust
+    /// (MAD-screened) labeling.
+    pub faults: FaultConfig,
 }
 
 impl PipelineConfig {
@@ -117,28 +127,91 @@ pub fn run_pipeline_instrumented<W: Workload + Sync>(
 ) -> Result<InstrumentedRun, SimError> {
     let mut phases = Phases::new();
     let threads = resolve_threads((cfg.threads > 0).then_some(cfg.threads));
+    let faults = if cfg.faults.is_active() {
+        cfg.faults
+    } else {
+        match FaultConfig::from_env() {
+            Ok(Some(f)) => f,
+            Ok(None) => FaultConfig::clean(),
+            Err(msg) => {
+                return Err(SimError::Faulted {
+                    detail: format!("invalid DR_FAULTS: {msg}"),
+                })
+            }
+        }
+    };
+    let resilience = faults
+        .is_active()
+        .then(|| Arc::new(ResilienceTotals::default()));
     let lint_ctx = cfg.lint.then(|| {
         (
             Arc::new(LintTotals::default()),
             topology_from_workload(space, workload, platform),
         )
     });
+    // With faults active, MCTS must quarantine instead of aborting:
+    // unless the caller chose a cap, tolerate up to the whole budget.
+    let strategy = match strategy {
+        Strategy::Mcts {
+            iterations,
+            mut config,
+        } if resilience.is_some() && config.max_failures == 0 => {
+            config.max_failures = iterations;
+            Strategy::Mcts { iterations, config }
+        }
+        s => s,
+    };
     let sw = Stopwatch::start();
-    let explored = match &lint_ctx {
-        Some((totals, topo)) => explore_parallel(
+    let explored = match (&resilience, &lint_ctx) {
+        (Some(totals), Some((lint, topo))) => explore_parallel_resilient(
             space,
             || {
                 LintingEvaluator::new(
-                    SimEvaluator::new(space, workload, platform, cfg.bench),
+                    ResilientEvaluator::new(
+                        space,
+                        workload,
+                        platform,
+                        cfg.bench,
+                        faults,
+                        totals.clone(),
+                    ),
                     space,
                     topo,
+                    lint.clone(),
+                )
+            },
+            strategy,
+            threads,
+        )?,
+        (Some(totals), None) => explore_parallel_resilient(
+            space,
+            || {
+                ResilientEvaluator::new(
+                    space,
+                    workload,
+                    platform,
+                    cfg.bench,
+                    faults,
                     totals.clone(),
                 )
             },
             strategy,
             threads,
         )?,
-        None => explore_parallel(
+        (None, Some((lint, topo))) => explore_parallel(
+            space,
+            || {
+                LintingEvaluator::new(
+                    SimEvaluator::new(space, workload, platform, cfg.bench),
+                    space,
+                    topo,
+                    lint.clone(),
+                )
+            },
+            strategy,
+            threads,
+        )?,
+        (None, None) => explore_parallel(
             space,
             || SimEvaluator::new(space, workload, platform, cfg.bench),
             strategy,
@@ -149,10 +222,33 @@ pub fn run_pipeline_instrumented<W: Workload + Sync>(
     if let Some((totals, _)) = &lint_ctx {
         phases.add("lint", totals.seconds());
     }
-    let result = mine_rules_timed(space, explored.records, cfg, &mut phases);
+    if let Some(totals) = &resilience {
+        totals.note_quarantined(explored.quarantined);
+    }
+    if explored.records.is_empty() {
+        return Err(SimError::Faulted {
+            detail: format!(
+                "no measurements survived: {} traversals quarantined",
+                explored.quarantined
+            ),
+        });
+    }
+    // Chaos runs label robustly unless the caller already opted in.
+    let mine_cfg = match &resilience {
+        Some(_) if cfg.labeling.outlier_mad_k == 0.0 => PipelineConfig {
+            labeling: dr_ml::LabelingConfig {
+                outlier_mad_k: dr_ml::LabelingConfig::robust().outlier_mad_k,
+                ..cfg.labeling
+            },
+            ..*cfg
+        },
+        _ => *cfg,
+    };
+    let result = mine_rules_timed(space, explored.records, &mine_cfg, &mut phases);
     let search = SearchSummary::from_telemetry(strategy.name(), &explored.telemetry);
     let mut report = RunReport::new(phases, explored.sim, search, &result);
     report.lint = lint_ctx.map(|(totals, _)| totals.summary());
+    report.resilience = resilience.map(|totals| totals.summary());
     Ok(InstrumentedRun {
         result,
         report,
@@ -360,6 +456,81 @@ mod tests {
         .unwrap();
         assert!(off.report.lint.is_none());
         assert!(off.report.to_json().contains("\"lint\":null"));
+    }
+
+    #[test]
+    fn chaos_pipeline_reports_resilience_and_stays_deterministic() {
+        let (space, w, platform) = setup();
+        let cfg = PipelineConfig {
+            faults: dr_fault::FaultConfig::light().with_seed(7),
+            ..PipelineConfig::quick()
+        };
+        let run = || {
+            run_pipeline_instrumented(&space, &w, &platform, Strategy::Exhaustive, &cfg).unwrap()
+        };
+        let a = run();
+        let r = a.report.resilience.expect("resilience block present");
+        assert!(r.evaluations >= a.result.records.len() as u64);
+        assert_eq!(r.quarantined, 0, "light faults never kill an execution");
+        // Light faults are outlier-only: the median survives, so the
+        // stream cliff still labels into two perfectly learnable classes.
+        assert_eq!(a.result.labeling.num_classes, 2);
+        assert_eq!(a.result.search.error, 0.0);
+        // Injected outliers show up in the merged simulator counters.
+        let sim = a.report.sim.as_ref().expect("sim stats present");
+        assert!(sim.faults.outliers > 0, "{:?}", sim.faults);
+        assert_eq!(sim.faults.drops, 0);
+        // Reruns are bit-for-bit identical.
+        let b = run();
+        assert_eq!(a.result.records.len(), b.result.records.len());
+        for (x, y) in a.result.records.iter().zip(&b.result.records) {
+            assert_eq!(x.traversal, y.traversal);
+            assert_eq!(x.result, y.result);
+        }
+        assert_eq!(a.result.labeling.labels, b.result.labeling.labels);
+        // The JSON report carries the resilience block.
+        let json = a.report.to_json();
+        dr_obs::json::validate(&json).unwrap();
+        assert!(json.contains("\"resilience\":{\"evaluations\":"));
+        assert!(a.report.render_text().contains("resilience:"));
+        // Fault-free runs keep the pre-chaos shape — unless the test
+        // suite itself runs under DR_FAULTS, in which case the inactive
+        // config defers to the environment by design.
+        let clean = run_pipeline_instrumented(
+            &space,
+            &w,
+            &platform,
+            Strategy::Exhaustive,
+            &PipelineConfig::quick(),
+        )
+        .unwrap();
+        let env_faults = dr_fault::FaultConfig::from_env().unwrap();
+        if env_faults.is_none_or(|f| !f.is_active()) {
+            assert!(clean.report.resilience.is_none());
+            assert!(clean.report.to_json().contains("\"resilience\":null"));
+        } else {
+            assert!(clean.report.resilience.is_some());
+        }
+    }
+
+    #[test]
+    fn chaos_pipeline_with_lint_keeps_both_reports() {
+        let (space, w, platform) = setup();
+        let run = run_pipeline_instrumented(
+            &space,
+            &w,
+            &platform,
+            Strategy::Exhaustive,
+            &PipelineConfig {
+                lint: true,
+                faults: dr_fault::FaultConfig::light().with_seed(3),
+                ..PipelineConfig::quick()
+            },
+        )
+        .unwrap();
+        let lint = run.report.lint.expect("lint summary present");
+        assert_eq!(lint.schedules as usize, run.result.records.len());
+        assert!(run.report.resilience.is_some());
     }
 
     #[test]

@@ -97,6 +97,41 @@ impl LintSummary {
     }
 }
 
+/// Aggregate resilience counters of one chaos run (absent unless fault
+/// injection was active).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceSummary {
+    /// Benchmark attempts under the fault plan (including retries).
+    pub evaluations: u64,
+    /// Reseeded retry attempts after a failed evaluation.
+    pub retries: u64,
+    /// Fault-induced deadlocks absorbed by the retry layer.
+    pub deadlocks: u64,
+    /// Watchdog budget terminations absorbed by the retry layer.
+    pub budget_kills: u64,
+    /// Panics caught and converted to structured errors.
+    pub panics: u64,
+    /// Traversals dropped after exhausting their retry budget.
+    pub quarantined: u64,
+}
+
+impl ResilienceSummary {
+    fn to_json(self) -> String {
+        format!(
+            concat!(
+                "{{\"evaluations\":{},\"retries\":{},\"deadlocks\":{},",
+                "\"budget_kills\":{},\"panics\":{},\"quarantined\":{}}}"
+            ),
+            self.evaluations,
+            self.retries,
+            self.deadlocks,
+            self.budget_kills,
+            self.panics,
+            self.quarantined
+        )
+    }
+}
+
 /// Mined-rule outcomes worth reporting alongside the run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MiningSummary {
@@ -123,6 +158,8 @@ pub struct RunReport {
     pub mining: MiningSummary,
     /// Lint-stage counters (absent unless the run enabled linting).
     pub lint: Option<LintSummary>,
+    /// Resilience counters (absent unless fault injection was active).
+    pub resilience: Option<ResilienceSummary>,
 }
 
 impl RunReport {
@@ -143,13 +180,14 @@ impl RunReport {
                 num_rulesets: result.rulesets.len(),
             },
             lint: None,
+            resilience: None,
         }
     }
 
     /// Renders the report as one JSON object.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"phases\":{},\"sim\":{},\"search\":{},\"mining\":{{\"num_classes\":{},\"tree_error\":{},\"num_rulesets\":{}}},\"lint\":{}}}",
+            "{{\"phases\":{},\"sim\":{},\"search\":{},\"mining\":{{\"num_classes\":{},\"tree_error\":{},\"num_rulesets\":{}}},\"lint\":{},\"resilience\":{}}}",
             self.phases.to_json(),
             self.sim.as_ref().map_or("null".to_string(), |s| s.to_json()),
             self.search.to_json(),
@@ -158,7 +196,9 @@ impl RunReport {
             self.mining.num_rulesets,
             self.lint
                 .as_ref()
-                .map_or("null".to_string(), |l| l.to_json())
+                .map_or("null".to_string(), |l| l.to_json()),
+            self.resilience
+                .map_or("null".to_string(), |r| r.to_json())
         )
     }
 
@@ -198,6 +238,13 @@ impl RunReport {
                 lint.deadlocks,
                 lint.warnings,
                 lint.redundant_syncs
+            ));
+        }
+        if let Some(r) = &self.resilience {
+            out.push_str(&format!(
+                "resilience: {} evaluations ({} retries) — {} deadlocks, \
+                 {} budget kills, {} panics, {} quarantined\n",
+                r.evaluations, r.retries, r.deadlocks, r.budget_kills, r.panics, r.quarantined
             ));
         }
         out.push_str(&format!(

@@ -1,0 +1,300 @@
+//! Chaos-mode resilience: bounded retry-with-reseed evaluation under a
+//! deterministic fault plan, panic containment, and shared counters for
+//! the run report.
+//!
+//! With [`PipelineConfig::faults`](crate::PipelineConfig) active, every
+//! traversal is evaluated by a [`ResilientEvaluator`]: each attempt
+//! derives a [`FaultPlan`] from a pure function of the evaluation seed
+//! and the attempt number, runs the benchmark under a watchdog budget,
+//! and absorbs fault-induced deadlocks, budget kills, and panics by
+//! retrying with a reseeded plan. Only after [`DEFAULT_MAX_RETRIES`]
+//! extra attempts does the error propagate — at which point the
+//! exploration layer quarantines the traversal rather than aborting the
+//! run. Every decision is a pure function of `(traversal, fault config,
+//! attempt)`, so outcomes are identical across thread counts and reruns.
+
+use crate::report::ResilienceSummary;
+use dr_dag::{build_schedule, DecisionSpace, Traversal};
+use dr_fault::{FaultConfig, FaultPlan};
+use dr_mcts::Evaluator;
+use dr_sim::{
+    benchmark_instrumented, BenchConfig, BenchResult, CompiledProgram, Platform, SimError,
+    SimStats, Workload,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Reseeded retry attempts after the first failed evaluation.
+pub const DEFAULT_MAX_RETRIES: usize = 2;
+
+/// Watchdog step budget applied to fault-injected executions whose
+/// platform does not already carry one: generous enough for any real
+/// schedule, small enough that a fault-induced livelock dies in
+/// milliseconds instead of hanging the exploration.
+pub const WATCHDOG_MAX_STEPS: u64 = 5_000_000;
+
+/// The fault plan seed of retry `attempt` for an evaluation seeded with
+/// `eval_seed` — a pure function of both, so a retried measurement is
+/// identical wherever and whenever it runs. Attempt 0 is the evaluation
+/// seed itself.
+pub fn retry_seed(eval_seed: u64, attempt: usize) -> u64 {
+    eval_seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Thread-safe resilience counters shared by every exploration worker.
+#[derive(Debug, Default)]
+pub struct ResilienceTotals {
+    evaluations: AtomicU64,
+    retries: AtomicU64,
+    deadlocks: AtomicU64,
+    budget_kills: AtomicU64,
+    panics: AtomicU64,
+    quarantined: AtomicU64,
+}
+
+impl ResilienceTotals {
+    fn add(field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records traversals dropped after exhausting their retry budget
+    /// (called by the exploration layer, which owns that decision).
+    pub fn note_quarantined(&self, n: u64) {
+        Self::add(&self.quarantined, n);
+    }
+
+    /// Snapshot for the run report.
+    pub fn summary(&self) -> ResilienceSummary {
+        ResilienceSummary {
+            evaluations: self.evaluations.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            deadlocks: self.deadlocks.load(Ordering::Relaxed),
+            budget_kills: self.budget_kills.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Turns a caught panic payload into displayable text.
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The chaos-mode evaluator: compiles a traversal once, then benchmarks
+/// it under a seed-derived [`FaultPlan`] with a watchdog budget,
+/// retrying with a reseeded plan when the injected faults kill the run.
+pub struct ResilientEvaluator<'a, W: Workload> {
+    space: &'a DecisionSpace,
+    workload: &'a W,
+    platform: &'a Platform,
+    bench: BenchConfig,
+    faults: FaultConfig,
+    max_retries: usize,
+    totals: Arc<ResilienceTotals>,
+    stats: SimStats,
+}
+
+impl<'a, W: Workload> ResilientEvaluator<'a, W> {
+    /// Creates an evaluator injecting `faults` into every measurement,
+    /// accumulating counters into the shared `totals`.
+    pub fn new(
+        space: &'a DecisionSpace,
+        workload: &'a W,
+        platform: &'a Platform,
+        bench: BenchConfig,
+        faults: FaultConfig,
+        totals: Arc<ResilienceTotals>,
+    ) -> Self {
+        ResilientEvaluator {
+            space,
+            workload,
+            platform,
+            bench,
+            faults,
+            max_retries: DEFAULT_MAX_RETRIES,
+            totals,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Overrides the bounded-retry budget (extra attempts after the
+    /// first failure; [`DEFAULT_MAX_RETRIES`] by default).
+    pub fn with_max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Simulator statistics summed over every attempt of every
+    /// evaluated traversal (fault counters included).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+}
+
+impl<W: Workload> Evaluator for ResilientEvaluator<'_, W> {
+    fn evaluate(&mut self, t: &Traversal, seed: u64) -> Result<BenchResult, SimError> {
+        let schedule = build_schedule(self.space, t);
+        let prog = CompiledProgram::compile(&schedule, self.workload)?;
+        let mut last: Option<SimError> = None;
+        for attempt in 0..=self.max_retries {
+            ResilienceTotals::add(&self.totals.evaluations, 1);
+            if attempt > 0 {
+                ResilienceTotals::add(&self.totals.retries, 1);
+            }
+            let plan = FaultPlan::derive(&self.faults, retry_seed(seed, attempt));
+            let mut platform = self.platform.clone().with_faults(plan);
+            if platform.max_steps == 0 {
+                platform.max_steps = WATCHDOG_MAX_STEPS;
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                benchmark_instrumented(&prog, &platform, &self.bench, seed)
+            }));
+            match outcome {
+                Ok(Ok((result, stats))) => {
+                    self.stats.merge(&stats);
+                    return Ok(result);
+                }
+                Ok(Err(e @ SimError::Deadlock { .. })) => {
+                    ResilienceTotals::add(&self.totals.deadlocks, 1);
+                    last = Some(e);
+                }
+                Ok(Err(e @ SimError::Budget { .. })) => {
+                    ResilienceTotals::add(&self.totals.budget_kills, 1);
+                    last = Some(e);
+                }
+                // Structural errors (missing costs, malformed comms) are
+                // not fault-induced; retrying cannot help.
+                Ok(Err(e)) => return Err(e),
+                Err(payload) => {
+                    ResilienceTotals::add(&self.totals.panics, 1);
+                    last = Some(SimError::Panicked {
+                        detail: panic_text(payload),
+                    });
+                }
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    fn sim_stats(&self) -> Option<&SimStats> {
+        Some(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_dag::{eval_seed, CostKey, DagBuilder, OpSpec};
+    use dr_sim::TableWorkload;
+
+    fn setup() -> (DecisionSpace, TableWorkload, Platform) {
+        let mut b = DagBuilder::new();
+        let a = b.add("a", OpSpec::GpuKernel(CostKey::new("a")));
+        let g = b.add("b", OpSpec::GpuKernel(CostKey::new("b")));
+        let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+        b.edge(a, c);
+        b.edge(g, c);
+        let space = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
+        let mut w = TableWorkload::new(1);
+        w.cost_all("a", 1e-4)
+            .cost_all("b", 2e-4)
+            .cost_all("c", 1e-5);
+        (space, w, Platform::perlmutter_like().noiseless())
+    }
+
+    #[test]
+    fn retry_seed_is_pure_and_attempt_sensitive() {
+        assert_eq!(retry_seed(7, 0), 7);
+        assert_eq!(retry_seed(7, 3), retry_seed(7, 3));
+        assert_ne!(retry_seed(7, 1), retry_seed(7, 2));
+        assert_ne!(retry_seed(7, 1), retry_seed(8, 1));
+    }
+
+    #[test]
+    fn clean_faults_match_the_plain_evaluator_bit_for_bit() {
+        let (space, w, platform) = setup();
+        let t = space.enumerate().next().unwrap();
+        let seed = eval_seed(11, &t);
+        let totals = Arc::new(ResilienceTotals::default());
+        let mut resilient = ResilientEvaluator::new(
+            &space,
+            &w,
+            &platform,
+            BenchConfig::quick(),
+            FaultConfig::clean(),
+            totals.clone(),
+        );
+        let mut plain = dr_mcts::SimEvaluator::new(&space, &w, &platform, BenchConfig::quick());
+        let a = resilient.evaluate(&t, seed).unwrap();
+        let b = Evaluator::evaluate(&mut plain, &t, seed).unwrap();
+        assert_eq!(a, b, "a clean fault plan must not perturb measurements");
+        let s = totals.summary();
+        assert_eq!(s.evaluations, 1);
+        assert_eq!(s.retries + s.deadlocks + s.budget_kills + s.panics, 0);
+    }
+
+    #[test]
+    fn outlier_faults_perturb_measurements_deterministically() {
+        let (space, w, platform) = setup();
+        let t = space.enumerate().next().unwrap();
+        let seed = eval_seed(11, &t);
+        let totals = Arc::new(ResilienceTotals::default());
+        let cfg = FaultConfig {
+            outlier_prob: 1.0,
+            outlier_factor: 10.0,
+            ..FaultConfig::clean()
+        };
+        let run = || {
+            let mut eval = ResilientEvaluator::new(
+                &space,
+                &w,
+                &platform,
+                BenchConfig::quick(),
+                cfg,
+                totals.clone(),
+            );
+            eval.evaluate(&t, seed).unwrap()
+        };
+        let first = run();
+        assert_eq!(first, run(), "fault-injected runs are deterministic");
+        let mut plain = dr_mcts::SimEvaluator::new(&space, &w, &platform, BenchConfig::quick());
+        let clean = Evaluator::evaluate(&mut plain, &t, seed).unwrap();
+        assert!(
+            first.percentiles.p99 > clean.percentiles.p99 * 2.0,
+            "universal outliers must inflate the tail ({} vs {})",
+            first.percentiles.p99,
+            clean.percentiles.p99
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_final_error() {
+        let (space, w, platform) = setup();
+        let t = space.enumerate().next().unwrap();
+        let totals = Arc::new(ResilienceTotals::default());
+        // A one-step budget kills every attempt regardless of the plan.
+        let platform = platform.with_budget(1, 0.0);
+        let mut eval = ResilientEvaluator::new(
+            &space,
+            &w,
+            &platform,
+            BenchConfig::quick(),
+            FaultConfig::light(),
+            totals.clone(),
+        );
+        let err = eval.evaluate(&t, eval_seed(3, &t)).unwrap_err();
+        assert!(matches!(err, SimError::Budget { .. }), "{err}");
+        let s = totals.summary();
+        assert_eq!(s.evaluations as usize, 1 + DEFAULT_MAX_RETRIES);
+        assert_eq!(s.retries as usize, DEFAULT_MAX_RETRIES);
+        assert_eq!(s.budget_kills as usize, 1 + DEFAULT_MAX_RETRIES);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for the fault-plan contract: a [`FaultPlan`] is a pure
+//! function of `(config, evaluation seed)` and the queried identity —
+//! independent of query order, repetition, and thread count — and every
+//! injected value stays inside the configured bounds.
+
+use dr_fault::{key_hash, FaultConfig, FaultPlan, MessageFault};
+use proptest::prelude::*;
+
+/// Arbitrary fault configurations with in-range probabilities and
+/// magnitudes (factors >= 1, as the config documents).
+fn configs() -> impl Strategy<Value = FaultConfig> {
+    (
+        (any::<u64>(), 0f64..1.0, 1f64..8.0),
+        (0f64..0.5, 0f64..1e-3, 0f64..0.5),
+        (0f64..1.0, 1f64..8.0),
+        (0f64..1.0, 1f64..64.0),
+    )
+        .prop_map(
+            |(
+                (seed, straggler_prob, straggler_factor),
+                (delay_prob, delay_seconds, drop_prob),
+                (spike_prob, spike_factor),
+                (outlier_prob, outlier_factor),
+            )| FaultConfig {
+                seed,
+                straggler_prob,
+                straggler_factor,
+                delay_prob,
+                delay_seconds,
+                drop_prob,
+                spike_prob,
+                spike_factor,
+                outlier_prob,
+                outlier_factor,
+            },
+        )
+}
+
+/// A full fingerprint of a plan over a small identity window, so two
+/// plans can be compared query-by-query.
+fn fingerprint(plan: &FaultPlan, key: u64) -> Vec<(f64, f64, f64, Option<MessageFault>)> {
+    (0..32)
+        .map(|i| {
+            (
+                plan.rank_factor(i),
+                plan.kernel_spike(i, i * 3 + 1),
+                plan.outlier(i),
+                plan.message(key, i, (i + 1) % 32),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn derivation_is_pure_and_order_independent(
+        cfg in configs(),
+        eval_seed in any::<u64>(),
+    ) {
+        let a = FaultPlan::derive(&cfg, eval_seed);
+        let b = FaultPlan::derive(&cfg, eval_seed);
+        prop_assert_eq!(a, b);
+        let key = key_hash("exchange");
+        // Query b backwards and repeatedly before fingerprinting: answers
+        // must not depend on who asked first or how often.
+        for i in (0..32).rev() {
+            let _ = b.message(key, i, (i + 1) % 32);
+            let _ = b.outlier(i);
+            let _ = b.outlier(i);
+            let _ = b.kernel_spike(i, i * 3 + 1);
+            let _ = b.rank_factor(i);
+        }
+        prop_assert_eq!(fingerprint(&a, key), fingerprint(&b, key));
+    }
+
+    #[test]
+    fn injected_values_respect_the_configured_bounds(
+        cfg in configs(),
+        eval_seed in any::<u64>(),
+    ) {
+        let plan = FaultPlan::derive(&cfg, eval_seed);
+        let key = key_hash("halo");
+        for i in 0..64 {
+            let rf = plan.rank_factor(i);
+            prop_assert!(rf == 1.0 || rf == cfg.straggler_factor, "rank_factor {rf}");
+            let ks = plan.kernel_spike(i, 7);
+            prop_assert!(ks == 1.0 || ks == cfg.spike_factor, "kernel_spike {ks}");
+            let ol = plan.outlier(i);
+            prop_assert!(ol == 1.0 || ol == cfg.outlier_factor, "outlier {ol}");
+            match plan.message(key, i, i + 1) {
+                None | Some(MessageFault::Drop) => {}
+                Some(MessageFault::Delay(d)) => prop_assert_eq!(d, cfg.delay_seconds),
+            }
+        }
+    }
+
+    #[test]
+    fn certain_drops_win_over_delays(
+        (seed, eval_seed) in (any::<u64>(), any::<u64>()),
+        delay_prob in 0f64..1.0,
+    ) {
+        let cfg = FaultConfig {
+            drop_prob: 1.0,
+            delay_prob,
+            delay_seconds: 1e-3,
+            ..FaultConfig::clean()
+        }
+        .with_seed(seed);
+        let plan = FaultPlan::derive(&cfg, eval_seed);
+        for i in 0..16 {
+            prop_assert_eq!(
+                plan.message(key_hash("x"), i, i + 1),
+                Some(MessageFault::Drop)
+            );
+        }
+    }
+
+    #[test]
+    fn clean_configs_inject_nothing_for_any_seed(
+        (seed, eval_seed) in (any::<u64>(), any::<u64>()),
+    ) {
+        let cfg = FaultConfig::clean().with_seed(seed);
+        prop_assert!(!cfg.is_active());
+        let plan = FaultPlan::derive(&cfg, eval_seed);
+        for i in 0..64 {
+            prop_assert_eq!(plan.rank_factor(i), 1.0);
+            prop_assert_eq!(plan.kernel_spike(i, i), 1.0);
+            prop_assert_eq!(plan.outlier(i), 1.0);
+            prop_assert_eq!(plan.message(key_hash("any"), i, i + 1), None);
+        }
+    }
+
+    #[test]
+    fn plans_answer_identically_from_every_thread(
+        cfg in configs(),
+        eval_seed in any::<u64>(),
+    ) {
+        let plan = FaultPlan::derive(&cfg, eval_seed);
+        let key = key_hash("exchange");
+        let baseline = fingerprint(&plan, key);
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(move || fingerprint(&plan, key)))
+            .collect();
+        for h in handles {
+            let from_thread = h.join().expect("fingerprint thread panicked");
+            prop_assert_eq!(&from_thread, &baseline);
+        }
+    }
+
+    #[test]
+    fn distinct_eval_seeds_change_the_landscape(
+        (a, b) in (any::<u64>(), any::<u64>()).prop_filter("distinct", |(a, b)| a != b),
+    ) {
+        let cfg = FaultConfig {
+            straggler_prob: 0.5,
+            straggler_factor: 3.0,
+            ..FaultConfig::clean()
+        };
+        let pa = FaultPlan::derive(&cfg, a);
+        let pb = FaultPlan::derive(&cfg, b);
+        let differs = (0..256).any(|i| pa.rank_factor(i) != pb.rank_factor(i));
+        prop_assert!(differs, "seeds {a} and {b} draw identical landscapes");
+    }
+}

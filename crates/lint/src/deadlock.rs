@@ -206,6 +206,37 @@ pub fn detect_deadlocks(schedule: &Schedule, topo: &CommTopology) -> Vec<Diagnos
                         .with_items(vec![i]),
                     );
                 }
+                // A lost rendezvous send never completes its handshake,
+                // so the sender's wait can never be satisfied. Lost
+                // eager sends complete locally and do not block here.
+                if let Some(pat) = topo.pattern(c) {
+                    let lost: Vec<(usize, usize)> = pat
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(src, t)| {
+                            t.sends
+                                .iter()
+                                .filter(move |&&(dst, bytes)| {
+                                    !topo.is_eager(bytes) && topo.is_lost(c, src, dst)
+                                })
+                                .map(move |&(dst, _)| (src, dst))
+                        })
+                        .collect();
+                    if let Some(&(src, dst)) = lost.first() {
+                        diags.push(
+                            Diagnostic::new(
+                                RuleCode::Mpi103,
+                                format!(
+                                    "WaitSends({c}) at item {i}: {} rendezvous message(s) \
+                                     lost in transit (first: rank {src} -> rank {dst}); \
+                                     the wait can never complete",
+                                    lost.len()
+                                ),
+                            )
+                            .with_items(vec![i]),
+                        );
+                    }
+                }
             }
             CommOp::WaitRecvs(c) => {
                 if !posted_before(i, &|o| matches!(o, CommOp::PostRecvs(k) if k == c)) {
@@ -231,6 +262,34 @@ pub fn detect_deadlocks(schedule: &Schedule, topo: &CommTopology) -> Vec<Diagnos
                         )
                         .with_items(vec![i]),
                     );
+                }
+                // A lost message never reaches its receiver — eager or
+                // rendezvous alike — so the receiving wait is stranded.
+                if let Some(pat) = topo.pattern(c) {
+                    let lost: Vec<(usize, usize)> = pat
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(dst, t)| {
+                            t.recvs
+                                .iter()
+                                .filter(move |&&(src, _)| topo.is_lost(c, src, dst))
+                                .map(move |&(src, _)| (src, dst))
+                        })
+                        .collect();
+                    if let Some(&(src, dst)) = lost.first() {
+                        diags.push(
+                            Diagnostic::new(
+                                RuleCode::Mpi103,
+                                format!(
+                                    "WaitRecvs({c}) at item {i}: {} expected message(s) \
+                                     lost in transit (first: rank {src} -> rank {dst}); \
+                                     the wait can never complete",
+                                    lost.len()
+                                ),
+                            )
+                            .with_items(vec![i]),
+                        );
+                    }
                 }
             }
             _ => {}
@@ -511,6 +570,53 @@ mod tests {
         let diags = detect_deadlocks(&s, &topo);
         assert!(
             diags.iter().any(|d| d.code == RuleCode::Mpi107),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn lost_rendezvous_message_strands_both_waits() {
+        let c = CommKey::new("x");
+        let mut topo = exchange_topology(1 << 20); // rendezvous at 1 MiB
+        topo.add_lost_send(c.clone(), 0, 1);
+        let s = schedule_of(vec![
+            ("pr", ScheduleAction::PostRecvs(c.clone())),
+            ("ps", ScheduleAction::PostSends(c.clone())),
+            ("ws", ScheduleAction::WaitSends(c.clone())),
+            ("wr", ScheduleAction::WaitRecvs(c)),
+        ]);
+        let diags = detect_deadlocks(&s, &topo);
+        let mpi103: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == RuleCode::Mpi103)
+            .collect();
+        assert_eq!(mpi103.len(), 2, "{diags:?}");
+        assert!(mpi103.iter().any(|d| d.message.contains("WaitSends")));
+        assert!(mpi103.iter().any(|d| d.message.contains("WaitRecvs")));
+    }
+
+    #[test]
+    fn lost_eager_message_strands_only_the_receiver() {
+        let c = CommKey::new("x");
+        let mut topo = exchange_topology(512); // under the 1024 B threshold
+        topo.add_lost_send(c.clone(), 0, 1);
+        let s = schedule_of(vec![
+            ("pr", ScheduleAction::PostRecvs(c.clone())),
+            ("ps", ScheduleAction::PostSends(c.clone())),
+            ("ws", ScheduleAction::WaitSends(c.clone())),
+            ("wr", ScheduleAction::WaitRecvs(c)),
+        ]);
+        let diags = detect_deadlocks(&s, &topo);
+        let mpi103: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == RuleCode::Mpi103)
+            .collect();
+        // The lost send completed eagerly at the sender, so only the
+        // receive wait is stranded; nothing else deadlocks.
+        assert_eq!(mpi103.len(), 1, "{diags:?}");
+        assert!(mpi103[0].message.contains("WaitRecvs"));
+        assert!(
+            !diags.iter().any(|d| d.code == RuleCode::Mpi104),
             "{diags:?}"
         );
     }

@@ -9,7 +9,7 @@
 //! eager send never does).
 
 use dr_dag::CommKey;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One rank's point-to-point traffic under one communication key.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -26,6 +26,7 @@ pub struct CommTopology {
     num_ranks: usize,
     eager_threshold: Option<u64>,
     table: BTreeMap<CommKey, Vec<RankTraffic>>,
+    lost: BTreeSet<(CommKey, usize, usize)>,
 }
 
 impl CommTopology {
@@ -37,6 +38,7 @@ impl CommTopology {
             num_ranks,
             eager_threshold: None,
             table: BTreeMap::new(),
+            lost: BTreeSet::new(),
         }
     }
 
@@ -110,6 +112,26 @@ impl CommTopology {
     pub fn keys(&self) -> impl Iterator<Item = &CommKey> {
         self.table.keys()
     }
+
+    /// Marks the message `src → dst` under `key` as lost in transit
+    /// (chaos-oracle mode): the send is posted but never delivered, so
+    /// a wait that depends on its arrival can never complete. Lost
+    /// *eager* sends still complete locally at the sender; lost
+    /// *rendezvous* sends additionally strand the sender's `WaitSends`.
+    pub fn add_lost_send(&mut self, key: CommKey, src: usize, dst: usize) -> &mut Self {
+        self.lost.insert((key, src, dst));
+        self
+    }
+
+    /// Whether the message `src → dst` under `key` was marked lost.
+    pub fn is_lost(&self, key: &CommKey, src: usize, dst: usize) -> bool {
+        self.lost.contains(&(key.clone(), src, dst))
+    }
+
+    /// Whether any message at all was marked lost.
+    pub fn has_lost_sends(&self) -> bool {
+        !self.lost.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -132,5 +154,16 @@ mod tests {
     fn no_threshold_means_nothing_is_eager() {
         let topo = CommTopology::new(2);
         assert!(!topo.is_eager(1));
+    }
+
+    #[test]
+    fn lost_sends_round_trip() {
+        let mut topo = CommTopology::new(2);
+        assert!(!topo.has_lost_sends());
+        topo.add_lost_send(CommKey::new("x"), 0, 1);
+        assert!(topo.is_lost(&CommKey::new("x"), 0, 1));
+        assert!(!topo.is_lost(&CommKey::new("x"), 1, 0));
+        assert!(!topo.is_lost(&CommKey::new("y"), 0, 1));
+        assert!(topo.has_lost_sends());
     }
 }

@@ -57,6 +57,13 @@ pub struct MctsConfig {
     pub exploitation: Exploitation,
     /// Seed for rollout randomness and per-evaluation noise seeds.
     pub seed: u64,
+    /// Evaluator errors tolerated before the search aborts. Each failing
+    /// traversal is quarantined (its subtree is marked fully explored, no
+    /// record is added, no statistics are backpropagated) and the search
+    /// continues; once more than `max_failures` distinct traversals have
+    /// failed, the next error propagates. `0` (the default) keeps the
+    /// pre-chaos fail-fast behavior.
+    pub max_failures: usize,
 }
 
 impl Default for MctsConfig {
@@ -65,6 +72,7 @@ impl Default for MctsConfig {
             exploration_c: std::f64::consts::SQRT_2,
             exploitation: Exploitation::default(),
             seed: 0,
+            max_failures: 0,
         }
     }
 }
@@ -109,6 +117,11 @@ pub enum StepOutcome {
     },
     /// Every traversal in the space has been benchmarked.
     Exhausted,
+    /// The rollout's evaluation failed and the traversal was quarantined
+    /// (tolerated under [`MctsConfig::max_failures`]): no record was
+    /// added, no statistics were backpropagated, and the offending
+    /// subtree was marked fully explored so the search moves on.
+    Quarantined,
 }
 
 type NodeId = usize;
@@ -165,6 +178,12 @@ pub struct Mcts<'a, E: Evaluator> {
     /// by owned `Traversal` so recording a rollout moves the traversal
     /// into its record instead of cloning it.
     seen: HashMap<u64, Vec<usize>>,
+    /// Canonical-hash index of quarantined traversals (same
+    /// collision-tolerant layout as `seen`): re-rolling a known-failed
+    /// traversal is skipped without re-evaluating it or consuming
+    /// another failure credit.
+    failed: HashMap<u64, Vec<Traversal>>,
+    failures: usize,
     rng: SmallRng,
     iterations: u64,
     telemetry: SearchTelemetry,
@@ -184,6 +203,8 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
             nodes: vec![Node::new(root_actions)],
             records: Vec::new(),
             seen: HashMap::new(),
+            failed: HashMap::new(),
+            failures: 0,
             rng: SmallRng::seed_from_u64(cfg.seed),
             iterations: 0,
             telemetry: SearchTelemetry::new(),
@@ -224,6 +245,12 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
         self.iterations
     }
 
+    /// Number of distinct traversals quarantined after evaluator errors
+    /// (bounded by [`MctsConfig::max_failures`]).
+    pub fn failures(&self) -> usize {
+        self.failures
+    }
+
     /// Number of tree nodes materialized.
     pub fn tree_size(&self) -> usize {
         self.nodes.len()
@@ -261,7 +288,7 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
         for _ in 0..iterations {
             match self.step()? {
                 StepOutcome::Explored { new: true, .. } => new += 1,
-                StepOutcome::Explored { new: false, .. } => {}
+                StepOutcome::Explored { new: false, .. } | StepOutcome::Quarantined => {}
                 StepOutcome::Exhausted => break,
             }
         }
@@ -287,10 +314,12 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
             if elig.is_empty() {
                 break; // reached a complete traversal
             }
+            // Quarantined subtrees are fully explored with zero visits;
+            // they don't count as unvisited (nothing left to measure).
             let unvisited_exists = elig.iter().any(|&p| {
                 self.nodes[node]
                     .child(p)
-                    .is_none_or(|c| self.nodes[c].n == 0)
+                    .is_none_or(|c| self.nodes[c].n == 0 && !self.nodes[c].fully_explored)
             });
             if unvisited_exists {
                 break;
@@ -318,7 +347,7 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
                     .filter(|&p| {
                         self.nodes[node]
                             .child(p)
-                            .is_none_or(|c| self.nodes[c].n == 0)
+                            .is_none_or(|c| self.nodes[c].n == 0 && !self.nodes[c].fully_explored)
                     })
                     .collect();
                 let pick = candidates[self.rng.gen_range(0..candidates.len())];
@@ -343,6 +372,20 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
             steps: prefix.steps().to_vec(),
         };
         let hash = traversal.canonical_hash();
+
+        // A rollout can regenerate a traversal that already failed; skip
+        // it without re-evaluating or consuming another failure credit.
+        if self
+            .failed
+            .get(&hash)
+            .into_iter()
+            .flatten()
+            .any(|t| *t == traversal)
+        {
+            self.mark_fully_explored(&path);
+            return Ok(StepOutcome::Quarantined);
+        }
+
         let found = self
             .seen
             .get(&hash)
@@ -358,9 +401,25 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
                 // whenever this traversal is rolled out, which is what
                 // makes root-parallel search merges and the shared
                 // evaluation cache coherent.
-                let result = self
+                let outcome = self
                     .eval
-                    .evaluate(&traversal, eval_seed(self.cfg.seed, &traversal))?;
+                    .evaluate(&traversal, eval_seed(self.cfg.seed, &traversal));
+                let result = match outcome {
+                    Ok(r) => r,
+                    Err(e) => {
+                        if self.failures >= self.cfg.max_failures {
+                            return Err(e);
+                        }
+                        self.failures += 1;
+                        self.failed.entry(hash).or_default().push(traversal);
+                        // The terminal node is fully explored at
+                        // creation; propagating that up retires the
+                        // poisoned subtree so exhaustion accounting
+                        // still converges.
+                        self.mark_fully_explored(&path);
+                        return Ok(StepOutcome::Quarantined);
+                    }
+                };
                 let idx = self.records.len();
                 self.records.push(ExploredRecord { traversal, result });
                 self.seen.entry(hash).or_default().push(idx);
@@ -567,6 +626,86 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    fn fake_result(t: f64) -> BenchResult {
+        BenchResult {
+            measurements: vec![t],
+            percentiles: dr_sim::Percentiles {
+                p01: t,
+                p10: t,
+                p50: t,
+                p90: t,
+                p99: t,
+            },
+        }
+    }
+
+    #[test]
+    fn max_failures_quarantines_poisoned_traversals_and_continues() {
+        let space = small_space();
+        let all: Vec<Traversal> = space.enumerate().collect();
+        let poisoned = all[0].clone();
+        let eval = |t: &Traversal, _seed: u64| -> Result<BenchResult, SimError> {
+            if *t == poisoned {
+                Err(SimError::Panicked {
+                    detail: "injected".into(),
+                })
+            } else {
+                Ok(fake_result(1.0 + t.canonical_hash() as f64 * 1e-20))
+            }
+        };
+        let mut mcts = Mcts::new(
+            &space,
+            eval,
+            MctsConfig {
+                max_failures: 1,
+                ..Default::default()
+            },
+        );
+        let new = mcts.run(10_000).unwrap();
+        assert_eq!(new, all.len() - 1, "all healthy traversals discovered");
+        assert!(mcts.is_exhausted(), "quarantine must not stall exhaustion");
+        assert_eq!(mcts.failures(), 1);
+        assert!(mcts.records().iter().all(|r| r.traversal != poisoned));
+    }
+
+    #[test]
+    fn failures_beyond_the_cap_propagate() {
+        let space = small_space();
+        let eval = |_: &Traversal, _: u64| -> Result<BenchResult, SimError> {
+            Err(SimError::Panicked {
+                detail: "always".into(),
+            })
+        };
+        // Default max_failures = 0: the very first error is fatal,
+        // exactly the pre-chaos behavior.
+        let mut mcts = Mcts::new(&space, eval, MctsConfig::default());
+        assert!(mcts.run(100).is_err());
+    }
+
+    #[test]
+    fn quarantine_tolerates_an_entirely_poisoned_space() {
+        let space = small_space();
+        let total = space.count_traversals() as usize;
+        let eval = |_: &Traversal, _: u64| -> Result<BenchResult, SimError> {
+            Err(SimError::Panicked {
+                detail: "always".into(),
+            })
+        };
+        let mut mcts = Mcts::new(
+            &space,
+            eval,
+            MctsConfig {
+                max_failures: total,
+                ..Default::default()
+            },
+        );
+        let new = mcts.run(10_000).unwrap();
+        assert_eq!(new, 0);
+        assert!(mcts.is_exhausted());
+        assert_eq!(mcts.failures(), total);
+        assert!(mcts.records().is_empty());
     }
 
     #[test]

@@ -19,6 +19,12 @@ pub struct LabelingConfig {
     /// Keep only peaks whose prominence is at or above this percentile of
     /// all peak prominences (paper: 98).
     pub prominence_percentile: f64,
+    /// MAD outlier screen: times above
+    /// `median + k · 1.4826 · MAD` are excluded from boundary detection
+    /// and folded into the slowest class, so heavy-tailed measurement
+    /// contamination cannot fabricate classes. `0.0` (the default)
+    /// disables the screen, leaving the paper's algorithm untouched.
+    pub outlier_mad_k: f64,
 }
 
 impl Default for LabelingConfig {
@@ -26,6 +32,18 @@ impl Default for LabelingConfig {
         LabelingConfig {
             radius_frac: 0.005,
             prominence_percentile: 98.0,
+            outlier_mad_k: 0.0,
+        }
+    }
+}
+
+impl LabelingConfig {
+    /// Paper defaults plus an MAD outlier screen sized for chaos runs
+    /// (`k = 3.5`, a standard robust-statistics cutoff).
+    pub fn robust() -> Self {
+        LabelingConfig {
+            outlier_mad_k: 3.5,
+            ..LabelingConfig::default()
         }
     }
 }
@@ -70,15 +88,88 @@ impl Labeling {
 /// Labels a series of benchmark times. `times[i]` is the measured time of
 /// implementation `i`; the returned [`Labeling::labels`] is parallel to
 /// the input.
+///
+/// The function never panics and never produces non-finite class ranges:
+///
+/// * an empty series yields a degenerate single-class labeling;
+/// * non-finite times are clamped to the nearest finite extreme of the
+///   series (`NaN`/`+∞` to the slowest finite time, `-∞` to the fastest)
+///   before sorting, so they join the edge classes instead of poisoning
+///   the convolution;
+/// * with [`LabelingConfig::outlier_mad_k`] set, MAD-screened outliers
+///   are excluded from boundary detection and folded into the slowest
+///   class.
 pub fn label_times(times: &[f64], cfg: &LabelingConfig) -> Labeling {
-    assert!(!times.is_empty(), "cannot label an empty series");
     let n = times.len();
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| times[a].partial_cmp(&times[b]).expect("times are finite"));
-    let sorted_times: Vec<f64> = order.iter().map(|&i| times[i]).collect();
+    if n == 0 {
+        return Labeling {
+            order: Vec::new(),
+            sorted_times: Vec::new(),
+            convolution: Convolution {
+                start: 0,
+                values: Vec::new(),
+            },
+            boundaries: Vec::new(),
+            labels: Vec::new(),
+            num_classes: 1,
+            class_ranges: vec![(0.0, 0.0)],
+        };
+    }
 
-    let radius = ((cfg.radius_frac * n as f64).round() as usize).max(1);
-    let convolution = step_convolve(&sorted_times, radius);
+    // Clamp non-finite measurements to the finite extremes of the series
+    // (everything-non-finite degrades to a constant series → one class).
+    let min_finite = times
+        .iter()
+        .copied()
+        .filter(|t| t.is_finite())
+        .fold(f64::INFINITY, f64::min);
+    let (lo_clamp, hi_clamp) = if min_finite.is_finite() {
+        let max_finite = times
+            .iter()
+            .copied()
+            .filter(|t| t.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max);
+        (min_finite, max_finite)
+    } else {
+        (0.0, 0.0)
+    };
+    let clamped: Vec<f64> = times
+        .iter()
+        .map(|&t| {
+            if t.is_finite() {
+                t
+            } else if t == f64::NEG_INFINITY {
+                lo_clamp
+            } else {
+                hi_clamp
+            }
+        })
+        .collect();
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| clamped[a].total_cmp(&clamped[b]));
+    let sorted_times: Vec<f64> = order.iter().map(|&i| clamped[i]).collect();
+
+    // MAD outlier screen: boundary detection sees only the first
+    // `screened` sorted entries; the contaminated tail joins the slowest
+    // class instead of spawning classes of its own.
+    let screened = if cfg.outlier_mad_k > 0.0 {
+        let median = sorted_times[n / 2];
+        let mut dev: Vec<f64> = sorted_times.iter().map(|&t| (t - median).abs()).collect();
+        dev.sort_by(f64::total_cmp);
+        let mad = dev[n / 2];
+        if mad > 0.0 {
+            let cutoff = median + cfg.outlier_mad_k * 1.4826 * mad;
+            sorted_times.partition_point(|&t| t <= cutoff).max(1)
+        } else {
+            n
+        }
+    } else {
+        n
+    };
+
+    let radius = ((cfg.radius_frac * screened as f64).round() as usize).max(1);
+    let convolution = step_convolve(&sorted_times[..screened], radius);
 
     let peaks = find_peaks(&convolution.values);
     let boundaries: Vec<usize> = if peaks.is_empty() {
@@ -86,7 +177,7 @@ pub fn label_times(times: &[f64], cfg: &LabelingConfig) -> Labeling {
     } else {
         let prominences = peak_prominences(&convolution.values, &peaks);
         let mut sorted_prom = prominences.clone();
-        sorted_prom.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted_prom.sort_by(f64::total_cmp);
         let threshold = percentile(&sorted_prom, cfg.prominence_percentile);
         let mut bounds: Vec<usize> = peaks
             .iter()
@@ -97,6 +188,9 @@ pub fn label_times(times: &[f64], cfg: &LabelingConfig) -> Labeling {
             .map(|(&j, _)| convolution.input_index(j) + 1)
             .collect();
         bounds.dedup();
+        // Boundaries must be strictly inside (0, n) so every class is
+        // non-empty; peak positions guarantee ascending order.
+        bounds.retain(|&b| b > 0 && b < n);
         bounds
     };
 
@@ -234,6 +328,66 @@ mod tests {
         times.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let l = label_times(&times, &LabelingConfig::default());
         assert_eq!(l.num_classes, 2, "boundaries: {:?}", l.boundaries);
+    }
+
+    #[test]
+    fn empty_series_is_a_single_degenerate_class() {
+        let l = label_times(&[], &LabelingConfig::default());
+        assert_eq!(l.num_classes, 1);
+        assert!(l.labels.is_empty());
+        assert!(l.boundaries.is_empty());
+        assert_eq!(l.class_ranges, vec![(0.0, 0.0)]);
+        assert_eq!(l.class_of_time(1.0), 0);
+    }
+
+    #[test]
+    fn non_finite_times_are_clamped_not_fatal() {
+        let times = vec![1.0, f64::NAN, 2.0, f64::INFINITY, 1.5, f64::NEG_INFINITY];
+        let l = label_times(&times, &LabelingConfig::default());
+        assert_eq!(l.labels.len(), times.len());
+        for &(lo, hi) in &l.class_ranges {
+            assert!(lo.is_finite() && hi.is_finite(), "{:?}", l.class_ranges);
+        }
+        // NaN and +inf joined the slowest region, -inf the fastest.
+        assert_eq!(l.labels[1], l.labels[3]);
+        assert_eq!(l.labels[5], l.labels[0].min(l.labels[5]));
+    }
+
+    #[test]
+    fn all_non_finite_collapses_to_one_class() {
+        let times = vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+        let l = label_times(&times, &LabelingConfig::default());
+        assert_eq!(l.num_classes, 1);
+        assert!(l.labels.iter().all(|&c| c == 0));
+        assert!(l.class_ranges.iter().all(|r| r.0.is_finite()));
+    }
+
+    #[test]
+    fn mad_screen_folds_outliers_into_the_slowest_class() {
+        // The clean three-regime series plus a handful of wild outliers
+        // that would otherwise dominate the convolution's peak landscape.
+        let mut times = three_regimes(100);
+        times.extend([50.0, 80.0, 120.0]);
+        let robust = label_times(&times, &LabelingConfig::robust());
+        assert_eq!(robust.num_classes, 3, "{:?}", robust.boundaries);
+        // The outliers carry the slowest label, not classes of their own.
+        for i in 300..303 {
+            assert_eq!(robust.labels[i], robust.num_classes - 1);
+        }
+    }
+
+    #[test]
+    fn zero_mad_k_is_bitforbit_the_default_algorithm() {
+        let times = three_regimes(100);
+        let base = label_times(&times, &LabelingConfig::default());
+        let zero_k = label_times(
+            &times,
+            &LabelingConfig {
+                outlier_mad_k: 0.0,
+                ..LabelingConfig::default()
+            },
+        );
+        assert_eq!(base, zero_k);
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Property tests for the hardened labeling stage: `label_times` must
+//! never panic and must always produce a structurally valid labeling —
+//! finite, monotone class ranges and in-range labels — even on
+//! contaminated (NaN / ±inf), empty, or all-equal inputs.
+
+use dr_ml::{label_times, Labeling, LabelingConfig};
+use proptest::prelude::*;
+
+/// Benchmark-like vectors laced with non-finite contamination. Each drawn
+/// entry carries a selector; 0..=2 replace the value with NaN / +inf /
+/// -inf, the rest keep the finite draw. (The vendored shim has no
+/// `prop_oneof`, so contamination is encoded in the tuple.)
+fn contaminated() -> impl Strategy<Value = Vec<f64>> {
+    collection::vec((1e-6f64..1e-2, 0usize..8), 0..160).prop_map(|v| {
+        v.into_iter()
+            .map(|(x, sel)| match sel {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                _ => x,
+            })
+            .collect()
+    })
+}
+
+/// Structural invariants every labeling must satisfy, whatever the input.
+fn assert_well_formed(times: &[f64], labeling: &Labeling) {
+    assert_eq!(labeling.labels.len(), times.len());
+    assert!(labeling.num_classes >= 1);
+    assert_eq!(labeling.class_ranges.len(), labeling.num_classes);
+    for &label in &labeling.labels {
+        assert!(label < labeling.num_classes, "label {label} out of range");
+    }
+    for &(lo, hi) in &labeling.class_ranges {
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "non-finite range ({lo}, {hi})"
+        );
+        assert!(lo <= hi, "inverted range ({lo}, {hi})");
+    }
+    // Classes partition the sorted series, so ranges never overlap and
+    // never regress: class c ends no later than class c+1 begins.
+    for w in labeling.class_ranges.windows(2) {
+        assert!(
+            w[0].1 <= w[1].0,
+            "class ranges out of order: {:?}",
+            labeling.class_ranges
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn contaminated_vectors_never_panic_and_stay_well_formed(
+        times in contaminated(),
+    ) {
+        for cfg in [LabelingConfig::default(), LabelingConfig::robust()] {
+            let labeling = label_times(&times, &cfg);
+            assert_well_formed(&times, &labeling);
+            // Every finite time must fall inside the union of the class
+            // ranges (clamping only moves *non-finite* entries).
+            let lo = labeling.class_ranges[0].0;
+            let hi = labeling.class_ranges[labeling.num_classes - 1].1;
+            for &t in times.iter().filter(|t| t.is_finite()) {
+                prop_assert!(t >= lo && t <= hi, "{t} outside [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn all_equal_series_yield_a_single_class(
+        (x, n) in (1e-6f64..1e-2, 0usize..64),
+    ) {
+        let times = vec![x; n];
+        for cfg in [LabelingConfig::default(), LabelingConfig::robust()] {
+            let labeling = label_times(&times, &cfg);
+            assert_well_formed(&times, &labeling);
+            prop_assert_eq!(labeling.num_classes, 1);
+            prop_assert!(labeling.labels.iter().all(|&l| l == 0));
+        }
+    }
+
+    #[test]
+    fn entirely_non_finite_series_degrade_to_one_class(
+        sels in collection::vec(0usize..3, 1..40),
+    ) {
+        let times: Vec<f64> = sels
+            .into_iter()
+            .map(|sel| match sel {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                _ => f64::NEG_INFINITY,
+            })
+            .collect();
+        for cfg in [LabelingConfig::default(), LabelingConfig::robust()] {
+            let labeling = label_times(&times, &cfg);
+            assert_well_formed(&times, &labeling);
+            prop_assert_eq!(labeling.num_classes, 1);
+        }
+    }
+
+    #[test]
+    fn labeling_is_deterministic(times in contaminated()) {
+        let cfg = LabelingConfig::robust();
+        let a = label_times(&times, &cfg);
+        let b = label_times(&times, &cfg);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -10,6 +10,9 @@
 //!   that streams items from a (possibly lazy) iterator through a chunked
 //!   work queue and returns results **in input order**, so the output is
 //!   bit-for-bit independent of the thread count and of scheduling;
+//! * [`par_map_stream_isolated`] — the same pool with per-item
+//!   `catch_unwind` panic isolation and error quarantine, for chaos runs
+//!   where a poisoned evaluation must not take down the exploration;
 //! * [`StripedCache`] — a lock-striped concurrent memo table keyed by a
 //!   caller-supplied canonical hash, so repeated rollouts across workers
 //!   never re-simulate the same traversal.
@@ -26,4 +29,7 @@ mod cache;
 mod pool;
 
 pub use cache::{CacheStats, StripedCache};
-pub use pool::{par_map_stream, par_map_stream_with, resolve_threads, split_budget};
+pub use pool::{
+    par_map_stream, par_map_stream_isolated, par_map_stream_with, resolve_threads, split_budget,
+    ItemOutcome, PoolOutcome,
+};

@@ -156,11 +156,23 @@ fn run_protocol(
             }
         }
         // Estimate: max over ranks of (elapsed on that rank / n_samples).
-        let est = accum.iter().map(|a| a / samples as f64).fold(0.0, f64::max);
+        let mut est = accum.iter().map(|a| a / samples as f64).fold(0.0, f64::max);
+        // Heavy-tailed timer contamination from the fault plan: the
+        // whole measurement (not an individual sample) reads high, which
+        // is how wall-clock outliers present in real benchmark output.
+        if let Some(plan) = &platform.faults {
+            let factor = plan.outlier(measurements.len());
+            if factor != 1.0 {
+                est *= factor;
+                if let Some(stats) = stats.as_deref_mut() {
+                    stats.faults.outliers += 1;
+                }
+            }
+        }
         measurements.push(est);
     }
     let mut sorted = measurements.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    sorted.sort_by(f64::total_cmp);
     let percentiles = Percentiles {
         p01: percentile(&sorted, 1.0),
         p10: percentile(&sorted, 10.0),

@@ -64,6 +64,28 @@ pub enum SimError {
         /// Rank whose pattern is malformed.
         rank: usize,
     },
+    /// The execution watchdog fired: the run exceeded the platform's
+    /// step or virtual-time budget (a fault-induced livelock or runaway
+    /// schedule) and was killed instead of spinning.
+    Budget {
+        /// Instructions retired when the watchdog fired.
+        steps: u64,
+        /// Which limit was exceeded, human-readable.
+        detail: String,
+    },
+    /// An evaluation panicked and was caught by a resilience layer; the
+    /// payload is preserved as text.
+    Panicked {
+        /// The stringified panic payload.
+        detail: String,
+    },
+    /// A chaos run could not produce a usable result: the fault
+    /// configuration was invalid, or fault injection quarantined every
+    /// evaluation.
+    Faulted {
+        /// Human-readable description of what went wrong.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -88,6 +110,18 @@ impl std::fmt::Display for SimError {
             SimError::NoRanks => write!(f, "workload must have at least one rank"),
             SimError::MixedCommKey { key } => {
                 write!(f, "comm key {key} mixes point-to-point and collective use")
+            }
+            SimError::Budget { steps, detail } => {
+                write!(
+                    f,
+                    "execution budget exhausted after {steps} steps: {detail}"
+                )
+            }
+            SimError::Panicked { detail } => {
+                write!(f, "evaluation panicked: {detail}")
+            }
+            SimError::Faulted { detail } => {
+                write!(f, "fault injection: {detail}")
             }
             SimError::InvalidCollective { key, rank } => {
                 write!(

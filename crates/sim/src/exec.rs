@@ -115,18 +115,49 @@ struct Executor<'a> {
     /// rank registering its entry into a collective) so the deadlock
     /// detector does not fire spuriously.
     noted_progress: bool,
+    /// Per-rank straggler compute multipliers from the fault plan
+    /// (all 1.0 without a plan).
+    rank_factors: Vec<f64>,
+    /// Messages the fault plan drops, as `(comm, src, dst)`: the send is
+    /// lost, so the receiver (and a rendezvous sender) blocks forever —
+    /// surfaced as a structured deadlock, never a hang.
+    dropped: std::collections::HashSet<(usize, usize, usize)>,
+    /// Instructions retired, for the watchdog budget.
+    steps: u64,
 }
 
 impl<'a> Executor<'a> {
     fn new(prog: &'a CompiledProgram, platform: &'a Platform, traced: bool) -> Self {
+        let mut stats = SimStats::for_shape(prog.num_ranks, prog.num_streams);
+        let rank_factors: Vec<f64> = match &platform.faults {
+            Some(plan) => (0..prog.num_ranks).map(|r| plan.rank_factor(r)).collect(),
+            None => vec![1.0; prog.num_ranks],
+        };
+        let mut dropped = std::collections::HashSet::new();
+        if let Some(plan) = &platform.faults {
+            for (c, table) in prog.comms.iter().enumerate() {
+                let key = dr_fault::key_hash(&table.key.0);
+                for (src, sends) in table.sends.iter().enumerate() {
+                    for &(dst, _) in sends {
+                        if plan.message(key, src, dst) == Some(dr_fault::MessageFault::Drop) {
+                            dropped.insert((c, src, dst));
+                        }
+                    }
+                }
+            }
+        }
+        stats.faults.drops = dropped.len() as u64;
         Executor {
             prog,
             platform,
             ranks: (0..prog.num_ranks).map(|_| RankState::new(prog)).collect(),
             arrivals: std::collections::HashMap::new(),
             trace: traced.then(Trace::default),
-            stats: SimStats::for_shape(prog.num_ranks, prog.num_streams),
+            stats,
             noted_progress: false,
+            rank_factors,
+            dropped,
+            steps: 0,
         }
     }
 
@@ -151,6 +182,18 @@ impl<'a> Executor<'a> {
             }
             if all_done {
                 break;
+            }
+            if self.platform.max_virtual_time > 0.0 {
+                let vt = self.ranks.iter().map(|r| r.cpu).fold(0.0, f64::max);
+                if vt > self.platform.max_virtual_time {
+                    return Err(SimError::Budget {
+                        steps: self.steps,
+                        detail: format!(
+                            "virtual time {vt:.6}s exceeds limit {:.6}s",
+                            self.platform.max_virtual_time
+                        ),
+                    });
+                }
             }
             progressed |= std::mem::take(&mut self.noted_progress);
             if !progressed {
@@ -178,6 +221,12 @@ impl<'a> Executor<'a> {
         if pc >= self.prog.instrs[r].len() {
             return Ok(Step::Done);
         }
+        if self.platform.max_steps > 0 && self.steps >= self.platform.max_steps {
+            return Err(SimError::Budget {
+                steps: self.steps,
+                detail: format!("step limit {} reached", self.platform.max_steps),
+            });
+        }
         // Blocking checks first (no state mutation on a blocked step).
         match &self.prog.instrs[r][pc] {
             Instr::WaitRecvs { comm } => {
@@ -188,7 +237,11 @@ impl<'a> Executor<'a> {
                     });
                 }
                 for &(peer, _) in &self.prog.comms[*comm].recvs[r] {
-                    if self.ranks[peer].send_posts[*comm].is_none() {
+                    // A dropped send never arrives: the receiver blocks
+                    // forever and the deadlock detector reports it.
+                    if self.ranks[peer].send_posts[*comm].is_none()
+                        || self.dropped.contains(&(*comm, peer, r))
+                    {
                         return Ok(Step::Blocked);
                     }
                 }
@@ -201,8 +254,12 @@ impl<'a> Executor<'a> {
                     });
                 }
                 for &(peer, bytes) in &self.prog.comms[*comm].sends[r] {
+                    // A rendezvous send whose message is dropped can
+                    // never complete its handshake; eager sends are
+                    // buffered and complete locally even when lost.
                     if !self.platform.is_eager(bytes)
-                        && self.ranks[peer].recv_posts[*comm].is_none()
+                        && (self.ranks[peer].recv_posts[*comm].is_none()
+                            || self.dropped.contains(&(*comm, r, peer)))
                     {
                         return Ok(Step::Blocked);
                     }
@@ -231,13 +288,28 @@ impl<'a> Executor<'a> {
         match instr {
             Instr::CpuWork { dur } => {
                 let f = noise(rng);
-                self.ranks[r].cpu += dur * f;
+                let straggle = self.rank_factors[r];
+                if straggle != 1.0 {
+                    self.stats.faults.stragglers += 1;
+                }
+                self.ranks[r].cpu += dur * f * straggle;
             }
             Instr::KernelLaunch { stream, dur } => {
                 let f = noise(rng);
+                let straggle = self.rank_factors[r];
+                if straggle != 1.0 {
+                    self.stats.faults.stragglers += 1;
+                }
+                let spike = match &self.platform.faults {
+                    Some(plan) => plan.kernel_spike(r, pc),
+                    None => 1.0,
+                };
+                if spike != 1.0 {
+                    self.stats.faults.spikes += 1;
+                }
                 self.ranks[r].cpu += self.platform.kernel_launch_overhead;
                 let start = self.ranks[r].cpu.max(self.ranks[r].stream_tail[stream]);
-                let end = self.contended_end(r, stream, start, dur * f);
+                let end = self.contended_end(r, stream, start, dur * f * straggle * spike);
                 self.ranks[r].stream_tail[stream] = end;
                 self.ranks[r].kernel_intervals[stream].push((start, end));
                 kernel_span = Some((stream, start, end));
@@ -342,6 +414,7 @@ impl<'a> Executor<'a> {
                 self.ranks[r].cpu = self.ranks[r].cpu.max(tail_max);
             }
         }
+        self.steps += 1;
         self.stats.instructions += 1;
         self.stats.cpu_busy[r] += self.ranks[r].cpu - cpu_before;
         if let Some((stream, start, end)) = kernel_span {
@@ -433,7 +506,14 @@ impl<'a> Executor<'a> {
                 .map(|&(_, _, t)| t)
                 .expect("validated pairwise")
         });
-        let wire = self.platform.wire_time(bytes) * self.platform.noise.factor(rng);
+        let mut wire = self.platform.wire_time(bytes) * self.platform.noise.factor(rng);
+        if let Some(plan) = &self.platform.faults {
+            let key = dr_fault::key_hash(&self.prog.comms[comm].key.0);
+            if let Some(dr_fault::MessageFault::Delay(extra)) = plan.message(key, src, dst) {
+                wire += extra;
+                self.stats.faults.delays += 1;
+            }
+        }
         self.stats.bytes_moved += bytes;
         if self.platform.is_eager(bytes) {
             self.stats.eager_msgs += 1;
@@ -801,6 +881,214 @@ mod tests {
         let c = execute(&p, &platform, &mut SmallRng::seed_from_u64(10)).unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::bench::{benchmark, benchmark_instrumented, BenchConfig};
+    use crate::workload::TableWorkload;
+    use dr_dag::{build_schedule, CommKey, CostKey, DagBuilder, DecisionSpace, OpSpec};
+    use dr_fault::{FaultConfig, FaultPlan};
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0)
+    }
+
+    fn cpu_program(dur: f64) -> CompiledProgram {
+        let mut b = DagBuilder::new();
+        b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+        let sp = DecisionSpace::new(b.build().unwrap(), 1).unwrap();
+        let t = sp.enumerate().next().unwrap();
+        let s = build_schedule(&sp, &t);
+        let mut w = TableWorkload::new(2);
+        w.cost_all("c", dur);
+        CompiledProgram::compile(&s, &w).unwrap()
+    }
+
+    fn exchange_program(bytes: u64) -> CompiledProgram {
+        let key = CommKey::new("x");
+        let mut b = DagBuilder::new();
+        let ps = b.add("PostSends", OpSpec::PostSends(key.clone()));
+        let pr = b.add("PostRecvs", OpSpec::PostRecvs(key.clone()));
+        let ws = b.add("WaitSends", OpSpec::WaitSends(key.clone()));
+        let wr = b.add("WaitRecvs", OpSpec::WaitRecvs(key));
+        b.edge(ps, ws);
+        b.edge(pr, wr);
+        b.edge(ps, wr);
+        let sp = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
+        let t = sp
+            .traversal_from_names(&[
+                ("PostRecvs", None),
+                ("PostSends", None),
+                ("WaitSends", None),
+                ("WaitRecvs", None),
+            ])
+            .unwrap();
+        let s = build_schedule(&sp, &t);
+        let mut w = TableWorkload::new(2);
+        w.comm_all_to_all("x", bytes);
+        CompiledProgram::compile(&s, &w).unwrap()
+    }
+
+    #[test]
+    fn clean_plan_leaves_execution_bit_for_bit_identical() {
+        let prog = exchange_program(1 << 16);
+        let base = Platform::perlmutter_like();
+        let faulted = base
+            .clone()
+            .with_faults(FaultPlan::derive(&FaultConfig::clean(), 7));
+        let a = execute(&prog, &base, &mut SmallRng::seed_from_u64(3)).unwrap();
+        let b = execute(&prog, &faulted, &mut SmallRng::seed_from_u64(3)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn straggler_rank_slows_the_program() {
+        let prog = cpu_program(1e-3);
+        let base = Platform::perlmutter_like().noiseless();
+        let cfg = FaultConfig {
+            straggler_prob: 1.0,
+            straggler_factor: 3.0,
+            ..FaultConfig::clean()
+        };
+        let faulted = base.clone().with_faults(FaultPlan::derive(&cfg, 1));
+        let t_base = execute(&prog, &base, &mut rng()).unwrap().time();
+        let (out, stats) = execute_instrumented(&prog, &faulted, &mut rng()).unwrap();
+        assert!(
+            (out.time() - 3.0 * t_base).abs() < 1e-9,
+            "{} vs {}",
+            out.time(),
+            t_base
+        );
+        assert_eq!(stats.faults.stragglers, 2, "one scaled op per rank");
+    }
+
+    #[test]
+    fn delayed_message_adds_wire_time() {
+        let prog = exchange_program(1 << 20);
+        let base = Platform::perlmutter_like().noiseless();
+        let cfg = FaultConfig {
+            delay_prob: 1.0,
+            delay_seconds: 5e-3,
+            ..FaultConfig::clean()
+        };
+        let faulted = base.clone().with_faults(FaultPlan::derive(&cfg, 1));
+        let t_base = execute(&prog, &base, &mut rng()).unwrap().time();
+        let (out, stats) = execute_instrumented(&prog, &faulted, &mut rng()).unwrap();
+        assert!(out.time() >= t_base + 5e-3, "{} vs {}", out.time(), t_base);
+        assert_eq!(stats.faults.delays, 2, "both directions delayed");
+    }
+
+    #[test]
+    fn dropped_message_becomes_structured_deadlock() {
+        let prog = exchange_program(1 << 20);
+        let cfg = FaultConfig {
+            drop_prob: 1.0,
+            ..FaultConfig::clean()
+        };
+        let faulted = Platform::perlmutter_like()
+            .noiseless()
+            .with_faults(FaultPlan::derive(&cfg, 1));
+        match execute(&prog, &faulted, &mut rng()) {
+            Err(SimError::Deadlock { detail }) => {
+                assert!(detail.contains("rank"), "{detail}");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eager_dropped_message_still_deadlocks_the_receiver() {
+        // Eager sends complete locally even when the payload is lost;
+        // only the receiver's wait can never finish.
+        let prog = exchange_program(512);
+        let cfg = FaultConfig {
+            drop_prob: 1.0,
+            ..FaultConfig::clean()
+        };
+        let faulted = Platform::perlmutter_like()
+            .noiseless()
+            .with_faults(FaultPlan::derive(&cfg, 1));
+        match execute(&prog, &faulted, &mut rng()) {
+            Err(SimError::Deadlock { detail }) => {
+                assert!(detail.contains("WaitRecvs"), "{detail}");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_budget_kills_long_runs() {
+        let prog = cpu_program(1e-3);
+        let platform = Platform::perlmutter_like().noiseless().with_budget(1, 0.0);
+        match execute(&prog, &platform, &mut rng()) {
+            Err(SimError::Budget { steps, .. }) => assert_eq!(steps, 1),
+            other => panic!("expected budget kill, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn virtual_time_budget_kills_slow_runs() {
+        let prog = exchange_program(1 << 20);
+        let platform = Platform::perlmutter_like().noiseless().with_budget(0, 1e-9);
+        match execute(&prog, &platform, &mut rng()) {
+            Err(SimError::Budget { detail, .. }) => {
+                assert!(detail.contains("virtual time"), "{detail}");
+            }
+            other => panic!("expected budget kill, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_budget_does_not_perturb_results() {
+        let prog = exchange_program(1 << 16);
+        let base = Platform::perlmutter_like();
+        let budgeted = base.clone().with_budget(1_000_000, 1e6);
+        let a = execute(&prog, &base, &mut SmallRng::seed_from_u64(3)).unwrap();
+        let b = execute(&prog, &budgeted, &mut SmallRng::seed_from_u64(3)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn outliers_contaminate_measurements_not_the_median() {
+        let prog = cpu_program(1e-4);
+        let base = Platform::perlmutter_like().noiseless();
+        let cfg = FaultConfig {
+            outlier_prob: 0.2,
+            outlier_factor: 100.0,
+            ..FaultConfig::clean()
+        };
+        let faulted = base.clone().with_faults(FaultPlan::derive(&cfg, 3));
+        let bench = BenchConfig {
+            t_measure: 1e-4,
+            num_measurements: 25,
+            max_samples: 4,
+        };
+        let clean = benchmark(&prog, &base, &bench, 5).unwrap();
+        let (noisy, stats) = benchmark_instrumented(&prog, &faulted, &bench, 5).unwrap();
+        assert!(stats.faults.outliers > 0, "some outliers must fire");
+        assert!(
+            stats.faults.outliers < bench.num_measurements as u64,
+            "not every measurement is an outlier"
+        );
+        assert!(noisy.percentiles.p99 > 50.0 * clean.percentiles.p99);
+        // The median survives 20% contamination.
+        assert!((noisy.time() - clean.time()).abs() / clean.time() < 1e-9);
+    }
+
+    #[test]
+    fn fault_decisions_are_identical_across_executions() {
+        let prog = exchange_program(1 << 20);
+        let cfg = FaultConfig::heavy().with_seed(11);
+        let faulted = Platform::perlmutter_like()
+            .noiseless()
+            .with_faults(FaultPlan::derive(&cfg, 99));
+        let a = execute(&prog, &faulted, &mut rng());
+        let b = execute(&prog, &faulted, &mut rng());
+        assert_eq!(a, b, "fault application must be pure");
     }
 }
 

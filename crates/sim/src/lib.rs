@@ -33,6 +33,7 @@ pub use bench::{
     benchmark, benchmark_instrumented, percentile, BenchConfig, BenchResult, Percentiles,
 };
 pub use compile::{CommTable, CompiledProgram, Instr, SimError};
+pub use dr_fault::{FaultConfig, FaultCounters, FaultPlan, MessageFault};
 pub use exec::{execute, execute_instrumented, execute_traced, ExecOutcome};
 pub use platform::{NoiseModel, Platform};
 pub use stats::SimStats;

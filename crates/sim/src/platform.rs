@@ -6,6 +6,15 @@
 //! order and stream assignment matter: host-side launch overheads, stream
 //! FIFO serialization, inter-stream kernel contention, eager/rendezvous
 //! point-to-point messaging, and blocking waits.
+//!
+//! The platform also carries the *fault hook*: an optional
+//! [`FaultPlan`](dr_fault::FaultPlan) consulted by the execution engine
+//! (stragglers, message delay/drop, kernel spikes) and the benchmarking
+//! protocol (measurement outliers), plus a watchdog budget bounding any
+//! single execution. Both default to "off", leaving fault-free behavior
+//! bit-for-bit unchanged.
+
+use dr_fault::FaultPlan;
 
 /// Multiplicative log-normal measurement noise. Real benchmarks jitter;
 /// the labeling pipeline (convolution + peak prominence) is designed to be
@@ -76,6 +85,17 @@ pub struct Platform {
     pub cross_gpu_sync_latency: f64,
     /// Measurement noise applied to kernel/CPU durations and transfers.
     pub noise: NoiseModel,
+    /// Deterministic fault-injection plan consulted during execution and
+    /// benchmarking; `None` (the default) injects nothing.
+    pub faults: Option<FaultPlan>,
+    /// Watchdog: maximum instructions a single execution may retire
+    /// before it is killed with [`SimError::Budget`](crate::SimError);
+    /// `0` = unlimited.
+    pub max_steps: u64,
+    /// Watchdog: maximum virtual seconds a single execution may span
+    /// before it is killed with [`SimError::Budget`](crate::SimError);
+    /// `0.0` = unlimited.
+    pub max_virtual_time: f64,
 }
 
 impl Platform {
@@ -99,7 +119,25 @@ impl Platform {
             streams_per_gpu: usize::MAX,
             cross_gpu_sync_latency: 8e-6,
             noise: NoiseModel { sigma: 0.02 },
+            faults: None,
+            max_steps: 0,
+            max_virtual_time: 0.0,
         }
+    }
+
+    /// The same platform with a fault plan installed.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The same platform with a watchdog budget: at most `max_steps`
+    /// retired instructions and `max_virtual_time` simulated seconds per
+    /// execution (`0` / `0.0` = unlimited).
+    pub fn with_budget(mut self, max_steps: u64, max_virtual_time: f64) -> Self {
+        self.max_steps = max_steps;
+        self.max_virtual_time = max_virtual_time;
+        self
     }
 
     /// The GPU a stream belongs to.

@@ -37,6 +37,10 @@ pub struct SimStats {
     pub cpu_busy: Vec<f64>,
     /// Per-rank, per-stream kernel-execution seconds.
     pub stream_busy: Vec<Vec<f64>>,
+    /// Faults injected by the platform's fault plan (all zero without
+    /// one): straggler scalings, message delays/drops, kernel spikes,
+    /// and measurement outliers.
+    pub faults: dr_fault::FaultCounters,
 }
 
 impl SimStats {
@@ -66,6 +70,7 @@ impl SimStats {
         self.sync_cer += other.sync_cer;
         self.sync_ces += other.sync_ces;
         self.sync_cswe += other.sync_cswe;
+        self.faults.merge(&other.faults);
         if self.cpu_busy.len() < other.cpu_busy.len() {
             self.cpu_busy.resize(other.cpu_busy.len(), 0.0);
         }
@@ -101,6 +106,8 @@ impl SimStats {
                 "{{\"runs\":{},\"instructions\":{},\"eager_msgs\":{},",
                 "\"rendezvous_msgs\":{},\"bytes_moved\":{},\"collective_ops\":{},",
                 "\"sync_cer\":{},\"sync_ces\":{},\"sync_cswe\":{},",
+                "\"faults\":{{\"stragglers\":{},\"delays\":{},\"drops\":{},",
+                "\"spikes\":{},\"outliers\":{}}},",
                 "\"cpu_busy\":[{}],\"stream_busy\":[{}]}}"
             ),
             self.runs,
@@ -112,6 +119,11 @@ impl SimStats {
             self.sync_cer,
             self.sync_ces,
             self.sync_cswe,
+            self.faults.stragglers,
+            self.faults.delays,
+            self.faults.drops,
+            self.faults.spikes,
+            self.faults.outliers,
             cpu.join(","),
             streams.join(",")
         )

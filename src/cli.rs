@@ -6,11 +6,12 @@ use crate::dag::{build_schedule, DecisionSpace, Traversal};
 use crate::mcts::MctsConfig;
 use crate::ml::{render_ruleset, rulesets_for_class};
 use crate::pipeline::{
-    lint_space, run_pipeline_instrumented, synthesize, topology_from_workload, PipelineConfig,
-    Strategy,
+    apply_fault_plan, lint_space, run_pipeline_instrumented, synthesize, topology_from_workload,
+    InstrumentedRun, PipelineConfig, ResilienceSummary, Strategy,
 };
 use crate::sim::{
-    benchmark, execute_traced, BenchConfig, CompiledProgram, Platform, SimError, Workload,
+    benchmark, execute_traced, BenchConfig, CompiledProgram, FaultConfig, FaultPlan, Platform,
+    SimError, Workload,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -43,6 +44,9 @@ pub enum Command {
     Timeline,
     /// Statically lint the enumerated schedules (no simulation).
     Lint,
+    /// Sweep seeded fault plans through the pipeline and cross-check
+    /// fault-induced deadlocks against the static linter.
+    Chaos,
 }
 
 /// Parsed command line.
@@ -67,12 +71,14 @@ pub struct CliOptions {
     pub telemetry: Option<String>,
     /// Schedule cap for `lint` (`0` = lint the whole space).
     pub max_schedules: usize,
+    /// Fault plans to sweep for `chaos` (plan 0 is always clean).
+    pub plans: usize,
 }
 
 /// Usage text printed on parse errors.
 pub const USAGE: &str = "usage: dr-rules <scenario> <command> [options]
   scenarios: spmv | spmv-paper | spmv-fine | halo
-  commands:  info | explore | rules | synthesize | timeline | lint
+  commands:  info | explore | rules | synthesize | timeline | lint | chaos
   options:   --iterations N (default 300)
              --seed N       (default 0)
              --random       (uniform sampling instead of MCTS)
@@ -82,7 +88,9 @@ pub const USAGE: &str = "usage: dr-rules <scenario> <command> [options]
                                for the lint command)
              --telemetry PATH (write per-iteration search telemetry CSV)
              --max-schedules N (lint: stop after N schedules;
-                                0 = whole space; default 2048)";
+                                0 = whole space; default 2048)
+             --plans N      (chaos: seeded fault plans to sweep;
+                             default 24, minimum 2)";
 
 /// Parses command-line arguments (excluding `argv[0]`).
 pub fn parse(args: &[String]) -> Result<CliOptions, String> {
@@ -102,6 +110,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         Some("synthesize") => Command::Synthesize,
         Some("timeline") => Command::Timeline,
         Some("lint") => Command::Lint,
+        Some("chaos") => Command::Chaos,
         Some(other) => return Err(format!("unknown command {other:?}\n{USAGE}")),
         None => return Err(format!("missing command\n{USAGE}")),
     };
@@ -115,6 +124,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         report: None,
         telemetry: None,
         max_schedules: 2048,
+        plans: 24,
     };
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -150,6 +160,14 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                 opts.max_schedules = v
                     .parse()
                     .map_err(|_| format!("bad --max-schedules value {v:?}"))?;
+            }
+            "--plans" => {
+                let v = it.next().ok_or("--plans needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --plans value {v:?}"))?;
+                if n < 2 {
+                    return Err("--plans must be at least 2 (plan 0 is the clean control)".into());
+                }
+                opts.plans = n;
             }
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),
         }
@@ -268,6 +286,10 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
         return Ok(());
     }
 
+    if opts.command == Command::Chaos {
+        return run_chaos(opts, &inst, out);
+    }
+
     let run = run_pipeline_instrumented(
         &inst.space,
         &inst.workload,
@@ -298,7 +320,7 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
     let result = run.result;
 
     match opts.command {
-        Command::Info | Command::Lint => unreachable!("handled above"),
+        Command::Info | Command::Lint | Command::Chaos => unreachable!("handled above"),
         Command::Explore => {
             let times = result.times();
             let fastest = times.iter().copied().fold(f64::INFINITY, f64::min);
@@ -383,6 +405,209 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
                 write!(out, "{}", trace.ascii_gantt(0, 96)).map_err(io)?;
             }
         }
+    }
+    Ok(())
+}
+
+/// The `chaos` command: sweep seeded fault plans through the full
+/// pipeline, assert the clean control plan is bit-for-bit deterministic,
+/// and cross-check drop-induced simulator deadlocks against the static
+/// linter's MPI103/MPI104 verdicts (the fault oracle).
+fn run_chaos(
+    opts: &CliOptions,
+    inst: &Instance,
+    out: &mut impl std::io::Write,
+) -> Result<(), String> {
+    let io = |e: std::io::Error| format!("write failed: {e}");
+    let run_once = |faults: FaultConfig| -> Result<InstrumentedRun, SimError> {
+        run_pipeline_instrumented(
+            &inst.space,
+            &inst.workload,
+            &inst.platform,
+            strategy(opts),
+            &PipelineConfig {
+                threads: opts.threads.unwrap_or(0),
+                faults,
+                ..PipelineConfig::quick()
+            },
+        )
+    };
+
+    // With an inactive config the pipeline consults DR_FAULTS, so an
+    // inherited environment changes what "clean" means here.
+    let env_faults = FaultConfig::from_env().map_err(|m| format!("invalid DR_FAULTS: {m}"))?;
+    if env_faults.is_some() {
+        writeln!(out, "note: DR_FAULTS is set; plan 0 runs under it").map_err(io)?;
+    }
+
+    // Plan 0, the clean control: with faults disabled the pipeline must
+    // behave exactly as if the chaos machinery did not exist, and two
+    // runs must agree bit for bit.
+    let baseline =
+        run_once(FaultConfig::clean()).map_err(|e| format!("clean control run failed: {e}"))?;
+    let replay =
+        run_once(FaultConfig::clean()).map_err(|e| format!("clean control replay failed: {e}"))?;
+    let identical = baseline.result.times() == replay.result.times()
+        && baseline.result.labeling.labels == replay.result.labeling.labels;
+    writeln!(
+        out,
+        "plan  0 [clean]: {} records, {} classes, bit-for-bit replay: {}",
+        baseline.result.records.len(),
+        baseline.result.labeling.num_classes,
+        if identical { "ok" } else { "MISMATCH" }
+    )
+    .map_err(io)?;
+    if !identical {
+        return Err("clean control plan is not deterministic".into());
+    }
+    if env_faults.is_none() && baseline.report.resilience.is_some() {
+        return Err("clean control plan must not report resilience counters".into());
+    }
+
+    // Plans 1..N: alternate survivable presets across distinct seeds.
+    let mut aggregate = ResilienceSummary::default();
+    let mut failed_plans = 0usize;
+    for p in 1..opts.plans as u64 {
+        let (preset, name) = if p % 2 == 1 {
+            (FaultConfig::light(), "light")
+        } else {
+            (FaultConfig::heavy(), "heavy")
+        };
+        let faults = preset.with_seed(opts.seed.wrapping_add(p));
+        match run_once(faults) {
+            Ok(run) => {
+                let r = run
+                    .report
+                    .resilience
+                    .ok_or("chaos plan missing resilience counters")?;
+                aggregate.evaluations += r.evaluations;
+                aggregate.retries += r.retries;
+                aggregate.deadlocks += r.deadlocks;
+                aggregate.budget_kills += r.budget_kills;
+                aggregate.panics += r.panics;
+                aggregate.quarantined += r.quarantined;
+                writeln!(
+                    out,
+                    "plan {p:2} [{name} seed={}]: {} records, {} classes; \
+                     {} evaluations ({} retries) — {} deadlocks, {} budget kills, \
+                     {} panics, {} quarantined",
+                    faults.seed,
+                    run.result.records.len(),
+                    run.result.labeling.num_classes,
+                    r.evaluations,
+                    r.retries,
+                    r.deadlocks,
+                    r.budget_kills,
+                    r.panics,
+                    r.quarantined
+                )
+                .map_err(io)?;
+            }
+            Err(e) => {
+                failed_plans += 1;
+                writeln!(
+                    out,
+                    "plan {p:2} [{name} seed={}]: pipeline failed: {e}",
+                    faults.seed
+                )
+                .map_err(io)?;
+            }
+        }
+    }
+
+    // The fault oracle: for a capped sweep of message-drop plans over the
+    // first traversal, the simulator's deadlock outcome and the static
+    // linter's verdict on the drop-projected topology must agree exactly.
+    let t = inst
+        .space
+        .enumerate()
+        .next()
+        .ok_or("empty decision space")?;
+    let schedule = build_schedule(&inst.space, &t);
+    let prog = CompiledProgram::compile(&schedule, &inst.workload)
+        .map_err(|e| format!("oracle compile failed: {e}"))?;
+    let drops = FaultConfig::drops().with_seed(opts.seed);
+    let (mut checked, mut agreed, mut sim_deadlocks) = (0u32, 0u32, 0u32);
+    for s in 0..(opts.plans as u64).min(16) {
+        let plan = FaultPlan::derive(&drops, s);
+        let faulted = inst
+            .platform
+            .clone()
+            .with_faults(plan)
+            .with_budget(1_000_000, 0.0);
+        let sim_deadlocked = match benchmark(&prog, &faulted, &BenchConfig::quick(), s) {
+            Ok(_) => false,
+            Err(SimError::Deadlock { .. } | SimError::Budget { .. }) => true,
+            Err(e) => return Err(format!("oracle simulation failed structurally: {e}")),
+        };
+        let mut topo = topology_from_workload(&inst.space, &inst.workload, &inst.platform);
+        apply_fault_plan(&mut topo, &plan);
+        let lint_flagged =
+            crate::lint::lint_traversal(&inst.space, &t, Some(&topo)).deadlocks() > 0;
+        checked += 1;
+        if sim_deadlocked == lint_flagged {
+            agreed += 1;
+        }
+        if sim_deadlocked {
+            sim_deadlocks += 1;
+        }
+    }
+    writeln!(
+        out,
+        "oracle: {agreed}/{checked} drop plans agree with dr-lint \
+         ({sim_deadlocks} fault-induced deadlocks)"
+    )
+    .map_err(io)?;
+    writeln!(
+        out,
+        "sweep: {} plans, {} failed; {} evaluations ({} retries) — {} deadlocks, \
+         {} budget kills, {} panics, {} quarantined",
+        opts.plans,
+        failed_plans,
+        aggregate.evaluations,
+        aggregate.retries,
+        aggregate.deadlocks,
+        aggregate.budget_kills,
+        aggregate.panics,
+        aggregate.quarantined
+    )
+    .map_err(io)?;
+
+    if let Some(path) = &opts.report {
+        let json = format!(
+            concat!(
+                "{{\"plans\":{},\"failed_plans\":{},\"clean_replay_identical\":{},",
+                "\"oracle\":{{\"checked\":{},\"agreed\":{},\"sim_deadlocks\":{}}},",
+                "\"aggregate\":{{\"evaluations\":{},\"retries\":{},\"deadlocks\":{},",
+                "\"budget_kills\":{},\"panics\":{},\"quarantined\":{}}}}}"
+            ),
+            opts.plans,
+            failed_plans,
+            identical,
+            checked,
+            agreed,
+            sim_deadlocks,
+            aggregate.evaluations,
+            aggregate.retries,
+            aggregate.deadlocks,
+            aggregate.budget_kills,
+            aggregate.panics,
+            aggregate.quarantined
+        );
+        std::fs::write(path, json).map_err(|e| format!("cannot write report {path:?}: {e}"))?;
+        writeln!(out, "wrote chaos report to {path}").map_err(io)?;
+    }
+
+    if agreed != checked {
+        return Err(format!(
+            "fault oracle disagreement: only {agreed}/{checked} drop plans match dr-lint"
+        ));
+    }
+    if failed_plans > 0 {
+        return Err(format!(
+            "{failed_plans} of {} chaos plans failed outright",
+            opts.plans
+        ));
     }
     Ok(())
 }
@@ -558,6 +783,45 @@ mod tests {
         let json = std::fs::read_to_string(&report).unwrap();
         crate::obs::json::validate(&json).unwrap();
         assert!(json.contains("\"schedules\":5"), "{json}");
+        std::fs::remove_file(&report).ok();
+    }
+
+    #[test]
+    fn parse_accepts_chaos_command_and_plans() {
+        let o = parse(&argv("spmv chaos")).unwrap();
+        assert_eq!(o.command, Command::Chaos);
+        assert_eq!(o.plans, 24);
+        let o = parse(&argv("halo chaos --plans 21")).unwrap();
+        assert_eq!(o.plans, 21);
+        assert!(parse(&argv("spmv chaos --plans")).is_err());
+        assert!(parse(&argv("spmv chaos --plans 1")).is_err());
+        assert!(parse(&argv("spmv chaos --plans lots")).is_err());
+    }
+
+    #[test]
+    fn chaos_command_sweeps_plans_and_cross_checks_the_oracle() {
+        let dir = std::env::temp_dir();
+        let report = dir.join(format!("dr-rules-chaos-{}.json", std::process::id()));
+        let opts = parse(&argv(&format!(
+            "spmv chaos --iterations 12 --plans 21 --seed 2 --threads 2 --report {}",
+            report.display()
+        )))
+        .unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("plan  0 [clean]"), "{s}");
+        assert!(s.contains("bit-for-bit replay: ok"), "{s}");
+        assert!(s.contains("plan  1 [light"), "{s}");
+        assert!(s.contains("plan  2 [heavy"), "{s}");
+        assert!(s.contains("oracle: 16/16 drop plans agree"), "{s}");
+        assert!(s.contains("sweep: 21 plans, 0 failed"), "{s}");
+
+        let json = std::fs::read_to_string(&report).unwrap();
+        crate::obs::json::validate(&json).unwrap();
+        assert!(json.contains("\"plans\":21"), "{json}");
+        assert!(json.contains("\"clean_replay_identical\":true"), "{json}");
+        assert!(json.contains("\"agreed\":16"), "{json}");
         std::fs::remove_file(&report).ok();
     }
 
