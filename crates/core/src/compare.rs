@@ -1,0 +1,487 @@
+//! Run-to-run regression comparison over ledger histories.
+//!
+//! [`compare_ledgers`] diffs two ledger histories (see [`crate::ledger`])
+//! structurally and statistically:
+//!
+//! * **structural** — when the two head entries share a run identity
+//!   (scenario, strategy, seed, iteration budget), the record-set
+//!   fingerprints must match exactly (the engine is deterministic), the
+//!   mined rule sets must agree, and lint/resilience counters must not
+//!   drift;
+//! * **statistical** — per-phase wall-clock medians are compared with a
+//!   noise band derived from the baseline history's MAD (median absolute
+//!   deviation), so a ledger with several runs of the same config gets a
+//!   calibrated band while single-run ledgers fall back to an absolute
+//!   floor. A phase regresses only when it exceeds both the band and a
+//!   relative threshold.
+//!
+//! The report separates hard `regressions` (worthy of a nonzero exit)
+//! from informational `notes` (config drift that makes runs
+//! incomparable, new/removed phases).
+
+use dr_obs::json::{self, Value};
+use std::path::Path;
+
+use crate::ledger::{LEDGER_FILE, LEDGER_SCHEMA};
+
+/// Thresholds of the statistical comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareOptions {
+    /// Relative threshold: a phase regresses only if its median exceeds
+    /// `ratio` times the baseline median.
+    pub ratio: f64,
+    /// Absolute noise floor in seconds: deltas below this never regress
+    /// (micro-benchmark phases jitter by scheduler noise).
+    pub abs_floor_s: f64,
+    /// Noise-band multiplier over the baseline history's MAD.
+    pub noise_k: f64,
+}
+
+impl Default for CompareOptions {
+    fn default() -> Self {
+        CompareOptions {
+            ratio: 3.0,
+            abs_floor_s: 0.025,
+            noise_k: 5.0,
+        }
+    }
+}
+
+/// Outcome of one ledger comparison.
+#[derive(Debug, Clone, Default)]
+pub struct CompareReport {
+    /// Every comparison line, in report order.
+    pub lines: Vec<String>,
+    /// Hard regressions (nonzero-exit material).
+    pub regressions: Vec<String>,
+    /// Informational drift (config differences, new phases).
+    pub notes: Vec<String>,
+    /// Whether the head entries' record sets were bit-identical.
+    pub identical_records: bool,
+}
+
+impl CompareReport {
+    /// Whether any hard regression was found.
+    pub fn is_regression(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// Renders the full report as text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        if self.regressions.is_empty() {
+            out.push_str("verdict: OK — no regression\n");
+        } else {
+            for r in &self.regressions {
+                out.push_str(&format!("REGRESSION: {r}\n"));
+            }
+            out.push_str(&format!(
+                "verdict: {} regression(s)\n",
+                self.regressions.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Loads a ledger from `path` — either a `ledger.jsonl` file or a
+/// directory containing one — returning the parsed entries whose schema
+/// this version understands, in file order.
+pub fn load_ledger(path: &Path) -> Result<Vec<Value>, String> {
+    let file = if path.is_dir() {
+        path.join(LEDGER_FILE)
+    } else {
+        path.to_path_buf()
+    };
+    let text = std::fs::read_to_string(&file)
+        .map_err(|e| format!("cannot read ledger {}: {e}", file.display()))?;
+    let mut entries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = json::parse(line)
+            .map_err(|e| format!("{}:{}: invalid JSON: {e}", file.display(), lineno + 1))?;
+        if v.get("schema").and_then(|s| s.as_str()) == Some(LEDGER_SCHEMA) {
+            entries.push(v);
+        }
+    }
+    if entries.is_empty() {
+        return Err(format!(
+            "{}: no entries with schema {LEDGER_SCHEMA}",
+            file.display()
+        ));
+    }
+    Ok(entries)
+}
+
+/// The run identity a ledger entry was filed under (used to decide
+/// which history entries are statistically comparable).
+fn identity(e: &Value) -> (String, String, u64, u64) {
+    let s = |k: &str| {
+        e.get(k)
+            .and_then(|v| v.as_str())
+            .unwrap_or_default()
+            .to_string()
+    };
+    let n = |k: &str| e.get(k).and_then(|v| v.as_u64()).unwrap_or_default();
+    (s("scenario"), s("strategy"), n("seed"), n("iterations"))
+}
+
+/// `(name, seconds)` pairs of an entry's phase table.
+fn phases_of(e: &Value) -> Vec<(String, f64)> {
+    match e.get("phases") {
+        Some(Value::Obj(members)) => members
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().map(|s| (k.clone(), s)))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+/// Median absolute deviation around `med`.
+fn mad(xs: &[f64], med: f64) -> f64 {
+    let mut devs: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
+    median(&mut devs)
+}
+
+/// A counter block (`lint` or `resilience`) flattened to `(key, value)`
+/// pairs, or `None` when the entry recorded `null`.
+fn counters(e: &Value, block: &str) -> Option<Vec<(String, u64)>> {
+    match e.get(block) {
+        Some(Value::Obj(members)) => Some(
+            members
+                .iter()
+                .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
+                .collect(),
+        ),
+        _ => None,
+    }
+}
+
+/// The head entry's rule sets as comparable strings.
+fn rule_signatures(e: &Value) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Some(rules) = e.get("rules").and_then(|r| r.as_arr()) {
+        for rs in rules {
+            let class = rs.get("class").and_then(|c| c.as_u64()).unwrap_or_default();
+            let phrases: Vec<&str> = rs
+                .get("rules")
+                .and_then(|p| p.as_arr())
+                .into_iter()
+                .flatten()
+                .filter_map(|p| p.as_str())
+                .collect();
+            out.push(format!("class {class}: {}", phrases.join(" AND ")));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Compares two ledger histories; `a` is the baseline, `b` the
+/// candidate. The last entry of each is the head; earlier entries with
+/// the head's identity widen the statistical noise band.
+pub fn compare_ledgers(a: &[Value], b: &[Value], opts: &CompareOptions) -> CompareReport {
+    let mut report = CompareReport::default();
+    let (Some(ha), Some(hb)) = (a.last(), b.last()) else {
+        report.notes.push("one of the ledgers is empty".into());
+        return report;
+    };
+    let run_id = |e: &Value| {
+        e.path(&["provenance", "run_id"])
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string()
+    };
+    let git = |e: &Value| {
+        e.path(&["provenance", "git"])
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string()
+    };
+    report.lines.push(format!(
+        "a: {} (git {}), {} entr{}",
+        run_id(ha),
+        git(ha),
+        a.len(),
+        if a.len() == 1 { "y" } else { "ies" }
+    ));
+    report.lines.push(format!(
+        "b: {} (git {}), {} entr{}",
+        run_id(hb),
+        git(hb),
+        b.len(),
+        if b.len() == 1 { "y" } else { "ies" }
+    ));
+
+    let ida = identity(ha);
+    let idb = identity(hb);
+    let comparable = ida == idb;
+    if !comparable {
+        report.notes.push(format!(
+            "run identities differ (a: {ida:?}, b: {idb:?}); structural record checks skipped"
+        ));
+    }
+
+    // Structural: record-set fingerprint. The engine is deterministic,
+    // so under one identity the fingerprints must be bit-identical.
+    let fp = |e: &Value| {
+        e.path(&["records", "fingerprint"])
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string()
+    };
+    let count = |e: &Value| {
+        e.path(&["records", "count"])
+            .and_then(|v| v.as_u64())
+            .unwrap_or_default()
+    };
+    report.identical_records = fp(ha) == fp(hb) && fp(ha) != "?";
+    if comparable {
+        if report.identical_records {
+            report.lines.push(format!(
+                "records: identical ({} records, fingerprint {})",
+                count(ha),
+                fp(ha)
+            ));
+        } else {
+            report.regressions.push(format!(
+                "record set diverged under one identity: {} records / {} vs {} records / {}",
+                count(ha),
+                fp(ha),
+                count(hb),
+                fp(hb)
+            ));
+        }
+    }
+
+    // Structural: mined rule sets.
+    let ra = rule_signatures(ha);
+    let rb = rule_signatures(hb);
+    if ra == rb {
+        report
+            .lines
+            .push(format!("rules: identical ({} rulesets)", ra.len()));
+    } else {
+        let gone: Vec<&String> = ra.iter().filter(|r| !rb.contains(r)).collect();
+        let new: Vec<&String> = rb.iter().filter(|r| !ra.contains(r)).collect();
+        let msg = format!(
+            "rule sets differ: {} removed {gone:?}, {} added {new:?}",
+            gone.len(),
+            new.len()
+        );
+        if comparable && report.identical_records {
+            report.regressions.push(msg);
+        } else {
+            report.notes.push(msg);
+        }
+    }
+
+    // Structural: lint and resilience counter drift. Resilience
+    // presence flipping (clean run vs fault injection) is itself drift
+    // worth failing on — it means the two runs measured different
+    // conditions.
+    for block in ["lint", "resilience"] {
+        let ca = counters(ha, block);
+        let cb = counters(hb, block);
+        match (&ca, &cb) {
+            (None, None) => report.lines.push(format!("{block}: absent in both")),
+            (Some(x), Some(y)) if x == y => {
+                report.lines.push(format!("{block}: counters identical"));
+            }
+            (Some(x), Some(y)) => {
+                let mut drift = Vec::new();
+                for (k, va) in x {
+                    let vb = y
+                        .iter()
+                        .find(|(kb, _)| kb == k)
+                        .map(|(_, v)| *v)
+                        .unwrap_or_default();
+                    if *va != vb {
+                        drift.push(format!("{k} {va} -> {vb}"));
+                    }
+                }
+                report
+                    .regressions
+                    .push(format!("{block} counters drifted: {}", drift.join(", ")));
+            }
+            _ => {
+                report.regressions.push(format!(
+                    "{block} drift: present in {} only",
+                    if ca.is_some() { "a" } else { "b" }
+                ));
+            }
+        }
+    }
+
+    // Statistical: per-phase medians with a MAD noise band over the
+    // baseline history (entries sharing the head's identity).
+    let history = |entries: &[Value], id: &(String, String, u64, u64)| -> Vec<Vec<(String, f64)>> {
+        entries
+            .iter()
+            .filter(|e| identity(e) == *id)
+            .map(phases_of)
+            .collect()
+    };
+    let hist_a = history(a, &ida);
+    let hist_b = history(b, &idb);
+    let series = |hist: &[Vec<(String, f64)>], name: &str| -> Vec<f64> {
+        hist.iter()
+            .filter_map(|phases| phases.iter().find(|(n, _)| n == name).map(|(_, s)| *s))
+            .collect()
+    };
+    let phase_names: Vec<String> = phases_of(ha).into_iter().map(|(n, _)| n).collect();
+    for name in &phase_names {
+        let mut sa = series(&hist_a, name);
+        let mut sb = series(&hist_b, name);
+        if sa.is_empty() || sb.is_empty() {
+            report
+                .notes
+                .push(format!("phase {name}: missing from one ledger"));
+            continue;
+        }
+        let med_a = median(&mut sa);
+        let med_b = median(&mut sb);
+        let band = (opts.noise_k * mad(&sa, med_a)).max(opts.abs_floor_s);
+        let delta = med_b - med_a;
+        let regressed = delta > band && med_b > opts.ratio * med_a && med_a >= 0.0;
+        report.lines.push(format!(
+            "phase {name}: a {:.3} ms, b {:.3} ms, delta {:+.3} ms (band ±{:.3} ms){}",
+            med_a * 1e3,
+            med_b * 1e3,
+            delta * 1e3,
+            band * 1e3,
+            if regressed { " REGRESSED" } else { "" }
+        ));
+        if regressed {
+            report.regressions.push(format!(
+                "phase {name} slowed {:.3} ms -> {:.3} ms (x{:.1}, band ±{:.3} ms)",
+                med_a * 1e3,
+                med_b * 1e3,
+                med_b / med_a.max(1e-12),
+                band * 1e3
+            ));
+        }
+    }
+    for (name, _) in phases_of(hb) {
+        if !phase_names.contains(&name) {
+            report
+                .notes
+                .push(format!("phase {name}: new in candidate ledger"));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seed: u64, explore_s: f64, fingerprint: &str, resilience: bool) -> Value {
+        let res = if resilience {
+            "{\"evaluations\":10,\"retries\":2,\"deadlocks\":0,\"budget_kills\":0,\"panics\":0,\"quarantined\":0}".to_string()
+        } else {
+            "null".to_string()
+        };
+        let line = format!(
+            concat!(
+                "{{\"schema\":\"dr-ledger/v1\",",
+                "\"provenance\":{{\"run_id\":\"r{}\",\"git\":\"abc\",\"created_unix\":1}},",
+                "\"scenario\":\"spmv\",\"strategy\":\"exhaustive\",\"seed\":{},\"iterations\":0,",
+                "\"threads\":1,\"config\":{{\"lint\":false,\"faults_active\":{}}},",
+                "\"phases\":{{\"explore\":{},\"train\":0.001}},",
+                "\"records\":{{\"count\":8,\"fingerprint\":\"{}\"}},",
+                "\"lint\":null,\"resilience\":{},",
+                "\"rules\":[{{\"class\":0,\"samples\":4,\"pure\":true,\"rules\":[\"x\"],",
+                "\"support\":[0],\"class_split\":[4,0]}}]}}"
+            ),
+            seed, seed, resilience, explore_s, fingerprint, res
+        );
+        json::parse(&line).unwrap()
+    }
+
+    #[test]
+    fn identical_heads_pass() {
+        let a = vec![entry(1, 0.010, "aaaa", false)];
+        let b = vec![entry(1, 0.011, "aaaa", false)];
+        let r = compare_ledgers(&a, &b, &CompareOptions::default());
+        assert!(!r.is_regression(), "{:?}", r.regressions);
+        assert!(r.identical_records);
+    }
+
+    #[test]
+    fn fingerprint_divergence_regresses() {
+        let a = vec![entry(1, 0.010, "aaaa", false)];
+        let b = vec![entry(1, 0.010, "bbbb", false)];
+        let r = compare_ledgers(&a, &b, &CompareOptions::default());
+        assert!(r.is_regression());
+        assert!(r.regressions[0].contains("record set diverged"));
+    }
+
+    #[test]
+    fn phase_blowup_regresses_but_jitter_does_not() {
+        let a = vec![entry(1, 0.010, "aaaa", false)];
+        let slow = vec![entry(1, 10.0, "aaaa", false)];
+        let r = compare_ledgers(&a, &slow, &CompareOptions::default());
+        assert!(r.is_regression());
+        assert!(r.regressions.iter().any(|m| m.contains("phase explore")));
+        // Below the absolute floor: 12 ms vs 10 ms never regresses.
+        let jitter = vec![entry(1, 0.012, "aaaa", false)];
+        let r = compare_ledgers(&a, &jitter, &CompareOptions::default());
+        assert!(!r.is_regression(), "{:?}", r.regressions);
+    }
+
+    #[test]
+    fn resilience_presence_flip_is_drift() {
+        let a = vec![entry(1, 0.010, "aaaa", false)];
+        let b = vec![entry(1, 0.010, "aaaa", true)];
+        let r = compare_ledgers(&a, &b, &CompareOptions::default());
+        assert!(r.is_regression());
+        assert!(r.regressions.iter().any(|m| m.contains("resilience")));
+    }
+
+    #[test]
+    fn different_seeds_note_but_skip_structural() {
+        let a = vec![entry(1, 0.010, "aaaa", false)];
+        let b = vec![entry(2, 0.010, "bbbb", false)];
+        let r = compare_ledgers(&a, &b, &CompareOptions::default());
+        assert!(!r.is_regression(), "{:?}", r.regressions);
+        assert!(!r.notes.is_empty());
+    }
+
+    #[test]
+    fn mad_band_widens_with_history() {
+        // Baseline history jitters between 10 and 90 ms; a 100 ms
+        // candidate sits inside the calibrated noise band even though
+        // it exceeds the absolute floor and ratio vs the low samples.
+        let a: Vec<Value> = [0.010, 0.090, 0.050, 0.080, 0.020]
+            .iter()
+            .map(|s| entry(1, *s, "aaaa", false))
+            .collect();
+        let b = vec![entry(1, 0.100, "aaaa", false)];
+        let r = compare_ledgers(&a, &b, &CompareOptions::default());
+        assert!(!r.is_regression(), "{:?}", r.regressions);
+    }
+}

@@ -15,10 +15,11 @@ use dr_mcts::{
     CachingEvaluator, Evaluator, ExploredRecord, Mcts, MctsConfig, SearchTelemetry, TelemetryRow,
 };
 use dr_par::{
-    par_map_stream_isolated, par_map_stream_with, split_budget, CacheStats, ItemOutcome,
+    par_map_stream_isolated, par_map_stream_with_traced, split_budget, CacheStats, ItemOutcome,
     StripedCache,
 };
 use dr_sim::{BenchResult, SimError, SimStats};
+use dr_trace::{SpanId, Tracer};
 use std::collections::HashMap;
 
 /// Master seed of the exhaustive strategy's evaluation seeds (the
@@ -28,6 +29,39 @@ const EXHAUSTIVE_MASTER_SEED: u64 = 0xE0E0_0000;
 /// Per-worker search-seed decorrelator for root-parallel MCTS
 /// (worker 0 keeps the configured seed unchanged).
 const WORKER_SEED_MIX: u64 = 0xA076_1D64_78BD_642F;
+
+/// MCTS iteration-span sampling rate: record one `mcts-iter` span every
+/// N iterations (`DR_TRACE_MCTS_RATE`, default 16, minimum 1). Sampling
+/// keeps traces of long searches bounded without losing the shape of the
+/// search.
+fn mcts_trace_every() -> usize {
+    std::env::var("DR_TRACE_MCTS_RATE")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(16)
+        .max(1)
+}
+
+/// Attaches a sampled iteration-span lane named `mcts-{worker}` to a
+/// search, with a zero-length `mcts-dispatch` marker span carrying the
+/// causal edge from the pipeline's explore span.
+fn attach_mcts_lane<E: Evaluator>(
+    mcts: &mut Mcts<'_, E>,
+    tracer: &Tracer,
+    dispatch: Option<SpanId>,
+    worker: usize,
+) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    let mut lane = tracer.lane(&format!("mcts-{worker}"));
+    if let Some(d) = dispatch {
+        lane.enter("mcts-dispatch");
+        lane.follows_from(d);
+        lane.exit();
+    }
+    mcts.set_trace(lane, mcts_trace_every());
+}
 
 /// How to collect the sample set.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -169,27 +203,68 @@ where
     E: Evaluator + Send,
     F: Fn() -> E + Sync,
 {
+    explore_parallel_traced(
+        space,
+        make_eval,
+        strategy,
+        threads,
+        &Tracer::disabled(),
+        None,
+    )
+}
+
+/// [`explore_parallel`] with causal tracing: worker and chunk spans on
+/// the pool paths, sampled per-iteration spans on the MCTS paths, each
+/// lane linked back to the pipeline's `dispatch` span (usually the
+/// explore-phase span) via a `follows_from` edge. A disabled tracer
+/// makes this identical to [`explore_parallel`].
+///
+/// Tracing never perturbs results: evaluation seeds are a pure function
+/// of the traversal, so the record set with tracing on equals the record
+/// set with tracing off, bit for bit.
+pub fn explore_parallel_traced<E, F>(
+    space: &DecisionSpace,
+    make_eval: F,
+    strategy: Strategy,
+    threads: usize,
+    tracer: &Tracer,
+    dispatch: Option<SpanId>,
+) -> Result<ExploreOutput, SimError>
+where
+    E: Evaluator + Send,
+    F: Fn() -> E + Sync,
+{
     let threads = threads.max(1);
     if threads == 1 {
-        let (records, telemetry, sim) = explore_instrumented(space, make_eval(), strategy)?;
-        return Ok(ExploreOutput {
-            records,
-            telemetry,
-            sim,
-            cache: CacheStats::default(),
-            threads: 1,
-            failures: Vec::new(),
-            quarantined: 0,
-        });
+        // The serial MCTS path keeps its tree in-process (no shared
+        // cache), so it is traced here rather than via the root-parallel
+        // backend; the pool strategies reach their traced serial paths
+        // below.
+        if let Strategy::Mcts { iterations, config } = strategy {
+            let mut mcts = Mcts::new(space, make_eval(), config);
+            attach_mcts_lane(&mut mcts, tracer, dispatch, 0);
+            mcts.run(iterations)?;
+            let (records, telemetry, eval) = mcts.into_parts();
+            let sim = eval.sim_stats().cloned();
+            return Ok(ExploreOutput {
+                records,
+                telemetry,
+                sim,
+                cache: CacheStats::default(),
+                threads: 1,
+                failures: Vec::new(),
+                quarantined: 0,
+            });
+        }
     }
     match strategy {
-        Strategy::Exhaustive => exhaustive_parallel(space, &make_eval, threads),
-        Strategy::Random { iterations, seed } => {
-            random_parallel(space, &make_eval, iterations, seed, threads)
-        }
-        Strategy::Mcts { iterations, config } => {
-            mcts_root_parallel(space, &make_eval, iterations, config, threads)
-        }
+        Strategy::Exhaustive => exhaustive_parallel(space, &make_eval, threads, tracer, dispatch),
+        Strategy::Random { iterations, seed } => random_parallel(
+            space, &make_eval, iterations, seed, threads, tracer, dispatch,
+        ),
+        Strategy::Mcts { iterations, config } => mcts_root_parallel(
+            space, &make_eval, iterations, config, threads, tracer, dispatch,
+        ),
     }
 }
 
@@ -212,6 +287,33 @@ pub fn explore_parallel_resilient<E, F>(
     make_eval: F,
     strategy: Strategy,
     threads: usize,
+) -> Result<ExploreOutput, SimError>
+where
+    E: Evaluator + Send,
+    F: Fn() -> E + Sync,
+{
+    explore_parallel_resilient_traced(
+        space,
+        make_eval,
+        strategy,
+        threads,
+        &Tracer::disabled(),
+        None,
+    )
+}
+
+/// [`explore_parallel_resilient`] with causal tracing (see
+/// [`explore_parallel_traced`]). The isolated pool paths trace at the
+/// evaluator level only (wrap the evaluator stack, e.g. in
+/// `TracingEvaluator`); the MCTS paths additionally record sampled
+/// per-iteration spans.
+pub fn explore_parallel_resilient_traced<E, F>(
+    space: &DecisionSpace,
+    make_eval: F,
+    strategy: Strategy,
+    threads: usize,
+    tracer: &Tracer,
+    dispatch: Option<SpanId>,
 ) -> Result<ExploreOutput, SimError>
 where
     E: Evaluator + Send,
@@ -256,6 +358,7 @@ where
         Strategy::Mcts { iterations, config } => {
             if threads == 1 {
                 let mut mcts = Mcts::new(space, make_eval(), config);
+                attach_mcts_lane(&mut mcts, tracer, dispatch, 0);
                 mcts.run(iterations)?;
                 let quarantined = mcts.failures() as u64;
                 let (records, telemetry, eval) = mcts.into_parts();
@@ -270,7 +373,9 @@ where
                     quarantined,
                 })
             } else {
-                mcts_root_parallel(space, &make_eval, iterations, config, threads)
+                mcts_root_parallel(
+                    space, &make_eval, iterations, config, threads, tracer, dispatch,
+                )
             }
         }
     }
@@ -357,6 +462,8 @@ fn exhaustive_parallel<E, F>(
     space: &DecisionSpace,
     make_eval: &F,
     threads: usize,
+    tracer: &Tracer,
+    dispatch: Option<SpanId>,
 ) -> Result<ExploreOutput, SimError>
 where
     E: Evaluator + Send,
@@ -365,9 +472,11 @@ where
     // The lazy enumeration is the shared work queue; each worker owns an
     // evaluator. Seeds depend only on the traversal, and the pool
     // restores input order, so output matches the serial path exactly.
-    let (pairs, states) = par_map_stream_with(
+    let (pairs, states) = par_map_stream_with_traced(
         space.enumerate(),
         threads,
+        tracer,
+        dispatch,
         |_worker| make_eval(),
         |eval, _i, t: Traversal| {
             let result = eval.evaluate(&t, eval_seed(EXHAUSTIVE_MASTER_SEED, &t))?;
@@ -393,6 +502,8 @@ fn random_parallel<E, F>(
     iterations: usize,
     seed: u64,
     threads: usize,
+    tracer: &Tracer,
+    dispatch: Option<SpanId>,
 ) -> Result<ExploreOutput, SimError>
 where
     E: Evaluator + Send,
@@ -427,9 +538,11 @@ where
             }
         }
     }
-    let (pairs, states) = par_map_stream_with(
+    let (pairs, states) = par_map_stream_with_traced(
         uniques.into_iter(),
         threads,
+        tracer,
+        dispatch,
         |_worker| make_eval(),
         |eval, _i, t: Traversal| {
             let result = eval.evaluate(&t, eval_seed(seed, &t))?;
@@ -504,12 +617,15 @@ type WorkerOutcome = Result<
     SimError,
 >;
 
+#[allow(clippy::too_many_arguments)]
 fn mcts_root_parallel<E, F>(
     space: &DecisionSpace,
     make_eval: &F,
     iterations: usize,
     config: MctsConfig,
     threads: usize,
+    tracer: &Tracer,
+    dispatch: Option<SpanId>,
 ) -> Result<ExploreOutput, SimError>
 where
     E: Evaluator + Send,
@@ -541,6 +657,7 @@ where
                                 cache,
                             );
                             let mut mcts = Mcts::new(space, eval, worker_cfg);
+                            attach_mcts_lane(&mut mcts, tracer, dispatch, worker);
                             mcts.run(budget)?;
                             let failures = mcts.failures();
                             let (records, telemetry, eval) = mcts.into_parts();

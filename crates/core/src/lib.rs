@@ -27,30 +27,41 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod compare;
 mod evaluate;
 mod explore;
+mod ledger;
 mod lintstage;
 mod multi_input;
 mod pipeline;
 mod report;
 mod resilient;
 mod synthesize;
+mod tracestage;
 
+pub use compare::{compare_ledgers, load_ledger, CompareOptions, CompareReport};
 pub use evaluate::{labeling_accuracy, AccuracyReport};
 pub use explore::{
-    explore, explore_instrumented, explore_parallel, explore_parallel_resilient, ExploreOutput,
-    Strategy,
+    explore, explore_instrumented, explore_parallel, explore_parallel_resilient,
+    explore_parallel_resilient_traced, explore_parallel_traced, ExploreOutput, Strategy,
+};
+pub use ledger::{
+    append_entry, ledger_dir_from_env, ledger_entry_json, records_fingerprint, LedgerContext,
+    LEDGER_FILE, LEDGER_SCHEMA,
 };
 pub use lintstage::{
     apply_fault_plan, lint_space, topology_from_workload, LintTotals, LintingEvaluator, SpaceLint,
 };
 pub use multi_input::{mine_rules_multi, InputFeature, InputRun, MultiInputResult};
 pub use pipeline::{
-    mine_rules, mine_rules_timed, run_pipeline, run_pipeline_instrumented, InstrumentedRun,
-    PipelineConfig, PipelineResult,
+    mine_rules, mine_rules_timed, run_pipeline, run_pipeline_instrumented, run_pipeline_traced,
+    InstrumentedRun, PipelineConfig, PipelineResult,
 };
-pub use report::{LintSummary, MiningSummary, ResilienceSummary, RunReport, SearchSummary};
+pub use report::{
+    LintSummary, MiningSummary, Provenance, ResilienceSummary, RunReport, SearchSummary,
+};
 pub use resilient::{
     retry_seed, ResilienceTotals, ResilientEvaluator, DEFAULT_MAX_RETRIES, WATCHDOG_MAX_STEPS,
 };
 pub use synthesize::{satisfies, synthesize};
+pub use tracestage::TracingEvaluator;

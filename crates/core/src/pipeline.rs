@@ -1,10 +1,11 @@
 //! The end-to-end design-rule pipeline (paper Fig. 2): explore → label →
 //! featurize → train → extract rules.
 
-use crate::explore::{explore_parallel, explore_parallel_resilient, Strategy};
+use crate::explore::{explore_parallel_resilient_traced, explore_parallel_traced, Strategy};
 use crate::lintstage::{topology_from_workload, LintTotals, LintingEvaluator};
 use crate::report::{RunReport, SearchSummary};
 use crate::resilient::{ResilienceTotals, ResilientEvaluator};
+use crate::tracestage::TracingEvaluator;
 use dr_dag::{DecisionSpace, Traversal};
 use dr_fault::FaultConfig;
 use dr_mcts::{ExploredRecord, SearchTelemetry, SimEvaluator};
@@ -15,6 +16,8 @@ use dr_ml::{
 use dr_obs::{Phases, Stopwatch};
 use dr_par::{resolve_threads, CacheStats};
 use dr_sim::{BenchConfig, Platform, SimError, Workload};
+use dr_trace::{Lane, Tracer};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Pipeline parameters (defaults mirror the paper).
@@ -125,6 +128,68 @@ pub fn run_pipeline_instrumented<W: Workload + Sync>(
     strategy: Strategy,
     cfg: &PipelineConfig,
 ) -> Result<InstrumentedRun, SimError> {
+    run_pipeline_traced(
+        space,
+        workload,
+        platform,
+        strategy,
+        cfg,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`run_pipeline_instrumented`] with causal span tracing: a root
+/// `pipeline` span covers the run, each phase (`explore`, `label`,
+/// `featurize`, `train`, `rules`) becomes a child span, every worker's
+/// evaluator stack is wrapped in a [`TracingEvaluator`] recording one
+/// `evaluate` span per benchmark call, and the exploration backends add
+/// worker/chunk/iteration spans linked to the explore span via
+/// `follows_from` edges. With a disabled tracer this is exactly
+/// [`run_pipeline_instrumented`]; tracing never changes the mined
+/// result.
+pub fn run_pipeline_traced<W: Workload + Sync>(
+    space: &DecisionSpace,
+    workload: &W,
+    platform: &Platform,
+    strategy: Strategy,
+    cfg: &PipelineConfig,
+    tracer: &Tracer,
+) -> Result<InstrumentedRun, SimError> {
+    let mut main = tracer.lane("pipeline");
+    main.enter("pipeline");
+    main.annotate("strategy", strategy.name());
+    let out = run_pipeline_spanned(space, workload, platform, strategy, cfg, tracer, &mut main);
+    match &out {
+        Ok(run) => {
+            main.annotate("records", run.result.records.len());
+            main.annotate("rulesets", run.result.rulesets.len());
+            main.annotate("cache_hits", run.cache.hits);
+            main.annotate("cache_misses", run.cache.misses);
+            if let Some(r) = &run.report.resilience {
+                main.annotate("quarantined", r.quarantined);
+                main.annotate("retries", r.retries);
+            }
+            if let Some(l) = &run.report.lint {
+                main.annotate("lint_errors", l.errors);
+                main.annotate("lint_warnings", l.warnings);
+            }
+        }
+        Err(e) => main.annotate("error", e),
+    }
+    main.exit();
+    out
+}
+
+/// The traced pipeline's body; `main` carries the open root span.
+fn run_pipeline_spanned<W: Workload + Sync>(
+    space: &DecisionSpace,
+    workload: &W,
+    platform: &Platform,
+    strategy: Strategy,
+    cfg: &PipelineConfig,
+    tracer: &Tracer,
+    main: &mut Lane,
+) -> Result<InstrumentedRun, SimError> {
     let mut phases = Phases::new();
     let threads = resolve_threads((cfg.threads > 0).then_some(cfg.threads));
     let faults = if cfg.faults.is_active() {
@@ -161,12 +226,50 @@ pub fn run_pipeline_instrumented<W: Workload + Sync>(
         }
         s => s,
     };
+    main.annotate("threads", threads);
+    main.annotate("lint", cfg.lint);
+    main.annotate("faults_active", faults.is_active());
+    main.enter("explore");
+    let dispatch = main.current();
+    // Each worker's evaluator stack gets its own `eval-{n}` lane; the
+    // wrapper is the stack's outermost layer so its span covers cache
+    // lookups, lint, fault retries, and the simulator run.
+    let eval_ix = AtomicUsize::new(0);
+    let eval_lane = || {
+        let n = eval_ix.fetch_add(1, Ordering::Relaxed);
+        tracer.lane(&format!("eval-{n}"))
+    };
     let sw = Stopwatch::start();
     let explored = match (&resilience, &lint_ctx) {
-        (Some(totals), Some((lint, topo))) => explore_parallel_resilient(
+        (Some(totals), Some((lint, topo))) => explore_parallel_resilient_traced(
             space,
             || {
-                LintingEvaluator::new(
+                TracingEvaluator::new(
+                    LintingEvaluator::new(
+                        ResilientEvaluator::new(
+                            space,
+                            workload,
+                            platform,
+                            cfg.bench,
+                            faults,
+                            totals.clone(),
+                        ),
+                        space,
+                        topo,
+                        lint.clone(),
+                    ),
+                    eval_lane(),
+                )
+            },
+            strategy,
+            threads,
+            tracer,
+            dispatch,
+        ),
+        (Some(totals), None) => explore_parallel_resilient_traced(
+            space,
+            || {
+                TracingEvaluator::new(
                     ResilientEvaluator::new(
                         space,
                         workload,
@@ -175,48 +278,58 @@ pub fn run_pipeline_instrumented<W: Workload + Sync>(
                         faults,
                         totals.clone(),
                     ),
-                    space,
-                    topo,
-                    lint.clone(),
+                    eval_lane(),
                 )
             },
             strategy,
             threads,
-        )?,
-        (Some(totals), None) => explore_parallel_resilient(
+            tracer,
+            dispatch,
+        ),
+        (None, Some((lint, topo))) => explore_parallel_traced(
             space,
             || {
-                ResilientEvaluator::new(
-                    space,
-                    workload,
-                    platform,
-                    cfg.bench,
-                    faults,
-                    totals.clone(),
+                TracingEvaluator::new(
+                    LintingEvaluator::new(
+                        SimEvaluator::new(space, workload, platform, cfg.bench),
+                        space,
+                        topo,
+                        lint.clone(),
+                    ),
+                    eval_lane(),
                 )
             },
             strategy,
             threads,
-        )?,
-        (None, Some((lint, topo))) => explore_parallel(
+            tracer,
+            dispatch,
+        ),
+        (None, None) => explore_parallel_traced(
             space,
             || {
-                LintingEvaluator::new(
+                TracingEvaluator::new(
                     SimEvaluator::new(space, workload, platform, cfg.bench),
-                    space,
-                    topo,
-                    lint.clone(),
+                    eval_lane(),
                 )
             },
             strategy,
             threads,
-        )?,
-        (None, None) => explore_parallel(
-            space,
-            || SimEvaluator::new(space, workload, platform, cfg.bench),
-            strategy,
-            threads,
-        )?,
+            tracer,
+            dispatch,
+        ),
+    };
+    let explored = match explored {
+        Ok(e) => {
+            main.annotate("explored_records", e.records.len());
+            main.annotate("cache_hits", e.cache.hits);
+            main.exit();
+            e
+        }
+        Err(err) => {
+            main.annotate("error", &err);
+            main.exit();
+            return Err(err);
+        }
     };
     phases.add("explore", sw.elapsed());
     if let Some((totals, _)) = &lint_ctx {
@@ -244,7 +357,7 @@ pub fn run_pipeline_instrumented<W: Workload + Sync>(
         },
         _ => *cfg,
     };
-    let result = mine_rules_timed(space, explored.records, &mine_cfg, &mut phases);
+    let result = mine_rules_spanned(space, explored.records, &mine_cfg, &mut phases, main);
     let search = SearchSummary::from_telemetry(strategy.name(), &explored.telemetry);
     let mut report = RunReport::new(phases, explored.sim, search, &result);
     report.lint = lint_ctx.map(|(totals, _)| totals.summary());
@@ -276,11 +389,31 @@ pub fn mine_rules_timed(
     cfg: &PipelineConfig,
     phases: &mut Phases,
 ) -> PipelineResult {
+    let tracer = Tracer::disabled();
+    mine_rules_spanned(space, records, cfg, phases, &mut tracer.lane("mine"))
+}
+
+/// [`mine_rules_timed`] with one span per mining stage on `lane`
+/// (annotated with each stage's headline outcome).
+fn mine_rules_spanned(
+    space: &DecisionSpace,
+    records: Vec<ExploredRecord>,
+    cfg: &PipelineConfig,
+    phases: &mut Phases,
+    lane: &mut Lane,
+) -> PipelineResult {
     assert!(!records.is_empty(), "cannot mine rules from zero records");
     let times: Vec<f64> = records.iter().map(|r| r.result.time()).collect();
+    lane.enter("label");
     let labeling = phases.time("label", || label_times(&times, &cfg.labeling));
+    lane.annotate("classes", labeling.num_classes);
+    lane.exit();
     let traversals: Vec<&Traversal> = records.iter().map(|r| &r.traversal).collect();
+    lane.enter("featurize");
     let features = phases.time("featurize", || featurize(space, &traversals));
+    lane.annotate("features", features.features.len());
+    lane.exit();
+    lane.enter("train");
     let search = phases.time("train", || {
         algorithm1(
             &features.matrix,
@@ -289,7 +422,12 @@ pub fn mine_rules_timed(
             &cfg.train,
         )
     });
+    lane.annotate("tree_error", dr_obs::json::number(search.error));
+    lane.exit();
+    lane.enter("rules");
     let rulesets = phases.time("rules", || extract_rulesets(&search.tree, &features));
+    lane.annotate("rulesets", rulesets.len());
+    lane.exit();
     PipelineResult {
         records,
         labeling,
@@ -538,6 +676,88 @@ mod tests {
     fn mining_zero_records_panics() {
         let (space, _, _) = setup();
         mine_rules(&space, Vec::new(), &PipelineConfig::quick());
+    }
+
+    #[test]
+    fn traced_pipeline_matches_untraced_and_records_spans() {
+        let (space, w, platform) = setup();
+        let cfg = PipelineConfig {
+            threads: 2,
+            ..PipelineConfig::quick()
+        };
+        let tracer = Tracer::new();
+        let traced =
+            run_pipeline_traced(&space, &w, &platform, Strategy::Exhaustive, &cfg, &tracer)
+                .unwrap();
+        let plain =
+            run_pipeline_instrumented(&space, &w, &platform, Strategy::Exhaustive, &cfg).unwrap();
+        // Tracing never perturbs the mined result.
+        assert_eq!(traced.result.records.len(), plain.result.records.len());
+        for (a, b) in traced.result.records.iter().zip(&plain.result.records) {
+            assert_eq!(a.traversal, b.traversal);
+            assert_eq!(a.result, b.result);
+        }
+        assert_eq!(traced.result.labeling.labels, plain.result.labeling.labels);
+        // The trace covers the whole pipeline: root, phases, and
+        // per-evaluation spans, all closed.
+        let snap = tracer.snapshot();
+        for name in [
+            "pipeline",
+            "explore",
+            "label",
+            "featurize",
+            "train",
+            "rules",
+            "evaluate",
+            "worker",
+        ] {
+            assert!(
+                snap.spans.iter().any(|s| s.name == name),
+                "missing span {name}"
+            );
+        }
+        assert!(
+            snap.spans.iter().all(|s| s.end_s.is_some()),
+            "all spans closed"
+        );
+        // The explore phase is a child of the root pipeline span, and
+        // every evaluation counted one span.
+        let root = snap.spans.iter().find(|s| s.name == "pipeline").unwrap();
+        let explore = snap.spans.iter().find(|s| s.name == "explore").unwrap();
+        assert_eq!(explore.parent, Some(root.id));
+        let evals = snap.spans.iter().filter(|s| s.name == "evaluate").count();
+        assert_eq!(evals, traced.result.records.len());
+        // Workers link back to the explore dispatch span.
+        assert!(snap.follows.iter().any(|(pred, _)| *pred == explore.id));
+        // The Chrome export is valid JSON.
+        let chrome = tracer.to_chrome_json(dr_trace::PIPELINE_PID, "dr pipeline");
+        dr_obs::json::validate(&chrome).unwrap();
+    }
+
+    #[test]
+    fn traced_mcts_pipeline_samples_iteration_spans() {
+        let (space, w, platform) = setup();
+        let strategy = Strategy::Mcts {
+            iterations: 8,
+            config: dr_mcts::MctsConfig::default(),
+        };
+        let tracer = Tracer::new();
+        let run = run_pipeline_traced(
+            &space,
+            &w,
+            &platform,
+            strategy,
+            &PipelineConfig::quick(),
+            &tracer,
+        )
+        .unwrap();
+        assert!(!run.result.records.is_empty());
+        let snap = tracer.snapshot();
+        assert!(
+            snap.spans.iter().any(|s| s.name == "mcts-iter"),
+            "sampled MCTS iteration spans present"
+        );
+        assert!(snap.lanes.iter().any(|l| l.starts_with("mcts-")));
     }
 
     #[test]

@@ -11,6 +11,76 @@ use crate::pipeline::PipelineResult;
 use dr_mcts::SearchTelemetry;
 use dr_obs::{json, Phases};
 use dr_sim::SimStats;
+use std::sync::OnceLock;
+
+/// Identity of one pipeline run: who produced this artifact, from which
+/// source tree, and when. Reports and ledger entries carry it so runs
+/// can be compared across machines and commits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// Run identifier: the `DR_RUN_ID` environment variable when set,
+    /// otherwise a generated `run-<unix>-<nanos>-<pid>` value.
+    pub run_id: String,
+    /// `git describe --always --dirty` of the working tree (`unknown`
+    /// when git or the repository is unavailable).
+    pub git: String,
+    /// Capture time, seconds since the Unix epoch.
+    pub created_unix: u64,
+}
+
+impl Provenance {
+    /// Captures the current run's identity. The git description is
+    /// resolved once per process (it forks `git`); the run id is read
+    /// fresh so tests can scope `DR_RUN_ID` per run.
+    pub fn capture() -> Self {
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap_or_default();
+        let created_unix = now.as_secs();
+        let run_id = std::env::var("DR_RUN_ID")
+            .ok()
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| {
+                format!(
+                    "run-{created_unix}-{}-{}",
+                    now.subsec_nanos(),
+                    std::process::id()
+                )
+            });
+        Provenance {
+            run_id,
+            git: git_describe(),
+            created_unix,
+        }
+    }
+
+    /// Renders the provenance as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"run_id\":\"{}\",\"git\":\"{}\",\"created_unix\":{}}}",
+            json::escape(&self.run_id),
+            json::escape(&self.git),
+            self.created_unix
+        )
+    }
+}
+
+/// `git describe --always --dirty`, resolved once per process.
+fn git_describe() -> String {
+    static GIT: OnceLock<String> = OnceLock::new();
+    GIT.get_or_init(|| {
+        std::process::Command::new("git")
+            .args(["describe", "--always", "--dirty"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string())
+    })
+    .clone()
+}
 
 /// The search's final state, condensed from its telemetry history.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,7 +116,7 @@ impl SearchSummary {
         }
     }
 
-    fn to_json(&self) -> String {
+    pub(crate) fn to_json(&self) -> String {
         format!(
             concat!(
                 "{{\"strategy\":\"{}\",\"iterations\":{},\"unique_traversals\":{},",
@@ -81,7 +151,7 @@ pub struct LintSummary {
 }
 
 impl LintSummary {
-    fn to_json(self) -> String {
+    pub(crate) fn to_json(self) -> String {
         format!(
             concat!(
                 "{{\"schedules\":{},\"errors\":{},\"warnings\":{},",
@@ -116,7 +186,7 @@ pub struct ResilienceSummary {
 }
 
 impl ResilienceSummary {
-    fn to_json(self) -> String {
+    pub(crate) fn to_json(self) -> String {
         format!(
             concat!(
                 "{{\"evaluations\":{},\"retries\":{},\"deadlocks\":{},",
@@ -146,6 +216,8 @@ pub struct MiningSummary {
 /// One pipeline run's aggregated observability artifact.
 #[derive(Debug, Clone)]
 pub struct RunReport {
+    /// Identity of the run (run id, git description, capture time).
+    pub provenance: Provenance,
     /// Wall-clock seconds per pipeline phase.
     pub phases: Phases,
     /// Simulator statistics summed across every benchmark sample of the
@@ -171,6 +243,7 @@ impl RunReport {
         result: &PipelineResult,
     ) -> Self {
         RunReport {
+            provenance: Provenance::capture(),
             phases,
             sim,
             search,
@@ -187,7 +260,8 @@ impl RunReport {
     /// Renders the report as one JSON object.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"phases\":{},\"sim\":{},\"search\":{},\"mining\":{{\"num_classes\":{},\"tree_error\":{},\"num_rulesets\":{}}},\"lint\":{},\"resilience\":{}}}",
+            "{{\"provenance\":{},\"phases\":{},\"sim\":{},\"search\":{},\"mining\":{{\"num_classes\":{},\"tree_error\":{},\"num_rulesets\":{}}},\"lint\":{},\"resilience\":{}}}",
+            self.provenance.to_json(),
             self.phases.to_json(),
             self.sim.as_ref().map_or("null".to_string(), |s| s.to_json()),
             self.search.to_json(),
@@ -205,6 +279,10 @@ impl RunReport {
     /// Renders the report as human-readable text.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
+        out.push_str(&format!(
+            "run: {} (git {})\n",
+            self.provenance.run_id, self.provenance.git
+        ));
         out.push_str("phases:\n");
         out.push_str(&self.phases.render_text());
         out.push_str(&format!(
@@ -288,5 +366,17 @@ mod tests {
         let s = SearchSummary::from_telemetry("random", &SearchTelemetry::new());
         assert_eq!(s.iterations, 0);
         assert!(s.best_time.is_nan());
+    }
+
+    #[test]
+    fn provenance_is_valid_json_with_a_run_id() {
+        let p = Provenance::capture();
+        assert!(!p.run_id.is_empty());
+        assert!(!p.git.is_empty());
+        let js = p.to_json();
+        json::validate(&js).expect("provenance JSON validates");
+        let v = json::parse(&js).expect("provenance JSON parses");
+        assert!(v.path(&["run_id"]).and_then(|r| r.as_str()).is_some());
+        assert!(v.path(&["created_unix"]).and_then(|c| c.as_u64()).is_some());
     }
 }

@@ -26,6 +26,7 @@ use crate::eval::Evaluator;
 use crate::telemetry::{SearchTelemetry, TelemetryRow};
 use dr_dag::{eval_seed, DecisionSpace, Placement, Traversal};
 use dr_sim::{BenchResult, SimError};
+use dr_trace::Lane;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -190,6 +191,9 @@ pub struct Mcts<'a, E: Evaluator> {
     /// Deepest materialized node, maintained incrementally so telemetry
     /// rows avoid the full-tree walk [`Mcts::stats`] performs.
     max_depth: usize,
+    /// Sampled per-iteration tracing: `(lane, every)` set by
+    /// [`Mcts::set_trace`]. `None` (the default) costs nothing.
+    trace: Option<(Lane, usize)>,
 }
 
 impl<'a, E: Evaluator> Mcts<'a, E> {
@@ -209,7 +213,18 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
             iterations: 0,
             telemetry: SearchTelemetry::new(),
             max_depth: 0,
+            trace: None,
         }
+    }
+
+    /// Enables sampled iteration tracing: every `every`-th iteration
+    /// (starting with the first) records an `mcts-iter` span on `lane`,
+    /// annotated with the iteration number, unique-traversal count, tree
+    /// size, and the iteration's outcome. Sampling keeps the span volume
+    /// proportional to `budget / every` so deep searches stay cheap to
+    /// trace; `every` is clamped to at least 1.
+    pub fn set_trace(&mut self, lane: Lane, every: usize) {
+        self.trace = Some((lane, every.max(1)));
     }
 
     /// All explored implementations, in discovery order.
@@ -298,6 +313,37 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
     /// Executes one selection → expansion → rollout → backpropagation
     /// iteration.
     pub fn step(&mut self) -> Result<StepOutcome, SimError> {
+        let Some((mut lane, every)) = self.trace.take() else {
+            return self.step_impl();
+        };
+        // `iterations` is pre-increment here, so iterations 1, 1+every,
+        // 1+2·every, … are the sampled ones.
+        let sampled = self.iterations.is_multiple_of(every as u64) && !self.is_exhausted();
+        if sampled {
+            lane.enter("mcts-iter");
+        }
+        let out = self.step_impl();
+        if sampled {
+            lane.annotate("iteration", self.iterations);
+            lane.annotate("unique", self.records.len());
+            lane.annotate("tree_nodes", self.nodes.len());
+            lane.annotate(
+                "outcome",
+                match &out {
+                    Ok(StepOutcome::Explored { new: true, .. }) => "new",
+                    Ok(StepOutcome::Explored { new: false, .. }) => "repeat",
+                    Ok(StepOutcome::Exhausted) => "exhausted",
+                    Ok(StepOutcome::Quarantined) => "quarantined",
+                    Err(_) => "error",
+                },
+            );
+            lane.exit();
+        }
+        self.trace = Some((lane, every));
+        out
+    }
+
+    fn step_impl(&mut self) -> Result<StepOutcome, SimError> {
         if self.is_exhausted() {
             return Ok(StepOutcome::Exhausted);
         }
@@ -706,6 +752,48 @@ mod tests {
         assert!(mcts.is_exhausted());
         assert_eq!(mcts.failures(), total);
         assert!(mcts.records().is_empty());
+    }
+
+    #[test]
+    fn sampled_tracing_records_every_nth_iteration_without_perturbing_search() {
+        let space = small_space();
+        let w = small_workload();
+        let platform = Platform::perlmutter_like().noiseless();
+        let run = |trace: Option<(&dr_trace::Tracer, usize)>| {
+            let eval = SimEvaluator::new(&space, &w, &platform, BenchConfig::quick());
+            let mut mcts = Mcts::new(&space, eval, MctsConfig::default());
+            if let Some((tracer, every)) = trace {
+                mcts.set_trace(tracer.lane("mcts-0"), every);
+            }
+            mcts.run(9).unwrap();
+            mcts.into_records()
+                .into_iter()
+                .map(|r| (r.traversal, r.result.time()))
+                .collect::<Vec<_>>()
+        };
+        let tracer = dr_trace::Tracer::new();
+        let traced = run(Some((&tracer, 4)));
+        let plain = run(None);
+        assert_eq!(traced, plain, "tracing must not change the search");
+        let snap = tracer.snapshot();
+        let iters: Vec<String> = snap
+            .spans
+            .iter()
+            .filter(|s| s.name == "mcts-iter")
+            .map(|s| {
+                s.notes
+                    .iter()
+                    .find(|(k, _)| k == "iteration")
+                    .unwrap()
+                    .1
+                    .clone()
+            })
+            .collect();
+        assert_eq!(iters, vec!["1", "5", "9"], "iterations 1, 1+4, 1+8 sampled");
+        assert!(snap
+            .spans
+            .iter()
+            .all(|s| s.name != "mcts-iter" || s.end_s.is_some()));
     }
 
     #[test]

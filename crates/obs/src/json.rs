@@ -50,6 +50,102 @@ pub fn validate(s: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// A parsed JSON value, produced by [`parse`]. Object member order is
+/// preserved; numbers are `f64` (the only number type the workspace
+/// emits).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source member order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup (`None` on non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Nested lookup: `v.path(&["a", "b"])` is `v.get("a")?.get("b")`.
+    pub fn path(&self, keys: &[&str]) -> Option<&Value> {
+        keys.iter().try_fold(self, |v, k| v.get(k))
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Parses one JSON value (same grammar [`validate`] accepts). Intended
+/// for reading back the workspace's own artifacts (ledgers, reports);
+/// errors carry the byte offset of the first problem.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err(format!("trailing input at byte {}", p.i));
+    }
+    Ok(v)
+}
+
 struct Parser<'a> {
     b: &'a [u8],
     i: usize,
@@ -209,6 +305,140 @@ impl Parser<'_> {
         }
         Ok(())
     }
+
+    // --- value-building parse (shares the scanners above) ---
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b't') => self.literal("true").map(|_| Value::Bool(true)),
+            Some(b'f') => self.literal("false").map(|_| Value::Bool(false)),
+            Some(b'n') => self.literal("null").map(|_| Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let start = self.i;
+                self.number()?;
+                let text = std::str::from_utf8(&self.b[start..self.i])
+                    .map_err(|_| self.err("invalid utf-8 in number"))?;
+                text.parse::<f64>()
+                    .map(Value::Num)
+                    .map_err(|_| self.err("unparseable number"))
+            }
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        let mut members = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.parse_value()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        let start = self.i;
+        self.string()?;
+        // `string()` validated the escapes; decode the interior.
+        let interior = std::str::from_utf8(&self.b[start + 1..self.i - 1])
+            .map_err(|_| self.err("invalid utf-8 in string"))?;
+        let mut out = String::with_capacity(interior.len());
+        let mut chars = interior.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('b') => out.push('\u{8}'),
+                Some('f') => out.push('\u{c}'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let cp =
+                        u32::from_str_radix(&hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+                    // Surrogate pair: combine with a following \uDC00-
+                    // range escape when present, else emit U+FFFD.
+                    let decoded = if (0xD800..0xDC00).contains(&cp) {
+                        let rest = chars.as_str();
+                        if let Some(low_hex) =
+                            rest.strip_prefix("\\u").map(|r| &r[..4.min(r.len())])
+                        {
+                            if let Ok(low) = u32::from_str_radix(low_hex, 16) {
+                                if (0xDC00..0xE000).contains(&low) {
+                                    for _ in 0..6 {
+                                        chars.next();
+                                    }
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                None
+                            }
+                        } else {
+                            None
+                        }
+                    } else {
+                        char::from_u32(cp)
+                    };
+                    out.push(decoded.unwrap_or('\u{FFFD}'));
+                }
+                _ => return Err(self.err("bad escape")),
+            }
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +469,39 @@ mod tests {
             "{\"a\":{\"b\":[]},\"c\":0.5}",
         ] {
             validate(good).unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_workspace_artifacts() {
+        let v = parse(
+            "{\"a\": [1, 2.5, -3e2], \"b\": {\"s\": \"x\\n\\u0041\"}, \"n\": null, \"t\": true}",
+        )
+        .unwrap();
+        assert_eq!(v.path(&["b", "s"]).and_then(Value::as_str), Some("x\nA"));
+        let arr = v.get("a").and_then(Value::as_arr).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_f64(), Some(-300.0));
+        assert!(v.get("n").unwrap().is_null());
+        assert_eq!(v.get("t").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(arr[1].as_u64(), None);
+    }
+
+    #[test]
+    fn parse_decodes_surrogate_pairs() {
+        let v = parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        // Lone high surrogate degrades to U+FFFD rather than erroring.
+        let v = parse("\"a\\ud83db\"").unwrap();
+        assert_eq!(v.as_str(), Some("a\u{FFFD}b"));
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        for bad in ["", "{", "[1,]", "{\"a\"}", "\"unterminated", "[1] extra"] {
+            assert!(parse(bad).is_err(), "{bad} should be rejected");
         }
     }
 

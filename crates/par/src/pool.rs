@@ -7,6 +7,7 @@
 //! — including panics, caught per item with `catch_unwind` — and keeps
 //! the remaining work alive, which is what a chaos run needs.
 
+use dr_trace::{SpanId, Tracer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -79,15 +80,57 @@ where
     Init: Fn(usize) -> S + Sync,
     F: Fn(&mut S, usize, T) -> Result<R, Err> + Sync,
 {
+    par_map_stream_with_traced(items, threads, &Tracer::disabled(), None, init, f)
+}
+
+/// [`par_map_stream_with`] with causal tracing: each worker records a
+/// `worker` span on its own lane (linked `follows_from` the caller's
+/// `dispatch` span, when given) and one `chunk` span per batch pulled
+/// from the shared queue, annotated with the batch's first input index
+/// and length. With a disabled tracer this is exactly
+/// [`par_map_stream_with`] — the span calls are no-ops.
+pub fn par_map_stream_with_traced<T, R, S, Err, I, Init, F>(
+    items: I,
+    threads: usize,
+    tracer: &Tracer,
+    dispatch: Option<SpanId>,
+    init: Init,
+    f: F,
+) -> Result<(Vec<R>, Vec<S>), Err>
+where
+    I: Iterator<Item = T> + Send,
+    T: Send,
+    R: Send,
+    S: Send,
+    Err: Send,
+    Init: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize, T) -> Result<R, Err> + Sync,
+{
     let threads = threads.max(1);
     if threads == 1 {
         // Serial fast path: no queue, no locks — the reference semantics
         // the parallel path must reproduce.
+        let mut lane = tracer.lane("par-worker-0");
+        lane.enter("worker");
+        if let Some(d) = dispatch {
+            lane.follows_from(d);
+        }
         let mut state = init(0);
         let mut out = Vec::new();
         for (i, item) in items.enumerate() {
-            out.push(f(&mut state, i, item)?);
+            let r = f(&mut state, i, item);
+            match r {
+                Ok(r) => out.push(r),
+                Err(e) => {
+                    lane.annotate("items", out.len());
+                    lane.annotate("stopped_at", i);
+                    lane.exit();
+                    return Err(e);
+                }
+            }
         }
+        lane.annotate("items", out.len());
+        lane.exit();
         return Ok((out, vec![state]));
     }
 
@@ -104,7 +147,12 @@ where
                 let stop = &stop;
                 let init = &init;
                 let f = &f;
+                let mut lane = tracer.lane(&format!("par-worker-{w}"));
                 scope.spawn(move || {
+                    lane.enter("worker");
+                    if let Some(d) = dispatch {
+                        lane.follows_from(d);
+                    }
                     let mut state = init(w);
                     let mut out: Vec<(usize, R)> = Vec::new();
                     let mut err: Option<(usize, Err)> = None;
@@ -116,17 +164,24 @@ where
                         if batch.is_empty() {
                             break;
                         }
+                        lane.enter("chunk");
+                        lane.annotate("first", batch[0].0);
+                        lane.annotate("len", batch.len());
                         for (i, item) in batch {
                             match f(&mut state, i, item) {
                                 Ok(r) => out.push((i, r)),
                                 Err(e) => {
                                     err = Some((i, e));
                                     stop.store(true, Ordering::Relaxed);
+                                    lane.exit();
                                     break 'work;
                                 }
                             }
                         }
+                        lane.exit();
                     }
+                    lane.annotate("items", out.len());
+                    lane.exit();
                     (out, state, err)
                 })
             })
@@ -389,6 +444,77 @@ mod tests {
             "states are returned in worker-index order"
         );
         assert_eq!(states.iter().map(|s| s.1).sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn traced_pool_records_worker_and_chunk_spans() {
+        let tracer = Tracer::new();
+        let mut main = tracer.lane("main");
+        let dispatch = main.enter("dispatch");
+        let (out, _) = par_map_stream_with_traced(
+            (0..40).collect::<Vec<_>>().into_iter(),
+            4,
+            &tracer,
+            dispatch,
+            |_| (),
+            |(), _, x: i32| Ok::<_, ()>(x * 2),
+        )
+        .unwrap();
+        main.exit();
+        assert_eq!(out.len(), 40);
+        let snap = tracer.snapshot();
+        let workers = snap.spans.iter().filter(|s| s.name == "worker").count();
+        let chunks = snap.spans.iter().filter(|s| s.name == "chunk").count();
+        assert_eq!(workers, 4);
+        assert_eq!(chunks, 40 / CHUNK, "every batch got a chunk span");
+        // Every worker span follows the dispatch span.
+        assert_eq!(
+            snap.follows
+                .iter()
+                .filter(|(from, _)| Some(*from) == dispatch)
+                .count(),
+            4
+        );
+        // Chunk spans nest under their worker span and cover real work.
+        for c in snap.spans.iter().filter(|s| s.name == "chunk") {
+            let parent = &snap.spans[c.parent.expect("chunk has parent").0 as usize];
+            assert_eq!(parent.name, "worker");
+            assert_eq!(parent.lane, c.lane);
+        }
+        // The per-chunk item accounting sums to the input size.
+        let accounted: usize = snap
+            .spans
+            .iter()
+            .filter(|s| s.name == "chunk")
+            .map(|s| {
+                s.notes
+                    .iter()
+                    .find(|(k, _)| k == "len")
+                    .and_then(|(_, v)| v.parse::<usize>().ok())
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(accounted, 40);
+    }
+
+    #[test]
+    fn traced_pool_with_disabled_tracer_matches_plain() {
+        let plain = par_map_stream((0..30).collect::<Vec<i32>>().into_iter(), 3, |_, x| {
+            Ok::<_, ()>(x + 1)
+        })
+        .unwrap();
+        let tracer = Tracer::disabled();
+        let (traced, _) = par_map_stream_with_traced(
+            (0..30).collect::<Vec<i32>>().into_iter(),
+            3,
+            &tracer,
+            None,
+            |_| (),
+            |(), _, x| Ok::<_, ()>(x + 1),
+        )
+        .unwrap();
+        assert_eq!(traced, plain);
+        assert_eq!(tracer.span_count(), 0);
     }
 
     #[test]

@@ -125,6 +125,31 @@ pub fn benchmark_instrumented(
     Ok((result, stats))
 }
 
+/// [`benchmark_instrumented`] wrapped in a `benchmark` span on `lane`,
+/// annotated with the evaluation seed, sample count, and the resulting
+/// median time (or the error). The measurement itself is untouched: with
+/// a disabled tracer this is exactly [`benchmark_instrumented`].
+pub fn benchmark_traced(
+    prog: &CompiledProgram,
+    platform: &Platform,
+    cfg: &BenchConfig,
+    seed: u64,
+    lane: &mut dr_trace::Lane,
+) -> Result<(BenchResult, SimStats), SimError> {
+    lane.enter("benchmark");
+    lane.annotate("eval_seed", seed);
+    let out = benchmark_instrumented(prog, platform, cfg, seed);
+    match &out {
+        Ok((result, stats)) => {
+            lane.annotate("samples", stats.runs);
+            lane.annotate("t_median_s", dr_obs::json::number(result.time()));
+        }
+        Err(e) => lane.annotate("error", e),
+    }
+    lane.exit();
+    out
+}
+
 fn run_protocol(
     prog: &CompiledProgram,
     platform: &Platform,
@@ -283,6 +308,35 @@ mod tests {
             "2 ranks, >= 1 instr each"
         );
         assert!(stats.cpu_busy.iter().all(|&b| b > 0.0));
+    }
+
+    #[test]
+    fn traced_benchmark_matches_instrumented_and_records_a_span() {
+        let prog = one_op_program(1e-4);
+        let platform = Platform::perlmutter_like();
+        let (plain, _) =
+            benchmark_instrumented(&prog, &platform, &BenchConfig::quick(), 5).unwrap();
+        let tracer = dr_trace::Tracer::new();
+        let mut lane = tracer.lane("eval-0");
+        let (traced, stats) =
+            benchmark_traced(&prog, &platform, &BenchConfig::quick(), 5, &mut lane).unwrap();
+        assert_eq!(plain, traced, "tracing must not change measurements");
+        let snap = tracer.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        let s = &snap.spans[0];
+        assert_eq!(s.name, "benchmark");
+        assert!(s.end_s.is_some());
+        let note = |k: &str| s.notes.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+        assert_eq!(note("eval_seed").as_deref(), Some("5"));
+        assert_eq!(note("samples").as_deref(), Some(&*stats.runs.to_string()));
+        assert!(note("t_median_s").is_some());
+        // Disabled tracer: identical results, zero spans.
+        let off = dr_trace::Tracer::disabled();
+        let mut off_lane = off.lane("eval-0");
+        let (quiet, _) =
+            benchmark_traced(&prog, &platform, &BenchConfig::quick(), 5, &mut off_lane).unwrap();
+        assert_eq!(quiet, plain);
+        assert_eq!(off.span_count(), 0);
     }
 
     #[test]

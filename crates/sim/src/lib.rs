@@ -30,7 +30,8 @@ pub mod trace;
 mod workload;
 
 pub use bench::{
-    benchmark, benchmark_instrumented, percentile, BenchConfig, BenchResult, Percentiles,
+    benchmark, benchmark_instrumented, benchmark_traced, percentile, BenchConfig, BenchResult,
+    Percentiles,
 };
 pub use compile::{CommTable, CompiledProgram, Instr, SimError};
 pub use dr_fault::{FaultConfig, FaultCounters, FaultPlan, MessageFault};

@@ -1,0 +1,167 @@
+//! Chrome/Perfetto trace-event JSON export and fragment merging.
+//!
+//! The exporter emits the same flavour of trace-event array that
+//! `dr_sim::Trace::to_chrome_json` produces for simulated programs:
+//! `"M"` metadata records naming the process and one thread row per
+//! lane, `"X"` complete-duration records for spans (with annotations in
+//! `args`), and `"s"`/`"f"` flow records for `follows_from` edges.
+//!
+//! Simulated timelines use the MPI rank as the process id, so the
+//! pipeline's own spans are exported under [`PIPELINE_PID`] — far above
+//! any plausible rank — and [`merge_chrome_json`] splices both into one
+//! array: Perfetto then shows "the search" and "what it searched" as
+//! separate process groups on a shared clock.
+
+use crate::span::{Snapshot, Span, SpanId};
+use dr_obs::json;
+
+/// Process id given to the pipeline's own spans in merged traces, far
+/// above any simulated MPI rank (which use `pid = rank`).
+pub const PIPELINE_PID: u64 = 1_000_000;
+
+fn span_end_s(s: &Span, now_s: f64) -> f64 {
+    s.end_s.unwrap_or(now_s).max(s.start_s)
+}
+
+/// Render a snapshot as a Chrome trace-event JSON array.
+///
+/// Times are exported in microseconds since the tracer epoch. Spans
+/// still open at capture time are drawn up to the capture instant.
+pub fn chrome_json(snap: &Snapshot, pid: u64, process_name: &str) -> String {
+    let mut recs: Vec<String> = Vec::with_capacity(snap.spans.len() + snap.lanes.len() + 2);
+    recs.push(format!(
+        "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \
+         \"args\": {{\"name\": \"{}\"}}}}",
+        json::escape(process_name)
+    ));
+    for (tid, lane) in snap.lanes.iter().enumerate() {
+        recs.push(format!(
+            "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            json::escape(lane)
+        ));
+    }
+    for s in &snap.spans {
+        let ts = s.start_s * 1e6;
+        let dur = (span_end_s(s, snap.now_s) - s.start_s) * 1e6;
+        let args = s
+            .notes
+            .iter()
+            .map(|(k, v)| format!("\"{}\": \"{}\"", json::escape(k), json::escape(v)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        recs.push(format!(
+            "{{\"name\": \"{}\", \"cat\": \"span\", \"ph\": \"X\", \"pid\": {pid}, \
+             \"tid\": {}, \"ts\": {}, \"dur\": {}, \"args\": {{{args}}}}}",
+            json::escape(&s.name),
+            s.lane,
+            json::number(ts),
+            json::number(dur),
+        ));
+    }
+    for (flow_id, (from, to)) in snap.follows.iter().enumerate() {
+        let (Some(src), Some(dst)) = (span_of(snap, *from), span_of(snap, *to)) else {
+            continue;
+        };
+        // Flow arrows bind to the slice enclosing `ts` on the given
+        // track: depart from the predecessor's end, land on the
+        // successor's start.
+        let depart = (span_end_s(src, snap.now_s) * 1e6).max(src.start_s * 1e6);
+        recs.push(format!(
+            "{{\"name\": \"follows\", \"cat\": \"flow\", \"ph\": \"s\", \"id\": {flow_id}, \
+             \"pid\": {pid}, \"tid\": {}, \"ts\": {}}}",
+            src.lane,
+            json::number(depart),
+        ));
+        recs.push(format!(
+            "{{\"name\": \"follows\", \"cat\": \"flow\", \"ph\": \"f\", \"bp\": \"e\", \
+             \"id\": {flow_id}, \"pid\": {pid}, \"tid\": {}, \"ts\": {}}}",
+            dst.lane,
+            json::number(dst.start_s * 1e6),
+        ));
+    }
+    format!("[{}]", recs.join(",\n "))
+}
+
+fn span_of(snap: &Snapshot, id: SpanId) -> Option<&Span> {
+    snap.spans.get(id.0 as usize)
+}
+
+/// Splice several Chrome trace-event JSON arrays into one. Each
+/// fragment must be a JSON array (possibly empty); the result is a
+/// single array holding every record, in fragment order.
+pub fn merge_chrome_json(fragments: &[&str]) -> String {
+    let mut bodies: Vec<&str> = Vec::with_capacity(fragments.len());
+    for frag in fragments {
+        let t = frag.trim();
+        let inner = t
+            .strip_prefix('[')
+            .and_then(|t| t.strip_suffix(']'))
+            .unwrap_or(t)
+            .trim();
+        if !inner.is_empty() {
+            bodies.push(inner);
+        }
+    }
+    format!("[{}]", bodies.join(",\n "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    fn sample_tracer() -> Tracer {
+        let tracer = Tracer::new();
+        let mut main = tracer.lane("main");
+        let root = main.enter("pipeline").unwrap();
+        main.annotate("strategy", "mcts");
+        let mut worker = tracer.lane("worker-0");
+        let mut g = worker.span("chunk");
+        g.follows_from(root);
+        g.annotate("first", 0);
+        drop(g);
+        main.exit();
+        tracer
+    }
+
+    #[test]
+    fn export_is_valid_json_with_flows() {
+        let out = sample_tracer().to_chrome_json(PIPELINE_PID, "dr pipeline");
+        json::validate(&out).expect("valid chrome json");
+        assert!(out.contains("\"ph\": \"X\""));
+        assert!(out.contains("\"ph\": \"s\""));
+        assert!(out.contains("\"ph\": \"f\""));
+        assert!(out.contains("\"name\": \"worker-0\""));
+        assert!(out.contains("\"strategy\": \"mcts\""));
+        assert!(out.contains(&format!("\"pid\": {PIPELINE_PID}")));
+    }
+
+    #[test]
+    fn open_spans_export_with_capture_end() {
+        let tracer = Tracer::new();
+        let mut lane = tracer.lane("main");
+        lane.enter("still-open");
+        let out = tracer.to_chrome_json(1, "p");
+        json::validate(&out).expect("valid chrome json");
+        assert!(out.contains("\"name\": \"still-open\""));
+    }
+
+    #[test]
+    fn merge_concatenates_fragments() {
+        let a = sample_tracer().to_chrome_json(PIPELINE_PID, "dr pipeline");
+        let b = "[{\"name\": \"kernel\", \"ph\": \"X\", \"pid\": 0, \"tid\": 1, \
+                  \"ts\": 0, \"dur\": 5}]";
+        let merged = merge_chrome_json(&[&a, b, "[]", "  "]);
+        json::validate(&merged).expect("valid merged json");
+        assert!(merged.contains("\"name\": \"kernel\""));
+        assert!(merged.contains("\"name\": \"pipeline\""));
+        assert_eq!(merged.matches('[').count(), 1 + a.matches('[').count() - 1);
+    }
+
+    #[test]
+    fn merge_of_empties_is_empty_array() {
+        assert_eq!(merge_chrome_json(&[]), "[]");
+        assert_eq!(merge_chrome_json(&["[]", "[ ]"]), "[]");
+    }
+}

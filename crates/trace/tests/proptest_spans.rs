@@ -1,0 +1,139 @@
+//! Property tests for the span store: arbitrary interleavings of lane
+//! operations can never corrupt per-lane nesting, causal edges, or the
+//! Chrome JSON export.
+
+use dr_trace::{merge_chrome_json, SpanId, Tracer, PIPELINE_PID};
+use proptest::prelude::*;
+
+/// One scripted lane operation (decoded from a generated opcode).
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Enter,
+    Exit,
+    Annotate,
+    /// Enter a span that `follows_from` the most recent span anywhere.
+    EnterLinked,
+}
+
+fn decode(code: u32) -> Op {
+    match code % 4 {
+        0 => Op::Enter,
+        1 => Op::Exit,
+        2 => Op::Annotate,
+        _ => Op::EnterLinked,
+    }
+}
+
+/// A script: `(lane, opcode)` pairs over up to 3 lanes.
+fn scripts() -> impl Strategy<Value = Vec<(usize, u32)>> {
+    collection::vec((0usize..3, 0u32..8), 1..150)
+}
+
+/// Replays a script against a live tracer, returning the tracer. All
+/// lanes stay open-ended: spans left open model a crash mid-phase and
+/// must still export cleanly.
+fn replay(script: &[(usize, u32)]) -> Tracer {
+    let tracer = Tracer::new();
+    let mut lanes: Vec<_> = (0..3).map(|i| tracer.lane(&format!("lane-{i}"))).collect();
+    let mut last_span: Option<SpanId> = None;
+    for (i, &(lane, code)) in script.iter().enumerate() {
+        let lane = &mut lanes[lane];
+        match decode(code) {
+            Op::Enter => last_span = lane.enter(&format!("op-{i}")).or(last_span),
+            Op::Exit => {
+                lane.exit();
+            }
+            Op::Annotate => lane.annotate("step", i),
+            Op::EnterLinked => {
+                let id = lane.enter(&format!("op-{i}"));
+                if let Some(pred) = last_span {
+                    lane.follows_from(pred);
+                }
+                last_span = id.or(last_span);
+            }
+        }
+    }
+    tracer
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Spans nest per lane: every parent lives on the same lane, opens
+    /// no later than its child, and (once closed) outlives it.
+    #[test]
+    fn spans_are_well_nested_per_lane(script in scripts()) {
+        let tracer = replay(&script);
+        let snap = tracer.snapshot();
+        for s in &snap.spans {
+            prop_assert!(s.lane < snap.lanes.len());
+            prop_assert!(s.end_s.is_none_or(|e| e >= s.start_s));
+            if let Some(p) = s.parent {
+                let parent = &snap.spans[p.0 as usize];
+                prop_assert_eq!(parent.lane, s.lane, "parent on another lane");
+                prop_assert!(parent.start_s <= s.start_s);
+                match (parent.end_s, s.end_s) {
+                    (Some(pe), Some(se)) => prop_assert!(se <= pe),
+                    // A closed parent cannot contain an open child.
+                    (Some(_), None) => prop_assert!(false, "open child of closed parent"),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Every `follows_from` edge resolves to recorded spans, and the
+    /// predecessor was recorded no later than the successor.
+    #[test]
+    fn follows_edges_resolve(script in scripts()) {
+        let snap = replay(&script).snapshot();
+        for &(pred, succ) in &snap.follows {
+            prop_assert!((pred.0 as usize) < snap.spans.len());
+            prop_assert!((succ.0 as usize) < snap.spans.len());
+            prop_assert!(pred.0 <= succ.0, "predecessor recorded after successor");
+        }
+    }
+
+    /// The Chrome export of any script — alone or merged with another
+    /// fragment — is syntactically valid JSON.
+    #[test]
+    fn chrome_export_is_valid_json(script in scripts()) {
+        let tracer = replay(&script);
+        let json = tracer.to_chrome_json(PIPELINE_PID, "dr pipeline");
+        dr_obs::json::validate(&json).expect("chrome export must be valid JSON");
+        let merged = merge_chrome_json(&[&json, "[]"]);
+        dr_obs::json::validate(&merged).expect("merged export must be valid JSON");
+    }
+
+    /// Lanes driven from worker threads share one store without losing
+    /// or corrupting spans: the store ends with exactly one closed span
+    /// per thread plus the root, all well-formed.
+    #[test]
+    fn cross_thread_lanes_stay_consistent(workers in 1usize..6) {
+        let tracer = Tracer::new();
+        let mut main = tracer.lane("main");
+        let root = main.enter("dispatch").unwrap();
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let mut lane = tracer.lane(&format!("worker-{w}"));
+                std::thread::spawn(move || {
+                    lane.enter("work");
+                    lane.follows_from(root);
+                    lane.annotate("worker", w);
+                    lane.exit();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        main.exit();
+        let snap = tracer.snapshot();
+        prop_assert_eq!(snap.spans.len(), workers + 1);
+        prop_assert_eq!(snap.follows.len(), workers);
+        prop_assert!(snap.spans.iter().all(|s| s.end_s.is_some()));
+        prop_assert!(snap.follows.iter().all(|&(p, _)| p == root));
+        let json = tracer.to_chrome_json(PIPELINE_PID, "dr pipeline");
+        dr_obs::json::validate(&json).expect("chrome export must be valid JSON");
+    }
+}

@@ -6,15 +6,19 @@ use crate::dag::{build_schedule, DecisionSpace, Traversal};
 use crate::mcts::MctsConfig;
 use crate::ml::{render_ruleset, rulesets_for_class};
 use crate::pipeline::{
-    apply_fault_plan, lint_space, run_pipeline_instrumented, synthesize, topology_from_workload,
-    InstrumentedRun, PipelineConfig, ResilienceSummary, Strategy,
+    append_entry, apply_fault_plan, compare_ledgers, ledger_dir_from_env, ledger_entry_json,
+    lint_space, load_ledger, run_pipeline_instrumented, run_pipeline_traced, synthesize,
+    topology_from_workload, CompareOptions, InstrumentedRun, LedgerContext, PipelineConfig,
+    ResilienceSummary, Strategy,
 };
 use crate::sim::{
     benchmark, execute_traced, BenchConfig, CompiledProgram, FaultConfig, FaultPlan, Platform,
     SimError, Workload,
 };
+use crate::trace::{merge_chrome_json, Tracer, PIPELINE_PID};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::path::Path;
 
 /// Built-in scenarios selectable from the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +31,18 @@ pub enum Scenario {
     SpmvFine,
     /// 3D halo exchange on a 2×2×2 rank cube.
     Halo,
+}
+
+impl Scenario {
+    /// The scenario's command-line name (used in ledger entries).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Spmv => "spmv",
+            Scenario::SpmvPaper => "spmv-paper",
+            Scenario::SpmvFine => "spmv-fine",
+            Scenario::Halo => "halo",
+        }
+    }
 }
 
 /// Subcommands.
@@ -47,6 +63,8 @@ pub enum Command {
     /// Sweep seeded fault plans through the pipeline and cross-check
     /// fault-induced deadlocks against the static linter.
     Chaos,
+    /// Diff two run ledgers for regressions (structural + statistical).
+    Compare,
 }
 
 /// Parsed command line.
@@ -73,12 +91,29 @@ pub struct CliOptions {
     pub max_schedules: usize,
     /// Fault plans to sweep for `chaos` (plan 0 is always clean).
     pub plans: usize,
+    /// Write a merged Perfetto/Chrome trace (pipeline spans + the best
+    /// implementation's simulated rank/stream timelines) here.
+    pub trace: Option<String>,
+    /// Append a run-ledger entry to this directory (`None` = honor the
+    /// `DR_LEDGER` environment variable, else skip).
+    pub ledger: Option<String>,
+    /// `compare`: the two ledger paths (file or directory) to diff.
+    pub compare: Option<(String, String)>,
+    /// `compare`: relative phase-time regression threshold.
+    pub threshold: f64,
+    /// `compare`: absolute phase-time noise floor in milliseconds.
+    pub abs_floor_ms: f64,
+    /// `compare`: noise-band multiplier over the baseline history's MAD.
+    pub noise_k: f64,
 }
 
 /// Usage text printed on parse errors.
 pub const USAGE: &str = "usage: dr-rules <scenario> <command> [options]
+       dr-rules <scenario> compare <ledger-a> <ledger-b> [options]
   scenarios: spmv | spmv-paper | spmv-fine | halo
-  commands:  info | explore | rules | synthesize | timeline | lint | chaos
+  commands:  info | explore | rules | synthesize | timeline | lint |
+             chaos | compare
+             (omitting the command runs explore)
   options:   --iterations N (default 300)
              --seed N       (default 0)
              --random       (uniform sampling instead of MCTS)
@@ -90,11 +125,22 @@ pub const USAGE: &str = "usage: dr-rules <scenario> <command> [options]
              --max-schedules N (lint: stop after N schedules;
                                 0 = whole space; default 2048)
              --plans N      (chaos: seeded fault plans to sweep;
-                             default 24, minimum 2)";
+                             default 24, minimum 2)
+             --trace PATH   (write a merged Perfetto/Chrome trace:
+                             pipeline spans + the best implementation's
+                             simulated rank/stream timelines)
+             --ledger DIR   (append a run-ledger entry to DIR/ledger.jsonl;
+                             default: the DR_LEDGER environment variable)
+             --threshold R    (compare: relative phase-time regression
+                               threshold; default 3.0)
+             --abs-floor-ms M (compare: absolute phase-time noise floor;
+                               default 25)
+             --noise-k K      (compare: MAD noise-band multiplier;
+                               default 5)";
 
 /// Parses command-line arguments (excluding `argv[0]`).
 pub fn parse(args: &[String]) -> Result<CliOptions, String> {
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     let scenario = match it.next().map(String::as_str) {
         Some("spmv") => Scenario::Spmv,
         Some("spmv-paper") => Scenario::SpmvPaper,
@@ -103,16 +149,22 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         Some(other) => return Err(format!("unknown scenario {other:?}\n{USAGE}")),
         None => return Err(format!("missing scenario\n{USAGE}")),
     };
-    let command = match it.next().map(String::as_str) {
-        Some("info") => Command::Info,
-        Some("explore") => Command::Explore,
-        Some("rules") => Command::Rules,
-        Some("synthesize") => Command::Synthesize,
-        Some("timeline") => Command::Timeline,
-        Some("lint") => Command::Lint,
-        Some("chaos") => Command::Chaos,
-        Some(other) => return Err(format!("unknown command {other:?}\n{USAGE}")),
-        None => return Err(format!("missing command\n{USAGE}")),
+    // A flag right after the scenario means the command was omitted:
+    // default to `explore` (so `dr-rules spmv --trace out.json` works).
+    let command = match it.peek().map(|s| s.as_str()) {
+        Some(s) if s.starts_with("--") => Command::Explore,
+        _ => match it.next().map(String::as_str) {
+            Some("info") => Command::Info,
+            Some("explore") => Command::Explore,
+            Some("rules") => Command::Rules,
+            Some("synthesize") => Command::Synthesize,
+            Some("timeline") => Command::Timeline,
+            Some("lint") => Command::Lint,
+            Some("chaos") => Command::Chaos,
+            Some("compare") => Command::Compare,
+            Some(other) => return Err(format!("unknown command {other:?}\n{USAGE}")),
+            None => return Err(format!("missing command\n{USAGE}")),
+        },
     };
     let mut opts = CliOptions {
         scenario,
@@ -125,7 +177,25 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         telemetry: None,
         max_schedules: 2048,
         plans: 24,
+        trace: None,
+        ledger: None,
+        compare: None,
+        threshold: 3.0,
+        abs_floor_ms: 25.0,
+        noise_k: 5.0,
     };
+    if command == Command::Compare {
+        let a = it
+            .next()
+            .ok_or(format!("compare needs two ledger paths\n{USAGE}"))?;
+        let b = it
+            .next()
+            .ok_or(format!("compare needs two ledger paths\n{USAGE}"))?;
+        if a.starts_with("--") || b.starts_with("--") {
+            return Err(format!("compare needs two ledger paths first\n{USAGE}"));
+        }
+        opts.compare = Some((a.clone(), b.clone()));
+    }
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--iterations" => {
@@ -168,6 +238,30 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                     return Err("--plans must be at least 2 (plan 0 is the clean control)".into());
                 }
                 opts.plans = n;
+            }
+            "--trace" => {
+                opts.trace = Some(it.next().ok_or("--trace needs a path")?.clone());
+            }
+            "--ledger" => {
+                opts.ledger = Some(it.next().ok_or("--ledger needs a directory")?.clone());
+            }
+            "--threshold" => {
+                let v = it.next().ok_or("--threshold needs a value")?;
+                opts.threshold = v
+                    .parse()
+                    .map_err(|_| format!("bad --threshold value {v:?}"))?;
+            }
+            "--abs-floor-ms" => {
+                let v = it.next().ok_or("--abs-floor-ms needs a value")?;
+                opts.abs_floor_ms = v
+                    .parse()
+                    .map_err(|_| format!("bad --abs-floor-ms value {v:?}"))?;
+            }
+            "--noise-k" => {
+                let v = it.next().ok_or("--noise-k needs a value")?;
+                opts.noise_k = v
+                    .parse()
+                    .map_err(|_| format!("bad --noise-k value {v:?}"))?;
             }
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),
         }
@@ -248,10 +342,34 @@ fn strategy(opts: &CliOptions) -> Strategy {
 }
 
 /// Runs the parsed command, writing human-readable output to `out`.
+///
+/// Returns `Err` — a nonzero process exit — when `compare` finds a
+/// regression beyond threshold, in addition to ordinary failures.
 pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), String> {
-    let inst = instance(opts);
     let fail = |e: SimError| format!("simulation failed: {e}");
     let io = |e: std::io::Error| format!("write failed: {e}");
+
+    if opts.command == Command::Compare {
+        let (pa, pb) = opts.compare.as_ref().ok_or("compare needs two paths")?;
+        let a = load_ledger(Path::new(pa))?;
+        let b = load_ledger(Path::new(pb))?;
+        let copts = CompareOptions {
+            ratio: opts.threshold,
+            abs_floor_s: opts.abs_floor_ms / 1e3,
+            noise_k: opts.noise_k,
+        };
+        let report = compare_ledgers(&a, &b, &copts);
+        write!(out, "{}", report.render_text()).map_err(io)?;
+        if report.is_regression() {
+            return Err(format!(
+                "{} regression(s) beyond threshold",
+                report.regressions.len()
+            ));
+        }
+        return Ok(());
+    }
+
+    let inst = instance(opts);
 
     if opts.command == Command::Info {
         writeln!(out, "decision ops : {}", inst.space.num_ops()).map_err(io)?;
@@ -290,7 +408,12 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
         return run_chaos(opts, &inst, out);
     }
 
-    let run = run_pipeline_instrumented(
+    let tracer = if opts.trace.is_some() {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    };
+    let run = run_pipeline_traced(
         &inst.space,
         &inst.workload,
         &inst.platform,
@@ -299,9 +422,37 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
             threads: opts.threads.unwrap_or(0),
             ..PipelineConfig::quick()
         },
+        &tracer,
     )
     .map_err(fail)?;
 
+    if let Some(path) = &opts.trace {
+        let merged = merged_trace(&inst, &run, &tracer, opts.seed).map_err(fail)?;
+        std::fs::write(path, merged).map_err(|e| format!("cannot write trace {path:?}: {e}"))?;
+        writeln!(
+            out,
+            "wrote merged trace ({} spans) to {path} — open at ui.perfetto.dev",
+            tracer.span_count()
+        )
+        .map_err(io)?;
+    }
+    if let Some(dir) = opts
+        .ledger
+        .clone()
+        .map(std::path::PathBuf::from)
+        .or_else(ledger_dir_from_env)
+    {
+        let ctx = LedgerContext {
+            scenario: opts.scenario.name(),
+            strategy: strategy(opts).name(),
+            seed: opts.seed,
+            iterations: opts.iterations as u64,
+        };
+        let entry = ledger_entry_json(&ctx, &run, &inst.space);
+        let path = append_entry(&dir, &entry)
+            .map_err(|e| format!("cannot append ledger entry to {}: {e}", dir.display()))?;
+        writeln!(out, "appended ledger entry to {}", path.display()).map_err(io)?;
+    }
     if let Some(path) = &opts.report {
         std::fs::write(path, run.report.to_json())
             .map_err(|e| format!("cannot write report {path:?}: {e}"))?;
@@ -320,7 +471,9 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
     let result = run.result;
 
     match opts.command {
-        Command::Info | Command::Lint | Command::Chaos => unreachable!("handled above"),
+        Command::Info | Command::Lint | Command::Chaos | Command::Compare => {
+            unreachable!("handled above")
+        }
         Command::Explore => {
             let times = result.times();
             let fastest = times.iter().copied().fold(f64::INFINITY, f64::min);
@@ -612,6 +765,38 @@ fn run_chaos(
     Ok(())
 }
 
+/// Builds the merged Perfetto/Chrome trace: the pipeline's own span
+/// rows (one process) next to the best explored implementation's
+/// simulated rank/stream timelines (one process per rank), so search
+/// overheads and the winning schedule are visible side by side.
+fn merged_trace(
+    inst: &Instance,
+    run: &InstrumentedRun,
+    tracer: &Tracer,
+    seed: u64,
+) -> Result<String, SimError> {
+    let pipeline_json = tracer.to_chrome_json(PIPELINE_PID, "dr pipeline");
+    let best = run
+        .result
+        .records
+        .iter()
+        .min_by(|a, b| a.result.time().partial_cmp(&b.result.time()).unwrap());
+    let sim_json = match best {
+        Some(rec) => {
+            let schedule = build_schedule(&inst.space, &rec.traversal);
+            let prog = CompiledProgram::compile(&schedule, &inst.workload)?;
+            let (_, trace) = execute_traced(
+                &prog,
+                &inst.platform.clone().noiseless(),
+                &mut SmallRng::seed_from_u64(seed),
+            )?;
+            trace.to_chrome_json()
+        }
+        None => String::from("[]"),
+    };
+    Ok(merge_chrome_json(&[&pipeline_json, &sim_json]))
+}
+
 fn bench_traversal(inst: &Instance, t: &Traversal, seed: u64) -> Result<f64, SimError> {
     let schedule = build_schedule(&inst.space, t);
     let prog = CompiledProgram::compile(&schedule, &inst.workload)?;
@@ -823,6 +1008,142 @@ mod tests {
         assert!(json.contains("\"clean_replay_identical\":true"), "{json}");
         assert!(json.contains("\"agreed\":16"), "{json}");
         std::fs::remove_file(&report).ok();
+    }
+
+    #[test]
+    fn parse_accepts_trace_ledger_and_compare_grammar() {
+        let o = parse(&argv("spmv explore --trace out.json --ledger runs")).unwrap();
+        assert_eq!(o.trace.as_deref(), Some("out.json"));
+        assert_eq!(o.ledger.as_deref(), Some("runs"));
+        // Omitting the command defaults to explore, so the acceptance
+        // invocation `dr-rules spmv --trace out.json` parses.
+        let o = parse(&argv("spmv --trace out.json")).unwrap();
+        assert_eq!(o.command, Command::Explore);
+        assert_eq!(o.trace.as_deref(), Some("out.json"));
+        let o = parse(&argv(
+            "spmv compare a b --threshold 2 --abs-floor-ms 1 --noise-k 4",
+        ))
+        .unwrap();
+        assert_eq!(o.command, Command::Compare);
+        assert_eq!(o.compare, Some(("a".into(), "b".into())));
+        assert_eq!(o.threshold, 2.0);
+        assert_eq!(o.abs_floor_ms, 1.0);
+        assert_eq!(o.noise_k, 4.0);
+        assert!(parse(&argv("spmv compare")).is_err());
+        assert!(parse(&argv("spmv compare a")).is_err());
+        assert!(parse(&argv("spmv compare --threshold 2")).is_err());
+        assert!(parse(&argv("spmv explore --trace")).is_err());
+        assert!(parse(&argv("spmv explore --ledger")).is_err());
+    }
+
+    #[test]
+    fn trace_flag_writes_a_merged_perfetto_json() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("dr-rules-trace-{}.json", std::process::id()));
+        let opts = parse(&argv(&format!(
+            "spmv explore --iterations 30 --seed 2 --threads 2 --trace {}",
+            path.display()
+        )))
+        .unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("wrote merged trace"), "{s}");
+
+        let json = std::fs::read_to_string(&path).unwrap();
+        crate::obs::json::validate(&json).unwrap();
+        // Pipeline span rows sit alongside the simulated implementation's
+        // rank/stream rows (separate process ids).
+        assert!(json.contains("\"dr pipeline\""), "{json}");
+        assert!(json.contains("\"pipeline\""), "{json}");
+        assert!(json.contains("\"explore\""), "{json}");
+        assert!(json.contains("\"rank 0\""), "pipeline-only trace? {s}");
+        assert!(json.contains("\"stream0\""), "pipeline-only trace? {s}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn report_includes_provenance() {
+        let dir = std::env::temp_dir();
+        let report = dir.join(format!("dr-rules-prov-{}.json", std::process::id()));
+        let opts = parse(&argv(&format!(
+            "spmv explore --iterations 30 --seed 2 --report {}",
+            report.display()
+        )))
+        .unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let json = std::fs::read_to_string(&report).unwrap();
+        let v = crate::obs::json::parse(&json).unwrap();
+        assert!(v
+            .path(&["provenance", "run_id"])
+            .and_then(|r| r.as_str())
+            .is_some());
+        assert!(v
+            .path(&["provenance", "git"])
+            .and_then(|g| g.as_str())
+            .is_some());
+        std::fs::remove_file(&report).ok();
+    }
+
+    #[test]
+    fn compare_command_passes_identical_runs_and_fails_forged_regression() {
+        let base = std::env::temp_dir().join(format!("dr-rules-cmp-{}", std::process::id()));
+        let (la, lb, lc) = (base.join("a"), base.join("b"), base.join("c"));
+        let _ = std::fs::remove_dir_all(&base);
+        for ledger in [&la, &lb] {
+            let opts = parse(&argv(&format!(
+                "spmv explore --iterations 30 --seed 2 --ledger {}",
+                ledger.display()
+            )))
+            .unwrap();
+            let mut buf = Vec::new();
+            run(&opts, &mut buf).unwrap();
+            assert!(String::from_utf8(buf).unwrap().contains("appended ledger"));
+        }
+
+        // Same seed, same config: identical records, no regression.
+        let opts = parse(&argv(&format!(
+            "spmv compare {} {}",
+            la.display(),
+            lb.display()
+        )))
+        .unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("verdict: OK"), "{s}");
+
+        // Forge a copy of ledger B whose explore phase blew up 100x:
+        // compare must exit nonzero.
+        let line = std::fs::read_to_string(la.join(super::super::pipeline::LEDGER_FILE)).unwrap();
+        let v = crate::obs::json::parse(&line).unwrap();
+        let explore = v
+            .path(&["phases", "explore"])
+            .and_then(|p| p.as_f64())
+            .unwrap();
+        let forged = line.replace(
+            &format!("\"explore\":{}", crate::obs::json::number(explore)),
+            &format!(
+                "\"explore\":{}",
+                crate::obs::json::number(explore * 100.0 + 10.0)
+            ),
+        );
+        assert_ne!(forged, line, "forgery must change the entry");
+        std::fs::create_dir_all(&lc).unwrap();
+        std::fs::write(lc.join(super::super::pipeline::LEDGER_FILE), forged).unwrap();
+        let opts = parse(&argv(&format!(
+            "spmv compare {} {}",
+            la.display(),
+            lc.display()
+        )))
+        .unwrap();
+        let mut buf = Vec::new();
+        let err = run(&opts, &mut buf).unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("REGRESSION"), "{s}");
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -16,3 +16,4 @@ pub use dr_obs as obs;
 pub use dr_par as par;
 pub use dr_sim as sim;
 pub use dr_spmv as spmv;
+pub use dr_trace as trace;

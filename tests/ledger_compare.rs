@@ -1,0 +1,149 @@
+//! End-to-end exercise of the run ledger and the `compare` regression
+//! gate through the real `dr-rules` binary: same-seed runs must compare
+//! clean (exit 0), while a fault-injected run must be flagged as
+//! resilience drift (exit nonzero). Also covers the acceptance
+//! invocation `dr-rules spmv --trace out.json`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_dr-rules")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dr-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_ok(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let out = Command::new(bin())
+        .args(args)
+        .env_remove("DR_FAULTS")
+        .env_remove("DR_LEDGER")
+        .envs(envs.iter().copied())
+        .output()
+        .expect("dr-rules spawns");
+    assert!(
+        out.status.success(),
+        "dr-rules {args:?} failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn explore_into(ledger: &Path, seed: u64, envs: &[(&str, &str)]) {
+    let ledger = ledger.display().to_string();
+    let seed = seed.to_string();
+    let args = [
+        "spmv",
+        "explore",
+        "--iterations",
+        "25",
+        "--seed",
+        &seed,
+        "--ledger",
+        &ledger,
+    ];
+    let out = run_ok(&args, envs);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("appended ledger entry"), "{stdout}");
+}
+
+fn compare(a: &Path, b: &Path) -> Output {
+    Command::new(bin())
+        .args([
+            "spmv",
+            "compare",
+            &a.display().to_string(),
+            &b.display().to_string(),
+        ])
+        .env_remove("DR_FAULTS")
+        .output()
+        .expect("dr-rules spawns")
+}
+
+#[test]
+fn same_seed_runs_compare_identical_and_exit_zero() {
+    let dir = scratch("same-seed");
+    let (la, lb) = (dir.join("a"), dir.join("b"));
+    explore_into(&la, 2, &[]);
+    explore_into(&lb, 2, &[]);
+
+    let out = compare(&la, &lb);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "compare regressed:\n{stdout}");
+    assert!(stdout.contains("records: identical"), "{stdout}");
+    assert!(stdout.contains("verdict: OK"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ledger_env_var_is_honored() {
+    let dir = scratch("env-ledger");
+    let ledger = dir.join("from-env");
+    let out = run_ok(
+        &["spmv", "explore", "--iterations", "25", "--seed", "2"],
+        &[("DR_LEDGER", &ledger.display().to_string())],
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("appended ledger entry"), "{stdout}");
+    assert!(ledger.join("ledger.jsonl").is_file());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn faulted_run_is_flagged_as_regression_with_nonzero_exit() {
+    let dir = scratch("faulted");
+    let (clean, faulted) = (dir.join("clean"), dir.join("faulted"));
+    explore_into(&clean, 2, &[]);
+    // The same run under light fault injection: resilience counters
+    // appear where the baseline had none — the compare gate must flag
+    // the drift and exit nonzero.
+    explore_into(&faulted, 2, &[("DR_FAULTS", "light")]);
+
+    let out = compare(&clean, &faulted);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "fault drift must exit nonzero:\n{stdout}"
+    );
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+    assert!(stdout.contains("resilience"), "{stdout}");
+    assert!(stderr.contains("regression"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn omitted_command_with_trace_writes_merged_perfetto_json() {
+    let dir = scratch("trace");
+    let trace = dir.join("out.json");
+    // The acceptance invocation: no command, just `--trace`.
+    let out = run_ok(
+        &[
+            "spmv",
+            "--trace",
+            &trace.display().to_string(),
+            "--iterations",
+            "25",
+            "--seed",
+            "2",
+        ],
+        &[],
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wrote merged trace"), "{stdout}");
+    let json = std::fs::read_to_string(&trace).unwrap();
+    cuda_mpi_design_rules::obs::json::validate(&json).unwrap();
+    // Pipeline span rows and the simulated implementation's rank/stream
+    // rows coexist in one file under distinct process names.
+    assert!(json.contains("\"dr pipeline\""));
+    assert!(json.contains("\"pipeline\""));
+    assert!(json.contains("\"rank 0\""));
+    assert!(json.contains("\"stream0\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}
