@@ -2,175 +2,28 @@
 //! the exhaustive sweep of the canonical SpMV space at 1/2/4/8 worker
 //! threads plus a root-parallel MCTS leg (which exercises the shared
 //! result cache), verifies every leg reproduces the serial record set,
-//! and writes the measurements to `BENCH_explore.json`.
+//! and appends the measurements to the `BENCH_explore.json` history.
 //!
 //! `DR_SCALE=small` runs on the scaled-down instance; `DR_SEED`
 //! overrides the master seed. Honest-measurement note: the JSON records
 //! `available_parallelism` alongside the speedups — on a single-CPU
 //! container the engine cannot (and does not pretend to) run faster
-//! than serial.
-
-use dr_core::{explore_parallel, ExploreOutput, Strategy};
-use dr_mcts::{MctsConfig, SimEvaluator};
-use dr_obs::json;
-use std::time::Instant;
-
-const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
-
-struct Leg {
-    strategy: &'static str,
-    threads: usize,
-    wall_s: f64,
-    samples: usize,
-    cache_hits: u64,
-    cache_misses: u64,
-}
-
-fn run_leg(
-    sc: &dr_spmv::SpmvScenario,
-    strategy: Strategy,
-    threads: usize,
-) -> Result<(Leg, ExploreOutput), dr_sim::SimError> {
-    let start = Instant::now();
-    // The quick measurement protocol: this benchmark times the engine
-    // (queueing, caching, merging), not the measurements themselves, and
-    // the full protocol would only scale every leg by a constant.
-    let cfg = dr_sim::BenchConfig::quick();
-    let out = explore_parallel(
-        &sc.space,
-        || SimEvaluator::new(&sc.space, &sc.workload, &sc.platform, cfg),
-        strategy,
-        threads,
-    )?;
-    let wall_s = start.elapsed().as_secs_f64();
-    let leg = Leg {
-        strategy: strategy.name(),
-        threads,
-        wall_s,
-        samples: out.records.len(),
-        cache_hits: out.cache.hits,
-        cache_misses: out.cache.misses,
-    };
-    Ok((leg, out))
-}
-
-fn record_set(out: &ExploreOutput) -> Vec<(u64, u64)> {
-    let mut v: Vec<(u64, u64)> = out
-        .records
-        .iter()
-        .map(|r| (r.traversal.canonical_hash(), r.result.time().to_bits()))
-        .collect();
-    v.sort_unstable();
-    v
-}
+//! than serial. The measurement protocol lives in
+//! [`dr_bench::harness::explore_report`], shared with the
+//! `dr-rules <scenario> bench` subcommand.
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let sc = dr_bench::scenario();
-    let seed = dr_bench::seed();
-    let available = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    println!("== Parallel exploration scaling ==");
-    println!(
-        "space: {} traversals; host parallelism: {available}",
-        sc.space.count_traversals()
-    );
-
-    let mut legs: Vec<Leg> = Vec::new();
-    let mut serial_wall = f64::NAN;
-    let mut serial_set: Vec<(u64, u64)> = Vec::new();
-    println!(
-        "{:>10}  {:>7}  {:>9}  {:>11}  {:>7}  {:>10}",
-        "strategy", "threads", "wall [s]", "samples/s", "speedup", "cache h/m"
-    );
-    for &threads in &THREAD_COUNTS {
-        let (leg, out) = run_leg(&sc, Strategy::Exhaustive, threads)?;
-        if threads == 1 {
-            serial_wall = leg.wall_s;
-            serial_set = record_set(&out);
-        } else if record_set(&out) != serial_set {
-            return Err("parallel exhaustive diverged from the serial record set".into());
-        }
-        println!(
-            "{:>10}  {:>7}  {:>9.3}  {:>11.1}  {:>6.2}x  {:>4}/{:<5}",
-            leg.strategy,
-            leg.threads,
-            leg.wall_s,
-            leg.samples as f64 / leg.wall_s,
-            serial_wall / leg.wall_s,
-            leg.cache_hits,
-            leg.cache_misses
-        );
-        legs.push(leg);
-    }
-
-    // Root-parallel MCTS leg: workers share one result cache, so its hit
-    // rate measures how much re-simulation the cache absorbed.
-    let budget = 400usize;
-    let mcts = Strategy::Mcts {
-        iterations: budget,
-        config: MctsConfig {
-            seed,
-            ..Default::default()
-        },
-    };
-    let (mcts_leg, mcts_out) = run_leg(&sc, mcts, 4)?;
-    println!(
-        "{:>10}  {:>7}  {:>9.3}  {:>11.1}  {:>7}  {:>4}/{:<5}",
-        "mcts",
-        mcts_leg.threads,
-        mcts_leg.wall_s,
-        mcts_leg.samples as f64 / mcts_leg.wall_s,
-        "-",
-        mcts_leg.cache_hits,
-        mcts_leg.cache_misses
-    );
-    println!(
-        "mcts cache hit rate: {:.1}% over {} evaluation requests",
-        mcts_out.cache.hit_rate() * 100.0,
-        mcts_out.cache.hits + mcts_out.cache.misses
-    );
-
-    let mut legs_json: Vec<String> = legs
-        .iter()
-        .map(|l| leg_json(l, serial_wall / l.wall_s))
-        .collect();
-    legs_json.push(leg_json(&mcts_leg, f64::NAN));
-    let report = format!(
-        "{{\"scenario\": \"{}\", \"seed\": {seed}, \"available_parallelism\": {available}, \
-         \"space_traversals\": {}, \"mcts_budget\": {budget}, \
-         \"mcts_cache_hit_rate\": {}, \"legs\": [{}]}}",
-        json::escape(match std::env::var("DR_SCALE").as_deref() {
-            Ok("small") => "small",
-            _ => "paper",
-        }),
-        sc.space.count_traversals(),
-        json::number(mcts_out.cache.hit_rate()),
-        legs_json.join(", ")
-    );
-    json::validate(&report)?;
-    std::fs::write("BENCH_explore.json", &report)?;
-    println!("wrote BENCH_explore.json");
+    let report = dr_bench::harness::explore_report(
+        dr_bench::scale(),
+        dr_bench::seed(),
+        &mut std::io::stdout(),
+    )?;
+    let entries = dr_bench::append_history(
+        std::path::Path::new("BENCH_explore.json"),
+        "explore",
+        &report,
+    )?;
+    println!("appended to BENCH_explore.json ({entries} entries)");
     dr_bench::write_artifact("BENCH_explore.json", &report);
     Ok(())
-}
-
-fn leg_json(l: &Leg, speedup: f64) -> String {
-    format!(
-        "{{\"strategy\": \"{}\", \"threads\": {}, \"wall_s\": {}, \"samples\": {}, \
-         \"samples_per_sec\": {}, \"speedup_vs_serial\": {}, \
-         \"cache_hits\": {}, \"cache_misses\": {}}}",
-        json::escape(l.strategy),
-        l.threads,
-        json::number(l.wall_s),
-        l.samples,
-        json::number(l.samples as f64 / l.wall_s),
-        if speedup.is_nan() {
-            "null".to_string()
-        } else {
-            json::number(speedup)
-        },
-        l.cache_hits,
-        l.cache_misses
-    )
 }

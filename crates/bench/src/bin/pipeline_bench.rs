@@ -1,108 +1,28 @@
 //! End-to-end pipeline benchmark: runs the full explore→label→
 //! featurize→train pipeline on the SpMV scenario once per search
 //! strategy (exhaustive, MCTS, random), reports per-phase wall-clock
-//! times and exploration throughput, and writes the measurements to
-//! `BENCH_pipeline.json` (also into `DR_ARTIFACTS` when set).
+//! times and exploration throughput, and appends the measurements to
+//! the `BENCH_pipeline.json` history (also written as a single-run
+//! artifact into `DR_ARTIFACTS` when set).
 //!
 //! `DR_SCALE=small` runs on the scaled-down instance; `DR_SEED`
-//! overrides the master seed; `DR_THREADS` sets the exploration worker
-//! count for every leg (default 1). Phase times come from the same
-//! instrumented pipeline the `dr-rules` driver uses, so the JSON is
-//! directly comparable to run-report and ledger phase entries.
-
-use dr_core::{run_pipeline_instrumented, InstrumentedRun, PipelineConfig, Strategy};
-use dr_mcts::MctsConfig;
-use dr_obs::json;
-use dr_spmv::SpmvScenario;
-
-const MCTS_BUDGET: usize = 400;
-
-fn run_leg(sc: &SpmvScenario, strategy: Strategy) -> Result<InstrumentedRun, dr_sim::SimError> {
-    // The quick measurement protocol: this benchmark times the pipeline
-    // machinery per phase, not the simulated measurements themselves.
-    run_pipeline_instrumented(
-        &sc.space,
-        &sc.workload,
-        &sc.platform,
-        strategy,
-        &PipelineConfig::quick(),
-    )
-}
-
-fn leg_json(run: &InstrumentedRun, strategy: &str) -> String {
-    let explore_s = run.report.phases.get("explore").unwrap_or(0.0);
-    let records = run.result.records.len();
-    let throughput = if explore_s > 0.0 {
-        records as f64 / explore_s
-    } else {
-        0.0
-    };
-    format!(
-        "{{\"strategy\": \"{}\", \"threads\": {}, \"records\": {records}, \
-         \"records_per_sec\": {}, \"total_s\": {}, \"phases\": {}}}",
-        json::escape(strategy),
-        run.threads,
-        json::number(throughput),
-        json::number(run.report.phases.total()),
-        run.report.phases.to_json()
-    )
-}
+//! overrides the master seed. The measurement protocol lives in
+//! [`dr_bench::harness::pipeline_report`], shared with the
+//! `dr-rules <scenario> bench` subcommand, so entries appended here and
+//! there are directly comparable.
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let sc = dr_bench::scenario();
-    let seed = dr_bench::seed();
-    println!("== Pipeline phase benchmark ==");
-    println!("space: {} traversals", sc.space.count_traversals());
-
-    let legs = [
-        ("exhaustive", Strategy::Exhaustive),
-        (
-            "mcts",
-            Strategy::Mcts {
-                iterations: MCTS_BUDGET,
-                config: MctsConfig {
-                    seed,
-                    ..Default::default()
-                },
-            },
-        ),
-        (
-            "random",
-            Strategy::Random {
-                iterations: MCTS_BUDGET,
-                seed,
-            },
-        ),
-    ];
-
-    let mut legs_json: Vec<String> = Vec::new();
-    for (name, strategy) in legs {
-        let run = run_leg(&sc, strategy)?;
-        let explore_s = run.report.phases.get("explore").unwrap_or(0.0);
-        println!(
-            "{name:>10}: {} records in {:.3} s explore ({:.1} records/s), total {:.3} s",
-            run.result.records.len(),
-            explore_s,
-            run.result.records.len() as f64 / explore_s.max(f64::MIN_POSITIVE),
-            run.report.phases.total()
-        );
-        print!("{}", run.report.phases.render_text());
-        legs_json.push(leg_json(&run, name));
-    }
-
-    let report = format!(
-        "{{\"scenario\": \"{}\", \"seed\": {seed}, \"mcts_budget\": {MCTS_BUDGET}, \
-         \"space_traversals\": {}, \"legs\": [{}]}}",
-        json::escape(match std::env::var("DR_SCALE").as_deref() {
-            Ok("small") => "small",
-            _ => "paper",
-        }),
-        sc.space.count_traversals(),
-        legs_json.join(", ")
-    );
-    json::validate(&report)?;
-    std::fs::write("BENCH_pipeline.json", &report)?;
-    println!("wrote BENCH_pipeline.json");
+    let report = dr_bench::harness::pipeline_report(
+        dr_bench::scale(),
+        dr_bench::seed(),
+        &mut std::io::stdout(),
+    )?;
+    let entries = dr_bench::append_history(
+        std::path::Path::new("BENCH_pipeline.json"),
+        "pipeline",
+        &report,
+    )?;
+    println!("appended to BENCH_pipeline.json ({entries} entries)");
     dr_bench::write_artifact("BENCH_pipeline.json", &report);
     Ok(())
 }

@@ -14,6 +14,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod harness;
+
 use dr_core::{explore, PipelineConfig, Strategy};
 use dr_mcts::{ExploredRecord, SimEvaluator};
 use dr_sim::BenchConfig;
@@ -30,13 +32,19 @@ pub fn seed() -> u64 {
         .unwrap_or(DEFAULT_SEED)
 }
 
+/// The harness scale name from `DR_SCALE`: `"small"` for the fast
+/// variant, `"paper"` (the default) otherwise.
+pub fn scale() -> &'static str {
+    match std::env::var("DR_SCALE").as_deref() {
+        Ok("small") => "small",
+        _ => "paper",
+    }
+}
+
 /// Builds the demonstration scenario: paper scale by default,
 /// `DR_SCALE=small` for the fast variant.
 pub fn scenario() -> SpmvScenario {
-    match std::env::var("DR_SCALE").as_deref() {
-        Ok("small") => SpmvScenario::small(seed()),
-        _ => SpmvScenario::paper(seed()),
-    }
+    harness::scenario_for(scale(), seed())
 }
 
 /// The measurement protocol used by the harness: the paper's 0.01 s
@@ -75,6 +83,54 @@ pub fn write_artifact(name: &str, contents: &str) -> Option<std::path::PathBuf> 
             None
         }
     }
+}
+
+/// Schema tag of committed benchmark histories (mirrors
+/// `dr_core::BENCH_SCHEMA`; duplicated here so the harness does not
+/// need the comparison layer).
+pub const BENCH_SCHEMA: &str = "dr-bench/v1";
+
+/// Appends one benchmark run (a JSON object) to the history file at
+/// `path`, creating a fresh `{"schema":"dr-bench/v1","kind":…,
+/// "entries":[…]}` history when the file is missing or not a
+/// recognized history. Returns the number of entries after the append.
+///
+/// The append is plain string surgery on the trailing `]}` — the
+/// histories are committed artifacts, so their byte layout is under our
+/// control — and the result is validated before being written.
+pub fn append_history(
+    path: &std::path::Path,
+    kind: &str,
+    entry: &str,
+) -> Result<usize, Box<dyn std::error::Error>> {
+    dr_obs::json::validate(entry)?;
+    let existing = std::fs::read_to_string(path).ok().filter(|text| {
+        dr_obs::json::parse(text)
+            .ok()
+            .and_then(|v| {
+                Some(v.get("schema")?.as_str()? == BENCH_SCHEMA && v.get("kind")?.as_str()? == kind)
+            })
+            .unwrap_or(false)
+    });
+    let updated = match existing {
+        Some(text) => {
+            let trimmed = text.trim_end();
+            let body = trimmed
+                .strip_suffix("]}")
+                .ok_or("history does not end in ]}")?;
+            format!("{body},{entry}]}}")
+        }
+        None => {
+            format!("{{\"schema\":\"{BENCH_SCHEMA}\",\"kind\":\"{kind}\",\"entries\":[{entry}]}}")
+        }
+    };
+    dr_obs::json::validate(&updated)?;
+    let count = dr_obs::json::parse(&updated)?
+        .get("entries")
+        .and_then(|e| e.as_arr().map(|a| a.len()))
+        .unwrap_or(0);
+    std::fs::write(path, &updated)?;
+    Ok(count)
 }
 
 /// Collects the exhaustive record set of the scenario — the canonical
@@ -135,6 +191,25 @@ mod tests {
     #[test]
     fn us_formats() {
         assert_eq!(us(1.5e-4), "150.00 µs");
+    }
+
+    #[test]
+    fn append_history_creates_then_grows_then_resets() {
+        let path = std::env::temp_dir().join(format!("dr-bench-hist-{}.json", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let entry = "{\"scenario\":\"small\",\"legs\":[]}";
+        assert_eq!(append_history(&path, "pipeline", entry).unwrap(), 1);
+        assert_eq!(append_history(&path, "pipeline", entry).unwrap(), 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v = dr_obs::json::parse(&text).unwrap();
+        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some(BENCH_SCHEMA));
+        assert_eq!(v.get("kind").and_then(|k| k.as_str()), Some("pipeline"));
+        assert_eq!(v.get("entries").and_then(|e| e.as_arr()).unwrap().len(), 2);
+        // A different kind (or garbage) starts a fresh history.
+        assert_eq!(append_history(&path, "explore", entry).unwrap(), 1);
+        std::fs::write(&path, "not json").unwrap();
+        assert_eq!(append_history(&path, "pipeline", entry).unwrap(), 1);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -24,6 +24,11 @@ use std::path::Path;
 
 use crate::ledger::{LEDGER_FILE, LEDGER_SCHEMA};
 
+/// Schema tag of committed benchmark histories (`BENCH_pipeline.json`,
+/// `BENCH_explore.json`): one JSON object holding a `kind` and an
+/// `entries` array of benchmark runs, oldest first.
+pub const BENCH_SCHEMA: &str = "dr-bench/v1";
+
 /// Thresholds of the statistical comparison.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompareOptions {
@@ -121,6 +126,179 @@ pub fn load_ledger(path: &Path) -> Result<Vec<Value>, String> {
         ));
     }
     Ok(entries)
+}
+
+/// Whether `path` holds a benchmark history (schema [`BENCH_SCHEMA`])
+/// rather than a ledger. Sniffs the first kilobyte, so it is safe to
+/// call on arbitrary files.
+pub fn is_bench_file(path: &Path) -> bool {
+    std::fs::read_to_string(path)
+        .map(|text| {
+            text.get(..text.len().min(1024))
+                .is_some_and(|head| head.contains(BENCH_SCHEMA))
+        })
+        .unwrap_or(false)
+}
+
+/// Loads a benchmark history file, returning its kind (`pipeline` or
+/// `explore`) and the entries, oldest first.
+pub fn load_bench(path: &Path) -> Result<(String, Vec<Value>), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read bench history {}: {e}", path.display()))?;
+    let v = json::parse(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+    if v.get("schema").and_then(|s| s.as_str()) != Some(BENCH_SCHEMA) {
+        return Err(format!("{}: not a {BENCH_SCHEMA} history", path.display()));
+    }
+    let kind = v
+        .get("kind")
+        .and_then(|k| k.as_str())
+        .unwrap_or("unknown")
+        .to_string();
+    let entries = v
+        .get("entries")
+        .and_then(|e| e.as_arr())
+        .map(|a| a.to_vec())
+        .unwrap_or_default();
+    if entries.is_empty() {
+        return Err(format!("{}: history has no entries", path.display()));
+    }
+    Ok((kind, entries))
+}
+
+/// Flattens one benchmark entry into named scalar series points. For
+/// `pipeline` histories every leg contributes its total and per-phase
+/// seconds (`mcts/explore`, …); for `explore` histories every leg
+/// contributes its wall time (`exhaustive@4t`, …).
+fn bench_series(kind: &str, entry: &Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let legs = entry.get("legs").and_then(|l| l.as_arr());
+    for leg in legs.into_iter().flatten() {
+        let strategy = leg
+            .get("strategy")
+            .and_then(|s| s.as_str())
+            .unwrap_or("unknown");
+        match kind {
+            "pipeline" => {
+                if let Some(total) = leg.get("total_s").and_then(|t| t.as_f64()) {
+                    out.push((format!("{strategy}/total"), total));
+                }
+                if let Some(Value::Obj(phases)) = leg.get("phases") {
+                    for (name, v) in phases {
+                        if let Some(s) = v.as_f64() {
+                            out.push((format!("{strategy}/{name}"), s));
+                        }
+                    }
+                }
+            }
+            _ => {
+                let threads = leg.get("threads").and_then(|t| t.as_u64()).unwrap_or(0);
+                if let Some(wall) = leg.get("wall_s").and_then(|w| w.as_f64()) {
+                    out.push((format!("{strategy}@{threads}t"), wall));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The configuration a benchmark entry ran under; histories are only
+/// statistically comparable within one configuration.
+fn bench_identity(e: &Value) -> (String, u64) {
+    (
+        e.get("scenario")
+            .and_then(|s| s.as_str())
+            .unwrap_or("?")
+            .to_string(),
+        e.get("seed").and_then(|s| s.as_u64()).unwrap_or_default(),
+    )
+}
+
+/// Compares two benchmark histories of one kind; `a` is the committed
+/// baseline, `b` the fresh run (its last entry is the head). Wall-clock
+/// series are compared with the same MAD noise bands as
+/// [`compare_ledgers`] phases; entries whose scenario/seed differ from
+/// the head's are excluded from the statistics.
+pub fn compare_bench(kind: &str, a: &[Value], b: &[Value], opts: &CompareOptions) -> CompareReport {
+    // Bench histories carry no record fingerprints; the flag reports
+    // the structural side as not-applicable-but-clean.
+    let mut report = CompareReport {
+        identical_records: true,
+        ..CompareReport::default()
+    };
+    let (Some(ha), Some(hb)) = (a.last(), b.last()) else {
+        report.notes.push("one of the histories is empty".into());
+        return report;
+    };
+    let ida = bench_identity(ha);
+    let idb = bench_identity(hb);
+    report.lines.push(format!(
+        "bench {kind}: baseline {} entr{}, candidate {} entr{}",
+        a.len(),
+        if a.len() == 1 { "y" } else { "ies" },
+        b.len(),
+        if b.len() == 1 { "y" } else { "ies" }
+    ));
+    if ida != idb {
+        report.notes.push(format!(
+            "bench configurations differ (a: {ida:?}, b: {idb:?}); comparison skipped"
+        ));
+        return report;
+    }
+    let history = |entries: &[Value]| -> Vec<Vec<(String, f64)>> {
+        entries
+            .iter()
+            .filter(|e| bench_identity(e) == ida)
+            .map(|e| bench_series(kind, e))
+            .collect()
+    };
+    let hist_a = history(a);
+    let hist_b = history(b);
+    let series = |hist: &[Vec<(String, f64)>], name: &str| -> Vec<f64> {
+        hist.iter()
+            .filter_map(|points| points.iter().find(|(n, _)| n == name).map(|(_, s)| *s))
+            .collect()
+    };
+    let names: Vec<String> = bench_series(kind, ha).into_iter().map(|(n, _)| n).collect();
+    for name in &names {
+        let mut sa = series(&hist_a, name);
+        let mut sb = series(&hist_b, name);
+        if sa.is_empty() || sb.is_empty() {
+            report
+                .notes
+                .push(format!("series {name}: missing from one history"));
+            continue;
+        }
+        let med_a = median(&mut sa);
+        let med_b = median(&mut sb);
+        let band = (opts.noise_k * mad(&sa, med_a)).max(opts.abs_floor_s);
+        let delta = med_b - med_a;
+        let regressed = delta > band && med_b > opts.ratio * med_a && med_a >= 0.0;
+        report.lines.push(format!(
+            "{name}: a {:.3} ms, b {:.3} ms, delta {:+.3} ms (band ±{:.3} ms){}",
+            med_a * 1e3,
+            med_b * 1e3,
+            delta * 1e3,
+            band * 1e3,
+            if regressed { " REGRESSED" } else { "" }
+        ));
+        if regressed {
+            report.regressions.push(format!(
+                "{name} slowed {:.3} ms -> {:.3} ms (x{:.1}, band ±{:.3} ms)",
+                med_a * 1e3,
+                med_b * 1e3,
+                med_b / med_a.max(1e-12),
+                band * 1e3
+            ));
+        }
+    }
+    for (name, _) in bench_series(kind, hb) {
+        if !names.contains(&name) {
+            report
+                .notes
+                .push(format!("series {name}: new in candidate history"));
+        }
+    }
+    report
 }
 
 /// The run identity a ledger entry was filed under (used to decide
@@ -469,6 +647,61 @@ mod tests {
         let r = compare_ledgers(&a, &b, &CompareOptions::default());
         assert!(!r.is_regression(), "{:?}", r.regressions);
         assert!(!r.notes.is_empty());
+    }
+
+    fn bench_entry(explore_s: f64) -> Value {
+        let line = format!(
+            concat!(
+                "{{\"scenario\":\"small\",\"seed\":213,\"mcts_budget\":400,",
+                "\"space_traversals\":36,\"legs\":[",
+                "{{\"strategy\":\"mcts\",\"threads\":1,\"records\":36,",
+                "\"records_per_sec\":100.0,\"total_s\":{},",
+                "\"phases\":{{\"explore\":{},\"train\":0.002}}}}]}}"
+            ),
+            explore_s + 0.002,
+            explore_s
+        );
+        json::parse(&line).unwrap()
+    }
+
+    #[test]
+    fn bench_history_within_band_passes() {
+        let a: Vec<Value> = [0.010, 0.012, 0.011]
+            .iter()
+            .map(|s| bench_entry(*s))
+            .collect();
+        let b = vec![bench_entry(0.013)];
+        let r = compare_bench("pipeline", &a, &b, &CompareOptions::default());
+        assert!(!r.is_regression(), "{:?}", r.regressions);
+        assert!(r.lines.iter().any(|l| l.contains("mcts/explore")));
+    }
+
+    #[test]
+    fn bench_blowup_regresses() {
+        let a: Vec<Value> = [0.010, 0.012, 0.011]
+            .iter()
+            .map(|s| bench_entry(*s))
+            .collect();
+        let b = vec![bench_entry(5.0)];
+        let r = compare_bench("pipeline", &a, &b, &CompareOptions::default());
+        assert!(r.is_regression());
+        assert!(r.regressions.iter().any(|m| m.contains("mcts/explore")));
+    }
+
+    #[test]
+    fn bench_config_drift_skips_comparison() {
+        let a = vec![bench_entry(0.010)];
+        let mut line = bench_entry(5.0);
+        if let Value::Obj(members) = &mut line {
+            for (k, v) in members.iter_mut() {
+                if k == "seed" {
+                    *v = Value::Num(999.0);
+                }
+            }
+        }
+        let r = compare_bench("pipeline", &a, &[line], &CompareOptions::default());
+        assert!(!r.is_regression(), "{:?}", r.regressions);
+        assert!(r.notes.iter().any(|n| n.contains("configurations differ")));
     }
 
     #[test]

@@ -13,10 +13,12 @@
 use dr_dag::{eval_seed, DecisionSpace, Traversal};
 use dr_mcts::{
     CachingEvaluator, Evaluator, ExploredRecord, Mcts, MctsConfig, SearchTelemetry, TelemetryRow,
+    TreeStats,
 };
+use dr_obs::events::EventSink;
 use dr_par::{
-    par_map_stream_isolated, par_map_stream_with_traced, split_budget, CacheStats, ItemOutcome,
-    StripedCache,
+    par_map_stream_isolated, par_map_stream_observed, split_budget, CacheStats, ItemOutcome,
+    PoolObserver, StripedCache,
 };
 use dr_sim::{BenchResult, SimError, SimStats};
 use dr_trace::{SpanId, Tracer};
@@ -40,6 +42,48 @@ fn mcts_trace_every() -> usize {
         .and_then(|v| v.trim().parse::<usize>().ok())
         .unwrap_or(16)
         .max(1)
+}
+
+/// Event-stream sampling rate: emit one sampled `mcts-iter` / `eval`
+/// event every N occurrences (`DR_EVENTS_RATE`, default 16, minimum 1).
+/// Sampling bounds the event stream's overhead on long runs the same
+/// way `DR_TRACE_MCTS_RATE` bounds the trace.
+pub fn events_rate() -> usize {
+    std::env::var("DR_EVENTS_RATE")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(16)
+        .max(1)
+}
+
+/// Attaches a sampled event lane to a search when a live sink is
+/// present. The record set is unaffected: evaluation seeds are a pure
+/// function of the traversal.
+fn attach_mcts_events<E: Evaluator>(mcts: &mut Mcts<'_, E>, events: Option<&EventSink>) {
+    if let Some(sink) = events {
+        if sink.is_enabled() {
+            mcts.set_events(sink.clone(), events_rate());
+        }
+    }
+}
+
+/// Forwards pool worker lifecycle callbacks to the event stream as
+/// `worker-start` / `worker-end` events.
+struct SinkPoolObserver {
+    sink: EventSink,
+}
+
+impl PoolObserver for SinkPoolObserver {
+    fn worker_start(&self, worker: usize) {
+        self.sink.emit("worker-start", &[("worker", worker.into())]);
+    }
+
+    fn worker_end(&self, worker: usize, items: usize) {
+        self.sink.emit(
+            "worker-end",
+            &[("worker", worker.into()), ("items", items.into())],
+        );
+    }
 }
 
 /// Attaches a sampled iteration-span lane named `mcts-{worker}` to a
@@ -171,6 +215,15 @@ pub struct ExploreOutput {
     /// Total traversals dropped instead of measured (≥ `failures.len()`;
     /// the difference is MCTS-internal quarantines).
     pub quarantined: u64,
+    /// Final search-tree statistics (`None` for non-MCTS strategies).
+    /// For root-parallel runs the per-worker trees are merged: node,
+    /// rollout and fully-explored counts are summed, depth and time
+    /// bounds take the extremes.
+    pub tree: Option<TreeStats>,
+    /// Whether the run provably covered the whole space: always `true`
+    /// for `Exhaustive`, `true` for MCTS iff (any worker's) tree
+    /// exhausted, always `false` for `Random`.
+    pub exhausted: bool,
 }
 
 /// Parallel [`explore_instrumented`]: evaluates with `threads` workers,
@@ -234,6 +287,29 @@ where
     E: Evaluator + Send,
     F: Fn() -> E + Sync,
 {
+    explore_parallel_watched(space, make_eval, strategy, threads, tracer, dispatch, None)
+}
+
+/// [`explore_parallel_traced`] with a live event stream: sampled
+/// `mcts-iter` events from the searches and `worker-start` /
+/// `worker-end` lifecycle events from the pool paths, all sharing the
+/// sink's monotone sequence. A `None` or disabled sink makes this
+/// identical to [`explore_parallel_traced`]; either way the record set
+/// is bit-identical to the unobserved run.
+#[allow(clippy::too_many_arguments)]
+pub fn explore_parallel_watched<E, F>(
+    space: &DecisionSpace,
+    make_eval: F,
+    strategy: Strategy,
+    threads: usize,
+    tracer: &Tracer,
+    dispatch: Option<SpanId>,
+    events: Option<&EventSink>,
+) -> Result<ExploreOutput, SimError>
+where
+    E: Evaluator + Send,
+    F: Fn() -> E + Sync,
+{
     let threads = threads.max(1);
     if threads == 1 {
         // The serial MCTS path keeps its tree in-process (no shared
@@ -243,7 +319,10 @@ where
         if let Strategy::Mcts { iterations, config } = strategy {
             let mut mcts = Mcts::new(space, make_eval(), config);
             attach_mcts_lane(&mut mcts, tracer, dispatch, 0);
+            attach_mcts_events(&mut mcts, events);
             mcts.run(iterations)?;
+            let tree = mcts.stats();
+            let exhausted = mcts.is_exhausted();
             let (records, telemetry, eval) = mcts.into_parts();
             let sim = eval.sim_stats().cloned();
             return Ok(ExploreOutput {
@@ -254,16 +333,20 @@ where
                 threads: 1,
                 failures: Vec::new(),
                 quarantined: 0,
+                tree: Some(tree),
+                exhausted,
             });
         }
     }
     match strategy {
-        Strategy::Exhaustive => exhaustive_parallel(space, &make_eval, threads, tracer, dispatch),
+        Strategy::Exhaustive => {
+            exhaustive_parallel(space, &make_eval, threads, tracer, dispatch, events)
+        }
         Strategy::Random { iterations, seed } => random_parallel(
-            space, &make_eval, iterations, seed, threads, tracer, dispatch,
+            space, &make_eval, iterations, seed, threads, tracer, dispatch, events,
         ),
         Strategy::Mcts { iterations, config } => mcts_root_parallel(
-            space, &make_eval, iterations, config, threads, tracer, dispatch,
+            space, &make_eval, iterations, config, threads, tracer, dispatch, events,
         ),
     }
 }
@@ -319,6 +402,28 @@ where
     E: Evaluator + Send,
     F: Fn() -> E + Sync,
 {
+    explore_parallel_resilient_watched(space, make_eval, strategy, threads, tracer, dispatch, None)
+}
+
+/// [`explore_parallel_resilient_traced`] with a live event stream (see
+/// [`explore_parallel_watched`]). The isolated pool paths emit no
+/// worker events of their own — their observability lives at the
+/// evaluator level — while the MCTS paths emit sampled `mcts-iter` and
+/// (root-parallel) `worker-start`/`worker-end` events.
+#[allow(clippy::too_many_arguments)]
+pub fn explore_parallel_resilient_watched<E, F>(
+    space: &DecisionSpace,
+    make_eval: F,
+    strategy: Strategy,
+    threads: usize,
+    tracer: &Tracer,
+    dispatch: Option<SpanId>,
+    events: Option<&EventSink>,
+) -> Result<ExploreOutput, SimError>
+where
+    E: Evaluator + Send,
+    F: Fn() -> E + Sync,
+{
     let threads = threads.max(1);
     match strategy {
         Strategy::Exhaustive => {
@@ -329,7 +434,7 @@ where
                 |_worker| make_eval(),
                 |eval, _i, t: &Traversal| eval.evaluate(t, eval_seed(EXHAUSTIVE_MASTER_SEED, t)),
             );
-            Ok(resilient_output(traversals, out, threads))
+            Ok(resilient_output(traversals, out, threads, true))
         }
         Strategy::Random { iterations, seed } => {
             let mut uniques: Vec<Traversal> = Vec::new();
@@ -353,14 +458,17 @@ where
                 |_worker| make_eval(),
                 |eval, _i, t: &Traversal| eval.evaluate(t, eval_seed(seed, t)),
             );
-            Ok(resilient_output(uniques, out, threads))
+            Ok(resilient_output(uniques, out, threads, false))
         }
         Strategy::Mcts { iterations, config } => {
             if threads == 1 {
                 let mut mcts = Mcts::new(space, make_eval(), config);
                 attach_mcts_lane(&mut mcts, tracer, dispatch, 0);
+                attach_mcts_events(&mut mcts, events);
                 mcts.run(iterations)?;
                 let quarantined = mcts.failures() as u64;
+                let tree = mcts.stats();
+                let exhausted = mcts.is_exhausted();
                 let (records, telemetry, eval) = mcts.into_parts();
                 let sim = eval.sim_stats().cloned();
                 Ok(ExploreOutput {
@@ -371,10 +479,12 @@ where
                     threads: 1,
                     failures: Vec::new(),
                     quarantined,
+                    tree: Some(tree),
+                    exhausted,
                 })
             } else {
                 mcts_root_parallel(
-                    space, &make_eval, iterations, config, threads, tracer, dispatch,
+                    space, &make_eval, iterations, config, threads, tracer, dispatch, events,
                 )
             }
         }
@@ -388,6 +498,7 @@ fn resilient_output<E: Evaluator>(
     traversals: Vec<Traversal>,
     out: dr_par::PoolOutcome<BenchResult, E, SimError>,
     threads: usize,
+    exhausted: bool,
 ) -> ExploreOutput {
     let sim = merge_worker_stats(&out.states);
     let mut pairs: Vec<(Traversal, BenchResult)> = Vec::new();
@@ -411,6 +522,8 @@ fn resilient_output<E: Evaluator>(
         threads,
         failures,
         quarantined,
+        tree: None,
+        exhausted,
     }
 }
 
@@ -458,12 +571,21 @@ fn merge_worker_stats<E: Evaluator>(states: &[E]) -> Option<SimStats> {
     total
 }
 
+/// Builds a pool observer from a live sink (`None` when there is no
+/// sink or it is disabled, so the pool takes its unobserved path).
+fn pool_observer(events: Option<&EventSink>) -> Option<SinkPoolObserver> {
+    events
+        .filter(|s| s.is_enabled())
+        .map(|s| SinkPoolObserver { sink: s.clone() })
+}
+
 fn exhaustive_parallel<E, F>(
     space: &DecisionSpace,
     make_eval: &F,
     threads: usize,
     tracer: &Tracer,
     dispatch: Option<SpanId>,
+    events: Option<&EventSink>,
 ) -> Result<ExploreOutput, SimError>
 where
     E: Evaluator + Send,
@@ -472,11 +594,13 @@ where
     // The lazy enumeration is the shared work queue; each worker owns an
     // evaluator. Seeds depend only on the traversal, and the pool
     // restores input order, so output matches the serial path exactly.
-    let (pairs, states) = par_map_stream_with_traced(
+    let observer = pool_observer(events);
+    let (pairs, states) = par_map_stream_observed(
         space.enumerate(),
         threads,
         tracer,
         dispatch,
+        observer.as_ref().map(|o| o as &dyn PoolObserver),
         |_worker| make_eval(),
         |eval, _i, t: Traversal| {
             let result = eval.evaluate(&t, eval_seed(EXHAUSTIVE_MASTER_SEED, &t))?;
@@ -493,9 +617,12 @@ where
         threads,
         failures: Vec::new(),
         quarantined: 0,
+        tree: None,
+        exhausted: true,
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn random_parallel<E, F>(
     space: &DecisionSpace,
     make_eval: &F,
@@ -504,6 +631,7 @@ fn random_parallel<E, F>(
     threads: usize,
     tracer: &Tracer,
     dispatch: Option<SpanId>,
+    events: Option<&EventSink>,
 ) -> Result<ExploreOutput, SimError>
 where
     E: Evaluator + Send,
@@ -538,11 +666,13 @@ where
             }
         }
     }
-    let (pairs, states) = par_map_stream_with_traced(
+    let observer = pool_observer(events);
+    let (pairs, states) = par_map_stream_observed(
         uniques.into_iter(),
         threads,
         tracer,
         dispatch,
+        observer.as_ref().map(|o| o as &dyn PoolObserver),
         |_worker| make_eval(),
         |eval, _i, t: Traversal| {
             let result = eval.evaluate(&t, eval_seed(seed, &t))?;
@@ -583,6 +713,8 @@ where
         threads,
         failures: Vec::new(),
         quarantined: 0,
+        tree: None,
+        exhausted: false,
     })
 }
 
@@ -613,6 +745,8 @@ type WorkerOutcome = Result<
         SearchTelemetry,
         Option<SimStats>,
         usize,
+        TreeStats,
+        bool,
     ),
     SimError,
 >;
@@ -626,6 +760,7 @@ fn mcts_root_parallel<E, F>(
     threads: usize,
     tracer: &Tracer,
     dispatch: Option<SpanId>,
+    events: Option<&EventSink>,
 ) -> Result<ExploreOutput, SimError>
 where
     E: Evaluator + Send,
@@ -645,6 +780,12 @@ where
                     // structured error instead of aborting the process.
                     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                         || -> WorkerOutcome {
+                            if let Some(sink) = events {
+                                sink.emit(
+                                    "worker-start",
+                                    &[("worker", worker.into()), ("budget", budget.into())],
+                                );
+                            }
                             let worker_cfg = MctsConfig {
                                 seed: config.seed ^ (worker as u64).wrapping_mul(WORKER_SEED_MIX),
                                 ..config
@@ -658,11 +799,20 @@ where
                             );
                             let mut mcts = Mcts::new(space, eval, worker_cfg);
                             attach_mcts_lane(&mut mcts, tracer, dispatch, worker);
+                            attach_mcts_events(&mut mcts, events);
                             mcts.run(budget)?;
                             let failures = mcts.failures();
+                            let tree = mcts.stats();
+                            let exhausted = mcts.is_exhausted();
                             let (records, telemetry, eval) = mcts.into_parts();
                             let sim = eval.sim_stats().cloned();
-                            Ok((records, telemetry, sim, failures))
+                            if let Some(sink) = events {
+                                sink.emit(
+                                    "worker-end",
+                                    &[("worker", worker.into()), ("items", records.len().into())],
+                                );
+                            }
+                            Ok((records, telemetry, sim, failures, tree, exhausted))
                         },
                     ));
                     run.unwrap_or_else(|payload| {
@@ -713,9 +863,25 @@ where
         }
     };
     let mut quarantined = 0u64;
+    let mut tree = TreeStats {
+        nodes: 0,
+        max_depth: 0,
+        fully_explored: 0,
+        rollouts: 0,
+        t_min: f64::INFINITY,
+        t_max: f64::NEG_INFINITY,
+    };
+    let mut exhausted = false;
     for outcome in outcomes {
-        let (wrecords, wtelemetry, wsim, wfailures) = outcome?;
+        let (wrecords, wtelemetry, wsim, wfailures, wtree, wexhausted) = outcome?;
         quarantined += wfailures as u64;
+        tree.nodes += wtree.nodes;
+        tree.max_depth = tree.max_depth.max(wtree.max_depth);
+        tree.fully_explored += wtree.fully_explored;
+        tree.rollouts += wtree.rollouts;
+        tree.t_min = tree.t_min.min(wtree.t_min);
+        tree.t_max = tree.t_max.max(wtree.t_max);
+        exhausted |= wexhausted;
         let mut recs = wrecords.into_iter();
         let mut local_count = 0usize;
         for row in wtelemetry.rows() {
@@ -752,6 +918,8 @@ where
         threads,
         failures: Vec::new(),
         quarantined,
+        tree: Some(tree),
+        exhausted,
     })
 }
 

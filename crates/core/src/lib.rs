@@ -38,12 +38,17 @@ mod report;
 mod resilient;
 mod synthesize;
 mod tracestage;
+mod watch;
 
-pub use compare::{compare_ledgers, load_ledger, CompareOptions, CompareReport};
+pub use compare::{
+    compare_bench, compare_ledgers, is_bench_file, load_bench, load_ledger, CompareOptions,
+    CompareReport, BENCH_SCHEMA,
+};
 pub use evaluate::{labeling_accuracy, AccuracyReport};
 pub use explore::{
-    explore, explore_instrumented, explore_parallel, explore_parallel_resilient,
-    explore_parallel_resilient_traced, explore_parallel_traced, ExploreOutput, Strategy,
+    events_rate, explore, explore_instrumented, explore_parallel, explore_parallel_resilient,
+    explore_parallel_resilient_traced, explore_parallel_resilient_watched, explore_parallel_traced,
+    explore_parallel_watched, ExploreOutput, Strategy,
 };
 pub use ledger::{
     append_entry, ledger_dir_from_env, ledger_entry_json, records_fingerprint, LedgerContext,
@@ -55,7 +60,7 @@ pub use lintstage::{
 pub use multi_input::{mine_rules_multi, InputFeature, InputRun, MultiInputResult};
 pub use pipeline::{
     mine_rules, mine_rules_timed, run_pipeline, run_pipeline_instrumented, run_pipeline_traced,
-    InstrumentedRun, PipelineConfig, PipelineResult,
+    run_pipeline_watched, InstrumentedRun, PipelineConfig, PipelineResult,
 };
 pub use report::{
     LintSummary, MiningSummary, Provenance, ResilienceSummary, RunReport, SearchSummary,
@@ -65,3 +70,4 @@ pub use resilient::{
 };
 pub use synthesize::{satisfies, synthesize};
 pub use tracestage::TracingEvaluator;
+pub use watch::{EvalWatch, WatchedEvaluator};

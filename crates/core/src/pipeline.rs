@@ -1,11 +1,14 @@
 //! The end-to-end design-rule pipeline (paper Fig. 2): explore → label →
 //! featurize → train → extract rules.
 
-use crate::explore::{explore_parallel_resilient_traced, explore_parallel_traced, Strategy};
+use crate::explore::{
+    events_rate, explore_parallel_resilient_watched, explore_parallel_watched, Strategy,
+};
 use crate::lintstage::{topology_from_workload, LintTotals, LintingEvaluator};
 use crate::report::{RunReport, SearchSummary};
 use crate::resilient::{ResilienceTotals, ResilientEvaluator};
 use crate::tracestage::TracingEvaluator;
+use crate::watch::{EvalWatch, WatchedEvaluator};
 use dr_dag::{DecisionSpace, Traversal};
 use dr_fault::FaultConfig;
 use dr_mcts::{ExploredRecord, SearchTelemetry, SimEvaluator};
@@ -13,6 +16,7 @@ use dr_ml::{
     algorithm1, extract_rulesets, featurize, label_times, FeatureSet, HyperSearch, Labeling,
     LabelingConfig, RuleSet, TrainConfig,
 };
+use dr_obs::events::{EventSink, Field};
 use dr_obs::{Phases, Stopwatch};
 use dr_par::{resolve_threads, CacheStats};
 use dr_sim::{BenchConfig, Platform, SimError, Workload};
@@ -155,10 +159,80 @@ pub fn run_pipeline_traced<W: Workload + Sync>(
     cfg: &PipelineConfig,
     tracer: &Tracer,
 ) -> Result<InstrumentedRun, SimError> {
+    run_pipeline_watched(space, workload, platform, strategy, cfg, tracer, None)
+}
+
+/// Emits an event when a live sink is present (the pipeline's phase and
+/// run lifecycle events all go through here).
+fn emit(events: Option<&EventSink>, kind: &str, fields: &[(&str, Field)]) {
+    if let Some(sink) = events {
+        sink.emit(kind, fields);
+    }
+}
+
+/// [`run_pipeline_traced`] with a structured event stream (schema
+/// `dr-events/v1`): `run-start`/`run-end` bracket the run,
+/// `phase-start`/`phase-end` bracket each pipeline phase (the explore
+/// end event carries record, cache, and quarantine counters), workers
+/// emit lifecycle events, MCTS iterations and evaluations are sampled
+/// (`DR_EVENTS_RATE`, default 16). The report's provenance run id is
+/// taken from the sink so the event stream, report, and ledger entry
+/// all name the same run. A `None` or disabled sink makes this exactly
+/// [`run_pipeline_traced`]; either way the mined result is bit-identical
+/// to the unobserved run.
+pub fn run_pipeline_watched<W: Workload + Sync>(
+    space: &DecisionSpace,
+    workload: &W,
+    platform: &Platform,
+    strategy: Strategy,
+    cfg: &PipelineConfig,
+    tracer: &Tracer,
+    events: Option<&EventSink>,
+) -> Result<InstrumentedRun, SimError> {
+    let events = events.filter(|s| s.is_enabled());
     let mut main = tracer.lane("pipeline");
     main.enter("pipeline");
     main.annotate("strategy", strategy.name());
-    let out = run_pipeline_spanned(space, workload, platform, strategy, cfg, tracer, &mut main);
+    let sw = Stopwatch::start();
+    emit(
+        events,
+        "run-start",
+        &[
+            ("strategy", strategy.name().into()),
+            (
+                "space",
+                (space.count_traversals().min(u64::MAX as u128) as u64).into(),
+            ),
+        ],
+    );
+    let out = run_pipeline_spanned(
+        space, workload, platform, strategy, cfg, tracer, &mut main, events,
+    );
+    match &out {
+        Ok(run) => emit(
+            events,
+            "run-end",
+            &[
+                ("seconds", sw.elapsed().into()),
+                ("records", run.result.records.len().into()),
+                ("rulesets", run.result.rulesets.len().into()),
+                ("classes", run.result.labeling.num_classes.into()),
+                ("ok", true.into()),
+            ],
+        ),
+        Err(e) => emit(
+            events,
+            "run-end",
+            &[
+                ("seconds", sw.elapsed().into()),
+                ("error", e.to_string().into()),
+                ("ok", false.into()),
+            ],
+        ),
+    }
+    if let Some(sink) = events {
+        sink.flush();
+    }
     match &out {
         Ok(run) => {
             main.annotate("records", run.result.records.len());
@@ -180,7 +254,9 @@ pub fn run_pipeline_traced<W: Workload + Sync>(
     out
 }
 
-/// The traced pipeline's body; `main` carries the open root span.
+/// The traced pipeline's body; `main` carries the open root span and
+/// `events` the (already enabled-filtered) event sink, if any.
+#[allow(clippy::too_many_arguments)]
 fn run_pipeline_spanned<W: Workload + Sync>(
     space: &DecisionSpace,
     workload: &W,
@@ -189,6 +265,7 @@ fn run_pipeline_spanned<W: Workload + Sync>(
     cfg: &PipelineConfig,
     tracer: &Tracer,
     main: &mut Lane,
+    events: Option<&EventSink>,
 ) -> Result<InstrumentedRun, SimError> {
     let mut phases = Phases::new();
     let threads = resolve_threads((cfg.threads > 0).then_some(cfg.threads));
@@ -231,21 +308,57 @@ fn run_pipeline_spanned<W: Workload + Sync>(
     main.annotate("faults_active", faults.is_active());
     main.enter("explore");
     let dispatch = main.current();
+    emit(
+        events,
+        "phase-start",
+        &[("phase", "explore".into()), ("threads", threads.into())],
+    );
     // Each worker's evaluator stack gets its own `eval-{n}` lane; the
     // wrapper is the stack's outermost layer so its span covers cache
-    // lookups, lint, fault retries, and the simulator run.
+    // lookups, lint, fault retries, and the simulator run. The event
+    // watch wraps even that, so its wall time covers the whole stack.
     let eval_ix = AtomicUsize::new(0);
     let eval_lane = || {
         let n = eval_ix.fetch_add(1, Ordering::Relaxed);
         tracer.lane(&format!("eval-{n}"))
     };
+    let watch = events.map(|s| EvalWatch::new(s.clone(), events_rate()));
     let sw = Stopwatch::start();
     let explored = match (&resilience, &lint_ctx) {
-        (Some(totals), Some((lint, topo))) => explore_parallel_resilient_traced(
+        (Some(totals), Some((lint, topo))) => explore_parallel_resilient_watched(
             space,
             || {
-                TracingEvaluator::new(
-                    LintingEvaluator::new(
+                WatchedEvaluator::new(
+                    TracingEvaluator::new(
+                        LintingEvaluator::new(
+                            ResilientEvaluator::new(
+                                space,
+                                workload,
+                                platform,
+                                cfg.bench,
+                                faults,
+                                totals.clone(),
+                            ),
+                            space,
+                            topo,
+                            lint.clone(),
+                        ),
+                        eval_lane(),
+                    ),
+                    watch.clone(),
+                )
+            },
+            strategy,
+            threads,
+            tracer,
+            dispatch,
+            events,
+        ),
+        (Some(totals), None) => explore_parallel_resilient_watched(
+            space,
+            || {
+                WatchedEvaluator::new(
+                    TracingEvaluator::new(
                         ResilientEvaluator::new(
                             space,
                             workload,
@@ -254,68 +367,55 @@ fn run_pipeline_spanned<W: Workload + Sync>(
                             faults,
                             totals.clone(),
                         ),
-                        space,
-                        topo,
-                        lint.clone(),
+                        eval_lane(),
                     ),
-                    eval_lane(),
+                    watch.clone(),
                 )
             },
             strategy,
             threads,
             tracer,
             dispatch,
+            events,
         ),
-        (Some(totals), None) => explore_parallel_resilient_traced(
+        (None, Some((lint, topo))) => explore_parallel_watched(
             space,
             || {
-                TracingEvaluator::new(
-                    ResilientEvaluator::new(
-                        space,
-                        workload,
-                        platform,
-                        cfg.bench,
-                        faults,
-                        totals.clone(),
+                WatchedEvaluator::new(
+                    TracingEvaluator::new(
+                        LintingEvaluator::new(
+                            SimEvaluator::new(space, workload, platform, cfg.bench),
+                            space,
+                            topo,
+                            lint.clone(),
+                        ),
+                        eval_lane(),
                     ),
-                    eval_lane(),
+                    watch.clone(),
                 )
             },
             strategy,
             threads,
             tracer,
             dispatch,
+            events,
         ),
-        (None, Some((lint, topo))) => explore_parallel_traced(
+        (None, None) => explore_parallel_watched(
             space,
             || {
-                TracingEvaluator::new(
-                    LintingEvaluator::new(
+                WatchedEvaluator::new(
+                    TracingEvaluator::new(
                         SimEvaluator::new(space, workload, platform, cfg.bench),
-                        space,
-                        topo,
-                        lint.clone(),
+                        eval_lane(),
                     ),
-                    eval_lane(),
+                    watch.clone(),
                 )
             },
             strategy,
             threads,
             tracer,
             dispatch,
-        ),
-        (None, None) => explore_parallel_traced(
-            space,
-            || {
-                TracingEvaluator::new(
-                    SimEvaluator::new(space, workload, platform, cfg.bench),
-                    eval_lane(),
-                )
-            },
-            strategy,
-            threads,
-            tracer,
-            dispatch,
+            events,
         ),
     };
     let explored = match explored {
@@ -332,6 +432,26 @@ fn run_pipeline_spanned<W: Workload + Sync>(
         }
     };
     phases.add("explore", sw.elapsed());
+    emit(
+        events,
+        "phase-end",
+        &[
+            ("phase", "explore".into()),
+            ("seconds", sw.elapsed().into()),
+            ("records", explored.records.len().into()),
+            ("cache_hits", explored.cache.hits.into()),
+            ("cache_misses", explored.cache.misses.into()),
+            ("quarantined", explored.quarantined.into()),
+            (
+                "retries",
+                resilience
+                    .as_ref()
+                    .map_or(0, |t| t.summary().retries)
+                    .into(),
+            ),
+            ("evals", watch.as_ref().map_or(0, |w| w.count()).into()),
+        ],
+    );
     if let Some((totals, _)) = &lint_ctx {
         phases.add("lint", totals.seconds());
     }
@@ -357,9 +477,22 @@ fn run_pipeline_spanned<W: Workload + Sync>(
         },
         _ => *cfg,
     };
-    let result = mine_rules_spanned(space, explored.records, &mine_cfg, &mut phases, main);
-    let search = SearchSummary::from_telemetry(strategy.name(), &explored.telemetry);
+    let result = mine_rules_watched(
+        space,
+        explored.records,
+        &mine_cfg,
+        &mut phases,
+        main,
+        events,
+    );
+    let search = SearchSummary::from_telemetry(strategy.name(), &explored.telemetry)
+        .with_tree(explored.tree, explored.exhausted);
     let mut report = RunReport::new(phases, explored.sim, search, &result);
+    // The event stream, report, and ledger entry must all name the same
+    // run.
+    if let Some(sink) = events {
+        report.provenance.run_id = sink.run_id().to_string();
+    }
     report.lint = lint_ctx.map(|(totals, _)| totals.summary());
     report.resilience = resilience.map(|totals| totals.summary());
     Ok(InstrumentedRun {
@@ -390,30 +523,48 @@ pub fn mine_rules_timed(
     phases: &mut Phases,
 ) -> PipelineResult {
     let tracer = Tracer::disabled();
-    mine_rules_spanned(space, records, cfg, phases, &mut tracer.lane("mine"))
+    mine_rules_watched(space, records, cfg, phases, &mut tracer.lane("mine"), None)
 }
 
 /// [`mine_rules_timed`] with one span per mining stage on `lane`
-/// (annotated with each stage's headline outcome).
-fn mine_rules_spanned(
+/// (annotated with each stage's headline outcome) and
+/// `phase-start`/`phase-end` events on `events`.
+fn mine_rules_watched(
     space: &DecisionSpace,
     records: Vec<ExploredRecord>,
     cfg: &PipelineConfig,
     phases: &mut Phases,
     lane: &mut Lane,
+    events: Option<&EventSink>,
 ) -> PipelineResult {
     assert!(!records.is_empty(), "cannot mine rules from zero records");
+    let phase_end = |phases: &Phases, name: &str, out: Field| {
+        emit(
+            events,
+            "phase-end",
+            &[
+                ("phase", name.into()),
+                ("seconds", phases.get(name).unwrap_or(0.0).into()),
+                ("out", out),
+            ],
+        );
+    };
     let times: Vec<f64> = records.iter().map(|r| r.result.time()).collect();
     lane.enter("label");
+    emit(events, "phase-start", &[("phase", "label".into())]);
     let labeling = phases.time("label", || label_times(&times, &cfg.labeling));
     lane.annotate("classes", labeling.num_classes);
     lane.exit();
+    phase_end(phases, "label", labeling.num_classes.into());
     let traversals: Vec<&Traversal> = records.iter().map(|r| &r.traversal).collect();
     lane.enter("featurize");
+    emit(events, "phase-start", &[("phase", "featurize".into())]);
     let features = phases.time("featurize", || featurize(space, &traversals));
     lane.annotate("features", features.features.len());
     lane.exit();
+    phase_end(phases, "featurize", features.features.len().into());
     lane.enter("train");
+    emit(events, "phase-start", &[("phase", "train".into())]);
     let search = phases.time("train", || {
         algorithm1(
             &features.matrix,
@@ -424,10 +575,13 @@ fn mine_rules_spanned(
     });
     lane.annotate("tree_error", dr_obs::json::number(search.error));
     lane.exit();
+    phase_end(phases, "train", search.error.into());
     lane.enter("rules");
+    emit(events, "phase-start", &[("phase", "rules".into())]);
     let rulesets = phases.time("rules", || extract_rulesets(&search.tree, &features));
     lane.annotate("rulesets", rulesets.len());
     lane.exit();
+    phase_end(phases, "rules", rulesets.len().into());
     PipelineResult {
         records,
         labeling,
@@ -758,6 +912,75 @@ mod tests {
             "sampled MCTS iteration spans present"
         );
         assert!(snap.lanes.iter().any(|l| l.starts_with("mcts-")));
+    }
+
+    #[test]
+    fn watched_pipeline_matches_plain_and_streams_events() {
+        let (space, w, platform) = setup();
+        let strategy = Strategy::Mcts {
+            iterations: 100,
+            config: dr_mcts::MctsConfig::default(),
+        };
+        let cfg = PipelineConfig {
+            threads: 2,
+            ..PipelineConfig::quick()
+        };
+        let buf = dr_obs::SharedBuf::new();
+        let sink = EventSink::new("run-test").with_writer(Box::new(buf.clone()));
+        let tracer = Tracer::disabled();
+        let watched =
+            run_pipeline_watched(&space, &w, &platform, strategy, &cfg, &tracer, Some(&sink))
+                .unwrap();
+        let plain = run_pipeline_instrumented(&space, &w, &platform, strategy, &cfg).unwrap();
+        // Observation never perturbs the record set.
+        let set = |r: &[ExploredRecord]| {
+            r.iter()
+                .map(|x| (x.traversal.clone(), x.result.time().to_bits()))
+                .collect::<std::collections::HashSet<_>>()
+        };
+        assert_eq!(set(&watched.result.records), set(&plain.result.records));
+        // The report names the same run as the event stream.
+        assert_eq!(watched.report.provenance.run_id, "run-test");
+        // Every line parses, sequence numbers are a gapless permutation
+        // (worker threads may commit lines slightly out of order), and
+        // all lifecycle kinds appear.
+        let text = buf.contents();
+        let mut seqs = Vec::new();
+        let mut kinds = std::collections::HashSet::new();
+        for line in text.lines() {
+            let v = dr_obs::json::parse(line).unwrap();
+            assert_eq!(
+                v.path(&["schema"]).and_then(|s| s.as_str()),
+                Some(dr_obs::EVENTS_SCHEMA)
+            );
+            assert_eq!(v.path(&["run"]).and_then(|s| s.as_str()), Some("run-test"));
+            seqs.push(v.path(&["seq"]).and_then(|s| s.as_u64()).unwrap());
+            kinds.insert(
+                v.path(&["kind"])
+                    .and_then(|k| k.as_str())
+                    .unwrap()
+                    .to_string(),
+            );
+        }
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..seqs.len() as u64).collect::<Vec<_>>());
+        for k in [
+            "run-start",
+            "phase-start",
+            "phase-end",
+            "mcts-iter",
+            "eval",
+            "worker-start",
+            "worker-end",
+            "run-end",
+        ] {
+            assert!(kinds.contains(k), "missing event kind {k}: {kinds:?}");
+        }
+        // The engine's merged tree statistics are surfaced.
+        let tree = watched.report.search.tree.expect("tree stats present");
+        assert!(tree.nodes > 0 && tree.rollouts > 0);
+        assert!(watched.report.search.exhausted, "budget exhausts the space");
+        assert!(watched.report.to_json().contains("\"exhausted\":true"));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! tooling.
 
 use crate::pipeline::PipelineResult;
-use dr_mcts::SearchTelemetry;
+use dr_mcts::{SearchTelemetry, TreeStats};
 use dr_obs::{json, Phases};
 use dr_sim::SimStats;
 use std::sync::OnceLock;
@@ -99,10 +99,20 @@ pub struct SearchSummary {
     pub tree_nodes: usize,
     /// Deepest materialized tree node.
     pub max_depth: usize,
+    /// Final tree statistics straight from the search engine, merged
+    /// across root-parallel workers (`None` for tree-less strategies).
+    /// Unlike `tree_nodes`/`max_depth` — which come from the last
+    /// telemetry row and are worker-local on parallel runs — these
+    /// cover every worker's tree.
+    pub tree: Option<TreeStats>,
+    /// Whether the run provably covered the whole design space.
+    pub exhausted: bool,
 }
 
 impl SearchSummary {
-    /// Condenses a telemetry history into its final state.
+    /// Condenses a telemetry history into its final state. Callers that
+    /// have the engine's final [`TreeStats`] should attach them via
+    /// [`SearchSummary::with_tree`].
     pub fn from_telemetry(strategy: &str, telemetry: &SearchTelemetry) -> Self {
         let last = telemetry.last();
         SearchSummary {
@@ -113,14 +123,44 @@ impl SearchSummary {
             worst_time: last.map_or(f64::NAN, |r| r.worst_time),
             tree_nodes: last.map_or(0, |r| r.tree_nodes),
             max_depth: last.map_or(0, |r| r.max_depth),
+            tree: None,
+            exhausted: false,
         }
     }
 
+    /// Attaches the engine's final tree statistics and exhaustion
+    /// verdict; when present, the merged counts supersede the
+    /// worker-local `tree_nodes`/`max_depth` telemetry values.
+    pub fn with_tree(mut self, tree: Option<TreeStats>, exhausted: bool) -> Self {
+        if let Some(t) = &tree {
+            self.tree_nodes = t.nodes;
+            self.max_depth = t.max_depth;
+        }
+        self.tree = tree;
+        self.exhausted = exhausted;
+        self
+    }
+
     pub(crate) fn to_json(&self) -> String {
+        let tree = self.tree.map_or("null".to_string(), |t| {
+            format!(
+                concat!(
+                    "{{\"nodes\":{},\"max_depth\":{},\"fully_explored\":{},",
+                    "\"rollouts\":{},\"t_min\":{},\"t_max\":{}}}"
+                ),
+                t.nodes,
+                t.max_depth,
+                t.fully_explored,
+                t.rollouts,
+                json::number(t.t_min),
+                json::number(t.t_max)
+            )
+        });
         format!(
             concat!(
                 "{{\"strategy\":\"{}\",\"iterations\":{},\"unique_traversals\":{},",
-                "\"best_time\":{},\"worst_time\":{},\"tree_nodes\":{},\"max_depth\":{}}}"
+                "\"best_time\":{},\"worst_time\":{},\"tree_nodes\":{},\"max_depth\":{},",
+                "\"tree\":{},\"exhausted\":{}}}"
             ),
             json::escape(&self.strategy),
             self.iterations,
@@ -128,7 +168,9 @@ impl SearchSummary {
             json::number(self.best_time),
             json::number(self.worst_time),
             self.tree_nodes,
-            self.max_depth
+            self.max_depth,
+            tree,
+            self.exhausted
         )
     }
 }
@@ -296,6 +338,18 @@ impl RunReport {
             self.search.tree_nodes,
             self.search.max_depth
         ));
+        if let Some(t) = &self.search.tree {
+            out.push_str(&format!(
+                "  tree: {} rollouts, {} fully explored nodes, space {}\n",
+                t.rollouts,
+                t.fully_explored,
+                if self.search.exhausted {
+                    "exhausted"
+                } else {
+                    "not exhausted"
+                }
+            ));
+        }
         if let Some(sim) = &self.sim {
             out.push_str(&format!(
                 "simulator: {} runs, {} instructions, {} eager / {} rendezvous msgs, {} bytes\n",

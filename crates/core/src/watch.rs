@@ -1,0 +1,157 @@
+//! Event-stream instrumentation of evaluator stacks.
+//!
+//! [`WatchedEvaluator`] is the event-stream analogue of
+//! `TracingEvaluator`: it wraps any [`Evaluator`] and emits a sampled
+//! `eval` event per measurement, carrying a global evaluation counter
+//! shared across all workers (so `records/sec` style rates can be
+//! derived from any worker's events). Observation never perturbs
+//! results — evaluation seeds are a pure function of the traversal —
+//! and with no live sink the wrapper is a plain pass-through.
+
+use dr_dag::Traversal;
+use dr_mcts::Evaluator;
+use dr_obs::events::{sampled, EventSink};
+use dr_sim::{BenchResult, SimError, SimStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared state of the pipeline's `eval` event lane: the sink, a global
+/// evaluation counter, and the sampling rate. Clone one per worker
+/// evaluator; clones share the counter.
+#[derive(Debug, Clone)]
+pub struct EvalWatch {
+    sink: EventSink,
+    counter: Arc<AtomicU64>,
+    every: usize,
+}
+
+impl EvalWatch {
+    /// Creates a watch emitting to `sink`, sampling one `eval` event
+    /// every `every` evaluations (the first is always emitted).
+    pub fn new(sink: EventSink, every: usize) -> Self {
+        EvalWatch {
+            sink,
+            counter: Arc::new(AtomicU64::new(0)),
+            every: every.max(1),
+        }
+    }
+
+    /// Total evaluations counted so far across all clones.
+    pub fn count(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+}
+
+/// An [`Evaluator`] adapter that emits sampled `eval` events. Place it
+/// outermost in the stack so the measured wall time covers the whole
+/// stack (tracing, linting, resilience retries, and the simulation).
+#[derive(Debug)]
+pub struct WatchedEvaluator<E> {
+    inner: E,
+    watch: Option<EvalWatch>,
+}
+
+impl<E> WatchedEvaluator<E> {
+    /// Wraps `inner`; `None` (or a disabled sink) makes this a
+    /// pass-through with a single branch of overhead per evaluation.
+    pub fn new(inner: E, watch: Option<EvalWatch>) -> Self {
+        let watch = watch.filter(|w| w.sink.is_enabled());
+        WatchedEvaluator { inner, watch }
+    }
+}
+
+impl<E: Evaluator> Evaluator for WatchedEvaluator<E> {
+    fn evaluate(&mut self, t: &Traversal, seed: u64) -> Result<BenchResult, SimError> {
+        let Some(watch) = &self.watch else {
+            return self.inner.evaluate(t, seed);
+        };
+        let n = watch.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let start = Instant::now();
+        let result = self.inner.evaluate(t, seed);
+        if sampled(n as usize, watch.every) {
+            // A failed evaluation reports NaN, which the JSON encoder
+            // renders as null.
+            let time_s = result.as_ref().map(|r| r.time()).unwrap_or(f64::NAN);
+            watch.sink.emit(
+                "eval",
+                &[
+                    ("eval", n.into()),
+                    ("traversal", format!("{:016x}", t.canonical_hash()).into()),
+                    ("time_s", time_s.into()),
+                    ("wall_s", start.elapsed().as_secs_f64().into()),
+                    ("ok", result.is_ok().into()),
+                ],
+            );
+        }
+        result
+    }
+
+    fn sim_stats(&self) -> Option<&SimStats> {
+        self.inner.sim_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dr_obs::SharedBuf;
+    use dr_sim::Percentiles;
+
+    struct Fixed;
+    impl Evaluator for Fixed {
+        fn evaluate(&mut self, _t: &Traversal, _seed: u64) -> Result<BenchResult, SimError> {
+            let t = 1.0;
+            Ok(BenchResult {
+                measurements: vec![t],
+                percentiles: Percentiles {
+                    p01: t,
+                    p10: t,
+                    p50: t,
+                    p90: t,
+                    p99: t,
+                },
+            })
+        }
+        fn sim_stats(&self) -> Option<&SimStats> {
+            None
+        }
+    }
+
+    fn traversal() -> Traversal {
+        Traversal { steps: Vec::new() }
+    }
+
+    #[test]
+    fn pass_through_without_a_watch() {
+        let mut eval = WatchedEvaluator::new(Fixed, None);
+        assert!(eval.evaluate(&traversal(), 0).is_ok());
+    }
+
+    #[test]
+    fn sampled_eval_events_share_one_counter() {
+        let buf = SharedBuf::new();
+        let sink = EventSink::new("run-w").with_writer(Box::new(buf.clone()));
+        let watch = EvalWatch::new(sink, 3);
+        let mut a = WatchedEvaluator::new(Fixed, Some(watch.clone()));
+        let mut b = WatchedEvaluator::new(Fixed, Some(watch.clone()));
+        for _ in 0..4 {
+            a.evaluate(&traversal(), 0).unwrap();
+            b.evaluate(&traversal(), 0).unwrap();
+        }
+        assert_eq!(watch.count(), 8);
+        let text = buf.contents();
+        // Evaluations 1, 3, 6 of the shared count are sampled.
+        let kinds = text
+            .lines()
+            .filter(|l| l.contains("\"kind\":\"eval\""))
+            .count();
+        assert_eq!(kinds, 3, "events:\n{text}");
+        for line in text.lines() {
+            let v = dr_obs::json::parse(line).unwrap();
+            assert_eq!(v.get("kind").and_then(|k| k.as_str()), Some("eval"));
+            assert!(v.get("time_s").unwrap().as_f64().unwrap() > 0.0);
+            assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(true));
+        }
+    }
+}

@@ -25,4 +25,7 @@ mod tree;
 pub use eval::{CachingEvaluator, Evaluator, SimEvaluator};
 pub use random::{random_rollout, random_search, random_search_telemetry};
 pub use telemetry::{SearchTelemetry, TelemetryRow};
-pub use tree::{Exploitation, ExploredRecord, Mcts, MctsConfig, StepOutcome, TreeStats};
+pub use tree::{
+    Exploitation, ExploredRecord, Mcts, MctsConfig, NodeStat, PrincipalVariation, StepOutcome,
+    TreeSnapshot, TreeStats,
+};

@@ -25,6 +25,7 @@
 use crate::eval::Evaluator;
 use crate::telemetry::{SearchTelemetry, TelemetryRow};
 use dr_dag::{eval_seed, DecisionSpace, Placement, Traversal};
+use dr_obs::events::EventSink;
 use dr_sim::{BenchResult, SimError};
 use dr_trace::Lane;
 use rand::rngs::SmallRng;
@@ -93,6 +94,64 @@ pub struct TreeStats {
     pub t_min: f64,
     /// Slowest time observed anywhere.
     pub t_max: f64,
+}
+
+/// Statistics of one materialized tree node, exported by
+/// [`Mcts::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStat {
+    /// Depth below the root (root = 0).
+    pub depth: usize,
+    /// The placement on the incoming edge (`None` for the root).
+    pub action: Option<Placement>,
+    /// Rollouts backpropagated through this node.
+    pub visits: u64,
+    /// Fastest simulated time observed in this node's subtree.
+    pub t_min: f64,
+    /// Slowest simulated time observed in this node's subtree.
+    pub t_max: f64,
+    /// Mean simulated time over the node's rollouts (NaN when
+    /// unvisited).
+    pub t_mean: f64,
+    /// Materialized children.
+    pub children: usize,
+    /// Whether the subtree is fully benchmarked.
+    pub fully_explored: bool,
+}
+
+/// One principal variation: a root-to-leaf path following the
+/// most-visited materialized child at every level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrincipalVariation {
+    /// The placements along the path, root first.
+    pub steps: Vec<Placement>,
+    /// Visit count of the opening placement (the ranking key).
+    pub visits: u64,
+    /// Fastest time observed at the path's end.
+    pub t_min: f64,
+    /// Mean time over the opening placement's rollouts.
+    pub t_mean: f64,
+}
+
+/// A full introspection snapshot of the search tree, exported by
+/// [`Mcts::snapshot`] for the `explain` command.
+#[derive(Debug, Clone)]
+pub struct TreeSnapshot {
+    /// Aggregate tree statistics (same as [`Mcts::stats`]).
+    pub stats: TreeStats,
+    /// Whether every traversal in the space has been benchmarked.
+    pub exhausted: bool,
+    /// Iterations executed so far.
+    pub iterations: u64,
+    /// Distinct traversals quarantined after evaluator errors.
+    pub failures: usize,
+    /// Materialized node count per depth (index = depth; `[0]` is 1).
+    pub depth_profile: Vec<usize>,
+    /// The most-visited nodes, visit-count descending (capped by the
+    /// `max_nodes` argument).
+    pub nodes: Vec<NodeStat>,
+    /// Top-k principal variations, opening-visits descending.
+    pub principal_variations: Vec<PrincipalVariation>,
 }
 
 /// One explored implementation: the traversal and its measurements.
@@ -194,6 +253,9 @@ pub struct Mcts<'a, E: Evaluator> {
     /// Sampled per-iteration tracing: `(lane, every)` set by
     /// [`Mcts::set_trace`]. `None` (the default) costs nothing.
     trace: Option<(Lane, usize)>,
+    /// Sampled per-iteration event emission: `(sink, every)` set by
+    /// [`Mcts::set_events`]. `None` (the default) costs nothing.
+    events: Option<(EventSink, usize)>,
 }
 
 impl<'a, E: Evaluator> Mcts<'a, E> {
@@ -214,6 +276,7 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
             telemetry: SearchTelemetry::new(),
             max_depth: 0,
             trace: None,
+            events: None,
         }
     }
 
@@ -225,6 +288,16 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
     /// trace; `every` is clamped to at least 1.
     pub fn set_trace(&mut self, lane: Lane, every: usize) {
         self.trace = Some((lane, every.max(1)));
+    }
+
+    /// Enables sampled iteration event emission (`mcts-iter` events on
+    /// `sink`): the same sampling schedule as [`Mcts::set_trace`] —
+    /// iterations 1, 1+`every`, 1+2·`every`, … — carrying the iteration
+    /// number, unique-traversal count, tree size/depth, best time, and
+    /// the iteration's outcome. Emission only reads search state, so it
+    /// cannot perturb the search.
+    pub fn set_events(&mut self, sink: EventSink, every: usize) {
+        self.events = Some((sink, every.max(1)));
     }
 
     /// All explored implementations, in discovery order.
@@ -295,6 +368,124 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
         }
     }
 
+    /// Exports an introspection snapshot of the search tree: aggregate
+    /// statistics, the per-depth node profile, the `max_nodes`
+    /// most-visited nodes, and the top-`top_k` principal variations.
+    ///
+    /// A principal variation starts at one of the root's children
+    /// (ranked by visit count, descending) and follows the most-visited
+    /// materialized child at every level — the search's preferred
+    /// completion of that opening decision. Ties break toward the
+    /// earlier-materialized child, so the export is deterministic.
+    pub fn snapshot(&self, top_k: usize, max_nodes: usize) -> TreeSnapshot {
+        // One BFS walk computes depths for stats, profile, and export.
+        let mut depth_of = vec![0usize; self.nodes.len()];
+        let mut depth_profile: Vec<usize> = Vec::new();
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        let mut order: Vec<NodeId> = Vec::new();
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            let d = depth_of[id];
+            if depth_profile.len() <= d {
+                depth_profile.resize(d + 1, 0);
+            }
+            depth_profile[d] += 1;
+            for &(_, c) in &self.nodes[id].children {
+                depth_of[c] = d + 1;
+                queue.push_back(c);
+            }
+        }
+
+        let action_of = |id: NodeId| -> Option<Placement> {
+            // Parent links are not stored; recover the incoming edge by
+            // scanning (snapshotting is a once-per-run export, so the
+            // quadratic scan is confined to the exported node set).
+            self.nodes
+                .iter()
+                .find_map(|n| n.children.iter().find(|&&(_, c)| c == id).map(|&(p, _)| p))
+        };
+        let mut ranked: Vec<NodeId> = order.clone();
+        ranked.sort_by(|&a, &b| {
+            self.nodes[b]
+                .n
+                .cmp(&self.nodes[a].n)
+                .then(depth_of[a].cmp(&depth_of[b]))
+                .then(a.cmp(&b))
+        });
+        let nodes: Vec<NodeStat> = ranked
+            .into_iter()
+            .take(max_nodes)
+            .map(|id| {
+                let n = &self.nodes[id];
+                NodeStat {
+                    depth: depth_of[id],
+                    action: if id == 0 { None } else { action_of(id) },
+                    visits: n.n,
+                    t_min: n.t_min,
+                    t_max: n.t_max,
+                    t_mean: if n.n > 0 {
+                        n.t_sum / n.n as f64
+                    } else {
+                        f64::NAN
+                    },
+                    children: n.children.len(),
+                    fully_explored: n.fully_explored,
+                }
+            })
+            .collect();
+
+        // Principal variations: top-k root children by visits, each
+        // greedily completed along most-visited children.
+        let mut openings: Vec<(Placement, NodeId)> = self.nodes[0].children.clone();
+        openings.sort_by(|&(_, a), &(_, b)| self.nodes[b].n.cmp(&self.nodes[a].n).then(a.cmp(&b)));
+        let principal_variations: Vec<PrincipalVariation> = openings
+            .into_iter()
+            .take(top_k)
+            .filter(|&(_, id)| self.nodes[id].n > 0)
+            .map(|(p, id)| {
+                let mut steps = vec![p];
+                let mut node = id;
+                loop {
+                    let next = self.nodes[node]
+                        .children
+                        .iter()
+                        .filter(|&&(_, c)| self.nodes[c].n > 0)
+                        .max_by(|&&(_, a), &&(_, b)| {
+                            self.nodes[a].n.cmp(&self.nodes[b].n).then(b.cmp(&a))
+                        })
+                        .copied();
+                    match next {
+                        Some((q, c)) => {
+                            steps.push(q);
+                            node = c;
+                        }
+                        None => break,
+                    }
+                }
+                PrincipalVariation {
+                    visits: self.nodes[id].n,
+                    t_min: self.nodes[node].t_min,
+                    t_mean: if self.nodes[id].n > 0 {
+                        self.nodes[id].t_sum / self.nodes[id].n as f64
+                    } else {
+                        f64::NAN
+                    },
+                    steps,
+                }
+            })
+            .collect();
+
+        TreeSnapshot {
+            stats: self.stats(),
+            exhausted: self.is_exhausted(),
+            iterations: self.iterations,
+            failures: self.failures,
+            depth_profile,
+            nodes,
+            principal_variations,
+        }
+    }
+
     /// Runs up to `iterations` search iterations (stopping early if the
     /// space is exhausted) and returns the number of *new* traversals
     /// discovered.
@@ -313,33 +504,58 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
     /// Executes one selection → expansion → rollout → backpropagation
     /// iteration.
     pub fn step(&mut self) -> Result<StepOutcome, SimError> {
-        let Some((mut lane, every)) = self.trace.take() else {
-            return self.step_impl();
-        };
         // `iterations` is pre-increment here, so iterations 1, 1+every,
-        // 1+2·every, … are the sampled ones.
-        let sampled = self.iterations.is_multiple_of(every as u64) && !self.is_exhausted();
-        if sampled {
-            lane.enter("mcts-iter");
+        // 1+2·every, … are the sampled ones (both for tracing and for
+        // event emission; the two samplers are independent).
+        let pre_iter = self.iterations;
+        let live = !self.is_exhausted();
+        let trace_sampled = match &self.trace {
+            Some((_, every)) => live && pre_iter.is_multiple_of(*every as u64),
+            None => false,
+        };
+        let events_sampled = match &self.events {
+            Some((sink, every)) => {
+                live && sink.is_enabled() && pre_iter.is_multiple_of(*every as u64)
+            }
+            None => false,
+        };
+        if trace_sampled {
+            if let Some((lane, _)) = &mut self.trace {
+                lane.enter("mcts-iter");
+            }
         }
         let out = self.step_impl();
-        if sampled {
-            lane.annotate("iteration", self.iterations);
-            lane.annotate("unique", self.records.len());
-            lane.annotate("tree_nodes", self.nodes.len());
-            lane.annotate(
-                "outcome",
-                match &out {
-                    Ok(StepOutcome::Explored { new: true, .. }) => "new",
-                    Ok(StepOutcome::Explored { new: false, .. }) => "repeat",
-                    Ok(StepOutcome::Exhausted) => "exhausted",
-                    Ok(StepOutcome::Quarantined) => "quarantined",
-                    Err(_) => "error",
-                },
-            );
-            lane.exit();
+        let outcome_name = match &out {
+            Ok(StepOutcome::Explored { new: true, .. }) => "new",
+            Ok(StepOutcome::Explored { new: false, .. }) => "repeat",
+            Ok(StepOutcome::Exhausted) => "exhausted",
+            Ok(StepOutcome::Quarantined) => "quarantined",
+            Err(_) => "error",
+        };
+        if trace_sampled {
+            if let Some((lane, _)) = &mut self.trace {
+                lane.annotate("iteration", self.iterations);
+                lane.annotate("unique", self.records.len());
+                lane.annotate("tree_nodes", self.nodes.len());
+                lane.annotate("outcome", outcome_name);
+                lane.exit();
+            }
         }
-        self.trace = Some((lane, every));
+        if events_sampled {
+            if let Some((sink, _)) = &self.events {
+                sink.emit(
+                    "mcts-iter",
+                    &[
+                        ("iteration", self.iterations.into()),
+                        ("unique", self.records.len().into()),
+                        ("tree_nodes", self.nodes.len().into()),
+                        ("max_depth", self.max_depth.into()),
+                        ("best_s", self.nodes[0].t_min.into()),
+                        ("outcome", outcome_name.into()),
+                    ],
+                );
+            }
+        }
         out
     }
 
@@ -1007,5 +1223,134 @@ mod stats_tests {
         assert!(s.fully_explored >= 1);
         assert!(s.t_max >= s.t_min && s.t_min > 0.0);
         assert!(s.rollouts >= sp.count_traversals() as u64);
+    }
+
+    #[test]
+    fn snapshot_exports_hot_nodes_and_principal_variations() {
+        let mut b = DagBuilder::new();
+        let a = b.add("a", OpSpec::GpuKernel(CostKey::new("a")));
+        let g = b.add("b", OpSpec::GpuKernel(CostKey::new("b")));
+        let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+        b.edge(a, c);
+        b.edge(g, c);
+        let sp = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
+        let mut w = TableWorkload::new(1);
+        w.cost_all("a", 1e-4)
+            .cost_all("b", 2e-4)
+            .cost_all("c", 1e-5);
+        let platform = Platform::perlmutter_like().noiseless();
+        let eval = SimEvaluator::new(&sp, &w, &platform, BenchConfig::quick());
+        let mut mcts = Mcts::new(&sp, eval, MctsConfig::default());
+        mcts.run(10_000).unwrap();
+        let snap = mcts.snapshot(3, 5);
+        assert_eq!(snap.stats, mcts.stats());
+        assert!(snap.exhausted);
+        assert_eq!(snap.iterations, mcts.iterations());
+        // The depth profile covers the whole tree and starts at the root.
+        assert_eq!(snap.depth_profile[0], 1);
+        assert_eq!(snap.depth_profile.iter().sum::<usize>(), mcts.tree_size());
+        assert_eq!(snap.depth_profile.len() - 1, snap.stats.max_depth);
+        // Hot nodes are capped, visit-sorted, and lead with the root.
+        assert_eq!(snap.nodes.len(), 5.min(mcts.tree_size()));
+        assert!(snap.nodes[0].action.is_none(), "root is most visited");
+        assert_eq!(snap.nodes[0].visits, snap.stats.rollouts);
+        for pair in snap.nodes.windows(2) {
+            assert!(pair[0].visits >= pair[1].visits);
+        }
+        for n in &snap.nodes[1..] {
+            assert!(n.action.is_some(), "non-root nodes recover their edge");
+        }
+        // PVs: capped at top_k, visit-ranked, each a valid full traversal
+        // of this exhausted space.
+        assert!(!snap.principal_variations.is_empty());
+        assert!(snap.principal_variations.len() <= 3);
+        for pair in snap.principal_variations.windows(2) {
+            assert!(pair[0].visits >= pair[1].visits);
+        }
+        for pv in &snap.principal_variations {
+            assert_eq!(pv.steps.len(), sp.num_ops());
+            sp.validate(&Traversal {
+                steps: pv.steps.clone(),
+            })
+            .unwrap();
+            assert!(pv.t_min >= snap.stats.t_min);
+        }
+        // Deterministic export.
+        let again = mcts.snapshot(3, 5);
+        assert_eq!(again.nodes, snap.nodes);
+        assert_eq!(again.principal_variations, snap.principal_variations);
+    }
+
+    #[test]
+    fn empty_tree_snapshot_is_well_formed() {
+        let mut b = DagBuilder::new();
+        let a = b.add("a", OpSpec::GpuKernel(CostKey::new("a")));
+        let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+        b.edge(a, c);
+        let sp = DecisionSpace::new(b.build().unwrap(), 1).unwrap();
+        let eval = |_: &Traversal, _: u64| -> Result<BenchResult, SimError> { unreachable!() };
+        let mcts = Mcts::new(&sp, eval, MctsConfig::default());
+        let snap = mcts.snapshot(3, 10);
+        assert_eq!(snap.depth_profile, vec![1]);
+        assert_eq!(snap.nodes.len(), 1);
+        assert!(snap.principal_variations.is_empty());
+        assert!(!snap.exhausted);
+    }
+}
+
+#[cfg(test)]
+mod event_tests {
+    use super::*;
+    use crate::eval::SimEvaluator;
+    use dr_dag::{CostKey, DagBuilder, OpSpec};
+    use dr_obs::events::SharedBuf;
+    use dr_obs::json;
+    use dr_sim::{BenchConfig, Platform, TableWorkload};
+
+    #[test]
+    fn sampled_events_mirror_tracing_without_perturbing_search() {
+        let mut b = DagBuilder::new();
+        let a = b.add("a", OpSpec::GpuKernel(CostKey::new("a")));
+        let g = b.add("b", OpSpec::GpuKernel(CostKey::new("b")));
+        let c = b.add("c", OpSpec::CpuWork(CostKey::new("c")));
+        b.edge(a, c);
+        b.edge(g, c);
+        let sp = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
+        let mut w = TableWorkload::new(1);
+        w.cost_all("a", 1e-4)
+            .cost_all("b", 2e-4)
+            .cost_all("c", 1e-5);
+        let platform = Platform::perlmutter_like().noiseless();
+        let run = |sink: Option<EventSink>| {
+            let eval = SimEvaluator::new(&sp, &w, &platform, BenchConfig::quick());
+            let mut mcts = Mcts::new(&sp, eval, MctsConfig::default());
+            if let Some(s) = sink {
+                mcts.set_events(s, 4);
+            }
+            mcts.run(9).unwrap();
+            mcts.into_records()
+                .into_iter()
+                .map(|r| (r.traversal, r.result.time()))
+                .collect::<Vec<_>>()
+        };
+        let buf = SharedBuf::new();
+        let sink = EventSink::new("run-evt").with_writer(Box::new(buf.clone()));
+        let observed = run(Some(sink));
+        let silent = run(None);
+        assert_eq!(observed, silent, "event emission must not change search");
+        let text = buf.contents();
+        let iters: Vec<u64> = text
+            .lines()
+            .map(|l| {
+                let v = json::parse(l).unwrap();
+                assert_eq!(
+                    v.get("kind").and_then(json::Value::as_str),
+                    Some("mcts-iter")
+                );
+                assert!(v.get("outcome").and_then(json::Value::as_str).is_some());
+                v.get("iteration").and_then(json::Value::as_u64).unwrap()
+            })
+            .collect();
+        assert_eq!(iters, vec![1, 5, 9], "iterations 1, 1+4, 1+8 sampled");
     }
 }

@@ -1,0 +1,419 @@
+//! Structured event stream (`dr-events/v1`).
+//!
+//! A run that wants live observability builds one [`EventSink`] and
+//! clones it into every layer that has something to say: pipeline
+//! phases, pool workers, MCTS iterations, simulator evaluations. Each
+//! [`EventSink::emit`] call assigns the next **monotone sequence
+//! number** from a shared atomic counter, stamps the event with seconds
+//! since the sink was created, and fans the event out to two optional
+//! destinations:
+//!
+//! * an NDJSON **writer** — one self-contained JSON object per line,
+//!   each carrying the schema tag and the run id, so a stream file can
+//!   be joined against the run ledger after the fact;
+//! * an in-process **observer** — the live `--progress` renderer
+//!   subscribes here and never has to re-parse its own JSON.
+//!
+//! Emission must never perturb results: producers only *read* pipeline
+//! state, and the high-rate producers (MCTS iterations, evaluations)
+//! sample — see [`sampled`] — so the overhead stays bounded. A sink
+//! with neither writer nor observer reports [`EventSink::is_enabled`]
+//! `false` and producers skip building events entirely.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json;
+
+/// Schema tag written into every event line.
+pub const EVENTS_SCHEMA: &str = "dr-events/v1";
+
+/// One typed field value of an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// An unsigned counter-like value.
+    U64(u64),
+    /// A floating-point measurement (seconds, rates); NaN serializes
+    /// as `null` like everywhere else in the workspace.
+    F64(f64),
+    /// A short label (phase name, traversal hash).
+    Str(String),
+    /// A flag.
+    Bool(bool),
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Self {
+        Field::U64(v)
+    }
+}
+
+impl From<usize> for Field {
+    fn from(v: usize) -> Self {
+        Field::U64(v as u64)
+    }
+}
+
+impl From<f64> for Field {
+    fn from(v: f64) -> Self {
+        Field::F64(v)
+    }
+}
+
+impl From<&str> for Field {
+    fn from(v: &str) -> Self {
+        Field::Str(v.to_string())
+    }
+}
+
+impl From<String> for Field {
+    fn from(v: String) -> Self {
+        Field::Str(v)
+    }
+}
+
+impl From<bool> for Field {
+    fn from(v: bool) -> Self {
+        Field::Bool(v)
+    }
+}
+
+impl Field {
+    fn to_json(&self) -> String {
+        match self {
+            Field::U64(v) => v.to_string(),
+            Field::F64(v) => json::number(*v),
+            Field::Str(s) => format!("\"{}\"", json::escape(s)),
+            Field::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+/// One emitted event: a kind, a monotone sequence number, seconds since
+/// the sink was created, and a flat list of named fields.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Monotone sequence number, unique within the sink.
+    pub seq: u64,
+    /// Seconds since the sink was created (monotonic clock).
+    pub t_s: f64,
+    /// Event kind, e.g. `"phase-start"`, `"eval"`, `"mcts-iter"`.
+    pub kind: String,
+    /// Named payload fields, in emission order.
+    pub fields: Vec<(String, Field)>,
+}
+
+impl Event {
+    /// One NDJSON line (no trailing newline) carrying the schema tag
+    /// and the owning run's id.
+    pub fn to_json(&self, run_id: &str) -> String {
+        let mut out = format!(
+            "{{\"schema\":\"{}\",\"run\":\"{}\",\"seq\":{},\"t_s\":{},\"kind\":\"{}\"",
+            EVENTS_SCHEMA,
+            json::escape(run_id),
+            self.seq,
+            json::number(self.t_s),
+            json::escape(&self.kind),
+        );
+        for (k, v) in &self.fields {
+            out.push_str(&format!(",\"{}\":{}", json::escape(k), v.to_json()));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Field lookup by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+/// In-process subscriber: receives every event as it is emitted,
+/// possibly from several worker threads at once.
+pub trait EventObserver: Send + Sync {
+    /// Called once per emitted event, after the sequence number is
+    /// assigned.
+    fn on_event(&self, event: &Event);
+}
+
+struct SinkInner {
+    run_id: String,
+    seq: AtomicU64,
+    start: Instant,
+    writer: Option<Mutex<Box<dyn Write + Send>>>,
+    observer: Option<Box<dyn EventObserver>>,
+}
+
+/// Shared, thread-safe event sink. Cloning is cheap (an `Arc` bump);
+/// all clones share one sequence counter, one clock, and one writer.
+#[derive(Clone)]
+pub struct EventSink {
+    inner: Arc<SinkInner>,
+}
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventSink")
+            .field("run_id", &self.inner.run_id)
+            .field("seq", &self.seq())
+            .field("writer", &self.inner.writer.is_some())
+            .field("observer", &self.inner.observer.is_some())
+            .finish()
+    }
+}
+
+impl EventSink {
+    /// A sink with no destinations yet. `run_id` should match the run
+    /// ledger's provenance so streams and ledger entries can be joined.
+    pub fn new(run_id: &str) -> Self {
+        EventSink {
+            inner: Arc::new(SinkInner {
+                run_id: run_id.to_string(),
+                seq: AtomicU64::new(0),
+                start: Instant::now(),
+                writer: None,
+                observer: None,
+            }),
+        }
+    }
+
+    /// Adds an NDJSON writer (builder style, before the sink is
+    /// cloned/shared).
+    pub fn with_writer(mut self, w: Box<dyn Write + Send>) -> Self {
+        Arc::get_mut(&mut self.inner)
+            .expect("with_writer must be called before the sink is shared")
+            .writer = Some(Mutex::new(w));
+        self
+    }
+
+    /// Adds an in-process observer (builder style, before the sink is
+    /// cloned/shared).
+    pub fn with_observer(mut self, o: Box<dyn EventObserver>) -> Self {
+        Arc::get_mut(&mut self.inner)
+            .expect("with_observer must be called before the sink is shared")
+            .observer = Some(o);
+        self
+    }
+
+    /// The run id every line is stamped with.
+    pub fn run_id(&self) -> &str {
+        &self.inner.run_id
+    }
+
+    /// Events emitted so far.
+    pub fn seq(&self) -> u64 {
+        self.inner.seq.load(Ordering::Relaxed)
+    }
+
+    /// Whether any destination is attached. Producers of high-rate
+    /// events should skip building payloads when this is `false`.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.writer.is_some() || self.inner.observer.is_some()
+    }
+
+    /// Emits one event: assigns the next sequence number, stamps the
+    /// monotonic time, writes the NDJSON line, and notifies the
+    /// observer.
+    pub fn emit(&self, kind: &str, fields: &[(&str, Field)]) {
+        if !self.is_enabled() {
+            // Still advance the counter so `seq()` counts suppressed
+            // emissions? No: a disabled sink is a pure no-op, matching
+            // the disabled-tracer convention.
+            return;
+        }
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let event = Event {
+            seq,
+            t_s: self.inner.start.elapsed().as_secs_f64(),
+            kind: kind.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        };
+        if let Some(w) = &self.inner.writer {
+            let line = event.to_json(&self.inner.run_id);
+            let mut w = w.lock().expect("event writer poisoned");
+            // Event loss must never fail the run; ignore write errors.
+            let _ = writeln!(w, "{line}");
+        }
+        if let Some(o) = &self.inner.observer {
+            o.on_event(&event);
+        }
+    }
+
+    /// Flushes the writer, if any.
+    pub fn flush(&self) {
+        if let Some(w) = &self.inner.writer {
+            let _ = w.lock().expect("event writer poisoned").flush();
+        }
+    }
+}
+
+/// Whether iteration `i` (1-based) of a high-rate producer should emit,
+/// given a sampling period: the first iteration always emits, then
+/// every `every`-th. The same convention the MCTS tracer uses, shared
+/// here so all producers sample identically.
+pub fn sampled(i: usize, every: usize) -> bool {
+    let every = every.max(1);
+    i == 1 || i.is_multiple_of(every)
+}
+
+/// An in-memory `Write` target shareable across threads; tests and the
+/// CLI use it to capture an event stream without touching the
+/// filesystem.
+#[derive(Clone, Default, Debug)]
+pub struct SharedBuf {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedBuf {
+    /// An empty shared buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The captured bytes, decoded lossily as UTF-8.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.buf.lock().expect("shared buf poisoned")).into_owned()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf
+            .lock()
+            .expect("shared buf poisoned")
+            .extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_is_a_no_op() {
+        let sink = EventSink::new("run-x");
+        assert!(!sink.is_enabled());
+        sink.emit("phase-start", &[("phase", "explore".into())]);
+        assert_eq!(sink.seq(), 0);
+    }
+
+    #[test]
+    fn lines_are_valid_json_with_monotone_seq() {
+        let buf = SharedBuf::new();
+        let sink = EventSink::new("run-1").with_writer(Box::new(buf.clone()));
+        sink.emit("phase-start", &[("phase", "explore".into())]);
+        sink.emit(
+            "eval",
+            &[
+                ("count", 17usize.into()),
+                ("time_s", 1.5e-4.into()),
+                ("hash", "00ab".into()),
+                ("ok", true.into()),
+            ],
+        );
+        sink.emit("nan-field", &[("t", f64::NAN.into())]);
+        sink.flush();
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            let v = json::parse(line).unwrap_or_else(|e| panic!("line {i}: {e}"));
+            assert_eq!(
+                v.get("schema").and_then(json::Value::as_str),
+                Some(EVENTS_SCHEMA)
+            );
+            assert_eq!(v.get("run").and_then(json::Value::as_str), Some("run-1"));
+            assert_eq!(v.get("seq").and_then(json::Value::as_u64), Some(i as u64));
+            assert!(v.get("t_s").and_then(json::Value::as_f64).unwrap() >= 0.0);
+        }
+        let eval = json::parse(lines[1]).unwrap();
+        assert_eq!(eval.get("count").and_then(json::Value::as_u64), Some(17));
+        assert_eq!(eval.get("ok").and_then(json::Value::as_bool), Some(true));
+        assert!(json::parse(lines[2]).unwrap().get("t").unwrap().is_null());
+    }
+
+    #[test]
+    fn clones_share_one_sequence_across_threads() {
+        let buf = SharedBuf::new();
+        let sink = EventSink::new("run-2").with_writer(Box::new(buf.clone()));
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let sink = sink.clone();
+                scope.spawn(move || {
+                    for i in 0..25u64 {
+                        sink.emit("tick", &[("worker", w.into()), ("i", i.into())]);
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.seq(), 100);
+        let text = buf.contents();
+        let mut seqs: Vec<u64> = text
+            .lines()
+            .map(|l| {
+                json::parse(l)
+                    .unwrap()
+                    .get("seq")
+                    .unwrap()
+                    .as_u64()
+                    .unwrap()
+            })
+            .collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn observer_sees_every_event() {
+        struct Count(AtomicU64);
+        impl EventObserver for Count {
+            fn on_event(&self, event: &Event) {
+                assert!(!event.kind.is_empty());
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let counter = Arc::new(Count(AtomicU64::new(0)));
+        struct Fwd(Arc<Count>);
+        impl EventObserver for Fwd {
+            fn on_event(&self, event: &Event) {
+                self.0.on_event(event);
+            }
+        }
+        let sink = EventSink::new("run-3").with_observer(Box::new(Fwd(counter.clone())));
+        assert!(sink.is_enabled());
+        for _ in 0..7 {
+            sink.emit("tick", &[]);
+        }
+        assert_eq!(counter.0.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn sampling_keeps_first_and_every_nth() {
+        let hits: Vec<usize> = (1..=32).filter(|&i| sampled(i, 8)).collect();
+        assert_eq!(hits, vec![1, 8, 16, 24, 32]);
+        assert!(sampled(1, 0), "period 0 clamps to 1");
+        assert!((1..=5).all(|i| sampled(i, 1)));
+    }
+
+    #[test]
+    fn event_field_lookup() {
+        let e = Event {
+            seq: 0,
+            t_s: 0.0,
+            kind: "x".into(),
+            fields: vec![("a".into(), Field::U64(1))],
+        };
+        assert_eq!(e.field("a"), Some(&Field::U64(1)));
+        assert_eq!(e.field("b"), None);
+    }
+}

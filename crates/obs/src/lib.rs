@@ -3,21 +3,27 @@
 //! Zero-dependency metrics primitives threaded through every layer of
 //! the workspace: [`metrics`] (counters, gauges, fixed-bucket
 //! histograms with percentile queries), [`timer`] (stopwatches and
-//! named phase timers), and [`json`] (hand-rolled JSON formatting plus
+//! named phase timers), [`json`] (hand-rolled JSON formatting plus
 //! a syntax validator used by tests that assert artifacts are
-//! well-formed).
+//! well-formed), and [`events`] (the `dr-events/v1` structured NDJSON
+//! event stream behind `--progress`/`--events`).
 //!
-//! Everything is single-threaded by design, matching the simulator and
-//! the search loop: plain structs mutated through `&mut self`, no
-//! atomics, no global registries.
+//! The metrics primitives are single-threaded by design, matching the
+//! simulator and the search loop: plain structs mutated through
+//! `&mut self`, no global registries. The one deliberate exception is
+//! [`events::EventSink`], which crosses worker threads and therefore
+//! owns the crate's only atomics (a shared sequence counter and a
+//! mutex-guarded writer).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod events;
 pub mod json;
 pub mod metrics;
 pub mod timer;
 
+pub use events::{Event, EventObserver, EventSink, Field, SharedBuf, EVENTS_SCHEMA};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use timer::{Phases, Stopwatch};
 

@@ -30,6 +30,7 @@ mod pool;
 
 pub use cache::{CacheStats, StripedCache};
 pub use pool::{
-    par_map_stream, par_map_stream_isolated, par_map_stream_with, par_map_stream_with_traced,
-    resolve_threads, split_budget, ItemOutcome, PoolOutcome,
+    par_map_stream, par_map_stream_isolated, par_map_stream_observed, par_map_stream_with,
+    par_map_stream_with_traced, resolve_threads, split_budget, ItemOutcome, PoolObserver,
+    PoolOutcome,
 };

@@ -18,6 +18,18 @@ use std::thread;
 /// an uneven workload balanced.
 const CHUNK: usize = 8;
 
+/// Callbacks observing pool worker lifecycle, for live progress
+/// displays. The pool stays observability-agnostic: implementors adapt
+/// these calls to whatever sink they use (the core crate forwards them
+/// to the `dr-events/v1` stream). Callbacks run on the worker's thread
+/// and must not panic; default implementations do nothing.
+pub trait PoolObserver: Sync {
+    /// A worker thread started (workers are indexed `0..threads`).
+    fn worker_start(&self, _worker: usize) {}
+    /// A worker thread finished after mapping `items` items.
+    fn worker_end(&self, _worker: usize, _items: usize) {}
+}
+
 /// Resolves the worker count: an explicit request wins, then the
 /// `DR_THREADS` environment variable, then 1 (fully serial — the safe,
 /// reproducible-latency default; parallel results are identical anyway).
@@ -106,6 +118,31 @@ where
     Init: Fn(usize) -> S + Sync,
     F: Fn(&mut S, usize, T) -> Result<R, Err> + Sync,
 {
+    par_map_stream_observed(items, threads, tracer, dispatch, None, init, f)
+}
+
+/// [`par_map_stream_with_traced`] plus an optional [`PoolObserver`]
+/// notified of worker start/end on the worker's own thread. `None`
+/// makes this identical to [`par_map_stream_with_traced`].
+#[allow(clippy::too_many_arguments)]
+pub fn par_map_stream_observed<T, R, S, Err, I, Init, F>(
+    items: I,
+    threads: usize,
+    tracer: &Tracer,
+    dispatch: Option<SpanId>,
+    observer: Option<&dyn PoolObserver>,
+    init: Init,
+    f: F,
+) -> Result<(Vec<R>, Vec<S>), Err>
+where
+    I: Iterator<Item = T> + Send,
+    T: Send,
+    R: Send,
+    S: Send,
+    Err: Send,
+    Init: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize, T) -> Result<R, Err> + Sync,
+{
     let threads = threads.max(1);
     if threads == 1 {
         // Serial fast path: no queue, no locks — the reference semantics
@@ -114,6 +151,9 @@ where
         lane.enter("worker");
         if let Some(d) = dispatch {
             lane.follows_from(d);
+        }
+        if let Some(o) = observer {
+            o.worker_start(0);
         }
         let mut state = init(0);
         let mut out = Vec::new();
@@ -125,12 +165,18 @@ where
                     lane.annotate("items", out.len());
                     lane.annotate("stopped_at", i);
                     lane.exit();
+                    if let Some(o) = observer {
+                        o.worker_end(0, out.len());
+                    }
                     return Err(e);
                 }
             }
         }
         lane.annotate("items", out.len());
         lane.exit();
+        if let Some(o) = observer {
+            o.worker_end(0, out.len());
+        }
         return Ok((out, vec![state]));
     }
 
@@ -152,6 +198,9 @@ where
                     lane.enter("worker");
                     if let Some(d) = dispatch {
                         lane.follows_from(d);
+                    }
+                    if let Some(o) = observer {
+                        o.worker_start(w);
                     }
                     let mut state = init(w);
                     let mut out: Vec<(usize, R)> = Vec::new();
@@ -182,6 +231,9 @@ where
                     }
                     lane.annotate("items", out.len());
                     lane.exit();
+                    if let Some(o) = observer {
+                        o.worker_end(w, out.len());
+                    }
                     (out, state, err)
                 })
             })
@@ -515,6 +567,43 @@ mod tests {
         .unwrap();
         assert_eq!(traced, plain);
         assert_eq!(tracer.span_count(), 0);
+    }
+
+    #[test]
+    fn observer_sees_every_worker_and_all_items() {
+        use std::sync::atomic::AtomicUsize;
+        #[derive(Default)]
+        struct Tally {
+            starts: AtomicUsize,
+            ends: AtomicUsize,
+            items: AtomicUsize,
+        }
+        impl PoolObserver for Tally {
+            fn worker_start(&self, _worker: usize) {
+                self.starts.fetch_add(1, Ordering::Relaxed);
+            }
+            fn worker_end(&self, _worker: usize, items: usize) {
+                self.ends.fetch_add(1, Ordering::Relaxed);
+                self.items.fetch_add(items, Ordering::Relaxed);
+            }
+        }
+        for threads in [1, 4] {
+            let tally = Tally::default();
+            let (out, _) = par_map_stream_observed(
+                (0..40).collect::<Vec<i32>>().into_iter(),
+                threads,
+                &Tracer::disabled(),
+                None,
+                Some(&tally),
+                |_| (),
+                |(), _, x| Ok::<_, ()>(x + 1),
+            )
+            .unwrap();
+            assert_eq!(out.len(), 40);
+            assert_eq!(tally.starts.load(Ordering::Relaxed), threads);
+            assert_eq!(tally.ends.load(Ordering::Relaxed), threads);
+            assert_eq!(tally.items.load(Ordering::Relaxed), 40, "threads={threads}");
+        }
     }
 
     #[test]

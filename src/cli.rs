@@ -2,15 +2,18 @@
 //! synthesize a rule-following implementation, or inspect timelines —
 //! without writing any Rust. Used by the `dr-rules` binary.
 
-use crate::dag::{build_schedule, DecisionSpace, Traversal};
-use crate::mcts::MctsConfig;
-use crate::ml::{render_ruleset, rulesets_for_class};
+use crate::dag::{build_schedule, DecisionSpace, Placement, Traversal};
+use crate::mcts::{Mcts, MctsConfig, SimEvaluator};
+use crate::ml::{render_ruleset, rulesets_for_class, RuleSet};
+use crate::obs::{json, EventSink};
 use crate::pipeline::{
-    append_entry, apply_fault_plan, compare_ledgers, ledger_dir_from_env, ledger_entry_json,
-    lint_space, load_ledger, run_pipeline_instrumented, run_pipeline_traced, synthesize,
-    topology_from_workload, CompareOptions, InstrumentedRun, LedgerContext, PipelineConfig,
-    ResilienceSummary, Strategy,
+    append_entry, apply_fault_plan, compare_bench, compare_ledgers, is_bench_file,
+    ledger_dir_from_env, ledger_entry_json, lint_space, load_bench, load_ledger, mine_rules,
+    run_pipeline_instrumented, run_pipeline_watched, satisfies, synthesize, topology_from_workload,
+    CompareOptions, InstrumentedRun, LedgerContext, PipelineConfig, Provenance, ResilienceSummary,
+    Strategy,
 };
+use crate::progress::ProgressRenderer;
 use crate::sim::{
     benchmark, execute_traced, BenchConfig, CompiledProgram, FaultConfig, FaultPlan, Platform,
     SimError, Workload,
@@ -19,6 +22,9 @@ use crate::trace::{merge_chrome_json, Tracer, PIPELINE_PID};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::path::Path;
+
+/// Schema tag of the `explain` command's JSON report.
+pub const EXPLAIN_SCHEMA: &str = "dr-explain/v1";
 
 /// Built-in scenarios selectable from the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,8 +69,15 @@ pub enum Command {
     /// Sweep seeded fault plans through the pipeline and cross-check
     /// fault-induced deadlocks against the static linter.
     Chaos,
-    /// Diff two run ledgers for regressions (structural + statistical).
+    /// Diff two run ledgers (or two benchmark histories) for
+    /// regressions (structural + statistical).
     Compare,
+    /// Explain the MCTS search: per-node visit/value statistics, top-k
+    /// principal variations, and per-rule provenance.
+    Explain,
+    /// Run the benchmark harness and append to the committed
+    /// `BENCH_*.json` histories.
+    Bench,
 }
 
 /// Parsed command line.
@@ -105,14 +118,19 @@ pub struct CliOptions {
     pub abs_floor_ms: f64,
     /// `compare`: noise-band multiplier over the baseline history's MAD.
     pub noise_k: f64,
+    /// Render a live progress line on stderr (single repainted line on
+    /// a TTY, periodic plain lines otherwise).
+    pub progress: bool,
+    /// Stream structured `dr-events/v1` NDJSON to this path.
+    pub events: Option<String>,
 }
 
 /// Usage text printed on parse errors.
 pub const USAGE: &str = "usage: dr-rules <scenario> <command> [options]
-       dr-rules <scenario> compare <ledger-a> <ledger-b> [options]
+       dr-rules <scenario> compare <a> <b> [options]
   scenarios: spmv | spmv-paper | spmv-fine | halo
   commands:  info | explore | rules | synthesize | timeline | lint |
-             chaos | compare
+             chaos | compare | explain | bench
              (omitting the command runs explore)
   options:   --iterations N (default 300)
              --seed N       (default 0)
@@ -136,7 +154,19 @@ pub const USAGE: &str = "usage: dr-rules <scenario> <command> [options]
              --abs-floor-ms M (compare: absolute phase-time noise floor;
                                default 25)
              --noise-k K      (compare: MAD noise-band multiplier;
-                               default 5)";
+                               default 5)
+             --progress     (live progress line on stderr; repaints in
+                             place on a TTY, plain lines otherwise)
+             --events PATH  (stream structured dr-events/v1 NDJSON to
+                             PATH; joinable with the ledger via run id)
+  compare accepts either two run-ledger paths or two BENCH_*.json
+  benchmark histories (auto-detected; last entry of B vs history of A).
+  explain always searches with MCTS (it explains the MCTS tree) and
+  honors --iterations/--seed; --report writes dr-explain/v1 JSON.
+  bench appends to BENCH_pipeline.json and BENCH_explore.json in the
+  working directory; the scenario picks the scale (spmv = small,
+  spmv-paper = paper) and DR_SEED picks the seed, so entries stay
+  comparable with the committed histories.";
 
 /// Parses command-line arguments (excluding `argv[0]`).
 pub fn parse(args: &[String]) -> Result<CliOptions, String> {
@@ -162,6 +192,8 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
             Some("lint") => Command::Lint,
             Some("chaos") => Command::Chaos,
             Some("compare") => Command::Compare,
+            Some("explain") => Command::Explain,
+            Some("bench") => Command::Bench,
             Some(other) => return Err(format!("unknown command {other:?}\n{USAGE}")),
             None => return Err(format!("missing command\n{USAGE}")),
         },
@@ -183,6 +215,8 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         threshold: 3.0,
         abs_floor_ms: 25.0,
         noise_k: 5.0,
+        progress: false,
+        events: None,
     };
     if command == Command::Compare {
         let a = it
@@ -262,6 +296,10 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                 opts.noise_k = v
                     .parse()
                     .map_err(|_| format!("bad --noise-k value {v:?}"))?;
+            }
+            "--progress" => opts.progress = true,
+            "--events" => {
+                opts.events = Some(it.next().ok_or("--events needs a path")?.clone());
             }
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),
         }
@@ -351,14 +389,27 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
 
     if opts.command == Command::Compare {
         let (pa, pb) = opts.compare.as_ref().ok_or("compare needs two paths")?;
-        let a = load_ledger(Path::new(pa))?;
-        let b = load_ledger(Path::new(pb))?;
         let copts = CompareOptions {
             ratio: opts.threshold,
             abs_floor_s: opts.abs_floor_ms / 1e3,
             noise_k: opts.noise_k,
         };
-        let report = compare_ledgers(&a, &b, &copts);
+        // Benchmark histories are auto-detected by their schema tag, so
+        // the same grammar gates ledgers and BENCH_*.json files.
+        let report = if is_bench_file(Path::new(pa)) || is_bench_file(Path::new(pb)) {
+            let (ka, a) = load_bench(Path::new(pa))?;
+            let (kb, b) = load_bench(Path::new(pb))?;
+            if ka != kb {
+                return Err(format!(
+                    "cannot compare a {ka:?} history against a {kb:?} history"
+                ));
+            }
+            compare_bench(&ka, &a, &b, &copts)
+        } else {
+            let a = load_ledger(Path::new(pa))?;
+            let b = load_ledger(Path::new(pb))?;
+            compare_ledgers(&a, &b, &copts)
+        };
         write!(out, "{}", report.render_text()).map_err(io)?;
         if report.is_regression() {
             return Err(format!(
@@ -367,6 +418,10 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
             ));
         }
         return Ok(());
+    }
+
+    if opts.command == Command::Bench {
+        return run_bench(opts, out);
     }
 
     let inst = instance(opts);
@@ -408,12 +463,32 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
         return run_chaos(opts, &inst, out);
     }
 
+    if opts.command == Command::Explain {
+        return run_explain(opts, &inst, out);
+    }
+
     let tracer = if opts.trace.is_some() {
         Tracer::new()
     } else {
         Tracer::disabled()
     };
-    let run = run_pipeline_traced(
+    // The event sink carries the same run id as the report/ledger
+    // provenance so NDJSON streams can be joined with ledger entries.
+    let sink = if opts.progress || opts.events.is_some() {
+        let mut sink = EventSink::new(&Provenance::capture().run_id);
+        if let Some(path) = &opts.events {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create events file {path:?}: {e}"))?;
+            sink = sink.with_writer(Box::new(std::io::BufWriter::new(file)));
+        }
+        if opts.progress {
+            sink = sink.with_observer(Box::new(ProgressRenderer::new()));
+        }
+        Some(sink)
+    } else {
+        None
+    };
+    let run = run_pipeline_watched(
         &inst.space,
         &inst.workload,
         &inst.platform,
@@ -423,9 +498,20 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
             ..PipelineConfig::quick()
         },
         &tracer,
+        sink.as_ref(),
     )
     .map_err(fail)?;
 
+    if let (Some(sink), Some(path)) = (&sink, &opts.events) {
+        sink.flush();
+        writeln!(
+            out,
+            "wrote {} events to {path} (run {})",
+            sink.seq(),
+            sink.run_id()
+        )
+        .map_err(io)?;
+    }
     if let Some(path) = &opts.trace {
         let merged = merged_trace(&inst, &run, &tracer, opts.seed).map_err(fail)?;
         std::fs::write(path, merged).map_err(|e| format!("cannot write trace {path:?}: {e}"))?;
@@ -471,7 +557,12 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
     let result = run.result;
 
     match opts.command {
-        Command::Info | Command::Lint | Command::Chaos | Command::Compare => {
+        Command::Info
+        | Command::Lint
+        | Command::Chaos
+        | Command::Compare
+        | Command::Explain
+        | Command::Bench => {
             unreachable!("handled above")
         }
         Command::Explore => {
@@ -560,6 +651,391 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
         }
     }
     Ok(())
+}
+
+/// The `bench` command: run both benchmark harnesses (pipeline phases,
+/// exploration scaling) and append each report to its committed
+/// `BENCH_*.json` history in the working directory. The scenario picks
+/// the scale and `DR_SEED` the seed so CLI-appended entries stay
+/// comparable with entries appended by the standalone binaries.
+fn run_bench(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), String> {
+    let io = |e: std::io::Error| format!("write failed: {e}");
+    let scale = match opts.scenario {
+        Scenario::Spmv => "small",
+        Scenario::SpmvPaper => "paper",
+        _ => return Err("bench supports the spmv (small scale) and spmv-paper scenarios".into()),
+    };
+    let seed = dr_bench::seed();
+    type Harness =
+        fn(&str, u64, &mut dyn std::io::Write) -> Result<String, Box<dyn std::error::Error>>;
+    let runs: [(&str, &str, Harness); 2] = [
+        (
+            "pipeline",
+            "BENCH_pipeline.json",
+            dr_bench::harness::pipeline_report,
+        ),
+        (
+            "explore",
+            "BENCH_explore.json",
+            dr_bench::harness::explore_report,
+        ),
+    ];
+    for (kind, file, harness) in runs {
+        let report = harness(scale, seed, out).map_err(|e| format!("{kind} bench failed: {e}"))?;
+        let entries = dr_bench::append_history(Path::new(file), kind, &report)
+            .map_err(|e| format!("cannot append to {file}: {e}"))?;
+        writeln!(out, "appended to {file} ({entries} entries)").map_err(io)?;
+    }
+    Ok(())
+}
+
+/// Renders a placement as `<op-name>` or `<op-name>@s<stream>`.
+fn placement_str(space: &DecisionSpace, p: &Placement) -> String {
+    match p.stream {
+        Some(s) => format!("{}@s{s}", space.ops()[p.op].name),
+        None => space.ops()[p.op].name.clone(),
+    }
+}
+
+/// Median of an unsorted, non-empty slice (even length: mean of the two
+/// middle values).
+fn median(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Per-ruleset provenance: the indices (into the explored record set)
+/// of the records satisfying the ruleset's predicates, grouped by the
+/// records' performance class.
+fn ruleset_support(
+    space: &DecisionSpace,
+    records: &[crate::mcts::ExploredRecord],
+    labels: &[usize],
+    num_classes: usize,
+    rs: &RuleSet,
+) -> Vec<Vec<usize>> {
+    let mut support = vec![Vec::new(); num_classes];
+    for (i, rec) in records.iter().enumerate() {
+        if satisfies(space, &rec.traversal, &rs.rules) {
+            support[labels[i]].push(i);
+        }
+    }
+    support
+}
+
+/// The `explain` command: run a standalone serial MCTS at the requested
+/// budget, export per-node visit/value statistics and the top-k
+/// principal variations, then mine rules from the explored records and
+/// attach per-rule provenance — decision-path predicates, supporting
+/// record indices by class, leaf purity, and the simulated-time
+/// distribution of each leaf's supporting records.
+fn run_explain(
+    opts: &CliOptions,
+    inst: &Instance,
+    out: &mut impl std::io::Write,
+) -> Result<(), String> {
+    let fail = |e: SimError| format!("simulation failed: {e}");
+    let io = |e: std::io::Error| format!("write failed: {e}");
+    const TOP_K: usize = 5;
+    const MAX_NODES: usize = 12;
+    const RULESETS_PER_CLASS: usize = 3;
+    const INDICES_SHOWN: usize = 8;
+
+    let eval = SimEvaluator::new(
+        &inst.space,
+        &inst.workload,
+        &inst.platform,
+        BenchConfig::quick(),
+    );
+    let mut mcts = Mcts::new(
+        &inst.space,
+        eval,
+        MctsConfig {
+            seed: opts.seed,
+            ..Default::default()
+        },
+    );
+    mcts.run(opts.iterations).map_err(fail)?;
+    let snap = mcts.snapshot(TOP_K, MAX_NODES);
+    let records = mcts.into_records();
+    if records.is_empty() {
+        return Err("search explored no implementations (try more iterations)".into());
+    }
+    let result = mine_rules(&inst.space, records, &PipelineConfig::quick());
+    let records = &result.records;
+    let labels = &result.labeling.labels;
+    let num_classes = result.labeling.num_classes;
+
+    // -- tree statistics --
+    writeln!(
+        out,
+        "== MCTS tree (seed {}, {} iterations requested, {} executed) ==",
+        opts.seed, opts.iterations, snap.iterations
+    )
+    .map_err(io)?;
+    writeln!(
+        out,
+        "nodes {}, max depth {}, fully explored {}, rollouts {}",
+        snap.stats.nodes, snap.stats.max_depth, snap.stats.fully_explored, snap.stats.rollouts
+    )
+    .map_err(io)?;
+    writeln!(
+        out,
+        "times {:.1} µs .. {:.1} µs; space exhausted: {}; quarantined: {}",
+        snap.stats.t_min * 1e6,
+        snap.stats.t_max * 1e6,
+        snap.exhausted,
+        snap.failures
+    )
+    .map_err(io)?;
+    let profile: Vec<String> = snap.depth_profile.iter().map(usize::to_string).collect();
+    writeln!(out, "nodes per depth: {}", profile.join("/")).map_err(io)?;
+    writeln!(out, "top nodes by visits:").map_err(io)?;
+    for n in &snap.nodes {
+        let action = match &n.action {
+            Some(p) => placement_str(&inst.space, p),
+            None => "<root>".to_string(),
+        };
+        writeln!(
+            out,
+            "  d{} {action}: {} visits, mean {:.1} µs, min {:.1} µs, {} children{}",
+            n.depth,
+            n.visits,
+            n.t_mean * 1e6,
+            n.t_min * 1e6,
+            n.children,
+            if n.fully_explored { ", complete" } else { "" }
+        )
+        .map_err(io)?;
+    }
+    writeln!(out, "principal variations:").map_err(io)?;
+    for (i, pv) in snap.principal_variations.iter().enumerate() {
+        let steps: Vec<String> = pv
+            .steps
+            .iter()
+            .map(|p| placement_str(&inst.space, p))
+            .collect();
+        writeln!(
+            out,
+            "  pv{} ({} visits, min {:.1} µs, mean {:.1} µs): {}",
+            i + 1,
+            pv.visits,
+            pv.t_min * 1e6,
+            pv.t_mean * 1e6,
+            steps.join(" -> ")
+        )
+        .map_err(io)?;
+    }
+
+    // -- per-rule provenance --
+    writeln!(
+        out,
+        "== rule provenance ({} records, {} classes) ==",
+        records.len(),
+        num_classes
+    )
+    .map_err(io)?;
+    for class in 0..num_classes {
+        writeln!(out, "class {class}:").map_err(io)?;
+        for rs in rulesets_for_class(&result.rulesets, class)
+            .iter()
+            .take(RULESETS_PER_CLASS)
+        {
+            let purity = rs.class_counts.iter().copied().max().unwrap_or(0) as f64
+                / (rs.samples.max(1)) as f64;
+            writeln!(
+                out,
+                "  ruleset ({} samples, purity {:.0}%):",
+                rs.samples,
+                purity * 100.0
+            )
+            .map_err(io)?;
+            for line in render_ruleset(rs, &inst.space) {
+                writeln!(out, "    - {line}").map_err(io)?;
+            }
+            let support = ruleset_support(&inst.space, records, labels, num_classes, rs);
+            for (k, idx) in support.iter().enumerate() {
+                if idx.is_empty() {
+                    continue;
+                }
+                let shown: Vec<String> = idx
+                    .iter()
+                    .take(INDICES_SHOWN)
+                    .map(usize::to_string)
+                    .collect();
+                let ellipsis = if idx.len() > INDICES_SHOWN {
+                    ", …"
+                } else {
+                    ""
+                };
+                writeln!(
+                    out,
+                    "    support class {k}: {} records [{}{ellipsis}]",
+                    idx.len(),
+                    shown.join(", ")
+                )
+                .map_err(io)?;
+            }
+            let times: Vec<f64> = support
+                .iter()
+                .flatten()
+                .map(|&i| records[i].result.time())
+                .collect();
+            if !times.is_empty() {
+                let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                writeln!(
+                    out,
+                    "    simulated time over {} supporting records: \
+                     {:.1} .. {:.1} µs (median {:.1} µs)",
+                    times.len(),
+                    min * 1e6,
+                    max * 1e6,
+                    median(&times) * 1e6
+                )
+                .map_err(io)?;
+            }
+        }
+    }
+
+    if let Some(path) = &opts.report {
+        let json = explain_json(opts, inst, &snap, &result);
+        json::validate(&json).map_err(|e| format!("internal: explain JSON invalid: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write report {path:?}: {e}"))?;
+        writeln!(out, "wrote explain report to {path}").map_err(io)?;
+    }
+    Ok(())
+}
+
+/// Serializes the `explain` command's output as one `dr-explain/v1`
+/// JSON object.
+fn explain_json(
+    opts: &CliOptions,
+    inst: &Instance,
+    snap: &crate::mcts::TreeSnapshot,
+    result: &crate::pipeline::PipelineResult,
+) -> String {
+    let records = &result.records;
+    let labels = &result.labeling.labels;
+    let num_classes = result.labeling.num_classes;
+    let action_json = |p: &Option<Placement>| match p {
+        Some(p) => format!("\"{}\"", json::escape(&placement_str(&inst.space, p))),
+        None => "null".to_string(),
+    };
+    let nodes: Vec<String> = snap
+        .nodes
+        .iter()
+        .map(|n| {
+            format!(
+                "{{\"depth\":{},\"action\":{},\"visits\":{},\"t_min\":{},\"t_mean\":{},\
+                 \"t_max\":{},\"children\":{},\"fully_explored\":{}}}",
+                n.depth,
+                action_json(&n.action),
+                n.visits,
+                json::number(n.t_min),
+                json::number(n.t_mean),
+                json::number(n.t_max),
+                n.children,
+                n.fully_explored
+            )
+        })
+        .collect();
+    let pvs: Vec<String> = snap
+        .principal_variations
+        .iter()
+        .map(|pv| {
+            let steps: Vec<String> = pv
+                .steps
+                .iter()
+                .map(|p| format!("\"{}\"", json::escape(&placement_str(&inst.space, p))))
+                .collect();
+            format!(
+                "{{\"visits\":{},\"t_min\":{},\"t_mean\":{},\"steps\":[{}]}}",
+                pv.visits,
+                json::number(pv.t_min),
+                json::number(pv.t_mean),
+                steps.join(",")
+            )
+        })
+        .collect();
+    let mut rules: Vec<String> = Vec::new();
+    for class in 0..num_classes {
+        for rs in rulesets_for_class(&result.rulesets, class).iter().take(3) {
+            let support = ruleset_support(&inst.space, records, labels, num_classes, rs);
+            let support_json: Vec<String> = support
+                .iter()
+                .map(|idx| {
+                    let v: Vec<String> = idx.iter().map(usize::to_string).collect();
+                    format!("[{}]", v.join(","))
+                })
+                .collect();
+            let times: Vec<f64> = support
+                .iter()
+                .flatten()
+                .map(|&i| records[i].result.time())
+                .collect();
+            let times_json = if times.is_empty() {
+                "null".to_string()
+            } else {
+                format!(
+                    "{{\"count\":{},\"min\":{},\"median\":{},\"max\":{}}}",
+                    times.len(),
+                    json::number(times.iter().copied().fold(f64::INFINITY, f64::min)),
+                    json::number(median(&times)),
+                    json::number(times.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+                )
+            };
+            let predicates: Vec<String> = render_ruleset(rs, &inst.space)
+                .iter()
+                .map(|l| format!("\"{}\"", json::escape(l)))
+                .collect();
+            let purity = rs.class_counts.iter().copied().max().unwrap_or(0) as f64
+                / (rs.samples.max(1)) as f64;
+            rules.push(format!(
+                "{{\"class\":{},\"samples\":{},\"pure\":{},\"purity\":{},\
+                 \"predicates\":[{}],\"support\":[{}],\"times\":{}}}",
+                rs.class,
+                rs.samples,
+                rs.pure,
+                json::number(purity),
+                predicates.join(","),
+                support_json.join(","),
+                times_json
+            ));
+        }
+    }
+    let profile: Vec<String> = snap.depth_profile.iter().map(usize::to_string).collect();
+    format!(
+        "{{\"schema\":\"{EXPLAIN_SCHEMA}\",\"scenario\":\"{}\",\"seed\":{},\
+         \"iterations\":{},\"executed\":{},\"failures\":{},\"exhausted\":{},\
+         \"tree\":{{\"nodes\":{},\"max_depth\":{},\"fully_explored\":{},\"rollouts\":{},\
+         \"t_min\":{},\"t_max\":{}}},\"depth_profile\":[{}],\"top_nodes\":[{}],\
+         \"principal_variations\":[{}],\"records\":{},\"classes\":{},\"rules\":[{}]}}",
+        json::escape(opts.scenario.name()),
+        opts.seed,
+        opts.iterations,
+        snap.iterations,
+        snap.failures,
+        snap.exhausted,
+        snap.stats.nodes,
+        snap.stats.max_depth,
+        snap.stats.fully_explored,
+        snap.stats.rollouts,
+        json::number(snap.stats.t_min),
+        json::number(snap.stats.t_max),
+        profile.join(","),
+        nodes.join(","),
+        pvs.join(","),
+        records.len(),
+        num_classes,
+        rules.join(",")
+    )
 }
 
 /// The `chaos` command: sweep seeded fault plans through the full

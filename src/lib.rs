@@ -5,7 +5,9 @@
 #![forbid(unsafe_code)]
 
 pub mod cli;
+pub mod progress;
 
+pub use dr_bench as bench;
 pub use dr_core as pipeline;
 pub use dr_dag as dag;
 pub use dr_halo as halo;
