@@ -114,7 +114,7 @@ fn bench_ml(c: &mut Criterion) {
     });
     // Algorithm 1 trains many trees; benchmark it on a 300-row subsample
     // to keep the run affordable.
-    let sub_x: Vec<Vec<bool>> = features.matrix.iter().take(300).cloned().collect();
+    let sub_x: Vec<dr_ml::BitRow> = features.matrix.iter().take(300).cloned().collect();
     let sub_y: Vec<usize> = labeling.labels.iter().take(300).copied().collect();
     c.bench_function("ml/algorithm1_300_rows", |b| {
         b.iter(|| {

@@ -12,8 +12,8 @@
 
 use dr_dag::{eval_seed, DecisionSpace, Traversal};
 use dr_mcts::{
-    CachingEvaluator, Evaluator, ExploredRecord, Mcts, MctsConfig, SearchTelemetry, TelemetryRow,
-    TreeStats,
+    CachingEvaluator, Evaluator, ExploredRecord, Mcts, MctsConfig, SearchTelemetry, SharedMcts,
+    TelemetryRow, TreeStats,
 };
 use dr_obs::events::EventSink;
 use dr_par::{
@@ -138,6 +138,44 @@ impl Strategy {
             Strategy::Exhaustive => "exhaustive",
             Strategy::Mcts { .. } => "mcts",
             Strategy::Random { .. } => "random",
+        }
+    }
+}
+
+/// Which parallel engine backs [`Strategy::Mcts`]. Non-MCTS strategies
+/// ignore the backend (they have a single parallel engine each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchBackend {
+    /// Serial tree at one thread (keeping the single-thread hot path
+    /// free of batching overhead), shared tree above.
+    #[default]
+    Auto,
+    /// One shared tree with virtual-loss batch assembly at every thread
+    /// count (batch width = thread count).
+    Shared,
+    /// Legacy root parallelism: one tree per worker with decorrelated
+    /// search seeds, merged afterwards.
+    Root,
+}
+
+impl SearchBackend {
+    /// Resolves the backend from the `DR_SEARCH` environment variable:
+    /// `shared` / `root` select explicitly, anything else (or unset)
+    /// means [`SearchBackend::Auto`].
+    pub fn from_env() -> Self {
+        match std::env::var("DR_SEARCH").as_deref().map(str::trim) {
+            Ok("shared") => SearchBackend::Shared,
+            Ok("root") => SearchBackend::Root,
+            _ => SearchBackend::Auto,
+        }
+    }
+
+    /// The backend's short name, used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SearchBackend::Auto => "auto",
+            SearchBackend::Shared => "shared",
+            SearchBackend::Root => "root",
         }
     }
 }
@@ -310,12 +348,66 @@ where
     E: Evaluator + Send,
     F: Fn() -> E + Sync,
 {
+    explore_parallel_watched_backend(
+        space,
+        make_eval,
+        strategy,
+        threads,
+        tracer,
+        dispatch,
+        events,
+        SearchBackend::Auto,
+    )
+}
+
+/// [`explore_parallel`] with an explicit MCTS [`SearchBackend`] (tests
+/// pin backends through this instead of mutating `DR_SEARCH`).
+pub fn explore_parallel_backend<E, F>(
+    space: &DecisionSpace,
+    make_eval: F,
+    strategy: Strategy,
+    threads: usize,
+    backend: SearchBackend,
+) -> Result<ExploreOutput, SimError>
+where
+    E: Evaluator + Send,
+    F: Fn() -> E + Sync,
+{
+    explore_parallel_watched_backend(
+        space,
+        make_eval,
+        strategy,
+        threads,
+        &Tracer::disabled(),
+        None,
+        None,
+        backend,
+    )
+}
+
+/// The fully-parameterized parallel engine: tracing, events, and an
+/// explicit MCTS [`SearchBackend`].
+#[allow(clippy::too_many_arguments)]
+pub fn explore_parallel_watched_backend<E, F>(
+    space: &DecisionSpace,
+    make_eval: F,
+    strategy: Strategy,
+    threads: usize,
+    tracer: &Tracer,
+    dispatch: Option<SpanId>,
+    events: Option<&EventSink>,
+    backend: SearchBackend,
+) -> Result<ExploreOutput, SimError>
+where
+    E: Evaluator + Send,
+    F: Fn() -> E + Sync,
+{
     let threads = threads.max(1);
-    if threads == 1 {
+    if threads == 1 && backend != SearchBackend::Shared {
         // The serial MCTS path keeps its tree in-process (no shared
-        // cache), so it is traced here rather than via the root-parallel
-        // backend; the pool strategies reach their traced serial paths
-        // below.
+        // cache, no batch assembly), so it is traced here rather than
+        // via the parallel backends; the pool strategies reach their
+        // traced serial paths below.
         if let Strategy::Mcts { iterations, config } = strategy {
             let mut mcts = Mcts::new(space, make_eval(), config);
             attach_mcts_lane(&mut mcts, tracer, dispatch, 0);
@@ -345,9 +437,14 @@ where
         Strategy::Random { iterations, seed } => random_parallel(
             space, &make_eval, iterations, seed, threads, tracer, dispatch, events,
         ),
-        Strategy::Mcts { iterations, config } => mcts_root_parallel(
-            space, &make_eval, iterations, config, threads, tracer, dispatch, events,
-        ),
+        Strategy::Mcts { iterations, config } => match backend {
+            SearchBackend::Root => mcts_root_parallel(
+                space, &make_eval, iterations, config, threads, tracer, dispatch, events,
+            ),
+            SearchBackend::Auto | SearchBackend::Shared => mcts_shared_parallel(
+                space, &make_eval, iterations, config, threads, tracer, dispatch, events,
+            ),
+        },
     }
 }
 
@@ -424,6 +521,39 @@ where
     E: Evaluator + Send,
     F: Fn() -> E + Sync,
 {
+    explore_parallel_resilient_watched_backend(
+        space,
+        make_eval,
+        strategy,
+        threads,
+        tracer,
+        dispatch,
+        events,
+        SearchBackend::Auto,
+    )
+}
+
+/// [`explore_parallel_resilient_watched`] with an explicit MCTS
+/// [`SearchBackend`]. The shared backend needs no extra resilience
+/// scaffolding: its evaluation spawns already contain panics as
+/// structured errors, and in-tree quarantine is governed by
+/// [`dr_mcts::MctsConfig::max_failures`] exactly as on the fault-free
+/// path.
+#[allow(clippy::too_many_arguments)]
+pub fn explore_parallel_resilient_watched_backend<E, F>(
+    space: &DecisionSpace,
+    make_eval: F,
+    strategy: Strategy,
+    threads: usize,
+    tracer: &Tracer,
+    dispatch: Option<SpanId>,
+    events: Option<&EventSink>,
+    backend: SearchBackend,
+) -> Result<ExploreOutput, SimError>
+where
+    E: Evaluator + Send,
+    F: Fn() -> E + Sync,
+{
     let threads = threads.max(1);
     match strategy {
         Strategy::Exhaustive => {
@@ -461,7 +591,7 @@ where
             Ok(resilient_output(uniques, out, threads, false))
         }
         Strategy::Mcts { iterations, config } => {
-            if threads == 1 {
+            if threads == 1 && backend != SearchBackend::Shared {
                 let mut mcts = Mcts::new(space, make_eval(), config);
                 attach_mcts_lane(&mut mcts, tracer, dispatch, 0);
                 attach_mcts_events(&mut mcts, events);
@@ -482,8 +612,12 @@ where
                     tree: Some(tree),
                     exhausted,
                 })
-            } else {
+            } else if backend == SearchBackend::Root {
                 mcts_root_parallel(
+                    space, &make_eval, iterations, config, threads, tracer, dispatch, events,
+                )
+            } else {
+                mcts_shared_parallel(
                     space, &make_eval, iterations, config, threads, tracer, dispatch, events,
                 )
             }
@@ -923,6 +1057,155 @@ where
     })
 }
 
+/// Shared-tree parallel MCTS: one arena-backed tree on the coordinating
+/// thread, batch assembly under virtual loss, and a fixed pool of
+/// `threads` persistent evaluators that measure each batch's pending
+/// traversals in parallel (entry `i` of a batch always runs on
+/// evaluator slot `i`, so per-evaluator memo state evolves
+/// deterministically).
+///
+/// Determinism: assembly runs entirely on the coordinator (the worker
+/// threads never touch the tree), and every evaluation result is a pure
+/// function of its traversal, so the whole run — records, telemetry,
+/// tree — is a pure function of `(strategy, config, threads)`. Because
+/// batch width follows the thread count, different thread counts visit
+/// the space in different orders; records are therefore returned sorted
+/// by [`Traversal::canonical_hash`], which makes the record *list* (not
+/// just the set) thread-count-invariant once the budget exhausts the
+/// space.
+#[allow(clippy::too_many_arguments)]
+fn mcts_shared_parallel<E, F>(
+    space: &DecisionSpace,
+    make_eval: &F,
+    iterations: usize,
+    config: MctsConfig,
+    threads: usize,
+    tracer: &Tracer,
+    dispatch: Option<SpanId>,
+    events: Option<&EventSink>,
+) -> Result<ExploreOutput, SimError>
+where
+    E: Evaluator + Send,
+    F: Fn() -> E + Sync,
+{
+    let mut evals: Vec<E> = (0..threads).map(|_| make_eval()).collect();
+    let mut items = vec![0usize; threads];
+    if let Some(sink) = events.filter(|s| s.is_enabled()) {
+        for worker in 0..threads {
+            sink.emit("worker-start", &[("worker", worker.into())]);
+        }
+    }
+    let mut mcts = SharedMcts::new(space, config);
+    if tracer.is_enabled() {
+        let mut lane = tracer.lane("mcts-shared");
+        if let Some(d) = dispatch {
+            lane.enter("mcts-dispatch");
+            lane.follows_from(d);
+            lane.exit();
+        }
+        mcts.set_trace(lane, mcts_trace_every());
+    }
+    if let Some(sink) = events.filter(|s| s.is_enabled()) {
+        mcts.set_events(sink.clone(), events_rate());
+    }
+
+    let mut remaining = iterations as u64;
+    while remaining > 0 && !mcts.is_exhausted() {
+        let batch = mcts.select_batch(threads, remaining);
+        remaining = remaining.saturating_sub(batch.iterations as u64);
+        if batch.pending.is_empty() {
+            if batch.iterations == 0 {
+                break; // defensive: no progress possible
+            }
+            continue; // assembly resolved everything inline
+        }
+        let results: Vec<Result<BenchResult, SimError>> = if threads == 1 {
+            let pe = &batch.pending[0];
+            items[0] += 1;
+            vec![contained_eval(&mut evals[0], &pe.traversal, pe.eval_seed)]
+        } else {
+            for n in items.iter_mut().take(batch.pending.len()) {
+                *n += 1;
+            }
+            std::thread::scope(|s| {
+                let handles: Vec<_> = batch
+                    .pending
+                    .iter()
+                    .zip(evals.iter_mut())
+                    .map(|(pe, eval)| {
+                        s.spawn(move || contained_eval(eval, &pe.traversal, pe.eval_seed))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shared MCTS evaluation thread panicked"))
+                    .collect()
+            })
+        };
+        mcts.commit(batch, results)?;
+    }
+
+    if let Some(sink) = events.filter(|s| s.is_enabled()) {
+        for (worker, &n) in items.iter().enumerate() {
+            sink.emit(
+                "worker-end",
+                &[("worker", worker.into()), ("items", n.into())],
+            );
+        }
+    }
+
+    let sim = merge_worker_stats(&evals);
+    let cache = CacheStats {
+        hits: mcts.repeats(),
+        misses: mcts.records().len() as u64,
+    };
+    let quarantined = mcts.failures() as u64;
+    let tree = mcts.stats();
+    let exhausted = mcts.is_exhausted();
+    let (mut records, raw_telemetry) = mcts.into_parts();
+    records.sort_by_key(|r| r.traversal.canonical_hash());
+    // Commit-time rows carry assembly iteration numbers, which are not
+    // monotone across batches; renumber in push (commit) order so the
+    // merged telemetry reads like the serial engine's.
+    let mut telemetry = SearchTelemetry::new();
+    for (i, row) in raw_telemetry.rows().iter().enumerate() {
+        telemetry.push(TelemetryRow {
+            iteration: i as u64 + 1,
+            ..*row
+        });
+    }
+    Ok(ExploreOutput {
+        records,
+        telemetry,
+        sim,
+        cache,
+        threads,
+        failures: Vec::new(),
+        quarantined,
+        tree: Some(tree),
+        exhausted,
+    })
+}
+
+/// Runs one evaluation with panic containment: a poisoned evaluation
+/// surfaces as a structured error the search can quarantine instead of
+/// tearing down the batch.
+fn contained_eval<E: Evaluator>(
+    eval: &mut E,
+    t: &Traversal,
+    seed: u64,
+) -> Result<BenchResult, SimError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eval.evaluate(t, seed)))
+        .unwrap_or_else(|payload| {
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(SimError::Panicked { detail })
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1043,29 +1326,85 @@ mod tests {
         }
     }
 
+    /// Like [`run_parallel`] with an explicitly pinned MCTS backend.
+    fn run_backend(strategy: Strategy, threads: usize, backend: SearchBackend) -> ExploreOutput {
+        let (space, w, platform) = setup();
+        explore_parallel_backend(
+            &space,
+            || SimEvaluator::new(&space, &w, &platform, BenchConfig::quick()),
+            strategy,
+            threads,
+            backend,
+        )
+        .unwrap()
+    }
+
     #[test]
     fn root_parallel_mcts_exhausts_to_the_serial_record_set() {
         // A budget far above the space size exhausts every worker's
         // tree, so the merged record set must be thread-count-invariant
-        // and identical to the serial search's.
+        // and identical to the serial search's. (Backend pinned to the
+        // legacy root-parallel engine; the default is the shared tree.)
         let strategy = Strategy::Mcts {
             iterations: 200,
             config: MctsConfig::default(),
         };
-        let serial = run_parallel(strategy, 1);
+        let serial = run_backend(strategy, 1, SearchBackend::Root);
         let serial_set = record_set(&serial.records);
         assert!(!serial_set.is_empty());
         for threads in [2, 4] {
-            let par = run_parallel(strategy, threads);
+            let par = run_backend(strategy, threads, SearchBackend::Root);
             assert_eq!(record_set(&par.records), serial_set, "threads={threads}");
             // Re-running is deterministic in full.
-            let again = run_parallel(strategy, threads);
+            let again = run_backend(strategy, threads, SearchBackend::Root);
             assert_eq!(record_set(&again.records), record_set(&par.records));
             // Workers overlap on a tiny space, so the shared cache
             // must have absorbed re-simulations.
             assert!(par.cache.hits > 0, "expected cache hits: {:?}", par.cache);
             assert_eq!(par.cache.misses as usize, par.records.len());
         }
+    }
+
+    #[test]
+    fn shared_tree_mcts_is_thread_count_invariant_at_exhaustion() {
+        // The shared backend sorts records canonically, so at exhaustion
+        // not just the record set but the record *list* must be
+        // identical across thread counts — and across the Auto/Shared
+        // spellings — and must equal the serial engine's record set.
+        let strategy = Strategy::Mcts {
+            iterations: 200,
+            config: MctsConfig::default(),
+        };
+        let serial = run_backend(strategy, 1, SearchBackend::Auto);
+        assert!(serial.exhausted, "budget must exhaust the test space");
+        let serial_set = record_set(&serial.records);
+        let shared1 = run_backend(strategy, 1, SearchBackend::Shared);
+        assert!(shared1.exhausted);
+        assert_eq!(record_set(&shared1.records), serial_set);
+        for threads in [2, 4] {
+            let par = run_backend(strategy, threads, SearchBackend::Shared);
+            assert!(par.exhausted, "threads={threads}");
+            assert_eq!(par.records.len(), shared1.records.len());
+            for (a, b) in par.records.iter().zip(&shared1.records) {
+                assert_eq!(a.traversal, b.traversal, "threads={threads}");
+                assert_eq!(a.result, b.result, "threads={threads}");
+            }
+            let auto = run_backend(strategy, threads, SearchBackend::Auto);
+            assert_eq!(record_set(&auto.records), serial_set);
+            // Cache counters mirror the tree's repeat accounting.
+            assert_eq!(par.cache.misses as usize, par.records.len());
+            assert!(par.tree.is_some());
+            let (ps, ss) = (par.sim.clone().unwrap(), serial.sim.clone().unwrap());
+            assert_eq!(ps.runs, ss.runs, "each traversal simulated once");
+        }
+    }
+
+    #[test]
+    fn search_backend_resolves_names() {
+        assert_eq!(SearchBackend::default(), SearchBackend::Auto);
+        assert_eq!(SearchBackend::Auto.name(), "auto");
+        assert_eq!(SearchBackend::Shared.name(), "shared");
+        assert_eq!(SearchBackend::Root.name(), "root");
     }
 
     /// An evaluator that deterministically fails traversals by hash

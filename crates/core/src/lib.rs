@@ -46,9 +46,11 @@ pub use compare::{
 };
 pub use evaluate::{labeling_accuracy, AccuracyReport};
 pub use explore::{
-    events_rate, explore, explore_instrumented, explore_parallel, explore_parallel_resilient,
-    explore_parallel_resilient_traced, explore_parallel_resilient_watched, explore_parallel_traced,
-    explore_parallel_watched, ExploreOutput, Strategy,
+    events_rate, explore, explore_instrumented, explore_parallel, explore_parallel_backend,
+    explore_parallel_resilient, explore_parallel_resilient_traced,
+    explore_parallel_resilient_watched, explore_parallel_resilient_watched_backend,
+    explore_parallel_traced, explore_parallel_watched, explore_parallel_watched_backend,
+    ExploreOutput, SearchBackend, Strategy,
 };
 pub use ledger::{
     append_entry, ledger_dir_from_env, ledger_entry_json, records_fingerprint, LedgerContext,

@@ -13,7 +13,7 @@
 use crate::pipeline::PipelineConfig;
 use dr_dag::{DecisionSpace, Traversal};
 use dr_mcts::ExploredRecord;
-use dr_ml::{algorithm1, featurize, label_times, FeatureSet, HyperSearch, Labeling};
+use dr_ml::{algorithm1, featurize, label_times, BitRow, FeatureSet, HyperSearch, Labeling};
 
 /// One binary property of an input, shared across its records.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,7 +74,7 @@ impl MultiInputResult {
     /// input with the given feature values.
     pub fn classify(&self, space: &DecisionSpace, t: &Traversal, input_values: &[bool]) -> usize {
         let mut x = self.features.vector_of(space, t);
-        x.extend_from_slice(input_values);
+        x.extend(input_values.iter().copied());
         self.search.tree.predict(&x)
     }
 }
@@ -124,7 +124,7 @@ pub fn mine_rules_multi(
     let features = featurize(space, &traversals);
 
     // Assemble rows: traversal features ++ input features.
-    let mut x: Vec<Vec<bool>> = Vec::with_capacity(traversals.len());
+    let mut x: Vec<BitRow> = Vec::with_capacity(traversals.len());
     let mut y: Vec<usize> = Vec::with_capacity(traversals.len());
     let mut row = 0usize;
     for (run, labeling) in runs.iter().zip(&labelings) {

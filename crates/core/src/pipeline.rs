@@ -2,7 +2,8 @@
 //! featurize → train → extract rules.
 
 use crate::explore::{
-    events_rate, explore_parallel_resilient_watched, explore_parallel_watched, Strategy,
+    events_rate, explore_parallel_resilient_watched_backend, explore_parallel_watched_backend,
+    SearchBackend, Strategy,
 };
 use crate::lintstage::{topology_from_workload, LintTotals, LintingEvaluator};
 use crate::report::{RunReport, SearchSummary};
@@ -49,6 +50,11 @@ pub struct PipelineConfig {
     /// budget, panic isolation, quarantine instead of abort, and robust
     /// (MAD-screened) labeling.
     pub faults: FaultConfig,
+    /// Which parallel engine backs MCTS exploration. The default
+    /// ([`SearchBackend::Auto`]) keeps the serial tree at one thread and
+    /// uses the shared tree above; the CLI resolves `DR_SEARCH` into
+    /// this field.
+    pub search: SearchBackend,
 }
 
 impl PipelineConfig {
@@ -325,7 +331,7 @@ fn run_pipeline_spanned<W: Workload + Sync>(
     let watch = events.map(|s| EvalWatch::new(s.clone(), events_rate()));
     let sw = Stopwatch::start();
     let explored = match (&resilience, &lint_ctx) {
-        (Some(totals), Some((lint, topo))) => explore_parallel_resilient_watched(
+        (Some(totals), Some((lint, topo))) => explore_parallel_resilient_watched_backend(
             space,
             || {
                 WatchedEvaluator::new(
@@ -353,8 +359,9 @@ fn run_pipeline_spanned<W: Workload + Sync>(
             tracer,
             dispatch,
             events,
+            cfg.search,
         ),
-        (Some(totals), None) => explore_parallel_resilient_watched(
+        (Some(totals), None) => explore_parallel_resilient_watched_backend(
             space,
             || {
                 WatchedEvaluator::new(
@@ -377,8 +384,9 @@ fn run_pipeline_spanned<W: Workload + Sync>(
             tracer,
             dispatch,
             events,
+            cfg.search,
         ),
-        (None, Some((lint, topo))) => explore_parallel_watched(
+        (None, Some((lint, topo))) => explore_parallel_watched_backend(
             space,
             || {
                 WatchedEvaluator::new(
@@ -399,8 +407,9 @@ fn run_pipeline_spanned<W: Workload + Sync>(
             tracer,
             dispatch,
             events,
+            cfg.search,
         ),
-        (None, None) => explore_parallel_watched(
+        (None, None) => explore_parallel_watched_backend(
             space,
             || {
                 WatchedEvaluator::new(
@@ -416,6 +425,7 @@ fn run_pipeline_spanned<W: Workload + Sync>(
             tracer,
             dispatch,
             events,
+            cfg.search,
         ),
     };
     let explored = match explored {

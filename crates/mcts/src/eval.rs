@@ -4,15 +4,17 @@
 use dr_dag::{build_schedule, DecisionSpace, Traversal};
 use dr_par::StripedCache;
 use dr_sim::{
-    benchmark_instrumented, BenchConfig, BenchResult, CompiledProgram, Platform, SimError,
-    SimStats, Workload,
+    benchmark_memo_instrumented, BenchConfig, BenchResult, CompiledProgram, Platform, SimError,
+    SimMemo, SimStats, Workload,
 };
 
 /// Measures the empirical performance of a complete traversal.
 ///
-/// The search calls this once per distinct rollout result; `seed` varies
-/// per call so measurement noise differs between implementations exactly
-/// as it would on a real platform.
+/// The search calls this once per distinct rollout result. `seed` is the
+/// traversal's evaluation seed; evaluators that use the simulator's
+/// memoized protocol key noise by *position* instead and may ignore it —
+/// either way the result is a pure function of the traversal, which is
+/// what keeps record sets thread-count-invariant.
 pub trait Evaluator {
     /// Benchmarks `t` and returns its measurement record.
     fn evaluate(&mut self, t: &Traversal, seed: u64) -> Result<BenchResult, SimError>;
@@ -36,12 +38,24 @@ where
 /// The standard evaluator: lower the traversal to a schedule, compile it
 /// against a workload, and run the paper's measurement protocol on the
 /// platform simulator.
+///
+/// Uses the *memoized* protocol ([`benchmark_memo_instrumented`]): noise
+/// is position-keyed and the `(measurement, sample)` noise cells are
+/// shared across traversals, so the per-seed noise-factor tables built
+/// for one schedule replay for every sibling — the Box-Muller draws that
+/// dominate short executions are computed once per cell. On programs
+/// long enough to clear the memo's snapshot floor, executor snapshots
+/// taken at checkpoint boundaries additionally let sibling schedules
+/// re-simulate only their suffix. Results are a pure function of
+/// `(traversal, workload, platform, cfg)`: the `seed` argument is
+/// ignored, the memo can only change wall time, never measurements.
 pub struct SimEvaluator<'a, W: Workload> {
     space: &'a DecisionSpace,
     workload: &'a W,
     platform: &'a Platform,
     cfg: BenchConfig,
     stats: SimStats,
+    memo: SimMemo,
 }
 
 impl<'a, W: Workload> SimEvaluator<'a, W> {
@@ -58,6 +72,7 @@ impl<'a, W: Workload> SimEvaluator<'a, W> {
             platform,
             cfg,
             stats: SimStats::default(),
+            memo: SimMemo::default(),
         }
     }
 
@@ -66,13 +81,29 @@ impl<'a, W: Workload> SimEvaluator<'a, W> {
     pub fn stats(&self) -> &SimStats {
         &self.stats
     }
+
+    /// `(hits, misses)` of the prefix-checkpoint memo: how many
+    /// executions resumed from a cached snapshot vs ran cold. Both stay
+    /// zero on programs below the memo's snapshot floor, where only the
+    /// noise tables are in play.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        (self.memo.hits(), self.memo.misses())
+    }
+
+    /// Number of per-seed noise-factor tables the memo has built — one
+    /// per distinct `(measurement, sample)` cell seed the protocol has
+    /// touched, shared across every traversal evaluated so far.
+    pub fn noise_tables(&self) -> usize {
+        self.memo.noise_tables()
+    }
 }
 
 impl<W: Workload> Evaluator for SimEvaluator<'_, W> {
-    fn evaluate(&mut self, t: &Traversal, seed: u64) -> Result<BenchResult, SimError> {
+    fn evaluate(&mut self, t: &Traversal, _seed: u64) -> Result<BenchResult, SimError> {
         let schedule = build_schedule(self.space, t);
         let prog = CompiledProgram::compile(&schedule, self.workload)?;
-        let (result, stats) = benchmark_instrumented(&prog, self.platform, &self.cfg, seed)?;
+        let (result, stats) =
+            benchmark_memo_instrumented(&prog, self.platform, &self.cfg, &mut self.memo)?;
         self.stats.merge(&stats);
         Ok(result)
     }
@@ -139,6 +170,47 @@ mod tests {
         let t = space.enumerate().next().unwrap();
         let res = eval.evaluate(&t, 1).unwrap();
         assert!(res.time() >= 1e-4);
+    }
+
+    #[test]
+    fn memo_reuse_is_order_independent_and_seed_free() {
+        // Evaluations are pure functions of the traversal: warm-memo
+        // results equal cold ones regardless of visit order or seed.
+        let mut b = DagBuilder::new();
+        b.add("x", OpSpec::GpuKernel(CostKey::new("x")));
+        b.add("y", OpSpec::GpuKernel(CostKey::new("y")));
+        b.add("z", OpSpec::GpuKernel(CostKey::new("z")));
+        let space = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
+        let mut w = TableWorkload::new(2);
+        w.cost_all("x", 1e-4)
+            .cost_all("y", 2e-4)
+            .cost_all("z", 5e-5);
+        let platform = Platform::perlmutter_like(); // noisy
+        let all: Vec<Traversal> = space.enumerate().collect();
+        assert!(all.len() >= 2);
+
+        let mut forward = SimEvaluator::new(&space, &w, &platform, BenchConfig::quick());
+        let fwd: Vec<_> = all
+            .iter()
+            .map(|t| forward.evaluate(t, 1).unwrap())
+            .collect();
+        // Small programs sit below the snapshot floor (no state clones);
+        // the shared work is the per-cell noise tables, reused by every
+        // sibling schedule.
+        assert_eq!(forward.memo_stats(), (0, 0), "snapshot floor engaged");
+        assert!(
+            forward.noise_tables() > 0,
+            "noise cells must be tabulated and shared across schedules"
+        );
+
+        let mut backward = SimEvaluator::new(&space, &w, &platform, BenchConfig::quick());
+        let mut bwd: Vec<_> = all
+            .iter()
+            .rev()
+            .map(|t| backward.evaluate(t, 2).unwrap())
+            .collect();
+        bwd.reverse();
+        assert_eq!(fwd, bwd, "memo state and seed must never leak into results");
     }
 
     #[test]

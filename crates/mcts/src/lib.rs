@@ -9,6 +9,9 @@
 //!
 //! * [`Mcts`] — the four-phase search (selection / expansion / rollout /
 //!   backpropagation) with exhaustion detection;
+//! * [`SharedMcts`] — the shared-tree variant: one arena-backed tree whose
+//!   leaf evaluations are batched for parallel workers, with virtual loss
+//!   steering concurrent descents apart;
 //! * [`Evaluator`] / [`SimEvaluator`] — measurement of rollouts via the
 //!   platform simulator;
 //! * [`random_search`] — the uniform random-sampling baseline the paper's
@@ -19,11 +22,13 @@
 
 mod eval;
 mod random;
+mod shared;
 mod telemetry;
 mod tree;
 
 pub use eval::{CachingEvaluator, Evaluator, SimEvaluator};
 pub use random::{random_rollout, random_search, random_search_telemetry};
+pub use shared::{Batch, PendingEval, SharedMcts};
 pub use telemetry::{SearchTelemetry, TelemetryRow};
 pub use tree::{
     Exploitation, ExploredRecord, Mcts, MctsConfig, NodeStat, PrincipalVariation, StepOutcome,

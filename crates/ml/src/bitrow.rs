@@ -1,0 +1,273 @@
+//! Word-packed binary feature rows.
+//!
+//! The Section IV-B feature vectors are pure bit vectors, and the CART
+//! trainer's inner loop is dominated by counting how many samples of
+//! each class fall on each side of a candidate split. Packing rows (and
+//! the trainer's column/class masks) into `u64` words turns those counts
+//! into a handful of `popcount` instructions per 64 samples instead of
+//! one branch per sample, and shrinks the feature matrix 8×.
+//!
+//! Bits past `len` in the last word are kept zero (every mutator
+//! maintains the invariant), so popcounts never need a tail mask.
+
+use std::ops::Index;
+
+const WORD_BITS: usize = 64;
+
+/// The referents of [`BitRow`]'s `Index` impl, which must hand out
+/// references.
+static TRUE: bool = true;
+static FALSE: bool = false;
+
+/// A fixed-order sequence of bits packed 64 per word.
+///
+/// Supports `row[i]` indexing like the `Vec<bool>` it replaces, plus the
+/// word-wise intersection counts the decision-tree trainer is built on.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct BitRow {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitRow {
+    /// An empty row.
+    pub fn new() -> Self {
+        BitRow::default()
+    }
+
+    /// A row of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        BitRow {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// A row of `len` one bits.
+    pub fn ones(len: usize) -> Self {
+        let mut row = BitRow {
+            words: vec![!0u64; len.div_ceil(WORD_BITS)],
+            len,
+        };
+        let tail = len % WORD_BITS;
+        if tail != 0 {
+            *row.words.last_mut().expect("len > 0 when tail > 0") = (1u64 << tail) - 1;
+        }
+        row
+    }
+
+    /// Packs a bool slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        bits.iter().copied().collect()
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the row holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        if self.len.is_multiple_of(WORD_BITS) {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[self.len / WORD_BITS] |= 1u64 << (self.len % WORD_BITS);
+        }
+        self.len += 1;
+    }
+
+    /// The bit at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
+    }
+
+    /// Sets the bit at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len`.
+    pub fn set(&mut self, i: usize, bit: bool) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        if bit {
+            self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+        } else {
+            self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+        }
+    }
+
+    /// Iterates the bits in order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Number of one bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of positions set in both `self` and `other`.
+    pub fn and_count(&self, other: &BitRow) -> usize {
+        debug_assert_eq!(self.len, other.len, "length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of positions set in `self` and `keep` but not `exclude` —
+    /// the trainer's "samples of this class going left" count, without
+    /// materializing an intermediate row.
+    pub fn count_and_not(&self, keep: &BitRow, exclude: &BitRow) -> usize {
+        debug_assert_eq!(self.len, keep.len, "length mismatch");
+        debug_assert_eq!(self.len, exclude.len, "length mismatch");
+        self.words
+            .iter()
+            .zip(&keep.words)
+            .zip(&exclude.words)
+            .map(|((a, b), c)| (a & b & !c).count_ones() as usize)
+            .sum()
+    }
+
+    /// `self & other`.
+    pub fn and(&self, other: &BitRow) -> BitRow {
+        debug_assert_eq!(self.len, other.len, "length mismatch");
+        BitRow {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// `self & !other` (the tail invariant survives because `self`'s
+    /// tail bits are already zero).
+    pub fn and_not(&self, other: &BitRow) -> BitRow {
+        debug_assert_eq!(self.len, other.len, "length mismatch");
+        BitRow {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & !b)
+                .collect(),
+            len: self.len,
+        }
+    }
+}
+
+impl Index<usize> for BitRow {
+    type Output = bool;
+
+    fn index(&self, i: usize) -> &bool {
+        if self.get(i) {
+            &TRUE
+        } else {
+            &FALSE
+        }
+    }
+}
+
+impl FromIterator<bool> for BitRow {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut row = BitRow::new();
+        for bit in iter {
+            row.push(bit);
+        }
+        row
+    }
+}
+
+impl Extend<bool> for BitRow {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        for bit in iter {
+            self.push(bit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_and_index_round_trip() {
+        let bits: Vec<bool> = (0..130).map(|i| i % 3 == 0).collect();
+        let row = BitRow::from_bools(&bits);
+        assert_eq!(row.len(), 130);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(row.get(i), b, "bit {i}");
+            assert_eq!(row[i], b, "bit {i} via Index");
+        }
+        assert_eq!(row.iter().collect::<Vec<bool>>(), bits);
+    }
+
+    #[test]
+    fn counts_match_a_naive_model() {
+        let a: Vec<bool> = (0..200).map(|i| i % 2 == 0).collect();
+        let b: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        let c: Vec<bool> = (0..200).map(|i| i % 5 == 0).collect();
+        let (ra, rb, rc) = (
+            BitRow::from_bools(&a),
+            BitRow::from_bools(&b),
+            BitRow::from_bools(&c),
+        );
+        assert_eq!(ra.count_ones(), a.iter().filter(|&&x| x).count());
+        let and = (0..200).filter(|&i| a[i] && b[i]).count();
+        assert_eq!(ra.and_count(&rb), and);
+        let triple = (0..200).filter(|&i| a[i] && b[i] && !c[i]).count();
+        assert_eq!(ra.count_and_not(&rb, &rc), triple);
+        assert_eq!(ra.and(&rb).count_ones(), and);
+        assert_eq!(
+            ra.and_not(&rc).count_ones(),
+            ra.count_ones() - ra.and_count(&rc)
+        );
+    }
+
+    #[test]
+    fn ones_masks_the_tail_word() {
+        for len in [0usize, 1, 63, 64, 65, 128, 130] {
+            let row = BitRow::ones(len);
+            assert_eq!(row.count_ones(), len, "len {len}");
+            assert_eq!(row, (0..len).map(|_| true).collect());
+        }
+    }
+
+    #[test]
+    fn set_clears_and_sets() {
+        let mut row = BitRow::zeros(70);
+        row.set(0, true);
+        row.set(69, true);
+        assert_eq!(row.count_ones(), 2);
+        row.set(69, false);
+        assert!(!row.get(69));
+        assert_eq!(row.count_ones(), 1);
+    }
+
+    #[test]
+    fn extend_appends_bits() {
+        let mut row = BitRow::from_bools(&[true]);
+        row.extend([false, true]);
+        assert_eq!(row, BitRow::from_bools(&[true, false, true]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_past_the_end_panics() {
+        BitRow::zeros(3).get(3);
+    }
+}

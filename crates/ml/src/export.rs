@@ -60,7 +60,10 @@ mod tests {
 
     #[test]
     fn dot_covers_nodes_and_branches() {
-        let x = vec![vec![false], vec![false], vec![true], vec![true]];
+        let x: Vec<crate::BitRow> = [[false], [false], [true], [true]]
+            .iter()
+            .map(|b| crate::BitRow::from_bools(b))
+            .collect();
         let y = vec![0, 0, 1, 1];
         let tree = DecisionTree::fit(&x, &y, 2, &TrainConfig::default());
         let dot = tree_to_dot(
@@ -78,7 +81,7 @@ mod tests {
 
     #[test]
     fn single_leaf_tree_renders() {
-        let x = vec![vec![true]; 3];
+        let x = vec![crate::BitRow::from_bools(&[true]); 3];
         let y = vec![1; 3];
         let tree = DecisionTree::fit(&x, &y, 2, &TrainConfig::default());
         let dot = tree_to_dot(&tree, &[String::from("f")], &["c0".into(), "c1".into()]);

@@ -13,6 +13,7 @@
 //! earlier one across all samples (e.g. when `v` always immediately
 //! follows `u`, their orderings against any third operation coincide).
 
+use crate::bitrow::BitRow;
 use dr_dag::{DecisionKind, DecisionSpace, OpId, Traversal};
 
 /// Semantic identity of a feature, independent of the sample set it was
@@ -62,8 +63,8 @@ impl Feature {
 pub struct FeatureSet {
     /// Retained feature columns.
     pub features: Vec<Feature>,
-    /// `matrix[sample][feature]`.
-    pub matrix: Vec<Vec<bool>>,
+    /// `matrix[sample][feature]`, one packed row per sample.
+    pub matrix: Vec<BitRow>,
     /// Number of constant columns removed.
     pub dropped_constant: usize,
     /// Number of duplicate columns removed.
@@ -84,7 +85,7 @@ impl FeatureSet {
     /// Computes the retained feature vector of a traversal that was not
     /// necessarily part of the original sample set (used to classify the
     /// full space with rules learned from a subset).
-    pub fn vector_of(&self, space: &DecisionSpace, t: &Traversal) -> Vec<bool> {
+    pub fn vector_of(&self, space: &DecisionSpace, t: &Traversal) -> BitRow {
         let pos = t.positions(space.num_ops());
         let streams = t.streams(space.num_ops());
         self.features
@@ -131,7 +132,12 @@ pub fn feature_universe(space: &DecisionSpace) -> Vec<Feature> {
     features
 }
 
-/// Builds the pruned feature matrix of a sample set.
+/// Builds the pruned feature matrix of a sample set: per-traversal
+/// position/stream indices are computed once up front, every universe
+/// column is evaluated as a packed bit column (so the constant and
+/// duplicate checks are word compares, not per-sample scans), retained
+/// features are moved — never cloned — and the surviving columns are
+/// transposed into packed rows.
 pub fn featurize(space: &DecisionSpace, traversals: &[&Traversal]) -> FeatureSet {
     let universe = feature_universe(space);
     let rows: Vec<(Vec<usize>, Vec<Option<usize>>)> = traversals
@@ -140,29 +146,30 @@ pub fn featurize(space: &DecisionSpace, traversals: &[&Traversal]) -> FeatureSet
         .collect();
 
     // Evaluate column-wise for pruning.
-    let mut kept: Vec<(Feature, Vec<bool>)> = Vec::new();
+    let mut features: Vec<Feature> = Vec::new();
+    let mut cols: Vec<BitRow> = Vec::new();
     let mut dropped_constant = 0;
     let mut dropped_duplicate = 0;
     for f in universe {
-        let col: Vec<bool> = rows
+        let col: BitRow = rows
             .iter()
             .map(|(pos, st)| eval_kind(f.kind, pos, st))
             .collect();
-        let constant = col.iter().all(|&b| b == col[0]);
-        if constant && !rows.is_empty() {
+        let ones = col.count_ones();
+        if !rows.is_empty() && (ones == 0 || ones == rows.len()) {
             dropped_constant += 1;
             continue;
         }
-        if kept.iter().any(|(_, existing)| existing == &col) {
+        if cols.contains(&col) {
             dropped_duplicate += 1;
             continue;
         }
-        kept.push((f, col));
+        features.push(f);
+        cols.push(col);
     }
 
-    let features: Vec<Feature> = kept.iter().map(|(f, _)| f.clone()).collect();
-    let matrix: Vec<Vec<bool>> = (0..rows.len())
-        .map(|s| kept.iter().map(|(_, col)| col[s]).collect())
+    let matrix: Vec<BitRow> = (0..rows.len())
+        .map(|s| cols.iter().map(|col| col.get(s)).collect())
         .collect();
     FeatureSet {
         features,

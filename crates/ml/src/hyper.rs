@@ -6,6 +6,7 @@
 //! until the training error stops shrinking; `max_depth` is always one
 //! less than the leaf budget.
 
+use crate::bitrow::BitRow;
 use crate::tree::{DecisionTree, TrainConfig};
 
 /// One `train()` invocation during the search, for Fig. 5.
@@ -40,7 +41,7 @@ pub struct HyperSearch {
 /// error shrinks. `base` supplies criterion/weighting; its
 /// `max_leaf_nodes`/`max_depth` are overridden by the search.
 pub fn algorithm1(
-    x: &[Vec<bool>],
+    x: &[BitRow],
     y: &[usize],
     num_classes: usize,
     base: &TrainConfig,
@@ -104,15 +105,15 @@ mod tests {
 
     /// Three classes separable with 3 leaves: f0 splits class 2, f1
     /// splits 0 from 1.
-    fn data() -> (Vec<Vec<bool>>, Vec<usize>) {
+    fn data() -> (Vec<BitRow>, Vec<usize>) {
         let mut x = Vec::new();
         let mut y = Vec::new();
         for _ in 0..10 {
-            x.push(vec![true, false]);
+            x.push(BitRow::from_bools(&[true, false]));
             y.push(2);
-            x.push(vec![false, false]);
+            x.push(BitRow::from_bools(&[false, false]));
             y.push(0);
-            x.push(vec![false, true]);
+            x.push(BitRow::from_bools(&[false, true]));
             y.push(1);
         }
         (x, y)
@@ -149,7 +150,10 @@ mod tests {
     fn trivial_problem_stops_immediately() {
         // Perfectly separable with 2 leaves: the mln=2 tree already has
         // zero error, probes 3..7 cannot improve, search stops.
-        let x = vec![vec![false], vec![true], vec![false], vec![true]];
+        let x: Vec<BitRow> = [[false], [true], [false], [true]]
+            .iter()
+            .map(|b| BitRow::from_bools(b))
+            .collect();
         let y = vec![0, 1, 0, 1];
         let s = algorithm1(&x, &y, 2, &TrainConfig::default());
         assert_eq!(s.error, 0.0);

@@ -8,7 +8,8 @@
 //!   step-kernel convolution, and prominence-screened peak detection
 //!   (Fig. 4);
 //! * [`featurize`] — the sequence-to-vector transform: pairwise ordering
-//!   and same-stream features, with constant/duplicate column pruning;
+//!   and same-stream features, with constant/duplicate column pruning,
+//!   packed into word-backed [`BitRow`] vectors;
 //! * [`DecisionTree`] — CART from scratch (gini/entropy, best-first
 //!   `max_leaf_nodes` growth, `class_weight="balanced"`), plus
 //!   [`algorithm1`], the paper's leaf-budget hyperparameter search
@@ -20,6 +21,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod bitrow;
 pub mod export;
 mod features;
 mod hyper;
@@ -29,6 +31,7 @@ mod rules;
 pub mod signal;
 mod tree;
 
+pub use bitrow::BitRow;
 pub use export::tree_to_dot;
 pub use features::{feature_universe, featurize, Feature, FeatureKind, FeatureSet};
 pub use hyper::{algorithm1, HyperSearch, SearchStep};

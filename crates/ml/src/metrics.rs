@@ -2,12 +2,13 @@
 //! importances, used to interpret the mined rules ("which design
 //! decisions carry the discriminating power?").
 
+use crate::bitrow::BitRow;
 use crate::tree::{DecisionTree, TrainConfig};
 
 /// `matrix[true_class][predicted_class]` counts over a labelled set.
 pub fn confusion_matrix(
     tree: &DecisionTree,
-    x: &[Vec<bool>],
+    x: &[BitRow],
     y: &[usize],
     num_classes: usize,
 ) -> Vec<Vec<usize>> {
@@ -72,14 +73,14 @@ mod tests {
     use super::*;
     use crate::tree::DecisionTree;
 
-    fn data() -> (Vec<Vec<bool>>, Vec<usize>) {
+    fn data() -> (Vec<BitRow>, Vec<usize>) {
         // Feature 0 decides the class; feature 1 is pure noise.
         let mut x = Vec::new();
         let mut y = Vec::new();
         for i in 0..40 {
             let f0 = i % 2 == 0;
             let f1 = i % 3 == 0;
-            x.push(vec![f0, f1]);
+            x.push(BitRow::from_bools(&[f0, f1]));
             y.push(usize::from(f0));
         }
         (x, y)
@@ -124,7 +125,7 @@ mod tests {
 
     #[test]
     fn stump_has_zero_importances() {
-        let x = vec![vec![true]; 4];
+        let x = vec![BitRow::from_bools(&[true]); 4];
         let y = vec![0; 4];
         let cfg = TrainConfig::default();
         let tree = DecisionTree::fit(&x, &y, 1, &cfg);

@@ -6,6 +6,14 @@
 //! `max_leaf_nodes`, a `max_depth` cap, and `class_weight="balanced"`.
 //! Features are binary (the Section IV-B vectors), so every split is
 //! "feature = 0 goes left, feature = 1 goes right".
+//!
+//! Training works on word-packed bit masks: the row-major [`BitRow`]
+//! input is transposed once into per-feature column masks and per-class
+//! membership masks over the samples, a node's sample subset is itself a
+//! mask, and every split candidate's class counts reduce to
+//! `popcount(node ∧ class ∧ ¬column)` — no per-sample branching.
+
+use crate::bitrow::BitRow;
 
 /// Split-quality criterion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,12 +140,27 @@ pub struct LeafPath {
 impl DecisionTree {
     /// Fits a tree on binary features `x` (row-major) with labels `y` in
     /// `0..num_classes`.
-    pub fn fit(x: &[Vec<bool>], y: &[usize], num_classes: usize, cfg: &TrainConfig) -> Self {
+    pub fn fit(x: &[BitRow], y: &[usize], num_classes: usize, cfg: &TrainConfig) -> Self {
         assert_eq!(x.len(), y.len(), "sample/label length mismatch");
         assert!(!x.is_empty(), "cannot fit on an empty sample set");
         assert!(y.iter().all(|&c| c < num_classes), "label out of range");
         let n = x.len();
         let num_features = x[0].len();
+
+        // Transpose once: column masks over samples (bit s of `cols[f]`
+        // is sample s's feature f) and class-membership masks.
+        let mut cols = vec![BitRow::zeros(n); num_features];
+        for (s, row) in x.iter().enumerate() {
+            for (f, col) in cols.iter_mut().enumerate() {
+                if row.get(f) {
+                    col.set(s, true);
+                }
+            }
+        }
+        let mut class_masks = vec![BitRow::zeros(n); num_classes];
+        for (s, &c) in y.iter().enumerate() {
+            class_masks[c].set(s, true);
+        }
 
         // class_weight="balanced": w_c = n / (k * count_c).
         let mut raw = vec![0usize; num_classes];
@@ -163,22 +186,23 @@ impl DecisionTree {
             num_classes,
             class_weights,
         };
-        let all: Vec<usize> = (0..n).collect();
-        let root = tree.make_node(&all, y, 0);
+        let all = BitRow::ones(n);
+        let root = tree.make_node(&all, &class_masks, 0);
         tree.nodes.push(root);
 
         // Best-first growth: always split the frontier leaf with the
-        // largest weighted impurity decrease.
+        // largest weighted impurity decrease. A node's sample subset is
+        // a mask over the samples.
         struct Candidate {
             node: usize,
-            samples: Vec<usize>,
+            mask: BitRow,
             feature: usize,
             improvement: f64,
         }
         let mut frontier: Vec<Candidate> = Vec::new();
         let push_candidate = |tree: &DecisionTree,
                               node: usize,
-                              samples: Vec<usize>,
+                              mask: BitRow,
                               frontier: &mut Vec<Candidate>| {
             if tree.nodes[node].is_pure() {
                 return;
@@ -188,11 +212,10 @@ impl DecisionTree {
                     return;
                 }
             }
-            if let Some((feature, improvement)) = tree.best_split(&samples, x, y, num_features, cfg)
-            {
+            if let Some((feature, improvement)) = tree.best_split(&mask, &cols, &class_masks, cfg) {
                 frontier.push(Candidate {
                     node,
-                    samples,
+                    mask,
                     feature,
                     improvement,
                 });
@@ -222,13 +245,13 @@ impl DecisionTree {
                 .expect("frontier non-empty");
             let cand = frontier.swap_remove(best);
 
-            let (ls, rs): (Vec<usize>, Vec<usize>) =
-                cand.samples.iter().partition(|&&s| !x[s][cand.feature]);
+            let ls = cand.mask.and_not(&cols[cand.feature]);
+            let rs = cand.mask.and(&cols[cand.feature]);
             let left = tree.nodes.len();
-            let lnode = tree.make_node(&ls, y, tree.nodes[cand.node].depth + 1);
+            let lnode = tree.make_node(&ls, &class_masks, tree.nodes[cand.node].depth + 1);
             tree.nodes.push(lnode);
             let right = tree.nodes.len();
-            let rnode = tree.make_node(&rs, y, tree.nodes[cand.node].depth + 1);
+            let rnode = tree.make_node(&rs, &class_masks, tree.nodes[cand.node].depth + 1);
             tree.nodes.push(rnode);
             tree.nodes[cand.node].feature = Some(cand.feature);
             tree.nodes[cand.node].left = left;
@@ -241,11 +264,8 @@ impl DecisionTree {
         tree
     }
 
-    fn make_node(&self, samples: &[usize], y: &[usize], depth: usize) -> Node {
-        let mut raw = vec![0usize; self.num_classes];
-        for &s in samples {
-            raw[y[s]] += 1;
-        }
+    fn make_node(&self, mask: &BitRow, class_masks: &[BitRow], depth: usize) -> Node {
+        let raw: Vec<usize> = class_masks.iter().map(|cm| mask.and_count(cm)).collect();
         let weighted: Vec<f64> = raw
             .iter()
             .zip(&self.class_weights)
@@ -261,32 +281,31 @@ impl DecisionTree {
         }
     }
 
-    /// Best split of a sample subset: the feature maximizing the weighted
-    /// impurity decrease. Returns `None` when no feature separates the
-    /// samples with positive improvement.
+    /// Best split of a sample subset (given as a mask): the feature
+    /// maximizing the weighted impurity decrease. Returns `None` when no
+    /// feature separates the samples with positive improvement. Class
+    /// counts on each side are popcounts of `mask ∧ class ∧ ¬column`.
     fn best_split(
         &self,
-        samples: &[usize],
-        x: &[Vec<bool>],
-        y: &[usize],
-        num_features: usize,
+        mask: &BitRow,
+        cols: &[BitRow],
+        class_masks: &[BitRow],
         cfg: &TrainConfig,
     ) -> Option<(usize, f64)> {
-        let mut parent = vec![0.0f64; self.num_classes];
-        for &s in samples {
-            parent[y[s]] += self.class_weights[y[s]];
-        }
+        let parent: Vec<f64> = class_masks
+            .iter()
+            .zip(&self.class_weights)
+            .map(|(cm, &w)| mask.and_count(cm) as f64 * w)
+            .collect();
         let w_parent: f64 = parent.iter().sum();
         let imp_parent = cfg.criterion.impurity(&parent);
         let mut best: Option<(usize, f64)> = None;
-        #[allow(clippy::needless_range_loop)] // indices are the clearest form here
-        for f in 0..num_features {
-            let mut left = vec![0.0f64; self.num_classes];
-            for &s in samples {
-                if !x[s][f] {
-                    left[y[s]] += self.class_weights[y[s]];
-                }
-            }
+        for (f, col) in cols.iter().enumerate() {
+            let left: Vec<f64> = class_masks
+                .iter()
+                .zip(&self.class_weights)
+                .map(|(cm, &w)| mask.count_and_not(cm, col) as f64 * w)
+                .collect();
             let w_left: f64 = left.iter().sum();
             let w_right = w_parent - w_left;
             if w_left <= 0.0 || w_right <= 0.0 {
@@ -318,7 +337,7 @@ impl DecisionTree {
     }
 
     /// Predicted class of one feature vector.
-    pub fn predict(&self, x: &[bool]) -> usize {
+    pub fn predict(&self, x: &BitRow) -> usize {
         let mut node = 0usize;
         while let Some(f) = self.nodes[node].feature {
             node = if x[f] {
@@ -344,7 +363,7 @@ impl DecisionTree {
     /// rate when the tree was trained unweighted). Weighting keeps small
     /// classes relevant in Algorithm 1's error minimization, matching the
     /// `class_weight="balanced"` intent.
-    pub fn error(&self, x: &[Vec<bool>], y: &[usize]) -> f64 {
+    pub fn error(&self, x: &[BitRow], y: &[usize]) -> f64 {
         let mut wrong = 0.0;
         let mut total = 0.0;
         for (xi, &yi) in x.iter().zip(y) {
@@ -389,13 +408,17 @@ impl DecisionTree {
 mod tests {
     use super::*;
 
-    fn xor_data() -> (Vec<Vec<bool>>, Vec<usize>) {
+    fn rows(bits: &[&[bool]]) -> Vec<BitRow> {
+        bits.iter().map(|b| BitRow::from_bools(b)).collect()
+    }
+
+    fn xor_data() -> (Vec<BitRow>, Vec<usize>) {
         let mut x = Vec::new();
         let mut y = Vec::new();
         for a in [false, true] {
             for b in [false, true] {
                 for _ in 0..5 {
-                    x.push(vec![a, b]);
+                    x.push(BitRow::from_bools(&[a, b]));
                     y.push(usize::from(a ^ b));
                 }
             }
@@ -417,12 +440,12 @@ mod tests {
 
     #[test]
     fn single_feature_split() {
-        let x = vec![vec![false], vec![false], vec![true], vec![true]];
+        let x = rows(&[&[false], &[false], &[true], &[true]]);
         let y = vec![0, 0, 1, 1];
         let tree = DecisionTree::fit(&x, &y, 2, &TrainConfig::default());
         assert_eq!(tree.num_leaves(), 2);
-        assert_eq!(tree.predict(&[false]), 0);
-        assert_eq!(tree.predict(&[true]), 1);
+        assert_eq!(tree.predict(&BitRow::from_bools(&[false])), 0);
+        assert_eq!(tree.predict(&BitRow::from_bools(&[true])), 1);
     }
 
     #[test]
@@ -450,24 +473,28 @@ mod tests {
 
     #[test]
     fn pure_node_stops_splitting() {
-        let x = vec![vec![false, true]; 6];
+        let x = vec![BitRow::from_bools(&[false, true]); 6];
         let y = vec![1; 6];
         let tree = DecisionTree::fit(&x, &y, 3, &TrainConfig::default());
         assert_eq!(tree.num_leaves(), 1);
-        assert_eq!(tree.predict(&[true, false]), 1);
+        assert_eq!(tree.predict(&BitRow::from_bools(&[true, false])), 1);
     }
 
     #[test]
     fn balanced_weights_protect_minority_class() {
         // 1 minority sample distinguishable by feature 0; 99 majority.
-        let mut x = vec![vec![true]];
+        let mut x = vec![BitRow::from_bools(&[true])];
         let mut y = vec![1usize];
         for _ in 0..99 {
-            x.push(vec![false]);
+            x.push(BitRow::from_bools(&[false]));
             y.push(0);
         }
         let balanced = DecisionTree::fit(&x, &y, 2, &TrainConfig::default());
-        assert_eq!(balanced.predict(&[true]), 1, "minority class must be found");
+        assert_eq!(
+            balanced.predict(&BitRow::from_bools(&[true])),
+            1,
+            "minority class must be found"
+        );
         assert_eq!(balanced.error(&x, &y), 0.0);
     }
 
@@ -522,18 +549,23 @@ mod tests {
         let mut y = Vec::new();
         for a in [false, true] {
             for b in [false, true] {
-                x.push(vec![a, b]);
+                x.push(BitRow::from_bools(&[a, b]));
                 y.push(usize::from(a) + usize::from(b));
             }
         }
         let tree = DecisionTree::fit(&x, &y, 3, &TrainConfig::default());
         assert_eq!(tree.error(&x, &y), 0.0);
-        assert_eq!(tree.predict(&[true, true]), 2);
+        assert_eq!(tree.predict(&BitRow::from_bools(&[true, true])), 2);
     }
 
     #[test]
     #[should_panic(expected = "label out of range")]
     fn bad_labels_rejected() {
-        DecisionTree::fit(&[vec![true]], &[5], 2, &TrainConfig::default());
+        DecisionTree::fit(
+            &[BitRow::from_bools(&[true])],
+            &[5],
+            2,
+            &TrainConfig::default(),
+        );
     }
 }

@@ -1,0 +1,235 @@
+//! A fixed-capacity LRU cache over an index-linked slot arena.
+//!
+//! Built for the simulator's prefix-checkpoint memo: inserts and hits are
+//! O(1) (hash lookup plus relinking two list nodes by index), eviction
+//! reuses the least-recently-used slot in place, and iteration order is
+//! never observable — callers get strictly key-addressed access, so cache
+//! capacity can only affect *speed*, never results.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity least-recently-used cache.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    capacity: usize,
+    /// Most-recently-used slot.
+    head: usize,
+    /// Least-recently-used slot.
+    tail: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(4096)),
+            slots: Vec::new(),
+            capacity,
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(i) => {
+                self.hits += 1;
+                self.promote(i);
+                Some(&self.slots[i].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether `key` is present, without promoting it or counting a
+    /// hit/miss.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts `key → value` as most-recently-used, evicting the
+    /// least-recently-used entry if at capacity. An existing entry for
+    /// `key` is replaced in place.
+    pub fn insert(&mut self, key: K, value: V) {
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            self.promote(i);
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            let i = self.slots.len();
+            self.slots.push(Slot {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: self.head,
+            });
+            if self.head != NIL {
+                self.slots[self.head].prev = i;
+            }
+            self.head = i;
+            if self.tail == NIL {
+                self.tail = i;
+            }
+            self.map.insert(key, i);
+            return;
+        }
+        // Reuse the LRU slot in place.
+        let i = self.tail;
+        let old_key = std::mem::replace(&mut self.slots[i].key, key.clone());
+        self.map.remove(&old_key);
+        self.slots[i].value = value;
+        self.map.insert(key, i);
+        self.promote(i);
+    }
+
+    /// Unlinks slot `i` and relinks it at the head (most-recently-used).
+    fn promote(&mut self, i: usize) {
+        if self.head == i {
+            return;
+        }
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        }
+        if self.tail == i {
+            self.tail = prev;
+        }
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys_mru_to_lru(c: &LruCache<u32, u32>) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut i = c.head;
+        while i != NIL {
+            out.push(c.slots[i].key);
+            i = c.slots[i].next;
+        }
+        out
+    }
+
+    #[test]
+    fn insert_get_and_counters() {
+        let mut c = LruCache::new(4);
+        assert!(c.is_empty());
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(c.get(&3), None);
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(&2));
+        assert_eq!((c.hits(), c.misses()), (1, 1), "contains counts nothing");
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(3);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.insert(3, 3);
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(c.get(&1), Some(&1));
+        c.insert(4, 4);
+        assert_eq!(c.len(), 3);
+        assert!(!c.contains(&2), "2 was least recently used");
+        assert!(c.contains(&1) && c.contains(&3) && c.contains(&4));
+        assert_eq!(keys_mru_to_lru(&c), vec![4, 1, 3]);
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.insert(1, 100);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&1), Some(&100));
+        // 1 is MRU; inserting a third key evicts 2.
+        c.insert(3, 3);
+        assert!(!c.contains(&2));
+    }
+
+    #[test]
+    fn capacity_one_works() {
+        let mut c = LruCache::new(1);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        assert_eq!(c.len(), 1);
+        assert!(!c.contains(&1));
+        assert_eq!(c.get(&2), Some(&2));
+    }
+
+    #[test]
+    fn heavy_churn_keeps_list_consistent() {
+        let mut c = LruCache::new(8);
+        for i in 0..1000u32 {
+            c.insert(i % 13, i);
+            let _ = c.get(&(i % 7));
+            assert!(c.len() <= 8);
+            let keys = {
+                let mut out = Vec::new();
+                let mut j = c.head;
+                while j != NIL {
+                    out.push(c.slots[j].key);
+                    j = c.slots[j].next;
+                }
+                out
+            };
+            assert_eq!(keys.len(), c.len(), "list covers every slot");
+        }
+    }
+}

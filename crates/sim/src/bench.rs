@@ -10,10 +10,27 @@
 
 use crate::compile::{CompiledProgram, SimError};
 use crate::exec::{execute, execute_instrumented};
+use crate::memo::{execute_memo, SimMemo};
 use crate::platform::Platform;
 use crate::stats::SimStats;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// Domain constant separating the memoized protocol's noise cells from
+/// every other seed stream in the workspace.
+const NOISE_DOMAIN: u64 = 0xD1CE_BA5E_0FC0_FFEE;
+
+/// The noise seed of sample `s` of measurement `m` under the memoized
+/// protocol: a pure avalanche of the cell coordinates, independent of
+/// which schedule is being measured and of any master seed — so two
+/// schedules sharing an instruction prefix revisit the *same* noise cells
+/// and the prefix snapshots cached by one are usable by the other.
+fn cell_seed(m: usize, s: usize) -> u64 {
+    let mut z = NOISE_DOMAIN ^ ((m as u64) << 32) ^ s as u64;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Measurement-protocol parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,6 +165,91 @@ pub fn benchmark_traced(
     }
     lane.exit();
     out
+}
+
+/// The measurement protocol with prefix-memoized execution.
+///
+/// Differs from [`benchmark`] in how per-sample noise seeds are chosen:
+/// instead of a sequential generator seeded per evaluation, each
+/// `(measurement, sample)` cell has a fixed seed shared by *every*
+/// schedule (see [`cell_seed`]). That makes checkpoint snapshots in
+/// `memo` reusable across the whole exploration — schedules sharing an
+/// instruction prefix re-simulate only their suffix — while keeping the
+/// protocol deterministic: the result is a pure function of the program
+/// and platform, bit-identical warm or cold.
+pub fn benchmark_memo(
+    prog: &CompiledProgram,
+    platform: &Platform,
+    cfg: &BenchConfig,
+    memo: &mut SimMemo,
+) -> Result<BenchResult, SimError> {
+    run_protocol_memo(prog, platform, cfg, memo, None)
+}
+
+/// Like [`benchmark_memo`], additionally folding every sample's
+/// [`SimStats`] into one aggregate (`stats.runs` counts the samples).
+pub fn benchmark_memo_instrumented(
+    prog: &CompiledProgram,
+    platform: &Platform,
+    cfg: &BenchConfig,
+    memo: &mut SimMemo,
+) -> Result<(BenchResult, SimStats), SimError> {
+    let mut stats = SimStats::for_shape(prog.num_ranks, prog.num_streams);
+    let result = run_protocol_memo(prog, platform, cfg, memo, Some(&mut stats))?;
+    Ok((result, stats))
+}
+
+fn run_protocol_memo(
+    prog: &CompiledProgram,
+    platform: &Platform,
+    cfg: &BenchConfig,
+    memo: &mut SimMemo,
+    mut stats: Option<&mut SimStats>,
+) -> Result<BenchResult, SimError> {
+    let mut measurements = Vec::with_capacity(cfg.num_measurements);
+    for m in 0..cfg.num_measurements {
+        let mut accum = vec![0.0f64; prog.num_ranks];
+        let mut samples = 0usize;
+        loop {
+            let (outcome, sample_stats) =
+                execute_memo(prog, platform, cell_seed(m, samples), memo)?;
+            if let Some(stats) = stats.as_deref_mut() {
+                stats.merge(&sample_stats);
+            }
+            for (a, t) in accum.iter_mut().zip(&outcome.rank_times) {
+                *a += t;
+            }
+            samples += 1;
+            let elapsed = accum.iter().copied().fold(0.0, f64::max);
+            if elapsed >= cfg.t_measure || samples >= cfg.max_samples {
+                break;
+            }
+        }
+        let mut est = accum.iter().map(|a| a / samples as f64).fold(0.0, f64::max);
+        if let Some(plan) = &platform.faults {
+            let factor = plan.outlier(measurements.len());
+            if factor != 1.0 {
+                est *= factor;
+                if let Some(stats) = stats.as_deref_mut() {
+                    stats.faults.outliers += 1;
+                }
+            }
+        }
+        measurements.push(est);
+    }
+    let mut sorted = measurements.clone();
+    sorted.sort_by(f64::total_cmp);
+    let percentiles = Percentiles {
+        p01: percentile(&sorted, 1.0),
+        p10: percentile(&sorted, 10.0),
+        p50: percentile(&sorted, 50.0),
+        p90: percentile(&sorted, 90.0),
+        p99: percentile(&sorted, 99.0),
+    };
+    Ok(BenchResult {
+        measurements,
+        percentiles,
+    })
 }
 
 fn run_protocol(
@@ -337,6 +439,37 @@ mod tests {
             benchmark_traced(&prog, &platform, &BenchConfig::quick(), 5, &mut off_lane).unwrap();
         assert_eq!(quiet, plain);
         assert_eq!(off.span_count(), 0);
+    }
+
+    #[test]
+    fn memo_benchmark_is_deterministic() {
+        let prog = one_op_program(1e-4);
+        let platform = Platform::perlmutter_like(); // noisy
+        let mut memo = SimMemo::default();
+        let a = benchmark_memo(&prog, &platform, &BenchConfig::quick(), &mut memo).unwrap();
+        let b = benchmark_memo(&prog, &platform, &BenchConfig::quick(), &mut memo).unwrap();
+        assert_eq!(a, b, "warm rerun must be bit-identical");
+        assert!(
+            a.percentiles.p99 > a.percentiles.p01,
+            "noise must spread measurements"
+        );
+        assert!((a.time() - 1e-4).abs() / 1e-4 < 0.05);
+        let mut fresh = SimMemo::default();
+        let (inst, stats) =
+            benchmark_memo_instrumented(&prog, &platform, &BenchConfig::quick(), &mut fresh)
+                .unwrap();
+        assert_eq!(inst, a, "instrumentation must not change measurements");
+        assert!(stats.runs > 0);
+    }
+
+    #[test]
+    fn memo_benchmark_on_noiseless_platform_recovers_duration() {
+        let prog = one_op_program(2.5e-4);
+        let platform = Platform::perlmutter_like().noiseless();
+        let mut memo = SimMemo::default();
+        let res = benchmark_memo(&prog, &platform, &BenchConfig::quick(), &mut memo).unwrap();
+        assert!((res.time() - 2.5e-4).abs() < 1e-9, "{}", res.time());
+        assert_eq!(res.percentiles.p01, res.percentiles.p99);
     }
 
     #[test]

@@ -5,12 +5,124 @@
 //! matching remote post has not executed yet. If no rank can advance, the
 //! program deadlocks (e.g. all ranks waiting on receives before any rank
 //! has posted its sends) and the executor reports it instead of hanging.
+//!
+//! Noise is *position-keyed*: one `sample_seed` is drawn per invocation
+//! (from the caller's RNG) and every noisy quantity is a pure function of
+//! `(sample_seed, position)` — `(rank, pc)` for instruction durations,
+//! `(comm, src, dst)` for wire times. Because no sequential generator
+//! threads through the run, the executor's state after retiring a prefix
+//! of the program is independent of rank interleaving, which is what lets
+//! [`run_to`](Executor::run_to) stop at an instruction boundary, snapshot
+//! the state, and later resume bit-identically to a cold run.
 
 use crate::compile::{CompiledProgram, Instr, SimError};
-use crate::platform::Platform;
+use crate::platform::{NoiseModel, Platform};
 use crate::stats::SimStats;
 use crate::trace::{Resource, Trace, TraceEvent};
 use rand::rngs::SmallRng;
+use rand::RngCore;
+
+/// Domain tag for instruction-duration noise keys.
+const NK_INSTR: u64 = 1 << 62;
+/// Domain tag for wire-time noise keys.
+const NK_WIRE: u64 = 2 << 62;
+
+/// Noise key of the instruction at `(rank, pc)`.
+#[inline]
+fn instr_key(r: usize, pc: usize) -> u64 {
+    NK_INSTR | ((r as u64) << 32) | pc as u64
+}
+
+/// Noise key of the wire `src → dst` under `comm`.
+#[inline]
+fn wire_key(comm: usize, src: usize, dst: usize) -> u64 {
+    NK_WIRE | ((comm as u64) << 32) | ((src as u64) << 16) | dst as u64
+}
+
+/// A dense cache of position-keyed noise factors for one `sample_seed`.
+///
+/// [`NoiseModel::factor_keyed`] is a pure function of `(seed, key)`, so
+/// its draws can be tabulated once and replayed bit-identically — and the
+/// memoized bench protocol reuses the *same* per-cell sample seeds for
+/// every schedule it evaluates, so the tables amortize across an entire
+/// exploration. Slots hold `f64::NAN` until first use (`factor_keyed`
+/// never returns NaN: its `u1` uniform is clamped above zero, so the
+/// Box-Muller draw is always finite).
+///
+/// Instruction factors are indexed `[rank][pc]` and wire factors
+/// `[(comm * ranks + src) * ranks + dst]` (the same layout as the
+/// executor's arrival cache). The factor for a given `(rank, pc)` cell
+/// depends only on the key, not the instruction occupying it, so tables
+/// are shared across sibling schedules of one decision space — including
+/// schedules of *different lengths* (stream-binding choices change how
+/// many sync instructions lowering inserts), which is why [`fit`] grows
+/// tables in place instead of resetting them.
+///
+/// [`fit`]: NoiseTable::fit
+#[derive(Debug, Default)]
+pub(crate) struct NoiseTable {
+    instr: Vec<Vec<f64>>,
+    wire: Vec<f64>,
+    wire_ranks: usize,
+}
+
+impl NoiseTable {
+    /// Grows the table to cover `prog`'s shape, keeping every factor
+    /// already drawn (cells are key-addressed, so entries stay valid
+    /// across programs of any shape with the same rank count). Only a
+    /// rank-count change — which never happens within one exploration —
+    /// invalidates the wire layout and resets that half.
+    pub(crate) fn fit(&mut self, prog: &CompiledProgram) {
+        let n = prog.names.len();
+        if self.instr.len() < prog.num_ranks {
+            self.instr.resize(prog.num_ranks, Vec::new());
+        }
+        for row in &mut self.instr[..prog.num_ranks] {
+            if row.len() < n {
+                row.resize(n, f64::NAN);
+            }
+        }
+        let wire_len = prog.comms.len() * prog.num_ranks * prog.num_ranks;
+        if self.wire_ranks != prog.num_ranks {
+            self.wire_ranks = prog.num_ranks;
+            self.wire = vec![f64::NAN; wire_len];
+        } else if self.wire.len() < wire_len {
+            self.wire.resize(wire_len, f64::NAN);
+        }
+    }
+
+    #[inline]
+    fn instr_factor(&mut self, noise: &NoiseModel, seed: u64, r: usize, pc: usize) -> f64 {
+        let cached = self.instr[r][pc];
+        if cached.is_nan() {
+            let f = noise.factor_keyed(seed, instr_key(r, pc));
+            self.instr[r][pc] = f;
+            f
+        } else {
+            cached
+        }
+    }
+
+    #[inline]
+    fn wire_factor(
+        &mut self,
+        noise: &NoiseModel,
+        seed: u64,
+        comm: usize,
+        src: usize,
+        dst: usize,
+    ) -> f64 {
+        let slot = (comm * self.wire_ranks + src) * self.wire_ranks + dst;
+        let cached = self.wire[slot];
+        if cached.is_nan() {
+            let f = noise.factor_keyed(seed, wire_key(comm, src, dst));
+            self.wire[slot] = f;
+            f
+        } else {
+            cached
+        }
+    }
+}
 
 /// Completion times of one simulated program invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,9 +142,22 @@ impl ExecOutcome {
 enum Step {
     Advanced,
     Blocked,
+    /// The rank reached the run limit (but not the end of its program).
+    Capped,
     Done,
 }
 
+/// How a bounded run ended (errors are reported separately).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum RunEnd {
+    /// Every rank retired its whole program.
+    Done,
+    /// Every rank is either done or stopped at the instruction limit; the
+    /// run can be resumed from here.
+    Capped,
+}
+
+#[derive(Debug, Clone, PartialEq)]
 struct RankState {
     pc: usize,
     cpu: f64,
@@ -64,6 +189,22 @@ impl RankState {
             recv_posts: vec![None; prog.comms.len()],
         }
     }
+
+    /// Resizes per-dimension vectors to `prog`'s shape. Sound when `prog`
+    /// shares the retired instruction prefix: indices the prefix touched
+    /// are identical in both programs (the prefix hash covers them), and
+    /// everything else is still at its default, so growing adds defaults
+    /// and shrinking drops only defaults.
+    fn fitted(mut self, prog: &CompiledProgram) -> Self {
+        self.stream_tail.resize(prog.num_streams, 0.0);
+        self.kernel_intervals.resize(prog.num_streams, Vec::new());
+        self.event_time.resize(prog.num_events, None);
+        self.event_stream.resize(prog.num_events, None);
+        self.collective_entry.resize(prog.comms.len(), None);
+        self.send_posts.resize(prog.comms.len(), None);
+        self.recv_posts.resize(prog.comms.len(), None);
+        self
+    }
 }
 
 /// Executes one invocation of `prog` on `platform`, drawing measurement
@@ -73,9 +214,7 @@ pub fn execute(
     platform: &Platform,
     rng: &mut SmallRng,
 ) -> Result<ExecOutcome, SimError> {
-    Executor::new(prog, platform, false)
-        .run(rng)
-        .map(|(o, _, _)| o)
+    execute_seeded(prog, platform, rng.next_u64()).map(|(o, _)| o)
 }
 
 /// Like [`execute`], additionally recording a per-operation [`Trace`]
@@ -85,7 +224,9 @@ pub fn execute_traced(
     platform: &Platform,
     rng: &mut SmallRng,
 ) -> Result<(ExecOutcome, Trace), SimError> {
-    let (o, t, _) = Executor::new(prog, platform, true).run(rng)?;
+    let mut ex = Executor::new(prog, platform, true, rng.next_u64());
+    ex.run_to(usize::MAX)?;
+    let (o, t, _) = ex.into_result();
     Ok((o, t.expect("tracing was enabled")))
 }
 
@@ -97,18 +238,55 @@ pub fn execute_instrumented(
     platform: &Platform,
     rng: &mut SmallRng,
 ) -> Result<(ExecOutcome, SimStats), SimError> {
-    let (o, _, s) = Executor::new(prog, platform, false).run(rng)?;
+    execute_seeded(prog, platform, rng.next_u64())
+}
+
+/// The position-keyed execution primitive: one invocation whose noise is
+/// entirely determined by `sample_seed`. [`execute`] and friends draw the
+/// seed from their RNG and delegate here; checkpoint-resumed runs (see
+/// [`execute_memo`](crate::memo::execute_memo)) are bit-identical to this
+/// function for the same seed.
+pub fn execute_seeded(
+    prog: &CompiledProgram,
+    platform: &Platform,
+    sample_seed: u64,
+) -> Result<(ExecOutcome, SimStats), SimError> {
+    let mut ex = Executor::new(prog, platform, false, sample_seed);
+    ex.run_to(usize::MAX)?;
+    let (o, _, s) = ex.into_result();
     Ok((o, s))
 }
 
-struct Executor<'a> {
+/// A sparse arrival-cache entry: `(comm, src, dst)` endpoint indices
+/// mapped to `(arrival, send_complete)` times.
+type ArrivalEntry = ((usize, usize, usize), (f64, f64));
+
+/// A snapshot of executor state after retiring a program prefix: enough
+/// to resume the run later — or on a *different* compiled program sharing
+/// the same instruction prefix — bit-identically to a cold run.
+///
+/// Arrival times are stored sparsely (a prefix touches few transfers);
+/// per-rank vectors are resized to the resuming program's dimensions on
+/// restore. Entries beyond the prefix's reach are provably still at their
+/// defaults, so resizing loses nothing.
+#[derive(Debug, Clone)]
+pub(crate) struct ExecSnapshot {
+    ranks: Vec<RankState>,
+    arrivals: Vec<ArrivalEntry>,
+    stats: SimStats,
+    steps: u64,
+}
+
+pub(crate) struct Executor<'a> {
     prog: &'a CompiledProgram,
     platform: &'a Platform,
+    /// Seed of this invocation's position-keyed noise.
+    sample_seed: u64,
     ranks: Vec<RankState>,
-    /// Cached transfer arrival / send-completion times keyed by
-    /// `(comm, src, dst)`, so both endpoints observe identical times and
-    /// noise is drawn exactly once per transfer.
-    arrivals: std::collections::HashMap<(usize, usize, usize), (f64, f64)>,
+    /// Cached transfer arrival / send-completion times, flat-indexed by
+    /// `(comm * R + src) * R + dst`, so both endpoints observe identical
+    /// times without recomputing the (pure) wire time per wait.
+    arrivals: Vec<Option<(f64, f64)>>,
     trace: Option<Trace>,
     stats: SimStats,
     /// Set when a blocked step still made observable progress (e.g. a
@@ -118,62 +296,155 @@ struct Executor<'a> {
     /// Per-rank straggler compute multipliers from the fault plan
     /// (all 1.0 without a plan).
     rank_factors: Vec<f64>,
-    /// Messages the fault plan drops, as `(comm, src, dst)`: the send is
-    /// lost, so the receiver (and a rendezvous sender) blocks forever —
-    /// surfaced as a structured deadlock, never a hang.
-    dropped: std::collections::HashSet<(usize, usize, usize)>,
+    /// Messages the fault plan drops, flat-indexed like `arrivals`: the
+    /// send is lost, so the receiver (and a rendezvous sender) blocks
+    /// forever — surfaced as a structured deadlock, never a hang.
+    dropped: Vec<bool>,
     /// Instructions retired, for the watchdog budget.
     steps: u64,
+    /// Shared noise-factor table for this invocation's `sample_seed`
+    /// (memoized path); `None` computes factors directly.
+    noise_tab: Option<&'a mut NoiseTable>,
 }
 
 impl<'a> Executor<'a> {
-    fn new(prog: &'a CompiledProgram, platform: &'a Platform, traced: bool) -> Self {
+    pub(crate) fn new(
+        prog: &'a CompiledProgram,
+        platform: &'a Platform,
+        traced: bool,
+        sample_seed: u64,
+    ) -> Self {
         let mut stats = SimStats::for_shape(prog.num_ranks, prog.num_streams);
         let rank_factors: Vec<f64> = match &platform.faults {
             Some(plan) => (0..prog.num_ranks).map(|r| plan.rank_factor(r)).collect(),
             None => vec![1.0; prog.num_ranks],
         };
-        let mut dropped = std::collections::HashSet::new();
+        let nranks = prog.num_ranks;
+        let mut dropped = vec![false; prog.comms.len() * nranks * nranks];
+        let mut drops = 0u64;
         if let Some(plan) = &platform.faults {
             for (c, table) in prog.comms.iter().enumerate() {
                 let key = dr_fault::key_hash(&table.key.0);
                 for (src, sends) in table.sends.iter().enumerate() {
                     for &(dst, _) in sends {
-                        if plan.message(key, src, dst) == Some(dr_fault::MessageFault::Drop) {
-                            dropped.insert((c, src, dst));
+                        if plan.message(key, src, dst) == Some(dr_fault::MessageFault::Drop)
+                            && !std::mem::replace(
+                                &mut dropped[(c * nranks + src) * nranks + dst],
+                                true,
+                            )
+                        {
+                            drops += 1;
                         }
                     }
                 }
             }
         }
-        stats.faults.drops = dropped.len() as u64;
+        stats.faults.drops = drops;
         Executor {
             prog,
             platform,
+            sample_seed,
             ranks: (0..prog.num_ranks).map(|_| RankState::new(prog)).collect(),
-            arrivals: std::collections::HashMap::new(),
+            arrivals: vec![None; prog.comms.len() * nranks * nranks],
             trace: traced.then(Trace::default),
             stats,
             noted_progress: false,
             rank_factors,
             dropped,
             steps: 0,
+            noise_tab: None,
         }
     }
 
-    fn run(
-        mut self,
-        rng: &mut SmallRng,
-    ) -> Result<(ExecOutcome, Option<Trace>, SimStats), SimError> {
+    /// Attaches a noise-factor table (see [`NoiseTable`]); factors are
+    /// then looked up before being computed. Purely a fast path — the
+    /// table replays exactly what `factor_keyed` would return.
+    pub(crate) fn with_noise(mut self, tab: Option<&'a mut NoiseTable>) -> Self {
+        self.noise_tab = tab;
+        self
+    }
+
+    /// Rebuilds an executor mid-run from a snapshot, fitted to `prog`'s
+    /// dimensions. `prog` must share the instruction prefix the snapshot
+    /// was taken at (the memo layer keys snapshots by prefix hash).
+    pub(crate) fn resume(
+        prog: &'a CompiledProgram,
+        platform: &'a Platform,
+        sample_seed: u64,
+        snap: &ExecSnapshot,
+    ) -> Self {
+        let mut ex = Executor::new(prog, platform, false, sample_seed);
+        ex.ranks = snap
+            .ranks
+            .iter()
+            .map(|rs| rs.clone().fitted(prog))
+            .collect();
+        let nranks = prog.num_ranks;
+        for &((comm, src, dst), times) in &snap.arrivals {
+            debug_assert!(comm < prog.comms.len(), "snapshot comm beyond prefix");
+            ex.arrivals[(comm * nranks + src) * nranks + dst] = Some(times);
+        }
+        ex.stats = snap.stats.clone();
+        // Per-stream busy counters carry the donor program's stream count;
+        // refit them like `RankState::fitted` (prefix-untouched entries are
+        // provably still 0.0, so resizing loses nothing).
+        ex.stats.cpu_busy.resize(prog.num_ranks, 0.0);
+        for sb in &mut ex.stats.stream_busy {
+            sb.resize(prog.num_streams, 0.0);
+        }
+        ex.stats
+            .stream_busy
+            .resize(prog.num_ranks, vec![0.0; prog.num_streams]);
+        ex.steps = snap.steps;
+        ex
+    }
+
+    /// Captures the current state for a later [`resume`](Executor::resume).
+    pub(crate) fn snapshot(&self) -> ExecSnapshot {
+        let nranks = self.prog.num_ranks;
+        let arrivals = self
+            .arrivals
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| {
+                a.map(|times| {
+                    let dst = i % nranks;
+                    let src = (i / nranks) % nranks;
+                    let comm = i / (nranks * nranks);
+                    ((comm, src, dst), times)
+                })
+            })
+            .collect();
+        ExecSnapshot {
+            ranks: self.ranks.clone(),
+            arrivals,
+            stats: self.stats.clone(),
+            steps: self.steps,
+        }
+    }
+
+    /// Advances every rank as far as possible, retiring no instruction at
+    /// index `>= limit`. Returns [`RunEnd::Done`] when all ranks finished,
+    /// [`RunEnd::Capped`] when at least one rank stopped at the limit and
+    /// nothing else can advance. Deadlock is only reported when no rank is
+    /// capped (a capped run cannot distinguish "blocked on the suffix"
+    /// from deadlock — the resumed full run detects it identically).
+    pub(crate) fn run_to(&mut self, limit: usize) -> Result<RunEnd, SimError> {
         loop {
             let mut progressed = false;
             let mut all_done = true;
+            let mut any_capped = false;
             for r in 0..self.prog.num_ranks {
                 loop {
-                    match self.step(r, rng)? {
+                    match self.step(r, limit)? {
                         Step::Advanced => progressed = true,
                         Step::Blocked => {
                             all_done = false;
+                            break;
+                        }
+                        Step::Capped => {
+                            all_done = false;
+                            any_capped = true;
                             break;
                         }
                         Step::Done => break,
@@ -181,7 +452,7 @@ impl<'a> Executor<'a> {
                 }
             }
             if all_done {
-                break;
+                return Ok(RunEnd::Done);
             }
             if self.platform.max_virtual_time > 0.0 {
                 let vt = self.ranks.iter().map(|r| r.cpu).fold(0.0, f64::max);
@@ -197,6 +468,9 @@ impl<'a> Executor<'a> {
             }
             progressed |= std::mem::take(&mut self.noted_progress);
             if !progressed {
+                if any_capped {
+                    return Ok(RunEnd::Capped);
+                }
                 let blocked: Vec<String> = (0..self.prog.num_ranks)
                     .filter(|&r| self.ranks[r].pc < self.prog.instrs[r].len())
                     .map(|r| format!("rank {r} at {}", self.prog.names[self.ranks[r].pc]))
@@ -206,20 +480,52 @@ impl<'a> Executor<'a> {
                 });
             }
         }
+    }
+
+    /// Consumes a [`RunEnd::Done`] executor into its outcome.
+    pub(crate) fn into_result(mut self) -> (ExecOutcome, Option<Trace>, SimStats) {
         self.stats.runs = 1;
-        Ok((
+        (
             ExecOutcome {
                 rank_times: self.ranks.iter().map(|r| r.cpu).collect(),
             },
             self.trace,
             self.stats,
-        ))
+        )
     }
 
-    fn step(&mut self, r: usize, rng: &mut SmallRng) -> Result<Step, SimError> {
+    /// Noise factor for the instruction at `(rank, pc)`.
+    #[inline]
+    fn instr_noise(&mut self, r: usize, pc: usize) -> f64 {
+        match self.noise_tab.as_deref_mut() {
+            Some(tab) => tab.instr_factor(&self.platform.noise, self.sample_seed, r, pc),
+            None => self
+                .platform
+                .noise
+                .factor_keyed(self.sample_seed, instr_key(r, pc)),
+        }
+    }
+
+    /// Noise factor for the wire `src → dst` under `comm`.
+    #[inline]
+    fn wire_noise(&mut self, comm: usize, src: usize, dst: usize) -> f64 {
+        match self.noise_tab.as_deref_mut() {
+            Some(tab) => tab.wire_factor(&self.platform.noise, self.sample_seed, comm, src, dst),
+            None => self
+                .platform
+                .noise
+                .factor_keyed(self.sample_seed, wire_key(comm, src, dst)),
+        }
+    }
+
+    fn step(&mut self, r: usize, limit: usize) -> Result<Step, SimError> {
+        let prog = self.prog;
         let pc = self.ranks[r].pc;
-        if pc >= self.prog.instrs[r].len() {
+        if pc >= prog.instrs[r].len() {
             return Ok(Step::Done);
+        }
+        if pc >= limit {
+            return Ok(Step::Capped);
         }
         if self.platform.max_steps > 0 && self.steps >= self.platform.max_steps {
             return Err(SimError::Budget {
@@ -228,19 +534,19 @@ impl<'a> Executor<'a> {
             });
         }
         // Blocking checks first (no state mutation on a blocked step).
-        match &self.prog.instrs[r][pc] {
+        match &prog.instrs[r][pc] {
             Instr::WaitRecvs { comm } => {
                 if self.ranks[r].recv_posts[*comm].is_none() {
                     return Err(SimError::WaitBeforePost {
                         rank: r,
-                        name: self.prog.names[pc].clone(),
+                        name: prog.names[pc].clone(),
                     });
                 }
-                for &(peer, _) in &self.prog.comms[*comm].recvs[r] {
+                for &(peer, _) in &prog.comms[*comm].recvs[r] {
                     // A dropped send never arrives: the receiver blocks
                     // forever and the deadlock detector reports it.
                     if self.ranks[peer].send_posts[*comm].is_none()
-                        || self.dropped.contains(&(*comm, peer, r))
+                        || self.is_dropped(*comm, peer, r)
                     {
                         return Ok(Step::Blocked);
                     }
@@ -250,16 +556,16 @@ impl<'a> Executor<'a> {
                 if self.ranks[r].send_posts[*comm].is_none() {
                     return Err(SimError::WaitBeforePost {
                         rank: r,
-                        name: self.prog.names[pc].clone(),
+                        name: prog.names[pc].clone(),
                     });
                 }
-                for &(peer, bytes) in &self.prog.comms[*comm].sends[r] {
+                for &(peer, bytes) in &prog.comms[*comm].sends[r] {
                     // A rendezvous send whose message is dropped can
                     // never complete its handshake; eager sends are
                     // buffered and complete locally even when lost.
                     if !self.platform.is_eager(bytes)
                         && (self.ranks[peer].recv_posts[*comm].is_none()
-                            || self.dropped.contains(&(*comm, r, peer)))
+                            || self.is_dropped(*comm, r, peer))
                     {
                         return Ok(Step::Blocked);
                     }
@@ -273,21 +579,18 @@ impl<'a> Executor<'a> {
                     self.noted_progress = true;
                 }
                 let comm = *comm;
-                if (0..self.prog.num_ranks).any(|p| self.ranks[p].collective_entry[comm].is_none())
-                {
+                if (0..prog.num_ranks).any(|p| self.ranks[p].collective_entry[comm].is_none()) {
                     return Ok(Step::Blocked);
                 }
             }
             _ => {}
         }
 
-        let noise = |rng: &mut SmallRng| self.platform.noise.factor(rng);
         let cpu_before = self.ranks[r].cpu;
         let mut kernel_span: Option<(usize, f64, f64)> = None;
-        let instr = self.prog.instrs[r][pc].clone();
-        match instr {
+        match &prog.instrs[r][pc] {
             Instr::CpuWork { dur } => {
-                let f = noise(rng);
+                let f = self.instr_noise(r, pc);
                 let straggle = self.rank_factors[r];
                 if straggle != 1.0 {
                     self.stats.faults.stragglers += 1;
@@ -295,7 +598,8 @@ impl<'a> Executor<'a> {
                 self.ranks[r].cpu += dur * f * straggle;
             }
             Instr::KernelLaunch { stream, dur } => {
-                let f = noise(rng);
+                let (stream, dur) = (*stream, *dur);
+                let f = self.instr_noise(r, pc);
                 let straggle = self.rank_factors[r];
                 if straggle != 1.0 {
                     self.stats.faults.stragglers += 1;
@@ -319,11 +623,11 @@ impl<'a> Executor<'a> {
                 self.ranks[r].cpu += self.platform.event_record_overhead;
                 // The record is an in-stream marker: it completes when
                 // everything enqueued in the stream so far has completed.
-                self.ranks[r].event_time[event] =
-                    Some(self.ranks[r].stream_tail[stream].max(self.ranks[r].cpu));
-                self.ranks[r].event_stream[event] = Some(stream);
+                self.ranks[r].event_time[*event] =
+                    Some(self.ranks[r].stream_tail[*stream].max(self.ranks[r].cpu));
+                self.ranks[r].event_stream[*event] = Some(*stream);
             }
-            Instr::EventSync { ref events } => {
+            Instr::EventSync { events } => {
                 self.stats.sync_ces += 1;
                 let mut t = self.ranks[r].cpu + self.platform.event_sync_overhead;
                 for &e in events.iter() {
@@ -336,70 +640,62 @@ impl<'a> Executor<'a> {
             Instr::StreamWaitEvent { stream, event } => {
                 self.stats.sync_cswe += 1;
                 self.ranks[r].cpu += self.platform.stream_wait_overhead;
-                let mut et = self.ranks[r].event_time[event]
+                let mut et = self.ranks[r].event_time[*event]
                     .expect("schedule orders records before stream waits");
                 let src_stream =
-                    self.ranks[r].event_stream[event].expect("recorded events know their stream");
-                if self.platform.gpu_of(src_stream) != self.platform.gpu_of(stream) {
+                    self.ranks[r].event_stream[*event].expect("recorded events know their stream");
+                if self.platform.gpu_of(src_stream) != self.platform.gpu_of(*stream) {
                     // Peer synchronization crosses the GPU interconnect.
                     et += self.platform.cross_gpu_sync_latency;
                 }
-                let tail = &mut self.ranks[r].stream_tail[stream];
+                let tail = &mut self.ranks[r].stream_tail[*stream];
                 *tail = tail.max(et);
             }
             Instr::PostSends { comm } => {
-                let mut posts = Vec::with_capacity(self.prog.comms[comm].sends[r].len());
-                for &(peer, bytes) in &self.prog.comms[comm].sends[r] {
+                let mut posts = Vec::with_capacity(prog.comms[*comm].sends[r].len());
+                for &(peer, bytes) in &prog.comms[*comm].sends[r] {
                     self.ranks[r].cpu += self.platform.isend_overhead;
                     posts.push((peer, bytes, self.ranks[r].cpu));
                 }
-                self.ranks[r].send_posts[comm] = Some(posts);
+                self.ranks[r].send_posts[*comm] = Some(posts);
             }
             Instr::PostRecvs { comm } => {
-                let mut posts = Vec::with_capacity(self.prog.comms[comm].recvs[r].len());
-                for &(peer, bytes) in &self.prog.comms[comm].recvs[r] {
+                let mut posts = Vec::with_capacity(prog.comms[*comm].recvs[r].len());
+                for &(peer, bytes) in &prog.comms[*comm].recvs[r] {
                     self.ranks[r].cpu += self.platform.irecv_overhead;
                     posts.push((peer, bytes, self.ranks[r].cpu));
                 }
-                self.ranks[r].recv_posts[comm] = Some(posts);
+                self.ranks[r].recv_posts[*comm] = Some(posts);
             }
             Instr::WaitRecvs { comm } => {
                 let mut t = self.ranks[r].cpu + self.platform.wait_overhead;
-                let peers: Vec<usize> = self.prog.comms[comm].recvs[r]
-                    .iter()
-                    .map(|&(p, _)| p)
-                    .collect();
-                for peer in peers {
-                    let (arrival, _) = self.transfer(comm, peer, r, rng)?;
+                for &(peer, _) in &prog.comms[*comm].recvs[r] {
+                    let (arrival, _) = self.transfer(*comm, peer, r);
                     t = t.max(arrival);
                 }
                 self.ranks[r].cpu = t;
             }
             Instr::WaitSends { comm } => {
                 let mut t = self.ranks[r].cpu + self.platform.wait_overhead;
-                let peers: Vec<usize> = self.prog.comms[comm].sends[r]
-                    .iter()
-                    .map(|&(p, _)| p)
-                    .collect();
-                for peer in peers {
-                    let (_, send_complete) = self.transfer(comm, r, peer, rng)?;
+                for &(peer, _) in &prog.comms[*comm].sends[r] {
+                    let (_, send_complete) = self.transfer(*comm, r, peer);
                     t = t.max(send_complete);
                 }
                 self.ranks[r].cpu = t;
             }
             Instr::AllReduce { comm } => {
-                let entries: f64 = (0..self.prog.num_ranks)
+                let entries: f64 = (0..prog.num_ranks)
                     .map(|p| {
-                        self.ranks[p].collective_entry[comm]
+                        self.ranks[p].collective_entry[*comm]
                             .expect("blocking logic ensures all ranks entered")
                     })
                     .fold(0.0, f64::max);
-                let bytes = self.prog.comms[comm].sends[r]
+                let bytes = prog.comms[*comm].sends[r]
                     .first()
                     .map(|&(_, b)| b)
                     .expect("collective pattern validated at compile time");
-                let dur = self.platform.collective_time(self.prog.num_ranks, bytes)
-                    * self.platform.noise.factor(rng);
+                let dur =
+                    self.platform.collective_time(prog.num_ranks, bytes) * self.instr_noise(r, pc);
                 self.ranks[r].cpu =
                     entries.max(self.ranks[r].cpu) + self.platform.wait_overhead + dur;
                 self.stats.collective_ops += 1;
@@ -423,7 +719,7 @@ impl<'a> Executor<'a> {
         if let Some(trace) = self.trace.as_mut() {
             trace.events.push(TraceEvent {
                 rank: r,
-                name: self.prog.names[pc].clone(),
+                name: prog.names[pc].clone(),
                 resource: Resource::Cpu,
                 start: cpu_before,
                 end: self.ranks[r].cpu,
@@ -431,7 +727,7 @@ impl<'a> Executor<'a> {
             if let Some((stream, start, end)) = kernel_span {
                 trace.events.push(TraceEvent {
                     rank: r,
-                    name: self.prog.names[pc].clone(),
+                    name: prog.names[pc].clone(),
                     resource: Resource::Stream(stream),
                     start,
                     end,
@@ -440,6 +736,12 @@ impl<'a> Executor<'a> {
         }
         self.ranks[r].pc += 1;
         Ok(Step::Advanced)
+    }
+
+    #[inline]
+    fn is_dropped(&self, comm: usize, src: usize, dst: usize) -> bool {
+        let n = self.prog.num_ranks;
+        self.dropped[(comm * n + src) * n + dst]
     }
 
     /// Kernel end time under the inter-stream contention model: a kernel
@@ -476,16 +778,14 @@ impl<'a> Executor<'a> {
     /// Arrival time at `dst` and completion time at `src` of the message
     /// `src → dst` under `comm`, computed once and cached. Both post times
     /// must already be known for rendezvous messages (the step() blocking
-    /// logic guarantees it); eager messages need only the send post.
-    fn transfer(
-        &mut self,
-        comm: usize,
-        src: usize,
-        dst: usize,
-        rng: &mut SmallRng,
-    ) -> Result<(f64, f64), SimError> {
-        if let Some(&cached) = self.arrivals.get(&(comm, src, dst)) {
-            return Ok(cached);
+    /// logic guarantees it); eager messages need only the send post. The
+    /// wire-time noise is keyed by `(comm, src, dst)`, so the cache is
+    /// purely a fast path — recomputation would yield the same times.
+    fn transfer(&mut self, comm: usize, src: usize, dst: usize) -> (f64, f64) {
+        let n = self.prog.num_ranks;
+        let slot = (comm * n + src) * n + dst;
+        if let Some(cached) = self.arrivals[slot] {
+            return cached;
         }
         let bytes = self.prog.comms[comm].sends[src]
             .iter()
@@ -506,7 +806,7 @@ impl<'a> Executor<'a> {
                 .map(|&(_, _, t)| t)
                 .expect("validated pairwise")
         });
-        let mut wire = self.platform.wire_time(bytes) * self.platform.noise.factor(rng);
+        let mut wire = self.platform.wire_time(bytes) * self.wire_noise(comm, src, dst);
         if let Some(plan) = &self.platform.faults {
             let key = dr_fault::key_hash(&self.prog.comms[comm].key.0);
             if let Some(dr_fault::MessageFault::Delay(extra)) = plan.message(key, src, dst) {
@@ -533,8 +833,8 @@ impl<'a> Executor<'a> {
             let arrival = start + wire;
             (arrival, arrival)
         };
-        self.arrivals.insert((comm, src, dst), result);
-        Ok(result)
+        self.arrivals[slot] = Some(result);
+        result
     }
 }
 

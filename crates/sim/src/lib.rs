@@ -24,18 +24,20 @@
 mod bench;
 mod compile;
 mod exec;
+mod memo;
 mod platform;
 mod stats;
 pub mod trace;
 mod workload;
 
 pub use bench::{
-    benchmark, benchmark_instrumented, benchmark_traced, percentile, BenchConfig, BenchResult,
-    Percentiles,
+    benchmark, benchmark_instrumented, benchmark_memo, benchmark_memo_instrumented,
+    benchmark_traced, percentile, BenchConfig, BenchResult, Percentiles,
 };
 pub use compile::{CommTable, CompiledProgram, Instr, SimError};
 pub use dr_fault::{FaultConfig, FaultCounters, FaultPlan, MessageFault};
-pub use exec::{execute, execute_instrumented, execute_traced, ExecOutcome};
+pub use exec::{execute, execute_instrumented, execute_seeded, execute_traced, ExecOutcome};
+pub use memo::{execute_checkpointed, execute_memo, SimMemo};
 pub use platform::{NoiseModel, Platform};
 pub use stats::SimStats;
 pub use trace::{Resource, ResourceUtilization, Trace, TraceEvent};

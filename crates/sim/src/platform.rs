@@ -41,6 +41,39 @@ impl NoiseModel {
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         (self.sigma * z).exp()
     }
+
+    /// Position-keyed variant of [`factor`](NoiseModel::factor): the same
+    /// log-normal factor, but derived purely from `(seed, key)` with a
+    /// splitmix64 avalanche instead of a sequential generator. Because
+    /// the draw is a pure function of its position key, it is independent
+    /// of execution interleaving — the property that makes resuming a run
+    /// from a mid-execution checkpoint bit-identical to a cold run.
+    pub fn factor_keyed(&self, seed: u64, key: u64) -> f64 {
+        if self.sigma == 0.0 {
+            return 1.0;
+        }
+        let mut s = seed ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let a = splitmix64(&mut s);
+        let b = splitmix64(&mut s);
+        // Uniforms on (0, 1] / [0, 1): same 53-bit mantissa construction
+        // as the `rand` shim's `Standard` f64 distribution.
+        let u1 = (((a >> 11) as f64) * F64_UNIT).max(f64::MIN_POSITIVE);
+        let u2 = ((b >> 11) as f64) * F64_UNIT;
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.sigma * z).exp()
+    }
+}
+
+/// `2^-53`: converts a 53-bit integer into a uniform f64 in `[0, 1)`.
+const F64_UNIT: f64 = 1.0 / (1u64 << 53) as f64;
+
+/// The splitmix64 step: advances `state` and returns an avalanched output.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// First-order cost model of a multi-rank GPU node. All times are seconds,
@@ -243,6 +276,27 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(nm.factor(&mut a), nm.factor(&mut b));
         }
+    }
+
+    #[test]
+    fn keyed_noise_is_pure_positive_and_near_one() {
+        let nm = NoiseModel { sigma: 0.05 };
+        // Pure: same (seed, key) always yields the same factor.
+        assert_eq!(nm.factor_keyed(42, 7), nm.factor_keyed(42, 7));
+        // Distinct keys and seeds decorrelate.
+        assert_ne!(nm.factor_keyed(42, 7), nm.factor_keyed(42, 8));
+        assert_ne!(nm.factor_keyed(42, 7), nm.factor_keyed(43, 7));
+        // Log-normal shape: positive, mean near exp(sigma^2/2) ~ 1.
+        let mut sum = 0.0;
+        for key in 0..10_000u64 {
+            let f = nm.factor_keyed(9, key);
+            assert!(f > 0.0);
+            sum += f;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.01, "lognormal mean: {mean}");
+        // Zero sigma stays exact.
+        assert_eq!(NoiseModel::NONE.factor_keyed(1, 2), 1.0);
     }
 
     #[test]

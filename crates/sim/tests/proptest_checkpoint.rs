@@ -1,0 +1,128 @@
+//! Property tests for checkpoint/resume determinism: for arbitrary
+//! schedules out of a halo-exchange decision space, arbitrary split
+//! points, arbitrary sample seeds, and with or without the `light`
+//! fault preset, resuming from a cached snapshot must reproduce the
+//! cold run bit for bit — outcome, statistics, and fault counters.
+//!
+//! Budget platforms are deliberately avoided: a virtual-time budget
+//! trip's diagnostic detail is the one documented divergence between
+//! the memoized and cold paths (see `dr_sim::memo`), and the pipeline
+//! never enables the memo there.
+
+use dr_dag::{build_schedule, CommKey, CostKey, DagBuilder, DecisionSpace, OpSpec};
+use dr_sim::{
+    execute_checkpointed, execute_seeded, CompiledProgram, FaultConfig, FaultPlan, Platform,
+    SimMemo, TableWorkload,
+};
+use proptest::prelude::*;
+
+/// The halo-exchange space the schedules are drawn from: two kernels
+/// feeding a send/recv/wait quad plus post-processing, on two streams.
+fn halo_space() -> (DecisionSpace, TableWorkload) {
+    let mut b = DagBuilder::new();
+    let key = CommKey::new("halo");
+    let pre = b.add("pre", OpSpec::CpuWork(CostKey::new("pre")));
+    let k1 = b.add("k1", OpSpec::GpuKernel(CostKey::new("k1")));
+    let k2 = b.add("k2", OpSpec::GpuKernel(CostKey::new("k2")));
+    let ps = b.add("PostSends", OpSpec::PostSends(key.clone()));
+    let pr = b.add("PostRecvs", OpSpec::PostRecvs(key.clone()));
+    let ws = b.add("WaitSends", OpSpec::WaitSends(key.clone()));
+    let wr = b.add("WaitRecvs", OpSpec::WaitRecvs(key));
+    let post = b.add("post", OpSpec::CpuWork(CostKey::new("post")));
+    b.edge(pre, k1);
+    b.edge(pre, k2);
+    b.edge(k1, ps);
+    b.edge(k2, ps);
+    b.edge(ps, ws);
+    b.edge(pr, wr);
+    b.edge(ps, wr);
+    // Every rank runs the same schedule, so a traversal that waits on
+    // sends before posting recvs deadlocks all ranks symmetrically.
+    // Pin PostRecvs before WaitSends to keep the whole space runnable.
+    b.edge(pr, ws);
+    b.edge(wr, post);
+    let sp = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
+    let mut w = TableWorkload::new(3);
+    w.cost_all("pre", 4e-5);
+    w.cost_all("k1", 8e-5);
+    w.cost_all("k2", 6e-5);
+    w.cost_all("post", 3e-5);
+    w.comm_all_to_all("halo", 1 << 16);
+    (sp, w)
+}
+
+/// Compiles the `pick`-th enumerated traversal (modulo the space size).
+fn program(pick: usize) -> CompiledProgram {
+    let (sp, w) = halo_space();
+    let all: Vec<_> = sp.enumerate().collect();
+    let t = &all[pick % all.len()];
+    CompiledProgram::compile(&build_schedule(&sp, t), &w).unwrap()
+}
+
+/// A noisy, budget-free platform, optionally under the `light` fault
+/// preset (the `DR_FAULTS=light` configuration), with the plan keyed by
+/// `eval_seed` exactly as the pipeline derives it.
+fn platform(light_faults: bool, eval_seed: u64) -> Platform {
+    let base = Platform::perlmutter_like();
+    if light_faults {
+        base.with_faults(FaultPlan::derive(&FaultConfig::light(), eval_seed))
+    } else {
+        base
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn resume_is_bit_identical_to_cold_for_arbitrary_splits(
+        pick in 0usize..64,
+        splits in proptest::collection::vec(0usize..48, 0..6),
+        sample_seed in any::<u64>(),
+        light_faults in any::<bool>(),
+        eval_seed in any::<u64>(),
+    ) {
+        let prog = program(pick);
+        let platform = platform(light_faults, eval_seed);
+        let cold = execute_seeded(&prog, &platform, sample_seed).unwrap();
+
+        // Cold-fill pass: snapshots every in-range split point.
+        let mut memo = SimMemo::default();
+        let filled =
+            execute_checkpointed(&prog, &platform, sample_seed, &splits, &mut memo).unwrap();
+        prop_assert_eq!(&filled, &cold, "cold-fill diverged (splits {:?})", &splits);
+
+        // Warm pass: resumes from the deepest cached snapshot.
+        let resumed =
+            execute_checkpointed(&prog, &platform, sample_seed, &splits, &mut memo).unwrap();
+        prop_assert_eq!(&resumed, &cold, "resume diverged (splits {:?})", &splits);
+        if splits.iter().any(|&s| s > 0 && s < prog.names.len()) {
+            prop_assert!(memo.hits() > 0, "in-range split never resumed");
+        }
+    }
+
+    #[test]
+    fn snapshots_are_suffix_independent(
+        pick_a in 0usize..64,
+        pick_b in 0usize..64,
+        sample_seed in any::<u64>(),
+        light_faults in any::<bool>(),
+        eval_seed in any::<u64>(),
+    ) {
+        // Sharing one memo across two different schedules of the same
+        // space must leave both bit-identical to their cold runs: a
+        // snapshot depends only on the prefix that produced it.
+        let a = program(pick_a);
+        let b = program(pick_b);
+        let platform = platform(light_faults, eval_seed);
+        let mut memo = SimMemo::default();
+        for prog in [&a, &b, &a] {
+            let cold = execute_seeded(prog, &platform, sample_seed).unwrap();
+            let boundaries = prog.checkpoint_boundaries();
+            let memoed =
+                execute_checkpointed(prog, &platform, sample_seed, &boundaries, &mut memo)
+                    .unwrap();
+            prop_assert_eq!(memoed, cold);
+        }
+    }
+}

@@ -3,15 +3,16 @@
 //! without writing any Rust. Used by the `dr-rules` binary.
 
 use crate::dag::{build_schedule, DecisionSpace, Placement, Traversal};
-use crate::mcts::{Mcts, MctsConfig, SimEvaluator};
+use crate::mcts::{Evaluator, Mcts, MctsConfig, SharedMcts, SimEvaluator, TreeSnapshot};
 use crate::ml::{render_ruleset, rulesets_for_class, RuleSet};
 use crate::obs::{json, EventSink};
+use crate::par::resolve_threads;
 use crate::pipeline::{
     append_entry, apply_fault_plan, compare_bench, compare_ledgers, is_bench_file,
     ledger_dir_from_env, ledger_entry_json, lint_space, load_bench, load_ledger, mine_rules,
     run_pipeline_instrumented, run_pipeline_watched, satisfies, synthesize, topology_from_workload,
     CompareOptions, InstrumentedRun, LedgerContext, PipelineConfig, Provenance, ResilienceSummary,
-    Strategy,
+    SearchBackend, Strategy,
 };
 use crate::progress::ProgressRenderer;
 use crate::sim::{
@@ -136,7 +137,11 @@ pub const USAGE: &str = "usage: dr-rules <scenario> <command> [options]
              --seed N       (default 0)
              --random       (uniform sampling instead of MCTS)
              --threads N    (exploration worker threads; default: the
-                             DR_THREADS environment variable, else 1)
+                             DR_THREADS environment variable, else 1;
+                             DR_SEARCH picks the parallel MCTS backend:
+                             shared = one arena-backed tree with virtual
+                             loss, root = per-worker trees, auto =
+                             shared above one thread)
              --report PATH    (write a JSON run report, or lint counters
                                for the lint command)
              --telemetry PATH (write per-iteration search telemetry CSV)
@@ -163,6 +168,8 @@ pub const USAGE: &str = "usage: dr-rules <scenario> <command> [options]
   benchmark histories (auto-detected; last entry of B vs history of A).
   explain always searches with MCTS (it explains the MCTS tree) and
   honors --iterations/--seed; --report writes dr-explain/v1 JSON.
+  explain renders the shared arena when DR_SEARCH=shared (or auto
+  resolves to more than one thread), the serial tree otherwise.
   bench appends to BENCH_pipeline.json and BENCH_explore.json in the
   working directory; the scenario picks the scale (spmv = small,
   spmv-paper = paper) and DR_SEED picks the seed, so entries stay
@@ -495,6 +502,7 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
         strategy(opts),
         &PipelineConfig {
             threads: opts.threads.unwrap_or(0),
+            search: SearchBackend::from_env(),
             ..PipelineConfig::quick()
         },
         &tracer,
@@ -729,12 +737,14 @@ fn ruleset_support(
     support
 }
 
-/// The `explain` command: run a standalone serial MCTS at the requested
-/// budget, export per-node visit/value statistics and the top-k
-/// principal variations, then mine rules from the explored records and
-/// attach per-rule provenance — decision-path predicates, supporting
-/// record indices by class, leaf purity, and the simulated-time
-/// distribution of each leaf's supporting records.
+/// The `explain` command: run a standalone MCTS at the requested budget
+/// (the serial tree by default; the shared arena when `DR_SEARCH=shared`
+/// or when `Auto` resolves to more than one thread), export per-node
+/// visit/value statistics and the top-k principal variations, then mine
+/// rules from the explored records and attach per-rule provenance —
+/// decision-path predicates, supporting record indices by class, leaf
+/// purity, and the simulated-time distribution of each leaf's
+/// supporting records.
 fn run_explain(
     opts: &CliOptions,
     inst: &Instance,
@@ -753,17 +763,30 @@ fn run_explain(
         &inst.platform,
         BenchConfig::quick(),
     );
-    let mut mcts = Mcts::new(
-        &inst.space,
-        eval,
-        MctsConfig {
-            seed: opts.seed,
-            ..Default::default()
-        },
-    );
-    mcts.run(opts.iterations).map_err(fail)?;
-    let snap = mcts.snapshot(TOP_K, MAX_NODES);
-    let records = mcts.into_records();
+    let cfg = MctsConfig {
+        seed: opts.seed,
+        ..Default::default()
+    };
+    let backend = SearchBackend::from_env();
+    let width = resolve_threads(opts.threads);
+    let shared = backend == SearchBackend::Shared || (backend == SearchBackend::Auto && width > 1);
+    let (snap, records) = if shared {
+        explain_shared(
+            &inst.space,
+            eval,
+            cfg,
+            width,
+            opts.iterations,
+            TOP_K,
+            MAX_NODES,
+        )
+        .map_err(fail)?
+    } else {
+        let mut mcts = Mcts::new(&inst.space, eval, cfg);
+        mcts.run(opts.iterations).map_err(fail)?;
+        let snap = mcts.snapshot(TOP_K, MAX_NODES);
+        (snap, mcts.into_records())
+    };
     if records.is_empty() {
         return Err("search explored no implementations (try more iterations)".into());
     }
@@ -913,6 +936,46 @@ fn run_explain(
     Ok(())
 }
 
+/// Drives the shared-tree search for `explain`: batches of up to
+/// `width` distinct leaves are assembled under virtual loss and
+/// evaluated in place (the arena statistics, not wall-clock speed, are
+/// what `explain` reports), then the snapshot is taken from the shared
+/// arena. Records are sorted by canonical hash so the report is
+/// width-invariant at exhaustion, matching the parallel pipeline
+/// driver.
+fn explain_shared<E: Evaluator>(
+    space: &DecisionSpace,
+    mut eval: E,
+    cfg: MctsConfig,
+    width: usize,
+    iterations: usize,
+    top_k: usize,
+    max_nodes: usize,
+) -> Result<(TreeSnapshot, Vec<crate::mcts::ExploredRecord>), SimError> {
+    let mut mcts = SharedMcts::new(space, cfg);
+    let mut remaining = iterations as u64;
+    while remaining > 0 && !mcts.is_exhausted() {
+        let batch = mcts.select_batch(width, remaining);
+        remaining = remaining.saturating_sub(batch.iterations as u64);
+        if batch.pending.is_empty() {
+            if batch.iterations == 0 {
+                break;
+            }
+            continue;
+        }
+        let results: Vec<_> = batch
+            .pending
+            .iter()
+            .map(|p| eval.evaluate(&p.traversal, p.eval_seed))
+            .collect();
+        mcts.commit(batch, results)?;
+    }
+    let snap = mcts.snapshot(top_k, max_nodes);
+    let mut records = mcts.into_records();
+    records.sort_by_key(|r| r.traversal.canonical_hash());
+    Ok((snap, records))
+}
+
 /// Serializes the `explain` command's output as one `dr-explain/v1`
 /// JSON object.
 fn explain_json(
@@ -1057,6 +1120,7 @@ fn run_chaos(
             &PipelineConfig {
                 threads: opts.threads.unwrap_or(0),
                 faults,
+                search: SearchBackend::from_env(),
                 ..PipelineConfig::quick()
             },
         )

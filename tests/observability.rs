@@ -29,6 +29,7 @@ fn run_ok(args: &[&str], envs: &[(&str, &str)], cwd: &Path) -> Output {
         .env_remove("DR_FAULTS")
         .env_remove("DR_LEDGER")
         .env_remove("DR_THREADS")
+        .env_remove("DR_SEARCH")
         .env_remove("DR_SCALE")
         .env_remove("DR_SEED")
         .env_remove("DR_EVENTS_RATE")
@@ -249,6 +250,67 @@ fn explain_renders_tree_and_rule_provenance_on_spmv() {
             .unwrap()
             .is_empty());
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explain_renders_identical_stats_from_the_shared_arena() {
+    // `DR_SEARCH=shared` routes `explain` through the shared-tree arena;
+    // the rendered statistics must keep the exact serial-tree shape
+    // (same needles, same `dr-explain/v1` schema) and be bit-identical
+    // across repeated runs regardless of the worker count.
+    let dir = scratch("explain-shared");
+    let report = dir.join("explain-shared.json");
+    let args = [
+        "spmv",
+        "explain",
+        "--iterations",
+        "60",
+        "--seed",
+        "2",
+        "--report",
+        &report.display().to_string(),
+    ];
+    let envs = [("DR_SEARCH", "shared"), ("DR_THREADS", "4")];
+    let first = run_ok(&args, &envs, &dir);
+    let first_stdout = String::from_utf8_lossy(&first.stdout).to_string();
+    let first_json = std::fs::read_to_string(&report).unwrap();
+    for needle in [
+        "== MCTS tree (seed 2, 60 iterations requested",
+        "nodes per depth:",
+        "top nodes by visits:",
+        "principal variations:",
+        "== rule provenance",
+        "support class",
+    ] {
+        assert!(
+            first_stdout.contains(needle),
+            "missing {needle:?} in:\n{first_stdout}"
+        );
+    }
+    let v = json::parse(&first_json).unwrap();
+    assert_eq!(
+        v.get("schema").and_then(json::Value::as_str),
+        Some("dr-explain/v1")
+    );
+    assert!(
+        v.path(&["tree", "nodes"])
+            .and_then(json::Value::as_u64)
+            .unwrap()
+            > 0
+    );
+
+    let again = run_ok(&args, &envs, &dir);
+    assert_eq!(
+        first_stdout,
+        String::from_utf8_lossy(&again.stdout),
+        "shared-arena explain must be deterministic"
+    );
+    assert_eq!(
+        first_json,
+        std::fs::read_to_string(&report).unwrap(),
+        "shared-arena explain JSON must be deterministic"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -6,7 +6,10 @@
 
 use cuda_mpi_design_rules::dag::{CostKey, DagBuilder, DecisionSpace, OpSpec, Traversal};
 use cuda_mpi_design_rules::mcts::{MctsConfig, SimEvaluator};
-use cuda_mpi_design_rules::pipeline::{explore_instrumented, explore_parallel, Strategy};
+use cuda_mpi_design_rules::pipeline::{
+    explore_instrumented, explore_parallel, explore_parallel_backend, records_fingerprint,
+    SearchBackend, Strategy,
+};
 use cuda_mpi_design_rules::sim::{BenchConfig, Platform, TableWorkload};
 use std::collections::HashSet;
 
@@ -99,6 +102,58 @@ fn mcts_at_exhaustion_is_thread_count_invariant() {
             ..Default::default()
         },
     });
+}
+
+#[test]
+fn shared_tree_fingerprints_match_serial_bit_for_bit_at_exhaustion() {
+    // The run ledger's record fingerprint hashes the record *list* in
+    // order, so this is stricter than set equality: the shared-tree
+    // backend must hand back the identical sequence of (traversal, time)
+    // bits at one and at four workers once the space exhausts.
+    let strategy = Strategy::Mcts {
+        iterations: 300,
+        config: MctsConfig {
+            seed: 17,
+            ..Default::default()
+        },
+    };
+    let (space, w, platform) = setup();
+    let fingerprint = |threads: usize| {
+        let out = explore_parallel_backend(
+            &space,
+            || SimEvaluator::new(&space, &w, &platform, BenchConfig::quick()),
+            strategy,
+            threads,
+            SearchBackend::Shared,
+        )
+        .unwrap();
+        (records_fingerprint(&out.records), out.records.len())
+    };
+    let (serial_fp, serial_len) = fingerprint(1);
+    assert_eq!(serial_len, 12, "budget must exhaust the 12-traversal space");
+    let (par_fp, par_len) = fingerprint(4);
+    assert_eq!(par_len, serial_len);
+    assert_eq!(
+        par_fp, serial_fp,
+        "shared-tree record fingerprint drifted between 1 and 4 workers"
+    );
+    // And the shared backend agrees with the serial tree's record set.
+    let serial = serial_set(strategy);
+    let shared: RecordSet = {
+        let out = explore_parallel_backend(
+            &space,
+            || SimEvaluator::new(&space, &w, &platform, BenchConfig::quick()),
+            strategy,
+            4,
+            SearchBackend::Shared,
+        )
+        .unwrap();
+        out.records
+            .into_iter()
+            .map(|r| (r.traversal, r.result.time().to_bits()))
+            .collect()
+    };
+    assert_eq!(shared, serial);
 }
 
 #[test]

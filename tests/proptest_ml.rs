@@ -6,7 +6,7 @@ mod common;
 use common::arb_small_space;
 use cuda_mpi_design_rules::dag::Traversal;
 use cuda_mpi_design_rules::ml::{
-    featurize, label_times, signal, DecisionTree, LabelingConfig, TrainConfig,
+    featurize, label_times, signal, BitRow, DecisionTree, LabelingConfig, TrainConfig,
 };
 use proptest::prelude::*;
 
@@ -84,7 +84,7 @@ proptest! {
             4..120,
         ),
     ) {
-        let x: Vec<Vec<bool>> = rows.iter().map(|(f, _)| f.clone()).collect();
+        let x: Vec<BitRow> = rows.iter().map(|(f, _)| BitRow::from_bools(f)).collect();
         let y: Vec<usize> = rows.iter().map(|(_, c)| *c).collect();
         let tree = DecisionTree::fit(&x, &y, 3, &TrainConfig::default());
         // Weighted error of predicting the best single class everywhere.
@@ -104,7 +104,7 @@ proptest! {
         ),
         budget in 1usize..6,
     ) {
-        let x: Vec<Vec<bool>> = rows.iter().map(|(f, _)| f.clone()).collect();
+        let x: Vec<BitRow> = rows.iter().map(|(f, _)| BitRow::from_bools(f)).collect();
         let y: Vec<usize> = rows.iter().map(|(_, c)| *c).collect();
         let cfg = TrainConfig { max_leaf_nodes: Some(budget), ..Default::default() };
         let tree = DecisionTree::fit(&x, &y, 2, &cfg);
