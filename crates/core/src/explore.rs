@@ -12,8 +12,8 @@
 
 use dr_dag::{eval_seed, DecisionSpace, Traversal};
 use dr_mcts::{
-    CachingEvaluator, Evaluator, ExploredRecord, Mcts, MctsConfig, SearchTelemetry, SharedMcts,
-    TelemetryRow, TreeStats,
+    CachingEvaluator, Evaluator, ExploredRecord, Mcts, MctsConfig, PruneHook, SearchTelemetry,
+    SharedMcts, TelemetryRow, TreeStats,
 };
 use dr_obs::events::EventSink;
 use dr_par::{
@@ -64,6 +64,16 @@ fn attach_mcts_events<E: Evaluator>(mcts: &mut Mcts<'_, E>, events: Option<&Even
         if sink.is_enabled() {
             mcts.set_events(sink.clone(), events_rate());
         }
+    }
+}
+
+/// Attaches a static-prune hook to a serial search when one is
+/// configured. Pruning cuts provably-doomed subtrees before any rollout
+/// enters them; it never affects which traversals *outside* the pruned
+/// subtrees are measured or what those measurements return.
+fn attach_mcts_prune<E: Evaluator>(mcts: &mut Mcts<'_, E>, prune: Option<&PruneHook>) {
+    if let Some(hook) = prune {
+        mcts.set_prune(hook.clone());
     }
 }
 
@@ -253,6 +263,10 @@ pub struct ExploreOutput {
     /// Total traversals dropped instead of measured (≥ `failures.len()`;
     /// the difference is MCTS-internal quarantines).
     pub quarantined: u64,
+    /// Subtrees retired by a static-prune hook before any rollout
+    /// entered them (summed across workers; zero without a hook or for
+    /// non-MCTS strategies).
+    pub pruned: u64,
     /// Final search-tree statistics (`None` for non-MCTS strategies).
     /// For root-parallel runs the per-worker trees are merged: node,
     /// rollout and fully-explored counts are summed, depth and time
@@ -357,6 +371,7 @@ where
         dispatch,
         events,
         SearchBackend::Auto,
+        None,
     )
 }
 
@@ -382,11 +397,13 @@ where
         None,
         None,
         backend,
+        None,
     )
 }
 
-/// The fully-parameterized parallel engine: tracing, events, and an
-/// explicit MCTS [`SearchBackend`].
+/// The fully-parameterized parallel engine: tracing, events, an explicit
+/// MCTS [`SearchBackend`], and an optional static-prune hook (MCTS
+/// only; see [`dr_mcts::PruneHook`]).
 #[allow(clippy::too_many_arguments)]
 pub fn explore_parallel_watched_backend<E, F>(
     space: &DecisionSpace,
@@ -397,6 +414,7 @@ pub fn explore_parallel_watched_backend<E, F>(
     dispatch: Option<SpanId>,
     events: Option<&EventSink>,
     backend: SearchBackend,
+    prune: Option<PruneHook>,
 ) -> Result<ExploreOutput, SimError>
 where
     E: Evaluator + Send,
@@ -412,9 +430,11 @@ where
             let mut mcts = Mcts::new(space, make_eval(), config);
             attach_mcts_lane(&mut mcts, tracer, dispatch, 0);
             attach_mcts_events(&mut mcts, events);
+            attach_mcts_prune(&mut mcts, prune.as_ref());
             mcts.run(iterations)?;
             let tree = mcts.stats();
             let exhausted = mcts.is_exhausted();
+            let pruned = mcts.pruned();
             let (records, telemetry, eval) = mcts.into_parts();
             let sim = eval.sim_stats().cloned();
             return Ok(ExploreOutput {
@@ -425,6 +445,7 @@ where
                 threads: 1,
                 failures: Vec::new(),
                 quarantined: 0,
+                pruned,
                 tree: Some(tree),
                 exhausted,
             });
@@ -439,10 +460,10 @@ where
         ),
         Strategy::Mcts { iterations, config } => match backend {
             SearchBackend::Root => mcts_root_parallel(
-                space, &make_eval, iterations, config, threads, tracer, dispatch, events,
+                space, &make_eval, iterations, config, threads, tracer, dispatch, events, prune,
             ),
             SearchBackend::Auto | SearchBackend::Shared => mcts_shared_parallel(
-                space, &make_eval, iterations, config, threads, tracer, dispatch, events,
+                space, &make_eval, iterations, config, threads, tracer, dispatch, events, prune,
             ),
         },
     }
@@ -530,6 +551,7 @@ where
         dispatch,
         events,
         SearchBackend::Auto,
+        None,
     )
 }
 
@@ -549,6 +571,7 @@ pub fn explore_parallel_resilient_watched_backend<E, F>(
     dispatch: Option<SpanId>,
     events: Option<&EventSink>,
     backend: SearchBackend,
+    prune: Option<PruneHook>,
 ) -> Result<ExploreOutput, SimError>
 where
     E: Evaluator + Send,
@@ -595,10 +618,12 @@ where
                 let mut mcts = Mcts::new(space, make_eval(), config);
                 attach_mcts_lane(&mut mcts, tracer, dispatch, 0);
                 attach_mcts_events(&mut mcts, events);
+                attach_mcts_prune(&mut mcts, prune.as_ref());
                 mcts.run(iterations)?;
                 let quarantined = mcts.failures() as u64;
                 let tree = mcts.stats();
                 let exhausted = mcts.is_exhausted();
+                let pruned = mcts.pruned();
                 let (records, telemetry, eval) = mcts.into_parts();
                 let sim = eval.sim_stats().cloned();
                 Ok(ExploreOutput {
@@ -609,16 +634,17 @@ where
                     threads: 1,
                     failures: Vec::new(),
                     quarantined,
+                    pruned,
                     tree: Some(tree),
                     exhausted,
                 })
             } else if backend == SearchBackend::Root {
                 mcts_root_parallel(
-                    space, &make_eval, iterations, config, threads, tracer, dispatch, events,
+                    space, &make_eval, iterations, config, threads, tracer, dispatch, events, prune,
                 )
             } else {
                 mcts_shared_parallel(
-                    space, &make_eval, iterations, config, threads, tracer, dispatch, events,
+                    space, &make_eval, iterations, config, threads, tracer, dispatch, events, prune,
                 )
             }
         }
@@ -656,6 +682,7 @@ fn resilient_output<E: Evaluator>(
         threads,
         failures,
         quarantined,
+        pruned: 0,
         tree: None,
         exhausted,
     }
@@ -751,6 +778,7 @@ where
         threads,
         failures: Vec::new(),
         quarantined: 0,
+        pruned: 0,
         tree: None,
         exhausted: true,
     })
@@ -847,6 +875,7 @@ where
         threads,
         failures: Vec::new(),
         quarantined: 0,
+        pruned: 0,
         tree: None,
         exhausted: false,
     })
@@ -881,6 +910,7 @@ type WorkerOutcome = Result<
         usize,
         TreeStats,
         bool,
+        u64,
     ),
     SimError,
 >;
@@ -895,6 +925,7 @@ fn mcts_root_parallel<E, F>(
     tracer: &Tracer,
     dispatch: Option<SpanId>,
     events: Option<&EventSink>,
+    prune: Option<PruneHook>,
 ) -> Result<ExploreOutput, SimError>
 where
     E: Evaluator + Send,
@@ -904,6 +935,7 @@ where
     let budgets = split_budget(iterations, threads);
     let outcomes: Vec<WorkerOutcome> = std::thread::scope(|s| {
         let cache = &cache;
+        let prune = &prune;
         let handles: Vec<_> = budgets
             .iter()
             .enumerate()
@@ -934,10 +966,12 @@ where
                             let mut mcts = Mcts::new(space, eval, worker_cfg);
                             attach_mcts_lane(&mut mcts, tracer, dispatch, worker);
                             attach_mcts_events(&mut mcts, events);
+                            attach_mcts_prune(&mut mcts, prune.as_ref());
                             mcts.run(budget)?;
                             let failures = mcts.failures();
                             let tree = mcts.stats();
                             let exhausted = mcts.is_exhausted();
+                            let pruned = mcts.pruned();
                             let (records, telemetry, eval) = mcts.into_parts();
                             let sim = eval.sim_stats().cloned();
                             if let Some(sink) = events {
@@ -946,7 +980,7 @@ where
                                     &[("worker", worker.into()), ("items", records.len().into())],
                                 );
                             }
-                            Ok((records, telemetry, sim, failures, tree, exhausted))
+                            Ok((records, telemetry, sim, failures, tree, exhausted, pruned))
                         },
                     ));
                     run.unwrap_or_else(|payload| {
@@ -1006,9 +1040,11 @@ where
         t_max: f64::NEG_INFINITY,
     };
     let mut exhausted = false;
+    let mut pruned = 0u64;
     for outcome in outcomes {
-        let (wrecords, wtelemetry, wsim, wfailures, wtree, wexhausted) = outcome?;
+        let (wrecords, wtelemetry, wsim, wfailures, wtree, wexhausted, wpruned) = outcome?;
         quarantined += wfailures as u64;
+        pruned += wpruned;
         tree.nodes += wtree.nodes;
         tree.max_depth = tree.max_depth.max(wtree.max_depth);
         tree.fully_explored += wtree.fully_explored;
@@ -1052,6 +1088,7 @@ where
         threads,
         failures: Vec::new(),
         quarantined,
+        pruned,
         tree: Some(tree),
         exhausted,
     })
@@ -1083,6 +1120,7 @@ fn mcts_shared_parallel<E, F>(
     tracer: &Tracer,
     dispatch: Option<SpanId>,
     events: Option<&EventSink>,
+    prune: Option<PruneHook>,
 ) -> Result<ExploreOutput, SimError>
 where
     E: Evaluator + Send,
@@ -1096,6 +1134,9 @@ where
         }
     }
     let mut mcts = SharedMcts::new(space, config);
+    if let Some(hook) = prune {
+        mcts.set_prune(hook);
+    }
     if tracer.is_enabled() {
         let mut lane = tracer.lane("mcts-shared");
         if let Some(d) = dispatch {
@@ -1160,6 +1201,7 @@ where
         misses: mcts.records().len() as u64,
     };
     let quarantined = mcts.failures() as u64;
+    let pruned = mcts.pruned();
     let tree = mcts.stats();
     let exhausted = mcts.is_exhausted();
     let (mut records, raw_telemetry) = mcts.into_parts();
@@ -1182,6 +1224,7 @@ where
         threads,
         failures: Vec::new(),
         quarantined,
+        pruned,
         tree: Some(tree),
         exhausted,
     })

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod certify;
 mod compare;
 mod evaluate;
 mod explore;
@@ -40,6 +41,7 @@ mod synthesize;
 mod tracestage;
 mod watch;
 
+pub use certify::{certify_rulesets, Certification, RulesetCertificate};
 pub use compare::{
     compare_bench, compare_ledgers, is_bench_file, load_bench, load_ledger, CompareOptions,
     CompareReport, BENCH_SCHEMA,
@@ -57,7 +59,8 @@ pub use ledger::{
     LEDGER_FILE, LEDGER_SCHEMA,
 };
 pub use lintstage::{
-    apply_fault_plan, lint_space, topology_from_workload, LintTotals, LintingEvaluator, SpaceLint,
+    apply_fault_plan, lint_space, lint_space_watched, topology_from_workload, LintTotals,
+    LintingEvaluator, SpaceLint,
 };
 pub use multi_input::{mine_rules_multi, InputFeature, InputRun, MultiInputResult};
 pub use pipeline::{

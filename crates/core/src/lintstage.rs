@@ -12,8 +12,12 @@
 use crate::report::LintSummary;
 use dr_dag::{DecisionSpace, OpSpec, Traversal};
 use dr_fault::{key_hash, FaultPlan, MessageFault};
-use dr_lint::{lint_traversal, CommTopology, LintCounters, LintReport};
+use dr_lint::{
+    lint_space_incremental, lint_traversal, AggregatedDiag, CommTopology, DiagAggregator,
+    LintCounters, LintReport, SpaceLintOptions, SpaceLintStats,
+};
 use dr_mcts::Evaluator;
+use dr_obs::events::EventSink;
 use dr_sim::{BenchResult, Platform, SimError, SimStats, Workload};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,6 +33,10 @@ pub struct LintTotals {
     deadlocks: AtomicU64,
     redundant_syncs: AtomicU64,
     nanos: AtomicU64,
+    space_schedules: AtomicU64,
+    hb_expansions: AtomicU64,
+    cold_hb_expansions: AtomicU64,
+    pruned_subtrees: AtomicU64,
 }
 
 impl LintTotals {
@@ -48,6 +56,20 @@ impl LintTotals {
         self.nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 
+    /// Folds in the statistics of a space-level incremental lint pass.
+    /// Space-lint schedules are counted separately from the per-traversal
+    /// `schedules` counter (the two passes cover different populations).
+    pub fn absorb_space(&self, stats: &SpaceLintStats) {
+        self.space_schedules
+            .fetch_add(stats.schedules, Ordering::Relaxed);
+        self.hb_expansions
+            .fetch_add(stats.hb_expansions, Ordering::Relaxed);
+        self.cold_hb_expansions
+            .fetch_add(stats.cold_hb_expansions, Ordering::Relaxed);
+        self.pruned_subtrees
+            .fetch_add(stats.pruned_subtrees, Ordering::Relaxed);
+    }
+
     /// Snapshot for the run report.
     pub fn summary(&self) -> LintSummary {
         LintSummary {
@@ -57,6 +79,10 @@ impl LintTotals {
             races: self.races.load(Ordering::Relaxed),
             deadlocks: self.deadlocks.load(Ordering::Relaxed),
             redundant_syncs: self.redundant_syncs.load(Ordering::Relaxed),
+            space_schedules: self.space_schedules.load(Ordering::Relaxed),
+            hb_expansions: self.hb_expansions.load(Ordering::Relaxed),
+            cold_hb_expansions: self.cold_hb_expansions.load(Ordering::Relaxed),
+            pruned_subtrees: self.pruned_subtrees.load(Ordering::Relaxed),
         }
     }
 
@@ -179,39 +205,99 @@ pub struct SpaceLint {
     pub counters: LintCounters,
     /// Whether enumeration stopped at the schedule cap.
     pub truncated: bool,
-    /// Rendered diagnostics of the first offending schedules (capped).
+    /// Rendered deduplicated diagnostics (capped): each distinct
+    /// `(code, items, message)` appears once with its schedule count.
     pub sample: Vec<String>,
+    /// Incremental-engine statistics (prefix sharing, pruning).
+    pub stats: SpaceLintStats,
+    /// Every distinct diagnostic across the space, stably sorted, with
+    /// per-diagnostic schedule counts.
+    pub diags: Vec<AggregatedDiag>,
 }
 
 /// Lints every traversal `space` enumerates (up to `max_schedules`;
-/// `0` = unlimited), aggregating counters and keeping a small sample of
-/// rendered diagnostics for display.
+/// `0` = unlimited) with the incremental space-level engine: schedules
+/// sharing a traversal prefix share happens-before state, so the cost is
+/// proportional to distinct prefixes rather than schedules × length.
+/// Diagnostics are deduplicated across the space, and verdicts are
+/// bit-identical to linting each schedule cold.
 pub fn lint_space(
     space: &DecisionSpace,
     topo: Option<&CommTopology>,
     max_schedules: usize,
 ) -> SpaceLint {
+    lint_space_watched(space, topo, max_schedules, None)
+}
+
+/// [`lint_space`] with a structured event stream: `lint-start` opens the
+/// pass, one `lint-diag` per distinct aggregated diagnostic, and
+/// `lint-end` closes it with the aggregate counters. A `None` or
+/// disabled sink makes this exactly [`lint_space`].
+pub fn lint_space_watched(
+    space: &DecisionSpace,
+    topo: Option<&CommTopology>,
+    max_schedules: usize,
+    events: Option<&EventSink>,
+) -> SpaceLint {
     const SAMPLE_CAP: usize = 12;
-    let mut counters = LintCounters::default();
-    let mut sample = Vec::new();
-    let mut truncated = false;
-    for (i, t) in space.enumerate().enumerate() {
-        if max_schedules != 0 && i >= max_schedules {
-            truncated = true;
-            break;
-        }
-        let report = lint_traversal(space, &t, topo);
-        for d in &report.diagnostics {
-            if sample.len() < SAMPLE_CAP {
-                sample.push(format!("schedule #{i}: {}", d.render()));
-            }
-        }
-        counters.absorb(&report);
+    let events = events.filter(|s| s.is_enabled());
+    if let Some(sink) = events {
+        sink.emit(
+            "lint-start",
+            &[
+                ("ops", space.num_ops().into()),
+                ("max_schedules", max_schedules.into()),
+            ],
+        );
     }
+    let mut counters = LintCounters::default();
+    let mut agg = DiagAggregator::new();
+    let stats = lint_space_incremental(
+        space,
+        topo,
+        SpaceLintOptions {
+            max_schedules: max_schedules as u64,
+            prune_deadlocks: false,
+        },
+        None,
+        &mut |i, _prefix, report| {
+            agg.absorb(i, report);
+            counters.absorb(report);
+        },
+    );
+    let diags = agg.entries();
+    if let Some(sink) = events {
+        for d in &diags {
+            sink.emit(
+                "lint-diag",
+                &[
+                    ("code", d.diag.code.as_str().into()),
+                    ("message", d.diag.message.as_str().into()),
+                    ("schedules", d.schedules.into()),
+                    ("first_schedule", d.first_schedule.into()),
+                ],
+            );
+        }
+        sink.emit(
+            "lint-end",
+            &[
+                ("schedules", counters.schedules.into()),
+                ("errors", counters.errors.into()),
+                ("warnings", counters.warnings.into()),
+                ("distinct_diags", diags.len().into()),
+                ("hb_expansions", stats.hb_expansions.into()),
+                ("cold_hb_expansions", stats.cold_hb_expansions.into()),
+                ("truncated", u64::from(stats.truncated).into()),
+            ],
+        );
+    }
+    let sample: Vec<String> = diags.iter().take(SAMPLE_CAP).map(|d| d.render()).collect();
     SpaceLint {
         counters,
-        truncated,
+        truncated: stats.truncated,
         sample,
+        stats,
+        diags,
     }
 }
 

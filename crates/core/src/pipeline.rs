@@ -5,14 +5,14 @@ use crate::explore::{
     events_rate, explore_parallel_resilient_watched_backend, explore_parallel_watched_backend,
     SearchBackend, Strategy,
 };
-use crate::lintstage::{topology_from_workload, LintTotals, LintingEvaluator};
+use crate::lintstage::{lint_space_watched, topology_from_workload, LintTotals, LintingEvaluator};
 use crate::report::{RunReport, SearchSummary};
 use crate::resilient::{ResilienceTotals, ResilientEvaluator};
 use crate::tracestage::TracingEvaluator;
 use crate::watch::{EvalWatch, WatchedEvaluator};
 use dr_dag::{DecisionSpace, Traversal};
 use dr_fault::FaultConfig;
-use dr_mcts::{ExploredRecord, SearchTelemetry, SimEvaluator};
+use dr_mcts::{ExploredRecord, PruneHook, SearchTelemetry, SimEvaluator};
 use dr_ml::{
     algorithm1, extract_rulesets, featurize, label_times, FeatureSet, HyperSearch, Labeling,
     LabelingConfig, RuleSet, TrainConfig,
@@ -168,6 +168,39 @@ pub fn run_pipeline_traced<W: Workload + Sync>(
     run_pipeline_watched(space, workload, platform, strategy, cfg, tracer, None)
 }
 
+/// Builds the optional MCTS static-prune hook from `DR_LINT_PRUNE`:
+/// when the variable is set to anything but `0`/`off`/`false`, a
+/// [`dr_lint::PrefixDeadlockOracle`] condemns search prefixes whose
+/// every completion provably deadlocks, and MCTS retires those subtrees
+/// before a single rollout enters them. The oracle is sound, so pruning
+/// never removes a deadlock-free implementation from the record set; it
+/// only stops the search from measuring implementations lint would
+/// reject anyway.
+fn lint_prune_hook<W: Workload>(
+    space: &DecisionSpace,
+    workload: &W,
+    platform: &Platform,
+) -> Option<PruneHook> {
+    let v = std::env::var("DR_LINT_PRUNE").ok()?;
+    if matches!(v.trim(), "" | "0" | "off" | "false") {
+        return None;
+    }
+    let topo = topology_from_workload(space, workload, platform);
+    let oracle = dr_lint::PrefixDeadlockOracle::new(space, topo);
+    Some(Arc::new(move |prefix: &dr_dag::Prefix| {
+        oracle.provably_deadlocked(prefix)
+    }))
+}
+
+/// Schedule cap of the pipeline's space-level lint pass
+/// (`DR_LINT_SPACE_CAP`, default 4096; `0` lints the whole space).
+fn space_lint_cap() -> usize {
+    std::env::var("DR_LINT_SPACE_CAP")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(4096)
+}
+
 /// Emits an event when a live sink is present (the pipeline's phase and
 /// run lifecycle events all go through here).
 fn emit(events: Option<&EventSink>, kind: &str, fields: &[(&str, Field)]) {
@@ -309,8 +342,10 @@ fn run_pipeline_spanned<W: Workload + Sync>(
         }
         s => s,
     };
+    let prune = lint_prune_hook(space, workload, platform);
     main.annotate("threads", threads);
     main.annotate("lint", cfg.lint);
+    main.annotate("lint_prune", prune.is_some());
     main.annotate("faults_active", faults.is_active());
     main.enter("explore");
     let dispatch = main.current();
@@ -360,6 +395,7 @@ fn run_pipeline_spanned<W: Workload + Sync>(
             dispatch,
             events,
             cfg.search,
+            prune.clone(),
         ),
         (Some(totals), None) => explore_parallel_resilient_watched_backend(
             space,
@@ -385,6 +421,7 @@ fn run_pipeline_spanned<W: Workload + Sync>(
             dispatch,
             events,
             cfg.search,
+            prune.clone(),
         ),
         (None, Some((lint, topo))) => explore_parallel_watched_backend(
             space,
@@ -408,6 +445,7 @@ fn run_pipeline_spanned<W: Workload + Sync>(
             dispatch,
             events,
             cfg.search,
+            prune.clone(),
         ),
         (None, None) => explore_parallel_watched_backend(
             space,
@@ -426,6 +464,7 @@ fn run_pipeline_spanned<W: Workload + Sync>(
             dispatch,
             events,
             cfg.search,
+            prune.clone(),
         ),
     };
     let explored = match explored {
@@ -452,6 +491,7 @@ fn run_pipeline_spanned<W: Workload + Sync>(
             ("cache_hits", explored.cache.hits.into()),
             ("cache_misses", explored.cache.misses.into()),
             ("quarantined", explored.quarantined.into()),
+            ("pruned", explored.pruned.into()),
             (
                 "retries",
                 resilience
@@ -462,8 +502,32 @@ fn run_pipeline_spanned<W: Workload + Sync>(
             ("evals", watch.as_ref().map_or(0, |w| w.count()).into()),
         ],
     );
-    if let Some((totals, _)) = &lint_ctx {
+    if let Some((totals, topo)) = &lint_ctx {
         phases.add("lint", totals.seconds());
+        // The space-level pass: incremental full-space verification with
+        // checkpointed happens-before state, bounded by
+        // `DR_LINT_SPACE_CAP` (default 4096 schedules, 0 = unlimited).
+        let cap = space_lint_cap();
+        main.enter("lint-space");
+        emit(events, "phase-start", &[("phase", "lint-space".into())]);
+        let sw = Stopwatch::start();
+        let sl = lint_space_watched(space, Some(topo), cap, events);
+        phases.add("lint-space", sw.elapsed());
+        main.annotate("space_schedules", sl.stats.schedules);
+        main.annotate("hb_expansions", sl.stats.hb_expansions);
+        main.annotate("distinct_diags", sl.diags.len());
+        main.exit();
+        emit(
+            events,
+            "phase-end",
+            &[
+                ("phase", "lint-space".into()),
+                ("seconds", sw.elapsed().into()),
+                ("schedules", sl.stats.schedules.into()),
+                ("distinct_diags", sl.diags.len().into()),
+            ],
+        );
+        totals.absorb_space(&sl.stats);
     }
     if let Some(totals) = &resilience {
         totals.note_quarantined(explored.quarantined);

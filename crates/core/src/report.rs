@@ -190,6 +190,16 @@ pub struct LintSummary {
     pub deadlocks: u64,
     /// Redundant synchronizations (`RS*` codes).
     pub redundant_syncs: u64,
+    /// Schedules covered by the space-level incremental lint pass
+    /// (counted separately from the per-traversal `schedules`).
+    pub space_schedules: u64,
+    /// Happens-before node expansions the incremental engine performed.
+    pub hb_expansions: u64,
+    /// Node expansions a cold per-schedule pass would have performed for
+    /// the same schedules (the incremental engine's savings baseline).
+    pub cold_hb_expansions: u64,
+    /// Subtrees the space walk skipped as provably deadlocked.
+    pub pruned_subtrees: u64,
 }
 
 impl LintSummary {
@@ -197,14 +207,20 @@ impl LintSummary {
         format!(
             concat!(
                 "{{\"schedules\":{},\"errors\":{},\"warnings\":{},",
-                "\"races\":{},\"deadlocks\":{},\"redundant_syncs\":{}}}"
+                "\"races\":{},\"deadlocks\":{},\"redundant_syncs\":{},",
+                "\"space_schedules\":{},\"hb_expansions\":{},",
+                "\"cold_hb_expansions\":{},\"pruned_subtrees\":{}}}"
             ),
             self.schedules,
             self.errors,
             self.warnings,
             self.races,
             self.deadlocks,
-            self.redundant_syncs
+            self.redundant_syncs,
+            self.space_schedules,
+            self.hb_expansions,
+            self.cold_hb_expansions,
+            self.pruned_subtrees
         )
     }
 }
@@ -371,6 +387,16 @@ impl RunReport {
                 lint.warnings,
                 lint.redundant_syncs
             ));
+            if lint.space_schedules > 0 {
+                out.push_str(&format!(
+                    "  space lint: {} schedules — {} hb expansions \
+                     (cold {}), {} pruned subtrees\n",
+                    lint.space_schedules,
+                    lint.hb_expansions,
+                    lint.cold_hb_expansions,
+                    lint.pruned_subtrees
+                ));
+            }
         }
         if let Some(r) = &self.resilience {
             out.push_str(&format!(

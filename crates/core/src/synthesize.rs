@@ -48,8 +48,12 @@ fn dfs(
     None
 }
 
-/// Whether placing `p` next would make some rule unsatisfiable.
-fn violates(rules: &[Rule], prefix: &Prefix, p: Placement) -> bool {
+/// Whether placing `p` next would make some rule unsatisfiable. Also the
+/// certification walk's prefix filter: a completed traversal survives
+/// the filter if and only if it satisfies every rule (`Before` fires
+/// when the second operand lands before the first; `SameStream` fires as
+/// soon as both operands' streams are known).
+pub(crate) fn violates(rules: &[Rule], prefix: &Prefix, p: Placement) -> bool {
     for r in rules {
         match r.kind {
             FeatureKind::Before(u, v) => {

@@ -38,4 +38,4 @@ pub use space::{
     eval_seed, DecisionKind, DecisionOp, DecisionSpace, OpId, Placement, Prefix, SpaceError,
     StreamId, Traversal, TraversalIter,
 };
-pub use sync::{build_schedule, EventId, Schedule, ScheduleAction, ScheduledItem};
+pub use sync::{build_schedule, EventId, Schedule, ScheduleAction, ScheduleBuilder, ScheduledItem};

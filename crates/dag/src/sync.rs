@@ -20,7 +20,7 @@
 
 use crate::graph::VertexId;
 use crate::op::OpSpec;
-use crate::space::{DecisionKind, DecisionSpace, OpId, StreamId, Traversal};
+use crate::space::{DecisionKind, DecisionSpace, OpId, Placement, StreamId, Traversal};
 use crate::CommKey;
 use crate::CostKey;
 
@@ -115,28 +115,118 @@ impl Schedule {
 /// [`DecisionSpace::validate`] first for untrusted input).
 pub fn build_schedule(space: &DecisionSpace, t: &Traversal) -> Schedule {
     assert_eq!(t.steps.len(), space.num_ops(), "traversal must be complete");
-    let dag = space.dag();
-    let streams = t.streams(space.num_ops());
-    let positions = t.positions(space.num_ops());
+    let mut b = ScheduleBuilder::new(space);
+    for &p in &t.steps {
+        b.push_step(p);
+    }
+    b.into_schedule()
+}
 
-    // Event ids: one per CER decision op, then glued records.
-    let mut event_of_cer: Vec<Option<EventId>> = vec![None; space.num_ops()];
-    let mut num_events = 0usize;
-    for (op, d) in space.ops().iter().enumerate() {
-        if matches!(d.kind, DecisionKind::CerAfter(_)) {
-            event_of_cer[op] = Some(num_events);
-            num_events += 1;
+/// Per-step undo record of [`ScheduleBuilder::push_step`].
+#[derive(Debug, Clone, Copy)]
+struct StepUndo {
+    op: OpId,
+    items_len: usize,
+    num_events: usize,
+    max_stream: usize,
+}
+
+/// Incremental, prefix-monotonic schedule lowering.
+///
+/// Each lowered step's items depend only on earlier placements
+/// (predecessor ops are always placed first, and event reuse checks only
+/// whether the record has *already* been issued), so the lowering can be
+/// grown one placement at a time and rewound with [`ScheduleBuilder::
+/// pop_step`]. Pushing the steps of a complete traversal in order yields
+/// — via [`ScheduleBuilder::into_schedule`] — the exact same
+/// [`Schedule`] as [`build_schedule`], bit for bit; this is what lets
+/// space-level analyses share lowering (and downstream lint state)
+/// between schedules with a common traversal prefix.
+pub struct ScheduleBuilder<'a> {
+    space: &'a DecisionSpace,
+    /// Event ids pre-allocated one per CER decision op, in op order —
+    /// identical for every traversal of the space.
+    event_of_cer: Vec<Option<EventId>>,
+    items: Vec<ScheduledItem>,
+    num_events: usize,
+    max_stream: usize,
+    /// Stream binding per placed GPU op (`None` otherwise).
+    streams: Vec<Option<StreamId>>,
+    /// Step index per placed op (`usize::MAX` when unplaced).
+    positions: Vec<usize>,
+    undo: Vec<StepUndo>,
+}
+
+impl<'a> ScheduleBuilder<'a> {
+    /// Starts an empty lowering over `space`.
+    pub fn new(space: &'a DecisionSpace) -> Self {
+        let mut event_of_cer: Vec<Option<EventId>> = vec![None; space.num_ops()];
+        let mut num_events = 0usize;
+        for (op, d) in space.ops().iter().enumerate() {
+            if matches!(d.kind, DecisionKind::CerAfter(_)) {
+                event_of_cer[op] = Some(num_events);
+                num_events += 1;
+            }
+        }
+        ScheduleBuilder {
+            space,
+            event_of_cer,
+            items: Vec::with_capacity(space.num_ops() + 4),
+            num_events,
+            max_stream: 0,
+            streams: vec![None; space.num_ops()],
+            positions: vec![usize::MAX; space.num_ops()],
+            undo: Vec::with_capacity(space.num_ops()),
         }
     }
 
-    let mut items: Vec<ScheduledItem> = Vec::with_capacity(space.num_ops() + 4);
-    let mut max_stream = 0usize;
+    /// Number of steps pushed so far.
+    pub fn len(&self) -> usize {
+        self.undo.len()
+    }
 
-    for (idx, p) in t.steps.iter().enumerate() {
-        let d = &space.ops()[p.op];
+    /// True when no step has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.undo.is_empty()
+    }
+
+    /// Items lowered so far (without the terminal `End`).
+    pub fn items(&self) -> &[ScheduledItem] {
+        &self.items
+    }
+
+    /// Events allocated so far (CER pre-allocation plus glued records).
+    pub fn num_events(&self) -> usize {
+        self.num_events
+    }
+
+    /// Streams referenced so far (always at least one, matching the
+    /// complete lowering's `max_stream + 1`).
+    pub fn num_streams(&self) -> usize {
+        self.max_stream + 1
+    }
+
+    /// Lowers one placement, appending its glue and main items. Returns
+    /// the range of items this step appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a valid next placement (its predecessors must
+    /// already be pushed, exactly as in a valid traversal).
+    pub fn push_step(&mut self, p: Placement) -> std::ops::Range<usize> {
+        let idx = self.undo.len();
+        self.undo.push(StepUndo {
+            op: p.op,
+            items_len: self.items.len(),
+            num_events: self.num_events,
+            max_stream: self.max_stream,
+        });
+        let from = self.items.len();
+        let dag = self.space.dag();
+        let d = &self.space.ops()[p.op];
         match d.kind {
             DecisionKind::Cpu(v) => {
-                items.push(ScheduledItem {
+                self.items.push(ScheduledItem {
                     name: d.name.clone(),
                     action: lower_cpu_spec(dag.vertex(v).spec.clone()),
                     source: Some(p.op),
@@ -144,66 +234,147 @@ pub fn build_schedule(space: &DecisionSpace, t: &Traversal) -> Schedule {
             }
             DecisionKind::Gpu(v) => {
                 let stream = p.stream.expect("GPU placements carry a stream");
-                max_stream = max_stream.max(stream);
-                glue_cross_stream_waits(
-                    space,
-                    v,
-                    p.op,
-                    stream,
-                    idx,
-                    &streams,
-                    &positions,
-                    &event_of_cer,
-                    &mut num_events,
-                    &mut items,
-                );
+                self.max_stream = self.max_stream.max(stream);
+                self.glue_cross_stream_waits(v, p.op, stream);
                 let cost = match &dag.vertex(v).spec {
                     OpSpec::GpuKernel(c) => c.clone(),
                     other => unreachable!("GPU decision op lowered from {other:?}"),
                 };
-                items.push(ScheduledItem {
+                self.items.push(ScheduledItem {
                     name: d.name.clone(),
                     action: ScheduleAction::KernelLaunch { stream, cost },
                     source: Some(p.op),
                 });
+                self.streams[p.op] = Some(stream);
             }
             DecisionKind::CerAfter(g) => {
-                let stream = streams[g].expect("CER target is a placed GPU op");
-                max_stream = max_stream.max(stream);
-                items.push(ScheduledItem {
+                let stream = self.streams[g].expect("CER target is a placed GPU op");
+                self.max_stream = self.max_stream.max(stream);
+                self.items.push(ScheduledItem {
                     name: d.name.clone(),
                     action: ScheduleAction::EventRecord {
-                        event: event_of_cer[p.op].expect("CER op has an event"),
+                        event: self.event_of_cer[p.op].expect("CER op has an event"),
                         stream,
                     },
                     source: Some(p.op),
                 });
             }
             DecisionKind::CesBefore(_) => {
-                let events: Vec<EventId> = space
+                let events: Vec<EventId> = self
+                    .space
                     .op_preds(p.op)
                     .iter()
-                    .map(|&cer| event_of_cer[cer].expect("CES preds are CER ops"))
+                    .map(|&cer| self.event_of_cer[cer].expect("CES preds are CER ops"))
                     .collect();
-                items.push(ScheduledItem {
+                self.items.push(ScheduledItem {
                     name: d.name.clone(),
                     action: ScheduleAction::EventSync { events },
                     source: Some(p.op),
                 });
             }
         }
+        self.positions[p.op] = idx;
+        from..self.items.len()
     }
 
-    items.push(ScheduledItem {
+    /// Rewinds the most recent [`ScheduleBuilder::push_step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no step has been pushed.
+    pub fn pop_step(&mut self) {
+        let u = self.undo.pop().expect("pop_step on an empty builder");
+        self.items.truncate(u.items_len);
+        self.num_events = u.num_events;
+        self.max_stream = u.max_stream;
+        self.positions[u.op] = usize::MAX;
+        self.streams[u.op] = None;
+    }
+
+    /// Finishes the lowering: appends the terminal `End` device sync and
+    /// returns the complete [`Schedule`].
+    pub fn into_schedule(mut self) -> Schedule {
+        self.items.push(end_item());
+        Schedule {
+            items: self.items,
+            num_events: self.num_events,
+            num_streams: self.max_stream + 1,
+        }
+    }
+
+    /// Runs `f` against the complete [`Schedule`] of the current steps
+    /// (terminal `End` appended) without cloning the item buffer, then
+    /// restores the builder so further pushes and pops continue from the
+    /// same state.
+    pub fn with_complete_schedule<R>(&mut self, f: impl FnOnce(&Schedule) -> R) -> R {
+        let mut items = std::mem::take(&mut self.items);
+        items.push(end_item());
+        let s = Schedule {
+            items,
+            num_events: self.num_events,
+            num_streams: self.max_stream + 1,
+        };
+        let r = f(&s);
+        let mut items = s.items;
+        items.pop();
+        self.items = items;
+        r
+    }
+
+    /// Emits the Table III row-4 synchronization for every GPU
+    /// predecessor of `v` bound to a different stream: a
+    /// `cudaStreamWaitEvent` glued before the launch, reusing the
+    /// predecessor's `CER-after-*` event when that record has already
+    /// been issued, otherwise gluing a fresh record.
+    fn glue_cross_stream_waits(&mut self, v: VertexId, v_op: OpId, stream: StreamId) {
+        let dag = self.space.dag();
+        for &u in dag.preds(v) {
+            let Some(u_op) = self.space.op_of_vertex(u) else {
+                continue;
+            };
+            let Some(u_stream) = self.streams[u_op] else {
+                continue;
+            };
+            if u_stream == stream {
+                continue; // same-stream FIFO order suffices
+            }
+            let event = match self.space.cer_of(u_op) {
+                Some(cer) if self.positions[cer] != usize::MAX => {
+                    self.event_of_cer[cer].expect("CER op has an event")
+                }
+                _ => {
+                    // No usable record issued yet: glue one now. It
+                    // captures u's stream at this point, which is at or
+                    // after u itself, so the dependency is
+                    // (conservatively) preserved.
+                    let event = self.num_events;
+                    self.num_events += 1;
+                    self.items.push(ScheduledItem {
+                        name: format!("CER-after-{}(glued)", self.space.ops()[u_op].name),
+                        action: ScheduleAction::EventRecord {
+                            event,
+                            stream: u_stream,
+                        },
+                        source: None,
+                    });
+                    event
+                }
+            };
+            self.items.push(ScheduledItem {
+                name: format!("CSWE-b4-{}", self.space.ops()[v_op].name),
+                action: ScheduleAction::StreamWaitEvent { stream, event },
+                source: None,
+            });
+        }
+    }
+}
+
+/// The terminal `End` item every complete schedule carries.
+fn end_item() -> ScheduledItem {
+    ScheduledItem {
         name: "End".into(),
         action: ScheduleAction::DeviceSync,
         source: None,
-    });
-
-    Schedule {
-        items,
-        num_events,
-        num_streams: max_stream + 1,
     }
 }
 
@@ -216,61 +387,6 @@ fn lower_cpu_spec(spec: OpSpec) -> ScheduleAction {
         OpSpec::WaitRecvs(c) => ScheduleAction::WaitRecvs(c),
         OpSpec::AllReduce(c) => ScheduleAction::AllReduce(c),
         other => unreachable!("CPU decision op lowered from {other:?}"),
-    }
-}
-
-/// Emits the Table III row-4 synchronization for every GPU predecessor of
-/// `v` bound to a different stream: a `cudaStreamWaitEvent` glued before
-/// the launch, reusing the predecessor's `CER-after-*` event when that
-/// record has already been issued, otherwise gluing a fresh record.
-#[allow(clippy::too_many_arguments)]
-fn glue_cross_stream_waits(
-    space: &DecisionSpace,
-    v: VertexId,
-    v_op: OpId,
-    stream: StreamId,
-    idx: usize,
-    streams: &[Option<StreamId>],
-    positions: &[usize],
-    event_of_cer: &[Option<EventId>],
-    num_events: &mut usize,
-    items: &mut Vec<ScheduledItem>,
-) {
-    let dag = space.dag();
-    for &u in dag.preds(v) {
-        let Some(u_op) = space.op_of_vertex(u) else {
-            continue;
-        };
-        let Some(u_stream) = streams[u_op] else {
-            continue;
-        };
-        if u_stream == stream {
-            continue; // same-stream FIFO order suffices
-        }
-        let event = match space.cer_of(u_op) {
-            Some(cer) if positions[cer] < idx => event_of_cer[cer].expect("CER op has an event"),
-            _ => {
-                // No usable record issued yet: glue one now. It captures
-                // u's stream at this point, which is at or after u itself,
-                // so the dependency is (conservatively) preserved.
-                let event = *num_events;
-                *num_events += 1;
-                items.push(ScheduledItem {
-                    name: format!("CER-after-{}(glued)", space.ops()[u_op].name),
-                    action: ScheduleAction::EventRecord {
-                        event,
-                        stream: u_stream,
-                    },
-                    source: None,
-                });
-                event
-            }
-        };
-        items.push(ScheduledItem {
-            name: format!("CSWE-b4-{}", space.ops()[v_op].name),
-            action: ScheduleAction::StreamWaitEvent { stream, event },
-            source: None,
-        });
     }
 }
 
@@ -443,6 +559,51 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn builder_pop_step_rewinds_to_the_previous_lowering() {
+        // Depth-first walk of the whole space with one shared builder:
+        // at every leaf the builder's schedule must equal the cold
+        // lowering, and popping must restore the parent state exactly.
+        let sp = space();
+        let mut b = ScheduleBuilder::new(&sp);
+        let mut leaves = 0usize;
+        fn walk(
+            sp: &DecisionSpace,
+            prefix: &mut crate::space::Prefix,
+            b: &mut ScheduleBuilder,
+            leaves: &mut usize,
+        ) {
+            let elig = sp.eligible(prefix);
+            if elig.is_empty() {
+                let t = Traversal {
+                    steps: prefix.steps().to_vec(),
+                };
+                let cold = build_schedule(sp, &t);
+                let warm = b.with_complete_schedule(|s| s.clone());
+                assert_eq!(warm, cold, "incremental lowering diverged at {t:?}");
+                *leaves += 1;
+                return;
+            }
+            for p in elig {
+                sp.apply(prefix, p);
+                let before = (b.items().len(), b.num_events(), b.num_streams());
+                b.push_step(p);
+                walk(sp, prefix, b, leaves);
+                b.pop_step();
+                assert_eq!(
+                    before,
+                    (b.items().len(), b.num_events(), b.num_streams()),
+                    "pop_step must restore the parent lowering"
+                );
+                sp.unapply(prefix);
+            }
+        }
+        let mut prefix = sp.empty_prefix();
+        walk(&sp, &mut prefix, &mut b, &mut leaves);
+        assert_eq!(leaves as u128, sp.count_traversals());
+        assert!(b.is_empty());
     }
 
     #[test]

@@ -385,6 +385,110 @@ impl LintCounters {
     }
 }
 
+/// One deduplicated diagnostic across many schedules of a space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregatedDiag {
+    /// The underlying diagnostic (one representative occurrence).
+    pub diag: Diagnostic,
+    /// Number of schedules it fired in.
+    pub schedules: u64,
+    /// Index of the first schedule it fired in.
+    pub first_schedule: u64,
+}
+
+impl AggregatedDiag {
+    /// Renders as `severity CODE: message [items ...] (N schedules, first #i)`.
+    pub fn render(&self) -> String {
+        format!(
+            "{} ({} schedule{}, first #{})",
+            self.diag.render(),
+            self.schedules,
+            if self.schedules == 1 { "" } else { "s" },
+            self.first_schedule
+        )
+    }
+}
+
+/// Sort/dedup key of an aggregated diagnostic: `(code, items, message)`.
+type DiagKey = (&'static str, Vec<usize>, String);
+
+/// Aggregation state: `(representative, schedule count, first schedule,
+/// last schedule counted)`. The trailing marker makes a diagnostic that
+/// fires several times within one schedule count that schedule once.
+type DiagSlot = (Diagnostic, u64, u64, u64);
+
+/// Deduplicates diagnostics across a schedule space: the same finding
+/// (code + items + message) reports once with a schedule count instead
+/// of once per schedule, and the output is stably sorted by
+/// `(code, items, message)`.
+#[derive(Debug, Clone, Default)]
+pub struct DiagAggregator {
+    map: BTreeMap<DiagKey, DiagSlot>,
+}
+
+impl DiagAggregator {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one schedule's report in; `schedule` is the schedule's
+    /// index in enumeration order (absorb in nondecreasing order). A
+    /// diagnostic firing several times in one schedule counts that
+    /// schedule once.
+    pub fn absorb(&mut self, schedule: u64, report: &LintReport) {
+        for d in &report.diagnostics {
+            let key = (d.code.as_str(), d.items.clone(), d.message.clone());
+            match self.map.get_mut(&key) {
+                None => {
+                    self.map.insert(key, (d.clone(), 1, schedule, schedule));
+                }
+                Some(entry) => {
+                    if entry.3 != schedule {
+                        entry.1 += 1;
+                        entry.3 = schedule;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The deduplicated findings, stably sorted by (code, items, message).
+    pub fn entries(&self) -> Vec<AggregatedDiag> {
+        self.map
+            .values()
+            .map(|(diag, schedules, first, _)| AggregatedDiag {
+                diag: diag.clone(),
+                schedules: *schedules,
+                first_schedule: *first,
+            })
+            .collect()
+    }
+
+    /// Number of distinct findings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing fired.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Renders every deduplicated finding, one per line.
+    pub fn render_text(&self) -> String {
+        if self.map.is_empty() {
+            return "clean: no diagnostics\n".to_string();
+        }
+        let mut out = String::new();
+        for e in self.entries() {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
 /// Escapes a string for embedding in a JSON string literal.
 pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -475,6 +579,30 @@ mod tests {
         let json = a.to_json();
         assert!(json.contains("\"schedules\":3"));
         assert!(json.contains("\"HB001\":2"));
+    }
+
+    #[test]
+    fn aggregator_dedups_and_sorts_stably() {
+        let race = Diagnostic::new(RuleCode::Hb001, "race").with_items(vec![1, 2]);
+        let rs = Diagnostic::new(RuleCode::Rs003, "redundant event").with_items(vec![4]);
+        let mut agg = DiagAggregator::new();
+        // The race fires twice within schedule 0 (counts once), then in
+        // schedules 2 and 5; the RS only in schedule 2.
+        agg.absorb(0, &LintReport::new(vec![race.clone(), race.clone()]));
+        agg.absorb(1, &LintReport::default());
+        agg.absorb(2, &LintReport::new(vec![race.clone(), rs.clone()]));
+        agg.absorb(5, &LintReport::new(vec![race.clone()]));
+        let entries = agg.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].diag.code, RuleCode::Hb001);
+        assert_eq!(entries[0].schedules, 3);
+        assert_eq!(entries[0].first_schedule, 0);
+        assert_eq!(entries[1].diag.code, RuleCode::Rs003);
+        assert_eq!(entries[1].schedules, 1);
+        assert_eq!(entries[1].first_schedule, 2);
+        let text = agg.render_text();
+        assert!(text.contains("(3 schedules, first #0)"), "{text}");
+        assert!(text.contains("(1 schedule, first #2)"), "{text}");
     }
 
     #[test]

@@ -29,16 +29,24 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod autofix;
 mod deadlock;
 mod diag;
 mod hb;
 mod redundant;
+mod shrink;
+mod space;
 mod topo;
 
+pub use autofix::{apply_edits, synthesize_fix, Fix, FixEdit};
 pub use deadlock::detect_deadlocks;
-pub use diag::{Diagnostic, LintCounters, LintReport, RuleCode, Severity};
+pub use diag::{
+    AggregatedDiag, DiagAggregator, Diagnostic, LintCounters, LintReport, RuleCode, Severity,
+};
 pub use hb::verify_happens_before;
 pub use redundant::find_redundant_syncs;
+pub use shrink::{shrink_diagnostic, Shrunk};
+pub use space::{lint_space_incremental, PrefixDeadlockOracle, SpaceLintOptions, SpaceLintStats};
 pub use topo::{CommTopology, RankTraffic};
 
 use dr_dag::{build_schedule, DecisionSpace, Schedule, Traversal};

@@ -1,0 +1,257 @@
+//! Counterexample shrinking: delta-debug a diagnostic down to a minimal
+//! reproducing schedule.
+//!
+//! A space-level lint run can hand back a diagnostic anchored in a
+//! schedule dozens of items long, most of which are irrelevant to the
+//! defect. [`shrink_diagnostic`] applies the classic `ddmin` algorithm
+//! over the schedule's item list: repeatedly drop chunks of items (at
+//! doubling granularity) while the target diagnostic still reproduces
+//! under a full re-lint, converging to a *1-minimal* item subsequence —
+//! removing any single further item makes the diagnostic disappear.
+//!
+//! Item indices shift as items are dropped, so diagnostics are matched
+//! *modulo indices*: same rule code and same offending item **names**
+//! (plus the same decision ops); diagnostics with no item anchors
+//! compare by message. Lint is total on arbitrary item subsequences
+//! (missing ops surface as `SCHED001`, dangling waits as `HB002`), which
+//! is what makes the reduction predicate safe to evaluate.
+
+use crate::diag::{Diagnostic, LintReport};
+use crate::topo::CommTopology;
+use dr_dag::{DecisionSpace, Schedule};
+
+/// Result of shrinking one diagnostic.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimal reproducing schedule (a subsequence of the input's
+    /// items, with event/stream declarations preserved).
+    pub schedule: Schedule,
+    /// Indices into the *original* schedule of the items kept.
+    pub kept: Vec<usize>,
+    /// Re-lint invocations spent converging.
+    pub lints: u64,
+}
+
+/// A stable identity of a diagnostic that survives item reindexing:
+/// rule code, offending item names, decision ops, and — only when no
+/// item anchors exist — the message.
+pub(crate) fn signature(
+    schedule: &Schedule,
+    d: &Diagnostic,
+) -> (String, Vec<String>, Vec<usize>, String) {
+    let names = d
+        .items
+        .iter()
+        .map(|&i| {
+            schedule
+                .items
+                .get(i)
+                .map(|it| it.name.clone())
+                .unwrap_or_default()
+        })
+        .collect();
+    let message = if d.items.is_empty() {
+        d.message.clone()
+    } else {
+        String::new()
+    };
+    (d.code.as_str().to_string(), names, d.ops.clone(), message)
+}
+
+/// Whether `report` (from linting `schedule`) still contains the target.
+pub(crate) fn reproduces(
+    target: &(String, Vec<String>, Vec<usize>, String),
+    schedule: &Schedule,
+    report: &LintReport,
+) -> bool {
+    report
+        .diagnostics
+        .iter()
+        .any(|d| signature(schedule, d) == *target)
+}
+
+/// Shrinks `diag` (previously produced by linting `schedule`) to a
+/// 1-minimal reproducing sub-schedule via `ddmin`, always keeping the
+/// diagnostic's own anchor items. Returns `None` when the diagnostic
+/// does not reproduce on the input schedule in the first place.
+pub fn shrink_diagnostic(
+    space: &DecisionSpace,
+    schedule: &Schedule,
+    topo: Option<&CommTopology>,
+    diag: &Diagnostic,
+) -> Option<Shrunk> {
+    let target = signature(schedule, diag);
+    let mut lints = 0u64;
+    let mut check = |kept: &[usize]| -> Option<Schedule> {
+        let reduced = Schedule {
+            items: kept.iter().map(|&i| schedule.items[i].clone()).collect(),
+            num_events: schedule.num_events,
+            num_streams: schedule.num_streams,
+        };
+        lints += 1;
+        let report = crate::lint(space, &reduced, topo);
+        reproduces(&target, &reduced, &report).then_some(reduced)
+    };
+
+    let mandatory: Vec<usize> = {
+        let mut m: Vec<usize> = diag
+            .items
+            .iter()
+            .copied()
+            .filter(|&i| i < schedule.items.len())
+            .collect();
+        m.sort_unstable();
+        m.dedup();
+        m
+    };
+    let assemble = |removable: &[usize]| -> Vec<usize> {
+        let mut kept: Vec<usize> = mandatory.iter().chain(removable).copied().collect();
+        kept.sort_unstable();
+        kept.dedup();
+        kept
+    };
+
+    let mut removable: Vec<usize> = (0..schedule.items.len())
+        .filter(|i| !mandatory.contains(i))
+        .collect();
+    let mut best = check(&assemble(&removable))?;
+
+    // ddmin: test complements of chunks at doubling granularity.
+    let mut n = 2usize;
+    while !removable.is_empty() && n <= removable.len().max(2) {
+        let chunk = removable.len().div_ceil(n.min(removable.len()));
+        let mut reduced_this_round = false;
+        let mut lo = 0;
+        while lo < removable.len() {
+            let hi = (lo + chunk).min(removable.len());
+            let complement: Vec<usize> = removable[..lo]
+                .iter()
+                .chain(&removable[hi..])
+                .copied()
+                .collect();
+            if let Some(s) = check(&assemble(&complement)) {
+                best = s;
+                removable = complement;
+                n = (n.saturating_sub(1)).max(2);
+                reduced_this_round = true;
+                break;
+            }
+            lo = hi;
+        }
+        if !reduced_this_round {
+            if n >= removable.len() {
+                break;
+            }
+            n = (2 * n).min(removable.len());
+        }
+    }
+
+    Some(Shrunk {
+        schedule: best,
+        kept: assemble(&removable),
+        lints,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RuleCode;
+    use dr_dag::{build_schedule, CostKey, DagBuilder, OpSpec};
+
+    /// Two dependent GPU kernels plus a pile of independent ones, forced
+    /// onto different streams to race.
+    fn racy_case() -> (DecisionSpace, Schedule, Diagnostic) {
+        let mut b = DagBuilder::new();
+        let a = b.add("a", OpSpec::GpuKernel(CostKey::new("a")));
+        let c = b.add("c", OpSpec::GpuKernel(CostKey::new("c")));
+        for name in ["x1", "x2", "x3", "x4"] {
+            b.add(name, OpSpec::GpuKernel(CostKey::new(name)));
+        }
+        b.edge(a, c);
+        let sp = DecisionSpace::new(b.build().unwrap(), 2).unwrap();
+        // The lowering glues a StreamWaitEvent whenever a and c land on
+        // different streams; stripping it manufactures the race.
+        for t in sp.enumerate() {
+            let mut s = build_schedule(&sp, &t);
+            let before = s.items.len();
+            s.items.retain(|it| !it.name.contains("CSWE"));
+            if s.items.len() == before {
+                continue; // same-stream order: nothing glued, no race
+            }
+            let report = crate::lint(&sp, &s, None);
+            if let Some(d) = report
+                .diagnostics
+                .iter()
+                .find(|d| d.code == RuleCode::Hb001)
+            {
+                return (sp, s, d.clone());
+            }
+        }
+        unreachable!("two streams admit at least one racy order");
+    }
+
+    #[test]
+    fn shrinks_a_race_to_its_two_participants() {
+        let (sp, s, d) = racy_case();
+        let shrunk = shrink_diagnostic(&sp, &s, None, &d).expect("diag reproduces on its input");
+        assert!(shrunk.schedule.items.len() < s.items.len());
+        // 1-minimality: dropping any kept item kills the diagnostic.
+        let target = signature(&s, &d);
+        for skip in 0..shrunk.kept.len() {
+            let kept: Vec<usize> = shrunk
+                .kept
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != skip)
+                .map(|(_, &i)| i)
+                .collect();
+            if d.items.contains(&shrunk.kept[skip]) {
+                continue; // anchors are mandatory by construction
+            }
+            let reduced = Schedule {
+                items: kept.iter().map(|&i| s.items[i].clone()).collect(),
+                num_events: s.num_events,
+                num_streams: s.num_streams,
+            };
+            let report = crate::lint(&sp, &reduced, None);
+            assert!(
+                !reproduces(&target, &reduced, &report),
+                "dropping item {} should kill the diagnostic",
+                shrunk.kept[skip]
+            );
+        }
+        assert!(shrunk.lints > 0);
+    }
+
+    #[test]
+    fn non_reproducing_diagnostic_is_rejected() {
+        let (sp, s, _) = racy_case();
+        let bogus = Diagnostic::new(RuleCode::Mpi104, "deadlock: nope");
+        assert!(shrink_diagnostic(&sp, &s, None, &bogus).is_none());
+    }
+
+    #[test]
+    fn deadlock_shrinks_to_the_blocking_wait() {
+        let key = dr_dag::CommKey::new("x");
+        let mut b = DagBuilder::new();
+        b.add("w", OpSpec::CpuWork(CostKey::new("w")));
+        b.add("ws", OpSpec::WaitSends(key.clone()));
+        b.add("pad", OpSpec::CpuWork(CostKey::new("pad")));
+        let sp = DecisionSpace::new(b.build().unwrap(), 1).unwrap();
+        let mut topo = CommTopology::new(2).with_eager_threshold(16);
+        topo.all_to_all(key, 1 << 20);
+        let t = sp.enumerate().next().unwrap();
+        let s = build_schedule(&sp, &t);
+        let report = crate::lint(&sp, &s, Some(&topo));
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == RuleCode::Mpi103)
+            .expect("rendezvous wait with no recv posts is MPI103")
+            .clone();
+        let shrunk = shrink_diagnostic(&sp, &s, Some(&topo), &d).unwrap();
+        assert_eq!(shrunk.schedule.items.len(), 1);
+        assert_eq!(shrunk.schedule.items[0].name, "ws");
+    }
+}

@@ -1,0 +1,897 @@
+//! Space-level incremental lint: one shared analysis over every
+//! schedule of a [`DecisionSpace`].
+//!
+//! Linting a space cold re-runs every analysis from scratch per
+//! schedule, yet schedules sharing a traversal prefix share their entire
+//! lowering prefix — and therefore the happens-before state of every
+//! prefix item. This module walks the space's prefix tree depth-first
+//! with three checkpointed structures growing and rewinding in lockstep:
+//!
+//! * the incremental lowering ([`dr_dag::ScheduleBuilder`]), pushed and
+//!   popped one placement at a time;
+//! * an *ancestor-bitset* happens-before representation: per graph node
+//!   a bitset of every node that reaches it. All happens-before edges
+//!   point from earlier to later items, so each appended item's three
+//!   node rows are unions of already-final rows — rows never mutate
+//!   after creation, and rewinding is truncation. `a` happens-before
+//!   `b` iff bit `a` of `b`'s row is set, exactly the relation the cold
+//!   closure answers;
+//! * the op→item map feeding dependency-edge coverage.
+//!
+//! At each leaf only the terminal `End` item is appended (3 node rows),
+//! the HB001 verdicts are read off the shared rows, and the deadlock and
+//! redundant-sync passes run on the complete schedule buffer — producing
+//! a [`LintReport`] bit-identical to [`crate::lint_traversal`], while
+//! the happens-before pass expands O(distinct prefix items) node rows
+//! instead of O(schedules × items).
+//!
+//! [`PrefixDeadlockOracle`] adds the static-prune leg: a sound
+//! prefix-level test that every completion of a prefix deadlocks, usable
+//! both here (skipping provably-deadlocked subtrees) and as an MCTS
+//! expansion hook.
+
+use crate::deadlock::detect_deadlocks;
+use crate::diag::{Diagnostic, LintReport, RuleCode};
+use crate::redundant::find_redundant_syncs;
+use crate::topo::CommTopology;
+use dr_dag::{
+    CommKey, DecisionKind, DecisionSpace, OpId, OpSpec, Placement, Prefix, ScheduleAction,
+    ScheduleBuilder, ScheduledItem,
+};
+use std::collections::BTreeSet;
+
+/// Counters of one space-level lint walk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpaceLintStats {
+    /// Schedules actually linted (leaves visited).
+    pub schedules: u64,
+    /// True when the walk stopped at the schedule cap.
+    pub truncated: bool,
+    /// Happens-before node rows expanded by the incremental engine
+    /// (three per distinct prefix item, plus three per leaf for the
+    /// terminal `End`).
+    pub hb_expansions: u64,
+    /// Node expansions the cold per-schedule pass would have performed
+    /// for the same leaves (three per item per schedule).
+    pub cold_hb_expansions: u64,
+    /// Subtrees skipped because their prefix is provably deadlocked.
+    pub pruned_subtrees: u64,
+    /// Subtrees skipped by the caller's prefix filter.
+    pub filtered_subtrees: u64,
+}
+
+/// Placement filter consulted before each descent of the incremental
+/// walk: `(current prefix, candidate placement) -> keep?`. Returning
+/// `false` skips the candidate's whole subtree.
+pub type PrefixFilter<'a> = &'a mut dyn FnMut(&Prefix, Placement) -> bool;
+
+/// Options of [`lint_space_incremental`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpaceLintOptions {
+    /// Stop after this many schedules (0 = lint the whole space).
+    pub max_schedules: u64,
+    /// Skip subtrees whose prefix is provably deadlocked (every leaf
+    /// under them would report `MPI103`/`MPI104`). Pruned leaves produce
+    /// no report, so verdict streams are only bit-identical to the cold
+    /// pass when this is off.
+    pub prune_deadlocks: bool,
+}
+
+/// Lints every schedule of `space` incrementally, invoking `on_leaf`
+/// with `(schedule index, prefix, report)` for each leaf in canonical
+/// enumeration order — the same order and the same reports as linting
+/// [`DecisionSpace::enumerate`] output cold, one schedule at a time.
+///
+/// `filter` (when given) is consulted before each descent with the
+/// current prefix and the candidate placement; returning `false` skips
+/// that subtree (used to restrict the walk to schedules satisfying a
+/// rule set). Leaf indices count visited leaves.
+pub fn lint_space_incremental(
+    space: &DecisionSpace,
+    topo: Option<&CommTopology>,
+    opts: SpaceLintOptions,
+    mut filter: Option<PrefixFilter<'_>>,
+    on_leaf: &mut dyn FnMut(u64, &Prefix, &LintReport),
+) -> SpaceLintStats {
+    let oracle = (opts.prune_deadlocks && topo.is_some())
+        .then(|| PrefixDeadlockOracle::new(space, topo.expect("checked").clone()));
+    let mut engine = Engine {
+        space,
+        topo,
+        builder: ScheduleBuilder::new(space),
+        hb: IncrementalHb::new(max_items_bound(space)),
+        edges: static_dependency_edges(space),
+        item_of_op: vec![None; space.num_ops()],
+        oracle,
+        stats: SpaceLintStats::default(),
+        max_schedules: opts.max_schedules,
+    };
+    let mut prefix = space.empty_prefix();
+    engine.walk(&mut prefix, &mut filter, on_leaf);
+    engine.stats
+}
+
+/// Upper bound on the items of any schedule of `space`: one main item
+/// per op, at worst one glued record plus one stream wait per GPU
+/// predecessor edge, plus the terminal `End`.
+fn max_items_bound(space: &DecisionSpace) -> usize {
+    let dag = space.dag();
+    let mut bound = 1; // End
+    for d in space.ops() {
+        bound += 1;
+        if let DecisionKind::Gpu(v) = d.kind {
+            bound += 2 * dag.preds(v).len();
+        }
+    }
+    bound
+}
+
+/// A dependency edge in terms of decision ops, precomputed in the exact
+/// order `hb::dependency_edges` enumerates: `v_op == None` marks an edge
+/// into the artificial `End`.
+struct StaticEdge {
+    u_op: OpId,
+    v_op: Option<OpId>,
+    name: String,
+}
+
+fn static_dependency_edges(space: &DecisionSpace) -> Vec<StaticEdge> {
+    let dag = space.dag();
+    let mut edges = Vec::new();
+    for v in dag.user_vertices() {
+        let Some(v_op) = space.op_of_vertex(v) else {
+            continue;
+        };
+        for &u in dag.preds(v) {
+            let Some(u_op) = space.op_of_vertex(u) else {
+                continue;
+            };
+            edges.push(StaticEdge {
+                u_op,
+                v_op: Some(v_op),
+                name: format!("{} -> {}", dag.vertex(u).name, dag.vertex(v).name),
+            });
+        }
+    }
+    for &u in dag.preds(dag.end()) {
+        if let Some(u_op) = space.op_of_vertex(u) {
+            edges.push(StaticEdge {
+                u_op,
+                v_op: None,
+                name: format!("{} -> End", dag.vertex(u).name),
+            });
+        }
+    }
+    edges
+}
+
+struct Engine<'a> {
+    space: &'a DecisionSpace,
+    topo: Option<&'a CommTopology>,
+    builder: ScheduleBuilder<'a>,
+    hb: IncrementalHb,
+    edges: Vec<StaticEdge>,
+    item_of_op: Vec<Option<usize>>,
+    oracle: Option<PrefixDeadlockOracle>,
+    stats: SpaceLintStats,
+    max_schedules: u64,
+}
+
+impl Engine<'_> {
+    fn capped(&self) -> bool {
+        self.max_schedules != 0 && self.stats.schedules >= self.max_schedules
+    }
+
+    fn walk(
+        &mut self,
+        prefix: &mut Prefix,
+        filter: &mut Option<PrefixFilter<'_>>,
+        on_leaf: &mut dyn FnMut(u64, &Prefix, &LintReport),
+    ) {
+        if self.capped() {
+            self.stats.truncated = true;
+            return;
+        }
+        let elig = self.space.eligible(prefix);
+        if elig.is_empty() {
+            self.lint_leaf(prefix, on_leaf);
+            return;
+        }
+        for p in elig {
+            if self.capped() {
+                self.stats.truncated = true;
+                return;
+            }
+            if let Some(f) = filter.as_deref_mut() {
+                if !f(prefix, p) {
+                    self.stats.filtered_subtrees += 1;
+                    continue;
+                }
+            }
+            self.space.apply(prefix, p);
+            let range = self.builder.push_step(p);
+            let (from, to) = (range.start, range.end);
+            for i in from..to {
+                // The builder's item buffer is borrowed immutably while
+                // the HB state mutates, so split via raw index.
+                let item = self.builder.items()[i].clone();
+                self.hb.append_item(i, &item, &mut self.stats.hb_expansions);
+            }
+            debug_assert!(to > from, "every step lowers at least one item");
+            self.item_of_op[p.op] = Some(to - 1);
+            let pruned = self
+                .oracle
+                .as_ref()
+                .is_some_and(|o| o.provably_deadlocked(prefix));
+            if pruned {
+                self.stats.pruned_subtrees += 1;
+            } else {
+                self.walk(prefix, filter, on_leaf);
+            }
+            self.item_of_op[p.op] = None;
+            for _ in from..to {
+                self.hb.pop_item();
+            }
+            self.builder.pop_step();
+            self.space.unapply(prefix);
+        }
+    }
+
+    /// Produces the leaf's [`LintReport`] exactly as the cold
+    /// [`crate::lint`] would: HB001 race verdicts from the shared
+    /// ancestor rows (the structural `SCHED`/`HB002` diagnostics are
+    /// vacuous for schedules produced by our own lowering), then the
+    /// deadlock and redundant-sync passes over the complete schedule.
+    fn lint_leaf(&mut self, prefix: &Prefix, on_leaf: &mut dyn FnMut(u64, &Prefix, &LintReport)) {
+        let end_idx = self.builder.items().len();
+        let end_item = ScheduledItem {
+            name: "End".into(),
+            action: ScheduleAction::DeviceSync,
+            source: None,
+        };
+        self.hb
+            .append_item(end_idx, &end_item, &mut self.stats.hb_expansions);
+
+        let mut diags = Vec::new();
+        let end_node = end(end_idx);
+        for e in &self.edges {
+            let iu = self.item_of_op[e.u_op].expect("all ops placed at a leaf");
+            let (covered, items) = match e.v_op {
+                None => (
+                    end(iu) == end_node || self.hb.reaches(end(iu), end_node),
+                    vec![iu],
+                ),
+                Some(v_op) => {
+                    let iv = self.item_of_op[v_op].expect("all ops placed at a leaf");
+                    (self.hb.reaches(end(iu), start(iv)), vec![iu, iv])
+                }
+            };
+            if !covered {
+                diags.push(
+                    Diagnostic::new(
+                        RuleCode::Hb001,
+                        format!(
+                            "dependency {} is not enforced by any synchronization",
+                            e.name
+                        ),
+                    )
+                    .with_items(items),
+                );
+            }
+        }
+
+        let space = self.space;
+        let topo = self.topo;
+        let items_with_end = self.builder.with_complete_schedule(|s| {
+            if let Some(topo) = topo {
+                diags.extend(detect_deadlocks(s, topo));
+            }
+            diags.extend(find_redundant_syncs(space, s));
+            s.items.len()
+        });
+
+        let report = LintReport::new(diags);
+        let idx = self.stats.schedules;
+        self.stats.schedules += 1;
+        self.stats.cold_hb_expansions += 3 * items_with_end as u64;
+        on_leaf(idx, prefix, &report);
+        self.hb.pop_item();
+    }
+}
+
+fn issue(i: usize) -> usize {
+    3 * i
+}
+fn start(i: usize) -> usize {
+    3 * i + 1
+}
+fn end(i: usize) -> usize {
+    3 * i + 2
+}
+
+/// Per-item rewind record of [`IncrementalHb`].
+struct HbUndo {
+    stream_prev: Option<(usize, Option<usize>)>,
+    record_prev: Option<(usize, Option<usize>)>,
+    device_pushed: bool,
+}
+
+/// Checkpointed happens-before state along the current lowering prefix.
+///
+/// Instead of the cold pass's successor-closure (recomputed per
+/// schedule), each of an item's three nodes gets an *ancestor* bitset
+/// row: the union of its in-neighbors' rows plus their bits. In-edges
+/// only ever come from already-appended nodes, so rows are final at
+/// creation and rewinding truncates.
+struct IncrementalHb {
+    words: usize,
+    /// Row-major ancestor bitsets, one row per node, `words` u64 each.
+    anc: Vec<u64>,
+    nodes: usize,
+    /// Per appended item: whether it blocks the host (no stream).
+    host_blocking: Vec<bool>,
+    last_in_stream: Vec<Option<usize>>,
+    latest_record: Vec<Option<usize>>,
+    device_items: Vec<usize>,
+    undo: Vec<HbUndo>,
+}
+
+impl IncrementalHb {
+    fn new(max_items: usize) -> Self {
+        let words = (3 * max_items).div_ceil(64);
+        IncrementalHb {
+            words,
+            anc: Vec::new(),
+            nodes: 0,
+            host_blocking: Vec::new(),
+            last_in_stream: Vec::new(),
+            latest_record: Vec::new(),
+            device_items: Vec::new(),
+            undo: Vec::new(),
+        }
+    }
+
+    /// Whether node `from` happens-before node `to` (same strict
+    /// relation as the cold `HbGraph::reaches`).
+    fn reaches(&self, from: usize, to: usize) -> bool {
+        self.anc[to * self.words + from / 64] >> (from % 64) & 1 == 1
+    }
+
+    /// Allocates the next node row and returns its index.
+    fn push_node(&mut self) -> usize {
+        let node = self.nodes;
+        self.nodes += 1;
+        self.anc.resize(self.nodes * self.words, 0);
+        node
+    }
+
+    /// Adds edge `from → to` (`from < to`): `to`'s row absorbs `from`'s
+    /// row and `from`'s bit.
+    fn edge(&mut self, from: usize, to: usize) {
+        debug_assert!(from < to, "happens-before edges must point forward");
+        let w = self.words;
+        let (head, tail) = self.anc.split_at_mut(to * w);
+        let src = &head[from * w..from * w + w];
+        let dst = &mut tail[..w];
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d |= *s;
+        }
+        dst[from / 64] |= 1 << (from % 64);
+    }
+
+    /// Appends item `i`'s three nodes, mirroring the cold `build_hb`
+    /// edge construction. Items must arrive with consecutive indices and
+    /// reference only already-recorded events (true for every schedule
+    /// our own lowering produces).
+    fn append_item(&mut self, i: usize, item: &ScheduledItem, expansions: &mut u64) {
+        debug_assert_eq!(self.nodes, 3 * i, "items must append in order");
+        let mut u = HbUndo {
+            stream_prev: None,
+            record_prev: None,
+            device_pushed: false,
+        };
+
+        let iss = self.push_node();
+        if i > 0 {
+            self.edge(issue(i - 1), iss);
+            if self.host_blocking[i - 1] {
+                self.edge(end(i - 1), iss);
+            }
+        }
+
+        let stream = match &item.action {
+            ScheduleAction::KernelLaunch { stream, .. }
+            | ScheduleAction::EventRecord { stream, .. }
+            | ScheduleAction::StreamWaitEvent { stream, .. } => Some(*stream),
+            _ => None,
+        };
+
+        let st = self.push_node();
+        self.edge(iss, st);
+        if let Some(s) = stream {
+            if s >= self.last_in_stream.len() {
+                self.last_in_stream.resize(s + 1, None);
+            }
+            if let Some(prev) = self.last_in_stream[s] {
+                self.edge(end(prev), st);
+            }
+            u.stream_prev = Some((s, self.last_in_stream[s]));
+            self.last_in_stream[s] = Some(i);
+            self.device_items.push(i);
+            u.device_pushed = true;
+        }
+
+        let en = self.push_node();
+        self.edge(st, en);
+        match &item.action {
+            ScheduleAction::EventRecord { event, .. } => {
+                if *event >= self.latest_record.len() {
+                    self.latest_record.resize(event + 1, None);
+                }
+                u.record_prev = Some((*event, self.latest_record[*event]));
+                self.latest_record[*event] = Some(i);
+            }
+            ScheduleAction::StreamWaitEvent { event, .. } => {
+                if let Some(rec) = self.latest_record.get(*event).copied().flatten() {
+                    self.edge(end(rec), en);
+                }
+            }
+            ScheduleAction::EventSync { events } => {
+                for ev in events {
+                    if let Some(rec) = self.latest_record.get(*ev).copied().flatten() {
+                        self.edge(end(rec), en);
+                    }
+                }
+            }
+            ScheduleAction::DeviceSync => {
+                for d in 0..self.device_items.len() {
+                    self.edge(end(self.device_items[d]), en);
+                }
+            }
+            _ => {}
+        }
+
+        self.host_blocking.push(stream.is_none());
+        self.undo.push(u);
+        *expansions += 3;
+    }
+
+    /// Rewinds the most recent [`IncrementalHb::append_item`].
+    fn pop_item(&mut self) {
+        let u = self.undo.pop().expect("pop_item on an empty HB state");
+        if let Some((s, prev)) = u.stream_prev {
+            self.last_in_stream[s] = prev;
+        }
+        if let Some((ev, prev)) = u.record_prev {
+            self.latest_record[ev] = prev;
+        }
+        if u.device_pushed {
+            self.device_items.pop();
+        }
+        self.host_blocking.pop();
+        self.nodes -= 3;
+        self.anc.truncate(self.nodes * self.words);
+    }
+}
+
+/// One communication instruction, by op id (SPMD: every rank executes
+/// the same list).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CommAction {
+    PostSends(CommKey),
+    PostRecvs(CommKey),
+    WaitSends(CommKey),
+    WaitRecvs(CommKey),
+    AllReduce(CommKey),
+}
+
+/// Sound prefix-level deadlock certification: decides whether *every*
+/// completion of a traversal prefix lints with a deadlock
+/// (`MPI103`/`MPI104`), using only prefix-final facts.
+///
+/// Two legs, mirroring [`detect_deadlocks`]:
+///
+/// * a placed wait whose `MPI103` condition holds is certain — the
+///   "does any matching post exist" facts range over the full op
+///   multiset, which every completion places, and lost-message facts
+///   are topology-only;
+/// * `MPI101` per placed wait is prefix-final (it looks only backward),
+///   so the detector's *unsatisfiable* skip-set restricted to the
+///   prefix is exact. Running the same round-robin abstract execution
+///   over the prefix's comm ops, if at quiescence some rank is blocked
+///   and every rank is either blocked or out of comm ops for good (the
+///   prefix already contains all of them), then no completion can make
+///   progress either — posts only come from advancing ranks — so the
+///   full detector quiesces in the same state and reports `MPI104`.
+///
+/// Both legs imply `LintReport::deadlocks() > 0` for every leaf below
+/// the prefix, which is what makes subtree pruning sound.
+pub struct PrefixDeadlockOracle {
+    topo: CommTopology,
+    comm_of_op: Vec<Option<CommAction>>,
+    exists_postsends: BTreeSet<CommKey>,
+    exists_postrecvs: BTreeSet<CommKey>,
+    total_comm: usize,
+}
+
+impl PrefixDeadlockOracle {
+    /// Builds the oracle for `space` under `topo`.
+    pub fn new(space: &DecisionSpace, topo: CommTopology) -> Self {
+        let dag = space.dag();
+        let mut comm_of_op: Vec<Option<CommAction>> = vec![None; space.num_ops()];
+        for (op, d) in space.ops().iter().enumerate() {
+            if let DecisionKind::Cpu(v) = d.kind {
+                comm_of_op[op] = match &dag.vertex(v).spec {
+                    OpSpec::PostSends(c) => Some(CommAction::PostSends(c.clone())),
+                    OpSpec::PostRecvs(c) => Some(CommAction::PostRecvs(c.clone())),
+                    OpSpec::WaitSends(c) => Some(CommAction::WaitSends(c.clone())),
+                    OpSpec::WaitRecvs(c) => Some(CommAction::WaitRecvs(c.clone())),
+                    OpSpec::AllReduce(c) => Some(CommAction::AllReduce(c.clone())),
+                    _ => None,
+                };
+            }
+        }
+        let mut exists_postsends = BTreeSet::new();
+        let mut exists_postrecvs = BTreeSet::new();
+        let mut total_comm = 0usize;
+        for c in comm_of_op.iter().flatten() {
+            total_comm += 1;
+            match c {
+                CommAction::PostSends(k) => {
+                    exists_postsends.insert(k.clone());
+                }
+                CommAction::PostRecvs(k) => {
+                    exists_postrecvs.insert(k.clone());
+                }
+                _ => {}
+            }
+        }
+        PrefixDeadlockOracle {
+            topo,
+            comm_of_op,
+            exists_postsends,
+            exists_postrecvs,
+            total_comm,
+        }
+    }
+
+    /// A `WaitSends(c)` that needs a rendezvous handshake no rank ever
+    /// posts receives for, or whose rendezvous message is lost, can
+    /// never complete — in any completion.
+    fn wait_sends_doomed(&self, c: &CommKey) -> bool {
+        let Some(pat) = self.topo.pattern(c) else {
+            return false;
+        };
+        let needs_remote_recv = pat
+            .iter()
+            .any(|t| t.sends.iter().any(|&(_, b)| !self.topo.is_eager(b)));
+        if needs_remote_recv && !self.exists_postrecvs.contains(c) {
+            return true;
+        }
+        pat.iter().enumerate().any(|(src, t)| {
+            t.sends
+                .iter()
+                .any(|&(dst, bytes)| !self.topo.is_eager(bytes) && self.topo.is_lost(c, src, dst))
+        })
+    }
+
+    /// A `WaitRecvs(c)` expecting messages no rank ever sends, or whose
+    /// expected message is lost, can never complete.
+    fn wait_recvs_doomed(&self, c: &CommKey) -> bool {
+        let Some(pat) = self.topo.pattern(c) else {
+            return false;
+        };
+        let expects_data = pat.iter().any(|t| !t.recvs.is_empty());
+        if expects_data && !self.exists_postsends.contains(c) {
+            return true;
+        }
+        pat.iter().enumerate().any(|(dst, t)| {
+            t.recvs
+                .iter()
+                .any(|&(src, _)| self.topo.is_lost(c, src, dst))
+        })
+    }
+
+    /// True when every completion of `prefix` is provably deadlocked.
+    pub fn provably_deadlocked(&self, prefix: &Prefix) -> bool {
+        let ops: Vec<&CommAction> = prefix
+            .steps()
+            .iter()
+            .filter_map(|p| self.comm_of_op[p.op].as_ref())
+            .collect();
+        let ranks = self.topo.num_ranks();
+        if ops.is_empty() || ranks == 0 {
+            return false;
+        }
+        let n = ops.len();
+
+        // Unsatisfiable waits are skipped by the detector (it reports
+        // them as MPI101/MPI103 instead of blocking); a certain MPI103
+        // alone already dooms every completion.
+        let mut unsat = vec![false; n];
+        for (j, op) in ops.iter().enumerate() {
+            match op {
+                CommAction::WaitSends(c) => {
+                    if self.wait_sends_doomed(c) {
+                        return true;
+                    }
+                    unsat[j] = !ops[..j]
+                        .iter()
+                        .any(|o| matches!(o, CommAction::PostSends(k) if k == c));
+                }
+                CommAction::WaitRecvs(c) => {
+                    if self.wait_recvs_doomed(c) {
+                        return true;
+                    }
+                    unsat[j] = !ops[..j]
+                        .iter()
+                        .any(|o| matches!(o, CommAction::PostRecvs(k) if k == c));
+                }
+                _ => {}
+            }
+        }
+
+        // Round-robin abstract execution of the prefix, mirroring the
+        // detector's semantics exactly.
+        let mut pc = vec![0usize; ranks];
+        let mut posted_sends: Vec<BTreeSet<&CommKey>> = vec![BTreeSet::new(); ranks];
+        let mut posted_recvs: Vec<BTreeSet<&CommKey>> = vec![BTreeSet::new(); ranks];
+        let blocked = |rank: usize,
+                       pc: &[usize],
+                       posted_sends: &[BTreeSet<&CommKey>],
+                       posted_recvs: &[BTreeSet<&CommKey>]|
+         -> bool {
+            if unsat[pc[rank]] {
+                return false;
+            }
+            match ops[pc[rank]] {
+                CommAction::WaitRecvs(c) => match self.topo.pattern(c) {
+                    Some(pat) => pat[rank]
+                        .recvs
+                        .iter()
+                        .map(|&(peer, _)| peer)
+                        .any(|peer| peer < ranks && !posted_sends[peer].contains(c)),
+                    None => false,
+                },
+                CommAction::WaitSends(c) => match self.topo.pattern(c) {
+                    Some(pat) => pat[rank]
+                        .sends
+                        .iter()
+                        .filter(|&&(_, bytes)| !self.topo.is_eager(bytes))
+                        .map(|&(peer, _)| peer)
+                        .any(|peer| peer < ranks && !posted_recvs[peer].contains(c)),
+                    None => false,
+                },
+                CommAction::AllReduce(_) => (0..ranks).any(|p| pc[p] < pc[rank]),
+                _ => false,
+            }
+        };
+        loop {
+            let mut progressed = false;
+            for rank in 0..ranks {
+                while pc[rank] < n {
+                    if blocked(rank, &pc, &posted_sends, &posted_recvs) {
+                        break;
+                    }
+                    match ops[pc[rank]] {
+                        CommAction::PostSends(c) => {
+                            posted_sends[rank].insert(c);
+                        }
+                        CommAction::PostRecvs(c) => {
+                            posted_recvs[rank].insert(c);
+                        }
+                        _ => {}
+                    }
+                    pc[rank] += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        let stuck = (0..ranks).filter(|&r| pc[r] < n).count();
+        // Sound only when no rank can ever act again: all ranks blocked,
+        // or the prefix already contains every comm op (finished ranks
+        // are finished for good).
+        stuck > 0 && (stuck == ranks || n == self.total_comm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint_traversal;
+    use dr_dag::{CostKey, DagBuilder, Traversal};
+
+    /// The canonical exchange: post sends/recvs, waits, plus a kernel to
+    /// widen the space.
+    fn exchange_space() -> DecisionSpace {
+        let key = CommKey::new("x");
+        let mut b = DagBuilder::new();
+        let ps = b.add("ps", OpSpec::PostSends(key.clone()));
+        let pr = b.add("pr", OpSpec::PostRecvs(key.clone()));
+        let ws = b.add("ws", OpSpec::WaitSends(key.clone()));
+        let wr = b.add("wr", OpSpec::WaitRecvs(key));
+        let g = b.add("g", OpSpec::GpuKernel(CostKey::new("g")));
+        b.edge(ps, ws);
+        b.edge(pr, wr);
+        b.edge(ps, wr);
+        b.edge(g, wr);
+        DecisionSpace::new(b.build().unwrap(), 2).unwrap()
+    }
+
+    fn topo(bytes: u64) -> CommTopology {
+        let mut t = CommTopology::new(2).with_eager_threshold(1024);
+        t.all_to_all(CommKey::new("x"), bytes);
+        t
+    }
+
+    #[test]
+    fn incremental_reports_match_cold_lint_bit_for_bit() {
+        let sp = exchange_space();
+        let topo = topo(1 << 20); // rendezvous: some orders deadlock
+        let traversals: Vec<Traversal> = sp.enumerate().collect();
+        let mut i = 0usize;
+        let stats = lint_space_incremental(
+            &sp,
+            Some(&topo),
+            SpaceLintOptions::default(),
+            None,
+            &mut |idx, prefix, report| {
+                assert_eq!(idx as usize, i);
+                let t = Traversal {
+                    steps: prefix.steps().to_vec(),
+                };
+                assert_eq!(t, traversals[i], "leaf order must match enumeration");
+                let cold = lint_traversal(&sp, &t, Some(&topo));
+                assert_eq!(
+                    report.diagnostics, cold.diagnostics,
+                    "schedule #{i} diverged"
+                );
+                i += 1;
+            },
+        );
+        assert_eq!(stats.schedules as usize, traversals.len());
+        assert!(
+            stats.hb_expansions < stats.cold_hb_expansions,
+            "prefix sharing must beat the cold pass: {} vs {}",
+            stats.hb_expansions,
+            stats.cold_hb_expansions
+        );
+    }
+
+    #[test]
+    fn max_schedules_truncates_the_walk() {
+        let sp = exchange_space();
+        let topo = topo(512);
+        let mut seen = 0u64;
+        let stats = lint_space_incremental(
+            &sp,
+            Some(&topo),
+            SpaceLintOptions {
+                max_schedules: 3,
+                ..Default::default()
+            },
+            None,
+            &mut |_, _, _| seen += 1,
+        );
+        assert_eq!(seen, 3);
+        assert_eq!(stats.schedules, 3);
+        assert!(stats.truncated);
+    }
+
+    #[test]
+    fn prefix_filter_restricts_the_walk() {
+        let sp = exchange_space();
+        let topo = topo(512);
+        let ws = sp.op_by_name("ws").unwrap();
+        // Forbid placing `ws` as long as `pr` is unplaced: every visited
+        // leaf must order pr before ws.
+        let pr = sp.op_by_name("pr").unwrap();
+        let mut filter = |prefix: &Prefix, p: Placement| p.op != ws || prefix.is_placed(pr);
+        let mut total = 0u64;
+        let stats = lint_space_incremental(
+            &sp,
+            Some(&topo),
+            SpaceLintOptions::default(),
+            Some(&mut filter),
+            &mut |_, prefix, _| {
+                let pos_pr = prefix.steps().iter().position(|s| s.op == pr).unwrap();
+                let pos_ws = prefix.steps().iter().position(|s| s.op == ws).unwrap();
+                assert!(pos_pr < pos_ws);
+                total += 1;
+            },
+        );
+        assert!(total > 0);
+        assert!(stats.filtered_subtrees > 0);
+        assert!(total < sp.count_traversals() as u64);
+    }
+
+    #[test]
+    fn oracle_agrees_with_cold_verdicts_under_rendezvous() {
+        let sp = exchange_space();
+        let topo = topo(1 << 20);
+        let oracle = PrefixDeadlockOracle::new(&sp, topo.clone());
+        // At every complete traversal the oracle's prefix verdict must be
+        // sound: oracle-true implies the cold report deadlocks.
+        let mut oracle_fired = false;
+        for t in sp.enumerate() {
+            let mut prefix = sp.empty_prefix();
+            let mut flagged = false;
+            for &p in &t.steps {
+                sp.apply(&mut prefix, p);
+                if oracle.provably_deadlocked(&prefix) {
+                    flagged = true;
+                    break;
+                }
+            }
+            let cold = lint_traversal(&sp, &t, Some(&topo));
+            if flagged {
+                oracle_fired = true;
+                assert!(
+                    cold.deadlocks() > 0,
+                    "oracle flagged a clean schedule: {}",
+                    cold.render_text()
+                );
+            }
+        }
+        assert!(oracle_fired, "rendezvous misorders must be caught");
+    }
+
+    #[test]
+    fn pruned_walk_skips_exactly_the_deadlocked_leaves() {
+        let sp = exchange_space();
+        let topo = topo(1 << 20);
+        // Cold ground truth.
+        let mut clean = 0u64;
+        let mut deadlocked = 0u64;
+        for t in sp.enumerate() {
+            if lint_traversal(&sp, &t, Some(&topo)).deadlocks() > 0 {
+                deadlocked += 1;
+            } else {
+                clean += 1;
+            }
+        }
+        assert!(deadlocked > 0);
+        let mut visited_deadlocks = 0u64;
+        let mut visited = 0u64;
+        let stats = lint_space_incremental(
+            &sp,
+            Some(&topo),
+            SpaceLintOptions {
+                prune_deadlocks: true,
+                ..Default::default()
+            },
+            None,
+            &mut |_, _, report| {
+                visited += 1;
+                if report.deadlocks() > 0 {
+                    visited_deadlocks += 1;
+                }
+            },
+        );
+        assert!(stats.pruned_subtrees > 0, "pruning must engage");
+        assert!(visited >= clean, "pruning must never skip a clean leaf");
+        assert!(
+            visited < clean + deadlocked,
+            "pruning must skip some deadlocked leaves"
+        );
+        assert_eq!(visited - clean, visited_deadlocks);
+    }
+
+    #[test]
+    fn oracle_ignores_clean_eager_prefixes() {
+        let sp = exchange_space();
+        let topo = topo(512); // eager: nothing deadlocks
+        let oracle = PrefixDeadlockOracle::new(&sp, topo);
+        for t in sp.enumerate().take(32) {
+            let mut prefix = sp.empty_prefix();
+            for &p in &t.steps {
+                sp.apply(&mut prefix, p);
+                assert!(!oracle.provably_deadlocked(&prefix));
+            }
+        }
+    }
+}

@@ -31,6 +31,6 @@ pub use random::{random_rollout, random_search, random_search_telemetry};
 pub use shared::{Batch, PendingEval, SharedMcts};
 pub use telemetry::{SearchTelemetry, TelemetryRow};
 pub use tree::{
-    Exploitation, ExploredRecord, Mcts, MctsConfig, NodeStat, PrincipalVariation, StepOutcome,
-    TreeSnapshot, TreeStats,
+    Exploitation, ExploredRecord, Mcts, MctsConfig, NodeStat, PrincipalVariation, PruneHook,
+    StepOutcome, TreeSnapshot, TreeStats,
 };

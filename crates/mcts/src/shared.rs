@@ -52,7 +52,8 @@
 
 use crate::telemetry::{SearchTelemetry, TelemetryRow};
 use crate::tree::{
-    Exploitation, ExploredRecord, MctsConfig, NodeStat, PrincipalVariation, TreeSnapshot, TreeStats,
+    Exploitation, ExploredRecord, MctsConfig, NodeStat, PrincipalVariation, PruneHook,
+    TreeSnapshot, TreeStats,
 };
 use dr_dag::{eval_seed, DecisionSpace, Placement, Traversal};
 use dr_obs::events::EventSink;
@@ -197,6 +198,10 @@ pub struct SharedMcts<'a> {
     max_depth: usize,
     trace: Option<(Lane, usize)>,
     events: Option<(EventSink, usize)>,
+    /// Static prefix filter set by [`SharedMcts::set_prune`].
+    prune: Option<PruneHook>,
+    /// Subtrees retired by the prune hook.
+    pruned: u64,
 }
 
 impl<'a> SharedMcts<'a> {
@@ -221,6 +226,8 @@ impl<'a> SharedMcts<'a> {
             max_depth: 0,
             trace: None,
             events: None,
+            prune: None,
+            pruned: 0,
         }
     }
 
@@ -237,6 +244,19 @@ impl<'a> SharedMcts<'a> {
     /// [`SharedMcts::set_trace`]).
     pub fn set_events(&mut self, sink: EventSink, every: usize) {
         self.events = Some((sink, every.max(1)));
+    }
+
+    /// Installs a static prune hook (same contract as the serial
+    /// engine's `Mcts::set_prune`): descents whose expanded prefix the
+    /// hook rejects retire their subtree without an evaluation slot and
+    /// count as batch immediates.
+    pub fn set_prune(&mut self, hook: PruneHook) {
+        self.prune = Some(hook);
+    }
+
+    /// Subtrees retired by the prune hook so far.
+    pub fn pruned(&self) -> u64 {
+        self.pruned
     }
 
     /// All explored implementations, in commit order.
@@ -308,7 +328,16 @@ impl<'a> SharedMcts<'a> {
         let mut batch = Batch::default();
         while batch.pending.len() < width && (batch.iterations as u64) < cap && !self.is_exhausted()
         {
-            let (path, traversal, rollout_len) = self.descend();
+            let Some((path, traversal, rollout_len)) = self.descend() else {
+                // Pruned descent: the subtree is retired; account for the
+                // iteration and move on without an evaluation slot.
+                self.iterations += 1;
+                batch.iterations += 1;
+                batch.immediates += 1;
+                let iteration = self.iterations;
+                self.observe(iteration, "pruned");
+                continue;
+            };
             self.iterations += 1;
             batch.iterations += 1;
             let iteration = self.iterations;
@@ -612,7 +641,10 @@ impl<'a> SharedMcts<'a> {
 
     /// One selection → expansion → rollout descent. Applies one virtual
     /// loss to every node on the returned path.
-    fn descend(&mut self) -> (Vec<NodeId>, Traversal, usize) {
+    /// One selection → expansion → rollout descent. Returns `None` when
+    /// the prune hook rejected the freshly-expanded prefix: the subtree
+    /// is already retired and no virtual loss was applied.
+    fn descend(&mut self) -> Option<(Vec<NodeId>, Traversal, usize)> {
         let mut prefix = self.space.empty_prefix();
         for &p in &self.base {
             self.space.apply(&mut prefix, p);
@@ -665,6 +697,16 @@ impl<'a> SharedMcts<'a> {
                 let child = self.get_or_create_child(node, pick, &mut prefix);
                 path.push(child);
                 node = child;
+                // Static prune: a rejected prefix dooms every completion;
+                // retire the subtree before the rollout and before any
+                // virtual loss is applied.
+                if let Some(hook) = &self.prune {
+                    if hook(&prefix) {
+                        self.mark_fully_explored(&path);
+                        self.pruned += 1;
+                        return None;
+                    }
+                }
             }
         }
 
@@ -685,7 +727,7 @@ impl<'a> SharedMcts<'a> {
         let traversal = Traversal {
             steps: prefix.steps().to_vec(),
         };
-        (path, traversal, rollout_len)
+        Some((path, traversal, rollout_len))
     }
 
     /// PUCT selection over materialized children: `Q_eff + c · prior ·
@@ -951,6 +993,30 @@ mod tests {
             .collect();
         set.sort_unstable();
         set
+    }
+
+    #[test]
+    fn prune_hook_retires_subtrees_before_any_evaluation() {
+        let space = small_space();
+        let mut mcts = SharedMcts::new(&space, MctsConfig::default());
+        mcts.set_prune(std::sync::Arc::new(|_: &dr_dag::Prefix| true));
+        let batch = mcts.select_batch(8, u64::MAX);
+        assert!(
+            batch.pending.is_empty(),
+            "nothing reaches evaluation under a prune-everything hook"
+        );
+        assert!(batch.immediates > 0, "pruned descents resolve inline");
+        assert!(mcts.is_exhausted());
+        assert_eq!(
+            mcts.pruned(),
+            space.eligible(&space.empty_prefix()).len() as u64,
+            "exactly one prune per root child"
+        );
+        assert!(mcts.records().is_empty());
+        // No virtual loss may leak from the aborted descents.
+        for node in &mcts.nodes {
+            assert_eq!(node.vl, 0);
+        }
     }
 
     #[test]

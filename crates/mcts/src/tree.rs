@@ -24,7 +24,7 @@
 
 use crate::eval::Evaluator;
 use crate::telemetry::{SearchTelemetry, TelemetryRow};
-use dr_dag::{eval_seed, DecisionSpace, Placement, Traversal};
+use dr_dag::{eval_seed, DecisionSpace, Placement, Prefix, Traversal};
 use dr_obs::events::EventSink;
 use dr_sim::{BenchResult, SimError};
 use dr_trace::Lane;
@@ -163,6 +163,14 @@ pub struct ExploredRecord {
     pub result: BenchResult,
 }
 
+/// A static prefix filter installed via [`Mcts::set_prune`]: return
+/// `true` when *every* completion of the prefix is provably worthless
+/// (e.g. statically deadlocked), and the search retires the subtree
+/// without spending a single evaluation in it. The hook owns its data
+/// (`'static`) so the same closure serves serial, root-parallel, and
+/// shared-tree searches.
+pub type PruneHook = std::sync::Arc<dyn Fn(&Prefix) -> bool + Send + Sync>;
+
 /// Outcome of one search iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepOutcome {
@@ -182,6 +190,9 @@ pub enum StepOutcome {
     /// added, no statistics were backpropagated, and the offending
     /// subtree was marked fully explored so the search moves on.
     Quarantined,
+    /// The expanded prefix was rejected by the [`PruneHook`]: its whole
+    /// subtree was retired without a rollout or an evaluation.
+    Pruned,
 }
 
 type NodeId = usize;
@@ -256,6 +267,11 @@ pub struct Mcts<'a, E: Evaluator> {
     /// Sampled per-iteration event emission: `(sink, every)` set by
     /// [`Mcts::set_events`]. `None` (the default) costs nothing.
     events: Option<(EventSink, usize)>,
+    /// Static prefix filter set by [`Mcts::set_prune`]. `None` (the
+    /// default) costs nothing.
+    prune: Option<PruneHook>,
+    /// Subtrees retired by the prune hook.
+    pruned: u64,
 }
 
 impl<'a, E: Evaluator> Mcts<'a, E> {
@@ -277,6 +293,8 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
             max_depth: 0,
             trace: None,
             events: None,
+            prune: None,
+            pruned: 0,
         }
     }
 
@@ -298,6 +316,22 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
     /// cannot perturb the search.
     pub fn set_events(&mut self, sink: EventSink, every: usize) {
         self.events = Some((sink, every.max(1)));
+    }
+
+    /// Installs a static prune hook: when expansion materializes a new
+    /// child whose prefix the hook rejects, the child's subtree is
+    /// immediately marked fully explored — no rollout, no evaluation —
+    /// and the iteration reports [`StepOutcome::Pruned`]. The hook must
+    /// only reject prefixes whose *every* completion is worthless
+    /// (soundness is the caller's obligation; see
+    /// `dr-lint`'s `PrefixDeadlockOracle`).
+    pub fn set_prune(&mut self, hook: PruneHook) {
+        self.prune = Some(hook);
+    }
+
+    /// Subtrees retired by the prune hook so far.
+    pub fn pruned(&self) -> u64 {
+        self.pruned
     }
 
     /// All explored implementations, in discovery order.
@@ -494,7 +528,9 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
         for _ in 0..iterations {
             match self.step()? {
                 StepOutcome::Explored { new: true, .. } => new += 1,
-                StepOutcome::Explored { new: false, .. } | StepOutcome::Quarantined => {}
+                StepOutcome::Explored { new: false, .. }
+                | StepOutcome::Quarantined
+                | StepOutcome::Pruned => {}
                 StepOutcome::Exhausted => break,
             }
         }
@@ -530,6 +566,7 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
             Ok(StepOutcome::Explored { new: false, .. }) => "repeat",
             Ok(StepOutcome::Exhausted) => "exhausted",
             Ok(StepOutcome::Quarantined) => "quarantined",
+            Ok(StepOutcome::Pruned) => "pruned",
             Err(_) => "error",
         };
         if trace_sampled {
@@ -616,6 +653,18 @@ impl<'a, E: Evaluator> Mcts<'a, E> {
                 let child = self.get_or_create_child(node, pick, &mut prefix);
                 path.push(child);
                 node = child;
+                // Static prune: a rejected prefix dooms every completion,
+                // so retire the freshly-expanded subtree before spending a
+                // rollout on it. (The serial `mark_fully_explored` only
+                // propagates; the leaf flag is set explicitly.)
+                if let Some(hook) = &self.prune {
+                    if hook(&prefix) {
+                        self.nodes[node].fully_explored = true;
+                        self.mark_fully_explored(&path);
+                        self.pruned += 1;
+                        return Ok(StepOutcome::Pruned);
+                    }
+                }
             }
         }
 
@@ -900,6 +949,56 @@ mod tests {
                 p90: t,
                 p99: t,
             },
+        }
+    }
+
+    #[test]
+    fn prune_everything_retires_the_root_without_evaluating() {
+        // A hook that condemns every prefix prunes each root child at its
+        // first expansion: the search exhausts with zero records and zero
+        // evaluator calls.
+        let space = small_space();
+        let calls = std::cell::Cell::new(0usize);
+        let eval = |t: &Traversal, _seed: u64| -> Result<BenchResult, SimError> {
+            calls.set(calls.get() + 1);
+            Ok(fake_result(1.0 + t.canonical_hash() as f64 * 1e-20))
+        };
+        let mut mcts = Mcts::new(&space, eval, MctsConfig::default());
+        mcts.set_prune(std::sync::Arc::new(|_: &Prefix| true));
+        let new = mcts.run(1_000).unwrap();
+        assert_eq!(new, 0, "no traversal survives a prune-everything hook");
+        assert!(mcts.is_exhausted());
+        assert_eq!(
+            mcts.pruned(),
+            space.eligible(&space.empty_prefix()).len() as u64,
+            "exactly one prune per root child"
+        );
+        assert!(mcts.records().is_empty());
+        assert_eq!(calls.get(), 0, "pruned subtrees are never evaluated");
+    }
+
+    #[test]
+    fn selective_prune_still_exhausts_the_remainder() {
+        let space = small_space();
+        let first = space.eligible(&space.empty_prefix())[0];
+        let eval = |t: &Traversal, _seed: u64| -> Result<BenchResult, SimError> {
+            Ok(fake_result(1.0 + t.canonical_hash() as f64 * 1e-20))
+        };
+        let mut mcts = Mcts::new(&space, eval, MctsConfig::default());
+        mcts.set_prune(std::sync::Arc::new(move |prefix: &Prefix| {
+            prefix.steps().first() == Some(&first)
+        }));
+        mcts.run(10_000).unwrap();
+        assert!(mcts.is_exhausted());
+        assert_eq!(mcts.pruned(), 1, "only the condemned opening is cut");
+        let total = space.count_traversals() as usize;
+        assert!(!mcts.records().is_empty());
+        assert!(
+            mcts.records().len() < total,
+            "the pruned subtree's traversals stay unexplored"
+        );
+        for r in mcts.records() {
+            assert_ne!(r.traversal.steps[0], first);
         }
     }
 

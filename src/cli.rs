@@ -8,11 +8,11 @@ use crate::ml::{render_ruleset, rulesets_for_class, RuleSet};
 use crate::obs::{json, EventSink};
 use crate::par::resolve_threads;
 use crate::pipeline::{
-    append_entry, apply_fault_plan, compare_bench, compare_ledgers, is_bench_file,
-    ledger_dir_from_env, ledger_entry_json, lint_space, load_bench, load_ledger, mine_rules,
-    run_pipeline_instrumented, run_pipeline_watched, satisfies, synthesize, topology_from_workload,
-    CompareOptions, InstrumentedRun, LedgerContext, PipelineConfig, Provenance, ResilienceSummary,
-    SearchBackend, Strategy,
+    append_entry, apply_fault_plan, certify_rulesets, compare_bench, compare_ledgers,
+    is_bench_file, ledger_dir_from_env, ledger_entry_json, lint_space_watched, load_bench,
+    load_ledger, mine_rules, run_pipeline, run_pipeline_instrumented, run_pipeline_watched,
+    satisfies, synthesize, topology_from_workload, Certification, CompareOptions, InstrumentedRun,
+    LedgerContext, PipelineConfig, Provenance, ResilienceSummary, SearchBackend, Strategy,
 };
 use crate::progress::ProgressRenderer;
 use crate::sim::{
@@ -26,6 +26,9 @@ use std::path::Path;
 
 /// Schema tag of the `explain` command's JSON report.
 pub const EXPLAIN_SCHEMA: &str = "dr-explain/v1";
+
+/// Schema tag of the `verify-rules` command's JSON report.
+pub const CERTIFY_SCHEMA: &str = "dr-certify/v1";
 
 /// Built-in scenarios selectable from the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +82,10 @@ pub enum Command {
     /// Run the benchmark harness and append to the committed
     /// `BENCH_*.json` histories.
     Bench,
+    /// Mine rulesets, then statically certify each one: the incremental
+    /// space linter walks exactly the schedules satisfying the ruleset
+    /// and proves none carries an error-severity diagnostic.
+    VerifyRules,
 }
 
 /// Parsed command line.
@@ -131,7 +138,7 @@ pub const USAGE: &str = "usage: dr-rules <scenario> <command> [options]
        dr-rules <scenario> compare <a> <b> [options]
   scenarios: spmv | spmv-paper | spmv-fine | halo
   commands:  info | explore | rules | synthesize | timeline | lint |
-             chaos | compare | explain | bench
+             chaos | compare | explain | bench | verify-rules
              (omitting the command runs explore)
   options:   --iterations N (default 300)
              --seed N       (default 0)
@@ -173,7 +180,14 @@ pub const USAGE: &str = "usage: dr-rules <scenario> <command> [options]
   bench appends to BENCH_pipeline.json and BENCH_explore.json in the
   working directory; the scenario picks the scale (spmv = small,
   spmv-paper = paper) and DR_SEED picks the seed, so entries stay
-  comparable with the committed histories.";
+  comparable with the committed histories.
+  verify-rules mines rulesets at --iterations/--seed, then statically
+  certifies each one: the incremental space linter walks exactly the
+  schedules satisfying the ruleset (capped by --max-schedules; 0 =
+  unlimited) and proves none carries an error-severity diagnostic.
+  --report writes dr-certify/v1 JSON; the exit code is nonzero when
+  any fastest-class ruleset is refuted by a counterexample (a capped,
+  counterexample-free walk reports inconclusive without failing).";
 
 /// Parses command-line arguments (excluding `argv[0]`).
 pub fn parse(args: &[String]) -> Result<CliOptions, String> {
@@ -201,6 +215,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
             Some("compare") => Command::Compare,
             Some("explain") => Command::Explain,
             Some("bench") => Command::Bench,
+            Some("verify-rules") => Command::VerifyRules,
             Some(other) => return Err(format!("unknown command {other:?}\n{USAGE}")),
             None => return Err(format!("missing command\n{USAGE}")),
         },
@@ -386,6 +401,26 @@ fn strategy(opts: &CliOptions) -> Strategy {
     }
 }
 
+/// Builds the structured-event sink requested by `--events`/`--progress`
+/// (`None` when neither flag is set). The sink carries the same run id
+/// as the report/ledger provenance so NDJSON streams can be joined with
+/// ledger entries.
+fn event_sink(opts: &CliOptions) -> Result<Option<EventSink>, String> {
+    if !opts.progress && opts.events.is_none() {
+        return Ok(None);
+    }
+    let mut sink = EventSink::new(&Provenance::capture().run_id);
+    if let Some(path) = &opts.events {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create events file {path:?}: {e}"))?;
+        sink = sink.with_writer(Box::new(std::io::BufWriter::new(file)));
+    }
+    if opts.progress {
+        sink = sink.with_observer(Box::new(ProgressRenderer::new()));
+    }
+    Ok(Some(sink))
+}
+
 /// Runs the parsed command, writing human-readable output to `out`.
 ///
 /// Returns `Err` — a nonzero process exit — when `compare` finds a
@@ -445,16 +480,35 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
 
     if opts.command == Command::Lint {
         let topo = topology_from_workload(&inst.space, &inst.workload, &inst.platform);
-        let lint = lint_space(&inst.space, Some(&topo), opts.max_schedules);
+        let sink = event_sink(opts)?;
+        let lint = lint_space_watched(&inst.space, Some(&topo), opts.max_schedules, sink.as_ref());
         write!(out, "{}", lint.counters.render_text()).map_err(io)?;
         for line in &lint.sample {
             writeln!(out, "  {line}").map_err(io)?;
         }
+        writeln!(
+            out,
+            "incremental: {} hb expansions (cold would be {}), {} distinct diagnostics",
+            lint.stats.hb_expansions,
+            lint.stats.cold_hb_expansions,
+            lint.diags.len()
+        )
+        .map_err(io)?;
         if lint.truncated {
             writeln!(
                 out,
                 "note: stopped after {} schedules (--max-schedules; 0 = whole space)",
                 opts.max_schedules
+            )
+            .map_err(io)?;
+        }
+        if let (Some(sink), Some(path)) = (&sink, &opts.events) {
+            sink.flush();
+            writeln!(
+                out,
+                "wrote {} events to {path} (run {})",
+                sink.seq(),
+                sink.run_id()
             )
             .map_err(io)?;
         }
@@ -464,6 +518,10 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
             writeln!(out, "wrote lint counters to {path}").map_err(io)?;
         }
         return Ok(());
+    }
+
+    if opts.command == Command::VerifyRules {
+        return run_verify_rules(opts, &inst, out);
     }
 
     if opts.command == Command::Chaos {
@@ -481,20 +539,7 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
     };
     // The event sink carries the same run id as the report/ledger
     // provenance so NDJSON streams can be joined with ledger entries.
-    let sink = if opts.progress || opts.events.is_some() {
-        let mut sink = EventSink::new(&Provenance::capture().run_id);
-        if let Some(path) = &opts.events {
-            let file = std::fs::File::create(path)
-                .map_err(|e| format!("cannot create events file {path:?}: {e}"))?;
-            sink = sink.with_writer(Box::new(std::io::BufWriter::new(file)));
-        }
-        if opts.progress {
-            sink = sink.with_observer(Box::new(ProgressRenderer::new()));
-        }
-        Some(sink)
-    } else {
-        None
-    };
+    let sink = event_sink(opts)?;
     let run = run_pipeline_watched(
         &inst.space,
         &inst.workload,
@@ -570,7 +615,8 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
         | Command::Chaos
         | Command::Compare
         | Command::Explain
-        | Command::Bench => {
+        | Command::Bench
+        | Command::VerifyRules => {
             unreachable!("handled above")
         }
         Command::Explore => {
@@ -1101,6 +1147,159 @@ fn explain_json(
     )
 }
 
+/// The `verify-rules` command: mine rulesets at the requested budget,
+/// then statically certify each one. The incremental space linter walks
+/// exactly the schedules satisfying each ruleset's conditions (the rules
+/// prune the decision-space walk as a prefix filter) and checks every
+/// one for error-severity diagnostics — races, deadlocks, malformed
+/// schedules. Returns `Err` (nonzero exit) when any fastest-class
+/// ruleset is *refuted* — a satisfying schedule with an error-severity
+/// diagnostic exists: the paper's contract says following a fast-class
+/// ruleset must be safe, so a counterexample is a bug in the mined
+/// rules or the scenario DAG. A walk truncated at `--max-schedules` is
+/// reported inconclusive (and uncertified in the JSON) but does not
+/// fail: on spaces too large to exhaust, the bounded walk is still a
+/// meaningful no-counterexample-found check.
+fn run_verify_rules(
+    opts: &CliOptions,
+    inst: &Instance,
+    out: &mut impl std::io::Write,
+) -> Result<(), String> {
+    let fail = |e: SimError| format!("simulation failed: {e}");
+    let io = |e: std::io::Error| format!("write failed: {e}");
+    let result = run_pipeline(
+        &inst.space,
+        &inst.workload,
+        &inst.platform,
+        strategy(opts),
+        &PipelineConfig {
+            threads: opts.threads.unwrap_or(0),
+            search: SearchBackend::from_env(),
+            ..PipelineConfig::quick()
+        },
+    )
+    .map_err(fail)?;
+    let topo = topology_from_workload(&inst.space, &inst.workload, &inst.platform);
+    let cert = certify_rulesets(
+        &inst.space,
+        Some(&topo),
+        &result.rulesets,
+        result.labeling.num_classes,
+        opts.max_schedules as u64,
+    );
+    writeln!(
+        out,
+        "certifying {} ruleset(s) over {} classes (cap {} schedules per ruleset)",
+        cert.rulesets.len(),
+        cert.classes,
+        if opts.max_schedules == 0 {
+            "unlimited".to_string()
+        } else {
+            opts.max_schedules.to_string()
+        }
+    )
+    .map_err(io)?;
+    for c in &cert.rulesets {
+        let verdict = if c.certified {
+            "certified"
+        } else if c.truncated {
+            "INCONCLUSIVE (truncated)"
+        } else {
+            "UNCERTIFIED"
+        };
+        writeln!(
+            out,
+            "class {} ({} samples{}): {verdict} — {} schedule(s), {} error(s), {} warning(s)",
+            c.class,
+            c.samples,
+            if c.pure { "" } else { ", impure" },
+            c.schedules_checked,
+            c.errors,
+            c.warnings
+        )
+        .map_err(io)?;
+        for p in &c.predicates {
+            writeln!(out, "    - {p}").map_err(io)?;
+        }
+        if let Some(cx) = &c.first_counterexample {
+            writeln!(out, "    counterexample: {cx}").map_err(io)?;
+        }
+    }
+    if let Some(path) = &opts.report {
+        let json = certify_json(opts, &cert);
+        json::validate(&json).map_err(|e| format!("internal: certify JSON invalid: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write report {path:?}: {e}"))?;
+        writeln!(out, "wrote certification report to {path}").map_err(io)?;
+    }
+    let refuted = cert.uncertified_fast().filter(|c| c.errors > 0).count();
+    if refuted > 0 {
+        return Err(format!(
+            "{refuted} fastest-class ruleset(s) refuted by a counterexample"
+        ));
+    }
+    let inconclusive = cert.uncertified_fast().count();
+    if inconclusive > 0 {
+        writeln!(
+            out,
+            "note: {inconclusive} fastest-class ruleset(s) inconclusive at the schedule \
+             cap; no counterexample found (--max-schedules 0 certifies fully)"
+        )
+        .map_err(io)?;
+    } else {
+        writeln!(out, "all fastest-class rulesets certified").map_err(io)?;
+    }
+    Ok(())
+}
+
+/// Serializes the `verify-rules` command's output as one `dr-certify/v1`
+/// JSON object.
+fn certify_json(opts: &CliOptions, cert: &Certification) -> String {
+    let rulesets: Vec<String> = cert
+        .rulesets
+        .iter()
+        .map(|c| {
+            let predicates: Vec<String> = c
+                .predicates
+                .iter()
+                .map(|p| format!("\"{}\"", json::escape(p)))
+                .collect();
+            let counterexample = match &c.first_counterexample {
+                Some(cx) => format!("\"{}\"", json::escape(cx)),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"class\":{},\"samples\":{},\"pure\":{},\"predicates\":[{}],\
+                 \"schedules_checked\":{},\"truncated\":{},\"errors\":{},\"warnings\":{},\
+                 \"races\":{},\"deadlocks\":{},\"certified\":{},\"first_counterexample\":{}}}",
+                c.class,
+                c.samples,
+                c.pure,
+                predicates.join(","),
+                c.schedules_checked,
+                c.truncated,
+                c.errors,
+                c.warnings,
+                c.races,
+                c.deadlocks,
+                c.certified,
+                counterexample
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\":\"{CERTIFY_SCHEMA}\",\"scenario\":\"{}\",\"seed\":{},\
+         \"iterations\":{},\"max_schedules\":{},\"classes\":{},\"rulesets\":[{}],\
+         \"all_fast_certified\":{}}}",
+        json::escape(opts.scenario.name()),
+        opts.seed,
+        opts.iterations,
+        opts.max_schedules,
+        cert.classes,
+        rulesets.join(","),
+        cert.all_fast_certified
+    )
+}
+
 /// The `chaos` command: sweep seeded fault plans through the full
 /// pipeline, assert the clean control plan is bit-for-bit deterministic,
 /// and cross-check drop-induced simulator deadlocks against the static
@@ -1508,6 +1707,69 @@ mod tests {
         let json = std::fs::read_to_string(&report).unwrap();
         crate::obs::json::validate(&json).unwrap();
         assert!(json.contains("\"schedules\":5"), "{json}");
+        std::fs::remove_file(&report).ok();
+    }
+
+    #[test]
+    fn lint_command_streams_lint_events() {
+        let dir = std::env::temp_dir();
+        let events = dir.join(format!(
+            "dr-rules-lint-events-{}.ndjson",
+            std::process::id()
+        ));
+        let opts = parse(&argv(&format!(
+            "spmv lint --max-schedules 8 --events {}",
+            events.display()
+        )))
+        .unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("incremental:"), "{s}");
+        let text = std::fs::read_to_string(&events).unwrap();
+        assert!(
+            text.lines().any(|l| l.contains("\"kind\":\"lint-start\"")),
+            "{text}"
+        );
+        assert!(
+            text.lines().any(|l| l.contains("\"kind\":\"lint-end\"")),
+            "{text}"
+        );
+        std::fs::remove_file(&events).ok();
+    }
+
+    #[test]
+    fn parse_accepts_verify_rules_command() {
+        let o = parse(&argv("spmv verify-rules")).unwrap();
+        assert_eq!(o.command, Command::VerifyRules);
+        assert_eq!(o.max_schedules, 2048);
+        let o = parse(&argv("halo verify-rules --iterations 10 --max-schedules 0")).unwrap();
+        assert_eq!(o.command, Command::VerifyRules);
+        assert_eq!(o.max_schedules, 0);
+        assert_eq!(o.iterations, 10);
+    }
+
+    #[test]
+    fn verify_rules_command_certifies_spmv_and_writes_report() {
+        let dir = std::env::temp_dir();
+        let report = dir.join(format!("dr-rules-certify-{}.json", std::process::id()));
+        let opts = parse(&argv(&format!(
+            "spmv verify-rules --iterations 60 --seed 2 --max-schedules 0 --report {}",
+            report.display()
+        )))
+        .unwrap();
+        let mut buf = Vec::new();
+        run(&opts, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        // The whole small-SpMV space lints clean, so every satisfying
+        // subset certifies.
+        assert!(s.contains("all fastest-class rulesets certified"), "{s}");
+        assert!(s.contains("certified —"), "{s}");
+        let json = std::fs::read_to_string(&report).unwrap();
+        crate::obs::json::validate(&json).unwrap();
+        assert!(json.contains("\"schema\":\"dr-certify/v1\""), "{json}");
+        assert!(json.contains("\"all_fast_certified\":true"), "{json}");
+        assert!(json.contains("\"predicates\":["), "{json}");
         std::fs::remove_file(&report).ok();
     }
 

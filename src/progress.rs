@@ -40,6 +40,10 @@ struct State {
     cache_misses: u64,
     quarantined: u64,
     retries: u64,
+    lint_schedules: u64,
+    lint_errors: u64,
+    lint_warnings: u64,
+    lint_diags: u64,
     last_paint: Option<Instant>,
     painted_tty_line: bool,
     finished: bool,
@@ -132,6 +136,12 @@ impl ProgressRenderer {
             line.push_str(&format!(
                 " | tree {} nodes d{}",
                 st.tree_nodes, st.max_depth
+            ));
+        }
+        if st.lint_schedules > 0 {
+            line.push_str(&format!(
+                " | lint {} sched {}E/{}W {} diags",
+                st.lint_schedules, st.lint_errors, st.lint_warnings, st.lint_diags
             ));
         }
         line
@@ -272,6 +282,30 @@ impl EventObserver for ProgressRenderer {
                     }
                 }
             }
+            "lint-start" => {
+                force = true;
+            }
+            "lint-diag" => {
+                // One event per distinct diagnostic across the space
+                // (the aggregator dedups; `schedules` carries the
+                // multiplicity).
+                st.lint_diags += 1;
+            }
+            "lint-end" => {
+                if let Some(n) = u64_field(event, "schedules") {
+                    st.lint_schedules = n;
+                }
+                if let Some(n) = u64_field(event, "errors") {
+                    st.lint_errors = n;
+                }
+                if let Some(n) = u64_field(event, "warnings") {
+                    st.lint_warnings = n;
+                }
+                if let Some(n) = u64_field(event, "distinct_diags") {
+                    st.lint_diags = st.lint_diags.max(n);
+                }
+                force = true;
+            }
             "run-end" => {
                 st.finished = true;
                 if let Some(n) = u64_field(event, "records") {
@@ -342,6 +376,43 @@ mod tests {
         assert!(line.contains("30 evals"), "{line}");
         assert!(line.contains("best 150.0 µs @00ab00ab"), "{line}");
         assert!(line.contains("tree 40 nodes d6"), "{line}");
+    }
+
+    #[test]
+    fn lint_events_fold_into_lint_counters() {
+        let r = ProgressRenderer::with_tty(false);
+        r.on_event(&event(
+            "lint-start",
+            vec![
+                ("ops".into(), Field::U64(12)),
+                ("max_schedules".into(), Field::U64(0)),
+            ],
+        ));
+        r.on_event(&event(
+            "lint-diag",
+            vec![
+                ("code".into(), Field::Str("RS002".into())),
+                ("schedules".into(), Field::U64(640)),
+            ],
+        ));
+        r.on_event(&event(
+            "lint-diag",
+            vec![
+                ("code".into(), Field::Str("RS004".into())),
+                ("schedules".into(), Field::U64(320)),
+            ],
+        ));
+        r.on_event(&event(
+            "lint-end",
+            vec![
+                ("schedules".into(), Field::U64(1600)),
+                ("errors".into(), Field::U64(0)),
+                ("warnings".into(), Field::U64(960)),
+                ("distinct_diags".into(), Field::U64(2)),
+            ],
+        ));
+        let line = r.snapshot_line();
+        assert!(line.contains("lint 1600 sched 0E/960W 2 diags"), "{line}");
     }
 
     #[test]
