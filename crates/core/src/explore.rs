@@ -25,8 +25,10 @@ use dr_trace::{SpanId, Tracer};
 use std::collections::HashMap;
 
 /// Master seed of the exhaustive strategy's evaluation seeds (the
-/// strategy has no user-facing seed of its own).
-const EXHAUSTIVE_MASTER_SEED: u64 = 0xE0E0_0000;
+/// strategy has no user-facing seed of its own). Shared with the shard
+/// runner so a shard's measurements are bit-identical to the unsharded
+/// run's.
+pub(crate) const EXHAUSTIVE_MASTER_SEED: u64 = 0xE0E0_0000;
 
 /// Per-worker search-seed decorrelator for root-parallel MCTS
 /// (worker 0 keeps the configured seed unchanged).

@@ -37,6 +37,8 @@ mod multi_input;
 mod pipeline;
 mod report;
 mod resilient;
+mod shard;
+mod storestage;
 mod synthesize;
 mod tracestage;
 mod watch;
@@ -64,15 +66,22 @@ pub use lintstage::{
 };
 pub use multi_input::{mine_rules_multi, InputFeature, InputRun, MultiInputResult};
 pub use pipeline::{
-    mine_rules, mine_rules_timed, run_pipeline, run_pipeline_instrumented, run_pipeline_traced,
-    run_pipeline_watched, InstrumentedRun, PipelineConfig, PipelineResult,
+    mine_rules, mine_rules_timed, run_pipeline, run_pipeline_instrumented, run_pipeline_stored,
+    run_pipeline_traced, run_pipeline_watched, InstrumentedRun, PipelineConfig, PipelineResult,
 };
 pub use report::{
     LintSummary, MiningSummary, Provenance, ResilienceSummary, RunReport, SearchSummary,
 };
 pub use resilient::{
-    retry_seed, ResilienceTotals, ResilientEvaluator, DEFAULT_MAX_RETRIES, WATCHDOG_MAX_STEPS,
+    backoff_delay_ms, retry_seed, ResilienceTotals, ResilientEvaluator, DEFAULT_BACKOFF_BASE_MS,
+    DEFAULT_BACKOFF_CAP_MS, DEFAULT_MAX_RETRIES, WATCHDOG_MAX_STEPS,
 };
+pub use shard::{
+    heartbeat_interval_ms, merge_shards, records_telemetry, run_shard, shard_manifest_path,
+    shard_store_dir, shard_work, strategy_identity, MergeOutcome, ShardManifest, ShardRunOutcome,
+    ShardSpec, SHARD_SCHEMA,
+};
+pub use storestage::StoredEvaluator;
 pub use synthesize::{satisfies, synthesize};
 pub use tracestage::TracingEvaluator;
 pub use watch::{EvalWatch, WatchedEvaluator};

@@ -8,6 +8,7 @@ use crate::explore::{
 use crate::lintstage::{lint_space_watched, topology_from_workload, LintTotals, LintingEvaluator};
 use crate::report::{RunReport, SearchSummary};
 use crate::resilient::{ResilienceTotals, ResilientEvaluator};
+use crate::storestage::StoredEvaluator;
 use crate::tracestage::TracingEvaluator;
 use crate::watch::{EvalWatch, WatchedEvaluator};
 use dr_dag::{DecisionSpace, Traversal};
@@ -228,6 +229,31 @@ pub fn run_pipeline_watched<W: Workload + Sync>(
     tracer: &Tracer,
     events: Option<&EventSink>,
 ) -> Result<InstrumentedRun, SimError> {
+    run_pipeline_stored(
+        space, workload, platform, strategy, cfg, tracer, events, None,
+    )
+}
+
+/// [`run_pipeline_watched`] backed by a durable [`dr_store::ResultStore`]:
+/// every evaluator stack consults the store before simulating and commits
+/// each fresh measurement to disk before returning it, so a re-run over
+/// the same store answers every already-measured traversal from disk
+/// (`store.stats().hits` proves it) and a crash mid-run loses at most the
+/// in-flight record. The store sits *inside* the lint/trace/watch layers,
+/// so observability counters are identical between cold and warm runs;
+/// only the simulator is skipped. A `None` store makes this exactly
+/// [`run_pipeline_watched`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_pipeline_stored<W: Workload + Sync>(
+    space: &DecisionSpace,
+    workload: &W,
+    platform: &Platform,
+    strategy: Strategy,
+    cfg: &PipelineConfig,
+    tracer: &Tracer,
+    events: Option<&EventSink>,
+    store: Option<Arc<dr_store::ResultStore>>,
+) -> Result<InstrumentedRun, SimError> {
     let events = events.filter(|s| s.is_enabled());
     let mut main = tracer.lane("pipeline");
     main.enter("pipeline");
@@ -245,7 +271,7 @@ pub fn run_pipeline_watched<W: Workload + Sync>(
         ],
     );
     let out = run_pipeline_spanned(
-        space, workload, platform, strategy, cfg, tracer, &mut main, events,
+        space, workload, platform, strategy, cfg, tracer, &mut main, events, store,
     );
     match &out {
         Ok(run) => emit(
@@ -305,6 +331,7 @@ fn run_pipeline_spanned<W: Workload + Sync>(
     tracer: &Tracer,
     main: &mut Lane,
     events: Option<&EventSink>,
+    store: Option<Arc<dr_store::ResultStore>>,
 ) -> Result<InstrumentedRun, SimError> {
     let mut phases = Phases::new();
     let threads = resolve_threads((cfg.threads > 0).then_some(cfg.threads));
@@ -372,13 +399,16 @@ fn run_pipeline_spanned<W: Workload + Sync>(
                 WatchedEvaluator::new(
                     TracingEvaluator::new(
                         LintingEvaluator::new(
-                            ResilientEvaluator::new(
-                                space,
-                                workload,
-                                platform,
-                                cfg.bench,
-                                faults,
-                                totals.clone(),
+                            StoredEvaluator::new(
+                                ResilientEvaluator::new(
+                                    space,
+                                    workload,
+                                    platform,
+                                    cfg.bench,
+                                    faults,
+                                    totals.clone(),
+                                ),
+                                store.clone(),
                             ),
                             space,
                             topo,
@@ -402,13 +432,16 @@ fn run_pipeline_spanned<W: Workload + Sync>(
             || {
                 WatchedEvaluator::new(
                     TracingEvaluator::new(
-                        ResilientEvaluator::new(
-                            space,
-                            workload,
-                            platform,
-                            cfg.bench,
-                            faults,
-                            totals.clone(),
+                        StoredEvaluator::new(
+                            ResilientEvaluator::new(
+                                space,
+                                workload,
+                                platform,
+                                cfg.bench,
+                                faults,
+                                totals.clone(),
+                            ),
+                            store.clone(),
                         ),
                         eval_lane(),
                     ),
@@ -429,7 +462,10 @@ fn run_pipeline_spanned<W: Workload + Sync>(
                 WatchedEvaluator::new(
                     TracingEvaluator::new(
                         LintingEvaluator::new(
-                            SimEvaluator::new(space, workload, platform, cfg.bench),
+                            StoredEvaluator::new(
+                                SimEvaluator::new(space, workload, platform, cfg.bench),
+                                store.clone(),
+                            ),
                             space,
                             topo,
                             lint.clone(),
@@ -452,7 +488,10 @@ fn run_pipeline_spanned<W: Workload + Sync>(
             || {
                 WatchedEvaluator::new(
                     TracingEvaluator::new(
-                        SimEvaluator::new(space, workload, platform, cfg.bench),
+                        StoredEvaluator::new(
+                            SimEvaluator::new(space, workload, platform, cfg.bench),
+                            store.clone(),
+                        ),
                         eval_lane(),
                     ),
                     watch.clone(),
@@ -1055,6 +1094,58 @@ mod tests {
         assert!(tree.nodes > 0 && tree.rollouts > 0);
         assert!(watched.report.search.exhausted, "budget exhausts the space");
         assert!(watched.report.to_json().contains("\"exhausted\":true"));
+    }
+
+    #[test]
+    fn stored_pipeline_is_bit_identical_and_warm_runs_skip_the_simulator() {
+        let (space, w, platform) = setup();
+        let cfg = PipelineConfig::quick();
+        let dir = std::env::temp_dir().join(format!("dr-pipe-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tracer = Tracer::disabled();
+        let run_with = |store: Option<Arc<dr_store::ResultStore>>| {
+            run_pipeline_stored(
+                &space,
+                &w,
+                &platform,
+                Strategy::Exhaustive,
+                &cfg,
+                &tracer,
+                None,
+                store,
+            )
+            .unwrap()
+        };
+        let plain = run_with(None);
+        let cold_store = Arc::new(dr_store::ResultStore::open(&dir).unwrap());
+        let cold = run_with(Some(cold_store.clone()));
+        assert_eq!(cold_store.stats().hits, 0);
+        assert_eq!(
+            cold_store.stats().appended as usize,
+            cold.result.records.len()
+        );
+        // A warm run over a fresh handle answers everything from disk.
+        let warm_store = Arc::new(dr_store::ResultStore::open(&dir).unwrap());
+        let warm = run_with(Some(warm_store.clone()));
+        assert_eq!(warm_store.stats().appended, 0, "nothing re-simulated");
+        assert_eq!(
+            warm_store.stats().hits as usize,
+            warm.result.records.len(),
+            "every record answered from the store"
+        );
+        // The store never perturbs the mined result.
+        for runs in [[&plain, &cold], [&cold, &warm]] {
+            assert_eq!(runs[0].result.records.len(), runs[1].result.records.len());
+            for (a, b) in runs[0].result.records.iter().zip(&runs[1].result.records) {
+                assert_eq!(a.traversal, b.traversal);
+                assert_eq!(a.result, b.result);
+            }
+            assert_eq!(
+                runs[0].result.labeling.labels,
+                runs[1].result.labeling.labels
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -241,6 +241,10 @@ pub struct ResilienceSummary {
     pub panics: u64,
     /// Traversals dropped after exhausting their retry budget.
     pub quarantined: u64,
+    /// Total milliseconds of capped-exponential retry backoff. The
+    /// delays are derived deterministically from evaluation seeds, so
+    /// this total is reproducible and comparable across runs.
+    pub retry_delay_ms: u64,
 }
 
 impl ResilienceSummary {
@@ -248,14 +252,16 @@ impl ResilienceSummary {
         format!(
             concat!(
                 "{{\"evaluations\":{},\"retries\":{},\"deadlocks\":{},",
-                "\"budget_kills\":{},\"panics\":{},\"quarantined\":{}}}"
+                "\"budget_kills\":{},\"panics\":{},\"quarantined\":{},",
+                "\"retry_delay_ms\":{}}}"
             ),
             self.evaluations,
             self.retries,
             self.deadlocks,
             self.budget_kills,
             self.panics,
-            self.quarantined
+            self.quarantined,
+            self.retry_delay_ms
         )
     }
 }
@@ -400,9 +406,15 @@ impl RunReport {
         }
         if let Some(r) = &self.resilience {
             out.push_str(&format!(
-                "resilience: {} evaluations ({} retries) — {} deadlocks, \
-                 {} budget kills, {} panics, {} quarantined\n",
-                r.evaluations, r.retries, r.deadlocks, r.budget_kills, r.panics, r.quarantined
+                "resilience: {} evaluations ({} retries, {} ms backoff) — \
+                 {} deadlocks, {} budget kills, {} panics, {} quarantined\n",
+                r.evaluations,
+                r.retries,
+                r.retry_delay_ms,
+                r.deadlocks,
+                r.budget_kills,
+                r.panics,
+                r.quarantined
             ));
         }
         out.push_str(&format!(

@@ -28,6 +28,15 @@ use std::sync::Arc;
 /// Reseeded retry attempts after the first failed evaluation.
 pub const DEFAULT_MAX_RETRIES: usize = 2;
 
+/// Default first-retry backoff delay (milliseconds). Deliberately tiny:
+/// the delays exist to decorrelate retry storms under real transient
+/// faults, and the defaults keep chaos CI fast.
+pub const DEFAULT_BACKOFF_BASE_MS: u64 = 1;
+
+/// Default backoff ceiling (milliseconds): exponential growth is capped
+/// here no matter how many retries the budget allows.
+pub const DEFAULT_BACKOFF_CAP_MS: u64 = 25;
+
 /// Watchdog step budget applied to fault-injected executions whose
 /// platform does not already carry one: generous enough for any real
 /// schedule, small enough that a fault-induced livelock dies in
@@ -42,6 +51,36 @@ pub fn retry_seed(eval_seed: u64, attempt: usize) -> u64 {
     eval_seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// SplitMix64 finisher used to derive backoff jitter bits.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The backoff delay (milliseconds) before retry `attempt` (≥ 1) of an
+/// evaluation seeded with `eval_seed`: capped exponential growth from
+/// `base_ms` with deterministic seed-derived jitter. The uncapped
+/// schedule is `base · 2^(attempt-1)`; jitter draws the delay uniformly
+/// from the upper half `[exp/2, exp]` of that step, from bits that are a
+/// pure function of `(eval_seed, attempt)` — so total backoff time is
+/// identical across thread counts and reruns, and can be asserted on in
+/// the resilience report.
+pub fn backoff_delay_ms(base_ms: u64, cap_ms: u64, attempt: usize, eval_seed: u64) -> u64 {
+    if attempt == 0 || base_ms == 0 {
+        return 0;
+    }
+    let exp = base_ms
+        .saturating_mul(1u64 << (attempt - 1).min(20))
+        .min(cap_ms);
+    if exp == 0 {
+        return 0;
+    }
+    let half = exp / 2;
+    half + splitmix(retry_seed(eval_seed, attempt)) % (exp - half + 1)
+}
+
 /// Thread-safe resilience counters shared by every exploration worker.
 #[derive(Debug, Default)]
 pub struct ResilienceTotals {
@@ -51,6 +90,7 @@ pub struct ResilienceTotals {
     budget_kills: AtomicU64,
     panics: AtomicU64,
     quarantined: AtomicU64,
+    retry_delay_ms: AtomicU64,
 }
 
 impl ResilienceTotals {
@@ -73,6 +113,7 @@ impl ResilienceTotals {
             budget_kills: self.budget_kills.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
+            retry_delay_ms: self.retry_delay_ms.load(Ordering::Relaxed),
         }
     }
 }
@@ -98,6 +139,8 @@ pub struct ResilientEvaluator<'a, W: Workload> {
     bench: BenchConfig,
     faults: FaultConfig,
     max_retries: usize,
+    backoff_base_ms: u64,
+    backoff_cap_ms: u64,
     totals: Arc<ResilienceTotals>,
     stats: SimStats,
 }
@@ -120,6 +163,8 @@ impl<'a, W: Workload> ResilientEvaluator<'a, W> {
             bench,
             faults,
             max_retries: DEFAULT_MAX_RETRIES,
+            backoff_base_ms: DEFAULT_BACKOFF_BASE_MS,
+            backoff_cap_ms: DEFAULT_BACKOFF_CAP_MS,
             totals,
             stats: SimStats::default(),
         }
@@ -129,6 +174,14 @@ impl<'a, W: Workload> ResilientEvaluator<'a, W> {
     /// first failure; [`DEFAULT_MAX_RETRIES`] by default).
     pub fn with_max_retries(mut self, max_retries: usize) -> Self {
         self.max_retries = max_retries;
+        self
+    }
+
+    /// Overrides the retry backoff schedule (`base_ms = 0` disables
+    /// delays entirely while keeping the retry semantics).
+    pub fn with_backoff(mut self, base_ms: u64, cap_ms: u64) -> Self {
+        self.backoff_base_ms = base_ms;
+        self.backoff_cap_ms = cap_ms;
         self
     }
 
@@ -148,6 +201,15 @@ impl<W: Workload> Evaluator for ResilientEvaluator<'_, W> {
             ResilienceTotals::add(&self.totals.evaluations, 1);
             if attempt > 0 {
                 ResilienceTotals::add(&self.totals.retries, 1);
+                // Capped exponential backoff with seed-derived jitter:
+                // the delay is a pure function of (seed, attempt), so
+                // the reported totals are deterministic too.
+                let delay =
+                    backoff_delay_ms(self.backoff_base_ms, self.backoff_cap_ms, attempt, seed);
+                if delay > 0 {
+                    ResilienceTotals::add(&self.totals.retry_delay_ms, delay);
+                    std::thread::sleep(std::time::Duration::from_millis(delay));
+                }
             }
             let plan = FaultPlan::derive(&self.faults, retry_seed(seed, attempt));
             let mut platform = self.platform.clone().with_faults(plan);
@@ -216,6 +278,65 @@ mod tests {
         assert_eq!(retry_seed(7, 3), retry_seed(7, 3));
         assert_ne!(retry_seed(7, 1), retry_seed(7, 2));
         assert_ne!(retry_seed(7, 1), retry_seed(8, 1));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_exponential() {
+        // Attempt 0 and a zero base never delay.
+        assert_eq!(backoff_delay_ms(4, 100, 0, 9), 0);
+        assert_eq!(backoff_delay_ms(0, 100, 3, 9), 0);
+        // Pure function of (seed, attempt).
+        for attempt in 1..6 {
+            assert_eq!(
+                backoff_delay_ms(4, 100, attempt, 9),
+                backoff_delay_ms(4, 100, attempt, 9)
+            );
+        }
+        // Each step lands in the jittered upper half of base·2^(a-1),
+        // clamped to the cap.
+        for attempt in 1..12 {
+            for seed in [0u64, 9, 77, u64::MAX] {
+                let exp = 4u64.saturating_mul(1 << (attempt - 1)).min(100);
+                let d = backoff_delay_ms(4, 100, attempt, seed);
+                assert!(
+                    d >= exp / 2 && d <= exp,
+                    "attempt {attempt}: {d} vs exp {exp}"
+                );
+            }
+        }
+        // Different seeds actually jitter.
+        let spread: std::collections::HashSet<u64> =
+            (0..64).map(|s| backoff_delay_ms(50, 1_000, 4, s)).collect();
+        assert!(spread.len() > 1, "jitter must vary with the seed");
+    }
+
+    #[test]
+    fn retries_accumulate_deterministic_delay_totals() {
+        let (space, w, platform) = setup();
+        let t = space.enumerate().next().unwrap();
+        let platform = platform.with_budget(1, 0.0);
+        let run = || {
+            let totals = Arc::new(ResilienceTotals::default());
+            let mut eval = ResilientEvaluator::new(
+                &space,
+                &w,
+                &platform,
+                BenchConfig::quick(),
+                FaultConfig::light(),
+                totals.clone(),
+            )
+            .with_backoff(1, 25);
+            let _ = eval.evaluate(&t, eval_seed(3, &t));
+            totals.summary()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.retries as usize, DEFAULT_MAX_RETRIES);
+        assert!(a.retry_delay_ms > 0, "retries must report backoff time");
+        assert_eq!(
+            a.retry_delay_ms, b.retry_delay_ms,
+            "delay totals are a pure function of the seeds"
+        );
     }
 
     #[test]

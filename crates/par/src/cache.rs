@@ -86,6 +86,45 @@ impl<K: Eq + Hash, V: Clone> StripedCache<K, V> {
         Ok(v)
     }
 
+    /// Returns the cached value for `key` without computing anything on
+    /// a miss. Counts a hit or a miss like [`Self::get_or_try_insert`],
+    /// so lookup-only callers (e.g. a persistent result store probing
+    /// its in-memory table) contribute to the same statistics.
+    pub fn get(&self, hash: u64, key: &K) -> Option<V> {
+        let stripe = &self.stripes[(hash % self.stripes.len() as u64) as usize];
+        let map = stripe.lock().expect("cache stripe poisoned");
+        match map.get(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Returns the cached value for `key` without touching the hit/miss
+    /// counters: maintenance reads (e.g. a store compacting its own
+    /// segment from memory) are not lookups and must not inflate the
+    /// statistics that prove cache reuse.
+    pub fn peek(&self, hash: u64, key: &K) -> Option<V> {
+        let stripe = &self.stripes[(hash % self.stripes.len() as u64) as usize];
+        let map = stripe.lock().expect("cache stripe poisoned");
+        map.get(key).cloned()
+    }
+
+    /// Inserts (or replaces) a value without touching the hit/miss
+    /// counters: the warm-up path of a caller that already has the value
+    /// in hand (e.g. a store loading committed records from disk) must
+    /// not be mistaken for cache misses.
+    pub fn preload(&self, hash: u64, key: K, value: V) {
+        let stripe = &self.stripes[(hash % self.stripes.len() as u64) as usize];
+        let mut map = stripe.lock().expect("cache stripe poisoned");
+        map.insert(key, value);
+    }
+
     /// Number of cached entries (sums all stripes; takes each lock).
     pub fn len(&self) -> usize {
         self.stripes
@@ -189,6 +228,20 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 50);
         assert_eq!(stats.hits + stats.misses, 200);
+    }
+
+    #[test]
+    fn get_counts_and_preload_does_not() {
+        let cache: StripedCache<u64, u32> = StripedCache::new(4);
+        assert_eq!(cache.get(9, &9), None);
+        cache.preload(9, 9, 7);
+        assert_eq!(cache.get(9, &9), Some(7));
+        assert_eq!(cache.peek(9, &9), Some(7), "peek sees the value");
+        // Preload replaces silently.
+        cache.preload(9, 9, 8);
+        assert_eq!(cache.get(9, &9), Some(8));
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

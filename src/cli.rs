@@ -5,14 +5,16 @@
 use crate::dag::{build_schedule, DecisionSpace, Placement, Traversal};
 use crate::mcts::{Evaluator, Mcts, MctsConfig, SharedMcts, SimEvaluator, TreeSnapshot};
 use crate::ml::{render_ruleset, rulesets_for_class, RuleSet};
-use crate::obs::{json, EventSink};
-use crate::par::resolve_threads;
+use crate::obs::{json, EventSink, Phases};
+use crate::par::{resolve_threads, CacheStats};
 use crate::pipeline::{
     append_entry, apply_fault_plan, certify_rulesets, compare_bench, compare_ledgers,
     is_bench_file, ledger_dir_from_env, ledger_entry_json, lint_space_watched, load_bench,
-    load_ledger, mine_rules, run_pipeline, run_pipeline_instrumented, run_pipeline_watched,
-    satisfies, synthesize, topology_from_workload, Certification, CompareOptions, InstrumentedRun,
-    LedgerContext, PipelineConfig, Provenance, ResilienceSummary, SearchBackend, Strategy,
+    load_ledger, merge_shards, mine_rules, mine_rules_timed, records_telemetry, run_pipeline,
+    run_pipeline_instrumented, run_pipeline_stored, run_shard, satisfies, synthesize,
+    topology_from_workload, Certification, CompareOptions, InstrumentedRun, LedgerContext,
+    PipelineConfig, Provenance, ResilienceSummary, RunReport, SearchBackend, SearchSummary,
+    ShardSpec, Strategy,
 };
 use crate::progress::ProgressRenderer;
 use crate::sim::{
@@ -86,6 +88,15 @@ pub enum Command {
     /// space linter walks exactly the schedules satisfying the ruleset
     /// and proves none carries an error-severity diagnostic.
     VerifyRules,
+    /// Validate a completed shard set's manifests, merge its durable
+    /// stores bit-identically to the unsharded run, mine rules from the
+    /// merged records, and append a ledger entry.
+    Merge,
+    /// Coordinate a process swarm: spawn shard workers as child
+    /// processes, watch their heartbeat streams, SIGKILL stalled
+    /// workers, re-issue dead shards with capped backoff, resume
+    /// interrupted shards from the store, and merge at the end.
+    Swarm,
 }
 
 /// Parsed command line.
@@ -131,14 +142,28 @@ pub struct CliOptions {
     pub progress: bool,
     /// Stream structured `dr-events/v1` NDJSON to this path.
     pub events: Option<String>,
+    /// Durable result-store directory: `explore` answers
+    /// already-measured traversals from it and commits fresh ones;
+    /// required by `--shard` and `swarm`.
+    pub store: Option<String>,
+    /// Run exactly one shard (`i/N`) of the exploration (requires
+    /// `--store`; writes a per-shard manifest next to the store).
+    pub shard: Option<String>,
+    /// `swarm`: number of shard worker processes (equals the shard
+    /// count).
+    pub workers: usize,
+    /// `merge`: the shard-set directory (the workers' `--store`).
+    pub merge_dir: Option<String>,
 }
 
 /// Usage text printed on parse errors.
 pub const USAGE: &str = "usage: dr-rules <scenario> <command> [options]
        dr-rules <scenario> compare <a> <b> [options]
+       dr-rules <scenario> merge <dir> [options]
   scenarios: spmv | spmv-paper | spmv-fine | halo
   commands:  info | explore | rules | synthesize | timeline | lint |
-             chaos | compare | explain | bench | verify-rules
+             chaos | compare | explain | bench | verify-rules |
+             merge | swarm
              (omitting the command runs explore)
   options:   --iterations N (default 300)
              --seed N       (default 0)
@@ -171,6 +196,15 @@ pub const USAGE: &str = "usage: dr-rules <scenario> <command> [options]
                              place on a TTY, plain lines otherwise)
              --events PATH  (stream structured dr-events/v1 NDJSON to
                              PATH; joinable with the ledger via run id)
+             --store DIR    (durable result store: explore answers
+                             already-measured traversals from DIR and
+                             commits fresh measurements before returning
+                             them; crash-safe, checksummed, resumable)
+             --shard i/N    (run exactly shard i of N of the exploration
+                             serially; requires --store; publishes
+                             DIR/shard-i-of-N.manifest.json on success)
+             --workers K    (swarm: shard worker processes = shard
+                             count; default 3)
   compare accepts either two run-ledger paths or two BENCH_*.json
   benchmark histories (auto-detected; last entry of B vs history of A).
   explain always searches with MCTS (it explains the MCTS tree) and
@@ -181,6 +215,18 @@ pub const USAGE: &str = "usage: dr-rules <scenario> <command> [options]
   working directory; the scenario picks the scale (spmv = small,
   spmv-paper = paper) and DR_SEED picks the seed, so entries stay
   comparable with the committed histories.
+  merge validates a completed shard set (gaps, overlaps, duplicate
+  hashes, per-shard fingerprints), merges the stores bit-identically to
+  the unsharded run, mines rules from the merged records, and appends a
+  ledger entry to the shard directory (or --ledger) so `compare` can
+  gate the merged fingerprint against a single-process baseline; pass
+  the same --iterations/--seed/--random the shards ran with.
+  swarm spawns --workers shard processes of this same binary over
+  --store, declares a worker dead when its event stream stops carrying
+  heartbeats (DR_SWARM_STALL_MS, default 10000) and SIGKILLs it,
+  re-issues dead shards with capped exponential backoff, quarantines a
+  shard after repeated failures (DR_SWARM_MAX_ATTEMPTS, default 3),
+  resumes interrupted shards from the store, then merges.
   verify-rules mines rulesets at --iterations/--seed, then statically
   certifies each one: the incremental space linter walks exactly the
   schedules satisfying the ruleset (capped by --max-schedules; 0 =
@@ -216,6 +262,8 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
             Some("explain") => Command::Explain,
             Some("bench") => Command::Bench,
             Some("verify-rules") => Command::VerifyRules,
+            Some("merge") => Command::Merge,
+            Some("swarm") => Command::Swarm,
             Some(other) => return Err(format!("unknown command {other:?}\n{USAGE}")),
             None => return Err(format!("missing command\n{USAGE}")),
         },
@@ -239,7 +287,20 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         noise_k: 5.0,
         progress: false,
         events: None,
+        store: None,
+        shard: None,
+        workers: 3,
+        merge_dir: None,
     };
+    if command == Command::Merge {
+        let dir = it
+            .next()
+            .ok_or(format!("merge needs the shard directory\n{USAGE}"))?;
+        if dir.starts_with("--") {
+            return Err(format!("merge needs the shard directory first\n{USAGE}"));
+        }
+        opts.merge_dir = Some(dir.clone());
+    }
     if command == Command::Compare {
         let a = it
             .next()
@@ -323,8 +384,35 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
             "--events" => {
                 opts.events = Some(it.next().ok_or("--events needs a path")?.clone());
             }
+            "--store" => {
+                opts.store = Some(it.next().ok_or("--store needs a directory")?.clone());
+            }
+            "--shard" => {
+                let v = it.next().ok_or("--shard needs i/N (e.g. 0/3)")?;
+                ShardSpec::parse(v)?;
+                opts.shard = Some(v.clone());
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --workers value {v:?}"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                opts.workers = n;
+            }
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),
         }
+    }
+    if opts.shard.is_some() && opts.store.is_none() {
+        return Err("--shard requires --store DIR (the shard's durable result store)".into());
+    }
+    if opts.shard.is_some() && command != Command::Explore {
+        return Err("--shard only applies to the explore command".into());
+    }
+    if command == Command::Swarm && opts.store.is_none() {
+        return Err("swarm requires --store DIR (the shared shard store)".into());
     }
     Ok(opts)
 }
@@ -421,6 +509,51 @@ fn event_sink(opts: &CliOptions) -> Result<Option<EventSink>, String> {
     Ok(Some(sink))
 }
 
+/// Pre-flight check of every artifact path the run will write, so a
+/// long exploration cannot end in a `cannot write ...` surprise: each
+/// directory-valued path (`--ledger`, `--store`) is created and probed
+/// with a scratch file, and each file-valued path (`--report`,
+/// `--telemetry`, `--trace`, `--events`) is opened for writing (append
+/// when it already exists, else create-and-remove). The first offending
+/// path fails fast, named.
+fn preflight_artifact_paths(opts: &CliOptions) -> Result<(), String> {
+    let bad = |path: &str, e: std::io::Error| format!("artifact path not writable: {path}: {e}");
+    let ledger = opts
+        .ledger
+        .clone()
+        .or_else(|| ledger_dir_from_env().map(|p| p.display().to_string()));
+    for dir in [ledger.as_ref(), opts.store.as_ref()].into_iter().flatten() {
+        let probe = || -> std::io::Result<()> {
+            std::fs::create_dir_all(dir)?;
+            let p = Path::new(dir).join(".dr-preflight");
+            std::fs::write(&p, b"ok")?;
+            std::fs::remove_file(&p)
+        };
+        probe().map_err(|e| bad(dir, e))?;
+    }
+    for path in [
+        opts.report.as_ref(),
+        opts.telemetry.as_ref(),
+        opts.events.as_ref(),
+        opts.trace.as_ref(),
+    ]
+    .into_iter()
+    .flatten()
+    {
+        let probe = || -> std::io::Result<()> {
+            if Path::new(path).exists() {
+                std::fs::OpenOptions::new().append(true).open(path)?;
+            } else {
+                std::fs::File::create(path)?;
+                std::fs::remove_file(path)?;
+            }
+            Ok(())
+        };
+        probe().map_err(|e| bad(path, e))?;
+    }
+    Ok(())
+}
+
 /// Runs the parsed command, writing human-readable output to `out`.
 ///
 /// Returns `Err` — a nonzero process exit — when `compare` finds a
@@ -428,6 +561,8 @@ fn event_sink(opts: &CliOptions) -> Result<Option<EventSink>, String> {
 pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), String> {
     let fail = |e: SimError| format!("simulation failed: {e}");
     let io = |e: std::io::Error| format!("write failed: {e}");
+
+    preflight_artifact_paths(opts)?;
 
     if opts.command == Command::Compare {
         let (pa, pb) = opts.compare.as_ref().ok_or("compare needs two paths")?;
@@ -532,6 +667,57 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
         return run_explain(opts, &inst, out);
     }
 
+    if opts.command == Command::Merge {
+        let dir = opts.merge_dir.as_ref().ok_or("merge needs a directory")?;
+        return run_merge(opts, &inst, Path::new(dir), out);
+    }
+
+    if opts.command == Command::Swarm {
+        let store_root = opts.store.clone().ok_or("swarm requires --store")?;
+        crate::swarm::coordinate(opts, Path::new(&store_root), out)?;
+        return run_merge(opts, &inst, Path::new(&store_root), out);
+    }
+
+    if let Some(shard) = &opts.shard {
+        // One shard, serially, through the durable store: the swarm
+        // worker entry point, also usable by hand.
+        let spec = ShardSpec::parse(shard)?;
+        let store_root = opts.store.as_ref().ok_or("--shard requires --store")?;
+        let sink = event_sink(opts)?;
+        let outcome = run_shard(
+            opts.scenario.name(),
+            &inst.space,
+            &inst.workload,
+            &inst.platform,
+            strategy(opts),
+            spec,
+            &PipelineConfig::quick(),
+            Path::new(store_root),
+            sink.as_ref(),
+        )
+        .map_err(fail)?;
+        let m = &outcome.manifest;
+        writeln!(
+            out,
+            "shard {spec}: {} records, fingerprint {:016x}, store {} hits / {} appended, \
+             {} quarantined, {:.2}s",
+            m.records, m.fingerprint, m.store.hits, m.store.appended, m.failures, m.seconds
+        )
+        .map_err(io)?;
+        writeln!(out, "wrote manifest {}", outcome.manifest_path.display()).map_err(io)?;
+        if let (Some(sink), Some(path)) = (&sink, &opts.events) {
+            sink.flush();
+            writeln!(
+                out,
+                "wrote {} events to {path} (run {})",
+                sink.seq(),
+                sink.run_id()
+            )
+            .map_err(io)?;
+        }
+        return Ok(());
+    }
+
     let tracer = if opts.trace.is_some() {
         Tracer::new()
     } else {
@@ -540,7 +726,14 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
     // The event sink carries the same run id as the report/ledger
     // provenance so NDJSON streams can be joined with ledger entries.
     let sink = event_sink(opts)?;
-    let run = run_pipeline_watched(
+    let store = match &opts.store {
+        Some(dir) => Some(std::sync::Arc::new(
+            crate::store::ResultStore::open(Path::new(dir))
+                .map_err(|e| format!("cannot open result store {dir:?}: {e}"))?,
+        )),
+        None => None,
+    };
+    let run = run_pipeline_stored(
         &inst.space,
         &inst.workload,
         &inst.platform,
@@ -552,9 +745,23 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
         },
         &tracer,
         sink.as_ref(),
+        store.clone(),
     )
     .map_err(fail)?;
 
+    if let Some(store) = &store {
+        let s = store.stats();
+        writeln!(
+            out,
+            "store: {} hits, {} misses, {} loaded, {} appended ({} committed records)",
+            s.hits,
+            s.misses,
+            s.loaded,
+            s.appended,
+            store.len()
+        )
+        .map_err(io)?;
+    }
     if let (Some(sink), Some(path)) = (&sink, &opts.events) {
         sink.flush();
         writeln!(
@@ -616,7 +823,9 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
         | Command::Compare
         | Command::Explain
         | Command::Bench
-        | Command::VerifyRules => {
+        | Command::VerifyRules
+        | Command::Merge
+        | Command::Swarm => {
             unreachable!("handled above")
         }
         Command::Explore => {
@@ -1304,6 +1513,101 @@ fn certify_json(opts: &CliOptions, cert: &Certification) -> String {
 /// pipeline, assert the clean control plan is bit-for-bit deterministic,
 /// and cross-check drop-induced simulator deadlocks against the static
 /// linter's MPI103/MPI104 verdicts (the fault oracle).
+/// The `merge` command's body (also the tail of `swarm`): validate the
+/// shard set under `dir`, merge its stores bit-identically to the
+/// unsharded record sequence, mine rules from the merged records, and
+/// append a full ledger entry — to `--ledger` when given, else to the
+/// shard directory itself — so `compare` can gate the merged fingerprint
+/// against a single-process baseline.
+fn run_merge(
+    opts: &CliOptions,
+    inst: &Instance,
+    dir: &Path,
+    out: &mut impl std::io::Write,
+) -> Result<(), String> {
+    let io = |e: std::io::Error| format!("write failed: {e}");
+    let strategy = strategy(opts);
+    let merged = merge_shards(dir, opts.scenario.name(), &inst.space, strategy)?;
+    writeln!(
+        out,
+        "merged {} shards: {} records, fingerprint {:016x}, store {} hits / {} misses, \
+         {} quarantined, {:.2}s compute ({:.2}s critical path)",
+        merged.shards,
+        merged.records.len(),
+        merged.fingerprint,
+        merged.store.hits,
+        merged.store.misses,
+        merged.failures,
+        merged.seconds,
+        merged.critical_seconds
+    )
+    .map_err(io)?;
+    // The merged records mine exactly like an unsharded run. Swarm
+    // workers run concurrently, so the ledger's "explore" phase cost is
+    // the critical path (slowest shard), comparable to an unsharded
+    // run's wall-clock — not the summed compute.
+    let mut phases = Phases::new();
+    phases.add("explore", merged.critical_seconds);
+    let result = mine_rules_timed(
+        &inst.space,
+        merged.records,
+        &PipelineConfig::quick(),
+        &mut phases,
+    );
+    let telemetry = records_telemetry(&result.records);
+    let search = SearchSummary::from_telemetry(strategy.name(), &telemetry);
+    let report = RunReport::new(phases, None, search, &result);
+    let run = InstrumentedRun {
+        result,
+        report,
+        telemetry,
+        cache: CacheStats::default(),
+        threads: 1,
+    };
+    writeln!(
+        out,
+        "classes  {} — {} rulesets",
+        run.result.labeling.num_classes,
+        run.result.rulesets.len()
+    )
+    .map_err(io)?;
+    let ledger_dir = opts
+        .ledger
+        .clone()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| dir.to_path_buf());
+    let ctx = LedgerContext {
+        scenario: opts.scenario.name(),
+        strategy: strategy.name(),
+        seed: opts.seed,
+        iterations: opts.iterations as u64,
+    };
+    let entry = ledger_entry_json(&ctx, &run, &inst.space);
+    let path = append_entry(&ledger_dir, &entry).map_err(|e| {
+        format!(
+            "cannot append ledger entry to {}: {e}",
+            ledger_dir.display()
+        )
+    })?;
+    writeln!(out, "appended ledger entry to {}", path.display()).map_err(io)?;
+    if let Some(path) = &opts.report {
+        std::fs::write(path, run.report.to_json())
+            .map_err(|e| format!("cannot write report {path:?}: {e}"))?;
+        writeln!(out, "wrote run report to {path}").map_err(io)?;
+    }
+    if let Some(path) = &opts.telemetry {
+        std::fs::write(path, run.telemetry.to_csv())
+            .map_err(|e| format!("cannot write telemetry {path:?}: {e}"))?;
+        writeln!(
+            out,
+            "wrote {} telemetry rows to {path}",
+            run.telemetry.len()
+        )
+        .map_err(io)?;
+    }
+    Ok(())
+}
+
 fn run_chaos(
     opts: &CliOptions,
     inst: &Instance,
@@ -1374,6 +1678,7 @@ fn run_chaos(
                     .ok_or("chaos plan missing resilience counters")?;
                 aggregate.evaluations += r.evaluations;
                 aggregate.retries += r.retries;
+                aggregate.retry_delay_ms += r.retry_delay_ms;
                 aggregate.deadlocks += r.deadlocks;
                 aggregate.budget_kills += r.budget_kills;
                 aggregate.panics += r.panics;
@@ -1381,13 +1686,14 @@ fn run_chaos(
                 writeln!(
                     out,
                     "plan {p:2} [{name} seed={}]: {} records, {} classes; \
-                     {} evaluations ({} retries) — {} deadlocks, {} budget kills, \
-                     {} panics, {} quarantined",
+                     {} evaluations ({} retries, {} ms backoff) — {} deadlocks, \
+                     {} budget kills, {} panics, {} quarantined",
                     faults.seed,
                     run.result.records.len(),
                     run.result.labeling.num_classes,
                     r.evaluations,
                     r.retries,
+                    r.retry_delay_ms,
                     r.deadlocks,
                     r.budget_kills,
                     r.panics,
@@ -1452,12 +1758,13 @@ fn run_chaos(
     .map_err(io)?;
     writeln!(
         out,
-        "sweep: {} plans, {} failed; {} evaluations ({} retries) — {} deadlocks, \
-         {} budget kills, {} panics, {} quarantined",
+        "sweep: {} plans, {} failed; {} evaluations ({} retries, {} ms backoff) — \
+         {} deadlocks, {} budget kills, {} panics, {} quarantined",
         opts.plans,
         failed_plans,
         aggregate.evaluations,
         aggregate.retries,
+        aggregate.retry_delay_ms,
         aggregate.deadlocks,
         aggregate.budget_kills,
         aggregate.panics,
@@ -1470,8 +1777,8 @@ fn run_chaos(
             concat!(
                 "{{\"plans\":{},\"failed_plans\":{},\"clean_replay_identical\":{},",
                 "\"oracle\":{{\"checked\":{},\"agreed\":{},\"sim_deadlocks\":{}}},",
-                "\"aggregate\":{{\"evaluations\":{},\"retries\":{},\"deadlocks\":{},",
-                "\"budget_kills\":{},\"panics\":{},\"quarantined\":{}}}}}"
+                "\"aggregate\":{{\"evaluations\":{},\"retries\":{},\"retry_delay_ms\":{},",
+                "\"deadlocks\":{},\"budget_kills\":{},\"panics\":{},\"quarantined\":{}}}}}"
             ),
             opts.plans,
             failed_plans,
@@ -1481,6 +1788,7 @@ fn run_chaos(
             sim_deadlocks,
             aggregate.evaluations,
             aggregate.retries,
+            aggregate.retry_delay_ms,
             aggregate.deadlocks,
             aggregate.budget_kills,
             aggregate.panics,

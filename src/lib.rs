@@ -6,6 +6,7 @@
 
 pub mod cli;
 pub mod progress;
+pub mod swarm;
 
 pub use dr_bench as bench;
 pub use dr_core as pipeline;
@@ -18,4 +19,5 @@ pub use dr_obs as obs;
 pub use dr_par as par;
 pub use dr_sim as sim;
 pub use dr_spmv as spmv;
+pub use dr_store as store;
 pub use dr_trace as trace;

@@ -36,6 +36,7 @@ struct State {
     max_depth: u64,
     best_s: f64,
     best_hash: String,
+    shard: String,
     cache_hits: u64,
     cache_misses: u64,
     quarantined: u64,
@@ -101,6 +102,9 @@ impl ProgressRenderer {
         );
         if !st.strategy.is_empty() {
             line.push_str(&format!(" ({})", st.strategy));
+        }
+        if !st.shard.is_empty() {
+            line.push_str(&format!(" [shard {}]", st.shard));
         }
         if st.space > 0 {
             line.push_str(&format!(" | {}/{} traversals", st.records, st.space));
@@ -282,6 +286,30 @@ impl EventObserver for ProgressRenderer {
                     }
                 }
             }
+            "heartbeat" => {
+                // Shard workers beat with their progress through the
+                // shard's work list; fold it into the traversal counter.
+                if let (Some(i), Some(of)) = (u64_field(event, "shard"), u64_field(event, "of")) {
+                    st.shard = format!("{i}/{of}");
+                }
+                if let Some(n) = u64_field(event, "done") {
+                    st.records = st.records.max(n);
+                }
+                if let Some(n) = u64_field(event, "total") {
+                    st.space = st.space.max(n);
+                }
+                if st.phase.is_empty() {
+                    st.phase = "explore".to_string();
+                }
+            }
+            "shard-done" => {
+                if let Some(n) = u64_field(event, "records") {
+                    st.records = st.records.max(n);
+                }
+                st.finished = true;
+                st.phase = "shard done".to_string();
+                force = true;
+            }
             "lint-start" => {
                 force = true;
             }
@@ -413,6 +441,35 @@ mod tests {
         ));
         let line = r.snapshot_line();
         assert!(line.contains("lint 1600 sched 0E/960W 2 diags"), "{line}");
+    }
+
+    #[test]
+    fn shard_heartbeats_fold_into_the_status_line() {
+        let r = ProgressRenderer::with_tty(false);
+        r.on_event(&event(
+            "heartbeat",
+            vec![
+                ("shard".into(), Field::U64(1)),
+                ("of".into(), Field::U64(3)),
+                ("done".into(), Field::U64(4)),
+                ("total".into(), Field::U64(9)),
+            ],
+        ));
+        let line = r.snapshot_line();
+        assert!(line.contains("explore"), "{line}");
+        assert!(line.contains("[shard 1/3]"), "{line}");
+        assert!(line.contains("4/9 traversals"), "{line}");
+        r.on_event(&event(
+            "shard-done",
+            vec![
+                ("shard".into(), Field::U64(1)),
+                ("of".into(), Field::U64(3)),
+                ("records".into(), Field::U64(9)),
+            ],
+        ));
+        let line = r.snapshot_line();
+        assert!(line.contains("shard done"), "{line}");
+        assert!(line.contains("9/9 traversals"), "{line}");
     }
 
     #[test]

@@ -1,0 +1,403 @@
+//! Process-swarm coordinator for crash-safe sharded exploration.
+//!
+//! `dr-rules <scenario> swarm --workers K --store DIR` splits the
+//! exploration into `K` shards and runs each as a **child process of
+//! this same binary** (`explore --shard i/K --store DIR`). The
+//! coordinator never trusts a worker to be alive just because the
+//! process exists: each worker streams `dr-events/v1` NDJSON with
+//! periodic `heartbeat` lines, and a worker whose stream goes quiet for
+//! longer than the stall timeout is SIGKILLed and its shard re-issued.
+//! Because every shard writes through the durable
+//! [`dr_store::ResultStore`], a re-issued worker resumes from the
+//! already-committed prefix instead of re-simulating — the shard
+//! manifest's `store.hits` counter proves it.
+//!
+//! Failure policy: a dead or stalled shard is re-spawned after capped
+//! exponential backoff (`DR_SWARM_BACKOFF_MS`, default 200 ms base,
+//! doubling, capped at 3 s) and quarantined after
+//! `DR_SWARM_MAX_ATTEMPTS` (default 3) failures; a quarantined shard
+//! fails the swarm, naming the shard and its worker log. The shard
+//! manifest is the commit marker — a worker that exits zero without
+//! publishing a valid manifest still counts as dead.
+
+use crate::cli::CliOptions;
+use crate::pipeline::{shard_manifest_path, ShardManifest, ShardSpec};
+use std::io::{Read, Seek, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Reads a millisecond knob from the environment with a default.
+fn env_ms(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(default)
+}
+
+/// Heartbeat-silence window after which a worker is declared stalled
+/// and SIGKILLed (`DR_SWARM_STALL_MS`, default 10 s).
+fn stall_timeout() -> Duration {
+    Duration::from_millis(env_ms("DR_SWARM_STALL_MS", 10_000).max(100))
+}
+
+/// Spawn attempts per shard before quarantine
+/// (`DR_SWARM_MAX_ATTEMPTS`, default 3, minimum 1).
+fn max_attempts() -> usize {
+    std::env::var("DR_SWARM_MAX_ATTEMPTS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(3)
+        .max(1)
+}
+
+/// Capped exponential re-spawn backoff: `base · 2^(failures-1)`,
+/// capped at 3 s (`DR_SWARM_BACKOFF_MS` sets the base).
+fn backoff(failures: usize) -> Duration {
+    let base = env_ms("DR_SWARM_BACKOFF_MS", 200);
+    let exp = base.saturating_mul(1u64 << (failures.saturating_sub(1)).min(10));
+    Duration::from_millis(exp.min(3_000))
+}
+
+/// The per-worker event-stream path (heartbeats ride this file).
+fn worker_events_path(store_root: &Path, spec: ShardSpec) -> PathBuf {
+    store_root.join(format!("shard-{}.events.ndjson", spec.label()))
+}
+
+/// The per-worker captured stdout+stderr log.
+fn worker_log_path(store_root: &Path, spec: ShardSpec) -> PathBuf {
+    store_root.join(format!("shard-{}.log", spec.label()))
+}
+
+/// One shard's lifecycle inside the coordinator.
+enum State {
+    /// Waiting to (re-)spawn once `ready_at` passes.
+    Pending { ready_at: Instant },
+    /// A live child process being heartbeat-monitored.
+    Running {
+        child: Child,
+        last_beat: Instant,
+        events_offset: u64,
+    },
+    /// Manifest published and validated.
+    Done,
+    /// Failed `max_attempts` times; never re-issued.
+    Quarantined,
+}
+
+/// A shard's coordinator-side bookkeeping.
+struct Shard {
+    spec: ShardSpec,
+    state: State,
+    failures: usize,
+}
+
+/// True when `path` holds a manifest matching this run's identity; a
+/// stale manifest from a different run is an error (the caller must not
+/// silently mix record sets), reported through `Err`.
+fn manifest_matches(
+    path: &Path,
+    opts: &CliOptions,
+    spec: ShardSpec,
+) -> Result<Option<ShardManifest>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => return Ok(None),
+    };
+    let m = ShardManifest::from_json(&text)
+        .map_err(|e| format!("unreadable shard manifest {}: {e}", path.display()))?;
+    let expected_strategy = if opts.random { "random" } else { "mcts" };
+    if m.scenario != opts.scenario.name()
+        || m.strategy != expected_strategy
+        || m.seed != opts.seed
+        || m.iterations != opts.iterations as u64
+        || m.index != spec.index
+        || m.count != spec.count
+    {
+        return Err(format!(
+            "shard manifest {} belongs to a different run \
+             ({} {} seed {} iterations {}); use a fresh --store directory",
+            path.display(),
+            m.scenario,
+            m.strategy,
+            m.seed,
+            m.iterations
+        ));
+    }
+    Ok(Some(m))
+}
+
+/// Spawns one shard worker: this same binary, `explore --shard i/N`,
+/// serial, streaming events (heartbeats included) to its own NDJSON
+/// file, stdout+stderr captured to a log. The worker's eager events
+/// `File::create` truncates the previous attempt's stream, so the
+/// coordinator restarts its tail offset at zero.
+fn spawn_worker(opts: &CliOptions, store_root: &Path, spec: ShardSpec) -> Result<Child, String> {
+    let exe =
+        std::env::current_exe().map_err(|e| format!("cannot locate the dr-rules binary: {e}"))?;
+    let log = std::fs::File::create(worker_log_path(store_root, spec))
+        .map_err(|e| format!("cannot create worker log: {e}"))?;
+    let log_err = log
+        .try_clone()
+        .map_err(|e| format!("cannot clone worker log handle: {e}"))?;
+    let mut cmd = Command::new(exe);
+    cmd.arg(opts.scenario.name())
+        .arg("explore")
+        .arg("--shard")
+        .arg(spec.to_string())
+        .arg("--store")
+        .arg(store_root)
+        .arg("--events")
+        .arg(worker_events_path(store_root, spec))
+        .arg("--iterations")
+        .arg(opts.iterations.to_string())
+        .arg("--seed")
+        .arg(opts.seed.to_string())
+        .arg("--threads")
+        .arg("1")
+        .stdin(Stdio::null())
+        .stdout(Stdio::from(log))
+        .stderr(Stdio::from(log_err));
+    if opts.random {
+        cmd.arg("--random");
+    }
+    cmd.spawn()
+        .map_err(|e| format!("cannot spawn shard worker {spec}: {e}"))
+}
+
+/// Scans the worker's event stream from `offset` for fresh heartbeat
+/// (or shard-done) lines, returning the new end-of-file offset and
+/// whether a liveness signal arrived. A token split across two reads is
+/// missed once and caught by the next beat — the stall window is many
+/// beats wide.
+fn poll_heartbeats(events: &Path, offset: u64) -> (u64, bool) {
+    let Ok(mut f) = std::fs::File::open(events) else {
+        return (offset, false);
+    };
+    let len = f.metadata().map(|m| m.len()).unwrap_or(0);
+    // Truncated by a worker restart: re-tail from the start.
+    let start = if len < offset { 0 } else { offset };
+    if len == start {
+        return (start, false);
+    }
+    if f.seek(std::io::SeekFrom::Start(start)).is_err() {
+        return (start, false);
+    }
+    let mut buf = Vec::with_capacity((len - start) as usize);
+    if f.read_to_end(&mut buf).is_err() {
+        return (start, false);
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let beat = text.contains("\"kind\":\"heartbeat\"") || text.contains("\"kind\":\"shard-done\"");
+    (start + buf.len() as u64, beat)
+}
+
+/// Runs shard workers to completion: resumes shards whose manifest is
+/// already published, spawns the rest, monitors heartbeats, SIGKILLs
+/// stalled workers, re-issues dead shards with capped backoff, and
+/// quarantines a shard after repeated failures. Returns once every
+/// shard's manifest is published — the caller then merges — or an error
+/// naming the quarantined shards.
+pub fn coordinate(
+    opts: &CliOptions,
+    store_root: &Path,
+    out: &mut impl Write,
+) -> Result<(), String> {
+    let io = |e: std::io::Error| format!("write failed: {e}");
+    let count = opts.workers;
+    let stall = stall_timeout();
+    let attempts_cap = max_attempts();
+    let mut shards: Vec<Shard> = Vec::with_capacity(count);
+    for index in 0..count {
+        let spec = ShardSpec { index, count };
+        // Resume: a valid manifest is the shard's commit marker.
+        let state = match manifest_matches(&shard_manifest_path(store_root, spec), opts, spec)? {
+            Some(m) => {
+                writeln!(
+                    out,
+                    "shard {spec}: already complete ({} records, {} store hits) — resumed",
+                    m.records, m.store.hits
+                )
+                .map_err(io)?;
+                State::Done
+            }
+            None => State::Pending {
+                ready_at: Instant::now(),
+            },
+        };
+        shards.push(Shard {
+            spec,
+            state,
+            failures: 0,
+        });
+    }
+    let result = loop {
+        let mut open = false;
+        for shard in shards.iter_mut() {
+            let spec = shard.spec;
+            match &mut shard.state {
+                State::Done | State::Quarantined => continue,
+                State::Pending { ready_at } => {
+                    open = true;
+                    if Instant::now() < *ready_at {
+                        continue;
+                    }
+                    let child = spawn_worker(opts, store_root, spec)?;
+                    writeln!(
+                        out,
+                        "shard {spec}: worker spawned (pid {}, attempt {})",
+                        child.id(),
+                        shard.failures + 1
+                    )
+                    .map_err(io)?;
+                    shard.state = State::Running {
+                        child,
+                        last_beat: Instant::now(),
+                        events_offset: 0,
+                    };
+                }
+                State::Running {
+                    child,
+                    last_beat,
+                    events_offset,
+                } => {
+                    open = true;
+                    let (next, beat) =
+                        poll_heartbeats(&worker_events_path(store_root, spec), *events_offset);
+                    *events_offset = next;
+                    if beat {
+                        *last_beat = Instant::now();
+                    }
+                    let exited = child
+                        .try_wait()
+                        .map_err(|e| format!("cannot poll shard worker {spec}: {e}"))?;
+                    let failed_how = match exited {
+                        Some(status) => {
+                            let manifest = manifest_matches(
+                                &shard_manifest_path(store_root, spec),
+                                opts,
+                                spec,
+                            )?;
+                            match manifest {
+                                Some(m) if status.success() => {
+                                    writeln!(
+                                        out,
+                                        "shard {spec}: complete — {} records, fingerprint \
+                                         {:016x}, {} store hits",
+                                        m.records, m.fingerprint, m.store.hits
+                                    )
+                                    .map_err(io)?;
+                                    shard.state = State::Done;
+                                    continue;
+                                }
+                                _ => Some(format!("exited {status} without a valid manifest")),
+                            }
+                        }
+                        None if last_beat.elapsed() > stall => {
+                            // SIGKILL, not a polite shutdown: a stalled
+                            // worker cannot be trusted to clean up, and
+                            // the store makes the kill safe.
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            Some(format!(
+                                "stalled (no heartbeat for {:.1}s) — killed",
+                                last_beat.elapsed().as_secs_f64()
+                            ))
+                        }
+                        None => None,
+                    };
+                    if let Some(how) = failed_how {
+                        shard.failures += 1;
+                        if shard.failures >= attempts_cap {
+                            writeln!(
+                                out,
+                                "shard {spec}: {how}; quarantined after {} attempts (see {})",
+                                shard.failures,
+                                worker_log_path(store_root, spec).display()
+                            )
+                            .map_err(io)?;
+                            shard.state = State::Quarantined;
+                        } else {
+                            let delay = backoff(shard.failures);
+                            writeln!(
+                                out,
+                                "shard {spec}: {how}; retrying in {} ms (attempt {} of \
+                                 {attempts_cap})",
+                                delay.as_millis(),
+                                shard.failures + 1
+                            )
+                            .map_err(io)?;
+                            shard.state = State::Pending {
+                                ready_at: Instant::now() + delay,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        if !open {
+            let quarantined: Vec<String> = shards
+                .iter()
+                .filter(|s| matches!(s.state, State::Quarantined))
+                .map(|s| s.spec.to_string())
+                .collect();
+            if quarantined.is_empty() {
+                break Ok(());
+            }
+            break Err(format!(
+                "swarm failed: shard(s) {} quarantined after {attempts_cap} attempts each",
+                quarantined.join(", ")
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    // Never leak children, whatever the outcome.
+    for shard in shards.iter_mut() {
+        if let State::Running { child, .. } = &mut shard.state {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        assert_eq!(backoff(1), Duration::from_millis(200));
+        assert_eq!(backoff(2), Duration::from_millis(400));
+        assert_eq!(backoff(3), Duration::from_millis(800));
+        assert_eq!(backoff(20), Duration::from_millis(3_000), "capped");
+    }
+
+    #[test]
+    fn heartbeat_poll_detects_beats_and_truncation() {
+        let dir = std::env::temp_dir().join(format!("dr-swarm-hb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.ndjson");
+        // Missing file: no beat, offset unchanged.
+        assert_eq!(poll_heartbeats(&path, 0), (0, false));
+        std::fs::write(&path, "{\"kind\":\"phase-start\"}\n").unwrap();
+        let (off, beat) = poll_heartbeats(&path, 0);
+        assert!(!beat, "non-heartbeat events are not liveness");
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"{\"kind\":\"heartbeat\",\"shard\":0}\n")
+            .unwrap();
+        drop(f);
+        let (off2, beat) = poll_heartbeats(&path, off);
+        assert!(beat, "fresh heartbeat detected");
+        assert!(off2 > off);
+        // Worker restart truncates the stream: the poll re-tails from 0.
+        std::fs::write(&path, "{\"kind\":\"heartbeat\"}\n").unwrap();
+        let (_, beat) = poll_heartbeats(&path, off2);
+        assert!(beat, "re-tailed after truncation");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the shard partitioner: over random decision
+//! spaces and every shard count 1..=5, the per-shard work lists must
+//! concatenate bit-for-bit to the unsharded exploration order, and no
+//! canonical traversal hash may be assigned to two shards.
+
+mod common;
+
+use common::arb_small_space;
+use cuda_mpi_design_rules::pipeline::{shard_work, ShardSpec, Strategy};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Exhaustive sharding slices `space.enumerate()` order: the shard
+    /// work lists concatenate to exactly the unsharded list, every
+    /// traversal lands in exactly one shard, and the partition is
+    /// deterministic across repeated calls.
+    #[test]
+    fn exhaustive_shards_partition_the_enumeration(
+        space in arb_small_space(4, 200),
+        count in 1usize..=5,
+    ) {
+        let strategy = Strategy::Exhaustive;
+        let unsharded: Vec<_> = space.enumerate().collect();
+        let mut concat = Vec::new();
+        let mut seen = HashSet::new();
+        for index in 0..count {
+            let spec = ShardSpec { index, count };
+            let work = shard_work(&space, strategy, spec)
+                .expect("exhaustive strategies always have a work list");
+            let again = shard_work(&space, strategy, spec).unwrap();
+            prop_assert_eq!(&work, &again, "shard {} not deterministic", spec);
+            for t in &work {
+                prop_assert!(
+                    seen.insert(t.canonical_hash()),
+                    "hash {:016x} assigned to two shards",
+                    t.canonical_hash()
+                );
+            }
+            concat.extend(work);
+        }
+        prop_assert_eq!(concat, unsharded);
+    }
+
+    /// Random sharding slices the replayed global-dedup sequence: shard
+    /// lists concatenate to the unsharded (1-shard) list, which itself
+    /// contains no duplicate hashes, and every hash lands in exactly one
+    /// shard.
+    #[test]
+    fn random_shards_partition_the_dedup_sequence(
+        space in arb_small_space(4, 200),
+        count in 1usize..=5,
+        seed in any::<u64>(),
+        iterations in 1usize..=32,
+    ) {
+        let strategy = Strategy::Random { iterations, seed };
+        let unsharded = shard_work(&space, strategy, ShardSpec { index: 0, count: 1 })
+            .expect("random strategies always have a work list");
+        let unique: HashSet<_> = unsharded.iter().map(|t| t.canonical_hash()).collect();
+        prop_assert_eq!(unique.len(), unsharded.len(), "unsharded list has duplicates");
+
+        let mut concat = Vec::new();
+        let mut seen = HashSet::new();
+        for index in 0..count {
+            let spec = ShardSpec { index, count };
+            let work = shard_work(&space, strategy, spec).unwrap();
+            for t in &work {
+                prop_assert!(
+                    seen.insert(t.canonical_hash()),
+                    "hash {:016x} assigned to two shards",
+                    t.canonical_hash()
+                );
+            }
+            concat.extend(work);
+        }
+        prop_assert_eq!(concat, unsharded);
+    }
+}
