@@ -165,6 +165,127 @@ pub fn load_bench(path: &Path) -> Result<(String, Vec<Value>), String> {
     Ok((kind, entries))
 }
 
+/// Whether `path` holds a merged fleet event stream (schema
+/// `dr-fleet/v1`, see `dr_fleet::FLEET_SCHEMA`) rather than a ledger or
+/// bench history. Sniffs the first kilobyte, so it is safe to call on
+/// arbitrary files.
+pub fn is_fleet_file(path: &Path) -> bool {
+    std::fs::read_to_string(path)
+        .map(|text| {
+            text.get(..text.len().min(1024))
+                .is_some_and(|head| head.contains(dr_fleet::FLEET_SCHEMA))
+        })
+        .unwrap_or(false)
+}
+
+/// Loads a merged `dr-fleet/v1` stream, returning the parsed merged
+/// lines in file order. Lines with other schemas are skipped, matching
+/// the ledger loader's forward-compatibility stance.
+pub fn load_fleet(path: &Path) -> Result<Vec<Value>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read fleet stream {}: {e}", path.display()))?;
+    let mut entries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = json::parse(line)
+            .map_err(|e| format!("{}:{}: invalid JSON: {e}", path.display(), lineno + 1))?;
+        if v.get("schema").and_then(|s| s.as_str()) == Some(dr_fleet::FLEET_SCHEMA) {
+            entries.push(v);
+        }
+    }
+    if entries.is_empty() {
+        return Err(format!(
+            "{}: no entries with schema {}",
+            path.display(),
+            dr_fleet::FLEET_SCHEMA
+        ));
+    }
+    Ok(entries)
+}
+
+/// Structural facts of one fleet stream that are stable across timing:
+/// worker set, per-worker completion records, and sequence integrity.
+fn fleet_shape(entries: &[Value]) -> (Vec<u64>, Vec<(u64, u64)>, bool) {
+    let mut workers: Vec<u64> = Vec::new();
+    let mut completions: Vec<(u64, u64)> = Vec::new();
+    let mut gapless = true;
+    for (i, e) in entries.iter().enumerate() {
+        if e.get("gseq").and_then(|g| g.as_u64()) != Some(i as u64) {
+            gapless = false;
+        }
+        let Some(w) = e.get("worker").and_then(|w| w.as_u64()) else {
+            continue;
+        };
+        if !workers.contains(&w) {
+            workers.push(w);
+        }
+        if e.path(&["event", "kind"]).and_then(|k| k.as_str()) == Some("shard-done") {
+            let records = e
+                .path(&["event", "records"])
+                .and_then(|r| r.as_u64())
+                .unwrap_or_default();
+            completions.push((w, records));
+        }
+    }
+    workers.sort_unstable();
+    completions.sort_unstable();
+    (workers, completions, gapless)
+}
+
+/// Compares two merged fleet streams structurally: both must be gapless
+/// globally-sequenced streams, cover the same worker set, and complete
+/// each shard with the same record count. Event totals (heartbeat
+/// cadence is timing-dependent) only ever produce notes.
+pub fn compare_fleet(a: &[Value], b: &[Value]) -> CompareReport {
+    let mut report = CompareReport {
+        identical_records: true,
+        ..CompareReport::default()
+    };
+    report.lines.push(format!(
+        "fleet: baseline {} merged events, candidate {}",
+        a.len(),
+        b.len()
+    ));
+    let (wa, ca, ga) = fleet_shape(a);
+    let (wb, cb, gb) = fleet_shape(b);
+    for (name, gapless) in [("baseline", ga), ("candidate", gb)] {
+        if !gapless {
+            report
+                .regressions
+                .push(format!("{name} stream is not gapless (gseq has holes)"));
+        }
+    }
+    if wa == wb {
+        report
+            .lines
+            .push(format!("workers: identical ({} workers)", wa.len()));
+    } else {
+        report
+            .regressions
+            .push(format!("worker sets differ: {wa:?} vs {wb:?}"));
+    }
+    if ca == cb {
+        report.lines.push(format!(
+            "completions: identical ({} shard-done records)",
+            ca.len()
+        ));
+    } else {
+        report.identical_records = false;
+        report
+            .regressions
+            .push(format!("shard completions differ: {ca:?} vs {cb:?}"));
+    }
+    if a.len() != b.len() {
+        report
+            .notes
+            .push("merged event totals differ (heartbeat cadence is timing-dependent)".to_string());
+    }
+    report
+}
+
 /// Flattens one benchmark entry into named scalar series points. For
 /// `pipeline` histories every leg contributes its total and per-phase
 /// seconds (`mcts/explore`, …); for `explore` histories every leg
@@ -702,6 +823,58 @@ mod tests {
         let r = compare_bench("pipeline", &a, &[line], &CompareOptions::default());
         assert!(!r.is_regression(), "{:?}", r.regressions);
         assert!(r.notes.iter().any(|n| n.contains("configurations differ")));
+    }
+
+    fn fleet_line(gseq: u64, worker: &str, kind: &str, records: u64) -> Value {
+        let line = format!(
+            concat!(
+                "{{\"schema\":\"dr-fleet/v1\",\"gseq\":{},\"worker\":{},\"seen_s\":0.5,",
+                "\"event\":{{\"schema\":\"dr-events/v1\",\"run\":\"r\",\"seq\":0,\"t_s\":0.1,",
+                "\"kind\":\"{}\",\"records\":{}}}}}"
+            ),
+            gseq, worker, kind, records
+        );
+        json::parse(&line).unwrap()
+    }
+
+    #[test]
+    fn fleet_streams_with_matching_shape_pass() {
+        let a = vec![
+            fleet_line(0, "null", "worker-spawn", 0),
+            fleet_line(1, "0", "heartbeat", 0),
+            fleet_line(2, "0", "shard-done", 9),
+        ];
+        let b = vec![
+            fleet_line(0, "0", "heartbeat", 0),
+            fleet_line(1, "0", "heartbeat", 0),
+            fleet_line(2, "0", "shard-done", 9),
+            fleet_line(3, "null", "swarm-done", 0),
+        ];
+        let r = compare_fleet(&a, &b);
+        assert!(!r.is_regression(), "{:?}", r.regressions);
+        assert!(r.notes.iter().any(|n| n.contains("totals differ")));
+    }
+
+    #[test]
+    fn fleet_gaps_and_divergent_completions_regress() {
+        let ok = vec![fleet_line(0, "0", "shard-done", 9)];
+        let gappy = vec![
+            fleet_line(0, "0", "heartbeat", 0),
+            fleet_line(5, "0", "shard-done", 9),
+        ];
+        let r = compare_fleet(&ok, &gappy);
+        assert!(
+            r.regressions.iter().any(|m| m.contains("not gapless")),
+            "{:?}",
+            r.regressions
+        );
+        let fewer = vec![fleet_line(0, "0", "shard-done", 4)];
+        let r = compare_fleet(&ok, &fewer);
+        assert!(r
+            .regressions
+            .iter()
+            .any(|m| m.contains("completions differ")));
+        assert!(!r.identical_records);
     }
 
     #[test]

@@ -37,6 +37,7 @@ mod multi_input;
 mod pipeline;
 mod report;
 mod resilient;
+mod runs;
 mod shard;
 mod storestage;
 mod synthesize;
@@ -45,8 +46,8 @@ mod watch;
 
 pub use certify::{certify_rulesets, Certification, RulesetCertificate};
 pub use compare::{
-    compare_bench, compare_ledgers, is_bench_file, load_bench, load_ledger, CompareOptions,
-    CompareReport, BENCH_SCHEMA,
+    compare_bench, compare_fleet, compare_ledgers, is_bench_file, is_fleet_file, load_bench,
+    load_fleet, load_ledger, CompareOptions, CompareReport, BENCH_SCHEMA,
 };
 pub use evaluate::{labeling_accuracy, AccuracyReport};
 pub use explore::{
@@ -73,8 +74,11 @@ pub use report::{
     LintSummary, MiningSummary, Provenance, ResilienceSummary, RunReport, SearchSummary,
 };
 pub use resilient::{
-    backoff_delay_ms, retry_seed, ResilienceTotals, ResilientEvaluator, DEFAULT_BACKOFF_BASE_MS,
-    DEFAULT_BACKOFF_CAP_MS, DEFAULT_MAX_RETRIES, WATCHDOG_MAX_STEPS,
+    backoff_delay_ms, retry_knobs_from_env, retry_seed, ResilienceTotals, ResilientEvaluator,
+    DEFAULT_BACKOFF_BASE_MS, DEFAULT_BACKOFF_CAP_MS, DEFAULT_MAX_RETRIES, WATCHDOG_MAX_STEPS,
+};
+pub use runs::{
+    diff_entries, find_entry, select, show_entry, summary_line, trend_lines, RunFilter,
 };
 pub use shard::{
     heartbeat_interval_ms, merge_shards, records_telemetry, run_shard, shard_manifest_path,

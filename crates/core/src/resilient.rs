@@ -81,6 +81,38 @@ pub fn backoff_delay_ms(base_ms: u64, cap_ms: u64, attempt: usize, eval_seed: u6
     half + splitmix(retry_seed(eval_seed, attempt)) % (exp - half + 1)
 }
 
+/// Retry knobs from the environment: `DR_RETRY_MAX` overrides the
+/// bounded retry budget (extra attempts after the first failure),
+/// `DR_RETRY_BACKOFF_MS` the backoff base, and
+/// `DR_RETRY_BACKOFF_CAP_MS` the ceiling (defaulting to the larger of
+/// the base and [`DEFAULT_BACKOFF_CAP_MS`], so raising the base alone
+/// still takes effect). Unset or unparseable variables fall back to the
+/// compiled defaults. Shard workers honor these, which gives chaos
+/// tests a wall-clock lever: injected drops plus a large retry budget
+/// and slow backoff turn one worker into a genuine straggler.
+pub fn retry_knobs_from_env() -> (usize, u64, u64) {
+    parse_retry_knobs(
+        std::env::var("DR_RETRY_MAX").ok(),
+        std::env::var("DR_RETRY_BACKOFF_MS").ok(),
+        std::env::var("DR_RETRY_BACKOFF_CAP_MS").ok(),
+    )
+}
+
+fn parse_retry_knobs(
+    max: Option<String>,
+    base: Option<String>,
+    cap: Option<String>,
+) -> (usize, u64, u64) {
+    let parse_u64 =
+        |v: Option<String>, dflt: u64| v.and_then(|s| s.trim().parse::<u64>().ok()).unwrap_or(dflt);
+    let max_retries = max
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(DEFAULT_MAX_RETRIES);
+    let base_ms = parse_u64(base, DEFAULT_BACKOFF_BASE_MS);
+    let cap_ms = parse_u64(cap, DEFAULT_BACKOFF_CAP_MS.max(base_ms));
+    (max_retries, base_ms, cap_ms)
+}
+
 /// Thread-safe resilience counters shared by every exploration worker.
 #[derive(Debug, Default)]
 pub struct ResilienceTotals {
@@ -417,5 +449,32 @@ mod tests {
         assert_eq!(s.evaluations as usize, 1 + DEFAULT_MAX_RETRIES);
         assert_eq!(s.retries as usize, DEFAULT_MAX_RETRIES);
         assert_eq!(s.budget_kills as usize, 1 + DEFAULT_MAX_RETRIES);
+    }
+    #[test]
+    fn retry_knobs_parse_with_defaults_and_cap_tracking() {
+        let some = |s: &str| Some(s.to_string());
+        assert_eq!(
+            parse_retry_knobs(None, None, None),
+            (
+                DEFAULT_MAX_RETRIES,
+                DEFAULT_BACKOFF_BASE_MS,
+                DEFAULT_BACKOFF_CAP_MS
+            )
+        );
+        assert_eq!(
+            parse_retry_knobs(some("10"), some("50"), some("200")),
+            (10, 50, 200)
+        );
+        // Raising the base alone lifts the default cap with it.
+        assert_eq!(parse_retry_knobs(None, some("100"), None).2, 100);
+        // Garbage falls back to defaults instead of failing the run.
+        assert_eq!(
+            parse_retry_knobs(some("lots"), some(""), None),
+            (
+                DEFAULT_MAX_RETRIES,
+                DEFAULT_BACKOFF_BASE_MS,
+                DEFAULT_BACKOFF_CAP_MS
+            )
+        );
     }
 }

@@ -431,14 +431,15 @@ pub fn run_shard<W: Workload + Sync>(
     let totals = Arc::new(ResilienceTotals::default());
     let resilient = faults.is_active();
     let inner = if resilient {
-        ShardEval::Resilient(ResilientEvaluator::new(
-            space,
-            workload,
-            platform,
-            cfg.bench,
-            faults,
-            totals.clone(),
-        ))
+        // DR_RETRY_* knobs let a coordinator (or a chaos test) stretch
+        // one worker's retry schedule without recompiling.
+        let (max_retries, backoff_base_ms, backoff_cap_ms) =
+            crate::resilient::retry_knobs_from_env();
+        ShardEval::Resilient(
+            ResilientEvaluator::new(space, workload, platform, cfg.bench, faults, totals.clone())
+                .with_max_retries(max_retries)
+                .with_backoff(backoff_base_ms, backoff_cap_ms),
+        )
     } else {
         ShardEval::Plain(SimEvaluator::new(space, workload, platform, cfg.bench))
     };

@@ -1,0 +1,47 @@
+//! `dr-fleet` — cross-process telemetry aggregation for the swarm.
+//!
+//! A swarm run produces N+1 `dr-events/v1` NDJSON streams: one per
+//! shard worker plus the coordinator's own events. This crate merges
+//! them into a single causally-useful view:
+//!
+//! * [`tail::StreamTailer`] — offset-based, truncation-aware file
+//!   tailing that only ever consumes complete lines (a partial line
+//!   left by a mid-write poll is re-read on the next poll);
+//! * [`aggregate::Aggregator`] — merges every stream into one gapless
+//!   globally-sequenced `dr-fleet/v1` NDJSON stream (each merged line
+//!   embeds the original event object verbatim), validates worker
+//!   lines against the expected run id and shard identity, and tracks
+//!   per-worker lag;
+//! * [`anomaly::AnomalyDetector`] — online straggler / rate-collapse /
+//!   silent-worker detection over heartbeat inter-arrival times and
+//!   per-worker eval rates, using the same median/MAD statistics as
+//!   the `compare` gate;
+//! * [`progress::FleetProgress`] — a fleet-wide progress rollup whose
+//!   status line is invariant under reordering of worker streams;
+//! * [`timeline::swarm_chrome_json`] — a merged Perfetto export: one
+//!   pid per worker, flow arrows from shard issue to shard completion,
+//!   built on `dr_trace::merge_chrome_json`.
+//!
+//! Aggregation is **inert by construction**: the aggregator runs in the
+//! coordinator process only and is a pure reader of the worker files —
+//! workers never know whether anyone is tailing them, so a swarm run
+//! with aggregation enabled commits bit-identical records to a silent
+//! one.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aggregate;
+pub mod anomaly;
+pub mod progress;
+pub mod tail;
+pub mod timeline;
+
+pub use aggregate::{Aggregator, CoordinatorQueue, FleetStats, MergedEvent, WorkerLag};
+pub use anomaly::{Anomaly, AnomalyConfig, AnomalyDetector, AnomalyKind};
+pub use progress::FleetProgress;
+pub use tail::StreamTailer;
+pub use timeline::{swarm_chrome_json, FLEET_COORDINATOR_PID};
+
+/// Schema tag written into every merged fleet stream line.
+pub const FLEET_SCHEMA: &str = "dr-fleet/v1";

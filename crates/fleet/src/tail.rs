@@ -1,0 +1,172 @@
+//! Offset-based, truncation-aware NDJSON file tailing.
+//!
+//! The swarm coordinator polls each worker's event file with the same
+//! idiom its heartbeat scanner used — remember a byte offset, read
+//! whatever grew past it, restart from zero when the file shrank (a
+//! worker restart truncates its stream via `File::create`) — but with
+//! one crucial refinement for lossless aggregation: **only complete
+//! lines are consumed**. A poll that lands mid-write leaves the partial
+//! trailing line unread (the offset stays at the last newline), so the
+//! next poll re-reads it once the writer finishes the line. No line is
+//! ever split, duplicated, or dropped.
+
+use std::io::{Read, Seek};
+use std::path::{Path, PathBuf};
+
+/// The outcome of one [`StreamTailer::poll`].
+#[derive(Debug, Default)]
+pub struct TailPoll {
+    /// Complete lines consumed by this poll, in file order, without
+    /// trailing newlines.
+    pub lines: Vec<String>,
+    /// Bytes present in the file but not yet consumed (a partial
+    /// trailing line): the tailer's instantaneous lag behind the
+    /// writer.
+    pub pending_bytes: u64,
+    /// Whether this poll detected a truncation (file shrank below the
+    /// consumed offset) and re-tailed from the start.
+    pub truncated: bool,
+}
+
+/// Tails one NDJSON file by byte offset, consuming only complete lines.
+#[derive(Debug)]
+pub struct StreamTailer {
+    path: PathBuf,
+    offset: u64,
+}
+
+impl StreamTailer {
+    /// A tailer positioned at the start of `path` (which need not exist
+    /// yet — polls before creation return nothing).
+    pub fn new(path: &Path) -> Self {
+        StreamTailer {
+            path: path.to_path_buf(),
+            offset: 0,
+        }
+    }
+
+    /// The path being tailed.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The byte offset after the last consumed newline.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Forgets all progress and re-tails from byte zero (used when the
+    /// coordinator re-issues a shard and pre-truncates its stream).
+    pub fn reset(&mut self) {
+        self.offset = 0;
+    }
+
+    /// Reads every complete line that appeared past the consumed
+    /// offset. I/O errors are treated as "nothing new" — the file may
+    /// be mid-create — and a shrunken file restarts the tail at zero.
+    pub fn poll(&mut self) -> TailPoll {
+        let mut out = TailPoll::default();
+        let Ok(mut f) = std::fs::File::open(&self.path) else {
+            return out;
+        };
+        let len = f.metadata().map(|m| m.len()).unwrap_or(0);
+        if len < self.offset {
+            self.offset = 0;
+            out.truncated = true;
+        }
+        if len == self.offset {
+            return out;
+        }
+        if f.seek(std::io::SeekFrom::Start(self.offset)).is_err() {
+            return out;
+        }
+        let mut buf = Vec::with_capacity((len - self.offset) as usize);
+        if f.read_to_end(&mut buf).is_err() {
+            return out;
+        }
+        // Consume only up to (and including) the last newline; the
+        // remainder is a line still being written.
+        let consumed = match buf.iter().rposition(|&b| b == b'\n') {
+            Some(i) => i + 1,
+            None => {
+                out.pending_bytes = buf.len() as u64;
+                return out;
+            }
+        };
+        self.offset += consumed as u64;
+        out.pending_bytes = (buf.len() - consumed) as u64;
+        out.lines = String::from_utf8_lossy(&buf[..consumed])
+            .lines()
+            .map(str::to_string)
+            .collect();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dr-fleet-tail-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn consumes_only_complete_lines() {
+        let dir = scratch("partial");
+        let path = dir.join("events.ndjson");
+        let mut t = StreamTailer::new(&path);
+        assert!(t.poll().lines.is_empty(), "missing file yields nothing");
+
+        std::fs::write(&path, "alpha\nbeta\ngam").unwrap();
+        let p = t.poll();
+        assert_eq!(p.lines, vec!["alpha", "beta"]);
+        assert_eq!(p.pending_bytes, 3, "the partial line stays unread");
+
+        // Finishing the line makes it visible — exactly once.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"ma\n").unwrap();
+        drop(f);
+        let p = t.poll();
+        assert_eq!(p.lines, vec!["gamma"]);
+        assert_eq!(p.pending_bytes, 0);
+        assert!(t.poll().lines.is_empty(), "no re-reads");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_restarts_the_tail() {
+        let dir = scratch("trunc");
+        let path = dir.join("events.ndjson");
+        std::fs::write(&path, "one\ntwo\n").unwrap();
+        let mut t = StreamTailer::new(&path);
+        assert_eq!(t.poll().lines.len(), 2);
+
+        // A worker restart truncates the file to a shorter stream.
+        std::fs::write(&path, "fresh\n").unwrap();
+        let p = t.poll();
+        assert!(p.truncated);
+        assert_eq!(p.lines, vec!["fresh"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reset_forgets_progress() {
+        let dir = scratch("reset");
+        let path = dir.join("events.ndjson");
+        std::fs::write(&path, "a\nb\n").unwrap();
+        let mut t = StreamTailer::new(&path);
+        assert_eq!(t.poll().lines.len(), 2);
+        t.reset();
+        assert_eq!(t.offset(), 0);
+        assert_eq!(t.poll().lines, vec!["a", "b"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

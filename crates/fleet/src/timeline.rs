@@ -1,0 +1,308 @@
+//! Merged swarm Perfetto export: one process per worker, flow arrows
+//! from shard issue to shard completion.
+//!
+//! Each source stream carries its own monotonic clock (`t_s` is seconds
+//! since *that* sink started, and workers start at spawn time, not at
+//! swarm start). The merged stream's `seen_s` stamps give a shared
+//! coordinator clock, so each worker attempt is rebased onto it with a
+//! per-attempt offset — the first event's `seen_s − t_s` — which places
+//! every stream on one timeline while preserving the worker's own
+//! high-resolution spacing between events.
+//!
+//! The export builds one trace-event fragment per process and splices
+//! them with [`dr_trace::merge_chrome_json`], the same path the
+//! pipeline uses to join its own spans with simulated-program
+//! timelines.
+
+use crate::aggregate::MergedEvent;
+use dr_obs::json;
+
+/// Process id for the swarm coordinator's event lane, far above both
+/// simulated MPI ranks (`pid = rank`) and the pipeline's own spans
+/// (`dr_trace::PIPELINE_PID`). Worker `i` exports as
+/// `FLEET_COORDINATOR_PID + 1 + i`.
+pub const FLEET_COORDINATOR_PID: u64 = 3_000_000;
+
+fn ts_us(seconds: f64) -> String {
+    json::number(seconds * 1e6)
+}
+
+fn meta(pid: u64, tid: u64, which: &str, name: &str) -> String {
+    format!(
+        "{{\"name\": \"{which}\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \
+         \"args\": {{\"name\": \"{}\"}}}}",
+        json::escape(name)
+    )
+}
+
+/// One worker attempt, rebased onto the coordinator clock.
+struct Attempt<'a> {
+    offset_s: f64,
+    events: Vec<&'a MergedEvent>,
+}
+
+impl Attempt<'_> {
+    fn place(&self, ev: &MergedEvent) -> f64 {
+        self.offset_s + ev.t_s
+    }
+}
+
+/// Splits a worker's merged events into attempts: a re-issued worker
+/// restarts its sink, so its stream-local `seq` falls back to zero.
+fn attempts_of<'a>(events: &[&'a MergedEvent]) -> Vec<Attempt<'a>> {
+    let mut out: Vec<Attempt<'a>> = Vec::new();
+    let mut last_seq: Option<u64> = None;
+    for ev in events {
+        let restart = matches!(last_seq, Some(prev) if ev.seq <= prev);
+        if restart || out.is_empty() {
+            out.push(Attempt {
+                offset_s: ev.seen_s - ev.t_s,
+                events: Vec::new(),
+            });
+        }
+        last_seq = Some(ev.seq);
+        out.last_mut().expect("attempt pushed").events.push(ev);
+    }
+    out
+}
+
+fn coordinator_fragment(events: &[&MergedEvent]) -> String {
+    let pid = FLEET_COORDINATOR_PID;
+    let mut recs = vec![
+        meta(pid, 0, "process_name", "swarm coordinator"),
+        meta(pid, 0, "thread_name", "events"),
+    ];
+    for ev in events {
+        let args = match ev.field_u64("shard") {
+            Some(s) => format!("{{\"shard\": \"{s}\"}}"),
+            None => "{}".to_string(),
+        };
+        recs.push(format!(
+            "{{\"name\": \"{}\", \"cat\": \"fleet\", \"ph\": \"i\", \"s\": \"p\", \
+             \"pid\": {pid}, \"tid\": 0, \"ts\": {}, \"args\": {args}}}",
+            json::escape(&ev.kind),
+            ts_us(ev.seen_s),
+        ));
+    }
+    format!("[{}]", recs.join(",\n "))
+}
+
+fn worker_fragment(index: usize, count: usize, events: &[&MergedEvent]) -> String {
+    let pid = FLEET_COORDINATOR_PID + 1 + index as u64;
+    let mut recs = vec![
+        meta(pid, 0, "process_name", &format!("shard {index}/{count}")),
+        meta(pid, 0, "thread_name", "shard"),
+        meta(pid, 1, "thread_name", "beats"),
+    ];
+    for (k, attempt) in attempts_of(events).iter().enumerate() {
+        let (Some(first), Some(last)) = (attempt.events.first(), attempt.events.last()) else {
+            continue;
+        };
+        let start = attempt.place(first);
+        let end = attempt.place(last).max(start);
+        let records = attempt
+            .events
+            .iter()
+            .rev()
+            .find(|e| e.kind == "shard-done")
+            .and_then(|e| e.field_u64("records"));
+        let mut args = format!("\"attempt\": \"{}\"", k + 1);
+        if let Some(r) = records {
+            args.push_str(&format!(", \"records\": \"{r}\""));
+        }
+        recs.push(format!(
+            "{{\"name\": \"shard {index} attempt {}\", \"cat\": \"fleet\", \"ph\": \"X\", \
+             \"pid\": {pid}, \"tid\": 0, \"ts\": {}, \"dur\": {}, \"args\": {{{args}}}}}",
+            k + 1,
+            ts_us(start),
+            ts_us(end - start),
+        ));
+        for ev in &attempt.events {
+            if ev.kind != "heartbeat" {
+                continue;
+            }
+            let done = ev.field_u64("done").unwrap_or(0);
+            let total = ev.field_u64("total").unwrap_or(0);
+            recs.push(format!(
+                "{{\"name\": \"beat\", \"cat\": \"fleet\", \"ph\": \"i\", \"s\": \"t\", \
+                 \"pid\": {pid}, \"tid\": 1, \"ts\": {}, \
+                 \"args\": {{\"done\": \"{done}\", \"total\": \"{total}\"}}}}",
+                ts_us(attempt.place(ev)),
+            ));
+            recs.push(format!(
+                "{{\"name\": \"evals done\", \"ph\": \"C\", \"pid\": {pid}, \"tid\": 0, \
+                 \"ts\": {}, \"args\": {{\"done\": {done}}}}}",
+                ts_us(attempt.place(ev)),
+            ));
+        }
+    }
+    format!("[{}]", recs.join(",\n "))
+}
+
+/// Flow arrows: each completed shard gets an arrow from the
+/// coordinator's issuing `worker-spawn` event to the worker's
+/// `shard-done`, both placed on the shared coordinator clock.
+fn flow_fragment(events: &[MergedEvent]) -> String {
+    let mut recs: Vec<String> = Vec::new();
+    let mut flow_id = 0u64;
+    for done in events.iter().filter(|e| e.kind == "shard-done") {
+        let Some(worker) = done.worker else { continue };
+        // The latest issue of this shard at or before its completion.
+        let spawn = events.iter().rfind(|e| {
+            e.worker.is_none()
+                && e.kind == "worker-spawn"
+                && e.field_u64("shard") == Some(worker as u64)
+                && e.seen_s <= done.seen_s
+        });
+        let Some(spawn) = spawn else { continue };
+        let worker_events: Vec<&MergedEvent> =
+            events.iter().filter(|e| e.worker == Some(worker)).collect();
+        let landed = attempts_of(&worker_events)
+            .iter()
+            .find_map(|a| {
+                a.events
+                    .iter()
+                    .any(|e| std::ptr::eq::<MergedEvent>(*e, done))
+                    .then(|| a.place(done))
+            })
+            .unwrap_or(done.seen_s);
+        let pid = FLEET_COORDINATOR_PID + 1 + worker as u64;
+        recs.push(format!(
+            "{{\"name\": \"issue\", \"cat\": \"fleet-flow\", \"ph\": \"s\", \"id\": {flow_id}, \
+             \"pid\": {FLEET_COORDINATOR_PID}, \"tid\": 0, \"ts\": {}}}",
+            ts_us(spawn.seen_s),
+        ));
+        recs.push(format!(
+            "{{\"name\": \"issue\", \"cat\": \"fleet-flow\", \"ph\": \"f\", \"bp\": \"e\", \
+             \"id\": {flow_id}, \"pid\": {pid}, \"tid\": 0, \"ts\": {}}}",
+            ts_us(landed),
+        ));
+        flow_id += 1;
+    }
+    format!("[{}]", recs.join(",\n "))
+}
+
+/// Renders the merged fleet stream as one Chrome trace-event JSON
+/// array: an instant lane for the coordinator, one process per worker
+/// (spans per attempt, heartbeat instants, an eval counter), and flow
+/// arrows from each shard's issue to its completion.
+pub fn swarm_chrome_json(events: &[MergedEvent], workers: usize) -> String {
+    let coord: Vec<&MergedEvent> = events.iter().filter(|e| e.worker.is_none()).collect();
+    let mut fragments = vec![coordinator_fragment(&coord)];
+    for i in 0..workers {
+        let mine: Vec<&MergedEvent> = events.iter().filter(|e| e.worker == Some(i)).collect();
+        fragments.push(worker_fragment(i, workers, &mine));
+    }
+    fragments.push(flow_fragment(events));
+    let refs: Vec<&str> = fragments.iter().map(String::as_str).collect();
+    dr_trace::merge_chrome_json(&refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        worker: Option<usize>,
+        seq: u64,
+        seen_s: f64,
+        t_s: f64,
+        kind: &str,
+        fields: &[(&str, u64)],
+    ) -> MergedEvent {
+        let mut raw = format!(
+            "{{\"schema\":\"dr-events/v1\",\"run\":\"r\",\"seq\":{seq},\"t_s\":{t_s},\
+             \"kind\":\"{kind}\""
+        );
+        for (k, v) in fields {
+            raw.push_str(&format!(",\"{k}\":{v}"));
+        }
+        raw.push('}');
+        MergedEvent {
+            gseq: 0,
+            worker,
+            seen_s,
+            run: "r".into(),
+            seq,
+            t_s,
+            kind: kind.into(),
+            value: json::parse(&raw).unwrap(),
+            raw,
+        }
+    }
+
+    fn sample() -> Vec<MergedEvent> {
+        vec![
+            ev(None, 0, 0.1, 0.1, "worker-spawn", &[("shard", 0)]),
+            // Worker clock starts near zero at spawn: t_s ≪ seen_s.
+            ev(
+                Some(0),
+                0,
+                0.35,
+                0.2,
+                "heartbeat",
+                &[("shard", 0), ("of", 1), ("done", 5), ("total", 10)],
+            ),
+            ev(
+                Some(0),
+                1,
+                0.55,
+                0.4,
+                "heartbeat",
+                &[("shard", 0), ("of", 1), ("done", 10), ("total", 10)],
+            ),
+            ev(
+                Some(0),
+                2,
+                0.6,
+                0.45,
+                "shard-done",
+                &[("shard", 0), ("of", 1), ("records", 10)],
+            ),
+            ev(None, 1, 0.7, 0.7, "swarm-done", &[]),
+        ]
+    }
+
+    #[test]
+    fn export_is_valid_json_with_flows_and_processes() {
+        let out = swarm_chrome_json(&sample(), 1);
+        json::validate(&out).expect("valid chrome json");
+        assert!(out.contains("\"swarm coordinator\""), "{out}");
+        assert!(out.contains("\"shard 0/1\""), "{out}");
+        assert!(out.contains("\"ph\": \"X\""), "{out}");
+        assert!(out.contains("\"ph\": \"s\""), "{out}");
+        assert!(out.contains("\"ph\": \"f\""), "{out}");
+        assert!(out.contains("\"ph\": \"C\""), "{out}");
+        assert!(out.contains(&format!("\"pid\": {FLEET_COORDINATOR_PID}")));
+        assert!(out.contains(&format!("\"pid\": {}", FLEET_COORDINATOR_PID + 1)));
+    }
+
+    #[test]
+    fn worker_events_are_rebased_onto_the_coordinator_clock() {
+        let out = swarm_chrome_json(&sample(), 1);
+        // First worker event: offset = 0.35 − 0.2 = 0.15, so the span
+        // starts at 0.35s = 350000µs on the shared clock, not at the
+        // worker-local 200000µs.
+        assert!(out.contains("\"ts\": 350000"), "{out}");
+        assert!(!out.contains("\"ts\": 200000"), "{out}");
+    }
+
+    #[test]
+    fn respawn_splits_attempts() {
+        let mut events = sample();
+        // A re-issued worker restarts seq at 0 with a fresh clock.
+        events.push(ev(None, 2, 1.0, 1.0, "worker-spawn", &[("shard", 0)]));
+        events.push(ev(
+            Some(0),
+            0,
+            1.2,
+            0.05,
+            "heartbeat",
+            &[("shard", 0), ("of", 1), ("done", 2), ("total", 10)],
+        ));
+        let out = swarm_chrome_json(&events, 1);
+        json::validate(&out).expect("valid chrome json");
+        assert!(out.contains("shard 0 attempt 1"), "{out}");
+        assert!(out.contains("shard 0 attempt 2"), "{out}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Property: the fleet `--progress` rollup is invariant under stream
+//! interleaving. Workers write their event files concurrently, so the
+//! coordinator can drain them in any order that preserves each stream's
+//! own sequence — folding any such interleaving must yield exactly the
+//! final status line the sorted merge yields.
+
+use dr_fleet::{FleetProgress, MergedEvent};
+use dr_obs::json;
+use proptest::prelude::*;
+
+fn event(worker: Option<usize>, seen_s: f64, kind: &str, fields: &[(&str, u64)]) -> MergedEvent {
+    let mut raw = format!(
+        "{{\"schema\":\"dr-events/v1\",\"run\":\"r\",\"seq\":0,\"t_s\":{},\"kind\":\"{kind}\"",
+        json::number(seen_s)
+    );
+    for (k, v) in fields {
+        raw.push_str(&format!(",\"{k}\":{v}"));
+    }
+    raw.push('}');
+    MergedEvent {
+        gseq: 0,
+        worker,
+        seen_s,
+        run: "r".into(),
+        seq: 0,
+        t_s: seen_s,
+        kind: kind.into(),
+        value: json::parse(&raw).unwrap(),
+        raw,
+    }
+}
+
+/// Builds each worker's time-ordered stream from raw (tick, done)
+/// pairs: heartbeats with a shared total, the last event promoted to a
+/// `shard-done`, plus one coordinator stream carrying an anomaly and a
+/// quarantine notice.
+fn build_streams(raw: &[Vec<(u64, u64)>]) -> Vec<Vec<MergedEvent>> {
+    let workers = raw.len();
+    let mut streams: Vec<Vec<MergedEvent>> = Vec::with_capacity(workers + 1);
+    for (i, ticks) in raw.iter().enumerate() {
+        let mut ticks = ticks.clone();
+        ticks.sort_unstable();
+        let last = ticks.len() - 1;
+        let stream = ticks
+            .iter()
+            .enumerate()
+            .map(|(n, &(tick, done))| {
+                let seen_s = tick as f64 / 100.0;
+                if n == last && i % 2 == 0 {
+                    event(
+                        Some(i),
+                        seen_s,
+                        "shard-done",
+                        &[
+                            ("shard", i as u64),
+                            ("of", workers as u64),
+                            ("records", done),
+                            ("store_hits", done / 2),
+                        ],
+                    )
+                } else {
+                    event(
+                        Some(i),
+                        seen_s,
+                        "heartbeat",
+                        &[
+                            ("shard", i as u64),
+                            ("of", workers as u64),
+                            ("done", done),
+                            ("total", 50),
+                        ],
+                    )
+                }
+            })
+            .collect();
+        streams.push(stream);
+    }
+    streams.push(vec![
+        event(None, 3.0, "anomaly", &[("worker", 0)]),
+        event(None, 4.0, "shard-quarantined", &[("shard", 0)]),
+    ]);
+    streams
+}
+
+/// Interleaves the streams in pick-driven order, preserving each
+/// stream's internal sequence.
+fn interleave(streams: &[Vec<MergedEvent>], picks: &[u64]) -> Vec<MergedEvent> {
+    let mut cursors = vec![0usize; streams.len()];
+    let mut out = Vec::new();
+    let mut pick_at = 0usize;
+    loop {
+        let live: Vec<usize> = (0..streams.len())
+            .filter(|&i| cursors[i] < streams[i].len())
+            .collect();
+        if live.is_empty() {
+            return out;
+        }
+        let pick = picks.get(pick_at).copied().unwrap_or(0) as usize % live.len();
+        pick_at += 1;
+        let src = live[pick];
+        out.push(streams[src][cursors[src]].clone());
+        cursors[src] += 1;
+    }
+}
+
+fn fold(workers: usize, events: &[MergedEvent]) -> String {
+    let mut p = FleetProgress::with_tty(workers, false);
+    for ev in events {
+        p.observe(ev);
+    }
+    p.snapshot_line()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shuffled_interleavings_fold_to_the_sorted_merge_line(
+        raw in proptest::collection::vec(
+            proptest::collection::vec((0u64..1000, 0u64..=50), 1..8),
+            1..5,
+        ),
+        picks in proptest::collection::vec(any::<u64>(), 64),
+    ) {
+        let workers = raw.len();
+        let streams = build_streams(&raw);
+
+        // Baseline: the fully sorted merge (global arrival order).
+        let mut sorted: Vec<MergedEvent> =
+            streams.iter().flatten().cloned().collect();
+        sorted.sort_by(|a, b| a.seen_s.total_cmp(&b.seen_s));
+        let expect = fold(workers, &sorted);
+
+        // Any order-preserving interleaving folds to the same line.
+        let shuffled = interleave(&streams, &picks);
+        prop_assert_eq!(shuffled.len(), sorted.len());
+        let got = fold(workers, &shuffled);
+        prop_assert_eq!(&got, &expect, "interleaving changed the rollup");
+    }
+}

@@ -5,8 +5,10 @@
 //! histograms with percentile queries), [`timer`] (stopwatches and
 //! named phase timers), [`json`] (hand-rolled JSON formatting plus
 //! a syntax validator used by tests that assert artifacts are
-//! well-formed), and [`events`] (the `dr-events/v1` structured NDJSON
-//! event stream behind `--progress`/`--events`).
+//! well-formed), [`events`] (the `dr-events/v1` structured NDJSON
+//! event stream behind `--progress`/`--events`), and [`expose`]
+//! (Prometheus-style text exposition of metric snapshots, the
+//! `--metrics-text` surface).
 //!
 //! The metrics primitives are single-threaded by design, matching the
 //! simulator and the search loop: plain structs mutated through
@@ -19,11 +21,13 @@
 #![forbid(unsafe_code)]
 
 pub mod events;
+pub mod expose;
 pub mod json;
 pub mod metrics;
 pub mod timer;
 
 pub use events::{Event, EventObserver, EventSink, Field, SharedBuf, EVENTS_SCHEMA};
+pub use expose::TextExposition;
 pub use metrics::{Counter, Gauge, Histogram};
 pub use timer::{Phases, Stopwatch};
 

@@ -5,16 +5,18 @@
 use crate::dag::{build_schedule, DecisionSpace, Placement, Traversal};
 use crate::mcts::{Evaluator, Mcts, MctsConfig, SharedMcts, SimEvaluator, TreeSnapshot};
 use crate::ml::{render_ruleset, rulesets_for_class, RuleSet};
+use crate::obs::TextExposition;
 use crate::obs::{json, EventSink, Phases};
 use crate::par::{resolve_threads, CacheStats};
 use crate::pipeline::{
-    append_entry, apply_fault_plan, certify_rulesets, compare_bench, compare_ledgers,
-    is_bench_file, ledger_dir_from_env, ledger_entry_json, lint_space_watched, load_bench,
-    load_ledger, merge_shards, mine_rules, mine_rules_timed, records_telemetry, run_pipeline,
-    run_pipeline_instrumented, run_pipeline_stored, run_shard, satisfies, synthesize,
-    topology_from_workload, Certification, CompareOptions, InstrumentedRun, LedgerContext,
-    PipelineConfig, Provenance, ResilienceSummary, RunReport, SearchBackend, SearchSummary,
-    ShardSpec, Strategy,
+    append_entry, apply_fault_plan, certify_rulesets, compare_bench, compare_fleet,
+    compare_ledgers, diff_entries, find_entry, is_bench_file, is_fleet_file, ledger_dir_from_env,
+    ledger_entry_json, lint_space_watched, load_bench, load_fleet, load_ledger, merge_shards,
+    mine_rules, mine_rules_timed, records_telemetry, run_pipeline, run_pipeline_instrumented,
+    run_pipeline_stored, run_shard, satisfies, select, show_entry, summary_line, synthesize,
+    topology_from_workload, trend_lines, Certification, CompareOptions, InstrumentedRun,
+    LedgerContext, PipelineConfig, Provenance, ResilienceSummary, RunFilter, RunReport,
+    SearchBackend, SearchSummary, ShardSpec, Strategy,
 };
 use crate::progress::ProgressRenderer;
 use crate::sim::{
@@ -97,6 +99,21 @@ pub enum Command {
     /// workers, re-issue dead shards with capped backoff, resume
     /// interrupted shards from the store, and merge at the end.
     Swarm,
+    /// Query the run ledger: list/filter entries, show one run in
+    /// detail, or diff two runs with the `compare` gate.
+    Runs,
+}
+
+/// `runs` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunsCommand {
+    /// Summarize matching ledger entries plus cross-run trends.
+    List,
+    /// Show one entry (by index or run-id prefix) in detail.
+    Show(String),
+    /// Diff two entries through the `compare` statistics; exits
+    /// nonzero exactly when `compare` would regress on the same pair.
+    Diff(String, String),
 }
 
 /// Parsed command line.
@@ -154,16 +171,28 @@ pub struct CliOptions {
     pub workers: usize,
     /// `merge`: the shard-set directory (the workers' `--store`).
     pub merge_dir: Option<String>,
+    /// `swarm`: write the merged `dr-fleet/v1` NDJSON stream here.
+    pub fleet_events: Option<String>,
+    /// Write a Prometheus-style text metrics snapshot at run end.
+    pub metrics_text: Option<String>,
+    /// `runs`: the parsed subcommand.
+    pub runs_cmd: Option<RunsCommand>,
+    /// `runs list`: keep only entries whose git describe contains this.
+    pub git_filter: Option<String>,
+    /// `runs list`: keep only entries with this exact seed (set by an
+    /// explicit `--seed`).
+    pub seed_filter: Option<u64>,
 }
 
 /// Usage text printed on parse errors.
 pub const USAGE: &str = "usage: dr-rules <scenario> <command> [options]
        dr-rules <scenario> compare <a> <b> [options]
        dr-rules <scenario> merge <dir> [options]
+       dr-rules <scenario> runs list|show <run>|diff <a> <b> [options]
   scenarios: spmv | spmv-paper | spmv-fine | halo
   commands:  info | explore | rules | synthesize | timeline | lint |
              chaos | compare | explain | bench | verify-rules |
-             merge | swarm
+             merge | swarm | runs
              (omitting the command runs explore)
   options:   --iterations N (default 300)
              --seed N       (default 0)
@@ -205,8 +234,16 @@ pub const USAGE: &str = "usage: dr-rules <scenario> <command> [options]
                              DIR/shard-i-of-N.manifest.json on success)
              --workers K    (swarm: shard worker processes = shard
                              count; default 3)
-  compare accepts either two run-ledger paths or two BENCH_*.json
-  benchmark histories (auto-detected; last entry of B vs history of A).
+             --fleet-events PATH (swarm: write the merged dr-fleet/v1
+                             NDJSON stream — every worker event plus the
+                             coordinator's own, globally sequenced)
+             --metrics-text PATH (write a Prometheus text-format metrics
+                             snapshot at run end; explore and swarm)
+             --git SUBSTR   (runs list: keep entries whose git describe
+                             contains SUBSTR)
+  compare accepts two run-ledger paths, two BENCH_*.json benchmark
+  histories, or two dr-fleet/v1 merged streams (auto-detected; mixing
+  kinds is an error; last entry of B vs history of A for ledgers).
   explain always searches with MCTS (it explains the MCTS tree) and
   honors --iterations/--seed; --report writes dr-explain/v1 JSON.
   explain renders the shared arena when DR_SEARCH=shared (or auto
@@ -222,11 +259,25 @@ pub const USAGE: &str = "usage: dr-rules <scenario> <command> [options]
   gate the merged fingerprint against a single-process baseline; pass
   the same --iterations/--seed/--random the shards ran with.
   swarm spawns --workers shard processes of this same binary over
-  --store, declares a worker dead when its event stream stops carrying
-  heartbeats (DR_SWARM_STALL_MS, default 10000) and SIGKILLs it,
+  --store, merges every worker's event stream plus its own into one
+  globally-sequenced dr-fleet/v1 stream (--fleet-events), runs online
+  anomaly detection (straggler / rate-collapse / silent-worker) over
+  heartbeat gaps and eval rates, declares a worker dead when its
+  validated stream stops carrying heartbeats (DR_SWARM_STALL_MS,
+  default 10000) and SIGKILLs it citing the detected anomaly,
   re-issues dead shards with capped exponential backoff, quarantines a
   shard after repeated failures (DR_SWARM_MAX_ATTEMPTS, default 3),
-  resumes interrupted shards from the store, then merges.
+  resumes interrupted shards from the store, then merges; --trace
+  writes the merged swarm timeline (one process per worker, flow
+  arrows from shard issue to completion) and --progress renders a
+  fleet-wide rollup.
+  runs queries the ledger named by --ledger (or DR_LEDGER): `runs
+  list` summarizes entries for the scenario (filter with --seed and
+  --git) plus cross-run phase/cache/resilience trends, `runs show
+  <run>` prints one entry by index or run-id prefix, and `runs diff
+  <a> <b>` gates entry b against entry a exactly like compare
+  (--threshold/--abs-floor-ms/--noise-k apply; nonzero exit on
+  regression).
   verify-rules mines rulesets at --iterations/--seed, then statically
   certifies each one: the incremental space linter walks exactly the
   schedules satisfying the ruleset (capped by --max-schedules; 0 =
@@ -264,6 +315,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
             Some("verify-rules") => Command::VerifyRules,
             Some("merge") => Command::Merge,
             Some("swarm") => Command::Swarm,
+            Some("runs") => Command::Runs,
             Some(other) => return Err(format!("unknown command {other:?}\n{USAGE}")),
             None => return Err(format!("missing command\n{USAGE}")),
         },
@@ -291,7 +343,36 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         shard: None,
         workers: 3,
         merge_dir: None,
+        fleet_events: None,
+        metrics_text: None,
+        runs_cmd: None,
+        git_filter: None,
+        seed_filter: None,
     };
+    if command == Command::Runs {
+        let sub = it.next().ok_or(format!(
+            "runs needs a subcommand: list | show | diff\n{USAGE}"
+        ))?;
+        opts.runs_cmd = Some(match sub.as_str() {
+            "list" => RunsCommand::List,
+            "show" => {
+                let sel = it
+                    .next()
+                    .ok_or(format!("runs show needs a run index or id prefix\n{USAGE}"))?;
+                RunsCommand::Show(sel.clone())
+            }
+            "diff" => {
+                let a = it
+                    .next()
+                    .ok_or(format!("runs diff needs two run selectors\n{USAGE}"))?;
+                let b = it
+                    .next()
+                    .ok_or(format!("runs diff needs two run selectors\n{USAGE}"))?;
+                RunsCommand::Diff(a.clone(), b.clone())
+            }
+            other => return Err(format!("unknown runs subcommand {other:?}\n{USAGE}")),
+        });
+    }
     if command == Command::Merge {
         let dir = it
             .next()
@@ -324,6 +405,7 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 opts.seed = v.parse().map_err(|_| format!("bad --seed value {v:?}"))?;
+                opts.seed_filter = Some(opts.seed);
             }
             "--random" => opts.random = true,
             "--threads" => {
@@ -402,6 +484,15 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
                 }
                 opts.workers = n;
             }
+            "--fleet-events" => {
+                opts.fleet_events = Some(it.next().ok_or("--fleet-events needs a path")?.clone());
+            }
+            "--metrics-text" => {
+                opts.metrics_text = Some(it.next().ok_or("--metrics-text needs a path")?.clone());
+            }
+            "--git" => {
+                opts.git_filter = Some(it.next().ok_or("--git needs a substring")?.clone());
+            }
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),
         }
     }
@@ -413,6 +504,9 @@ pub fn parse(args: &[String]) -> Result<CliOptions, String> {
     }
     if command == Command::Swarm && opts.store.is_none() {
         return Err("swarm requires --store DIR (the shared shard store)".into());
+    }
+    if opts.fleet_events.is_some() && command != Command::Swarm {
+        return Err("--fleet-events only applies to the swarm command".into());
     }
     Ok(opts)
 }
@@ -513,7 +607,8 @@ fn event_sink(opts: &CliOptions) -> Result<Option<EventSink>, String> {
 /// long exploration cannot end in a `cannot write ...` surprise: each
 /// directory-valued path (`--ledger`, `--store`) is created and probed
 /// with a scratch file, and each file-valued path (`--report`,
-/// `--telemetry`, `--trace`, `--events`) is opened for writing (append
+/// `--telemetry`, `--trace` — the swarm timeline included, `--events`,
+/// `--fleet-events`, `--metrics-text`) is opened for writing (append
 /// when it already exists, else create-and-remove). The first offending
 /// path fails fast, named.
 fn preflight_artifact_paths(opts: &CliOptions) -> Result<(), String> {
@@ -536,6 +631,8 @@ fn preflight_artifact_paths(opts: &CliOptions) -> Result<(), String> {
         opts.telemetry.as_ref(),
         opts.events.as_ref(),
         opts.trace.as_ref(),
+        opts.fleet_events.as_ref(),
+        opts.metrics_text.as_ref(),
     ]
     .into_iter()
     .flatten()
@@ -571,9 +668,32 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
             abs_floor_s: opts.abs_floor_ms / 1e3,
             noise_k: opts.noise_k,
         };
-        // Benchmark histories are auto-detected by their schema tag, so
-        // the same grammar gates ledgers and BENCH_*.json files.
-        let report = if is_bench_file(Path::new(pa)) || is_bench_file(Path::new(pb)) {
+        // Benchmark histories and merged fleet streams are auto-detected
+        // by their schema tags, so the same grammar gates ledgers,
+        // BENCH_*.json files, and dr-fleet/v1 streams.
+        let fleet_a = is_fleet_file(Path::new(pa));
+        let fleet_b = is_fleet_file(Path::new(pb));
+        let report = if fleet_a || fleet_b {
+            if fleet_a != fleet_b {
+                let kind = |fleet: bool, p: &str| {
+                    if fleet {
+                        "fleet"
+                    } else if is_bench_file(Path::new(p)) {
+                        "bench"
+                    } else {
+                        "ledger"
+                    }
+                };
+                return Err(format!(
+                    "cannot compare a {:?} history against a {:?} history",
+                    kind(fleet_a, pa),
+                    kind(fleet_b, pb)
+                ));
+            }
+            let a = load_fleet(Path::new(pa))?;
+            let b = load_fleet(Path::new(pb))?;
+            compare_fleet(&a, &b)
+        } else if is_bench_file(Path::new(pa)) || is_bench_file(Path::new(pb)) {
             let (ka, a) = load_bench(Path::new(pa))?;
             let (kb, b) = load_bench(Path::new(pb))?;
             if ka != kb {
@@ -599,6 +719,10 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
 
     if opts.command == Command::Bench {
         return run_bench(opts, out);
+    }
+
+    if opts.command == Command::Runs {
+        return run_runs(opts, out);
     }
 
     let inst = instance(opts);
@@ -674,7 +798,34 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
 
     if opts.command == Command::Swarm {
         let store_root = opts.store.clone().ok_or("swarm requires --store")?;
-        crate::swarm::coordinate(opts, Path::new(&store_root), out)?;
+        let outcome = crate::swarm::coordinate(opts, Path::new(&store_root), out)?;
+        if let Some(path) = &opts.fleet_events {
+            writeln!(
+                out,
+                "wrote {} merged fleet events to {path} (run {})",
+                outcome.stats.merged_events, outcome.run_id
+            )
+            .map_err(io)?;
+        }
+        if let Some(path) = &opts.trace {
+            // For swarm, --trace means the merged fleet timeline: one
+            // process per worker plus the coordinator, flow arrows from
+            // shard issue to completion.
+            let json = crate::fleet::swarm_chrome_json(&outcome.events, opts.workers);
+            std::fs::write(path, json).map_err(|e| format!("cannot write trace {path:?}: {e}"))?;
+            writeln!(
+                out,
+                "wrote swarm timeline ({} events) to {path} — open at ui.perfetto.dev",
+                outcome.events.len()
+            )
+            .map_err(io)?;
+        }
+        if let Some(path) = &opts.metrics_text {
+            let text = fleet_metrics_text(&outcome);
+            std::fs::write(path, text)
+                .map_err(|e| format!("cannot write metrics snapshot {path:?}: {e}"))?;
+            writeln!(out, "wrote metrics snapshot to {path}").map_err(io)?;
+        }
         return run_merge(opts, &inst, Path::new(&store_root), out);
     }
 
@@ -814,6 +965,12 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
         )
         .map_err(io)?;
     }
+    if let Some(path) = &opts.metrics_text {
+        let text = run_metrics_text(opts, &run, store.as_deref());
+        std::fs::write(path, text)
+            .map_err(|e| format!("cannot write metrics snapshot {path:?}: {e}"))?;
+        writeln!(out, "wrote metrics snapshot to {path}").map_err(io)?;
+    }
     let result = run.result;
 
     match opts.command {
@@ -825,7 +982,8 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
         | Command::Bench
         | Command::VerifyRules
         | Command::Merge
-        | Command::Swarm => {
+        | Command::Swarm
+        | Command::Runs => {
             unreachable!("handled above")
         }
         Command::Explore => {
@@ -914,6 +1072,219 @@ pub fn run(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), Strin
         }
     }
     Ok(())
+}
+
+/// The `runs` command: query the ledger named by `--ledger` (or
+/// `DR_LEDGER`). `list` summarizes the entries matching the scenario
+/// (plus `--seed`/`--git` filters) and appends cross-run trends; `show`
+/// prints one entry by index or run-id prefix; `diff` gates entry `b`
+/// against entry `a` through exactly the `compare` statistics, so its
+/// exit status matches what `compare` would say about the same pair.
+fn run_runs(opts: &CliOptions, out: &mut impl std::io::Write) -> Result<(), String> {
+    let io = |e: std::io::Error| format!("write failed: {e}");
+    let dir = opts
+        .ledger
+        .clone()
+        .map(std::path::PathBuf::from)
+        .or_else(ledger_dir_from_env)
+        .ok_or("runs needs --ledger DIR (or DR_LEDGER) naming the ledger")?;
+    let entries = load_ledger(&dir)?;
+    match opts.runs_cmd.as_ref().ok_or("runs needs a subcommand")? {
+        RunsCommand::List => {
+            let filter = RunFilter {
+                scenario: Some(opts.scenario.name().to_string()),
+                seed: opts.seed_filter,
+                git: opts.git_filter.clone(),
+            };
+            let selected = select(&entries, &filter);
+            for (i, e) in &selected {
+                writeln!(out, "{}", summary_line(*i, e)).map_err(io)?;
+            }
+            if selected.len() >= 2 {
+                let just: Vec<&json::Value> = selected.iter().map(|(_, e)| *e).collect();
+                for line in trend_lines(&just) {
+                    writeln!(out, "{line}").map_err(io)?;
+                }
+            }
+            writeln!(
+                out,
+                "{} of {} ledger entries match",
+                selected.len(),
+                entries.len()
+            )
+            .map_err(io)?;
+        }
+        RunsCommand::Show(sel) => {
+            let (i, e) = find_entry(&entries, sel)?;
+            write!(out, "{}", show_entry(i, e)).map_err(io)?;
+        }
+        RunsCommand::Diff(a, b) => {
+            let (_, ea) = find_entry(&entries, a)?;
+            let (_, eb) = find_entry(&entries, b)?;
+            let copts = CompareOptions {
+                ratio: opts.threshold,
+                abs_floor_s: opts.abs_floor_ms / 1e3,
+                noise_k: opts.noise_k,
+            };
+            let report = diff_entries(ea, eb, &copts);
+            write!(out, "{}", report.render_text()).map_err(io)?;
+            if report.is_regression() {
+                return Err(format!(
+                    "{} regression(s) beyond threshold",
+                    report.regressions.len()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders the swarm's fleet telemetry as a Prometheus text-format
+/// snapshot: aggregation totals, per-worker stream counters, and counts
+/// of the coordinator's decision events.
+fn fleet_metrics_text(outcome: &crate::swarm::FleetOutcome) -> String {
+    let mut exp = TextExposition::new();
+    let run = outcome.run_id.as_str();
+    exp.value(
+        "dr_fleet_merged_events_total",
+        "Events in the merged dr-fleet/v1 stream.",
+        "counter",
+        &[("run", run)],
+        outcome.stats.merged_events as f64,
+    );
+    exp.value(
+        "dr_fleet_coordinator_events_total",
+        "Coordinator events in the merged stream.",
+        "counter",
+        &[("run", run)],
+        outcome.stats.coordinator_events as f64,
+    );
+    for kind in [
+        "anomaly",
+        "worker-kill",
+        "shard-retry",
+        "shard-quarantined",
+        "shard-complete",
+        "shard-resumed",
+    ] {
+        let n = outcome.events.iter().filter(|e| e.kind == kind).count();
+        let name = format!("dr_fleet_{}_total", kind.replace('-', "_"));
+        exp.value(
+            &name,
+            "Coordinator decision events by kind.",
+            "counter",
+            &[("run", run)],
+            n as f64,
+        );
+    }
+    for (i, w) in outcome.stats.workers.iter().enumerate() {
+        let idx = i.to_string();
+        let labels = [("run", run), ("worker", idx.as_str())];
+        exp.value(
+            "dr_fleet_worker_events_total",
+            "Validated events merged per worker stream.",
+            "counter",
+            &labels,
+            w.events as f64,
+        );
+        exp.value(
+            "dr_fleet_worker_malformed_total",
+            "Malformed lines rejected per worker stream.",
+            "counter",
+            &labels,
+            w.malformed as f64,
+        );
+        exp.value(
+            "dr_fleet_worker_foreign_total",
+            "Lines rejected for a foreign run or shard identity.",
+            "counter",
+            &labels,
+            w.foreign as f64,
+        );
+        if let Some(seen) = w.last_seen_s {
+            exp.value(
+                "dr_fleet_worker_last_seen_seconds",
+                "Coordinator clock at the worker's last merged event.",
+                "gauge",
+                &labels,
+                seen,
+            );
+        }
+    }
+    exp.render().to_string()
+}
+
+/// Renders a single-process run as a Prometheus text-format snapshot:
+/// phase durations, record/class counts, and cache statistics.
+fn run_metrics_text(
+    opts: &CliOptions,
+    run: &InstrumentedRun,
+    store: Option<&crate::store::ResultStore>,
+) -> String {
+    let mut exp = TextExposition::new();
+    let scenario = opts.scenario.name();
+    let strategy_name = strategy(opts).name();
+    let base = [("scenario", scenario), ("strategy", strategy_name)];
+    for (name, seconds) in run.report.phases.entries() {
+        let labels = [
+            ("scenario", scenario),
+            ("strategy", strategy_name),
+            ("phase", name.as_str()),
+        ];
+        exp.value(
+            "dr_run_phase_seconds",
+            "Wall-clock seconds per pipeline phase.",
+            "gauge",
+            &labels,
+            *seconds,
+        );
+    }
+    exp.value(
+        "dr_run_records",
+        "Explored implementation records.",
+        "gauge",
+        &base,
+        run.result.records.len() as f64,
+    );
+    exp.value(
+        "dr_run_classes",
+        "Performance classes found by labeling.",
+        "gauge",
+        &base,
+        run.result.labeling.num_classes as f64,
+    );
+    exp.value(
+        "dr_run_cache_hits_total",
+        "Evaluation cache hits.",
+        "counter",
+        &base,
+        run.cache.hits as f64,
+    );
+    exp.value(
+        "dr_run_cache_misses_total",
+        "Evaluation cache misses.",
+        "counter",
+        &base,
+        run.cache.misses as f64,
+    );
+    if let Some(store) = store {
+        let s = store.stats();
+        exp.value(
+            "dr_run_store_hits_total",
+            "Durable result-store hits.",
+            "counter",
+            &base,
+            s.hits as f64,
+        );
+        exp.value(
+            "dr_run_store_misses_total",
+            "Durable result-store misses.",
+            "counter",
+            &base,
+            s.misses as f64,
+        );
+    }
+    exp.render().to_string()
 }
 
 /// The `bench` command: run both benchmark harnesses (pipeline phases,

@@ -11,6 +11,7 @@ pub mod swarm;
 pub use dr_bench as bench;
 pub use dr_core as pipeline;
 pub use dr_dag as dag;
+pub use dr_fleet as fleet;
 pub use dr_halo as halo;
 pub use dr_lint as lint;
 pub use dr_mcts as mcts;

@@ -45,6 +45,7 @@ struct State {
     lint_errors: u64,
     lint_warnings: u64,
     lint_diags: u64,
+    anomalies: u64,
     last_paint: Option<Instant>,
     painted_tty_line: bool,
     finished: bool,
@@ -129,6 +130,9 @@ impl ProgressRenderer {
         }
         if st.quarantined > 0 || st.retries > 0 {
             line.push_str(&format!(" | q{} r{}", st.quarantined, st.retries));
+        }
+        if st.anomalies > 0 {
+            line.push_str(&format!(" | anomalies {}", st.anomalies));
         }
         if st.best_s.is_finite() {
             line.push_str(&format!(" | best {:.1} µs", st.best_s * 1e6));
@@ -308,6 +312,12 @@ impl EventObserver for ProgressRenderer {
                 }
                 st.finished = true;
                 st.phase = "shard done".to_string();
+                force = true;
+            }
+            "anomaly" => {
+                // Structured detector verdicts (swarm coordinators emit
+                // these when a worker leaves its statistical bands).
+                st.anomalies += 1;
                 force = true;
             }
             "lint-start" => {

@@ -4,13 +4,25 @@
 //! exploration into `K` shards and runs each as a **child process of
 //! this same binary** (`explore --shard i/K --store DIR`). The
 //! coordinator never trusts a worker to be alive just because the
-//! process exists: each worker streams `dr-events/v1` NDJSON with
-//! periodic `heartbeat` lines, and a worker whose stream goes quiet for
-//! longer than the stall timeout is SIGKILLed and its shard re-issued.
-//! Because every shard writes through the durable
+//! process exists: each worker streams `dr-events/v1` NDJSON, and the
+//! coordinator tails every stream through a [`dr_fleet::Aggregator`],
+//! which validates each line against the run id pinned into the worker
+//! (`DR_RUN_ID`) and the worker's own shard identity before it counts —
+//! a stale stream from a previous run can neither pollute the merged
+//! telemetry nor masquerade as liveness. A worker whose validated
+//! stream goes quiet for longer than the stall timeout is SIGKILLed and
+//! its shard re-issued. Because every shard writes through the durable
 //! [`dr_store::ResultStore`], a re-issued worker resumes from the
 //! already-committed prefix instead of re-simulating — the shard
 //! manifest's `store.hits` counter proves it.
+//!
+//! The merged streams also feed an online [`dr_fleet::AnomalyDetector`]
+//! (straggler / rate-collapse / silent-worker, MAD bands over heartbeat
+//! gaps and eval rates), so kill and re-issue decisions cite a
+//! structured `anomaly` event instead of being taken blind, and an
+//! optional fleet-wide `--progress` rollup. All merged telemetry is
+//! retained and returned in a [`FleetOutcome`] for the `swarm --trace`
+//! Perfetto export and the `--metrics-text` snapshot.
 //!
 //! Failure policy: a dead or stalled shard is re-spawned after capped
 //! exponential backoff (`DR_SWARM_BACKOFF_MS`, default 200 ms base,
@@ -19,13 +31,35 @@
 //! fails the swarm, naming the shard and its worker log. The shard
 //! manifest is the commit marker — a worker that exits zero without
 //! publishing a valid manifest still counts as dead.
+//!
+//! Chaos levers: `DR_SWARM_FAULT_SHARD=<i>` plus `DR_SWARM_FAULTS=<spec>`
+//! inject a `DR_FAULTS` spec into exactly one worker (all other workers
+//! run clean), which combined with the `DR_RETRY_*` knobs turns a
+//! single shard into a reproducible straggler for anomaly-detection
+//! tests.
 
 use crate::cli::CliOptions;
 use crate::pipeline::{shard_manifest_path, ShardManifest, ShardSpec};
-use std::io::{Read, Seek, Write};
+use dr_fleet::{
+    Aggregator, AnomalyConfig, AnomalyDetector, FleetProgress, FleetStats, MergedEvent,
+};
+use dr_obs::EventSink;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
+
+/// Everything the coordinator learned from the merged telemetry: the
+/// full globally-sequenced event list (timeline export material) and
+/// the per-worker aggregation counters (metrics snapshot material).
+pub struct FleetOutcome {
+    /// Every merged event, in global-sequence order.
+    pub events: Vec<MergedEvent>,
+    /// Aggregation counters per worker plus coordinator totals.
+    pub stats: FleetStats,
+    /// The coordinator's own event-stream run id.
+    pub run_id: String,
+}
 
 /// Reads a millisecond knob from the environment with a default.
 fn env_ms(name: &str, default: u64) -> u64 {
@@ -69,16 +103,27 @@ fn worker_log_path(store_root: &Path, spec: ShardSpec) -> PathBuf {
     store_root.join(format!("shard-{}.log", spec.label()))
 }
 
+/// The `DR_FAULTS` spec for shard `index`, honoring the single-shard
+/// chaos targeting knobs: with `DR_SWARM_FAULT_SHARD` set, only that
+/// shard receives `DR_SWARM_FAULTS`; every other worker runs clean.
+fn targeted_faults(index: usize) -> Option<String> {
+    let target = std::env::var("DR_SWARM_FAULT_SHARD")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())?;
+    if target != index {
+        return None;
+    }
+    std::env::var("DR_SWARM_FAULTS")
+        .ok()
+        .filter(|s| !s.is_empty())
+}
+
 /// One shard's lifecycle inside the coordinator.
 enum State {
     /// Waiting to (re-)spawn once `ready_at` passes.
     Pending { ready_at: Instant },
     /// A live child process being heartbeat-monitored.
-    Running {
-        child: Child,
-        last_beat: Instant,
-        events_offset: u64,
-    },
+    Running { child: Child, last_beat: Instant },
     /// Manifest published and validated.
     Done,
     /// Failed `max_attempts` times; never re-issued.
@@ -129,10 +174,16 @@ fn manifest_matches(
 
 /// Spawns one shard worker: this same binary, `explore --shard i/N`,
 /// serial, streaming events (heartbeats included) to its own NDJSON
-/// file, stdout+stderr captured to a log. The worker's eager events
-/// `File::create` truncates the previous attempt's stream, so the
-/// coordinator restarts its tail offset at zero.
-fn spawn_worker(opts: &CliOptions, store_root: &Path, spec: ShardSpec) -> Result<Child, String> {
+/// file, stdout+stderr captured to a log. The worker's `DR_RUN_ID` is
+/// pinned to `run_id` so the aggregator can validate its stream, and
+/// its eager events `File::create` truncates the previous attempt's
+/// stream (the aggregator re-tails from zero on `expect_worker`).
+fn spawn_worker(
+    opts: &CliOptions,
+    store_root: &Path,
+    spec: ShardSpec,
+    run_id: &str,
+) -> Result<Child, String> {
     let exe =
         std::env::current_exe().map_err(|e| format!("cannot locate the dr-rules binary: {e}"))?;
     let log = std::fs::File::create(worker_log_path(store_root, spec))
@@ -155,9 +206,14 @@ fn spawn_worker(opts: &CliOptions, store_root: &Path, spec: ShardSpec) -> Result
         .arg(opts.seed.to_string())
         .arg("--threads")
         .arg("1")
+        .env("DR_RUN_ID", run_id)
+        .env_remove("DR_FAULTS")
         .stdin(Stdio::null())
         .stdout(Stdio::from(log))
         .stderr(Stdio::from(log_err));
+    if let Some(spec_str) = targeted_faults(spec.index) {
+        cmd.env("DR_FAULTS", spec_str);
+    }
     if opts.random {
         cmd.arg("--random");
     }
@@ -165,48 +221,67 @@ fn spawn_worker(opts: &CliOptions, store_root: &Path, spec: ShardSpec) -> Result
         .map_err(|e| format!("cannot spawn shard worker {spec}: {e}"))
 }
 
-/// Scans the worker's event stream from `offset` for fresh heartbeat
-/// (or shard-done) lines, returning the new end-of-file offset and
-/// whether a liveness signal arrived. A token split across two reads is
-/// missed once and caught by the next beat — the stall window is many
-/// beats wide.
-fn poll_heartbeats(events: &Path, offset: u64) -> (u64, bool) {
-    let Ok(mut f) = std::fs::File::open(events) else {
-        return (offset, false);
-    };
-    let len = f.metadata().map(|m| m.len()).unwrap_or(0);
-    // Truncated by a worker restart: re-tail from the start.
-    let start = if len < offset { 0 } else { offset };
-    if len == start {
-        return (start, false);
+/// Drains every stream through the aggregator once: feeds the anomaly
+/// detector and the progress rollup, and marks which workers produced a
+/// validated liveness signal (heartbeat or completion).
+fn drain(
+    agg: &mut Aggregator,
+    detector: &mut AnomalyDetector,
+    progress: &mut Option<FleetProgress>,
+    beat_seen: &mut [bool],
+) {
+    let range = agg.poll();
+    for ev in &agg.events()[range] {
+        if let Some(i) = ev.worker {
+            if (ev.kind == "heartbeat" || ev.kind == "shard-done") && i < beat_seen.len() {
+                beat_seen[i] = true;
+            }
+        }
+        detector.observe(ev);
+        if let Some(p) = progress.as_mut() {
+            p.observe(ev);
+        }
     }
-    if f.seek(std::io::SeekFrom::Start(start)).is_err() {
-        return (start, false);
-    }
-    let mut buf = Vec::with_capacity((len - start) as usize);
-    if f.read_to_end(&mut buf).is_err() {
-        return (start, false);
-    }
-    let text = String::from_utf8_lossy(&buf);
-    let beat = text.contains("\"kind\":\"heartbeat\"") || text.contains("\"kind\":\"shard-done\"");
-    (start + buf.len() as u64, beat)
 }
 
 /// Runs shard workers to completion: resumes shards whose manifest is
-/// already published, spawns the rest, monitors heartbeats, SIGKILLs
-/// stalled workers, re-issues dead shards with capped backoff, and
-/// quarantines a shard after repeated failures. Returns once every
-/// shard's manifest is published — the caller then merges — or an error
-/// naming the quarantined shards.
+/// already published, spawns the rest with pinned run ids, merges every
+/// worker stream plus its own events into one `dr-fleet/v1` sequence,
+/// SIGKILLs stalled workers (citing the anomaly that flagged them),
+/// re-issues dead shards with capped backoff, and quarantines a shard
+/// after repeated failures. Returns the merged fleet telemetry once
+/// every shard's manifest is published — the caller then merges — or an
+/// error naming the quarantined shards.
 pub fn coordinate(
     opts: &CliOptions,
     store_root: &Path,
     out: &mut impl Write,
-) -> Result<(), String> {
+) -> Result<FleetOutcome, String> {
     let io = |e: std::io::Error| format!("write failed: {e}");
     let count = opts.workers;
     let stall = stall_timeout();
     let attempts_cap = max_attempts();
+    let coord_run = format!("swarm-{}", std::process::id());
+
+    let mut agg = Aggregator::new(store_root, count);
+    if let Some(path) = &opts.fleet_events {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create fleet events file {path:?}: {e}"))?;
+        agg = agg.with_writer(Box::new(std::io::BufWriter::new(file)));
+    }
+    let sink = EventSink::new(&coord_run).with_writer(Box::new(agg.coordinator_queue()));
+    let mut detector = AnomalyDetector::new(
+        count,
+        AnomalyConfig {
+            // Flag a silent worker halfway to the kill decision, so the
+            // anomaly event provably precedes (and explains) the kill.
+            silent_after_s: (stall.as_secs_f64() / 2.0).max(0.05),
+            ..AnomalyConfig::default()
+        },
+    );
+    let mut progress = opts.progress.then(|| FleetProgress::new(count));
+    let mut last_anomaly: Vec<Option<String>> = vec![None; count];
+
     let mut shards: Vec<Shard> = Vec::with_capacity(count);
     for index in 0..count {
         let spec = ShardSpec { index, count };
@@ -219,6 +294,15 @@ pub fn coordinate(
                     m.records, m.store.hits
                 )
                 .map_err(io)?;
+                sink.emit(
+                    "shard-resumed",
+                    &[
+                        ("shard", (spec.index as u64).into()),
+                        ("of", (spec.count as u64).into()),
+                        ("records", m.records.into()),
+                        ("store_hits", m.store.hits.into()),
+                    ],
+                );
                 State::Done
             }
             None => State::Pending {
@@ -232,6 +316,34 @@ pub fn coordinate(
         });
     }
     let result = loop {
+        let mut beat_seen = vec![false; count];
+        drain(&mut agg, &mut detector, &mut progress, &mut beat_seen);
+        let now_s = agg.now_s();
+        for a in detector.scan(now_s) {
+            writeln!(
+                out,
+                "anomaly: worker {} {} — {} ({} = {:.3}, threshold {:.3})",
+                a.worker,
+                a.kind.name(),
+                a.detail,
+                a.metric,
+                a.value,
+                a.threshold
+            )
+            .map_err(io)?;
+            sink.emit(
+                "anomaly",
+                &[
+                    ("worker", (a.worker as u64).into()),
+                    ("anomaly", a.kind.name().into()),
+                    ("metric", a.metric.into()),
+                    ("value", a.value.into()),
+                    ("threshold", a.threshold.into()),
+                    ("detail", a.detail.as_str().into()),
+                ],
+            );
+            last_anomaly[a.worker] = Some(format!("{} ({})", a.kind.name(), a.metric));
+        }
         let mut open = false;
         for shard in shards.iter_mut() {
             let spec = shard.spec;
@@ -242,7 +354,20 @@ pub fn coordinate(
                     if Instant::now() < *ready_at {
                         continue;
                     }
-                    let child = spawn_worker(opts, store_root, spec)?;
+                    let worker_run = format!("{coord_run}.shard-{}", spec.label());
+                    let child = spawn_worker(opts, store_root, spec, &worker_run)?;
+                    agg.expect_worker(spec.index, &worker_run);
+                    detector.note_spawn(spec.index, agg.now_s());
+                    last_anomaly[spec.index] = None;
+                    sink.emit(
+                        "worker-spawn",
+                        &[
+                            ("shard", (spec.index as u64).into()),
+                            ("of", (spec.count as u64).into()),
+                            ("pid", u64::from(child.id()).into()),
+                            ("attempt", (shard.failures as u64 + 1).into()),
+                        ],
+                    );
                     writeln!(
                         out,
                         "shard {spec}: worker spawned (pid {}, attempt {})",
@@ -253,19 +378,11 @@ pub fn coordinate(
                     shard.state = State::Running {
                         child,
                         last_beat: Instant::now(),
-                        events_offset: 0,
                     };
                 }
-                State::Running {
-                    child,
-                    last_beat,
-                    events_offset,
-                } => {
+                State::Running { child, last_beat } => {
                     open = true;
-                    let (next, beat) =
-                        poll_heartbeats(&worker_events_path(store_root, spec), *events_offset);
-                    *events_offset = next;
-                    if beat {
+                    if beat_seen[spec.index] {
                         *last_beat = Instant::now();
                     }
                     let exited = child
@@ -287,6 +404,16 @@ pub fn coordinate(
                                         m.records, m.fingerprint, m.store.hits
                                     )
                                     .map_err(io)?;
+                                    sink.emit(
+                                        "shard-complete",
+                                        &[
+                                            ("shard", (spec.index as u64).into()),
+                                            ("of", (spec.count as u64).into()),
+                                            ("records", m.records.into()),
+                                            ("store_hits", m.store.hits.into()),
+                                        ],
+                                    );
+                                    detector.note_exit(spec.index);
                                     shard.state = State::Done;
                                     continue;
                                 }
@@ -296,17 +423,32 @@ pub fn coordinate(
                         None if last_beat.elapsed() > stall => {
                             // SIGKILL, not a polite shutdown: a stalled
                             // worker cannot be trusted to clean up, and
-                            // the store makes the kill safe.
+                            // the store makes the kill safe. The kill
+                            // reason cites the anomaly that flagged this
+                            // worker first (the detector fires at half
+                            // the stall window).
                             let _ = child.kill();
                             let _ = child.wait();
+                            let silent_s = last_beat.elapsed().as_secs_f64();
+                            sink.emit(
+                                "worker-kill",
+                                &[
+                                    ("shard", (spec.index as u64).into()),
+                                    ("silent_s", silent_s.into()),
+                                ],
+                            );
+                            let cited = last_anomaly[spec.index]
+                                .as_deref()
+                                .map(|a| format!("; after anomaly {a}"))
+                                .unwrap_or_default();
                             Some(format!(
-                                "stalled (no heartbeat for {:.1}s) — killed",
-                                last_beat.elapsed().as_secs_f64()
+                                "stalled (no heartbeat for {silent_s:.1}s{cited}) — killed"
                             ))
                         }
                         None => None,
                     };
                     if let Some(how) = failed_how {
+                        detector.note_exit(spec.index);
                         shard.failures += 1;
                         if shard.failures >= attempts_cap {
                             writeln!(
@@ -316,6 +458,13 @@ pub fn coordinate(
                                 worker_log_path(store_root, spec).display()
                             )
                             .map_err(io)?;
+                            sink.emit(
+                                "shard-quarantined",
+                                &[
+                                    ("shard", (spec.index as u64).into()),
+                                    ("attempts", (shard.failures as u64).into()),
+                                ],
+                            );
                             shard.state = State::Quarantined;
                         } else {
                             let delay = backoff(shard.failures);
@@ -327,6 +476,14 @@ pub fn coordinate(
                                 shard.failures + 1
                             )
                             .map_err(io)?;
+                            sink.emit(
+                                "shard-retry",
+                                &[
+                                    ("shard", (spec.index as u64).into()),
+                                    ("attempt", (shard.failures as u64 + 1).into()),
+                                    ("delay_ms", (delay.as_millis() as u64).into()),
+                                ],
+                            );
                             shard.state = State::Pending {
                                 ready_at: Instant::now() + delay,
                             };
@@ -334,6 +491,9 @@ pub fn coordinate(
                     }
                 }
             }
+        }
+        if let Some(p) = progress.as_mut() {
+            p.paint(false);
         }
         if !open {
             let quarantined: Vec<String> = shards
@@ -352,13 +512,42 @@ pub fn coordinate(
         std::thread::sleep(Duration::from_millis(50));
     };
     // Never leak children, whatever the outcome.
+    let mut leaked = vec![false; count];
     for shard in shards.iter_mut() {
         if let State::Running { child, .. } = &mut shard.state {
             let _ = child.kill();
             let _ = child.wait();
+            leaked[shard.spec.index] = true;
         }
     }
-    result
+    let quarantined = shards
+        .iter()
+        .filter(|s| matches!(s.state, State::Quarantined))
+        .count() as u64;
+    sink.emit(
+        "swarm-done",
+        &[
+            ("shards", (count as u64).into()),
+            ("quarantined", quarantined.into()),
+        ],
+    );
+    sink.flush();
+    // Final drain: the workers have exited (or been killed and waited
+    // on), so their streams are complete; one more pass captures every
+    // trailing line plus the coordinator's closing events.
+    let mut beat_seen = vec![false; count];
+    drain(&mut agg, &mut detector, &mut progress, &mut beat_seen);
+    if let Some(p) = progress.as_mut() {
+        p.finish();
+    }
+    agg.flush();
+    let stats = agg.stats();
+    let events = agg.into_events();
+    result.map(|()| FleetOutcome {
+        events,
+        stats,
+        run_id: coord_run,
+    })
 }
 
 #[cfg(test)]
@@ -374,30 +563,43 @@ mod tests {
     }
 
     #[test]
-    fn heartbeat_poll_detects_beats_and_truncation() {
-        let dir = std::env::temp_dir().join(format!("dr-swarm-hb-{}", std::process::id()));
+    fn drain_counts_only_validated_liveness() {
+        let dir = std::env::temp_dir().join(format!("dr-swarm-drain-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("events.ndjson");
-        // Missing file: no beat, offset unchanged.
-        assert_eq!(poll_heartbeats(&path, 0), (0, false));
-        std::fs::write(&path, "{\"kind\":\"phase-start\"}\n").unwrap();
-        let (off, beat) = poll_heartbeats(&path, 0);
-        assert!(!beat, "non-heartbeat events are not liveness");
-        let mut f = std::fs::OpenOptions::new()
-            .append(true)
-            .open(&path)
-            .unwrap();
-        f.write_all(b"{\"kind\":\"heartbeat\",\"shard\":0}\n")
-            .unwrap();
-        drop(f);
-        let (off2, beat) = poll_heartbeats(&path, off);
-        assert!(beat, "fresh heartbeat detected");
-        assert!(off2 > off);
-        // Worker restart truncates the stream: the poll re-tails from 0.
-        std::fs::write(&path, "{\"kind\":\"heartbeat\"}\n").unwrap();
-        let (_, beat) = poll_heartbeats(&path, off2);
-        assert!(beat, "re-tailed after truncation");
+        let mut agg = Aggregator::new(&dir, 2);
+        agg.expect_worker(0, "run.shard-0-of-2");
+        agg.expect_worker(1, "run.shard-1-of-2");
+        // Shard 0: a stale line from an old run plus one genuine beat.
+        // Full-schema fixtures — the aggregator parses, it does not grep.
+        std::fs::write(
+            dir.join("shard-0-of-2.events.ndjson"),
+            concat!(
+                "{\"schema\":\"dr-events/v1\",\"run\":\"old-run\",\"seq\":0,\"t_s\":0.1,",
+                "\"kind\":\"heartbeat\",\"shard\":0,\"of\":2,\"done\":1,\"total\":9}\n",
+                "{\"schema\":\"dr-events/v1\",\"run\":\"run.shard-0-of-2\",\"seq\":0,\"t_s\":0.2,",
+                "\"kind\":\"heartbeat\",\"shard\":0,\"of\":2,\"done\":2,\"total\":9}\n",
+            ),
+        )
+        .unwrap();
+        // Shard 1: a crossed stream carrying shard 0's identity — well
+        // formed, right run prefix pattern, wrong shard: not liveness.
+        std::fs::write(
+            dir.join("shard-1-of-2.events.ndjson"),
+            concat!(
+                "{\"schema\":\"dr-events/v1\",\"run\":\"run.shard-1-of-2\",\"seq\":0,\"t_s\":0.2,",
+                "\"kind\":\"heartbeat\",\"shard\":0,\"of\":2,\"done\":2,\"total\":9}\n",
+            ),
+        )
+        .unwrap();
+        let mut detector = AnomalyDetector::new(2, AnomalyConfig::default());
+        let mut progress = None;
+        let mut beat_seen = vec![false; 2];
+        drain(&mut agg, &mut detector, &mut progress, &mut beat_seen);
+        assert!(beat_seen[0], "validated heartbeat counts as liveness");
+        assert!(!beat_seen[1], "crossed shard identity is not liveness");
+        assert_eq!(agg.lag(0).unwrap().foreign, 1, "stale run rejected");
+        assert_eq!(agg.lag(1).unwrap().foreign, 1, "crossed shard rejected");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,195 @@
+//! Chaos proof for the fleet anomaly detector: inject faults into
+//! exactly one worker (`DR_SWARM_FAULT_SHARD` + `DR_SWARM_FAULTS`) and
+//! require the coordinator to put a structured `anomaly` verdict on
+//! record naming that worker and the tripped metric — *before* any kill
+//! decision it later explains. Fingerprints are never compared here:
+//! fault-injected workers measure under perturbation, so the merged
+//! record set is not the clean run's (and a measurement conflict
+//! between a faulted and a clean shard may legitimately fail the final
+//! merge).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_dr-rules")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dr-fleet-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A 3-worker swarm over `store` with chaos knobs in `env`, faults
+/// targeted at worker 1 via `fault_spec`, and the merged dr-fleet/v1
+/// stream captured to `store/fleet.ndjson`.
+fn swarm(store: &Path, iterations: &str, fault_spec: &str, env: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(bin());
+    cmd.args([
+        "spmv",
+        "swarm",
+        "--workers",
+        "3",
+        "--store",
+        &store.display().to_string(),
+        "--iterations",
+        iterations,
+        "--seed",
+        "7",
+        "--fleet-events",
+        &store.join("fleet.ndjson").display().to_string(),
+    ])
+    .env_remove("DR_FAULTS")
+    .env_remove("DR_LEDGER")
+    .env("DR_HEARTBEAT_MS", "20")
+    .env("DR_SWARM_FAULT_SHARD", "1")
+    .env("DR_SWARM_FAULTS", fault_spec);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("dr-rules spawns")
+}
+
+/// Index of the first merged-stream line matching every needle.
+fn stream_find(stream: &str, needles: &[&str]) -> Option<usize> {
+    stream
+        .lines()
+        .position(|l| needles.iter().all(|n| l.contains(n)))
+}
+
+#[test]
+fn silent_worker_anomaly_is_on_record_before_the_kill() {
+    let store = scratch("kill");
+    // Worker 1 drops every simulated message: its first eval fails
+    // forever and the huge retry budget (50 ms backoff per attempt)
+    // pins it inside the evaluator after its single initial heartbeat.
+    // The detector must flag the silence at half the 1 s stall window;
+    // the coordinator then kills and — with one attempt allowed —
+    // quarantines, failing the swarm.
+    let out = swarm(
+        &store,
+        "60",
+        "drop_prob=1.0",
+        &[
+            ("DR_RETRY_MAX", "100000"),
+            ("DR_RETRY_BACKOFF_MS", "50"),
+            ("DR_SWARM_STALL_MS", "1000"),
+            ("DR_SWARM_MAX_ATTEMPTS", "1"),
+        ],
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "quarantine must fail the swarm:\n{stdout}\n{stderr}"
+    );
+
+    // Anchor both finds to shard 1: on a loaded machine a *healthy*
+    // worker's eval chunk can outlast the short stall window too, and
+    // its kill line must not satisfy (or break) the ordering check.
+    let anomaly_at = stdout
+        .find("anomaly: worker 1 silent-worker")
+        .unwrap_or_else(|| panic!("no silent-worker anomaly for worker 1:\n{stdout}"));
+    let kill_at = stdout
+        .find("shard 1/3: stalled")
+        .unwrap_or_else(|| panic!("no stall kill of shard 1:\n{stdout}"));
+    assert!(
+        anomaly_at < kill_at,
+        "anomaly must be on record before the kill:\n{stdout}"
+    );
+    // The kill decision cites the anomaly that explains it.
+    let kill_line = stdout[kill_at..].lines().next().unwrap();
+    assert!(
+        kill_line.contains("after anomaly silent-worker (stream_silence_s)"),
+        "{stdout}"
+    );
+    assert!(
+        kill_line.contains("quarantined after 1 attempts"),
+        "{stdout}"
+    );
+    assert!(stderr.contains("quarantined"), "{stderr}");
+
+    // The merged stream carries the same story as structured events, in
+    // the same order: the anomaly names worker 1 and its metric, and is
+    // globally sequenced before the kill.
+    let stream = std::fs::read_to_string(store.join("fleet.ndjson")).unwrap();
+    let anomaly_line = stream_find(
+        &stream,
+        &[
+            "\"kind\":\"anomaly\"",
+            "\"worker\":1",
+            "\"anomaly\":\"silent-worker\"",
+            "\"metric\":\"stream_silence_s\"",
+        ],
+    )
+    .unwrap_or_else(|| panic!("no structured anomaly event:\n{stream}"));
+    let kill_line = stream_find(&stream, &["\"kind\":\"worker-kill\"", "\"shard\":1"])
+        .unwrap_or_else(|| panic!("no structured worker-kill event:\n{stream}"));
+    assert!(
+        anomaly_line < kill_line,
+        "anomaly event must precede the kill event in the merged stream"
+    );
+
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn completing_straggler_is_named_without_a_kill() {
+    let store = scratch("straggle");
+    // Worker 1 limps: with a 0.08 per-message drop rate roughly 4 in 10
+    // eval attempts deadlock, and each failed attempt burns ~40-80 ms of
+    // retry backoff before a reseeded attempt (usually) succeeds. Its
+    // eval rate sits far below the fleet median while workers 0 and 2
+    // finish their 100-eval budgets fast and anchor the rate
+    // distribution; the generous retry budget keeps quarantines rare so
+    // the shard's search tree never exhausts early. The default 10 s
+    // stall window means nobody is killed — the straggler verdict must
+    // appear even though the worker finishes its shard. (The swarm's
+    // exit status is NOT asserted: the final merge may reject the
+    // faulted worker's perturbed measurements, which is its job.)
+    let out = swarm(
+        &store,
+        "300",
+        "drop_prob=0.08",
+        &[("DR_RETRY_MAX", "4"), ("DR_RETRY_BACKOFF_MS", "80")],
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+
+    assert!(
+        stdout.contains("anomaly: worker 1 straggler"),
+        "no straggler anomaly for worker 1:\n{stdout}"
+    );
+    assert!(stdout.contains("(eval_rate"), "{stdout}");
+    // All three shards finished; no worker was killed.
+    assert_eq!(
+        stdout.matches("complete —").count(),
+        3,
+        "all shards complete:\n{stdout}"
+    );
+    assert!(!stdout.contains("killed"), "{stdout}");
+
+    // Structured form: a straggler anomaly naming worker 1 and the
+    // eval-rate metric, with no kill event anywhere in the stream.
+    let stream = std::fs::read_to_string(store.join("fleet.ndjson")).unwrap();
+    assert!(
+        stream_find(
+            &stream,
+            &[
+                "\"kind\":\"anomaly\"",
+                "\"worker\":1",
+                "\"anomaly\":\"straggler\"",
+                "\"metric\":\"eval_rate\"",
+            ],
+        )
+        .is_some(),
+        "no structured straggler event:\n{stream}"
+    );
+    assert!(
+        stream_find(&stream, &["\"kind\":\"worker-kill\""]).is_none(),
+        "nobody should be killed"
+    );
+
+    let _ = std::fs::remove_dir_all(&store);
+}
